@@ -1,0 +1,23 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (or one
+derived experiment), asserts the reproduction contract — the *shape*
+of the result: who wins, by roughly what factor, where crossovers fall
+— and prints the regenerated rows.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so -s shows the regenerated rows."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,62 @@
+"""E10 — comparing RM architectures, DGSim-style ([131], C7/§6.1).
+
+Replays the same bursty trace under three resource-management
+architectures with equal total capacity: centralized (global
+knowledge), hierarchical (least-loaded meta-scheduling), and
+decentralized (uncoordinated random routing).  Reproduction contract
+(the shape of [131]): scheduling knowledge orders performance —
+centralized <= hierarchical < decentralized mean slowdown — and the
+decentralized deployment shows the largest load imbalance pressure.
+"""
+
+import random
+
+from repro.datacenter import MachineSpec
+from repro.reporting import render_table
+from repro.scheduling import run_architecture
+from repro.sim import Simulator
+from repro.workload import MMPPArrivals, TaskProfile, VicissitudeMix, WorkloadGenerator
+
+
+def bursty_trace(seed: int):
+    generator = WorkloadGenerator(
+        MMPPArrivals(quiet_rate=0.08, burst_rate=1.2, quiet_duration=50.0,
+                     burst_duration=15.0, rng=random.Random(seed)),
+        mix=VicissitudeMix.steady(
+            (TaskProfile("mix", runtime_mean=18.0, runtime_sigma=0.9,
+                         cores_choices=(1, 2, 4)),)),
+        tasks_per_job=3.0, rng=random.Random(seed + 1))
+    return generator.generate(horizon=400.0)
+
+
+def build_e10():
+    results = {}
+    for architecture in ("centralized", "hierarchical", "decentralized"):
+        stats = run_architecture(
+            architecture, bursty_trace(seed=17), n_sites=4,
+            machines_per_site=2, spec=MachineSpec(cores=8, memory=1e9),
+            seed=18)
+        results[architecture] = stats
+    return results
+
+
+def test_exp_architectures(benchmark, show):
+    results = benchmark.pedantic(build_e10, rounds=1, iterations=1)
+    centralized = results["centralized"]["slowdown_mean"]
+    hierarchical = results["hierarchical"]["slowdown_mean"]
+    decentralized = results["decentralized"]["slowdown_mean"]
+    # Contract: knowledge orders performance (small tolerance on the
+    # centralized/hierarchical boundary — aggregation is nearly free
+    # when sites are symmetric).
+    assert centralized <= hierarchical * 1.1
+    assert hierarchical < decentralized
+    completed = {m["completed"] for m in results.values()}
+    assert len(completed) == 1  # every architecture served all work
+    rows = [(name, f"{m['slowdown_mean']:.2f}", f"{m['slowdown_p95']:.2f}",
+             f"{m['wait_mean']:.1f}")
+            for name, m in results.items()]
+    show(render_table(
+        ["Architecture", "Mean slowdown", "p95 slowdown", "Mean wait [s]"],
+        rows,
+        title="E10. RM ARCHITECTURES ON ONE BURSTY TRACE "
+              "(DGSIM-STYLE [131], EQUAL TOTAL CAPACITY)."))

@@ -1,0 +1,79 @@
+"""E4 — the Graphalytics cross-platform study ([42], [45], §6.6).
+
+Runs the full platform x algorithm x dataset matrix, the strong- and
+weak-scaling curves, and the robustness (variability) analysis.
+Reproduction contract (the shape of [45]'s findings): the native
+engine wins everywhere, the MapReduce engine loses everywhere, strong
+scaling is monotone but sub-linear (barriers), and the disk-based
+engine's *relative* penalty is largest on small inputs (job overhead
+dominates — the P-A-D interaction).
+"""
+
+from repro.graphproc import GraphalyticsHarness, default_workload
+from repro.reporting import render_series, render_table
+
+
+def build_e4():
+    harness = GraphalyticsHarness(default_workload(scale=250, seed=7))
+    suite = harness.run_suite()
+    ranking = harness.rank_platforms(suite)
+    strong = harness.strong_scaling("dataflow-engine", "pr", "uniform",
+                                    worker_counts=(1, 2, 4, 8, 16))
+    weak = harness.weak_scaling("dataflow-engine", "bfs", base_scale=100,
+                                worker_counts=(1, 2, 4))
+    variability = {
+        platform: harness.variability(platform, "bfs", repetitions=8,
+                                      scale=150)
+        for platform in ("mapreduce-engine", "native-engine")}
+
+    # Overhead amortization: with the iteration count fixed (PageRank),
+    # growing the dataset amortizes each platform's fixed job overhead
+    # into throughput (EVPS); the high-overhead disk engine gains the
+    # most, relatively — the P-A-D interaction of [45].
+    small = GraphalyticsHarness(default_workload(scale=60, seed=8))
+    large = GraphalyticsHarness(default_workload(scale=4000, seed=8))
+    gains = {}
+    for platform in ("mapreduce-engine", "native-engine"):
+        evps_small = small.run_one(platform, "pr", "uniform").evps
+        evps_large = large.run_one(platform, "pr", "uniform").evps
+        gains[platform] = evps_large / evps_small
+    return suite, ranking, strong, weak, variability, gains
+
+
+def test_exp_graphalytics(benchmark, show):
+    (suite, ranking, strong, weak, variability,
+     gains) = benchmark.pedantic(build_e4, rounds=1, iterations=1)
+    assert len(suite) == 3 * 6 * 3
+    # Contract: stable platform ordering.
+    assert [name for name, _ in ranking] == [
+        "native-engine", "dataflow-engine", "mapreduce-engine"]
+    # Contract: strong scaling monotone, sub-linear at 16 workers.
+    speedups = [s for _, s in strong]
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert 1.0 < speedups[-1] < 16.0
+    # Contract: both platforms gain throughput at scale (overhead
+    # amortizes), and the high-overhead disk engine gains the most.
+    assert gains["mapreduce-engine"] > gains["native-engine"] > 1.0
+    # Contract: runtime variability exists and is reported.
+    assert all(v["cv"] >= 0.0 for v in variability.values())
+
+    rank_rows = [(name, f"{gmean:.3f}") for name, gmean in ranking]
+    var_rows = [(platform, f"{v['cv']:.3f}", f"{v['p95_over_median']:.2f}")
+                for platform, v in variability.items()]
+    show(render_table(["Platform", "Geo-mean runtime [s]"], rank_rows,
+                      title="E4a. PLATFORM RANKING OVER THE FULL "
+                            "GRAPHALYTICS MATRIX (54 CELLS).")
+         + "\n\n"
+         + render_series(strong,
+                         title="E4b. STRONG SCALING, PAGERANK ON "
+                               "DATAFLOW ENGINE (workers -> speedup).")
+         + "\n\n"
+         + render_series(weak,
+                         title="E4c. WEAK SCALING EFFICIENCY, BFS "
+                               "(workers -> efficiency).")
+         + "\n\n"
+         + render_table(["Platform", "CV", "p95/median"], var_rows,
+                        title="E4d. ROBUSTNESS: RUNTIME VARIABILITY.")
+         + f"\n\nOverhead amortization (EVPS gain, 60 -> 4000 vertices): "
+           f"mapreduce {gains['mapreduce-engine']:.0f}x, "
+           f"native {gains['native-engine']:.0f}x.")

@@ -1,0 +1,107 @@
+"""E9 — interoperation of assemblies (C10): delegation, wide-area
+analytics, and computation on protected data.
+
+Three C10 capabilities on one federated deployment: (a) service
+delegation absorbs a local overload; (b) wide-area analytics sweeps
+the aggregation/degradation frontier of [125]; (c) the secure sum of
+[129] aggregates site loads without exposing any site's value.
+Reproduction contract: delegation serves everything FCFS-locally could
+not; aggregation is exact at a fraction of full-transfer traffic;
+sampling error shrinks as traffic grows; the secure total is exact
+while every published share is masked.
+"""
+
+import random
+
+from repro.datacenter import (
+    Datacenter,
+    Federation,
+    MachineSpec,
+    SiteData,
+    WideAreaAnalytics,
+    homogeneous_cluster,
+    least_loaded_offload,
+    secure_sum,
+)
+from repro.reporting import render_kv, render_table
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+def run_delegation():
+    sim = Simulator()
+    sites = [Datacenter(sim, [homogeneous_cluster(
+        f"{name}-c", 2, MachineSpec(cores=4, memory=1e9))], name=name)
+        for name in ("eu", "us", "ap")]
+    federation = Federation(
+        sim, sites,
+        latency={("eu", "us"): 0.1, ("eu", "ap"): 0.25, ("us", "ap"): 0.18},
+        policy=least_loaded_offload(threshold=0.6))
+    tasks = [Task(runtime=30.0, cores=4, name=f"t{i}") for i in range(18)]
+
+    def feeder(sim):
+        for task in tasks:
+            federation.submit(task, "eu")
+            yield sim.timeout(0.5)
+
+    sim.run(until=sim.process(feeder(sim)))
+    sim.run(until=5000.0)
+    assert all(t.state is TaskState.FINISHED for t in tasks)
+    per_site = {dc.name: len(dc.completed_tasks) for dc in sites}
+    return federation, per_site
+
+
+def build_e9():
+    federation, per_site = run_delegation()
+
+    rng = random.Random(13)
+    sites_data = [SiteData(name, tuple(rng.gauss(100.0, 15.0)
+                                       for _ in range(500)))
+                  for name in ("eu", "us", "ap")]
+    analytics = WideAreaAnalytics(sites_data, rng=random.Random(14))
+    frontier = analytics.pareto_frontier(sample_fractions=(0.02, 0.1, 0.5))
+
+    site_loads = {name: float(count) for name, count in per_site.items()}
+    total, published = secure_sum(site_loads, rng=random.Random(15))
+    return federation, per_site, frontier, site_loads, total, published
+
+
+def test_exp_interoperation(benchmark, show):
+    (federation, per_site, frontier, site_loads, total,
+     published) = benchmark.pedantic(build_e9, rounds=1, iterations=1)
+    # (a) Delegation happened and work spread beyond the home site.
+    assert federation.offloaded_tasks > 0
+    assert sum(per_site.values()) == 18
+    assert per_site["us"] + per_site["ap"] == federation.offloaded_tasks
+    # (b) Aggregation exact & cheapest; full exact & costliest; sampling
+    # error non-increasing with traffic.
+    aggregate = next(r for r in frontier if r.strategy == "aggregate")
+    full = next(r for r in frontier if r.strategy == "full")
+    samples = [r for r in frontier if r.strategy == "sample"]
+    assert aggregate.relative_error < 1e-9
+    assert full.relative_error == 0.0
+    assert aggregate.bytes_transferred < min(
+        r.bytes_transferred for r in samples)
+    cheap, *_, rich = sorted(samples, key=lambda r: r.bytes_transferred)
+    assert rich.relative_error <= cheap.relative_error + 0.02
+    # (c) Secure sum exact up to mask-cancellation rounding; no share
+    # reveals a site's load.
+    assert abs(total - sum(site_loads.values())) < 1e-6
+    for name, load in site_loads.items():
+        assert abs(published[name] - load) > 1.0
+
+    frontier_rows = [(r.strategy, r.bytes_transferred,
+                      f"{r.relative_error:.4f}") for r in frontier]
+    show(render_kv([
+        ("tasks served per site",
+         ", ".join(f"{k}={v}" for k, v in sorted(per_site.items()))),
+        ("offloaded", federation.offloaded_tasks),
+        ("wide-area seconds paid",
+         round(federation.wide_area_seconds, 2)),
+        ("secure-sum total (exact)", total),
+    ], title="E9a. SERVICE DELEGATION + SECURE AGGREGATION (C10).")
+         + "\n\n"
+         + render_table(["Strategy", "Bytes", "Relative error"],
+                        frontier_rows,
+                        title="E9b. WIDE-AREA ANALYTICS: THE "
+                              "AGGREGATION/DEGRADATION FRONTIER [125]."))

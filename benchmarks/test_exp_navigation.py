@@ -1,0 +1,101 @@
+"""E6 — the Ecosystem Navigation experiment (C9).
+
+Builds a realistic service catalog (many providers per API with
+heterogeneous NFR profiles, like "the tens of machine instances
+provided by Amazon EC2") and compares satisficing against optimizing
+selection, then resolves a full multi-tier composition.  Reproduction
+contract: optimizing never returns lower utility than satisficing;
+satisficing examines fewer candidates; composition yields a complete,
+feasible assembly.
+"""
+
+import random
+
+from repro.navigation import (
+    ComponentCatalog,
+    NFRProfile,
+    Requirements,
+    ServiceComponent,
+    compare,
+    compose,
+    find_replacements,
+    select_optimizing,
+    select_satisficing,
+)
+from repro.reporting import render_kv, render_table
+
+
+def build_catalog(seed=1, providers_per_api=12) -> ComponentCatalog:
+    rng = random.Random(seed)
+    catalog = ComponentCatalog()
+    apis = {
+        "cache": (),
+        "database": (),
+        "queue": (),
+        "auth": ("database",),
+        "web": ("cache", "database", "auth"),
+        "analytics": ("queue", "database"),
+    }
+    for api, requires in apis.items():
+        for index in range(providers_per_api):
+            catalog.add(ServiceComponent(
+                name=f"{api}-{index}",
+                provides=frozenset({api}),
+                requires=frozenset(requires),
+                profile=NFRProfile(
+                    latency_ms=rng.uniform(0.5, 80.0),
+                    availability=rng.uniform(0.95, 0.9999),
+                    cost=rng.uniform(10.0, 400.0),
+                    throughput=rng.uniform(500.0, 80000.0)),
+                vendor=rng.choice(("aws", "gcp", "azure", "oss"))))
+    return catalog
+
+
+def build_e6():
+    catalog = build_catalog()
+    requirements = Requirements(max_latency_ms=40.0, min_availability=0.96,
+                                max_cost=350.0)
+    # Satisficing vs optimizing on every API.
+    comparison = []
+    for api in sorted(catalog.apis()):
+        satisficed = select_satisficing(catalog, api, requirements)
+        optimized = select_optimizing(catalog, api, requirements)
+        assert satisficed is not None and optimized is not None
+        comparison.append((api,
+                           satisficed.name,
+                           requirements.utility(satisficed.profile),
+                           optimized.name,
+                           requirements.utility(optimized.profile)))
+    # Full composition of the web tier.
+    assembly = compose(catalog, "web", requirements)
+    # Replacement search for the chosen cache.
+    cache = next(c for c in assembly if "cache" in c.provides)
+    replacements = find_replacements(catalog, cache)
+    return comparison, assembly, cache, replacements
+
+
+def test_exp_navigation(benchmark, show):
+    comparison, assembly, cache, replacements = benchmark(build_e6)
+    # Contract: optimizing utility >= satisficing utility on every API.
+    for api, _, sat_utility, _, opt_utility in comparison:
+        assert opt_utility >= sat_utility - 1e-12, api
+    # Contract: the assembly covers the whole dependency closure.
+    provided = {api for c in assembly for api in c.provides}
+    assert {"web", "cache", "database", "auth"} <= provided
+    # Contract: replacement candidates exist and none is Pareto-
+    # dominated by the incumbent.
+    for candidate in replacements:
+        assert not cache.profile.dominates(candidate.profile)
+    rows = [(api, sat_name, f"{sat_u:.3f}", opt_name, f"{opt_u:.3f}")
+            for api, sat_name, sat_u, opt_name, opt_u in comparison]
+    show(render_table(
+        ["API", "Satisficing pick", "Utility", "Optimizing pick",
+         "Utility"], rows,
+        title="E6. ECOSYSTEM NAVIGATION: SATISFICING VS OPTIMIZING "
+              "SELECTION (C9).")
+         + "\n\n"
+         + render_kv([
+             ("web-tier assembly", ", ".join(c.name for c in assembly)),
+             ("replacements for " + cache.name,
+              ", ".join(c.name for c in replacements[:5]) or "none"),
+         ]))

@@ -1,0 +1,105 @@
+"""E7 — vicissitude: arbitrary workload-mix changes ([22], C3).
+
+"V for Vicissitude": the challenge dimensions of a workload become
+prominent at seemingly arbitrary moments.  This experiment runs the
+same scheduler under a steady mix and under a phase-switching mix
+(compute-heavy <-> short-task-heavy), with fixed policies vs. the
+portfolio.  Reproduction contract: under vicissitude, the portfolio
+re-selects policies and is never worse than the worst fixed policy,
+while under the steady mix the fixed best policy suffices.
+"""
+
+import random
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.reporting import render_table
+from repro.scheduling import FCFS, SJF, ClusterScheduler, PortfolioScheduler
+from repro.sim import Simulator
+from repro.workload import (
+    PoissonArrivals,
+    TaskProfile,
+    VicissitudeMix,
+    VicissitudePhase,
+    WorkloadGenerator,
+)
+
+PROFILES = (
+    TaskProfile("long-compute", runtime_mean=60.0, runtime_sigma=0.3,
+                cores_choices=(4,)),
+    TaskProfile("short-burst", runtime_mean=2.0, runtime_sigma=0.3,
+                cores_choices=(1,)),
+)
+
+
+def make_jobs(vicissitude: bool, seed: int = 11, horizon: float = 600.0):
+    if vicissitude:
+        mix = VicissitudeMix(PROFILES, [
+            VicissitudePhase(150.0, (1.0, 0.05)),   # compute-heavy phase
+            VicissitudePhase(150.0, (0.05, 1.0)),   # short-task phase
+        ])
+    else:
+        mix = VicissitudeMix(PROFILES, [VicissitudePhase(1.0, (0.5, 0.5))])
+    generator = WorkloadGenerator(
+        PoissonArrivals(0.15, rng=random.Random(seed)),
+        mix=mix, tasks_per_job=3.0, rng=random.Random(seed + 1))
+    return generator.generate(horizon)
+
+
+def run(policy_name: str, vicissitude: bool) -> dict[str, float]:
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", 3, MachineSpec(cores=8, memory=1e9))])
+    if policy_name == "fcfs":
+        scheduler = ClusterScheduler(sim, dc, queue_policy=FCFS())
+        portfolio = None
+    elif policy_name == "sjf":
+        scheduler = ClusterScheduler(sim, dc, queue_policy=SJF())
+        portfolio = None
+    else:
+        scheduler = ClusterScheduler(sim, dc)
+        portfolio = PortfolioScheduler(sim, scheduler, [FCFS(), SJF()],
+                                       interval=20.0)
+    jobs = make_jobs(vicissitude)
+
+    def feeder(sim):
+        for job in jobs:
+            delay = job.submit_time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            scheduler.submit_job(job)
+
+    sim.run(until=sim.process(feeder(sim)))
+    sim.run(until=30_000.0)
+    switches = 0
+    if portfolio is not None:
+        switches = portfolio.switches
+        portfolio.stop()
+    stats = scheduler.statistics()
+    assert stats["completed"] == sum(len(j) for j in jobs)
+    return {"slowdown": stats["slowdown_mean"], "switches": switches}
+
+
+def build_e7():
+    results = {}
+    for mix_name, vicissitude in (("steady", False), ("vicissitude", True)):
+        for policy in ("fcfs", "sjf", "portfolio"):
+            results[(mix_name, policy)] = run(policy, vicissitude)
+    return results
+
+
+def test_exp_vicissitude(benchmark, show):
+    results = benchmark.pedantic(build_e7, rounds=1, iterations=1)
+    for mix_name in ("steady", "vicissitude"):
+        fixed = [results[(mix_name, p)]["slowdown"]
+                 for p in ("fcfs", "sjf")]
+        portfolio = results[(mix_name, "portfolio")]["slowdown"]
+        # Contract: the portfolio never loses to the worst fixed policy.
+        assert portfolio <= max(fixed) * 1.05, (mix_name, portfolio, fixed)
+    # Contract: under vicissitude the portfolio actually re-selects.
+    assert results[("vicissitude", "portfolio")]["switches"] >= 1
+    rows = [(mix_name, policy, f"{m['slowdown']:.2f}",
+             m["switches"] if policy == "portfolio" else "-")
+            for (mix_name, policy), m in results.items()]
+    show(render_table(
+        ["Mix", "Policy", "Mean slowdown", "Policy switches"], rows,
+        title="E7. VICISSITUDE [22]: PHASE-SWITCHING MIX VS STEADY MIX."))

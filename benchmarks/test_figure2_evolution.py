@@ -1,0 +1,26 @@
+"""F2 — regenerate Figure 2: the technology lineage leading to MCS."""
+
+from repro.evolution import TechnologyTimeline
+from repro.reporting import render_table
+
+
+def build_figure2():
+    timeline = TechnologyTimeline()
+    # Figure 2's structural claims.
+    assert timeline.mcs_inputs() == {"Distributed Systems",
+                                     "Software Engineering",
+                                     "Performance Engineering"}
+    ancestors = timeline.ancestors("Massivizing Computer Systems")
+    assert "Computer Systems" in ancestors  # lineage reaches the root
+    assert "Grid Computing" in ancestors
+    return timeline.table_rows()
+
+
+def test_figure2_evolution(benchmark, show):
+    rows = benchmark(build_figure2)
+    assert rows[-1][2] == "Massivizing Computer Systems"
+    assert rows[-1][0] == "late-2010s"
+    decades = [row[0] for row in rows]
+    assert decades[0] == "1960s"
+    show(render_table(["Decade", "Field", "Technology"], rows,
+                      title="FIGURE 2. MAIN TECHNOLOGIES LEADING TO MCS."))

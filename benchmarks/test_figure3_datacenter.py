@@ -1,0 +1,74 @@
+"""F3 — regenerate Figure 3: the datacenter reference architecture (§6.1).
+
+Two parts: (a) the 5+1-layer registry with sub-layers, and (b) a live
+datacenter run whose scheduling decisions flow through the Schopf-style
+eleven-stage pipeline — the paper's envisioned "reference architecture
+for scheduling in datacenters".
+"""
+
+from repro.datacenter import (
+    Datacenter,
+    DatacenterStack,
+    LayeredComponent,
+    MachineSpec,
+    ReferenceArchitecture,
+    homogeneous_cluster,
+)
+from repro.reporting import render_table
+from repro.scheduling import STAGE_DESCRIPTIONS, SchedulingPipeline, SchedulingStage
+from repro.sim import Simulator
+from repro.workload import Task
+
+
+def build_figure3():
+    architecture = ReferenceArchitecture()
+    rows = [(layer.number, layer.name,
+             "; ".join(layer.sublayers) if layer.sublayers else "-")
+            for layer in architecture.core_layers()]
+    rows.append((6, "DevOps", "orthogonal: monitoring, logging, benchmarking"))
+
+    # Assemble a complete stack against the architecture.
+    stack = DatacenterStack("reference-deployment")
+    stack.place(LayeredComponent("sql-console", 5,
+                                 sublayer="High Level Languages"))
+    stack.place(LayeredComponent("spark", 4, sublayer="Execution Engine"))
+    stack.place(LayeredComponent("yarn", 3))
+    stack.place(LayeredComponent("zookeeper", 2))
+    stack.place(LayeredComponent("kvm", 1))
+    assert stack.is_complete()
+
+    # Drive placements through the eleven-stage scheduling pipeline.
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "dc", 8, MachineSpec(cores=8, memory=1e9))])
+    pipeline = SchedulingPipeline()
+    placed = 0
+    for i in range(32):
+        task = Task(runtime=5.0, cores=2, name=f"t{i}")
+        decision = pipeline.decide(task, dc.machines(),
+                                   until=SchedulingStage.CLEANUP)
+        assert len(decision.stages_run) == 11
+        if decision.placed:
+            dc.execute(task, decision.machine)
+            placed += 1
+    sim.run(until=1000.0)
+    assert placed == 32
+    assert len(dc.completed_tasks) == 32
+    return rows, placed
+
+
+def test_figure3_datacenter(benchmark, show):
+    rows, placed = benchmark(build_figure3)
+    assert [row[1] for row in rows] == [
+        "Front-end", "Back-end", "Resources", "Operations Service",
+        "Infrastructure", "DevOps"]
+    stage_rows = [(stage.value, stage.name.replace("_", " ").lower(),
+                   STAGE_DESCRIPTIONS[stage]) for stage in SchedulingStage]
+    show(render_table(["#", "Layer", "Sub-layers"], rows,
+                      title="FIGURE 3. REFERENCE ARCHITECTURE FOR "
+                            "DATACENTERS (2 LEVELS OF DEPTH).")
+         + "\n\n"
+         + render_table(["#", "Stage", "Responsibility"], stage_rows,
+                        title="THE 11-STAGE SCHEDULING PIPELINE "
+                              "(AFTER SCHOPF [155]).")
+         + f"\n{placed} tasks placed and executed through the pipeline.")

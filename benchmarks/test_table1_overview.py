@@ -1,0 +1,26 @@
+"""T1 — regenerate Table 1: An overview of MCS (§3.1)."""
+
+from repro.core import MCSOverview
+from repro.reporting import render_table
+
+
+def build_table1() -> list[tuple[str, str, str]]:
+    return MCSOverview().table_rows()
+
+
+def test_table1_overview(benchmark, show):
+    rows = benchmark(build_table1)
+    # Reproduction contract: all four question groups, in paper order,
+    # with the paper's aspect rows.
+    questions = [row[0] for row in rows]
+    assert questions[0] == "Who?"
+    assert set(questions) == {"Who?", "What?", "How?", "Related"}
+    aspects = [row[1] for row in rows]
+    for expected in ("Stakeholders", "Central Paradigm", "Focus",
+                     "Concerns", "Design", "Quantitative",
+                     "Exper. & Sim.", "Empirical", "Instrumentation",
+                     "Formal models", "Computer science",
+                     "Systems/complexity", "Problem solving"):
+        assert expected in aspects
+    show(render_table(["Question", "Aspect", "Content"], rows,
+                      title="TABLE 1. AN OVERVIEW OF MCS."))

@@ -1,0 +1,26 @@
+"""T2 — regenerate Table 2: the 10 key principles of MCS (§4)."""
+
+from repro.core import PrincipleRegistry, PrincipleType
+from repro.reporting import render_table
+
+
+def build_table2():
+    registry = PrincipleRegistry()
+    # Exercise the P9 corollary: a revision cycle must round-trip.
+    revised = registry.revise()
+    assert revised.revision == registry.revision + 1
+    return registry.table_rows()
+
+
+def test_table2_principles(benchmark, show):
+    rows = benchmark(build_table2)
+    assert len(rows) == 10
+    # The paper's grouping: P1-P5 Systems, P6-P7 Peopleware, P8-P10
+    # Methodology.
+    assert [r[0] for r in rows] == (["Systems"] * 5 + ["Peopleware"] * 2
+                                    + ["Methodology"] * 3)
+    assert rows[0][2] == "The Age of Ecosystems"
+    assert rows[4][2] == "super-distributed"
+    assert rows[9][2] == "ethics and transparency"
+    show(render_table(["Type", "Index", "Key aspects"], rows,
+                      title="TABLE 2. THE 10 KEY PRINCIPLES OF MCS."))

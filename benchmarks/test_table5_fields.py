@@ -1,0 +1,26 @@
+"""T5 — regenerate Table 5: comparison of emerging fields (§7.3)."""
+
+from repro.core import FieldRegistry
+from repro.reporting import render_table
+
+
+def build_table5():
+    registry = FieldRegistry()
+    # The paper's stated conclusion from the table must be recomputable.
+    assert registry.closest_to_mcs().name == "Systems Biology"
+    return registry.table_rows()
+
+
+def test_table5_fields(benchmark, show):
+    rows = benchmark(build_table5)
+    assert len(rows) == 6
+    mcs = rows[-1]
+    assert mcs[0] == "MCS (this work)"
+    assert mcs[1] == "Systems complexity"
+    assert mcs[2] == "Distributed Systems"
+    assert mcs[3] == "DES"          # Design + Engineering + Scientific
+    assert mcs[5] == "ADHSP"        # the full methodology set
+    show(render_table(
+        ["Field (Decade)", "Crisis", "Continues", "Objectives", "Object",
+         "Methodology", "Character"],
+        rows, title="TABLE 5. COMPARISON OF FIELDS (MCS ROW ENVISIONED)."))

@@ -1,0 +1,134 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro                 # list available artifacts
+    python -m repro table2          # print one artifact
+    python -m repro all             # print everything
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .core import (
+    ChallengeRegistry,
+    CurriculumRegistry,
+    FieldRegistry,
+    MCSOverview,
+    PrincipleRegistry,
+    UseCaseRegistry,
+)
+from .datacenter import ReferenceArchitecture
+from .evolution import TechnologyTimeline
+from .faas import FaaSReferenceArchitecture
+from .gaming import GamingArchitecture
+from .reporting import render_table
+
+__all__ = ["main"]
+
+
+def _table1() -> str:
+    return render_table(["Question", "Aspect", "Content"],
+                        MCSOverview().table_rows(),
+                        title="TABLE 1. AN OVERVIEW OF MCS.")
+
+
+def _table2() -> str:
+    return render_table(["Type", "Index", "Key aspects"],
+                        PrincipleRegistry().table_rows(),
+                        title="TABLE 2. THE 10 KEY PRINCIPLES OF MCS.")
+
+
+def _table3() -> str:
+    return render_table(["Type", "Index", "Key aspects", "Princip."],
+                        ChallengeRegistry().table_rows(),
+                        title="TABLE 3. THE 20 CHALLENGES RAISED BY MCS.")
+
+
+def _table4() -> str:
+    return render_table(["Loc.", "Description", "Key aspects"],
+                        UseCaseRegistry().table_rows(),
+                        title="TABLE 4. SELECTED USE-CASES FOR MCS.")
+
+
+def _table5() -> str:
+    return render_table(
+        ["Field (Decade)", "Crisis", "Continues", "Obj.", "Object",
+         "Method.", "Char."],
+        FieldRegistry().table_rows(),
+        title="TABLE 5. COMPARISON OF FIELDS.")
+
+
+def _figure2() -> str:
+    return render_table(["Decade", "Field", "Technology"],
+                        TechnologyTimeline().table_rows(),
+                        title="FIGURE 2. MAIN TECHNOLOGIES LEADING TO MCS.")
+
+
+def _figure3() -> str:
+    return render_table(["#", "Layer", "Responsibility"],
+                        ReferenceArchitecture().table_rows(),
+                        title="FIGURE 3. REFERENCE ARCHITECTURE FOR "
+                              "DATACENTERS.")
+
+
+def _figure4() -> str:
+    return render_table(["Function", "Main topics"],
+                        GamingArchitecture().table_rows(),
+                        title="FIGURE 4. ONLINE GAMING ARCHITECTURE.")
+
+
+def _figure5() -> str:
+    return render_table(["#", "Layer", "Responsibility"],
+                        FaaSReferenceArchitecture().table_rows(),
+                        title="FIGURE 5. FAAS REFERENCE ARCHITECTURE.")
+
+
+def _curriculum() -> str:
+    rows = [(a.index, a.title, a.audience)
+            for a in CurriculumRegistry()]
+    return render_table(["#", "Addition", "Audience"], rows,
+                        title="C12. THE BOKMCS CURRICULUM ADDITIONS.")
+
+
+ARTIFACTS = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "table5": _table5,
+    "figure2": _figure2,
+    "figure3": _figure3,
+    "figure4": _figure4,
+    "figure5": _figure5,
+    "curriculum": _curriculum,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        print("\nAvailable artifacts:")
+        for name in sorted(ARTIFACTS):
+            print(f"  {name}")
+        print("  all")
+        return 0
+    name = argv[0]
+    if name == "all":
+        for artifact in sorted(ARTIFACTS):
+            print(ARTIFACTS[artifact]())
+            print()
+        return 0
+    if name not in ARTIFACTS:
+        print(f"unknown artifact {name!r}; try: "
+              f"{', '.join(sorted(ARTIFACTS))}, all", file=sys.stderr)
+        return 2
+    print(ARTIFACTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

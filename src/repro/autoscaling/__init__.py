@@ -1,0 +1,36 @@
+"""Autoscaling substrate (S6): autoscalers and elasticity metrics.
+
+The general and workflow-specific autoscaler families of [43], the
+SPEC elasticity metric set of [32], and a controller binding them to
+the datacenter substrate.
+"""
+
+from .autoscalers import (
+    AUTOSCALERS,
+    AdaptAutoscaler,
+    Autoscaler,
+    AutoscalerInput,
+    ConPaaSAutoscaler,
+    HistAutoscaler,
+    ReactAutoscaler,
+    RegAutoscaler,
+    TokenAutoscaler,
+)
+from .controller import AutoscalingController
+from .elasticity import ElasticityReport, StepSeries, evaluate_elasticity
+
+__all__ = [
+    "AutoscalerInput",
+    "Autoscaler",
+    "ReactAutoscaler",
+    "AdaptAutoscaler",
+    "HistAutoscaler",
+    "RegAutoscaler",
+    "ConPaaSAutoscaler",
+    "TokenAutoscaler",
+    "AUTOSCALERS",
+    "StepSeries",
+    "ElasticityReport",
+    "evaluate_elasticity",
+    "AutoscalingController",
+]

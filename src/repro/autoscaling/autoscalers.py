@@ -1,0 +1,254 @@
+"""Autoscalers: the policy families of Ilyushkin et al. [43] (C6, C7).
+
+The paper's autoscaler study compared general autoscalers (React,
+Adapt, Hist, Reg, ConPaaS) with workflow-specific ones (Token, Plan)
+and found that *no single autoscaler dominates* — the result that
+motivates portfolio selection of autoscalers (C7: "selecting a good
+autoscaler that matches the needs of the current workload").
+
+Each autoscaler maps an :class:`AutoscalerInput` demand snapshot to a
+target machine count.  The implementations are faithful to the
+*decision structure* of the originals (reactive, trend-damped,
+histogram-predictive, regression-predictive, threshold-hysteretic, and
+parallelism-token-based); their original deployment glue is out of
+scope.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+__all__ = [
+    "AutoscalerInput",
+    "Autoscaler",
+    "ReactAutoscaler",
+    "AdaptAutoscaler",
+    "HistAutoscaler",
+    "RegAutoscaler",
+    "ConPaaSAutoscaler",
+    "TokenAutoscaler",
+    "AUTOSCALERS",
+]
+
+
+@dataclass(frozen=True)
+class AutoscalerInput:
+    """Demand snapshot passed to an autoscaler at each evaluation.
+
+    Attributes:
+        time: Current time.
+        queued_cores: Cores demanded by queued (eligible) tasks.
+        running_cores: Cores of currently running tasks.
+        eligible_tasks: Number of tasks ready to run (workflow tokens).
+        soon_eligible_tasks: Tasks one dependency away from eligibility
+            (the Token autoscaler's look-ahead).
+        machines: Currently leased machines.
+        cores_per_machine: Capacity of one machine.
+        max_machines: Upper bound on the lease.
+    """
+
+    time: float
+    queued_cores: int
+    running_cores: int
+    eligible_tasks: int
+    soon_eligible_tasks: int
+    machines: int
+    cores_per_machine: int
+    max_machines: int
+
+    @property
+    def demand_cores(self) -> int:
+        """Total instantaneous demand in cores."""
+        return self.queued_cores + self.running_cores
+
+    def machines_for(self, cores: float) -> int:
+        """Machines needed to serve ``cores``, clamped to the bounds."""
+        needed = math.ceil(max(0.0, cores) / max(1, self.cores_per_machine))
+        return max(0, min(needed, self.max_machines))
+
+
+class Autoscaler(Protocol):
+    """Maps a demand snapshot to a target machine count."""
+
+    name: str
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Target number of machines for the next interval."""
+        ...  # pragma: no cover
+
+
+class ReactAutoscaler:
+    """Purely reactive: provision exactly the current demand.
+
+    The simplest general autoscaler in [43]: no prediction, immediate
+    response, hence fast on rising load and wasteful on spiky load.
+    """
+
+    name = "react"
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Provision exactly the current demand."""
+        return snapshot.machines_for(snapshot.demand_cores)
+
+
+class AdaptAutoscaler:
+    """Trend-damped reactive scaling.
+
+    Moves toward current demand but limits the per-step change to a
+    fraction of the gap, weighted by how consistently demand has been
+    moving in one direction — an adaptation of Ali-Eldin's controller.
+    """
+
+    name = "adapt"
+
+    def __init__(self, damping: float = 0.5, history: int = 5) -> None:
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        self.damping = damping
+        self._demands: deque[int] = deque(maxlen=max(2, history))
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Move toward demand, damped unless the trend is consistent."""
+        self._demands.append(snapshot.demand_cores)
+        target = snapshot.machines_for(snapshot.demand_cores)
+        gap = target - snapshot.machines
+        if len(self._demands) >= 2:
+            diffs = [b - a for a, b in zip(self._demands, list(self._demands)[1:])]
+            consistent = (all(d >= 0 for d in diffs)
+                          or all(d <= 0 for d in diffs))
+            weight = 1.0 if consistent else self.damping
+        else:
+            weight = self.damping
+        step = int(math.copysign(math.ceil(abs(gap) * weight), gap)) if gap else 0
+        return max(0, min(snapshot.machines + step, snapshot.max_machines))
+
+
+class HistAutoscaler:
+    """Histogram-based prediction (after Urgaonkar et al.).
+
+    Keeps a histogram of observed demand and provisions the
+    ``percentile`` of history — robust to spikes, slow to adopt new
+    regimes.
+    """
+
+    name = "hist"
+
+    def __init__(self, percentile: float = 0.95, window: int = 100) -> None:
+        if not 0.0 < percentile <= 1.0:
+            raise ValueError("percentile must be in (0, 1]")
+        self.percentile = percentile
+        self._history: deque[int] = deque(maxlen=window)
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Provision the configured percentile of demand history."""
+        self._history.append(snapshot.demand_cores)
+        ordered = sorted(self._history)
+        rank = min(len(ordered) - 1,
+                   max(0, math.ceil(self.percentile * len(ordered)) - 1))
+        return snapshot.machines_for(ordered[rank])
+
+
+class RegAutoscaler:
+    """Linear-regression extrapolation of demand (after Iqbal et al.).
+
+    Fits a least-squares line through the recent demand history and
+    provisions for the value predicted one horizon ahead.
+    """
+
+    name = "reg"
+
+    def __init__(self, window: int = 10, horizon: float = 1.0) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.horizon = horizon
+        self._samples: deque[tuple[float, int]] = deque(maxlen=window)
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Provision the regression-extrapolated demand."""
+        self._samples.append((snapshot.time, snapshot.demand_cores))
+        if len(self._samples) < 2:
+            return snapshot.machines_for(snapshot.demand_cores)
+        times = [t for t, _ in self._samples]
+        values = [v for _, v in self._samples]
+        n = len(times)
+        mean_t = sum(times) / n
+        mean_v = sum(values) / n
+        denom = sum((t - mean_t) ** 2 for t in times)
+        if denom == 0:
+            return snapshot.machines_for(mean_v)
+        slope = sum((t - mean_t) * (v - mean_v)
+                    for t, v in self._samples) / denom
+        step = times[-1] - times[-2]
+        predicted = mean_v + slope * (times[-1] + self.horizon * step - mean_t)
+        return snapshot.machines_for(max(predicted,
+                                         float(snapshot.running_cores)))
+
+
+class ConPaaSAutoscaler:
+    """Threshold-plus-hysteresis scaling (after the ConPaaS platform).
+
+    Scales up when utilization of the current lease exceeds ``high``,
+    down when it falls below ``low``; in between it holds, avoiding
+    oscillation.
+    """
+
+    name = "conpaas"
+
+    def __init__(self, low: float = 0.3, high: float = 0.8) -> None:
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError("need 0 <= low < high <= 1")
+        self.low = low
+        self.high = high
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Scale up/down on utilization thresholds, hold in between."""
+        capacity = max(1, snapshot.machines * snapshot.cores_per_machine)
+        utilization = snapshot.demand_cores / capacity
+        if utilization > self.high:
+            return min(snapshot.machines + max(1, snapshot.machines // 2),
+                       snapshot.max_machines)
+        if utilization < self.low:
+            return max(snapshot.machines_for(snapshot.demand_cores),
+                       snapshot.machines - max(1, snapshot.machines // 4), 0)
+        return snapshot.machines
+
+
+class TokenAutoscaler:
+    """Workflow-aware token scaling (the Token policy of [43]).
+
+    Provisions for the current level of parallelism of the workflow
+    mix: each eligible task is a token, and tasks one dependency away
+    count fractionally (``lookahead``) since they may become eligible
+    within the provisioning interval.
+    """
+
+    name = "token"
+
+    def __init__(self, lookahead: float = 0.5) -> None:
+        if not 0.0 <= lookahead <= 1.0:
+            raise ValueError("lookahead must be in [0, 1]")
+        self.lookahead = lookahead
+
+    def decide(self, snapshot: AutoscalerInput) -> int:
+        """Provision for the current workflow parallelism (tokens)."""
+        tokens = (snapshot.eligible_tasks
+                  + self.lookahead * snapshot.soon_eligible_tasks)
+        mean_cores = (snapshot.queued_cores / snapshot.eligible_tasks
+                      if snapshot.eligible_tasks else snapshot.cores_per_machine)
+        cores = tokens * mean_cores + snapshot.running_cores
+        return snapshot.machines_for(cores)
+
+
+#: Name -> zero-argument factory for every autoscaler family.
+AUTOSCALERS = {
+    "react": ReactAutoscaler,
+    "adapt": AdaptAutoscaler,
+    "hist": HistAutoscaler,
+    "reg": RegAutoscaler,
+    "conpaas": ConPaaSAutoscaler,
+    "token": TokenAutoscaler,
+}

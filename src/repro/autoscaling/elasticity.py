@@ -1,0 +1,131 @@
+"""SPEC elasticity metrics (Herbst et al. [32]; P3, C3, C13).
+
+The paper repeatedly cites "the over ten available metrics" of
+elasticity [32].  This module implements the SPEC Research Cloud
+group's core set over a pair of piecewise-constant *demand* and
+*supply* curves:
+
+- provisioning accuracy (under/over), normalized and raw;
+- wrong-provisioning timeshare (under/over);
+- instability (supply and demand moving in opposite directions);
+- jitter (supply adjustments per time unit);
+- an aggregate elastic deviation used to rank autoscalers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["StepSeries", "ElasticityReport", "evaluate_elasticity"]
+
+
+class StepSeries:
+    """A right-continuous step function given by change points.
+
+    ``StepSeries([(0, 2), (10, 5)])`` is 2 on [0, 10) and 5 afterwards.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]) -> None:
+        if not points:
+            raise ValueError("a step series needs at least one point")
+        times = [t for t, _ in points]
+        if times != sorted(times):
+            raise ValueError("change points must be time-ordered")
+        if len(set(times)) != len(times):
+            raise ValueError("duplicate change-point times")
+        self.times = list(times)
+        self.values = [v for _, v in points]
+
+    def at(self, time: float) -> float:
+        """Value of the series at ``time`` (its first value before start)."""
+        index = bisect_right(self.times, time) - 1
+        return self.values[max(0, index)]
+
+    def change_times(self) -> list[float]:
+        """Times at which the value actually changes."""
+        changes = [self.times[0]]
+        for t, previous, current in zip(self.times[1:], self.values,
+                                        self.values[1:]):
+            if current != previous:
+                changes.append(t)
+        return changes
+
+    def segments(self, start: float, end: float) -> list[tuple[float, float, float]]:
+        """(seg_start, seg_end, value) pieces covering [start, end)."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        boundaries = sorted({start, end,
+                             *(t for t in self.times if start < t < end)})
+        return [(a, b, self.at(a))
+                for a, b in zip(boundaries, boundaries[1:])]
+
+
+@dataclass(frozen=True)
+class ElasticityReport:
+    """The SPEC elasticity metric set for one autoscaler run.
+
+    All accuracies are in resource units (cores or machines) averaged
+    over time; timeshares and instability are fractions of the horizon;
+    jitter is supply changes per time unit.
+    """
+
+    accuracy_under: float
+    accuracy_over: float
+    timeshare_under: float
+    timeshare_over: float
+    instability: float
+    jitter: float
+
+    def elastic_deviation(self, under_weight: float = 2.0) -> float:
+        """Aggregate badness score; lower is better.
+
+        Under-provisioning is weighted more heavily (``under_weight``)
+        than over-provisioning because it violates user SLOs rather
+        than merely wasting money — the convention of [43]'s ranking.
+        """
+        return (under_weight * (self.accuracy_under + self.timeshare_under)
+                + self.accuracy_over + self.timeshare_over)
+
+
+def evaluate_elasticity(demand: StepSeries, supply: StepSeries,
+                        start: float, end: float) -> ElasticityReport:
+    """Compute the SPEC elasticity metrics over ``[start, end)``."""
+    if end <= start:
+        raise ValueError("end must exceed start")
+    horizon = end - start
+    boundaries = sorted({start, end,
+                         *(t for t in demand.times if start < t < end),
+                         *(t for t in supply.times if start < t < end)})
+    under_area = over_area = 0.0
+    under_time = over_time = 0.0
+    for a, b in zip(boundaries, boundaries[1:]):
+        dt = b - a
+        d = demand.at(a)
+        s = supply.at(a)
+        if d > s:
+            under_area += (d - s) * dt
+            under_time += dt
+        elif s > d:
+            over_area += (s - d) * dt
+            over_time += dt
+
+    # Instability: fraction of time supply and demand trend oppositely.
+    unstable_time = 0.0
+    for a, b in zip(boundaries, boundaries[1:]):
+        mid_next = min(b, end)
+        d_trend = demand.at(mid_next) - demand.at(a)
+        s_trend = supply.at(mid_next) - supply.at(a)
+        if d_trend * s_trend < 0:
+            unstable_time += b - a
+
+    supply_changes = [t for t in supply.change_times() if start < t < end]
+    return ElasticityReport(
+        accuracy_under=under_area / horizon,
+        accuracy_over=over_area / horizon,
+        timeshare_under=under_time / horizon,
+        timeshare_over=over_time / horizon,
+        instability=unstable_time / horizon,
+        jitter=len(supply_changes) / horizon,
+    )

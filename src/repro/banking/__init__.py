@@ -1,0 +1,30 @@
+"""Banking substrate (S13): the regulated PSD2 ecosystem (§6.4).
+
+The open-banking market model (banks, fintechs, API grants), a
+deadline-bearing payment-clearing pipeline with refunds, and the
+compliance checker covering PSD2, GDPR, and stress-test rules.
+"""
+
+from .compliance import ComplianceChecker, ComplianceReport, ComplianceViolation
+from .ecosystem import OpenBankingEcosystem, Participant, ParticipantKind
+from .transactions import (
+    ClearingSystem,
+    Payment,
+    PaymentStatus,
+    edf_order,
+    fcfs_order,
+)
+
+__all__ = [
+    "ParticipantKind",
+    "Participant",
+    "OpenBankingEcosystem",
+    "Payment",
+    "PaymentStatus",
+    "ClearingSystem",
+    "fcfs_order",
+    "edf_order",
+    "ComplianceViolation",
+    "ComplianceReport",
+    "ComplianceChecker",
+]

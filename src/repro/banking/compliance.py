@@ -1,0 +1,168 @@
+"""Regulatory compliance checking (§6.4: PSD2, GDPR, stress tests).
+
+Banking "has seen a significant change, combining two contrary
+directions: (i) more regulation in terms of increased liability and
+lower tolerance for risk, with (ii) increased openness of the market".
+
+:class:`ComplianceChecker` evaluates an open-banking market and its
+clearing logs against three regulation families the paper names:
+PSD2 (open APIs, clearing deadlines, refunds), GDPR (data-access
+minimization), and Basel-style stress tests (capacity under a
+submission surge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .ecosystem import OpenBankingEcosystem, ParticipantKind
+from .transactions import ClearingSystem, Payment
+
+__all__ = ["ComplianceViolation", "ComplianceReport", "ComplianceChecker"]
+
+
+@dataclass(frozen=True)
+class ComplianceViolation:
+    """One detected violation."""
+
+    regulation: str
+    subject: str
+    description: str
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of a compliance audit."""
+
+    violations: list[ComplianceViolation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def compliant(self) -> bool:
+        """Whether the audit found no violations."""
+        return not self.violations
+
+    def by_regulation(self, regulation: str) -> list[ComplianceViolation]:
+        """Violations of one regulation family."""
+        return [v for v in self.violations if v.regulation == regulation]
+
+
+class ComplianceChecker:
+    """Audits a market plus its clearing systems.
+
+    Args:
+        deadline_target: Minimum fraction of payments that must clear
+            within their PSD2 deadline.
+        refund_deadline_target: Same target applied to refund payments.
+    """
+
+    def __init__(self, deadline_target: float = 0.99,
+                 refund_deadline_target: float = 0.95) -> None:
+        for target in (deadline_target, refund_deadline_target):
+            if not 0.0 < target <= 1.0:
+                raise ValueError("targets must be in (0, 1]")
+        self.deadline_target = deadline_target
+        self.refund_deadline_target = refund_deadline_target
+
+    def audit(self, market: OpenBankingEcosystem,
+              clearing_systems: Sequence[tuple[str, ClearingSystem]] = (),
+              ) -> ComplianceReport:
+        """Run all checks; returns the consolidated report."""
+        report = ComplianceReport()
+        self._check_open_apis(market, report)
+        for bank_name, clearing in clearing_systems:
+            self._check_deadlines(bank_name, clearing, report)
+            self._check_refunds(bank_name, clearing, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # PSD2: open APIs
+    # ------------------------------------------------------------------
+    def _check_open_apis(self, market: OpenBankingEcosystem,
+                         report: ComplianceReport) -> None:
+        report.checks_run += 1
+        for bank in market.non_compliant_banks():
+            report.violations.append(ComplianceViolation(
+                regulation="PSD2",
+                subject=bank,
+                description="bank has not opened its payment API to any "
+                            "third party"))
+
+    # ------------------------------------------------------------------
+    # PSD2: clearing deadlines
+    # ------------------------------------------------------------------
+    def _check_deadlines(self, bank: str, clearing: ClearingSystem,
+                         report: ComplianceReport) -> None:
+        report.checks_run += 1
+        compliance = clearing.deadline_compliance()
+        if compliance < self.deadline_target:
+            report.violations.append(ComplianceViolation(
+                regulation="PSD2",
+                subject=bank,
+                description=f"only {compliance:.1%} of payments cleared "
+                            f"within deadline (target "
+                            f"{self.deadline_target:.1%})"))
+
+    # ------------------------------------------------------------------
+    # PSD2: refund right
+    # ------------------------------------------------------------------
+    def _check_refunds(self, bank: str, clearing: ClearingSystem,
+                       report: ComplianceReport) -> None:
+        report.checks_run += 1
+        refunds = [p for p in clearing.cleared if p.refund_of is not None]
+        if not refunds:
+            return
+        on_time = sum(1 for p in refunds if p.met_deadline) / len(refunds)
+        if on_time < self.refund_deadline_target:
+            report.violations.append(ComplianceViolation(
+                regulation="PSD2",
+                subject=bank,
+                description=f"only {on_time:.1%} of refunds met their "
+                            f"deadline (target "
+                            f"{self.refund_deadline_target:.1%})"))
+
+    # ------------------------------------------------------------------
+    # GDPR: data minimization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def gdpr_data_minimization(payments: Sequence[Payment],
+                               accessed_fields: Sequence[str],
+                               ) -> list[ComplianceViolation]:
+        """Flag access to fields a payment initiator does not need.
+
+        GDPR [172] requires data minimization; a payment initiator
+        needs amount/timing fields, not the account holder's profile.
+        """
+        permitted = {"amount", "submit_time", "deadline", "provider",
+                     "status", "payment_id"}
+        violations = []
+        for field_name in accessed_fields:
+            if field_name not in permitted:
+                violations.append(ComplianceViolation(
+                    regulation="GDPR",
+                    subject=field_name,
+                    description=f"initiator accessed non-essential field "
+                                f"{field_name!r} on "
+                                f"{len(payments)} payments"))
+        return violations
+
+    # ------------------------------------------------------------------
+    # Basel-style stress test
+    # ------------------------------------------------------------------
+    @staticmethod
+    def stress_capacity_needed(surge_rate: float, service_time: float,
+                               deadline_slack: float) -> int:
+        """Clearing lanes needed to survive a submission surge.
+
+        From queueing first principles: stability requires capacity
+        ``c > surge_rate * service_time``; the deadline adds headroom
+        inversely proportional to the allowed slack.  This is the
+        planning number a Basel stress test asks the bank to defend.
+        """
+        if surge_rate <= 0 or service_time <= 0 or deadline_slack <= 0:
+            raise ValueError("all stress parameters must be positive")
+        import math
+        base = surge_rate * service_time
+        headroom = 1.0 + service_time / deadline_slack
+        return max(1, math.ceil(base * headroom))

@@ -1,0 +1,139 @@
+"""The PSD2 open-banking ecosystem (paper §6.4).
+
+"PSD2 is disruptive, because banks have to open up payment
+functionality through APIs to other financial operators, and give
+access to personal data to customers ... banks are now forced to
+integrate into a much more complex software ecosystem."
+
+:class:`OpenBankingEcosystem` models the participants — banks (with
+their legacy application estates; ING alone runs over 1,400 [173]),
+fintechs, and consumer-facing brands — and the PSD2 API grants between
+them.  It exposes the assembly as a paper-§2.1
+:class:`~repro.core.entity.Ecosystem`, which qualifies exactly because
+regulation forces heterogeneous, multi-owner integration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.entity import CollectiveFunction, Ecosystem, System
+
+__all__ = ["ParticipantKind", "Participant", "OpenBankingEcosystem"]
+
+
+class ParticipantKind(enum.Enum):
+    """Kinds of PSD2 market participants named in §6.4."""
+
+    BANK = "bank"
+    FINTECH = "fintech"
+    CONSUMER_BRAND = "consumer-brand"
+    REGULATOR = "regulator"
+
+
+@dataclass
+class Participant:
+    """One organization in the open-banking market."""
+
+    name: str
+    kind: ParticipantKind
+    #: Number of in-house applications (banks: legacy estates, [173]).
+    applications: int = 1
+    #: Fraction of those applications that are legacy (pre-PSD2).
+    legacy_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.applications < 0:
+            raise ValueError("applications must be non-negative")
+        if not 0.0 <= self.legacy_fraction <= 1.0:
+            raise ValueError("legacy_fraction must be in [0, 1]")
+
+
+class OpenBankingEcosystem:
+    """Participants plus the PSD2 API-access grants between them."""
+
+    def __init__(self, name: str = "psd2-market") -> None:
+        self.name = name
+        self._participants: dict[str, Participant] = {}
+        #: (provider, consumer) pairs: provider's payment API is open
+        #: to consumer.
+        self._grants: set[tuple[str, str]] = set()
+
+    def join(self, participant: Participant) -> Participant:
+        """Register a market participant."""
+        if participant.name in self._participants:
+            raise ValueError(f"participant {participant.name!r} already joined")
+        self._participants[participant.name] = participant
+        return participant
+
+    def get(self, name: str) -> Participant:
+        """Look up a participant."""
+        if name not in self._participants:
+            raise KeyError(name)
+        return self._participants[name]
+
+    def participants(self, kind: ParticipantKind | None = None,
+                     ) -> list[Participant]:
+        """All participants, optionally filtered by kind."""
+        values = list(self._participants.values())
+        if kind is None:
+            return values
+        return [p for p in values if p.kind is kind]
+
+    # ------------------------------------------------------------------
+    # PSD2 grants
+    # ------------------------------------------------------------------
+    def grant_api_access(self, provider: str, consumer: str) -> None:
+        """Open ``provider``'s payment API to ``consumer``."""
+        if self.get(provider).kind is not ParticipantKind.BANK:
+            raise ValueError("only banks provide payment APIs under PSD2")
+        self.get(consumer)
+        self._grants.add((provider, consumer))
+
+    def has_access(self, provider: str, consumer: str) -> bool:
+        """Whether ``consumer`` may initiate payments at ``provider``."""
+        return (provider, consumer) in self._grants
+
+    def psd2_compliant_grants(self) -> list[str]:
+        """Banks that have opened their API to at least one third party.
+
+        PSD2's core obligation: every bank must open up payment
+        functionality.  Returns the banks that have.
+        """
+        providers = {provider for provider, _ in self._grants}
+        return sorted(b.name for b in
+                      self.participants(ParticipantKind.BANK)
+                      if b.name in providers)
+
+    def non_compliant_banks(self) -> list[str]:
+        """Banks that have not opened any API (PSD2 violations)."""
+        compliant = set(self.psd2_compliant_grants())
+        return sorted(b.name for b in
+                      self.participants(ParticipantKind.BANK)
+                      if b.name not in compliant)
+
+    # ------------------------------------------------------------------
+    # Ecosystem view (§2.1)
+    # ------------------------------------------------------------------
+    def as_ecosystem(self) -> Ecosystem:
+        """The market as a paper-§2.1 ecosystem of autonomous systems."""
+        eco = Ecosystem(self.name, function="retail payments",
+                        owner="market")
+        for participant in self._participants.values():
+            sub = Ecosystem(participant.name,
+                            function=participant.kind.value,
+                            owner=participant.name)
+            n_legacy = round(participant.applications
+                             * participant.legacy_fraction)
+            for index in range(participant.applications):
+                sub.add(System(f"{participant.name}-app-{index}",
+                               function="financial application",
+                               owner=participant.name,
+                               kind=participant.kind.value,
+                               legacy=index < n_legacy))
+            eco.add(sub)
+        eco.register_collective_function(
+            CollectiveFunction("clear-retail-payments",
+                               required_fraction=0.6))
+        return eco

@@ -1,0 +1,183 @@
+"""Payment clearing with PSD2 deadlines (§6.4).
+
+"PSD2 enforces strict performance targets, including deadlines in
+clearing financial transactions such as payments, contracts, and
+salaries; and offer more customer rights, including the right to
+refund."
+
+The :class:`ClearingSystem` processes payments on a bank's limited
+clearing capacity.  Payments are deadline-bearing; the service order is
+pluggable (FCFS vs. earliest-deadline-first), which the benchmarks use
+to show that the regulated NFR (deadline compliance) is a *scheduling*
+property — MCS's P4 applied to banking.  Refunds (the PSD2 customer
+right) re-enter the same pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..sim import Simulator, Store
+
+__all__ = ["PaymentStatus", "Payment", "ClearingSystem",
+           "fcfs_order", "edf_order"]
+
+_payment_ids = itertools.count(1)
+
+
+class PaymentStatus(enum.Enum):
+    """Lifecycle of a payment."""
+
+    SUBMITTED = "submitted"
+    CLEARED = "cleared"
+    REFUNDED = "refunded"
+
+
+@dataclass
+class Payment:
+    """One payment instruction."""
+
+    amount: float
+    submit_time: float
+    deadline: float
+    initiator: str = "customer"
+    provider: str = "bank"
+    payment_id: int = field(default_factory=lambda: next(_payment_ids))
+    status: PaymentStatus = PaymentStatus.SUBMITTED
+    cleared_time: float | None = None
+    refund_of: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError("amount must be positive")
+        if self.deadline < self.submit_time:
+            raise ValueError("deadline lies before submission")
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the payment cleared within its PSD2 deadline."""
+        return (self.cleared_time is not None
+                and self.cleared_time <= self.deadline)
+
+
+def fcfs_order(queue: list[Payment], now: float) -> Payment:
+    """Serve the oldest payment first."""
+    return min(queue, key=lambda p: (p.submit_time, p.payment_id))
+
+
+def edf_order(queue: list[Payment], now: float) -> Payment:
+    """Serve the payment with the earliest deadline first."""
+    return min(queue, key=lambda p: (p.deadline, p.payment_id))
+
+
+class ClearingSystem:
+    """A bank's payment-clearing pipeline with limited capacity.
+
+    Args:
+        sim: The simulator.
+        capacity: Parallel clearing lanes.
+        service_time: Seconds to clear one payment.
+        order: Queue discipline (``fcfs_order`` or ``edf_order``).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 2,
+                 service_time: float = 1.0,
+                 order: Callable[[list[Payment], float], Payment]
+                 = fcfs_order) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if service_time <= 0:
+            raise ValueError("service_time must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.service_time = service_time
+        self.order = order
+        self.queue: list[Payment] = []
+        self.cleared: list[Payment] = []
+        self.refunds_issued: list[Payment] = []
+        self._busy = 0
+        self._wakeup = sim.event()
+        self._stopped = False
+        for lane in range(capacity):
+            sim.process(self._lane(), name=f"clearing-lane-{lane}")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, payment: Payment) -> Payment:
+        """Enter a payment into the clearing queue."""
+        if payment.status is not PaymentStatus.SUBMITTED:
+            raise ValueError(f"payment {payment.payment_id} is "
+                             f"{payment.status.value}")
+        self.queue.append(payment)
+        self._poke()
+        return payment
+
+    def refund(self, original: Payment) -> Payment:
+        """Exercise the PSD2 refund right on a cleared payment.
+
+        The refund is a new payment in the opposite direction with its
+        own deadline, entering the same clearing pipeline.
+        """
+        if original.status is not PaymentStatus.CLEARED:
+            raise ValueError("only cleared payments can be refunded")
+        original.status = PaymentStatus.REFUNDED
+        refund = Payment(amount=original.amount,
+                         submit_time=self.sim.now,
+                         deadline=self.sim.now + (original.deadline
+                                                  - original.submit_time),
+                         initiator=original.provider,
+                         provider=original.initiator,
+                         refund_of=original.payment_id)
+        self.refunds_issued.append(refund)
+        return self.submit(refund)
+
+    # ------------------------------------------------------------------
+    # Clearing lanes
+    # ------------------------------------------------------------------
+    def _poke(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _lane(self):
+        while not self._stopped:
+            while not self.queue:
+                yield self._wakeup
+                if self._wakeup.triggered:
+                    self._wakeup = self.sim.event()
+                if self._stopped:
+                    return
+            payment = self.order(self.queue, self.sim.now)
+            self.queue.remove(payment)
+            self._busy += 1
+            yield self.sim.timeout(self.service_time)
+            self._busy -= 1
+            payment.cleared_time = self.sim.now
+            payment.status = PaymentStatus.CLEARED
+            self.cleared.append(payment)
+            self._poke()
+
+    def stop(self) -> None:
+        """Stop the clearing lanes."""
+        self._stopped = True
+        self._poke()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def deadline_compliance(self) -> float:
+        """Fraction of cleared payments that met their deadline."""
+        if not self.cleared:
+            return 1.0
+        return sum(1 for p in self.cleared
+                   if p.met_deadline) / len(self.cleared)
+
+    def mean_clearing_latency(self) -> float:
+        """Mean submit-to-clear latency over cleared payments."""
+        if not self.cleared:
+            raise RuntimeError("no cleared payments")
+        return sum(p.cleared_time - p.submit_time
+                   for p in self.cleared) / len(self.cleared)

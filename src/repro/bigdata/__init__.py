@@ -1,0 +1,27 @@
+"""Big-data ecosystem substrate (S9): the Figure 1 stack made executable.
+
+The four-layer component catalog with the MapReduce and Pregel
+sub-ecosystems, plus workflow-DAG simulators of both engines.
+"""
+
+from .engines import mapreduce_job, pregel_job, straggler_slowdown
+from .stack import (
+    BIGDATA_COMPONENTS,
+    EXECUTION_LAYERS,
+    SUB_ECOSYSTEMS,
+    BigDataStack,
+    StackComponent,
+    StackLayer,
+)
+
+__all__ = [
+    "StackLayer",
+    "StackComponent",
+    "BIGDATA_COMPONENTS",
+    "SUB_ECOSYSTEMS",
+    "EXECUTION_LAYERS",
+    "BigDataStack",
+    "mapreduce_job",
+    "pregel_job",
+    "straggler_slowdown",
+]

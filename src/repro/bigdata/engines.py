@@ -1,0 +1,106 @@
+"""MapReduce and Pregel execution-engine simulators (Figure 1, §2.1).
+
+The two sub-ecosystems Figure 1 highlights become executable here:
+
+- :func:`mapreduce_job` builds the classic two-phase DAG — M map tasks,
+  a shuffle barrier, R reduce tasks — whose makespan exhibits the
+  straggler sensitivity that motivates the paper's *vicissitude*
+  discussion [22].
+- :func:`pregel_job` builds a BSP (Valiant's Bulk Synchronous Parallel,
+  one of the paper's §3.5 computational-model imports) superstep chain:
+  W workers per superstep with a global barrier between supersteps,
+  and per-superstep work that decays as vertices converge.
+
+Both produce :class:`~repro.workload.workflow.Workflow` objects, so the
+same scheduler, autoscaler, and failure machinery applies to them —
+the point of an ecosystem: components compose across layers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..workload.task import Task
+from ..workload.workflow import Workflow
+
+__all__ = ["mapreduce_job", "pregel_job", "straggler_slowdown"]
+
+
+def mapreduce_job(n_maps: int = 16, n_reduces: int = 4,
+                  map_runtime: float = 10.0, reduce_runtime: float = 20.0,
+                  shuffle_overhead: float = 2.0,
+                  straggler_fraction: float = 0.0,
+                  straggler_factor: float = 5.0,
+                  rng: random.Random | None = None,
+                  submit_time: float = 0.0) -> Workflow:
+    """A MapReduce job as a workflow DAG.
+
+    Every reduce depends on every map (the shuffle barrier); the
+    shuffle cost is charged to the reduce runtimes.  A fraction of map
+    tasks can be made stragglers (``straggler_factor`` x slower), the
+    classic MapReduce tail pathology.
+    """
+    if n_maps < 1 or n_reduces < 0:
+        raise ValueError("need n_maps >= 1 and n_reduces >= 0")
+    if not 0.0 <= straggler_fraction <= 1.0:
+        raise ValueError("straggler_fraction must be in [0, 1]")
+    if straggler_factor < 1.0:
+        raise ValueError("straggler_factor must be >= 1")
+    rng = rng or random.Random(0)
+    wf = Workflow("mapreduce", submit_time=submit_time)
+    n_stragglers = round(n_maps * straggler_fraction)
+    maps = []
+    for i in range(n_maps):
+        runtime = max(0.1, rng.gauss(map_runtime, map_runtime / 10))
+        if i < n_stragglers:
+            runtime *= straggler_factor
+        maps.append(wf.add_task(Task(runtime, name=f"map-{i}",
+                                     kind="mapreduce")))
+    for j in range(n_reduces):
+        runtime = max(0.1, rng.gauss(reduce_runtime, reduce_runtime / 10))
+        wf.add_task(Task(runtime + shuffle_overhead, name=f"reduce-{j}",
+                         kind="mapreduce"), dependencies=maps)
+    wf.validate()
+    return wf
+
+
+def pregel_job(n_workers: int = 8, n_supersteps: int = 6,
+               superstep_runtime: float = 10.0,
+               convergence: float = 0.7,
+               rng: random.Random | None = None,
+               submit_time: float = 0.0) -> Workflow:
+    """A Pregel/BSP job as a workflow DAG.
+
+    Each superstep has ``n_workers`` tasks separated from the next
+    superstep by a global barrier (every worker of step s+1 depends on
+    every worker of step s).  Per-superstep work decays geometrically
+    by ``convergence`` — modeling active-vertex sets shrinking as the
+    computation converges (BFS frontiers, PageRank residuals).
+    """
+    if n_workers < 1 or n_supersteps < 1:
+        raise ValueError("need n_workers >= 1 and n_supersteps >= 1")
+    if not 0.0 < convergence <= 1.0:
+        raise ValueError("convergence must be in (0, 1]")
+    rng = rng or random.Random(0)
+    wf = Workflow("pregel", submit_time=submit_time)
+    previous: list[Task] = []
+    work = superstep_runtime
+    for s in range(n_supersteps):
+        current = []
+        for w in range(n_workers):
+            runtime = max(0.05, rng.gauss(work, work / 10))
+            current.append(wf.add_task(
+                Task(runtime, name=f"ss{s}-w{w}", kind="pregel"),
+                dependencies=previous))
+        previous = current
+        work *= convergence
+    wf.validate()
+    return wf
+
+
+def straggler_slowdown(clean_makespan: float,
+                       straggler_makespan: float) -> float:
+    """Relative makespan inflation caused by stragglers (>= 1)."""
+    if clean_makespan <= 0:
+        raise ValueError("clean_makespan must be positive")
+    return straggler_makespan / clean_makespan

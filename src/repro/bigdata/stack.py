@@ -1,0 +1,121 @@
+"""The big-data ecosystem stack (paper Figure 1, §2.1).
+
+Figure 1 shows the four-layer reference architecture of the big-data
+ecosystem — *High-Level Language*, *Programming Model*, *Execution
+Engine*, *Storage Engine* — with the components of the MapReduce and
+Pregel sub-ecosystems highlighted as "the minimum set of layers
+necessary for execution".
+
+This module regenerates the figure as a component catalog and makes
+the minimum-set rule checkable: :meth:`BigDataStack.execution_ready`
+verifies an assembly covers the bottom three layers, exactly the
+figure's highlighted criterion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["StackLayer", "StackComponent", "BIGDATA_COMPONENTS",
+           "SUB_ECOSYSTEMS", "BigDataStack"]
+
+
+class StackLayer(enum.Enum):
+    """The four conceptual layers of Figure 1, top to bottom."""
+
+    HIGH_LEVEL_LANGUAGE = "High-Level Language"
+    PROGRAMMING_MODEL = "Programming Model"
+    EXECUTION_ENGINE = "Execution Engine"
+    STORAGE_ENGINE = "Storage Engine"
+
+
+#: Layers an application must cover to execute (Figure 1's highlight:
+#: "the minimum set of layers necessary for execution" excludes the
+#: optional high-level language).
+EXECUTION_LAYERS = (StackLayer.PROGRAMMING_MODEL,
+                    StackLayer.EXECUTION_ENGINE,
+                    StackLayer.STORAGE_ENGINE)
+
+
+@dataclass(frozen=True)
+class StackComponent:
+    """One component box of Figure 1."""
+
+    name: str
+    layer: StackLayer
+    vendor: str = "apache"
+
+
+#: The component catalog of Figure 1 (representative, as in the paper).
+BIGDATA_COMPONENTS: tuple[StackComponent, ...] = (
+    StackComponent("Hive", StackLayer.HIGH_LEVEL_LANGUAGE),
+    StackComponent("Pig", StackLayer.HIGH_LEVEL_LANGUAGE),
+    StackComponent("SQL", StackLayer.HIGH_LEVEL_LANGUAGE, vendor="ansi"),
+    StackComponent("MapReduce", StackLayer.PROGRAMMING_MODEL),
+    StackComponent("Pregel", StackLayer.PROGRAMMING_MODEL, vendor="google"),
+    StackComponent("Dataflow", StackLayer.PROGRAMMING_MODEL, vendor="google"),
+    StackComponent("Hadoop", StackLayer.EXECUTION_ENGINE),
+    StackComponent("Spark", StackLayer.EXECUTION_ENGINE, vendor="databricks"),
+    StackComponent("Giraph", StackLayer.EXECUTION_ENGINE),
+    StackComponent("HDFS", StackLayer.STORAGE_ENGINE),
+    StackComponent("S3", StackLayer.STORAGE_ENGINE, vendor="amazon"),
+    StackComponent("HBase", StackLayer.STORAGE_ENGINE),
+)
+
+#: The two sub-ecosystems Figure 1 highlights, as component-name sets.
+SUB_ECOSYSTEMS: dict[str, tuple[str, ...]] = {
+    "mapreduce": ("MapReduce", "Hadoop", "HDFS"),
+    "pregel": ("Pregel", "Giraph", "HDFS"),
+}
+
+
+class BigDataStack:
+    """An assembled big-data application stack."""
+
+    def __init__(self, name: str,
+                 components: Iterable[StackComponent] = ()) -> None:
+        self.name = name
+        self._components: list[StackComponent] = list(components)
+
+    @classmethod
+    def sub_ecosystem(cls, name: str) -> "BigDataStack":
+        """Build one of the Figure 1 highlighted sub-ecosystems."""
+        if name not in SUB_ECOSYSTEMS:
+            raise KeyError(f"unknown sub-ecosystem {name!r}; "
+                           f"known: {sorted(SUB_ECOSYSTEMS)}")
+        catalog = {c.name: c for c in BIGDATA_COMPONENTS}
+        return cls(name, [catalog[n] for n in SUB_ECOSYSTEMS[name]])
+
+    def add(self, component: StackComponent) -> StackComponent:
+        """Place one component in the stack."""
+        self._components.append(component)
+        return component
+
+    def __iter__(self) -> Iterator[StackComponent]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def at_layer(self, layer: StackLayer) -> list[StackComponent]:
+        """Components at one Figure 1 layer."""
+        return [c for c in self._components if c.layer is layer]
+
+    def covered_layers(self) -> set[StackLayer]:
+        """Layers with at least one component."""
+        return {c.layer for c in self._components}
+
+    def missing_execution_layers(self) -> list[StackLayer]:
+        """Execution-critical layers not yet covered."""
+        covered = self.covered_layers()
+        return [layer for layer in EXECUTION_LAYERS if layer not in covered]
+
+    def execution_ready(self) -> bool:
+        """Figure 1's criterion: bottom three layers are all covered."""
+        return not self.missing_execution_layers()
+
+    def vendors(self) -> set[str]:
+        """Distinct vendors — a heterogeneity signal (§2.1)."""
+        return {c.vendor for c in self._components}

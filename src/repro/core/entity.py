@@ -1,0 +1,195 @@
+"""Systems and computer ecosystems (paper §2.1).
+
+The paper adopts Meadows' definition of a *system* — "a set of elements
+or parts coherently organized and interconnected in a pattern or
+structure that produces a characteristic set of behaviors" — and defines
+a *computer ecosystem* as a heterogeneous, recursive group of autonomous
+constituents with collective responsibility, non-functional properties
+beyond performance, and short- and long-term dynamics.
+
+These classes make those definitions executable: every scenario in this
+library (datacenter, FaaS, gaming, banking, big data) registers its
+components as :class:`System` objects inside an :class:`Ecosystem`, and
+the predicates below (:meth:`Ecosystem.is_ecosystem`,
+:meth:`Ecosystem.distribution_depth`, ...) implement the paper's
+qualification criteria, including the four "when is a system *not* an
+ecosystem" exclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+__all__ = ["System", "CollectiveFunction", "Ecosystem"]
+
+
+@dataclass
+class System:
+    """A system in Meadows' sense: parts, structure, and a purpose.
+
+    Attributes:
+        name: Identifier of the system.
+        function: The system's characteristic purpose ("execution engine",
+            "storage engine", ...).
+        owner: The organization operating the system.  Distinct owners
+            across constituents are one source of ecosystem heterogeneity.
+        kind: A coarse technology category ("compute", "storage",
+            "network", "middleware", "application", ...), the second
+            source of heterogeneity.
+        autonomous: Whether the system can operate independently if
+            allowed (ecosystem constituents must be autonomous).
+        legacy: Whether this is a legacy, tightly coupled component
+            (exclusion (ii) of §2.1).
+        audited: Whether the system is an audited, closed system
+            (exclusion (i) of §2.1).
+    """
+
+    name: str
+    function: str = ""
+    owner: str = "unknown"
+    kind: str = "component"
+    autonomous: bool = True
+    legacy: bool = False
+    audited: bool = False
+
+    def constituents(self) -> Sequence["System"]:
+        """Immediate parts; plain systems have none."""
+        return ()
+
+    def distribution_depth(self) -> int:
+        """Nesting depth of distributed composition (1 for a leaf system)."""
+        return 1
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.owner))
+
+
+@dataclass
+class CollectiveFunction:
+    """A function only the collective can perform (paper §2.1).
+
+    ``required_fraction`` is the minimum fraction of constituents that
+    must collaborate; the paper demands at least some collective
+    functions involve "a significant fraction of the ecosystem
+    constituents".
+    """
+
+    name: str
+    required_fraction: float = 0.5
+    action: Callable[..., object] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.required_fraction <= 1.0:
+            raise ValueError(
+                f"required_fraction must be in (0, 1], got {self.required_fraction}")
+
+
+class Ecosystem(System):
+    """A heterogeneous, recursive group of autonomous constituents.
+
+    An :class:`Ecosystem` is itself a :class:`System` so ecosystems
+    compose recursively — the paper's *super-distribution* (P5).
+    """
+
+    def __init__(self, name: str, function: str = "", owner: str = "unknown",
+                 constituents: Sequence[System] = ()) -> None:
+        super().__init__(name=name, function=function, owner=owner,
+                         kind="ecosystem")
+        self._constituents: list[System] = list(constituents)
+        self.collective_functions: list[CollectiveFunction] = []
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def add(self, constituent: System) -> System:
+        """Add a constituent (a system or, recursively, an ecosystem)."""
+        self._constituents.append(constituent)
+        return constituent
+
+    def constituents(self) -> Sequence[System]:
+        """Immediate constituents in insertion order."""
+        return tuple(self._constituents)
+
+    def walk(self) -> Iterator[System]:
+        """Depth-first iteration over all transitive constituents."""
+        for constituent in self._constituents:
+            yield constituent
+            if isinstance(constituent, Ecosystem):
+                yield from constituent.walk()
+
+    def distribution_depth(self) -> int:
+        """Levels of recursive distribution (P5, super-distribution)."""
+        if not self._constituents:
+            return 1
+        return 1 + max(c.distribution_depth() for c in self._constituents)
+
+    # ------------------------------------------------------------------
+    # Qualification criteria (§2.1)
+    # ------------------------------------------------------------------
+    def heterogeneity(self) -> float:
+        """Fraction in [0, 1] measuring constituent diversity.
+
+        Computed as the mean of owner-diversity and kind-diversity
+        (distinct values over constituent count).  A homogeneous,
+        single-owner group scores near 0.
+        """
+        systems = list(self.walk()) or [self]
+        owners = len({s.owner for s in systems})
+        kinds = len({s.kind for s in systems})
+        n = len(systems)
+        return ((owners - 1) / max(1, n - 1) + (kinds - 1) / max(1, n - 1)) / 2
+
+    def register_collective_function(
+            self, function: CollectiveFunction) -> CollectiveFunction:
+        """Declare a function that requires constituent collaboration."""
+        self.collective_functions.append(function)
+        return function
+
+    def has_collective_responsibility(self) -> bool:
+        """Whether some collective function needs a significant fraction.
+
+        The paper: "At least some of the collective functions involve the
+        collaboration of a significant fraction of the ecosystem
+        constituents" — we take "significant" as >= 50%.
+        """
+        return any(f.required_fraction >= 0.5 for f in self.collective_functions)
+
+    def disqualifications(self) -> list[str]:
+        """Reasons this group fails the paper's ecosystem definition.
+
+        Empty list means the group qualifies.  The checks mirror §2.1:
+        constituent autonomy, heterogeneity, collective responsibility,
+        and the audited/legacy exclusions.
+        """
+        reasons = []
+        systems = list(self.walk())
+        if len(systems) < 2:
+            reasons.append("fewer than two constituents")
+        if systems and not all(s.autonomous for s in systems):
+            reasons.append("contains non-autonomous constituents")
+        if self.heterogeneity() == 0.0:
+            reasons.append("constituents are homogeneous")
+        if not self.has_collective_responsibility():
+            reasons.append("no collective function involving a significant "
+                           "fraction of constituents")
+        if systems and all(s.legacy for s in systems):
+            reasons.append("legacy monolithic composition (exclusion ii)")
+        if self.audited:
+            reasons.append("audited closed system (exclusion i)")
+        return reasons
+
+    def is_ecosystem(self) -> bool:
+        """Whether the group qualifies as an ecosystem under §2.1."""
+        return not self.disqualifications()
+
+    def is_super_distributed(self) -> bool:
+        """Whether ecosystems nest inside this one (P5)."""
+        return any(isinstance(c, Ecosystem) for c in self.walk())
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.owner, "ecosystem"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Ecosystem {self.name!r} constituents={len(self._constituents)} "
+                f"depth={self.distribution_depth()}>")

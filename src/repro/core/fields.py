@@ -1,0 +1,165 @@
+"""Comparison of emerging fields of science (paper §7.3, Table 5).
+
+Table 5 places MCS alongside five other fields that emerged from a
+crisis within a parent discipline, using Ropohl's epistemological
+framework: objectives (Design / Engineering / Scientific), object,
+methodology and character, each encoded by single-letter acronyms the
+paper defines in the table footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "OBJECTIVE_CODES",
+    "METHODOLOGY_CODES",
+    "CHARACTER_CODES",
+    "FieldComparison",
+    "FIELDS",
+    "FieldRegistry",
+]
+
+#: Objective codes from the Table 5 footnote (Ropohl's framework).
+OBJECTIVE_CODES: dict[str, str] = {
+    "D": "Design",
+    "E": "Engineering",
+    "S": "Scientific",
+}
+
+#: Methodology codes from the Table 5 footnote.
+METHODOLOGY_CODES: dict[str, str] = {
+    "A": "abstraction",
+    "D": "design (abductive creation)",
+    "H": "hierarchy",
+    "I": "idealization",
+    "S": "simulation",
+    "P": "prototyping",
+}
+
+#: Character codes from the Table 5 footnote.
+CHARACTER_CODES: dict[str, str] = {
+    "A": "applicability",
+    "C": "approved by the scientific/design/engineering community",
+    "E": "empirically accurate",
+    "H": "harmony between results",
+    "M": "mathematically detailed",
+    "S": "simplicity",
+    "T": "truth",
+    "U": "universality",
+}
+
+
+@dataclass(frozen=True)
+class FieldComparison:
+    """One row of Table 5."""
+
+    name: str
+    decade: str
+    crisis: str
+    continues: str
+    objectives: str
+    object: str
+    methodology: str
+    character: str
+    envisioned: bool = False
+
+    def __post_init__(self) -> None:
+        for code in self.objectives:
+            if code not in OBJECTIVE_CODES:
+                raise ValueError(f"unknown objective code {code!r}")
+        for code in self.methodology:
+            if code not in METHODOLOGY_CODES:
+                raise ValueError(f"unknown methodology code {code!r}")
+        for code in self.character:
+            if code not in CHARACTER_CODES:
+                raise ValueError(f"unknown character code {code!r}")
+
+    def expand_objectives(self) -> list[str]:
+        """Objective codes expanded to their names."""
+        return [OBJECTIVE_CODES[c] for c in self.objectives]
+
+    def expand_methodology(self) -> list[str]:
+        """Methodology codes expanded to their names."""
+        return [METHODOLOGY_CODES[c] for c in self.methodology]
+
+    def expand_character(self) -> list[str]:
+        """Character codes expanded to their names."""
+        return [CHARACTER_CODES[c] for c in self.character]
+
+
+#: Table 5 of the paper (the MCS row is envisioned, as the caption notes).
+FIELDS: tuple[FieldComparison, ...] = (
+    FieldComparison("Modern Ecology", "1990s", "Biodiversity loss",
+                    "Ecology and Evolution", "DS", "Biosphere",
+                    "ADHS", "AC"),
+    FieldComparison("Modern Chem. Process", "1990s", "Process complexity",
+                    "Chemical Engineering", "DE", "Chemical proc.",
+                    "ADHSP", "ACEM"),
+    FieldComparison("Systems Biology", "2000s", "Systems complexity",
+                    "Molecular biology", "S", "Biological sys.",
+                    "AHS", "ACEMTU"),
+    FieldComparison("Modern Mech. Design", "2000s", "Process sustainability",
+                    "Technical Design", "DE", "Mechanical sys.",
+                    "DHSP", "ACEM"),
+    FieldComparison("Modern Optoelectronics", "2010s", "Artificial media",
+                    "Microwave technology", "S", "Metamaterials",
+                    "DHSP", "ACEMTU"),
+    FieldComparison("MCS", "this work", "Systems complexity",
+                    "Distributed Systems", "DES", "Ecosystems",
+                    "ADHSP", "ACES", envisioned=True),
+)
+
+
+class FieldRegistry:
+    """Queryable regeneration of Table 5."""
+
+    def __init__(self, fields: tuple[FieldComparison, ...] = FIELDS) -> None:
+        self._fields = fields
+
+    def __iter__(self) -> Iterator[FieldComparison]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def get(self, name: str) -> FieldComparison:
+        """Look up a field row by name."""
+        for field_row in self._fields:
+            if field_row.name == name:
+                return field_row
+        raise KeyError(name)
+
+    def mcs(self) -> FieldComparison:
+        """The (envisioned) MCS row."""
+        return self.get("MCS")
+
+    def closest_to_mcs(self) -> FieldComparison:
+        """The non-MCS field most similar to MCS under Table 5's encoding.
+
+        The paper singles out Systems Biology as closest to MCS; the
+        decisive feature is the shared *crisis* ("Systems complexity"),
+        which therefore dominates the score, with Jaccard similarity
+        over methodology and character codes breaking ties.
+        """
+        mcs = self.mcs()
+
+        def jaccard(a: str, b: str) -> float:
+            sa, sb = set(a), set(b)
+            return len(sa & sb) / len(sa | sb) if sa | sb else 1.0
+
+        def similarity(row: FieldComparison) -> float:
+            crisis_match = 2.0 if row.crisis == mcs.crisis else 0.0
+            return (crisis_match
+                    + jaccard(row.methodology, mcs.methodology)
+                    + jaccard(row.character, mcs.character))
+
+        candidates = [f for f in self._fields if f.name != "MCS"]
+        return max(candidates, key=similarity)
+
+    def table_rows(self) -> list[tuple[str, ...]]:
+        """Rows exactly as printed in Table 5."""
+        return [(f"{f.name} ({f.decade})", f.crisis, f.continues,
+                 f.objectives, f.object, f.methodology, f.character)
+                for f in self._fields]

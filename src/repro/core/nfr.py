@@ -1,0 +1,220 @@
+"""Non-functional requirements as first-class objects (P3, C3).
+
+The paper's Principle P3 makes non-functional properties "first-class
+concerns, composable and portable, whose relative importance and target
+values are dynamic".  Challenge C3 refines this into *spatial*
+fine-grained NFRs (per unit of work) and *temporal* fine-grained NFRs
+(targets that change over time).
+
+This module provides:
+
+- :class:`NFRKind` — the paper's catalogue of non-functional dimensions.
+- :class:`Requirement` — one target on one metric, with direction,
+  weight, spatial scope, and optional time-varying target schedule.
+- :class:`SLO` / :class:`SLA` — service-level objective/agreement
+  containers with satisficing evaluation (Simon's satisficing, §3.5:
+  "better than X" rather than optimal).
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["NFRKind", "Direction", "Requirement", "SLO", "SLA",
+           "SLAReport"]
+
+
+class NFRKind(enum.Enum):
+    """Non-functional dimensions named by the paper (P3, §2.1, [32])."""
+
+    PERFORMANCE = "performance"
+    AVAILABILITY = "availability"
+    RELIABILITY = "reliability"
+    SCALABILITY = "scalability"
+    ELASTICITY = "elasticity"
+    SECURITY = "security"
+    TRUST = "trust"
+    PRIVACY = "privacy"
+    COST = "cost"
+    RISK = "risk"
+    ISOLATION = "performance-isolation"
+    ENERGY = "energy"
+
+
+class Direction(enum.Enum):
+    """Whether smaller or larger measured values are better."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+    def satisfied(self, measured: float, target: float) -> bool:
+        """Satisficing test of ``measured`` against ``target``."""
+        if self is Direction.MINIMIZE:
+            return measured <= target
+        return measured >= target
+
+
+@dataclass
+class Requirement:
+    """A single non-functional requirement on a named metric.
+
+    Attributes:
+        kind: The non-functional dimension this requirement concerns.
+        metric: Concrete metric name (e.g. ``"p99_response_time"``).
+        target: The satisficing threshold.
+        direction: Whether the metric should stay below or above target.
+        weight: Relative importance; P3 says importance is fluid, so
+            weights may be re-assigned at any time.
+        scope: Spatial scope (C3): ``"application"`` (the current
+            practice), or fine-grained values such as ``"task"``,
+            ``"function"``, ``"microservice"``.
+        schedule: Optional temporal fine-grained targets: a sorted list
+            of ``(from_time, target)`` pairs overriding ``target``.
+    """
+
+    kind: NFRKind
+    metric: str
+    target: float
+    direction: Direction = Direction.MINIMIZE
+    weight: float = 1.0
+    scope: str = "application"
+    schedule: Sequence[tuple[float, float]] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"weight must be non-negative, got {self.weight}")
+        times = [t for t, _ in self.schedule]
+        if times != sorted(times):
+            raise ValueError("schedule must be sorted by time")
+
+    def target_at(self, time: float) -> float:
+        """The effective target at ``time`` (temporal fine-grained NFRs)."""
+        if not self.schedule:
+            return self.target
+        times = [t for t, _ in self.schedule]
+        index = bisect_right(times, time) - 1
+        if index < 0:
+            return self.target
+        return self.schedule[index][1]
+
+    def satisfied(self, measured: float, time: float = 0.0) -> bool:
+        """Whether ``measured`` satisfices the (possibly time-varying) target."""
+        return self.direction.satisfied(measured, self.target_at(time))
+
+    def violation(self, measured: float, time: float = 0.0) -> float:
+        """Non-negative magnitude of violation (0 when satisfied)."""
+        target = self.target_at(time)
+        if self.direction is Direction.MINIMIZE:
+            return max(0.0, measured - target)
+        return max(0.0, target - measured)
+
+
+@dataclass
+class SLO:
+    """A named service-level objective wrapping one requirement."""
+
+    name: str
+    requirement: Requirement
+
+    def evaluate(self, measured: float, time: float = 0.0) -> bool:
+        """Whether the measurement meets the objective."""
+        return self.requirement.satisfied(measured, time)
+
+
+@dataclass
+class SLAReport:
+    """Outcome of evaluating an SLA against a set of measurements."""
+
+    satisfied: dict[str, bool]
+    violations: dict[str, float]
+    penalty: float
+
+    @property
+    def all_met(self) -> bool:
+        """Whether every evaluated objective held."""
+        return all(self.satisfied.values())
+
+    @property
+    def fraction_met(self) -> float:
+        """Fraction of evaluated objectives that held (1.0 when none)."""
+        if not self.satisfied:
+            return 1.0
+        return sum(self.satisfied.values()) / len(self.satisfied)
+
+
+class SLA:
+    """A service-level agreement: SLOs plus per-violation penalties.
+
+    The paper (C3, [24]) warns of "death by a thousand SLAs"; this class
+    keeps agreements explicit and mechanically evaluable.
+    """
+
+    def __init__(self, name: str, provider: str = "", client: str = "") -> None:
+        self.name = name
+        self.provider = provider
+        self.client = client
+        self._slos: dict[str, SLO] = {}
+        self._penalties: dict[str, float] = {}
+
+    def add(self, slo: SLO, penalty: float = 1.0) -> "SLA":
+        """Attach an objective with a penalty charged per violation."""
+        if slo.name in self._slos:
+            raise ValueError(f"duplicate SLO {slo.name!r}")
+        if penalty < 0:
+            raise ValueError(f"penalty must be non-negative, got {penalty}")
+        self._slos[slo.name] = slo
+        self._penalties[slo.name] = penalty
+        return self
+
+    @property
+    def slos(self) -> Mapping[str, SLO]:
+        """The attached objectives, by name."""
+        return dict(self._slos)
+
+    def evaluate(self, measurements: Mapping[str, float],
+                 time: float = 0.0) -> SLAReport:
+        """Evaluate all objectives whose metric appears in ``measurements``.
+
+        Objectives without a measurement are skipped (an ecosystem rarely
+        observes everything at once, §3.3 "Instrumentation").
+        """
+        satisfied: dict[str, bool] = {}
+        violations: dict[str, float] = {}
+        penalty = 0.0
+        for name, slo in self._slos.items():
+            metric = slo.requirement.metric
+            if metric not in measurements:
+                continue
+            measured = measurements[metric]
+            ok = slo.evaluate(measured, time)
+            satisfied[name] = ok
+            violations[name] = slo.requirement.violation(measured, time)
+            if not ok:
+                penalty += self._penalties[name]
+        return SLAReport(satisfied=satisfied, violations=violations,
+                         penalty=penalty)
+
+    def weighted_utility(self, measurements: Mapping[str, float],
+                         time: float = 0.0) -> float:
+        """Weight-normalized satisfaction score in [0, 1].
+
+        Implements the paper's trade-off framing (§2.1 "Beyond
+        Performance"): constituents optimize or satisfice over a weighted
+        subset of requirements.
+        """
+        total_weight = 0.0
+        score = 0.0
+        for slo in self._slos.values():
+            metric = slo.requirement.metric
+            if metric not in measurements:
+                continue
+            weight = slo.requirement.weight
+            total_weight += weight
+            if slo.evaluate(measurements[metric], time):
+                score += weight
+        if total_weight == 0.0:
+            return 1.0
+        return score / total_weight

@@ -1,0 +1,85 @@
+"""An overview of MCS (paper §3.1, Table 1).
+
+Table 1 structures the field by Who? / What? / How? / Related.  The
+registry below regenerates it and supports the curriculum cross-checks
+of challenge C12 (a teachable body of knowledge needs a stable map of
+the field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["OverviewEntry", "MCSOverview", "OVERVIEW_ENTRIES"]
+
+
+@dataclass(frozen=True)
+class OverviewEntry:
+    """One row of Table 1: a question group, an aspect, and its content."""
+
+    question: str
+    aspect: str
+    content: str
+
+
+#: Table 1 of the paper.
+OVERVIEW_ENTRIES: tuple[OverviewEntry, ...] = (
+    OverviewEntry("Who?", "Stakeholders",
+                  "scientists, engineers, designers, others"),
+    OverviewEntry("What?", "Central Paradigm",
+                  "properties derived from ecosystem structure, organization, "
+                  "and dynamics"),
+    OverviewEntry("What?", "Focus",
+                  "functional and non-functional properties"),
+    OverviewEntry("What?", "Concerns", "emergence, evolution"),
+    OverviewEntry("How?", "Design", "design methods and processes"),
+    OverviewEntry("How?", "Quantitative", "measurement, observation"),
+    OverviewEntry("How?", "Exper. & Sim.",
+                  "methodology, TRL, benchmarking"),
+    OverviewEntry("How?", "Empirical",
+                  "correlation, causality iff. possible"),
+    OverviewEntry("How?", "Instrumentation", "experiment infrastructure"),
+    OverviewEntry("How?", "Formal models", "validated, calibrated, robust"),
+    OverviewEntry("Related", "Computer science",
+                  "Distrib.Sys., Sw.Eng., Perf.Eng."),
+    OverviewEntry("Related", "Systems/complexity",
+                  "General Systems Theory, etc."),
+    OverviewEntry("Related", "Problem solving",
+                  "computer-centric, human-centric"),
+)
+
+
+class MCSOverview:
+    """Queryable regeneration of Table 1."""
+
+    QUESTIONS = ("Who?", "What?", "How?", "Related")
+
+    def __init__(self, entries: tuple[OverviewEntry, ...] = OVERVIEW_ENTRIES) -> None:
+        unknown = {e.question for e in entries} - set(self.QUESTIONS)
+        if unknown:
+            raise ValueError(f"unknown question groups: {sorted(unknown)}")
+        self._entries = entries
+
+    def __iter__(self) -> Iterator[OverviewEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def by_question(self, question: str) -> list[OverviewEntry]:
+        """Rows of one question group ("Who?", "What?", "How?", "Related")."""
+        if question not in self.QUESTIONS:
+            raise KeyError(question)
+        return [e for e in self._entries if e.question == question]
+
+    def aspect(self, name: str) -> OverviewEntry:
+        """Look up a single aspect row by its name."""
+        for entry in self._entries:
+            if entry.aspect == name:
+                return entry
+        raise KeyError(name)
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """(question, aspect, content) rows as in Table 1."""
+        return [(e.question, e.aspect, e.content) for e in self._entries]

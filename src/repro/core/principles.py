@@ -1,0 +1,134 @@
+"""The ten core principles of MCS (paper §4, Table 2).
+
+The registry regenerates Table 2 exactly: each principle carries its
+type (Systems / Peopleware / Methodology), index, key aspects, statement
+and the section that introduces it.  P9's corollary — "revisit
+periodically the principles" — is implemented by
+:meth:`PrincipleRegistry.revise`, which produces a new revision of the
+registry rather than mutating it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+__all__ = ["PrincipleType", "Principle", "PrincipleRegistry", "PRINCIPLES"]
+
+
+class PrincipleType(enum.Enum):
+    """Row groups of Table 2."""
+
+    SYSTEMS = "Systems"
+    PEOPLEWARE = "Peopleware"
+    METHODOLOGY = "Methodology"
+
+
+@dataclass(frozen=True)
+class Principle:
+    """One principle row of Table 2."""
+
+    index: str
+    type: PrincipleType
+    key_aspects: str
+    statement: str
+    section: str
+
+    def __post_init__(self) -> None:
+        if not self.index.startswith("P"):
+            raise ValueError(f"principle index must start with 'P': {self.index}")
+
+    @property
+    def number(self) -> int:
+        """Numeric part of the index (P4 -> 4)."""
+        return int(self.index[1:])
+
+
+#: Table 2 of the paper, verbatim key aspects.
+PRINCIPLES: tuple[Principle, ...] = (
+    Principle("P1", PrincipleType.SYSTEMS, "The Age of Ecosystems",
+              "This is the Age of Computer Ecosystems.", "4"),
+    Principle("P2", PrincipleType.SYSTEMS, "software-defined everything",
+              "Software-defined everything, but humans can still shape and "
+              "control the loop.", "4.1"),
+    Principle("P3", PrincipleType.SYSTEMS, "non-functional requirements",
+              "Non-functional properties are first-class concerns, composable "
+              "and portable, whose relative importance and target values are "
+              "dynamic.", "4.1"),
+    Principle("P4", PrincipleType.SYSTEMS, "RM&S, Self-Awareness",
+              "Resource Management and Scheduling, and their combination with "
+              "other capabilities to achieve local and global Self-Awareness, "
+              "are key to ensure non-functional properties at runtime.", "4.1"),
+    Principle("P5", PrincipleType.SYSTEMS, "super-distributed",
+              "Ecosystems are super-distributed.", "4.1"),
+    Principle("P6", PrincipleType.PEOPLEWARE, "fundamental rights",
+              "People have a fundamental right to learn and to use ICT, and "
+              "to understand their own use.", "4.2"),
+    Principle("P7", PrincipleType.PEOPLEWARE, "professional privilege",
+              "Experimenting, creating, and operating ecosystems are "
+              "professional privileges, granted through provable professional "
+              "competence and integrity.", "4.2"),
+    Principle("P8", PrincipleType.METHODOLOGY,
+              "science, practice, and culture of MCS",
+              "We understand and create together a science, practice, and "
+              "culture of computer ecosystems.", "4.3"),
+    Principle("P9", PrincipleType.METHODOLOGY, "evolution and emergence",
+              "We are aware of the evolution and emergent behavior of computer "
+              "ecosystems, and control and nurture them.", "4.3"),
+    Principle("P10", PrincipleType.METHODOLOGY, "ethics and transparency",
+              "We consider and help develop the ethics of computer ecosystems, "
+              "and inform and educate all stakeholders about them.", "4.3"),
+)
+
+
+class PrincipleRegistry:
+    """Queryable, revisable collection of principles."""
+
+    def __init__(self, principles: Sequence[Principle] = PRINCIPLES,
+                 revision: int = 1) -> None:
+        indices = [p.index for p in principles]
+        if len(set(indices)) != len(indices):
+            raise ValueError("duplicate principle indices")
+        self._principles = tuple(principles)
+        self.revision = revision
+
+    def __iter__(self) -> Iterator[Principle]:
+        return iter(self._principles)
+
+    def __len__(self) -> int:
+        return len(self._principles)
+
+    def get(self, index: str) -> Principle:
+        """Look up a principle by index (e.g. ``"P4"``)."""
+        for principle in self._principles:
+            if principle.index == index:
+                return principle
+        raise KeyError(index)
+
+    def by_type(self, type_: PrincipleType) -> list[Principle]:
+        """All principles in one Table 2 row group."""
+        return [p for p in self._principles if p.type is type_]
+
+    def revise(self, updates: Sequence[Principle] = (),
+               additions: Sequence[Principle] = ()) -> "PrincipleRegistry":
+        """P9 corollary: produce a revised registry (non-mutating).
+
+        ``updates`` replace principles with matching indices; ``additions``
+        append new ones.
+        """
+        by_index = {p.index: p for p in self._principles}
+        for update in updates:
+            if update.index not in by_index:
+                raise KeyError(f"cannot update unknown principle {update.index}")
+            by_index[update.index] = update
+        for addition in additions:
+            if addition.index in by_index:
+                raise ValueError(f"principle {addition.index} already exists")
+            by_index[addition.index] = addition
+        ordered = sorted(by_index.values(), key=lambda p: p.number)
+        return PrincipleRegistry(ordered, revision=self.revision + 1)
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """(type, index, key aspects) rows exactly as printed in Table 2."""
+        return [(p.type.value, p.index, p.key_aspects) for p in self._principles]

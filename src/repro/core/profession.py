@@ -1,0 +1,149 @@
+"""The profession of Massivizing Computer Systems (P7, C14).
+
+"Experimenting, creating, and operating ecosystems are professional
+privileges, granted through provable professional competence and
+integrity. ... Trained professionals are certified and accredited, and
+can lose their license or worse on abuse."
+
+A :class:`CertificationBody` grants and revokes licenses for the
+privileged activities; :func:`require_license` is the enforcement
+point systems can call before executing a privileged operation — the
+paper's "professional checks and balances" as a mechanism, with policy
+(who qualifies) left to the body.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Privilege", "Professional", "License", "CertificationBody",
+           "UnlicensedOperationError", "require_license"]
+
+
+class Privilege(enum.Enum):
+    """The privileged activities P7 names."""
+
+    EXPERIMENT = "experimenting with ecosystems"
+    CREATE = "creating ecosystems"
+    OPERATE = "operating ecosystems"
+
+
+class UnlicensedOperationError(PermissionError):
+    """Raised when a privileged operation lacks a valid license."""
+
+
+@dataclass
+class Professional:
+    """A practitioner with a competence record.
+
+    ``competences`` maps skill areas ("systems thinking", "design
+    thinking", ...) to scores in [0, 1]; ``integrity_incidents`` counts
+    recorded abuses.
+    """
+
+    name: str
+    competences: dict[str, float] = field(default_factory=dict)
+    integrity_incidents: int = 0
+
+    def __post_init__(self) -> None:
+        for skill, score in self.competences.items():
+            if not 0.0 <= score <= 1.0:
+                raise ValueError(f"competence {skill!r}={score} "
+                                 f"outside [0, 1]")
+
+    def certify_competence(self, skill: str, score: float) -> None:
+        """Record a demonstrated competence."""
+        if not 0.0 <= score <= 1.0:
+            raise ValueError("score must be in [0, 1]")
+        self.competences[skill] = score
+
+    def record_incident(self) -> None:
+        """Record an integrity incident (abuse, negligence)."""
+        self.integrity_incidents += 1
+
+
+@dataclass(frozen=True)
+class License:
+    """A granted license for one privilege."""
+
+    holder: str
+    privilege: Privilege
+    granted_by: str
+
+
+class CertificationBody:
+    """A professional society granting and revoking licenses (P7).
+
+    The default admission policy requires *systems thinking* and
+    *design thinking* (the two skills C12/P7 add to the computing
+    core) at or above ``min_competence``, and a clean integrity record.
+    """
+
+    REQUIRED_SKILLS = ("systems thinking", "design thinking")
+
+    def __init__(self, name: str, min_competence: float = 0.6,
+                 max_incidents: int = 0) -> None:
+        if not 0.0 < min_competence <= 1.0:
+            raise ValueError("min_competence must be in (0, 1]")
+        if max_incidents < 0:
+            raise ValueError("max_incidents must be non-negative")
+        self.name = name
+        self.min_competence = min_competence
+        self.max_incidents = max_incidents
+        self._licenses: dict[tuple[str, Privilege], License] = {}
+        #: Audit log of grant/revoke decisions.
+        self.decisions: list[str] = []
+
+    def qualifies(self, professional: Professional) -> bool:
+        """Whether a professional meets the admission policy."""
+        if professional.integrity_incidents > self.max_incidents:
+            return False
+        return all(professional.competences.get(skill, 0.0)
+                   >= self.min_competence
+                   for skill in self.REQUIRED_SKILLS)
+
+    def grant(self, professional: Professional,
+              privilege: Privilege) -> License:
+        """Grant a license; raises when the policy is not met."""
+        if not self.qualifies(professional):
+            self.decisions.append(
+                f"denied {privilege.value} to {professional.name}")
+            raise UnlicensedOperationError(
+                f"{professional.name} does not meet {self.name}'s "
+                f"requirements for {privilege.value}")
+        license_ = License(holder=professional.name, privilege=privilege,
+                           granted_by=self.name)
+        self._licenses[(professional.name, privilege)] = license_
+        self.decisions.append(
+            f"granted {privilege.value} to {professional.name}")
+        return license_
+
+    def revoke(self, holder: str, privilege: Privilege) -> None:
+        """Revoke a license ("can lose their license ... on abuse")."""
+        key = (holder, privilege)
+        if key not in self._licenses:
+            raise KeyError(f"{holder} holds no {privilege.value} license")
+        del self._licenses[key]
+        self.decisions.append(f"revoked {privilege.value} from {holder}")
+
+    def is_licensed(self, holder: str, privilege: Privilege) -> bool:
+        """Whether ``holder`` currently holds the license."""
+        return (holder, privilege) in self._licenses
+
+    def licensed_professionals(self, privilege: Privilege) -> list[str]:
+        """All current holders of one privilege."""
+        return sorted(name for name, p in self._licenses if p is privilege)
+
+
+def require_license(body: CertificationBody, holder: str,
+                    privilege: Privilege) -> None:
+    """Enforcement point: raise unless ``holder`` is licensed.
+
+    Systems performing privileged operations call this first — e.g. a
+    control plane before applying operator commands.
+    """
+    if not body.is_licensed(holder, privilege):
+        raise UnlicensedOperationError(
+            f"{holder} is not licensed by {body.name} for "
+            f"{privilege.value}")

@@ -1,0 +1,167 @@
+"""Super-properties and ecosystem restructuring (P5, §4.1).
+
+P5 defines two *super*-properties an ecosystem must combine:
+
+- *super-flexibility*: "the ability of an ecosystem to ensure BOTH the
+  functional and non-functional properties associated with stability
+  and closed systems ... AND those associated with dynamic and open
+  systems", including "a framework for managing product mergers and
+  break-ups (e.g., due to ... anti-monopoly/anti-trust law) on
+  short-notice and quickly";
+- *super-scalability*: combining closed-system scalability (weak and
+  strong) with open-system elasticity — "a grand challenge in computer
+  science" (after Gray [72]).
+
+Both become measurable here (harmonic combination, so neither side can
+be traded away), and merge/split make the restructuring framework
+concrete operations on :class:`~repro.core.entity.Ecosystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .entity import CollectiveFunction, Ecosystem, System
+
+__all__ = ["SuperFlexibility", "super_scalability", "merge_ecosystems",
+           "split_ecosystem"]
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("need at least one score")
+    return sum(values) / len(values)
+
+
+def _harmonic(a: float, b: float) -> float:
+    if a < 0 or b < 0:
+        raise ValueError("scores must be non-negative")
+    if a == 0 or b == 0:
+        return 0.0
+    return 2.0 * a * b / (a + b)
+
+
+@dataclass(frozen=True)
+class SuperFlexibility:
+    """A super-flexibility assessment from scored properties.
+
+    ``closed`` holds closed-system property scores in [0, 1]
+    (correctness, performance, scalability, reliability, security);
+    ``open`` holds open-system scores (elasticity, streaming,
+    composability, portability).  The overall score is the *harmonic*
+    mean of the two group means: excelling at one side cannot buy back
+    a failing other side — that is what makes the property "super".
+    """
+
+    closed: Mapping[str, float]
+    open: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for group in (self.closed, self.open):
+            if not group:
+                raise ValueError("both property groups must be non-empty")
+            for name, value in group.items():
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(
+                        f"score {name!r}={value} outside [0, 1]")
+
+    @property
+    def closed_score(self) -> float:
+        """Mean of the closed-system property scores."""
+        return _mean(list(self.closed.values()))
+
+    @property
+    def open_score(self) -> float:
+        """Mean of the open-system property scores."""
+        return _mean(list(self.open.values()))
+
+    @property
+    def score(self) -> float:
+        """Harmonic combination of both sides, in [0, 1]."""
+        return _harmonic(self.closed_score, self.open_score)
+
+    def is_super_flexible(self, threshold: float = 0.6) -> bool:
+        """Whether the combined score clears ``threshold``."""
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        return self.score >= threshold
+
+
+def super_scalability(strong_efficiency: float, weak_efficiency: float,
+                      elastic_deviation: float) -> float:
+    """The P5 super-scalability index in [0, 1].
+
+    Closed side: the mean of strong- and weak-scaling efficiencies
+    (speedup/workers resp. weak efficiency, both in [0, 1]).  Open
+    side: elasticity quality ``1 / (1 + deviation)`` from the SPEC
+    aggregate deviation [32].  Combined harmonically, per P5's "both".
+    """
+    for name, value in (("strong_efficiency", strong_efficiency),
+                        ("weak_efficiency", weak_efficiency)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]")
+    if elastic_deviation < 0:
+        raise ValueError("elastic_deviation must be non-negative")
+    closed = _mean([strong_efficiency, weak_efficiency])
+    open_side = 1.0 / (1.0 + elastic_deviation)
+    return _harmonic(closed, open_side)
+
+
+def merge_ecosystems(a: Ecosystem, b: Ecosystem, name: str,
+                     owner: str = "merged") -> Ecosystem:
+    """Merge two ecosystems into one (the P5 merger, on short notice).
+
+    Both inputs become sub-ecosystems of the merged entity — they keep
+    operating (super-distribution), but under one collective
+    responsibility.  The inputs are not mutated.
+    """
+    if a is b:
+        raise ValueError("cannot merge an ecosystem with itself")
+    merged = Ecosystem(name, function=f"{a.function} + {b.function}",
+                       owner=owner, constituents=[a, b])
+    merged.register_collective_function(CollectiveFunction(
+        f"joint:{a.name}+{b.name}", required_fraction=0.6))
+    return merged
+
+
+def split_ecosystem(ecosystem: Ecosystem,
+                    partition: Mapping[str, Sequence[str]],
+                    ) -> list[Ecosystem]:
+    """Break an ecosystem up along a named partition (anti-trust split).
+
+    ``partition`` maps each new ecosystem's name to the names of the
+    constituents it receives.  Every immediate constituent must be
+    assigned exactly once.  The original is not mutated; the parts
+    inherit the original's collective functions so each can be
+    re-checked for ecosystem qualification after the split.
+    """
+    if len(partition) < 2:
+        raise ValueError("a split needs at least two parts")
+    by_name: dict[str, System] = {}
+    for constituent in ecosystem.constituents():
+        if constituent.name in by_name:
+            raise ValueError(
+                f"ambiguous constituent name {constituent.name!r}")
+        by_name[constituent.name] = constituent
+    assigned: set[str] = set()
+    for part_name, members in partition.items():
+        for member in members:
+            if member not in by_name:
+                raise KeyError(f"unknown constituent {member!r}")
+            if member in assigned:
+                raise ValueError(f"constituent {member!r} assigned twice")
+            assigned.add(member)
+    missing = set(by_name) - assigned
+    if missing:
+        raise ValueError(
+            f"constituents not assigned to any part: {sorted(missing)}")
+    parts = []
+    for part_name, members in partition.items():
+        part = Ecosystem(part_name, function=ecosystem.function,
+                         owner=ecosystem.owner,
+                         constituents=[by_name[m] for m in members])
+        for function in ecosystem.collective_functions:
+            part.register_collective_function(function)
+        parts.append(part)
+    return parts

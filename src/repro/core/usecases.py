@@ -1,0 +1,81 @@
+"""Use cases for MCS (paper §6, Table 4).
+
+Table 4 lists three *endogenous* application domains (computer-systems
+areas consuming MCS techniques) and three *exogenous* ones (domains
+using ICT to expand their capabilities).  Unlike the paper, each row
+here is *executable*: ``scenario`` names the :mod:`repro` subpackage
+whose simulation instantiates the use case, and the Table 4 benchmark
+actually runs all six.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["UseCaseDirection", "UseCase", "USE_CASES", "UseCaseRegistry"]
+
+
+class UseCaseDirection(enum.Enum):
+    """Whether a use case consumes MCS from within CS or from outside."""
+
+    ENDOGENOUS = "Endogenous applications"
+    EXOGENOUS = "Exogenous applications"
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One row of Table 4."""
+
+    location: str
+    description: str
+    key_aspects: str
+    direction: UseCaseDirection
+    scenario: str
+
+
+#: Table 4 of the paper, with the implementing scenario package added.
+USE_CASES: tuple[UseCase, ...] = (
+    UseCase("§6.1", "Datacenter management", "RM&S, XaaS, ref.archi.",
+            UseCaseDirection.ENDOGENOUS, "repro.datacenter"),
+    UseCase("§6.5", "Emerging application structures", "serverless MCS",
+            UseCaseDirection.ENDOGENOUS, "repro.faas"),
+    UseCase("§6.6", "Generalized graph processing", "full MCS challenges",
+            UseCaseDirection.ENDOGENOUS, "repro.graphproc"),
+    UseCase("§6.2", "Future science", "e-, democratized science",
+            UseCaseDirection.EXOGENOUS, "repro.workload"),
+    UseCase("§6.3", "Online gaming", "multi-functional MCS",
+            UseCaseDirection.EXOGENOUS, "repro.gaming"),
+    UseCase("§6.4", "Future banking", "regulated MCS",
+            UseCaseDirection.EXOGENOUS, "repro.banking"),
+)
+
+
+class UseCaseRegistry:
+    """Queryable regeneration of Table 4."""
+
+    def __init__(self, use_cases: tuple[UseCase, ...] = USE_CASES) -> None:
+        self._use_cases = use_cases
+
+    def __iter__(self) -> Iterator[UseCase]:
+        return iter(self._use_cases)
+
+    def __len__(self) -> int:
+        return len(self._use_cases)
+
+    def by_direction(self, direction: UseCaseDirection) -> list[UseCase]:
+        """Rows of one Table 4 section."""
+        return [u for u in self._use_cases if u.direction is direction]
+
+    def get(self, location: str) -> UseCase:
+        """Look up a use case by its paper section (e.g. ``"§6.3"``)."""
+        for use_case in self._use_cases:
+            if use_case.location == location:
+                return use_case
+        raise KeyError(location)
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """(location, description, key aspects) rows as in Table 4."""
+        return [(u.location, u.description, u.key_aspects)
+                for u in self._use_cases]

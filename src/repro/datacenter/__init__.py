@@ -1,0 +1,56 @@
+"""Datacenter substrate (S3): machines, clusters, execution, layers.
+
+Implements the paper's §6.1 "digital factories": heterogeneous machines
+(C4), multi-cluster topologies, a task-execution engine with energy
+accounting, the Figure 3 reference architecture, and federated
+multi-datacenter delegation (C10).
+"""
+
+from .cluster import Cluster, Rack, heterogeneous_cluster, homogeneous_cluster
+from .datacenter import Datacenter
+from .federation import (
+    Federation,
+    OffloadDecision,
+    least_loaded_offload,
+    never_offload,
+)
+from .layers import (
+    DATACENTER_LAYERS,
+    DatacenterStack,
+    Layer,
+    LayeredComponent,
+    ReferenceArchitecture,
+)
+from .machine import Machine, MachineKind, MachineSpec
+from .scavenging import BorrowRecord, ScavengingCoordinator
+from .softwaredefined import ControlPlane, ControlResult, MetaMiddleware
+from .wide_area import QueryResult, SiteData, WideAreaAnalytics, secure_sum
+
+__all__ = [
+    "Machine",
+    "MachineKind",
+    "MachineSpec",
+    "Rack",
+    "Cluster",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "Datacenter",
+    "Federation",
+    "OffloadDecision",
+    "never_offload",
+    "least_loaded_offload",
+    "Layer",
+    "DATACENTER_LAYERS",
+    "ReferenceArchitecture",
+    "LayeredComponent",
+    "DatacenterStack",
+    "ScavengingCoordinator",
+    "BorrowRecord",
+    "ControlPlane",
+    "ControlResult",
+    "MetaMiddleware",
+    "SiteData",
+    "QueryResult",
+    "WideAreaAnalytics",
+    "secure_sum",
+]

@@ -1,0 +1,172 @@
+"""The datacenter: clusters plus a task-execution engine.
+
+A :class:`Datacenter` binds a physical topology (clusters of racks of
+machines) to a simulator and executes tasks on machines as simulation
+processes.  It is the "digital factory" of §6.1 — schedulers
+(:mod:`repro.scheduling`) decide *where* work runs; the datacenter
+carries it out, accounts energy, and reacts to machine failures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.entity import CollectiveFunction, Ecosystem, System
+from ..sim import Interrupt, Process, Simulator, TimeWeightedMonitor
+from ..workload.task import Task
+from .cluster import Cluster
+from .machine import Machine
+
+__all__ = ["Datacenter"]
+
+
+class Datacenter:
+    """Executes tasks on the machines of one or more clusters."""
+
+    def __init__(self, sim: Simulator, clusters: Sequence[Cluster],
+                 name: str = "dc", operator: str = "operator") -> None:
+        if not clusters:
+            raise ValueError("a datacenter needs at least one cluster")
+        self.sim = sim
+        self.name = name
+        self.operator = operator
+        self.clusters: list[Cluster] = list(clusters)
+        self.used_cores = TimeWeightedMonitor(f"{name}.used_cores",
+                                              start_time=sim.now)
+        self.completed_tasks: list[Task] = []
+        self.failed_executions = 0
+        self._running: dict[Task, Process] = {}
+        #: Called whenever capacity reappears (machine repair); cluster
+        #: schedulers subscribe their wake-up here.
+        self.on_capacity_change: list = []
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    def machines(self) -> list[Machine]:
+        """All machines across all clusters."""
+        return [m for cluster in self.clusters for m in cluster.machines()]
+
+    def available_machines(self) -> list[Machine]:
+        """Machines that are up."""
+        return [m for m in self.machines() if m.available]
+
+    @property
+    def total_cores(self) -> int:
+        """Total installed cores."""
+        return sum(c.total_cores for c in self.clusters)
+
+    def utilization(self) -> float:
+        """Instantaneous aggregate core utilization in [0, 1]."""
+        total = self.total_cores
+        if total == 0:
+            return 0.0
+        used = sum(m.cores_used for m in self.machines())
+        return used / total
+
+    def mean_utilization(self) -> float:
+        """Time-weighted mean utilization since the simulation start."""
+        total = self.total_cores
+        if total == 0:
+            return 0.0
+        return self.used_cores.time_average(until=self.sim.now) / total
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, task: Task, machine: Machine) -> Process:
+        """Run ``task`` on ``machine`` as a simulation process.
+
+        Capacity is claimed *synchronously* — by the time this method
+        returns, the task holds its cores, so a scheduler's fit-check
+        cannot be invalidated by a concurrent placement.  The process
+        holds the allocation for the machine-speed-adjusted runtime,
+        then releases it.  If interrupted (failure or preemption) the
+        task is marked failed and capacity released.  The returned
+        process event succeeds with the task on normal completion.
+        """
+        machine.account_energy(self.sim.now)
+        machine.allocate(task)
+        self.used_cores.add(self.sim.now, task.cores)
+        task.start(self.sim.now, machine.name)
+        process = self.sim.process(self._execute(task, machine),
+                                   name=f"exec-{task.name}")
+        self._running[task] = process
+        return process
+
+    def _execute(self, task: Task, machine: Machine):
+        try:
+            yield self.sim.timeout(machine.effective_runtime(task))
+        except Interrupt:
+            machine.account_energy(self.sim.now)
+            if task in machine.running_tasks:
+                machine.release(task)
+            self.used_cores.add(self.sim.now, -task.cores)
+            task.fail(self.sim.now)
+            self.failed_executions += 1
+            self._running.pop(task, None)
+            return None
+        machine.account_energy(self.sim.now)
+        machine.release(task)
+        self.used_cores.add(self.sim.now, -task.cores)
+        task.finish(self.sim.now)
+        self.completed_tasks.append(task)
+        self._running.pop(task, None)
+        return task
+
+    def interrupt_task(self, task: Task, cause: str = "preempted") -> None:
+        """Interrupt a running execution (failure injection, preemption)."""
+        process = self._running.get(task)
+        if process is None:
+            raise KeyError(f"task {task.name} is not running here")
+        process.interrupt(cause)
+
+    def fail_machine(self, machine: Machine) -> list[Task]:
+        """Bring a machine down, interrupting everything on it (S8)."""
+        victims = machine.running_tasks
+        machine.account_energy(self.sim.now)
+        for task in victims:
+            self.interrupt_task(task, cause=f"machine-failure:{machine.name}")
+        machine.available = False
+        return victims
+
+    def repair_machine(self, machine: Machine) -> None:
+        """Bring a failed machine back into service."""
+        machine.account_energy(self.sim.now)
+        machine.repair()
+        for callback in list(self.on_capacity_change):
+            callback()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def total_energy_joules(self) -> float:
+        """Energy consumed by all machines up to the current sim time."""
+        for machine in self.machines():
+            machine.account_energy(self.sim.now)
+        return sum(m.energy_joules for m in self.machines())
+
+    # ------------------------------------------------------------------
+    # Ecosystem view (§2.1)
+    # ------------------------------------------------------------------
+    def as_ecosystem(self) -> Ecosystem:
+        """Expose the datacenter as a paper-§2.1 ecosystem.
+
+        Clusters become sub-ecosystems of machine systems; the
+        collective function is serving the customer workload, which
+        requires most machines to collaborate.
+        """
+        eco = Ecosystem(self.name, function="datacenter services",
+                        owner=self.operator)
+        for cluster in self.clusters:
+            sub = Ecosystem(cluster.name, function="scheduling domain",
+                            owner=self.operator)
+            for machine in cluster.machines():
+                sub.add(System(machine.name, function="task execution",
+                               owner=self.operator,
+                               kind=machine.spec.kind.value))
+            eco.add(sub)
+        eco.register_collective_function(
+            CollectiveFunction("serve-customer-workload",
+                               required_fraction=0.8))
+        return eco

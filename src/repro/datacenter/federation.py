@@ -1,0 +1,150 @@
+"""Federated, geo-distributed multi-datacenter operation (C10, P5).
+
+The paper envisions "the need for many and eventually all MCS to
+operate over multiple, federated, and geo-distributed
+(micro-)datacenters".  A :class:`Federation` groups datacenters with a
+latency matrix and implements *service delegation*: jobs submitted at a
+home datacenter may be offloaded to a peer when the home site is
+overloaded, trading wide-area latency for load balance ([116]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..sim import Simulator
+from ..workload.task import Task
+from .datacenter import Datacenter
+from .machine import Machine
+
+__all__ = ["Federation", "OffloadDecision", "least_loaded_offload",
+           "never_offload"]
+
+#: Signature of an offload policy: (home, peers, task) -> chosen datacenter.
+OffloadDecision = Callable[[Datacenter, Sequence[Datacenter], Task],
+                           Datacenter]
+
+
+def never_offload(home: Datacenter, peers: Sequence[Datacenter],
+                  task: Task) -> Datacenter:
+    """Baseline policy: always run at the home datacenter."""
+    return home
+
+
+def least_loaded_offload(threshold: float = 0.9) -> OffloadDecision:
+    """Offload to the least-utilized peer when home exceeds ``threshold``.
+
+    Implements the user-operator collaboration technique of C7
+    ("offloading, that is, sending a part of the workload for execution
+    to other resources and possibly other operators").
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+
+    def decide(home: Datacenter, peers: Sequence[Datacenter],
+               task: Task) -> Datacenter:
+        if home.utilization() < threshold or not peers:
+            return home
+        candidates = [home, *peers]
+        return min(candidates, key=lambda dc: dc.utilization())
+
+    return decide
+
+
+class Federation:
+    """A set of datacenters with inter-site latencies and delegation.
+
+    Args:
+        sim: The shared simulator.
+        datacenters: Member sites.
+        latency: Symmetric map of ``(site_a, site_b) -> seconds`` for
+            the wide-area transfer penalty charged on offloaded tasks.
+        policy: Offload policy deciding where each task runs.
+    """
+
+    def __init__(self, sim: Simulator, datacenters: Sequence[Datacenter],
+                 latency: Mapping[tuple[str, str], float] | None = None,
+                 policy: OffloadDecision = never_offload) -> None:
+        if not datacenters:
+            raise ValueError("a federation needs at least one datacenter")
+        names = [dc.name for dc in datacenters]
+        if len(set(names)) != len(names):
+            raise ValueError("datacenter names must be unique")
+        self.sim = sim
+        self.datacenters = list(datacenters)
+        self._latency = dict(latency or {})
+        self.policy = policy
+        #: Count of tasks executed away from their home site.
+        self.offloaded_tasks = 0
+        #: Aggregate wide-area latency paid, in seconds.
+        self.wide_area_seconds = 0.0
+
+    def get(self, name: str) -> Datacenter:
+        """Look up a member site by name."""
+        for dc in self.datacenters:
+            if dc.name == name:
+                return dc
+        raise KeyError(name)
+
+    def latency(self, a: str, b: str) -> float:
+        """One-way latency between two sites (0 within a site)."""
+        if a == b:
+            return 0.0
+        if (a, b) in self._latency:
+            return self._latency[(a, b)]
+        if (b, a) in self._latency:
+            return self._latency[(b, a)]
+        raise KeyError(f"no latency configured between {a!r} and {b!r}")
+
+    def peers_of(self, home: Datacenter) -> list[Datacenter]:
+        """All member sites other than ``home``."""
+        return [dc for dc in self.datacenters if dc is not home]
+
+    def submit(self, task: Task, home_name: str):
+        """Run ``task``, possibly delegated; returns the process.
+
+        The offload policy picks the execution site; offloaded tasks pay
+        the inter-site latency before starting, then run on the least
+        loaded fitting machine of the chosen site.
+        """
+        home = self.get(home_name)
+        target = self.policy(home, self.peers_of(home), task)
+        transfer = self.latency(home.name, target.name)
+        if target is not home:
+            self.offloaded_tasks += 1
+            self.wide_area_seconds += transfer
+        return self.sim.process(self._delegated(task, target, transfer),
+                                name=f"federated-{task.name}")
+
+    def _delegated(self, task: Task, target: Datacenter, transfer: float):
+        if transfer > 0:
+            yield self.sim.timeout(transfer)
+        machine = self._pick_machine(target, task)
+        if machine is None:
+            raise RuntimeError(
+                f"no machine in {target.name} can ever fit task {task.name}")
+        while not machine.can_fit(task):
+            yield self.sim.timeout(1.0)
+            machine = self._pick_machine(target, task) or machine
+        result = yield target.execute(task, machine)
+        return result
+
+    @staticmethod
+    def _pick_machine(dc: Datacenter, task: Task) -> Machine | None:
+        fitting = [m for m in dc.available_machines()
+                   if m.spec.cores >= task.cores
+                   and m.spec.memory >= task.memory]
+        if not fitting:
+            return None
+        free_now = [m for m in fitting if m.can_fit(task)]
+        pool = free_now or fitting
+        return min(pool, key=lambda m: m.utilization)
+
+    def total_utilization(self) -> float:
+        """Federation-wide instantaneous core utilization."""
+        total = sum(dc.total_cores for dc in self.datacenters)
+        if total == 0:
+            return 0.0
+        used = sum(sum(m.cores_used for m in dc.machines())
+                   for dc in self.datacenters)
+        return used / total

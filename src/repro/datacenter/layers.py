@@ -1,0 +1,154 @@
+"""The reference architecture for datacenters (paper Figure 3, §6.1).
+
+Figure 3 organizes a datacenter into five core layers plus an
+orthogonal DevOps layer:
+
+5. *Front-end* — application-level functionality;
+4. *Back-end* — task/resource/service management on behalf of the
+   application;
+3. *Resources* — task/resource/service management on behalf of the
+   operator;
+2. *Operations Service* — basic (distributed) operating services;
+1. *Infrastructure* — physical and virtual resource management;
+6. *DevOps* — monitoring, logging, benchmarking (orthogonal).
+
+Layers 5 and 4 are refined into three sub-layers each — High Level
+Languages, Programming Models, and Execution / Memory & Storage engines
+— which correspond to the similarly named layers of the big-data stack
+(Figure 1).  The registry supports placing components, validating that
+an assembled stack covers the mandatory layers, and mapping components
+of the FaaS architecture (Figure 5) onto these layers, as the paper
+does explicitly (§6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = ["Layer", "DATACENTER_LAYERS", "ReferenceArchitecture",
+           "LayeredComponent", "DatacenterStack"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of the Figure 3 reference architecture."""
+
+    number: int
+    name: str
+    responsibility: str
+    sublayers: tuple[str, ...] = ()
+    orthogonal: bool = False
+
+
+#: Figure 3 of the paper, 2 levels of depth.
+DATACENTER_LAYERS: tuple[Layer, ...] = (
+    Layer(5, "Front-end", "application-level functionality",
+          sublayers=("High Level Languages", "Programming Models",
+                     "Execution Engine", "Memory & Storage Engine")),
+    Layer(4, "Back-end",
+          "task, resource, and service management on behalf of the "
+          "application",
+          sublayers=("High Level Languages", "Programming Models",
+                     "Execution Engine", "Memory & Storage Engine")),
+    Layer(3, "Resources",
+          "task, resource, and service management on behalf of the cloud "
+          "operator"),
+    Layer(2, "Operations Service",
+          "basic services typically associated with (distributed) "
+          "operating systems"),
+    Layer(1, "Infrastructure", "managing physical and virtual resources"),
+    Layer(6, "DevOps",
+          "monitoring, logging, and benchmarking — orthogonal to the "
+          "service provided to customers", orthogonal=True),
+)
+
+
+@dataclass
+class LayeredComponent:
+    """A concrete component placed at a layer (and optional sub-layer)."""
+
+    name: str
+    layer_number: int
+    sublayer: str = ""
+    vendor: str = ""
+
+
+class ReferenceArchitecture:
+    """Queryable form of the Figure 3 layer model."""
+
+    def __init__(self, layers: Sequence[Layer] = DATACENTER_LAYERS) -> None:
+        numbers = [layer.number for layer in layers]
+        if len(set(numbers)) != len(numbers):
+            raise ValueError("duplicate layer numbers")
+        self._layers = tuple(layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def layer(self, number: int) -> Layer:
+        """Look up a layer by its Figure 3 number."""
+        for layer in self._layers:
+            if layer.number == number:
+                return layer
+        raise KeyError(number)
+
+    def core_layers(self) -> list[Layer]:
+        """The five non-orthogonal layers, top (5) to bottom (1)."""
+        core = [layer for layer in self._layers if not layer.orthogonal]
+        return sorted(core, key=lambda l: -l.number)
+
+    def table_rows(self) -> list[tuple[int, str, str]]:
+        """(number, name, responsibility) rows regenerating Figure 3."""
+        return [(l.number, l.name, l.responsibility) for l in self._layers]
+
+
+class DatacenterStack:
+    """An assembled stack of components placed on the reference layers.
+
+    The paper envisions the reference architecture as "guiding,
+    non-mandatory"; :meth:`missing_layers` reports which core layers an
+    assembly leaves uncovered, which is how the architecture "captures
+    and helps manage the diversity of offered services".
+    """
+
+    def __init__(self, name: str,
+                 architecture: ReferenceArchitecture | None = None) -> None:
+        self.name = name
+        self.architecture = architecture or ReferenceArchitecture()
+        self._components: list[LayeredComponent] = []
+
+    def place(self, component: LayeredComponent) -> LayeredComponent:
+        """Place a component, validating its layer and sub-layer."""
+        layer = self.architecture.layer(component.layer_number)
+        if component.sublayer and component.sublayer not in layer.sublayers:
+            raise ValueError(
+                f"layer {layer.name!r} has no sublayer {component.sublayer!r}")
+        self._components.append(component)
+        return component
+
+    @property
+    def components(self) -> list[LayeredComponent]:
+        """All placed components."""
+        return list(self._components)
+
+    def at_layer(self, number: int) -> list[LayeredComponent]:
+        """Components placed on one layer."""
+        return [c for c in self._components if c.layer_number == number]
+
+    def covered_layers(self) -> set[int]:
+        """Numbers of layers that have at least one component."""
+        return {c.layer_number for c in self._components}
+
+    def missing_layers(self) -> list[Layer]:
+        """Core layers without any component (DevOps is optional)."""
+        covered = self.covered_layers()
+        return [layer for layer in self.architecture.core_layers()
+                if layer.number not in covered]
+
+    def is_complete(self) -> bool:
+        """Whether every core layer is covered."""
+        return not self.missing_layers()

@@ -1,0 +1,202 @@
+"""Machines: the leaf resources of the datacenter substrate.
+
+Machines model the *infrastructure heterogeneity* of C4: different core
+counts, memory sizes, relative speeds, and accelerator kinds (CPU, GPU,
+TPU, FPGA) — "this is different from the past, when datacenters were
+filled with similar hardware".  Each machine exposes capacity
+book-keeping (used by schedulers) and a linear power model (used by the
+energy accounting of C6's energy-proportionality problems).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..workload.task import Task
+
+__all__ = ["MachineKind", "MachineSpec", "Machine"]
+
+
+class MachineKind(enum.Enum):
+    """Hardware classes named by the paper (C4)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    TPU = "tpu"
+    FPGA = "fpga"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a machine model.
+
+    Attributes:
+        cores: Number of cores (or accelerator slots).
+        memory: Memory in GiB.
+        speed: Relative speed factor; a task's effective runtime is
+            ``task.runtime / speed``.
+        kind: Hardware class.
+        idle_watts / max_watts: Endpoints of the linear power model
+            ``P(u) = idle + (max - idle) * u`` at utilization ``u``.
+        cost_per_hour: Price used by cost-aware policies (C3).
+    """
+
+    cores: int = 8
+    memory: float = 32.0
+    speed: float = 1.0
+    kind: MachineKind = MachineKind.CPU
+    idle_watts: float = 100.0
+    max_watts: float = 250.0
+    cost_per_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.memory <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory}")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+        if self.idle_watts < 0 or self.max_watts < self.idle_watts:
+            raise ValueError("need 0 <= idle_watts <= max_watts")
+
+
+class Machine:
+    """A machine instance with allocation book-keeping.
+
+    The machine tracks which tasks hold how many cores and how much
+    memory, its availability (failures flip it off), and the energy it
+    has consumed under the linear utilization-power model.
+    """
+
+    def __init__(self, name: str, spec: MachineSpec = MachineSpec()) -> None:
+        self.name = name
+        self.spec = spec
+        self._allocations: dict[Task, tuple[int, float]] = {}
+        #: Named memory reservations by remote borrowers (scavenging).
+        self._memory_reservations: dict[str, float] = {}
+        self.available = True
+        #: Accumulated energy in watt-seconds (joules).
+        self.energy_joules = 0.0
+        self._last_energy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def cores_used(self) -> int:
+        """Cores currently allocated."""
+        return sum(cores for cores, _ in self._allocations.values())
+
+    @property
+    def cores_free(self) -> int:
+        """Cores currently free (0 when the machine is down)."""
+        if not self.available:
+            return 0
+        return self.spec.cores - self.cores_used
+
+    @property
+    def memory_used(self) -> float:
+        """Memory currently allocated (local tasks + remote borrows), GiB."""
+        return (sum(mem for _, mem in self._allocations.values())
+                + sum(self._memory_reservations.values()))
+
+    @property
+    def memory_free(self) -> float:
+        """Memory currently free, GiB (0 when the machine is down)."""
+        if not self.available:
+            return 0.0
+        return self.spec.memory - self.memory_used
+
+    @property
+    def utilization(self) -> float:
+        """Core utilization in [0, 1]."""
+        return self.cores_used / self.spec.cores
+
+    @property
+    def running_tasks(self) -> list[Task]:
+        """Tasks currently holding an allocation."""
+        return list(self._allocations)
+
+    def can_fit(self, task: Task) -> bool:
+        """Whether the task's cores and memory fit right now."""
+        return (self.available
+                and task.cores <= self.cores_free
+                and task.memory <= self.memory_free + 1e-12)
+
+    def allocate(self, task: Task) -> None:
+        """Claim the task's cores and memory."""
+        if not self.can_fit(task):
+            raise RuntimeError(
+                f"task {task.name} does not fit on machine {self.name}")
+        if task in self._allocations:
+            raise RuntimeError(f"task {task.name} already allocated here")
+        self._allocations[task] = (task.cores, task.memory)
+
+    def release(self, task: Task) -> None:
+        """Return the task's cores and memory."""
+        if task not in self._allocations:
+            raise RuntimeError(f"task {task.name} holds no allocation here")
+        del self._allocations[task]
+
+    def effective_runtime(self, task: Task) -> float:
+        """Service time of the task on this machine's speed."""
+        return task.runtime / self.spec.speed
+
+    # ------------------------------------------------------------------
+    # Remote-memory reservations (scavenging, [118])
+    # ------------------------------------------------------------------
+    def reserve_memory(self, key: str, amount: float) -> None:
+        """Lend ``amount`` GiB to a remote borrower under ``key``."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if key in self._memory_reservations:
+            raise RuntimeError(f"reservation {key!r} already exists")
+        if amount > self.memory_free + 1e-12:
+            raise RuntimeError(
+                f"machine {self.name} cannot lend {amount} GiB")
+        self._memory_reservations[key] = amount
+
+    def release_memory(self, key: str) -> None:
+        """Return a lent reservation (idempotent on missing keys)."""
+        self._memory_reservations.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Failures (S8 hooks)
+    # ------------------------------------------------------------------
+    def fail(self) -> list[Task]:
+        """Take the machine down; returns (and evicts) the victims."""
+        victims = list(self._allocations)
+        self._allocations.clear()
+        self.available = False
+        return victims
+
+    def repair(self) -> None:
+        """Bring the machine back up, empty."""
+        self.available = True
+
+    # ------------------------------------------------------------------
+    # Power / energy
+    # ------------------------------------------------------------------
+    def power_watts(self) -> float:
+        """Instantaneous power draw under the linear model."""
+        if not self.available:
+            return 0.0
+        spec = self.spec
+        return spec.idle_watts + (spec.max_watts
+                                  - spec.idle_watts) * self.utilization
+
+    def account_energy(self, now: float) -> None:
+        """Integrate energy since the previous accounting call.
+
+        Call this immediately *before* any utilization change so the
+        elapsed interval is charged at the old utilization.
+        """
+        if now < self._last_energy_time:
+            raise ValueError("time moved backwards")
+        self.energy_joules += self.power_watts() * (now - self._last_energy_time)
+        self._last_energy_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Machine {self.name} {self.spec.kind.value} "
+                f"{self.cores_used}/{self.spec.cores} cores>")

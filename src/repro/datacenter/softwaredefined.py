@@ -1,0 +1,153 @@
+"""Software-defined control and legacy integration (C2).
+
+"An important challenge of fully software-defined ecosystems is the
+integration with *legacy* systems, i.e., partially software-defined
+... Such problems have been successfully tackled in grid computing by
+using an additional layer of indirection, such as a meta-middleware
+[91][92] that reconciles many different sub-components and brokers
+their inter-operation."
+
+Two pieces:
+
+- :class:`ControlPlane` — the software-defined control surface of a
+  datacenter.  Fully software-defined machines accept dynamic lease /
+  release / reconfigure commands; *legacy* machines reject them (they
+  were racked once and run until decommissioned), so control actions
+  report what they actually changed.
+- :class:`MetaMiddleware` — the layer of indirection: it wraps legacy
+  machines behind adapters that emulate the software-defined verbs the
+  best they can (a release becomes "drain and park"), letting one
+  policy drive a mixed fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .datacenter import Datacenter
+from .machine import Machine
+
+__all__ = ["ControlPlane", "ControlResult", "MetaMiddleware"]
+
+
+@dataclass(frozen=True)
+class ControlResult:
+    """Outcome of a control-plane action over a set of machines."""
+
+    action: str
+    applied: tuple[str, ...]
+    rejected: tuple[str, ...]
+
+    @property
+    def fully_applied(self) -> bool:
+        """Whether no machine rejected the action."""
+        return not self.rejected
+
+
+class ControlPlane:
+    """Software-defined control over a (possibly partly legacy) fleet.
+
+    ``legacy`` names machines that are *not* software-defined: dynamic
+    lease/release is rejected for them, reproducing the C2 reality that
+    re-provisioning legacy systems "is an inefficient and intricate
+    endeavor".
+    """
+
+    def __init__(self, datacenter: Datacenter,
+                 legacy: Sequence[str] = ()) -> None:
+        self.datacenter = datacenter
+        self._machines = {m.name: m for m in datacenter.machines()}
+        unknown = [name for name in legacy if name not in self._machines]
+        if unknown:
+            raise ValueError(f"unknown legacy machines: {unknown[:3]}")
+        self._legacy = set(legacy)
+        self._adapted: set[str] = set()
+        #: Log of all control actions, audit-style.
+        self.log: list[ControlResult] = []
+
+    def is_software_defined(self, name: str) -> bool:
+        """Whether dynamic control works on this machine."""
+        return name not in self._legacy or name in self._adapted
+
+    def software_defined_fraction(self) -> float:
+        """How much of the fleet accepts dynamic control."""
+        if not self._machines:
+            return 1.0
+        controllable = sum(1 for name in self._machines
+                           if self.is_software_defined(name))
+        return controllable / len(self._machines)
+
+    def _apply(self, action: str, names: Sequence[str],
+               operation) -> ControlResult:
+        applied, rejected = [], []
+        for name in names:
+            if name not in self._machines:
+                raise KeyError(name)
+            if not self.is_software_defined(name):
+                rejected.append(name)
+                continue
+            operation(self._machines[name])
+            applied.append(name)
+        result = ControlResult(action=action, applied=tuple(applied),
+                               rejected=tuple(rejected))
+        self.log.append(result)
+        return result
+
+    def release(self, names: Sequence[str]) -> ControlResult:
+        """Dynamically power machines down (busy ones are skipped)."""
+        def operation(machine: Machine) -> None:
+            if not machine.running_tasks and machine.available:
+                machine.account_energy(self.datacenter.sim.now)
+                machine.available = False
+
+        return self._apply("release", names, operation)
+
+    def lease(self, names: Sequence[str]) -> ControlResult:
+        """Dynamically power machines up."""
+        def operation(machine: Machine) -> None:
+            if not machine.available:
+                self.datacenter.repair_machine(machine)
+
+        return self._apply("lease", names, operation)
+
+    # Used by MetaMiddleware to register adapters.
+    def _adapt(self, name: str) -> None:
+        if name not in self._legacy:
+            raise ValueError(f"{name} is not a legacy machine")
+        self._adapted.add(name)
+
+
+class MetaMiddleware:
+    """The C2 layer of indirection over a mixed fleet.
+
+    Wrapping a legacy machine installs an adapter that emulates the
+    software-defined verbs, raising the control plane's
+    software-defined fraction — exactly how grid meta-middleware
+    "reconciles many different sub-components".
+    """
+
+    def __init__(self, control_plane: ControlPlane) -> None:
+        self.control_plane = control_plane
+        self.adapters: list[str] = []
+
+    def wrap_legacy(self, names: Sequence[str]) -> list[str]:
+        """Install adapters for the given legacy machines.
+
+        Returns the machines actually adapted; already-software-defined
+        names are skipped (no adapter needed).
+        """
+        adapted = []
+        for name in names:
+            if self.control_plane.is_software_defined(name):
+                continue
+            self.control_plane._adapt(name)
+            self.adapters.append(name)
+            adapted.append(name)
+        return adapted
+
+    def wrap_all(self) -> list[str]:
+        """Adapt every remaining legacy machine in the fleet."""
+        legacy = [name for name in self.control_plane._machines
+                  if not self.control_plane.is_software_defined(name)]
+        return self.wrap_legacy(legacy)

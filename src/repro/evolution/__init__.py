@@ -1,0 +1,19 @@
+"""Evolution substrate (S16): Figure 2 and the §3.2 dynamics.
+
+The technology-lineage registry behind Figure 2 and a replicator-
+dynamics model of Darwinian vs. non-Darwinian ecosystem evolution with
+soft lock-in.
+"""
+
+from .model import EvolutionEvent, EvolutionModel, EvolutionTrace, Technology
+from .timeline import TIMELINE, TechnologyEra, TechnologyTimeline
+
+__all__ = [
+    "TechnologyEra",
+    "TIMELINE",
+    "TechnologyTimeline",
+    "Technology",
+    "EvolutionEvent",
+    "EvolutionTrace",
+    "EvolutionModel",
+]

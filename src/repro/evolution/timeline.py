@@ -1,0 +1,121 @@
+"""The technology lineage leading to MCS (paper Figure 2).
+
+Figure 2 traces "the main technologies leading to MCS" across the
+three contributing fields — Distributed Systems, Software Engineering,
+and Performance Engineering — converging on MCS as "a response to the
+ecosystems crisis of late-2010s".  The registry regenerates the figure
+and answers lineage queries (ancestors, era slices, convergent
+inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TechnologyEra", "TIMELINE", "TechnologyTimeline"]
+
+
+@dataclass(frozen=True)
+class TechnologyEra:
+    """One technology node of Figure 2."""
+
+    name: str
+    decade: str
+    field: str
+    predecessors: tuple[str, ...] = ()
+
+
+#: Figure 2's lineage, one tuple per technology node.
+TIMELINE: tuple[TechnologyEra, ...] = (
+    # Distributed Systems lineage.
+    TechnologyEra("Computer Systems", "1960s", "Distributed Systems"),
+    TechnologyEra("Distributed Systems", "1970s", "Distributed Systems",
+                  ("Computer Systems",)),
+    TechnologyEra("Cluster Computing", "1990s", "Distributed Systems",
+                  ("Distributed Systems",)),
+    TechnologyEra("Grid Computing", "1990s", "Distributed Systems",
+                  ("Cluster Computing",)),
+    TechnologyEra("Peer-to-Peer Computing", "2000s", "Distributed Systems",
+                  ("Distributed Systems",)),
+    TechnologyEra("Cloud Computing", "2000s", "Distributed Systems",
+                  ("Grid Computing", "Cluster Computing")),
+    TechnologyEra("Edge-centric Computing", "2010s", "Distributed Systems",
+                  ("Cloud Computing", "Peer-to-Peer Computing")),
+    # Software Engineering lineage.
+    TechnologyEra("Structured Programming", "1970s", "Software Engineering"),
+    TechnologyEra("Object-Oriented Design", "1980s", "Software Engineering",
+                  ("Structured Programming",)),
+    TechnologyEra("Agile Processes", "2000s", "Software Engineering",
+                  ("Object-Oriented Design",)),
+    TechnologyEra("DevOps", "2010s", "Software Engineering",
+                  ("Agile Processes",)),
+    # Performance Engineering lineage.
+    TechnologyEra("Queueing Theory", "1960s", "Performance Engineering"),
+    TechnologyEra("Benchmarking", "1980s", "Performance Engineering",
+                  ("Queueing Theory",)),
+    TechnologyEra("Cloud Metrics & Elasticity", "2010s",
+                  "Performance Engineering", ("Benchmarking",)),
+    # The convergence point.
+    TechnologyEra("Massivizing Computer Systems", "late-2010s", "MCS",
+                  ("Edge-centric Computing", "Cloud Computing", "DevOps",
+                   "Cloud Metrics & Elasticity")),
+)
+
+
+class TechnologyTimeline:
+    """Queryable regeneration of Figure 2."""
+
+    def __init__(self, entries: tuple[TechnologyEra, ...] = TIMELINE) -> None:
+        names = [e.name for e in entries]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate technology names")
+        self._by_name = {e.name: e for e in entries}
+        for entry in entries:
+            for predecessor in entry.predecessors:
+                if predecessor not in self._by_name:
+                    raise ValueError(
+                        f"{entry.name!r} references unknown predecessor "
+                        f"{predecessor!r}")
+        self._entries = entries
+
+    def __iter__(self) -> Iterator[TechnologyEra]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str) -> TechnologyEra:
+        """Look up one technology node."""
+        if name not in self._by_name:
+            raise KeyError(name)
+        return self._by_name[name]
+
+    def fields(self) -> set[str]:
+        """The contributing fields of Figure 2."""
+        return {e.field for e in self._entries}
+
+    def by_field(self, field: str) -> list[TechnologyEra]:
+        """One field's lineage, in timeline order."""
+        return [e for e in self._entries if e.field == field]
+
+    def ancestors(self, name: str) -> set[str]:
+        """All transitive predecessors of a technology."""
+        result: set[str] = set()
+        frontier = list(self.get(name).predecessors)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self.get(current).predecessors)
+        return result
+
+    def mcs_inputs(self) -> set[str]:
+        """The fields that converge into MCS (the figure's punchline)."""
+        mcs = self.get("Massivizing Computer Systems")
+        return {self.get(p).field for p in mcs.predecessors}
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """(decade, field, technology) rows regenerating Figure 2."""
+        return [(e.decade, e.field, e.name) for e in self._entries]

@@ -1,0 +1,141 @@
+"""The FaaS reference architecture (paper Figure 5, §6.5).
+
+Figure 5, developed jointly with the SPEC RG Cloud group, orders four
+layers from business logic (BL) to operational logic (OL):
+
+4. *Function Composition Layer* — meta-scheduling: creating workflows
+   of functions and submitting individual tasks downward (maps to
+   layer 5 of Figure 3);
+3. *Function Management Layer* — managing instances of the
+   cloud-function abstraction, scheduling and routing (the runtime
+   engine of layer 4 in Figure 3);
+2. *Resource Orchestration Layer* — IaaS orchestration, e.g.
+   Kubernetes (layer 3 of Figure 3);
+1. *Resource Layer* — the available resources within a cloud.
+
+The paper validated the architecture by matching its components with
+real platforms (OpenWhisk, Fission); :data:`PLATFORM_MAPPINGS` encodes
+those matchings and :func:`validate_platform_mapping` re-performs the
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+__all__ = ["FaaSLayer", "FAAS_LAYERS", "FaaSReferenceArchitecture",
+           "PLATFORM_MAPPINGS", "validate_platform_mapping"]
+
+
+@dataclass(frozen=True)
+class FaaSLayer:
+    """One layer of the Figure 5 reference architecture."""
+
+    number: int
+    name: str
+    responsibility: str
+    figure3_layer: int
+    logic: str  # "business" or "operational"
+
+
+#: Figure 5 of the paper, ordered BL (top) to OL (bottom).
+FAAS_LAYERS: tuple[FaaSLayer, ...] = (
+    FaaSLayer(4, "Function Composition Layer",
+              "meta-scheduling: creating workflows of functions and "
+              "submitting the individual tasks to the management layer",
+              figure3_layer=5, logic="business"),
+    FaaSLayer(3, "Function Management Layer",
+              "managing instances of the cloud-function abstraction, by "
+              "scheduling and routing functions",
+              figure3_layer=4, logic="business"),
+    FaaSLayer(2, "Resource Orchestration Layer",
+              "orchestration of managed resources, often implemented by "
+              "modern IaaS orchestration services (e.g. Kubernetes)",
+              figure3_layer=3, logic="operational"),
+    FaaSLayer(1, "Resource Layer",
+              "the available resources within a cloud",
+              figure3_layer=1, logic="operational"),
+)
+
+#: Real-platform component matchings the paper used for validation
+#: (§6.5: "we have already matched its components with real-world FaaS
+#: platforms such as OpenWhisk and Fission").
+PLATFORM_MAPPINGS: dict[str, Mapping[str, int]] = {
+    "openwhisk": {
+        "Composer": 4,
+        "Controller": 3,
+        "Invoker": 3,
+        "Kubernetes": 2,
+        "CouchDB": 2,
+        "VMs": 1,
+    },
+    "fission": {
+        "Fission Workflows": 4,
+        "Router": 3,
+        "Executor": 3,
+        "Kubernetes": 2,
+        "Nodes": 1,
+    },
+}
+
+
+class FaaSReferenceArchitecture:
+    """Queryable regeneration of Figure 5."""
+
+    def __init__(self, layers: tuple[FaaSLayer, ...] = FAAS_LAYERS) -> None:
+        numbers = [layer.number for layer in layers]
+        if sorted(numbers, reverse=True) != numbers:
+            raise ValueError("layers must be ordered top (BL) to bottom (OL)")
+        self._layers = layers
+
+    def __iter__(self) -> Iterator[FaaSLayer]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def layer(self, number: int) -> FaaSLayer:
+        """Look up a layer by its Figure 5 number."""
+        for layer in self._layers:
+            if layer.number == number:
+                return layer
+        raise KeyError(number)
+
+    def business_layers(self) -> list[FaaSLayer]:
+        """Layers carrying business logic (top of the BL→OL order)."""
+        return [l for l in self._layers if l.logic == "business"]
+
+    def figure3_correspondence(self) -> dict[int, int]:
+        """Figure 5 layer number -> Figure 3 layer number, as in §6.5."""
+        return {l.number: l.figure3_layer for l in self._layers}
+
+    def table_rows(self) -> list[tuple[int, str, str]]:
+        """(number, name, responsibility) rows regenerating Figure 5."""
+        return [(l.number, l.name, l.responsibility) for l in self._layers]
+
+
+def validate_platform_mapping(platform: str) -> list[str]:
+    """Re-validate a real platform against the reference architecture.
+
+    Returns the list of problems (empty when the platform maps
+    cleanly): components placed on unknown layers, or reference layers
+    with no matching component.
+    """
+    if platform not in PLATFORM_MAPPINGS:
+        raise KeyError(f"unknown platform {platform!r}; "
+                       f"known: {sorted(PLATFORM_MAPPINGS)}")
+    architecture = FaaSReferenceArchitecture()
+    known_layers = {layer.number for layer in architecture}
+    mapping = PLATFORM_MAPPINGS[platform]
+    problems = []
+    for component, layer in mapping.items():
+        if layer not in known_layers:
+            problems.append(f"component {component!r} maps to unknown "
+                            f"layer {layer}")
+    covered = set(mapping.values())
+    for layer in architecture:
+        if layer.number not in covered:
+            problems.append(f"layer {layer.number} ({layer.name}) has no "
+                            f"component in {platform}")
+    return problems

@@ -1,0 +1,134 @@
+"""The Function Composition Layer: workflows of functions (Figure 5).
+
+"User-defined functions are typically stateless and interact with each
+other through an event-driven paradigm ... These FaaS workloads can
+often be modeled as (complex) workflows."  (§6.5)
+
+Compositions are built from three combinators — :func:`step` (one
+function), :func:`sequence`, and :func:`parallel` — and executed by the
+:class:`CompositionEngine`, the meta-scheduler that "creat[es] workflows
+of functions and submit[s] the individual tasks to the management
+layer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence as SequenceType
+
+from ..sim import Event, Simulator
+from .platform import FaaSPlatform, Invocation
+
+__all__ = ["Composition", "step", "sequence", "parallel",
+           "CompositionEngine", "CompositionResult"]
+
+
+@dataclass(frozen=True)
+class Composition:
+    """A tree of function steps: kind is 'step', 'sequence' or 'parallel'."""
+
+    kind: str
+    function: str = ""
+    children: tuple["Composition", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("step", "sequence", "parallel"):
+            raise ValueError(f"unknown composition kind {self.kind!r}")
+        if self.kind == "step":
+            if not self.function:
+                raise ValueError("a step needs a function name")
+            if self.children:
+                raise ValueError("a step has no children")
+        else:
+            if len(self.children) < 1:
+                raise ValueError(f"{self.kind} needs at least one child")
+
+    def functions(self) -> list[str]:
+        """All function names referenced, in definition order."""
+        if self.kind == "step":
+            return [self.function]
+        return [name for child in self.children
+                for name in child.functions()]
+
+    def critical_path_steps(self) -> int:
+        """Length (in steps) of the longest sequential chain."""
+        if self.kind == "step":
+            return 1
+        if self.kind == "sequence":
+            return sum(c.critical_path_steps() for c in self.children)
+        return max(c.critical_path_steps() for c in self.children)
+
+
+def step(function: str) -> Composition:
+    """A single function invocation."""
+    return Composition(kind="step", function=function)
+
+
+def sequence(*children: Composition) -> Composition:
+    """Run children one after another."""
+    return Composition(kind="sequence", children=tuple(children))
+
+
+def parallel(*children: Composition) -> Composition:
+    """Run children concurrently; joins when all finish."""
+    return Composition(kind="parallel", children=tuple(children))
+
+
+@dataclass
+class CompositionResult:
+    """Outcome of executing a composition."""
+
+    submit_time: float
+    finish_time: float
+    invocations: list[Invocation] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end composition latency."""
+        return self.finish_time - self.submit_time
+
+    @property
+    def cold_starts(self) -> int:
+        """Number of invocations that paid a cold start."""
+        return sum(1 for i in self.invocations if i.cold)
+
+
+class CompositionEngine:
+    """Executes compositions against a :class:`FaaSPlatform`."""
+
+    def __init__(self, sim: Simulator, platform: FaaSPlatform) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.completed: list[CompositionResult] = []
+
+    def run(self, composition: Composition) -> Event:
+        """Execute a composition; the process yields a CompositionResult."""
+        for name in composition.functions():
+            self.platform.get_function(name)  # fail fast on unknown names
+        return self.sim.process(self._run_root(composition),
+                                name="composition")
+
+    def _run_root(self, composition: Composition):
+        result = CompositionResult(submit_time=self.sim.now,
+                                   finish_time=self.sim.now)
+        yield from self._execute(composition, result)
+        result.finish_time = self.sim.now
+        self.completed.append(result)
+        return result
+
+    def _execute(self, node: Composition, result: CompositionResult):
+        if node.kind == "step":
+            invocation = yield self.platform.invoke(node.function)
+            result.invocations.append(invocation)
+        elif node.kind == "sequence":
+            for child in node.children:
+                yield from self._execute(child, result)
+        else:  # parallel
+            branches = [
+                self.sim.process(self._branch(child, result),
+                                 name=f"branch-{index}")
+                for index, child in enumerate(node.children)]
+            yield self.sim.all_of(branches)
+
+    def _branch(self, node: Composition, result: CompositionResult):
+        yield from self._execute(node, result)

@@ -1,0 +1,28 @@
+"""Failure substrate (S8): correlated failure models and injection.
+
+Space-correlated bursts [26], time-correlated non-stationary failures
+[27], an injector that replays them against a datacenter, and
+availability analysis ([25], [28]).
+"""
+
+from .availability import (
+    failure_correlation_index,
+    fleet_availability,
+    machine_availability,
+    mtbf_mttr,
+    peak_concurrent_failures,
+)
+from .injection import FailureInjector
+from .models import FailureEvent, SpaceCorrelatedModel, TimeCorrelatedModel
+
+__all__ = [
+    "FailureEvent",
+    "SpaceCorrelatedModel",
+    "TimeCorrelatedModel",
+    "FailureInjector",
+    "machine_availability",
+    "fleet_availability",
+    "mtbf_mttr",
+    "failure_correlation_index",
+    "peak_concurrent_failures",
+]

@@ -1,0 +1,89 @@
+"""Availability analysis of failure logs (§2.2, [25], [28]).
+
+Turns machine downtime intervals into the availability indicators the
+paper treats as first-class non-functional properties (P3): per-machine
+and fleet availability, MTBF/MTTR estimates, and a correlation index
+measuring how strongly failures cluster — the signature of [26]'s
+space-correlated bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .models import FailureEvent
+
+__all__ = ["machine_availability", "fleet_availability", "mtbf_mttr",
+           "failure_correlation_index", "peak_concurrent_failures"]
+
+
+def machine_availability(intervals: Sequence[tuple[float, float]],
+                         horizon: float) -> float:
+    """Fraction of ``[0, horizon)`` the machine was up."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    down = sum(min(end, horizon) - max(start, 0.0)
+               for start, end in intervals
+               if end > 0.0 and start < horizon)
+    return max(0.0, 1.0 - down / horizon)
+
+
+def fleet_availability(downtime: Mapping[str, Sequence[tuple[float, float]]],
+                       horizon: float) -> float:
+    """Mean machine availability across the fleet."""
+    if not downtime:
+        raise ValueError("empty fleet")
+    return sum(machine_availability(intervals, horizon)
+               for intervals in downtime.values()) / len(downtime)
+
+
+def mtbf_mttr(events: Sequence[FailureEvent],
+              horizon: float) -> tuple[float, float]:
+    """Mean time between failure bursts and mean time to repair.
+
+    MTBF is the horizon divided by the burst count (inf when no
+    failures); MTTR is the mean burst duration (0 when no failures).
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if not events:
+        return float("inf"), 0.0
+    mtbf = horizon / len(events)
+    mttr = sum(e.duration for e in events) / len(events)
+    return mtbf, mttr
+
+
+def failure_correlation_index(events: Sequence[FailureEvent]) -> float:
+    """Fraction of machine-failures that arrived in multi-machine bursts.
+
+    0.0 means all failures were independent single-machine events; 1.0
+    means every failure was part of a correlated group — the
+    space-correlated regime of [26].
+    """
+    total = sum(len(e.machine_names) for e in events)
+    if total == 0:
+        return 0.0
+    correlated = sum(len(e.machine_names) for e in events
+                     if len(e.machine_names) > 1)
+    return correlated / total
+
+
+def peak_concurrent_failures(events: Sequence[FailureEvent]) -> int:
+    """Maximum number of machines simultaneously down.
+
+    The capacity-planning quantity behind "tolerance to correlated
+    failures" (P3): replication must survive the peak, not the mean.
+    """
+    if not events:
+        return 0
+    changes: list[tuple[float, int]] = []
+    for event in events:
+        size = len(event.machine_names)
+        changes.append((event.time, size))
+        changes.append((event.time + event.duration, -size))
+    changes.sort()
+    concurrent = peak = 0
+    for _, delta in changes:
+        concurrent += delta
+        peak = max(peak, concurrent)
+    return peak

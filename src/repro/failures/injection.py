@@ -1,0 +1,87 @@
+"""Failure injection into running datacenter simulations (S8, C17).
+
+The :class:`FailureInjector` replays a list of
+:class:`~repro.failures.models.FailureEvent` objects against a
+:class:`~repro.datacenter.datacenter.Datacenter`: at each event time it
+takes the victim machines down (interrupting their tasks) and schedules
+their repair.  Machine up/down transitions are logged so availability
+can be analyzed afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datacenter.datacenter import Datacenter
+from ..sim import Simulator
+from .models import FailureEvent
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Replays failure events against a datacenter."""
+
+    def __init__(self, sim: Simulator, datacenter: Datacenter,
+                 events: Sequence[FailureEvent]) -> None:
+        self.sim = sim
+        self.datacenter = datacenter
+        self.events = sorted(events, key=lambda e: e.time)
+        self._machines = {m.name: m for m in datacenter.machines()}
+        unknown = [name for event in self.events
+                   for name in event.machine_names
+                   if name not in self._machines]
+        if unknown:
+            raise ValueError(f"events reference unknown machines: {unknown[:3]}")
+        #: (time, machine_name, "down"|"up") transition log.
+        self.transitions: list[tuple[float, str, str]] = []
+        #: Tasks killed by injected failures.
+        self.victim_tasks = 0
+        #: Repairs still outstanding per machine (handles overlapping hits).
+        self._down_depth: dict[str, int] = {}
+        sim.process(self._run(), name="failure-injector")
+
+    def _run(self):
+        for event in self.events:
+            delay = event.time - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            for name in event.machine_names:
+                self._take_down(name)
+            self.sim.process(self._repair_later(event),
+                             name=f"repair@{event.time:.0f}")
+
+    def _take_down(self, name: str) -> None:
+        machine = self._machines[name]
+        depth = self._down_depth.get(name, 0)
+        if depth == 0:
+            victims = self.datacenter.fail_machine(machine)
+            self.victim_tasks += len(victims)
+            self.transitions.append((self.sim.now, name, "down"))
+        self._down_depth[name] = depth + 1
+
+    def _repair_later(self, event: FailureEvent):
+        yield self.sim.timeout(event.duration)
+        for name in event.machine_names:
+            depth = self._down_depth.get(name, 0)
+            if depth <= 1:
+                self._down_depth.pop(name, None)
+                self.datacenter.repair_machine(self._machines[name])
+                self.transitions.append((self.sim.now, name, "up"))
+            else:
+                self._down_depth[name] = depth - 1
+
+    def downtime_intervals(self) -> dict[str, list[tuple[float, float]]]:
+        """Per-machine [down, up) intervals; open intervals end at now."""
+        open_since: dict[str, float] = {}
+        intervals: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in self._machines}
+        for time, name, kind in self.transitions:
+            if kind == "down":
+                open_since[name] = time
+            else:
+                start = open_since.pop(name)
+                intervals[name].append((start, time))
+        for name, start in open_since.items():
+            intervals[name].append((start, self.sim.now))
+        return intervals

@@ -1,0 +1,57 @@
+"""Online-gaming substrate (S12): the Figure 4 architecture (§6.3).
+
+The four gaming functions — an elastic zoned virtual world with
+self-hosted vs. cloud provisioning, session/retention analytics,
+POGGI-style procedural content generation, and social meta-gaming with
+implicit tie graphs and toxicity detection.
+"""
+
+from .analytics import (
+    PlayEvent,
+    Session,
+    engagement_summary,
+    retention,
+    sessionize,
+)
+from .architecture import GAMING_FUNCTIONS, GamingArchitecture, GamingFunction
+from .content import PuzzleGenerator, PuzzleInstance, generation_batch
+from .metagaming import (
+    ChatMessage,
+    Match,
+    ToxicityDetector,
+    implicit_social_network,
+    social_communities,
+    tie_strength,
+)
+from .virtualworld import (
+    CloudProvisioner,
+    SelfHostedProvisioner,
+    VirtualWorld,
+    Zone,
+    diurnal_player_curve,
+)
+
+__all__ = [
+    "GamingFunction",
+    "GAMING_FUNCTIONS",
+    "GamingArchitecture",
+    "Zone",
+    "VirtualWorld",
+    "SelfHostedProvisioner",
+    "CloudProvisioner",
+    "diurnal_player_curve",
+    "PlayEvent",
+    "Session",
+    "sessionize",
+    "retention",
+    "engagement_summary",
+    "PuzzleInstance",
+    "PuzzleGenerator",
+    "generation_batch",
+    "Match",
+    "implicit_social_network",
+    "tie_strength",
+    "social_communities",
+    "ChatMessage",
+    "ToxicityDetector",
+]

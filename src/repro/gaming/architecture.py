@@ -1,0 +1,92 @@
+"""The functional reference architecture for online gaming (Figure 4, §6.3).
+
+Figure 4 is a "house" of four key functions: the *Virtual World*
+(maintaining a seamless world), *Gaming Analytics* (player/game data
+analysis), *Procedural Content Generation* (automated content), and
+*Social Meta-Gaming* (community activities around the game).  The
+paper pairs each function with the service gap today's industry leaves
+open (§6.3 items (i)-(iv)); both are encoded here, with the
+implementing module of this reproduction attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["GamingFunction", "GAMING_FUNCTIONS", "GamingArchitecture"]
+
+
+@dataclass(frozen=True)
+class GamingFunction:
+    """One of the four Figure 4 functions."""
+
+    name: str
+    responsibility: str
+    current_gap: str
+    main_topics: tuple[str, ...]
+    module: str
+
+
+#: Figure 4 of the paper (1 level of depth), with §6.3's service gaps.
+GAMING_FUNCTIONS: tuple[GamingFunction, ...] = (
+    GamingFunction(
+        "Virtual World",
+        "maintaining a seamless virtual world",
+        "worlds cannot host more than a few thousands of players in the "
+        "same contiguous virtual-space; fast-paced games rarely exceed a "
+        "few tens of simultaneous players",
+        ("scalability", "consistency", "latency", "elastic hosting"),
+        "repro.gaming.virtualworld"),
+    GamingFunction(
+        "Gaming Analytics",
+        "analysis of game and especially player data for business and "
+        "operational decisions",
+        "player activity is rarely analyzed in depth; social-network "
+        "correlation across large groups is not offered as a service",
+        ("player behavior", "retention", "social networks", "toxicity"),
+        "repro.gaming.analytics"),
+    GamingFunction(
+        "Procedural Content Generation",
+        "generation, curation, and provision of content",
+        "game content is rarely updated, rarely player-customized, and "
+        "never fresh at the scale of the community",
+        ("puzzle instances", "difficulty calibration", "batch generation"),
+        "repro.gaming.content"),
+    GamingFunction(
+        "Social Meta-Gaming",
+        "managing and fostering a community using the game as a symbol "
+        "for diverse activities",
+        "the social platform offers only basic tools beyond viewing and "
+        "sharing of basic content",
+        ("tournaments", "spectating", "implicit social ties"),
+        "repro.gaming.metagaming"),
+)
+
+
+class GamingArchitecture:
+    """Queryable regeneration of Figure 4."""
+
+    def __init__(self, functions: tuple[GamingFunction, ...]
+                 = GAMING_FUNCTIONS) -> None:
+        names = [f.name for f in functions]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate function names")
+        self._functions = functions
+
+    def __iter__(self) -> Iterator[GamingFunction]:
+        return iter(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def get(self, name: str) -> GamingFunction:
+        """Look up one function by name."""
+        for function in self._functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)
+
+    def table_rows(self) -> list[tuple[str, str]]:
+        """(function, main topics) rows regenerating Figure 4."""
+        return [(f.name, ", ".join(f.main_topics)) for f in self._functions]

@@ -1,0 +1,123 @@
+"""Procedural content generation, POGGI-style ([166]; Figure 4).
+
+The paper's gap (iii): "the game content is rarely updated, rarely
+player-customized, and never fresh at the scale of the community".
+POGGI [166] generated *puzzle instances* on grid infrastructure,
+calibrated by difficulty.  This module reproduces that design: a
+deterministic puzzle-instance generator with a verifiable solution and
+a difficulty model, plus a batcher that turns a content request into a
+bag-of-tasks runnable on the datacenter substrate — generation at
+community scale is exactly a throughput workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..workload.task import BagOfTasks, Task
+
+__all__ = ["PuzzleInstance", "PuzzleGenerator", "generation_batch"]
+
+
+@dataclass(frozen=True)
+class PuzzleInstance:
+    """A sliding-sequence number puzzle with a guaranteed solution.
+
+    The player must reorder ``scrambled`` into ascending order using
+    adjacent swaps; ``optimal_moves`` (the inversion count) is the
+    minimum number of swaps, which is the difficulty driver.
+    """
+
+    puzzle_id: int
+    scrambled: tuple[int, ...]
+    optimal_moves: int
+    difficulty: float
+
+    def is_solvable(self) -> bool:
+        """Adjacent-swap puzzles are always solvable; kept for API parity."""
+        return sorted(self.scrambled) == list(range(len(self.scrambled)))
+
+
+def _inversions(sequence: tuple[int, ...]) -> int:
+    count = 0
+    for i, a in enumerate(sequence):
+        for b in sequence[i + 1:]:
+            if a > b:
+                count += 1
+    return count
+
+
+class PuzzleGenerator:
+    """Generates difficulty-calibrated puzzle instances.
+
+    Difficulty in [0, 1] maps to an inversion-count target: 0 yields
+    nearly sorted sequences, 1 yields maximally scrambled ones.  The
+    generator retries scrambles until the instance lands within
+    ``tolerance`` of the requested difficulty — POGGI's calibration.
+    """
+
+    def __init__(self, size: int = 8, tolerance: float = 0.15,
+                 rng: random.Random | None = None) -> None:
+        if size < 2:
+            raise ValueError("size must be >= 2")
+        if not 0.0 < tolerance <= 1.0:
+            raise ValueError("tolerance must be in (0, 1]")
+        self.size = size
+        self.tolerance = tolerance
+        self.rng = rng or random.Random(0)
+        self._next_id = 1
+
+    @property
+    def max_inversions(self) -> int:
+        """Worst-case inversion count for the configured size."""
+        return self.size * (self.size - 1) // 2
+
+    def generate(self, difficulty: float,
+                 max_attempts: int = 1000) -> PuzzleInstance:
+        """One instance whose difficulty is close to the target."""
+        if not 0.0 <= difficulty <= 1.0:
+            raise ValueError("difficulty must be in [0, 1]")
+        target = difficulty * self.max_inversions
+        for _ in range(max_attempts):
+            sequence = list(range(self.size))
+            self.rng.shuffle(sequence)
+            inversions = _inversions(tuple(sequence))
+            achieved = inversions / self.max_inversions
+            if abs(achieved - difficulty) <= self.tolerance:
+                instance = PuzzleInstance(
+                    puzzle_id=self._next_id,
+                    scrambled=tuple(sequence),
+                    optimal_moves=inversions,
+                    difficulty=achieved)
+                self._next_id += 1
+                return instance
+        raise RuntimeError(
+            f"could not calibrate difficulty {difficulty} in "
+            f"{max_attempts} attempts")
+
+    def generate_many(self, difficulty: float, count: int,
+                      ) -> list[PuzzleInstance]:
+        """A batch of calibrated instances."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.generate(difficulty) for _ in range(count)]
+
+
+def generation_batch(count: int, seconds_per_instance: float = 2.0,
+                     submit_time: float = 0.0) -> BagOfTasks:
+    """A content-generation request as a datacenter bag-of-tasks.
+
+    POGGI's insight: content generation is conveniently parallel, so a
+    community-scale request becomes a bag of independent tasks for the
+    scheduling substrate.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if seconds_per_instance <= 0:
+        raise ValueError("seconds_per_instance must be positive")
+    tasks = [Task(runtime=seconds_per_instance, cores=1,
+                  name=f"poggi-{i}", kind="content-generation")
+             for i in range(count)]
+    return BagOfTasks("poggi-batch", tasks, user="content-pipeline",
+                      submit_time=submit_time)

@@ -1,0 +1,152 @@
+"""Social meta-gaming: implicit social ties and toxicity (Figure 4).
+
+Two of the paper's own research lines become executable here:
+
+- *Implicit social networks* ([82], [48], C5): players who repeatedly
+  play matches together form ties; :func:`implicit_social_network`
+  extracts the weighted tie graph from co-play records, and community
+  detection (CDLP from the Graphalytics suite) reveals the "collective
+  patterns of usage" C5 wants to exploit.
+- *Toxicity detection* ([35], P9): a lexicon-based message classifier
+  with per-player toxicity scores — the "emergent (anti-)social
+  behavior" DevOps teams must detect early and steer (C5, P9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..graphproc.algorithms import cdlp
+from ..graphproc.graph import Graph
+
+__all__ = ["Match", "implicit_social_network", "tie_strength",
+           "social_communities", "ChatMessage", "ToxicityDetector"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One played match: the players who shared it."""
+
+    match_id: int
+    players: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.players) < 1:
+            raise ValueError("a match needs at least one player")
+        if len(set(self.players)) != len(self.players):
+            raise ValueError("duplicate players in a match")
+
+
+def implicit_social_network(matches: Sequence[Match],
+                            min_coplays: int = 2) -> Graph:
+    """The implicit tie graph: players linked by repeated co-play [82].
+
+    An edge appears between two players who shared at least
+    ``min_coplays`` matches; its weight is the co-play count.  Vertices
+    are dense integer ids in first-appearance order; use
+    :func:`player_index` semantics via the returned graph's metadata.
+    """
+    if min_coplays < 1:
+        raise ValueError("min_coplays must be >= 1")
+    coplays: dict[tuple[str, str], int] = {}
+    players: dict[str, int] = {}
+    for match in matches:
+        for player in match.players:
+            players.setdefault(player, len(players))
+        roster = sorted(set(match.players))
+        for i, a in enumerate(roster):
+            for b in roster[i + 1:]:
+                coplays[(a, b)] = coplays.get((a, b), 0) + 1
+    graph = Graph(directed=False)
+    for player, index in players.items():
+        graph.add_vertex(index)
+    for (a, b), count in coplays.items():
+        if count >= min_coplays:
+            graph.add_edge(players[a], players[b], weight=float(count))
+    # Attach the name mapping for downstream interpretation.
+    graph.player_index = dict(players)  # type: ignore[attr-defined]
+    return graph
+
+
+def tie_strength(matches: Sequence[Match], a: str, b: str) -> int:
+    """Number of matches two players shared."""
+    return sum(1 for match in matches
+               if a in match.players and b in match.players)
+
+
+def social_communities(graph: Graph, iterations: int = 10,
+                       ) -> dict[int, int]:
+    """Communities of the tie graph via label propagation (CDLP).
+
+    Uses asynchronous propagation, which converges on the small dense
+    cliques typical of friend groups (synchronous CDLP can oscillate).
+    """
+    labels, _ = cdlp(graph, iterations=iterations, synchronous=False)
+    return labels
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One in-game chat message."""
+
+    player: str
+    text: str
+
+
+#: Default toxic lexicon (sanitized stand-ins; the method, not the
+#: words, is what [35] contributes).
+DEFAULT_LEXICON: Mapping[str, float] = {
+    "noob": 0.4,
+    "trash": 0.6,
+    "loser": 0.6,
+    "uninstall": 0.8,
+    "report": 0.3,
+    "toxic": 0.5,
+}
+
+
+class ToxicityDetector:
+    """Lexicon-based toxicity scoring of chat ([35]).
+
+    Each message scores the sum of its matched lexicon weights, capped
+    at 1.0; a message is *toxic* above ``threshold``.  Per-player
+    scores are exponential moving averages, so persistent offenders
+    rank above one-off flamers.
+    """
+
+    def __init__(self, lexicon: Mapping[str, float] | None = None,
+                 threshold: float = 0.5, smoothing: float = 0.3) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.lexicon = dict(DEFAULT_LEXICON if lexicon is None else lexicon)
+        self.threshold = threshold
+        self.smoothing = smoothing
+        self.player_scores: dict[str, float] = {}
+        self.flagged: list[ChatMessage] = []
+
+    def score(self, text: str) -> float:
+        """Toxicity score of one message in [0, 1]."""
+        words = text.lower().split()
+        raw = sum(self.lexicon.get(word.strip(".,!?"), 0.0)
+                  for word in words)
+        return min(1.0, raw)
+
+    def observe(self, message: ChatMessage) -> bool:
+        """Ingest a message; returns True when it crosses the threshold."""
+        score = self.score(message.text)
+        previous = self.player_scores.get(message.player, 0.0)
+        self.player_scores[message.player] = (
+            (1.0 - self.smoothing) * previous + self.smoothing * score)
+        if score > self.threshold:
+            self.flagged.append(message)
+            return True
+        return False
+
+    def worst_offenders(self, n: int = 5) -> list[tuple[str, float]]:
+        """Top-n players by running toxicity score."""
+        ranked = sorted(self.player_scores.items(),
+                        key=lambda pair: -pair[1])
+        return ranked[:n]

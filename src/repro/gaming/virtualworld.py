@@ -1,0 +1,210 @@
+"""A zoned virtual world with elastic cloud hosting (§6.3, [167], [168]).
+
+The paper asks: "Can small studios entertain up to one billion people
+with near-zero up-front costs?"  The enabler is massivizing the game
+onto clouds [167]: zones of the virtual world are hosted on servers
+that "can elastically scale with the ups and downs of active players
+[170]".
+
+:class:`VirtualWorld` partitions the world into zones with a per-server
+player capacity; :class:`SelfHostedProvisioner` (the incumbent
+approach: a fixed fleet bought up-front) and
+:class:`CloudProvisioner` (elastic, pay-per-use) provide the two
+hosting strategies the Table 4 / Figure 4 benchmarks compare on cost
+and quality of service.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..sim import Simulator, TimeWeightedMonitor
+
+__all__ = ["Zone", "VirtualWorld", "SelfHostedProvisioner",
+           "CloudProvisioner", "diurnal_player_curve"]
+
+
+def diurnal_player_curve(peak_players: int, period: float = 86400.0,
+                         trough_fraction: float = 0.2):
+    """Player-count function of time with a day/night cycle.
+
+    Returns a callable ``players(t)`` oscillating between
+    ``trough_fraction * peak`` and ``peak`` — the "ups and downs of
+    active players" the elastic hosting exploits.
+    """
+    if peak_players < 1:
+        raise ValueError("peak_players must be >= 1")
+    if not 0.0 <= trough_fraction <= 1.0:
+        raise ValueError("trough_fraction must be in [0, 1]")
+    amplitude = (1.0 - trough_fraction) / 2.0
+    midpoint = trough_fraction + amplitude
+
+    def players(t: float) -> int:
+        phase = math.sin(2.0 * math.pi * t / period - math.pi / 2.0)
+        return max(0, round(peak_players * (midpoint + amplitude * phase)))
+
+    return players
+
+
+@dataclass
+class Zone:
+    """One contiguous region of the virtual world."""
+
+    name: str
+    players: int = 0
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.servers < 0:
+            raise ValueError("servers must be non-negative")
+
+
+class VirtualWorld:
+    """A virtual world of zones with capacity-driven QoS.
+
+    Args:
+        sim: The simulator.
+        n_zones: Number of world zones.
+        players_per_server: Capacity of one game server; players beyond
+            ``servers * capacity`` in a zone experience degraded QoS
+            (lag), the paper's seamlessness failure.
+    """
+
+    def __init__(self, sim: Simulator, n_zones: int = 4,
+                 players_per_server: int = 100) -> None:
+        if n_zones < 1:
+            raise ValueError("n_zones must be >= 1")
+        if players_per_server < 1:
+            raise ValueError("players_per_server must be >= 1")
+        self.sim = sim
+        self.players_per_server = players_per_server
+        self.zones = [Zone(f"zone-{i}") for i in range(n_zones)]
+        self.lagged_player_time = 0.0
+        self.player_time = 0.0
+        self._last_account = sim.now
+
+    # ------------------------------------------------------------------
+    # Population dynamics
+    # ------------------------------------------------------------------
+    def set_population(self, total_players: int,
+                       rng: random.Random | None = None) -> None:
+        """Distribute ``total_players`` over zones (slightly uneven)."""
+        if total_players < 0:
+            raise ValueError("total_players must be non-negative")
+        self._account()
+        rng = rng or random.Random(0)
+        weights = [1.0 + 0.3 * rng.random() for _ in self.zones]
+        total_weight = sum(weights)
+        remaining = total_players
+        for zone, weight in zip(self.zones[:-1], weights[:-1]):
+            zone.players = min(remaining,
+                               round(total_players * weight / total_weight))
+            remaining -= zone.players
+        self.zones[-1].players = remaining
+
+    @property
+    def total_players(self) -> int:
+        """Players currently in the world."""
+        return sum(z.players for z in self.zones)
+
+    @property
+    def total_servers(self) -> int:
+        """Game servers currently provisioned across zones."""
+        return sum(z.servers for z in self.zones)
+
+    # ------------------------------------------------------------------
+    # Quality of service
+    # ------------------------------------------------------------------
+    def lagged_players(self) -> int:
+        """Players beyond provisioned capacity (experiencing lag)."""
+        return sum(max(0, z.players - z.servers * self.players_per_server)
+                   for z in self.zones)
+
+    def _account(self) -> None:
+        dt = self.sim.now - self._last_account
+        if dt > 0:
+            self.player_time += self.total_players * dt
+            self.lagged_player_time += self.lagged_players() * dt
+            self._last_account = self.sim.now
+
+    def qos(self) -> float:
+        """Fraction of player-time served without lag so far (1.0 best)."""
+        self._account()
+        if self.player_time == 0:
+            return 1.0
+        return 1.0 - self.lagged_player_time / self.player_time
+
+
+class SelfHostedProvisioner:
+    """The incumbent approach: a fixed fleet bought up-front (§6.3).
+
+    The fleet never changes; cost is the up-front purchase plus flat
+    operations.  Under-provisioning at peak means lag; over-
+    provisioning at trough means waste — the barrier that keeps small
+    studios out.
+    """
+
+    def __init__(self, world: VirtualWorld, servers_per_zone: int,
+                 server_price: float = 2000.0,
+                 ops_cost_per_hour: float = 0.05) -> None:
+        if servers_per_zone < 1:
+            raise ValueError("servers_per_zone must be >= 1")
+        self.world = world
+        self.server_price = server_price
+        self.ops_cost_per_hour = ops_cost_per_hour
+        for zone in world.zones:
+            zone.servers = servers_per_zone
+        self.upfront_cost = server_price * servers_per_zone * len(world.zones)
+
+    def total_cost(self, hours: float) -> float:
+        """Up-front purchase plus flat operations for ``hours``."""
+        return (self.upfront_cost
+                + self.world.total_servers * self.ops_cost_per_hour * hours)
+
+    def rebalance(self) -> None:
+        """Self-hosting cannot add servers; rebalancing is a no-op."""
+
+
+class CloudProvisioner:
+    """Elastic cloud hosting: lease per zone, pay per server-hour [167]."""
+
+    def __init__(self, world: VirtualWorld, sim: Simulator,
+                 price_per_server_hour: float = 0.5,
+                 headroom: float = 0.2) -> None:
+        if price_per_server_hour <= 0:
+            raise ValueError("price must be positive")
+        if headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        self.world = world
+        self.sim = sim
+        self.price_per_server_hour = price_per_server_hour
+        self.headroom = headroom
+        self._server_hours = TimeWeightedMonitor(
+            "servers", initial=world.total_servers, start_time=sim.now)
+
+    def rebalance(self) -> None:
+        """Resize every zone's lease to current players plus headroom."""
+        capacity = self.world.players_per_server
+        for zone in self.world.zones:
+            needed = math.ceil(zone.players * (1.0 + self.headroom)
+                               / capacity)
+            zone.servers = max(1, needed)
+        self._server_hours.update(self.sim.now,
+                                  float(self.world.total_servers))
+
+    def total_cost(self, hours: float | None = None) -> float:
+        """Pay-per-use cost: integrated server-hours x price.
+
+        ``hours`` is accepted for interface parity with the self-hosted
+        provisioner; the integration always ends at the current time.
+        """
+        seconds = self.sim.now
+        mean_servers = self._server_hours.time_average(until=seconds)
+        return mean_servers * (seconds / 3600.0) * self.price_per_server_hour
+
+    @property
+    def upfront_cost(self) -> float:
+        """Clouds have near-zero up-front cost — the paper's headline."""
+        return 0.0

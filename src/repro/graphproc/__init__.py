@@ -1,0 +1,61 @@
+"""Graph-processing substrate (S10): Graphalytics made executable (§6.6).
+
+Graph structures and generators, the six Graphalytics algorithms with
+work accounting, platform cost models from the cross-platform studies
+([45], [46]), and the benchmark harness with scalability, robustness,
+and workload-renewal support ([42]).
+"""
+
+from .algorithms import ALGORITHMS, OpCount, bfs, cdlp, lcc, pagerank, sssp, wcc
+from .graph import (
+    Graph,
+    grid_graph,
+    preferential_attachment_graph,
+    random_graph,
+)
+from .graphalytics import (
+    BenchmarkResult,
+    GraphalyticsHarness,
+    Workload,
+    default_workload,
+)
+from .calibration import Observation, calibrate_platform, validation_report
+from .csr import CSRGraph, bfs_csr, pagerank_csr
+from .chokepoints import (
+    CompressionReport,
+    CostBreakdown,
+    choke_point_analysis,
+    compress_experiments,
+)
+from .platforms import PLATFORMS, PlatformModel
+
+__all__ = [
+    "Graph",
+    "random_graph",
+    "preferential_attachment_graph",
+    "grid_graph",
+    "OpCount",
+    "bfs",
+    "pagerank",
+    "wcc",
+    "cdlp",
+    "lcc",
+    "sssp",
+    "ALGORITHMS",
+    "PlatformModel",
+    "PLATFORMS",
+    "BenchmarkResult",
+    "Workload",
+    "GraphalyticsHarness",
+    "default_workload",
+    "Observation",
+    "calibrate_platform",
+    "validation_report",
+    "CostBreakdown",
+    "choke_point_analysis",
+    "CompressionReport",
+    "compress_experiments",
+    "CSRGraph",
+    "bfs_csr",
+    "pagerank_csr",
+]

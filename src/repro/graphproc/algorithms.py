@@ -1,0 +1,214 @@
+"""The six Graphalytics algorithms (LDBC Graphalytics [42]).
+
+BFS, PageRank, WCC, CDLP, LCC, and SSSP — "a comprehensive suite of
+real-world algorithms" — each returning both its result and an
+:class:`OpCount` of the work performed (vertices touched, edges
+scanned, iterations), which the platform models of
+:mod:`repro.graphproc.platforms` convert into modeled runtimes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .graph import Graph
+
+__all__ = ["OpCount", "bfs", "pagerank", "wcc", "cdlp", "lcc", "sssp",
+           "ALGORITHMS"]
+
+
+@dataclass
+class OpCount:
+    """Work accounting for one algorithm run."""
+
+    vertices_touched: int = 0
+    edges_scanned: int = 0
+    iterations: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        """Total primitive operations (vertex + edge work)."""
+        return self.vertices_touched + self.edges_scanned
+
+
+def bfs(graph: Graph, source: int) -> tuple[dict[int, int], OpCount]:
+    """Breadth-first search: vertex -> depth from ``source``.
+
+    Unreachable vertices are absent from the result (Graphalytics uses
+    a sentinel; absence is equivalent and easier to test).
+    """
+    if source not in set(graph.vertices()):
+        raise KeyError(source)
+    ops = OpCount()
+    depth = {source: 0}
+    frontier = [source]
+    while frontier:
+        ops.iterations += 1
+        next_frontier = []
+        for u in frontier:
+            ops.vertices_touched += 1
+            for v in graph.neighbors(u):
+                ops.edges_scanned += 1
+                if v not in depth:
+                    depth[v] = depth[u] + 1
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return depth, ops
+
+
+def pagerank(graph: Graph, damping: float = 0.85, iterations: int = 20,
+             ) -> tuple[dict[int, float], OpCount]:
+    """PageRank with uniform teleport and dangling-mass redistribution."""
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    if n == 0:
+        raise ValueError("empty graph")
+    ops = OpCount()
+    rank = {v: 1.0 / n for v in vertices}
+    for _ in range(iterations):
+        ops.iterations += 1
+        dangling = sum(rank[v] for v in vertices if graph.degree(v) == 0)
+        incoming = {v: 0.0 for v in vertices}
+        for u in vertices:
+            ops.vertices_touched += 1
+            out_degree = graph.degree(u)
+            if out_degree == 0:
+                continue
+            share = rank[u] / out_degree
+            for v in graph.neighbors(u):
+                ops.edges_scanned += 1
+                incoming[v] += share
+        base = (1.0 - damping) / n + damping * dangling / n
+        rank = {v: base + damping * incoming[v] for v in vertices}
+    return rank, ops
+
+
+def wcc(graph: Graph) -> tuple[dict[int, int], OpCount]:
+    """Weakly connected components: vertex -> smallest vertex id in
+    its component (edge direction ignored, per Graphalytics)."""
+    ops = OpCount()
+    undirected: dict[int, set[int]] = {v: set() for v in graph.vertices()}
+    for u, v, _ in graph.edges():
+        undirected[u].add(v)
+        undirected[v].add(u)
+    component: dict[int, int] = {}
+    for start in sorted(undirected):
+        if start in component:
+            continue
+        ops.iterations += 1
+        stack = [start]
+        component[start] = start
+        while stack:
+            u = stack.pop()
+            ops.vertices_touched += 1
+            for v in undirected[u]:
+                ops.edges_scanned += 1
+                if v not in component:
+                    component[v] = start
+                    stack.append(v)
+    return component, ops
+
+
+def cdlp(graph: Graph, iterations: int = 10,
+         synchronous: bool = True) -> tuple[dict[int, int], OpCount]:
+    """Community detection by label propagation (min-tie-breaking).
+
+    Each vertex adopts the most frequent label among its neighbors,
+    breaking ties toward the smallest label.  ``synchronous=True`` is
+    the deterministic variant Graphalytics specifies; it can oscillate
+    on bipartite-like structures, so applications that need convergence
+    (e.g. social-community extraction) use ``synchronous=False``, which
+    updates labels in place in vertex order.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    ops = OpCount()
+    labels = {v: v for v in graph.vertices()}
+    for _ in range(iterations):
+        ops.iterations += 1
+        new_labels = {} if synchronous else labels
+        changed = False
+        for u in graph.vertices():
+            ops.vertices_touched += 1
+            counts: dict[int, int] = {}
+            for v in graph.neighbors(u):
+                ops.edges_scanned += 1
+                counts[labels[v]] = counts.get(labels[v], 0) + 1
+            if not counts:
+                new_labels[u] = labels[u]
+                continue
+            best = min(label for label, count in counts.items()
+                       if count == max(counts.values()))
+            changed = changed or best != labels[u]
+            new_labels[u] = best
+        labels = new_labels
+        if not changed:
+            break
+    return labels, ops
+
+
+def lcc(graph: Graph) -> tuple[dict[int, float], OpCount]:
+    """Local clustering coefficient of every vertex.
+
+    For vertex v with neighbor set N(v): the fraction of ordered
+    neighbor pairs connected by an edge (0 when |N(v)| < 2).
+    """
+    ops = OpCount()
+    result = {}
+    for v in graph.vertices():
+        ops.vertices_touched += 1
+        nbrs = list(graph.neighbors(v))
+        k = len(nbrs)
+        if k < 2:
+            result[v] = 0.0
+            continue
+        links = 0
+        for a in nbrs:
+            for b in nbrs:
+                if a == b:
+                    continue
+                ops.edges_scanned += 1
+                if graph.has_edge(a, b):
+                    links += 1
+        result[v] = links / (k * (k - 1))
+    return result, ops
+
+
+def sssp(graph: Graph, source: int) -> tuple[dict[int, float], OpCount]:
+    """Single-source shortest paths (Dijkstra over edge weights)."""
+    if source not in set(graph.vertices()):
+        raise KeyError(source)
+    ops = OpCount()
+    distance = {source: 0.0}
+    heap = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        dist, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        ops.vertices_touched += 1
+        ops.iterations += 1
+        for v, weight in graph.neighbors(u).items():
+            ops.edges_scanned += 1
+            candidate = dist + weight
+            if candidate < distance.get(v, float("inf")):
+                distance[v] = candidate
+                heapq.heappush(heap, (candidate, v))
+    return distance, ops
+
+
+#: The Graphalytics algorithm suite, by benchmark abbreviation.
+ALGORITHMS = {
+    "bfs": bfs,
+    "pr": pagerank,
+    "wcc": wcc,
+    "cdlp": cdlp,
+    "lcc": lcc,
+    "sssp": sssp,
+}

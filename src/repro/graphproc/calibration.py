@@ -1,0 +1,96 @@
+"""Calibrating platform models from measurements (C15, §3.3).
+
+"Simulation-based *calibrated* approaches ... this approach challenges
+scientists to develop reasonably accurate models ... Validating that
+this is indeed the case ... is a key scientific challenge."
+
+:func:`calibrate_platform` fits the four-parameter
+:class:`~repro.graphproc.platforms.PlatformModel` (per-edge, per-vertex,
+barrier, overhead costs) to observed ``(OpCount, workers, runtime)``
+measurements by non-negative least squares, and
+:func:`validation_report` quantifies how well a model explains held-out
+measurements — the validation study P8 says the community must value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy
+
+from .algorithms import OpCount
+from .platforms import PlatformModel
+
+__all__ = ["Observation", "calibrate_platform", "validation_report"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured run: the work done, the workers used, the runtime."""
+
+    ops: OpCount
+    workers: int
+    runtime: float
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.runtime < 0:
+            raise ValueError("runtime must be non-negative")
+
+
+def _design_row(observation: Observation, max_workers: int) -> list[float]:
+    effective = min(observation.workers, max_workers)
+    return [
+        observation.ops.edges_scanned / effective,     # per_edge
+        observation.ops.vertices_touched / effective,  # per_vertex
+        float(observation.ops.iterations),             # barrier
+        1.0,                                           # overhead
+    ]
+
+
+def calibrate_platform(observations: Sequence[Observation],
+                       name: str = "calibrated",
+                       max_workers: int = 64) -> PlatformModel:
+    """Fit a platform cost model to measurements.
+
+    Uses least squares with a non-negativity clamp (costs cannot be
+    negative); needs at least four observations with some diversity in
+    work/iterations, else the system is under-determined.
+    """
+    if len(observations) < 4:
+        raise ValueError("need at least 4 observations to fit 4 parameters")
+    design = numpy.array([_design_row(o, max_workers) for o in observations])
+    target = numpy.array([o.runtime for o in observations])
+    solution, *_ = numpy.linalg.lstsq(design, target, rcond=None)
+    per_edge, per_vertex, barrier, overhead = (
+        max(0.0, float(v)) for v in solution)
+    return PlatformModel(name=name, per_edge=per_edge,
+                         per_vertex=per_vertex, barrier=barrier,
+                         overhead=overhead, max_workers=max_workers)
+
+
+def validation_report(model: PlatformModel,
+                      observations: Sequence[Observation],
+                      ) -> dict[str, float]:
+    """How well ``model`` explains held-out measurements.
+
+    Returns the mean absolute percentage error (MAPE), the maximum
+    relative error, and R^2 against the observation mean.
+    """
+    if not observations:
+        raise ValueError("need at least one observation")
+    predicted = numpy.array([model.runtime(o.ops, o.workers)
+                             for o in observations])
+    actual = numpy.array([o.runtime for o in observations])
+    nonzero = numpy.maximum(actual, 1e-12)
+    relative_errors = numpy.abs(predicted - actual) / nonzero
+    residual = float(numpy.sum((predicted - actual) ** 2))
+    total = float(numpy.sum((actual - actual.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return {
+        "mape": float(relative_errors.mean()),
+        "max_relative_error": float(relative_errors.max()),
+        "r_squared": r_squared,
+    }

@@ -1,0 +1,172 @@
+"""Choke-point analysis and experiment compression (C17; [141]).
+
+Two C17 instruments:
+
+- *Choke-point analysis* ([141], the LDBC methodology): "designing
+  benchmarks using a choke-point analysis could expose performance and
+  functionality issues in key components of a system".
+  :func:`choke_point_analysis` decomposes each benchmark cell's modeled
+  runtime into its cost components (edge work, vertex work, barriers,
+  overhead) and names the dominant one — the choke point a platform
+  designer must attack for that (platform, algorithm, dataset) cell.
+
+- *Experiment compression*: "we envision experiment compression (i.e.,
+  combining real-world experiments with emulation and simulation) as
+  key to achieving sustainable testing, validation, and benchmarking".
+  :func:`compress_experiments` runs only a sampled subset of a
+  parameter grid "for real", calibrates a cost model on those runs, and
+  predicts the rest — reporting the runs saved and the prediction
+  error, i.e. the accuracy/time-to-result trade-off C17 names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .algorithms import OpCount
+from .calibration import Observation, calibrate_platform, validation_report
+from .platforms import PlatformModel
+
+__all__ = ["CostBreakdown", "choke_point_analysis",
+           "CompressionReport", "compress_experiments"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One cell's runtime decomposed into cost components."""
+
+    edge_work: float
+    vertex_work: float
+    barriers: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return (self.edge_work + self.vertex_work + self.barriers
+                + self.overhead)
+
+    @property
+    def choke_point(self) -> str:
+        """The dominant cost component."""
+        components = {
+            "edge-work": self.edge_work,
+            "vertex-work": self.vertex_work,
+            "barriers": self.barriers,
+            "overhead": self.overhead,
+        }
+        return max(components, key=lambda k: components[k])
+
+    def fraction(self, component: str) -> float:
+        """One component's share of the total (0 when total is 0)."""
+        values = {"edge-work": self.edge_work,
+                  "vertex-work": self.vertex_work,
+                  "barriers": self.barriers,
+                  "overhead": self.overhead}
+        if component not in values:
+            raise KeyError(component)
+        if self.total == 0:
+            return 0.0
+        return values[component] / self.total
+
+
+def choke_point_analysis(model: PlatformModel, ops: OpCount,
+                         workers: int = 1) -> CostBreakdown:
+    """Decompose one run's modeled cost into its components."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    effective = min(workers, model.max_workers)
+    return CostBreakdown(
+        edge_work=ops.edges_scanned * model.per_edge / effective,
+        vertex_work=ops.vertices_touched * model.per_vertex / effective,
+        barriers=ops.iterations * model.barrier,
+        overhead=model.overhead,
+    )
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Outcome of a compressed experiment campaign."""
+
+    total_points: int
+    real_runs: int
+    predicted_points: int
+    mape: float
+    max_relative_error: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of real runs avoided (0 = none, 1 = all)."""
+        if self.total_points == 0:
+            return 0.0
+        return self.predicted_points / self.total_points
+
+
+def compress_experiments(
+        grid: Sequence[tuple[OpCount, int]],
+        real_runner: Callable[[OpCount, int], float],
+        real_fraction: float = 0.3,
+        max_workers: int = 64) -> tuple[CompressionReport, list[float]]:
+    """Run part of a grid for real, predict the rest via calibration.
+
+    Args:
+        grid: The (ops, workers) points of the full campaign.
+        real_runner: The expensive real experiment, returning a runtime.
+        real_fraction: Fraction of the grid to actually run (evenly
+            strided, so the sample spans the grid).
+        max_workers: Worker cap of the fitted model.
+
+    Returns the report plus the full runtime vector (measured where
+    real, predicted elsewhere), in grid order.
+
+    Note on methodology: to *assess* the compression error, this
+    harness also runs the real experiment on the held-out points and
+    compares — a meta-evaluation a production campaign would skip
+    (that is where the saving comes from).  The reported ``real_runs``
+    counts only the calibration runs a compressed campaign would pay.
+    """
+    if not grid:
+        raise ValueError("empty experiment grid")
+    if not 0.0 < real_fraction <= 1.0:
+        raise ValueError("real_fraction must be in (0, 1]")
+    n_real = max(4, round(len(grid) * real_fraction))
+    n_real = min(n_real, len(grid))
+    stride = max(1, len(grid) // n_real)
+    real_indices = sorted(set(range(0, len(grid), stride)))[:n_real]
+    # When the grid is tiny, just run everything for real.
+    if len(real_indices) < 4 or len(real_indices) >= len(grid):
+        runtimes = [real_runner(ops, workers) for ops, workers in grid]
+        report = CompressionReport(total_points=len(grid),
+                                   real_runs=len(grid),
+                                   predicted_points=0, mape=0.0,
+                                   max_relative_error=0.0)
+        return report, runtimes
+
+    observations = [Observation(ops=grid[i][0], workers=grid[i][1],
+                                runtime=real_runner(*grid[i]))
+                    for i in real_indices]
+    model = calibrate_platform(observations, name="compressed",
+                               max_workers=max_workers)
+    # Error is assessed against the real runner on the predicted points.
+    predicted_indices = [i for i in range(len(grid))
+                         if i not in set(real_indices)]
+    holdout = [Observation(ops=grid[i][0], workers=grid[i][1],
+                           runtime=real_runner(*grid[i]))
+               for i in predicted_indices]
+    accuracy = validation_report(model, holdout)
+    runtimes = []
+    real_set = set(real_indices)
+    real_by_index = {i: o.runtime
+                     for i, o in zip(real_indices, observations)}
+    for index, (ops, workers) in enumerate(grid):
+        if index in real_set:
+            runtimes.append(real_by_index[index])
+        else:
+            runtimes.append(model.runtime(ops, workers))
+    report = CompressionReport(
+        total_points=len(grid), real_runs=len(real_indices),
+        predicted_points=len(predicted_indices),
+        mape=accuracy["mape"],
+        max_relative_error=accuracy["max_relative_error"])
+    return report, runtimes

@@ -1,0 +1,183 @@
+"""Graph data structures and generators (§6.6, [42], [45]).
+
+A compact adjacency-list graph supporting the Graphalytics workloads:
+directed or undirected, optional edge weights, degree statistics, and
+the synthetic generators used for benchmark datasets — uniform random
+(Erdős–Rényi), preferential attachment (scale-free, like social
+networks), and 2D grids (like road networks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator
+
+__all__ = ["Graph", "random_graph", "preferential_attachment_graph",
+           "grid_graph"]
+
+
+class Graph:
+    """An adjacency-list graph with integer vertices."""
+
+    def __init__(self, directed: bool = False) -> None:
+        self.directed = directed
+        self._adjacency: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int) -> None:
+        """Add an isolated vertex (no-op if present)."""
+        self._adjacency.setdefault(vertex, {})
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add an edge (both directions when undirected)."""
+        if weight <= 0:
+            raise ValueError("edge weight must be positive")
+        if u == v:
+            raise ValueError("self-loops are not supported")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adjacency[u][v] = weight
+        if not self.directed:
+            self._adjacency[v][u] = weight
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]],
+                   directed: bool = False) -> "Graph":
+        """Build an unweighted graph from an edge list."""
+        graph = cls(directed=directed)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges (undirected edges counted once)."""
+        total = sum(len(nbrs) for nbrs in self._adjacency.values())
+        return total if self.directed else total // 2
+
+    def vertices(self) -> Iterator[int]:
+        """All vertices, in insertion order."""
+        return iter(self._adjacency)
+
+    def neighbors(self, vertex: int) -> dict[int, float]:
+        """Out-neighbors (with weights) of a vertex."""
+        if vertex not in self._adjacency:
+            raise KeyError(vertex)
+        return self._adjacency[vertex]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge (u, v) exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def degree(self, vertex: int) -> int:
+        """Out-degree of a vertex."""
+        return len(self.neighbors(vertex))
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """All edges as (u, v, weight); undirected edges emitted once."""
+        for u, nbrs in self._adjacency.items():
+            for v, weight in nbrs.items():
+                if self.directed or u < v:
+                    yield (u, v, weight)
+
+    def degree_statistics(self) -> dict[str, float]:
+        """Mean/max degree and density — dataset characterization."""
+        n = self.vertex_count
+        if n == 0:
+            raise ValueError("empty graph")
+        degrees = [self.degree(v) for v in self.vertices()]
+        m = self.edge_count
+        possible = n * (n - 1) if self.directed else n * (n - 1) / 2
+        return {
+            "vertices": float(n),
+            "edges": float(m),
+            "mean_degree": sum(degrees) / n,
+            "max_degree": float(max(degrees)),
+            "density": (m / possible) if possible else 0.0,
+        }
+
+
+def random_graph(n: int, p: float, directed: bool = False,
+                 rng: random.Random | None = None) -> Graph:
+    """Erdős–Rényi G(n, p); sparse-friendly (geometric edge skipping)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = rng or random.Random(0)
+    graph = Graph(directed=directed)
+    for v in range(n):
+        graph.add_vertex(v)
+    if p < 1e-12:  # including denormals that underflow log1p(-p)
+        return graph
+    for u in range(n):
+        start = 0 if directed else u + 1
+        v = start - 1
+        while True:
+            # Skip ahead geometrically instead of testing every pair.
+            gap = 1 if p >= 1.0 else int(
+                rng.expovariate(-_log1m(p))) + 1
+            v += gap
+            if v >= n:
+                break
+            if v != u:
+                graph.add_edge(u, v)
+    return graph
+
+
+def _log1m(p: float) -> float:
+    import math
+    return math.log(1.0 - p) if p < 1.0 else -math.inf
+
+
+def preferential_attachment_graph(n: int, m: int = 2,
+                                  rng: random.Random | None = None) -> Graph:
+    """Barabási–Albert scale-free graph: new vertices attach to hubs."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n < m + 1:
+        raise ValueError("n must exceed m")
+    rng = rng or random.Random(0)
+    graph = Graph(directed=False)
+    targets = list(range(m + 1))
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            graph.add_edge(u, v)
+    # Repeated vertices in this list implement preferential attachment.
+    attachment_pool: list[int] = []
+    for u, v, _ in graph.edges():
+        attachment_pool.extend((u, v))
+    for new in range(m + 1, n):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(rng.choice(attachment_pool))
+        for target in chosen:
+            graph.add_edge(new, target)
+            attachment_pool.extend((new, target))
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols 2D lattice (road-network-like)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    graph = Graph(directed=False)
+    for r in range(rows):
+        for c in range(cols):
+            vertex = r * cols + c
+            graph.add_vertex(vertex)
+            if c + 1 < cols:
+                graph.add_edge(vertex, vertex + 1)
+            if r + 1 < rows:
+                graph.add_edge(vertex, vertex + cols)
+    return graph

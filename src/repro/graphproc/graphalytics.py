@@ -1,0 +1,218 @@
+"""A Graphalytics-style benchmark harness (LDBC Graphalytics [42], C16).
+
+Central to Graphalytics is "objective comparison between
+graph-processing platforms by controlling the key parameters", with
+(i) a comprehensive algorithm/dataset suite, (ii) metrics for
+performance, scalability (horizontal/vertical, weak/strong) and
+robustness (failures, performance variability), and (iii) a renewal
+process to curate the workload over time.  This harness implements all
+three over the :mod:`repro.graphproc` algorithm and platform models.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..sim import summarize
+from .algorithms import ALGORITHMS, OpCount
+from .graph import Graph, preferential_attachment_graph, random_graph
+from .platforms import PLATFORMS, PlatformModel
+
+__all__ = ["BenchmarkResult", "Workload", "GraphalyticsHarness",
+           "default_workload"]
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One (platform, algorithm, dataset) measurement row."""
+
+    platform: str
+    algorithm: str
+    dataset: str
+    workers: int
+    runtime: float
+    evps: float
+    ops: OpCount
+
+
+@dataclass
+class Workload:
+    """A versioned benchmark workload: datasets + algorithms.
+
+    The *renewal process* of Graphalytics (property (iii)) is modeled
+    by :meth:`renew`, which produces the next version of the workload
+    with datasets/algorithms added or retired — the benchmark itself
+    evolves, like the ecosystems it measures (P9).
+    """
+
+    version: int
+    datasets: dict[str, Graph]
+    algorithms: dict[str, Callable]
+    algorithm_params: dict[str, dict] = field(default_factory=dict)
+
+    def renew(self, add_datasets: Mapping[str, Graph] = (),
+              retire_datasets: Sequence[str] = (),
+              add_algorithms: Mapping[str, Callable] = (),
+              retire_algorithms: Sequence[str] = ()) -> "Workload":
+        """Produce version+1 of the workload (non-mutating)."""
+        datasets = dict(self.datasets)
+        algorithms = dict(self.algorithms)
+        for name in retire_datasets:
+            if name not in datasets:
+                raise KeyError(f"cannot retire unknown dataset {name!r}")
+            del datasets[name]
+        datasets.update(add_datasets)
+        for name in retire_algorithms:
+            if name not in algorithms:
+                raise KeyError(f"cannot retire unknown algorithm {name!r}")
+            del algorithms[name]
+        algorithms.update(add_algorithms)
+        if not datasets or not algorithms:
+            raise ValueError("a workload needs datasets and algorithms")
+        return Workload(version=self.version + 1, datasets=datasets,
+                        algorithms=algorithms,
+                        algorithm_params=dict(self.algorithm_params))
+
+
+def default_workload(scale: int = 200, seed: int = 0) -> Workload:
+    """The default suite: all six algorithms on three dataset families."""
+    rng = random.Random(seed)
+    datasets = {
+        "uniform": random_graph(scale, p=min(1.0, 8.0 / scale),
+                                rng=random.Random(seed + 1)),
+        "scale-free": preferential_attachment_graph(
+            scale, m=3, rng=random.Random(seed + 2)),
+        "sparse": random_graph(scale, p=min(1.0, 2.0 / scale),
+                               rng=random.Random(seed + 3)),
+    }
+    params = {
+        "bfs": {"source": 0},
+        "sssp": {"source": 0},
+        "pr": {"iterations": 10},
+        "cdlp": {"iterations": 5},
+    }
+    return Workload(version=1, datasets=datasets,
+                    algorithms=dict(ALGORITHMS), algorithm_params=params)
+
+
+class GraphalyticsHarness:
+    """Runs the workload across platforms and derives the metric set."""
+
+    def __init__(self, workload: Workload,
+                 platforms: Mapping[str, PlatformModel] | None = None) -> None:
+        self.workload = workload
+        self.platforms = dict(PLATFORMS if platforms is None else platforms)
+        if not self.platforms:
+            raise ValueError("need at least one platform")
+
+    # ------------------------------------------------------------------
+    # Core runs
+    # ------------------------------------------------------------------
+    def run_one(self, platform_name: str, algorithm_name: str,
+                dataset_name: str, workers: int = 1) -> BenchmarkResult:
+        """Execute one benchmark cell."""
+        platform = self.platforms[platform_name]
+        algorithm = self.workload.algorithms[algorithm_name]
+        graph = self.workload.datasets[dataset_name]
+        params = self.workload.algorithm_params.get(algorithm_name, {})
+        _, ops = algorithm(graph, **params)
+        runtime = platform.runtime(ops, workers)
+        return BenchmarkResult(
+            platform=platform_name, algorithm=algorithm_name,
+            dataset=dataset_name, workers=workers, runtime=runtime,
+            evps=platform.evps(ops, graph.vertex_count, graph.edge_count,
+                               workers),
+            ops=ops)
+
+    def run_suite(self, workers: int = 1) -> list[BenchmarkResult]:
+        """The full platform x algorithm x dataset matrix."""
+        return [self.run_one(p, a, d, workers)
+                for p in sorted(self.platforms)
+                for a in sorted(self.workload.algorithms)
+                for d in sorted(self.workload.datasets)]
+
+    # ------------------------------------------------------------------
+    # Scalability (Graphalytics property (ii))
+    # ------------------------------------------------------------------
+    def strong_scaling(self, platform_name: str, algorithm_name: str,
+                       dataset_name: str,
+                       worker_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                       ) -> list[tuple[int, float]]:
+        """(workers, speedup-over-1) curve on a fixed dataset."""
+        baseline = self.run_one(platform_name, algorithm_name,
+                                dataset_name, workers=1).runtime
+        return [(w, baseline / self.run_one(
+            platform_name, algorithm_name, dataset_name, workers=w).runtime)
+            for w in worker_counts]
+
+    def weak_scaling(self, platform_name: str, algorithm_name: str,
+                     base_scale: int = 100,
+                     worker_counts: Sequence[int] = (1, 2, 4, 8),
+                     seed: int = 0) -> list[tuple[int, float]]:
+        """(workers, efficiency) with problem size grown ∝ workers.
+
+        Efficiency is baseline-runtime / runtime; a perfectly weakly
+        scalable system stays at 1.0.
+        """
+        platform = self.platforms[platform_name]
+        algorithm = self.workload.algorithms[algorithm_name]
+        params = self.workload.algorithm_params.get(algorithm_name, {})
+        results = []
+        baseline: float | None = None
+        for w in worker_counts:
+            graph = random_graph(base_scale * w,
+                                 p=min(1.0, 8.0 / (base_scale * w)),
+                                 rng=random.Random(seed + w))
+            _, ops = algorithm(graph, **params)
+            runtime = platform.runtime(ops, workers=w)
+            if baseline is None:
+                baseline = runtime
+            results.append((w, baseline / runtime))
+        return results
+
+    # ------------------------------------------------------------------
+    # Robustness (Graphalytics property (ii), variability [145])
+    # ------------------------------------------------------------------
+    def variability(self, platform_name: str, algorithm_name: str,
+                    repetitions: int = 10, scale: int = 150,
+                    seed: int = 0) -> dict[str, float]:
+        """Runtime variability across re-generated dataset instances.
+
+        Returns the coefficient of variation and the p95/median ratio,
+        the variability indicators of [145].
+        """
+        if repetitions < 2:
+            raise ValueError("repetitions must be >= 2")
+        platform = self.platforms[platform_name]
+        algorithm = self.workload.algorithms[algorithm_name]
+        params = self.workload.algorithm_params.get(algorithm_name, {})
+        runtimes = []
+        for r in range(repetitions):
+            graph = random_graph(scale, p=min(1.0, 8.0 / scale),
+                                 rng=random.Random(seed + r))
+            _, ops = algorithm(graph, **params)
+            runtimes.append(platform.runtime(ops))
+        stats = summarize(runtimes)
+        cv = stats["std"] / stats["mean"] if stats["mean"] else 0.0
+        return {"cv": cv, "p95_over_median": stats["p95"] / stats["p50"],
+                "mean": stats["mean"]}
+
+    # ------------------------------------------------------------------
+    # Rankings
+    # ------------------------------------------------------------------
+    @staticmethod
+    def rank_platforms(results: Sequence[BenchmarkResult],
+                       ) -> list[tuple[str, float]]:
+        """Platforms by geometric-mean runtime (lower is better)."""
+        by_platform: dict[str, list[float]] = {}
+        for result in results:
+            by_platform.setdefault(result.platform, []).append(result.runtime)
+        ranking = [
+            (platform,
+             math.exp(sum(math.log(max(r, 1e-12)) for r in runtimes)
+                      / len(runtimes)))
+            for platform, runtimes in by_platform.items()]
+        return sorted(ranking, key=lambda pair: pair[1])

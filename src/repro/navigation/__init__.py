@@ -1,0 +1,30 @@
+"""Ecosystem Navigation substrate (S14): the C9 challenge.
+
+Component catalogs with API and NFR metadata, comparison/selection in
+satisficing and optimizing modes, transitive composition, and drop-in
+replacement search.
+"""
+
+from .catalog import ComponentCatalog, NFRProfile, ServiceComponent
+from .selection import (
+    CompositionError,
+    Requirements,
+    compare,
+    compose,
+    find_replacements,
+    select_optimizing,
+    select_satisficing,
+)
+
+__all__ = [
+    "NFRProfile",
+    "ServiceComponent",
+    "ComponentCatalog",
+    "Requirements",
+    "compare",
+    "select_satisficing",
+    "select_optimizing",
+    "compose",
+    "find_replacements",
+    "CompositionError",
+]

@@ -1,0 +1,116 @@
+"""Component catalogs for Ecosystem Navigation (C9).
+
+"For the user who wants to achieve some goal ... the presence of many
+open-source components for own deployment and API-based hosted by
+cloud operators raises the problem of selection and configuration."
+
+A :class:`ServiceComponent` declares the APIs it *provides* and
+*requires* (the explicit, narrow, well-defined interface case of
+C9(i)) plus a non-functional profile; a :class:`ComponentCatalog`
+indexes components for the comparison/selection/composition machinery
+of :mod:`repro.navigation.selection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["NFRProfile", "ServiceComponent", "ComponentCatalog"]
+
+
+@dataclass(frozen=True)
+class NFRProfile:
+    """Measured non-functional profile of a component.
+
+    Latency in ms (lower better), availability as a fraction (higher
+    better), cost in dollars/month (lower better), throughput in
+    requests/s (higher better).
+    """
+
+    latency_ms: float = 100.0
+    availability: float = 0.99
+    cost: float = 100.0
+    throughput: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0 or self.cost < 0 or self.throughput < 0:
+            raise ValueError("latency, cost, throughput must be non-negative")
+        if not 0.0 <= self.availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+
+    def dominates(self, other: "NFRProfile") -> bool:
+        """Pareto dominance: at least as good on all four dimensions,
+        strictly better on at least one."""
+        at_least = (self.latency_ms <= other.latency_ms
+                    and self.availability >= other.availability
+                    and self.cost <= other.cost
+                    and self.throughput >= other.throughput)
+        strictly = (self.latency_ms < other.latency_ms
+                    or self.availability > other.availability
+                    or self.cost < other.cost
+                    or self.throughput > other.throughput)
+        return at_least and strictly
+
+
+@dataclass(frozen=True)
+class ServiceComponent:
+    """One catalog entry: APIs provided/required plus an NFR profile."""
+
+    name: str
+    provides: frozenset[str]
+    requires: frozenset[str] = frozenset()
+    profile: NFRProfile = NFRProfile()
+    vendor: str = "community"
+
+    def __post_init__(self) -> None:
+        if not self.provides:
+            raise ValueError(f"component {self.name!r} provides nothing")
+        overlap = self.provides & self.requires
+        if overlap:
+            raise ValueError(
+                f"component {self.name!r} both provides and requires "
+                f"{sorted(overlap)}")
+
+    def offers(self, api: str) -> bool:
+        """Whether the component provides ``api``."""
+        return api in self.provides
+
+
+class ComponentCatalog:
+    """An indexed collection of service components."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, ServiceComponent] = {}
+        self._by_api: dict[str, list[str]] = {}
+
+    def add(self, component: ServiceComponent) -> ServiceComponent:
+        """Register a component; names must be unique."""
+        if component.name in self._components:
+            raise ValueError(f"duplicate component {component.name!r}")
+        self._components[component.name] = component
+        for api in component.provides:
+            self._by_api.setdefault(api, []).append(component.name)
+        return component
+
+    def get(self, name: str) -> ServiceComponent:
+        """Look up a component by name."""
+        if name not in self._components:
+            raise KeyError(name)
+        return self._components[name]
+
+    def __iter__(self) -> Iterator[ServiceComponent]:
+        return iter(self._components.values())
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def providers_of(self, api: str) -> list[ServiceComponent]:
+        """All components providing ``api`` — the alternatives a user
+        must compare (C9)."""
+        return [self._components[name]
+                for name in self._by_api.get(api, [])]
+
+    def apis(self) -> set[str]:
+        """All APIs provided by some component."""
+        return set(self._by_api)

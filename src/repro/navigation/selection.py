@@ -1,0 +1,179 @@
+"""Comparison, selection, composition, replacement (C9).
+
+The Ecosystem Navigation challenge: "solving problems of comparison,
+selection, composition, replacement, and adaptation of components (and
+assemblies) on behalf of the user, subject to custom requirements".
+
+Two decision modes implement the paper's §3.5 dichotomy:
+
+- *satisficing* (Simon): the first component meeting every requirement;
+- *optimizing*: the best weighted-utility component, searched
+  exhaustively.
+
+Composition resolves required APIs transitively against the catalog
+(the API-Harmony-style recommendation of [124]); replacement finds
+drop-in substitutes whose profile is at least as good.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .catalog import ComponentCatalog, NFRProfile, ServiceComponent
+
+__all__ = ["Requirements", "compare", "select_satisficing",
+           "select_optimizing", "compose", "find_replacements",
+           "CompositionError"]
+
+
+class CompositionError(Exception):
+    """Raised when no assembly can satisfy a composition request."""
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """User requirements over the four NFR dimensions.
+
+    ``None`` means "don't care".  Weights steer the optimizing mode.
+    """
+
+    max_latency_ms: float | None = None
+    min_availability: float | None = None
+    max_cost: float | None = None
+    min_throughput: float | None = None
+    weights: Mapping[str, float] | None = None
+
+    def satisfied_by(self, profile: NFRProfile) -> bool:
+        """Satisficing test of a profile against the requirements."""
+        if (self.max_latency_ms is not None
+                and profile.latency_ms > self.max_latency_ms):
+            return False
+        if (self.min_availability is not None
+                and profile.availability < self.min_availability):
+            return False
+        if self.max_cost is not None and profile.cost > self.max_cost:
+            return False
+        if (self.min_throughput is not None
+                and profile.throughput < self.min_throughput):
+            return False
+        return True
+
+    def utility(self, profile: NFRProfile) -> float:
+        """Weighted utility of a profile (higher is better).
+
+        Each dimension is normalized to (0, 1] via ``x / (x + scale)``
+        shapes so utilities are comparable across dimensions.
+        """
+        weights = dict(self.weights or {"latency": 1.0, "availability": 1.0,
+                                        "cost": 1.0, "throughput": 1.0})
+        latency_util = 1.0 / (1.0 + profile.latency_ms / 100.0)
+        cost_util = 1.0 / (1.0 + profile.cost / 100.0)
+        throughput_util = profile.throughput / (profile.throughput + 1000.0)
+        scores = {
+            "latency": latency_util,
+            "availability": profile.availability,
+            "cost": cost_util,
+            "throughput": throughput_util,
+        }
+        total_weight = sum(weights.values())
+        if total_weight <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return sum(weights.get(k, 0.0) * v for k, v in scores.items()
+                   ) / total_weight
+
+
+def compare(candidates: Sequence[ServiceComponent],
+            requirements: Requirements) -> list[tuple[ServiceComponent,
+                                                      float, bool]]:
+    """Rank candidates: (component, utility, meets-requirements) rows,
+    best utility first — the 'comparison' task of C9."""
+    rows = [(c, requirements.utility(c.profile),
+             requirements.satisfied_by(c.profile)) for c in candidates]
+    return sorted(rows, key=lambda row: -row[1])
+
+
+def select_satisficing(catalog: ComponentCatalog, api: str,
+                       requirements: Requirements,
+                       ) -> ServiceComponent | None:
+    """First provider of ``api`` meeting all requirements (Simon's
+    satisficing, §3.5), or None."""
+    for component in catalog.providers_of(api):
+        if requirements.satisfied_by(component.profile):
+            return component
+    return None
+
+
+def select_optimizing(catalog: ComponentCatalog, api: str,
+                      requirements: Requirements,
+                      require_feasible: bool = True,
+                      ) -> ServiceComponent | None:
+    """Best-utility provider of ``api``; exhaustive search.
+
+    With ``require_feasible`` only components meeting the requirements
+    compete; otherwise the best-utility component wins regardless.
+    """
+    candidates = catalog.providers_of(api)
+    if require_feasible:
+        candidates = [c for c in candidates
+                      if requirements.satisfied_by(c.profile)]
+    if not candidates:
+        return None
+    return max(candidates,
+               key=lambda c: (requirements.utility(c.profile), c.name))
+
+
+def compose(catalog: ComponentCatalog, target_api: str,
+            requirements: Requirements,
+            max_depth: int = 10) -> list[ServiceComponent]:
+    """Resolve a full assembly providing ``target_api``.
+
+    Greedily selects a satisficing provider for the target API, then
+    transitively for every required API, deduplicating shared
+    dependencies.  Raises :class:`CompositionError` when some API has
+    no feasible provider or the dependency chain is too deep (cycles).
+    """
+    assembly: dict[str, ServiceComponent] = {}
+    satisfied_apis: set[str] = set()
+
+    def resolve(api: str, depth: int) -> None:
+        if api in satisfied_apis:
+            return
+        if depth > max_depth:
+            raise CompositionError(
+                f"dependency chain for {api!r} exceeds depth {max_depth}")
+        component = select_satisficing(catalog, api, requirements)
+        if component is None:
+            raise CompositionError(
+                f"no feasible provider of {api!r} under the requirements")
+        satisfied_apis.update(component.provides)
+        if component.name not in assembly:
+            assembly[component.name] = component
+            for required in sorted(component.requires):
+                resolve(required, depth + 1)
+
+    resolve(target_api, 0)
+    return list(assembly.values())
+
+
+def find_replacements(catalog: ComponentCatalog,
+                      incumbent: ServiceComponent,
+                      ) -> list[ServiceComponent]:
+    """Drop-in substitutes for ``incumbent`` (the 'replacement' task).
+
+    A valid replacement provides every API the incumbent provides,
+    requires no APIs beyond the incumbent's, and its profile is not
+    Pareto-dominated by the incumbent's.
+    """
+    replacements = []
+    for candidate in catalog:
+        if candidate.name == incumbent.name:
+            continue
+        if not incumbent.provides <= candidate.provides:
+            continue
+        if not candidate.requires <= incumbent.requires:
+            continue
+        if incumbent.profile.dominates(candidate.profile):
+            continue
+        replacements.append(candidate)
+    return sorted(replacements, key=lambda c: c.name)

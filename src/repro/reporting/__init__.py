@@ -1,0 +1,17 @@
+"""Reporting substrate (S17): plain-text rendering of results."""
+
+from .tables import render_kv, render_series, render_table
+from .transparency import (
+    STAKEHOLDERS,
+    OperationalSnapshot,
+    TransparencyReporter,
+)
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_kv",
+    "OperationalSnapshot",
+    "TransparencyReporter",
+    "STAKEHOLDERS",
+]

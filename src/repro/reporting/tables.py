@@ -1,0 +1,74 @@
+"""Plain-text table and series rendering (C11, C13).
+
+C13 asks for "support for showing and explaining the operation of the
+ecosystem to all stakeholders"; the benchmark harnesses use these
+renderers to print each reproduced table and figure in the paper's own
+row structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with auto-sized columns."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}")
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [max(len(header), *(len(row[i]) for row in cells))
+              if cells else len(header)
+              for i, header in enumerate(headers)]
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(points: Sequence[tuple[float, float]], title: str = "",
+                  width: int = 40) -> str:
+    """Render an (x, y) series as a horizontal ASCII bar chart."""
+    if not points:
+        raise ValueError("series must be non-empty")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    max_y = max(abs(y) for _, y in points) or 1.0
+    lines = [title] if title else []
+    for x, y in points:
+        bar = "#" * max(0, round(abs(y) / max_y * width))
+        lines.append(f"{_fmt(x):>10} | {bar} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], title: str = "") -> str:
+    """Render key-value pairs, aligned."""
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    key_width = max(len(key) for key, _ in pairs)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"{key.ljust(key_width)} : {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,147 @@
+"""Operational transparency reports for all stakeholders (C13).
+
+"We envision that operators of ecosystems will have a duty, possibly
+legislated, to continuously and transparently inform stakeholders on a
+variety of operational properties, including risk (e.g., frequency of
+outages, impact of security breaches, possibility of data loss), cost
+(e.g., financial, energy), and legal aspects."
+
+:class:`TransparencyReporter` collects those properties from the
+running substrates and renders a per-stakeholder view: clients see
+service quality and what they pay, operators see efficiency and risk,
+regulators see compliance-relevant aggregates.  P6's teachability
+requirement ("individuals should be able to read their own consumption
+meters") is the client view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .tables import render_kv
+
+__all__ = ["OperationalSnapshot", "TransparencyReporter", "STAKEHOLDERS"]
+
+#: The stakeholder roles of C13 / §3.1.
+STAKEHOLDERS = ("client", "operator", "regulator")
+
+
+@dataclass(frozen=True)
+class OperationalSnapshot:
+    """One reporting period's operational facts.
+
+    All fields are plain aggregates so any substrate can produce them:
+    outages and victim counts from a failure injector, energy from the
+    datacenter, cost from a provisioner, SLA fraction from an SLA
+    evaluation, latency/completion from a scheduler.
+    """
+
+    period: str
+    completed_work: int
+    mean_latency: float
+    sla_fraction_met: float
+    outages: int
+    tasks_lost_to_failures: int
+    cost_dollars: float
+    energy_kilojoules: float
+    mean_utilization: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sla_fraction_met <= 1.0:
+            raise ValueError("sla_fraction_met must be in [0, 1]")
+        if not 0.0 <= self.mean_utilization <= 1.0:
+            raise ValueError("mean_utilization must be in [0, 1]")
+        for name in ("completed_work", "outages",
+                     "tasks_lost_to_failures"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class TransparencyReporter:
+    """Accumulates snapshots and renders per-stakeholder views."""
+
+    def __init__(self, service_name: str) -> None:
+        self.service_name = service_name
+        self._snapshots: list[OperationalSnapshot] = []
+
+    def publish(self, snapshot: OperationalSnapshot) -> None:
+        """Record one reporting period (append-only, audit-friendly)."""
+        self._snapshots.append(snapshot)
+
+    @property
+    def snapshots(self) -> Sequence[OperationalSnapshot]:
+        """All published periods, oldest first."""
+        return tuple(self._snapshots)
+
+    def _latest(self) -> OperationalSnapshot:
+        if not self._snapshots:
+            raise RuntimeError("no snapshots published yet")
+        return self._snapshots[-1]
+
+    # ------------------------------------------------------------------
+    # Stakeholder views
+    # ------------------------------------------------------------------
+    def view(self, stakeholder: str) -> dict[str, object]:
+        """The facts one stakeholder is entitled to (and can read)."""
+        snapshot = self._latest()
+        if stakeholder == "client":
+            return {
+                "service": self.service_name,
+                "period": snapshot.period,
+                "your work completed": snapshot.completed_work,
+                "mean latency [s]": round(snapshot.mean_latency, 3),
+                "SLA objectives met": f"{snapshot.sla_fraction_met:.0%}",
+                "billed [$]": round(snapshot.cost_dollars, 2),
+            }
+        if stakeholder == "operator":
+            return {
+                "service": self.service_name,
+                "period": snapshot.period,
+                "mean utilization": round(snapshot.mean_utilization, 3),
+                "energy [kJ]": round(snapshot.energy_kilojoules, 1),
+                "outages": snapshot.outages,
+                "tasks lost to failures": snapshot.tasks_lost_to_failures,
+                "cost [$]": round(snapshot.cost_dollars, 2),
+            }
+        if stakeholder == "regulator":
+            history = self._snapshots
+            return {
+                "service": self.service_name,
+                "periods reported": len(history),
+                "total outages": sum(s.outages for s in history),
+                "worst SLA period": f"{min(s.sla_fraction_met for s in history):.0%}",
+                "total energy [kJ]": round(sum(s.energy_kilojoules
+                                               for s in history), 1),
+                "continuous reporting": len(history) >= 1,
+            }
+        raise KeyError(f"unknown stakeholder {stakeholder!r}; "
+                       f"known: {STAKEHOLDERS}")
+
+    def render(self, stakeholder: str) -> str:
+        """The view rendered as the plain text a human can read (P6)."""
+        view = self.view(stakeholder)
+        return render_kv(list(view.items()),
+                         title=f"{self.service_name} — "
+                               f"{stakeholder} transparency report")
+
+    # ------------------------------------------------------------------
+    # Risk indicators (C13's "frequency of outages")
+    # ------------------------------------------------------------------
+    def outage_frequency(self) -> float:
+        """Outages per reported period."""
+        if not self._snapshots:
+            raise RuntimeError("no snapshots published yet")
+        return sum(s.outages for s in self._snapshots) / len(self._snapshots)
+
+    def risk_trend(self) -> str:
+        """'improving' / 'stable' / 'degrading' over the last 3 periods."""
+        if len(self._snapshots) < 2:
+            return "stable"
+        recent = [s.outages + s.tasks_lost_to_failures
+                  for s in self._snapshots[-3:]]
+        if recent[-1] < recent[0]:
+            return "improving"
+        if recent[-1] > recent[0]:
+            return "degrading"
+        return "stable"

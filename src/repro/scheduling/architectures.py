@@ -1,0 +1,187 @@
+"""Resource-management architectures for multi-cluster systems ([131]).
+
+The paper's lineage includes DGSim — "Comparing Grid Resource
+Management Architectures through Trace-Based Simulation" [131].  This
+module reproduces that comparison axis for datacenter ecosystems:
+
+- *centralized*: one scheduler with global knowledge over one pooled
+  fleet (the information-rich upper baseline);
+- *hierarchical*: a meta-scheduler routes each job to the least-loaded
+  site's local scheduler (partial, aggregated knowledge);
+- *decentralized*: jobs are routed to uniformly random sites whose
+  schedulers never coordinate (no shared knowledge).
+
+All three reuse the same :class:`~repro.scheduling.scheduler.
+ClusterScheduler` underneath, so the measured differences are purely
+architectural — exactly DGSim's methodology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..datacenter.cluster import homogeneous_cluster
+from ..datacenter.datacenter import Datacenter
+from ..datacenter.machine import MachineSpec
+from ..sim import Simulator, summarize
+from ..workload.task import Job
+from .policies import QueuePolicy, SJF
+from .scheduler import ClusterScheduler
+
+__all__ = ["Site", "JobRouter", "RandomRouter", "LeastLoadedRouter",
+           "MultiClusterDeployment", "run_architecture"]
+
+
+@dataclass
+class Site:
+    """One autonomous scheduling domain."""
+
+    name: str
+    datacenter: Datacenter
+    scheduler: ClusterScheduler
+
+    def load(self) -> float:
+        """Queued + running cores relative to installed cores."""
+        total = self.datacenter.total_cores
+        if total == 0:
+            return 0.0
+        queued = sum(t.cores for t in self.scheduler.queue)
+        running = sum(m.cores_used for m in self.datacenter.machines())
+        return (queued + running) / total
+
+
+class JobRouter(Protocol):
+    """Chooses the site that receives a job."""
+
+    name: str
+
+    def route(self, job: Job, sites: Sequence[Site]) -> Site:
+        """The destination site for ``job``."""
+        ...  # pragma: no cover
+
+
+class RandomRouter:
+    """Decentralized: uniformly random, no coordination."""
+
+    name = "decentralized-random"
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    def route(self, job: Job, sites: Sequence[Site]) -> Site:
+        """Pick a uniformly random site."""
+        return self.rng.choice(list(sites))
+
+
+class LeastLoadedRouter:
+    """Hierarchical: a meta-scheduler with aggregated load knowledge."""
+
+    name = "hierarchical-least-loaded"
+
+    def route(self, job: Job, sites: Sequence[Site]) -> Site:
+        """Pick the site with the lowest load, ties by name."""
+        return min(sites, key=lambda site: (site.load(), site.name))
+
+
+class MultiClusterDeployment:
+    """N identical sites, or their centralized single-pool equivalent.
+
+    Args:
+        sim: The simulator.
+        n_sites: Number of scheduling domains; 1 with
+            ``machines_per_site * n_sites`` machines models the
+            centralized architecture with the same total capacity.
+        machines_per_site: Machines per domain.
+        spec: Machine model.
+        queue_policy_factory: Builds each site's local queue policy.
+    """
+
+    def __init__(self, sim: Simulator, n_sites: int,
+                 machines_per_site: int,
+                 spec: MachineSpec = MachineSpec(),
+                 queue_policy_factory=SJF) -> None:
+        if n_sites < 1 or machines_per_site < 1:
+            raise ValueError("n_sites and machines_per_site must be >= 1")
+        self.sim = sim
+        self.sites: list[Site] = []
+        for index in range(n_sites):
+            datacenter = Datacenter(
+                sim, [homogeneous_cluster(f"site{index}",
+                                          machines_per_site, spec)],
+                name=f"site{index}")
+            scheduler = ClusterScheduler(
+                sim, datacenter, queue_policy=queue_policy_factory())
+            self.sites.append(Site(f"site{index}", datacenter, scheduler))
+
+    def submit(self, job: Job, router: JobRouter) -> Site:
+        """Route and submit one job; returns the receiving site."""
+        site = router.route(job, self.sites)
+        site.scheduler.submit_job(job)
+        return site
+
+    def completed(self) -> int:
+        """Jobs' tasks completed across all sites."""
+        return sum(len(site.scheduler.completed) for site in self.sites)
+
+    def global_statistics(self) -> dict[str, float]:
+        """Deployment-wide slowdown/wait statistics."""
+        tasks = [t for site in self.sites for t in site.scheduler.completed]
+        slowdowns = [t.slowdown for t in tasks]
+        waits = [t.wait_time for t in tasks]
+        stats = {"completed": float(len(tasks))}
+        stats["slowdown_mean"] = summarize(slowdowns)["mean"]
+        stats["slowdown_p95"] = summarize(slowdowns)["p95"]
+        stats["wait_mean"] = summarize(waits)["mean"]
+        return stats
+
+    def load_imbalance(self) -> float:
+        """Max site load minus min site load (0 = perfectly balanced)."""
+        loads = [site.load() for site in self.sites]
+        return max(loads) - min(loads)
+
+
+def run_architecture(architecture: str, jobs: Sequence[Job],
+                     n_sites: int = 4, machines_per_site: int = 2,
+                     spec: MachineSpec = MachineSpec(cores=8, memory=1e9),
+                     horizon: float = 100_000.0,
+                     seed: int = 0) -> dict[str, float]:
+    """Run one architecture over a trace and return its statistics.
+
+    ``architecture`` is ``"centralized"``, ``"hierarchical"`` or
+    ``"decentralized"``.  The centralized variant pools every machine
+    under one scheduler; the others split them across ``n_sites``.
+    """
+    sim = Simulator()
+    if architecture == "centralized":
+        deployment = MultiClusterDeployment(
+            sim, n_sites=1, machines_per_site=n_sites * machines_per_site,
+            spec=spec)
+        router: JobRouter = LeastLoadedRouter()  # single site: trivial
+    elif architecture == "hierarchical":
+        deployment = MultiClusterDeployment(sim, n_sites,
+                                            machines_per_site, spec=spec)
+        router = LeastLoadedRouter()
+    elif architecture == "decentralized":
+        deployment = MultiClusterDeployment(sim, n_sites,
+                                            machines_per_site, spec=spec)
+        router = RandomRouter(rng=random.Random(seed))
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+
+    def feeder(sim):
+        for job in jobs:
+            delay = job.submit_time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            deployment.submit(job, router)
+
+    sim.run(until=sim.process(feeder(sim), name="feeder"))
+    sim.run(until=horizon)
+    expected = sum(len(j) for j in jobs)
+    completed = deployment.completed()
+    if completed != expected:
+        raise RuntimeError(
+            f"{architecture}: {completed}/{expected} tasks completed")
+    return deployment.global_statistics()

@@ -1,0 +1,307 @@
+"""Allocation and placement policies (C7).
+
+The paper notes that "allocating workloads to the provisioned resources
+has been a topic of research in regular scheduling for decades, with
+hundreds of approaches and policies [117]".  This module provides the
+classic families in two orthogonal roles:
+
+- *Queue ordering* (:class:`QueuePolicy`): which waiting task to serve
+  next — FCFS, SJF, LJF, EDF, smallest-first, random, fair-share.
+- *Machine selection* (:class:`PlacementPolicy`): where to place the
+  chosen task — first-fit, best-fit, worst-fit, round-robin, and the
+  heterogeneity-, cost-, and energy-aware variants of C4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from ..datacenter.machine import Machine
+from ..workload.task import Task
+
+__all__ = [
+    "QueuePolicy",
+    "PlacementPolicy",
+    "FCFS",
+    "SJF",
+    "LJF",
+    "EDF",
+    "SmallestTaskFirst",
+    "RandomOrder",
+    "FairShare",
+    "FirstFit",
+    "BestFit",
+    "WorstFit",
+    "RoundRobin",
+    "FastestFit",
+    "CheapestFit",
+    "GreenestFit",
+    "QUEUE_POLICIES",
+    "PLACEMENT_POLICIES",
+]
+
+
+class QueuePolicy(Protocol):
+    """Orders the waiting queue; the scheduler serves the front first."""
+
+    name: str
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Return the queue in service order (does not mutate input)."""
+        ...  # pragma: no cover
+
+
+class PlacementPolicy(Protocol):
+    """Chooses a machine for a task, or ``None`` if nothing fits now."""
+
+    name: str
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return a machine that can fit ``task`` now, or ``None``."""
+        ...  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Queue-ordering policies
+# ---------------------------------------------------------------------------
+class FCFS:
+    """First-come first-served: by submission time."""
+
+    name = "fcfs"
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Order by submission time, ties by task id."""
+        return sorted(queue, key=lambda t: (t.submit_time, t.task_id))
+
+
+class SJF:
+    """Shortest job first: by runtime estimate."""
+
+    name = "sjf"
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Order by estimated runtime, shortest first."""
+        return sorted(queue, key=lambda t: (t.runtime, t.task_id))
+
+
+class LJF:
+    """Longest job first: by runtime estimate, descending."""
+
+    name = "ljf"
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Order by estimated runtime, longest first."""
+        return sorted(queue, key=lambda t: (-t.runtime, t.task_id))
+
+
+class EDF:
+    """Earliest deadline first; deadline-less tasks go last (FCFS among them)."""
+
+    name = "edf"
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Order by deadline; deadline-less tasks go last."""
+        return sorted(queue, key=lambda t: (
+            t.deadline if t.deadline is not None else float("inf"),
+            t.submit_time, t.task_id))
+
+
+class SmallestTaskFirst:
+    """Fewest cores first — drains fragmentation-era small tasks [39]."""
+
+    name = "smallest-first"
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Order by core demand, smallest first."""
+        return sorted(queue, key=lambda t: (t.cores, t.runtime, t.task_id))
+
+
+class RandomOrder:
+    """Uniformly random service order (a fairness baseline)."""
+
+    name = "random"
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Return a uniformly random permutation."""
+        shuffled = list(queue)
+        self.rng.shuffle(shuffled)
+        return shuffled
+
+
+class FairShare:
+    """Round-robins across users by accumulated served core-seconds.
+
+    Users who have consumed less get priority — the multi-tenancy
+    fairness concern of P5.
+    """
+
+    name = "fair-share"
+
+    def __init__(self) -> None:
+        self._served: dict[str, float] = {}
+        self._owner: dict[int, str] = {}
+
+    def register(self, task: Task, user: str) -> None:
+        """Associate a task with its submitting user."""
+        self._owner[task.task_id] = user
+
+    def charge(self, task: Task) -> None:
+        """Account a completed task against its user's share."""
+        user = self._owner.get(task.task_id, "anonymous")
+        self._served[user] = self._served.get(user, 0.0) + task.core_seconds
+
+    def order(self, queue: Sequence[Task], now: float) -> list[Task]:
+        """Order by the owning user's served core-seconds."""
+        def key(task: Task):
+            user = self._owner.get(task.task_id, "anonymous")
+            return (self._served.get(user, 0.0), task.submit_time, task.task_id)
+
+        return sorted(queue, key=key)
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+def _fitting(task: Task, machines: Sequence[Machine]) -> list[Machine]:
+    return [m for m in machines if m.can_fit(task)]
+
+
+class FirstFit:
+    """First machine (in topology order) that fits."""
+
+    name = "first-fit"
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the first machine that fits, else None."""
+        for machine in machines:
+            if machine.can_fit(task):
+                return machine
+        return None
+
+
+class BestFit:
+    """Tightest fit: fewest cores left over (consolidating)."""
+
+    name = "best-fit"
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the fitting machine with fewest leftover cores."""
+        fitting = _fitting(task, machines)
+        if not fitting:
+            return None
+        return min(fitting, key=lambda m: (m.cores_free - task.cores, m.name))
+
+
+class WorstFit:
+    """Loosest fit: most cores left over (load spreading)."""
+
+    name = "worst-fit"
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the fitting machine with most leftover cores."""
+        fitting = _fitting(task, machines)
+        if not fitting:
+            return None
+        return max(fitting, key=lambda m: (m.cores_free - task.cores,
+                                           m.name))
+
+
+class RoundRobin:
+    """Cycles through machines, skipping ones that do not fit."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the next fitting machine in rotation."""
+        n = len(machines)
+        for offset in range(n):
+            machine = machines[(self._next + offset) % n]
+            if machine.can_fit(task):
+                self._next = (self._next + offset + 1) % n
+                return machine
+        return None
+
+
+class FastestFit:
+    """Heterogeneity-aware: fastest machine that fits (C4)."""
+
+    name = "fastest-fit"
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the fastest fitting machine."""
+        fitting = _fitting(task, machines)
+        if not fitting:
+            return None
+        return max(fitting, key=lambda m: (m.spec.speed, m.name))
+
+
+class CheapestFit:
+    """Cost-aware: lowest effective cost (price x effective runtime)."""
+
+    name = "cheapest-fit"
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the cheapest fitting machine for this task."""
+        fitting = _fitting(task, machines)
+        if not fitting:
+            return None
+        return min(fitting, key=lambda m: (
+            m.spec.cost_per_hour * m.effective_runtime(task), m.name))
+
+
+class GreenestFit:
+    """Energy-aware: smallest marginal energy for this task (C6 class v)."""
+
+    name = "greenest-fit"
+
+    def select(self, task: Task,
+               machines: Sequence[Machine]) -> Machine | None:
+        """Return the fitting machine with least marginal energy."""
+        fitting = _fitting(task, machines)
+        if not fitting:
+            return None
+
+        def marginal_energy(machine: Machine) -> float:
+            spec = machine.spec
+            watts = (spec.max_watts - spec.idle_watts) * (task.cores
+                                                          / spec.cores)
+            return watts * machine.effective_runtime(task)
+
+        return min(fitting, key=lambda m: (marginal_energy(m), m.name))
+
+
+#: Name -> factory for each queue policy (used by benches and portfolios).
+QUEUE_POLICIES = {
+    "fcfs": FCFS,
+    "sjf": SJF,
+    "ljf": LJF,
+    "edf": EDF,
+    "smallest-first": SmallestTaskFirst,
+    "random": RandomOrder,
+    "fair-share": FairShare,
+}
+
+#: Name -> factory for each placement policy.
+PLACEMENT_POLICIES = {
+    "first-fit": FirstFit,
+    "best-fit": BestFit,
+    "worst-fit": WorstFit,
+    "round-robin": RoundRobin,
+    "fastest-fit": FastestFit,
+    "cheapest-fit": CheapestFit,
+    "greenest-fit": GreenestFit,
+}

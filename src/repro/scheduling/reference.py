@@ -1,0 +1,188 @@
+"""A reference architecture for scheduling in datacenters (§6.1).
+
+"Inspired by the work of Schopf [155], who proposed in 2004 a detailed
+11-step abstraction for the grid scheduling landscape, we envision the
+formulation of a detailed reference architecture for scheduling in
+datacenters.  In this formulation, scheduling is a multi-stage workflow
+that covers the set of most common actions in datacenter scheduling,
+with tasks ranging from filtering resources available to the user to
+task migration."
+
+This module makes that reference architecture executable: the eleven
+stages are explicit, each stage is a replaceable callable, and a
+:class:`SchedulingPipeline` runs a task through all of them to produce
+a :class:`PlacementDecision`.  Replaceability is the point — it "enables
+sharing of entire scheduling solutions or mere components" (C11), e.g.
+grafting a competition entry's *system selection* stage into the
+library's default pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..datacenter.machine import Machine
+from ..workload.task import Task
+
+__all__ = ["SchedulingStage", "PipelineContext", "PlacementDecision",
+           "SchedulingPipeline", "STAGE_DESCRIPTIONS"]
+
+
+class SchedulingStage(enum.Enum):
+    """The eleven stages, adapted from Schopf's grid abstraction [155]."""
+
+    AUTHORIZATION_FILTERING = 1
+    APPLICATION_DEFINITION = 2
+    MIN_REQUIREMENT_FILTERING = 3
+    INFORMATION_GATHERING = 4
+    SYSTEM_SELECTION = 5
+    ADVANCE_RESERVATION = 6
+    JOB_SUBMISSION = 7
+    PREPARATION = 8
+    MONITORING_PROGRESS = 9
+    JOB_COMPLETION = 10
+    CLEANUP = 11
+
+
+#: Human-readable stage responsibilities (rendered by the Figure 3 bench).
+STAGE_DESCRIPTIONS: dict[SchedulingStage, str] = {
+    SchedulingStage.AUTHORIZATION_FILTERING:
+        "filter resources the user may access at all",
+    SchedulingStage.APPLICATION_DEFINITION:
+        "determine the task's resource demands and constraints",
+    SchedulingStage.MIN_REQUIREMENT_FILTERING:
+        "drop machines that can never satisfy the demands",
+    SchedulingStage.INFORMATION_GATHERING:
+        "observe current load and availability of the candidates",
+    SchedulingStage.SYSTEM_SELECTION:
+        "choose the machine(s) to run on",
+    SchedulingStage.ADVANCE_RESERVATION:
+        "reserve capacity ahead of execution when supported",
+    SchedulingStage.JOB_SUBMISSION: "hand the task to the execution engine",
+    SchedulingStage.PREPARATION: "stage data and prepare the environment",
+    SchedulingStage.MONITORING_PROGRESS: "watch execution, consider migration",
+    SchedulingStage.JOB_COMPLETION: "collect results, notify the user",
+    SchedulingStage.CLEANUP: "release reservations and scratch state",
+}
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the pipeline stages."""
+
+    task: Task
+    machines: list[Machine]
+    user: str = "anonymous"
+    candidates: list[Machine] = field(default_factory=list)
+    selected: Machine | None = None
+    log: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The outcome of running a task through the pipeline."""
+
+    task: Task
+    machine: Machine | None
+    stages_run: tuple[SchedulingStage, ...]
+    log: tuple[str, ...]
+
+    @property
+    def placed(self) -> bool:
+        """Whether a machine was selected."""
+        return self.machine is not None
+
+
+StageFunction = Callable[[PipelineContext], None]
+
+
+def _default_authorization(ctx: PipelineContext) -> None:
+    ctx.candidates = list(ctx.machines)
+    ctx.log.append(f"authorized {len(ctx.candidates)} machines for {ctx.user}")
+
+
+def _default_application_definition(ctx: PipelineContext) -> None:
+    ctx.log.append(
+        f"demand: {ctx.task.cores} cores, {ctx.task.memory:.1f} GiB")
+
+
+def _default_min_requirement(ctx: PipelineContext) -> None:
+    ctx.candidates = [m for m in ctx.candidates
+                      if m.spec.cores >= ctx.task.cores
+                      and m.spec.memory >= ctx.task.memory]
+    ctx.log.append(f"{len(ctx.candidates)} machines meet minimum requirements")
+
+
+def _default_information_gathering(ctx: PipelineContext) -> None:
+    ctx.candidates = [m for m in ctx.candidates if m.can_fit(ctx.task)]
+    ctx.log.append(f"{len(ctx.candidates)} machines can fit the task now")
+
+
+def _default_system_selection(ctx: PipelineContext) -> None:
+    if ctx.candidates:
+        ctx.selected = min(ctx.candidates, key=lambda m: m.utilization)
+        ctx.log.append(f"selected {ctx.selected.name}")
+    else:
+        ctx.log.append("no machine selected")
+
+
+def _noop_stage(name: str) -> StageFunction:
+    def stage(ctx: PipelineContext) -> None:
+        ctx.log.append(name)
+
+    return stage
+
+
+class SchedulingPipeline:
+    """Runs tasks through the eleven-stage reference workflow.
+
+    Any stage can be replaced via :meth:`replace`, letting third parties
+    graft their own components into a complete scheduler (C11's
+    envisioned scheduler competition).
+    """
+
+    def __init__(self) -> None:
+        self._stages: dict[SchedulingStage, StageFunction] = {
+            SchedulingStage.AUTHORIZATION_FILTERING: _default_authorization,
+            SchedulingStage.APPLICATION_DEFINITION:
+                _default_application_definition,
+            SchedulingStage.MIN_REQUIREMENT_FILTERING: _default_min_requirement,
+            SchedulingStage.INFORMATION_GATHERING:
+                _default_information_gathering,
+            SchedulingStage.SYSTEM_SELECTION: _default_system_selection,
+            SchedulingStage.ADVANCE_RESERVATION: _noop_stage("no reservation"),
+            SchedulingStage.JOB_SUBMISSION: _noop_stage("submitted"),
+            SchedulingStage.PREPARATION: _noop_stage("prepared"),
+            SchedulingStage.MONITORING_PROGRESS: _noop_stage("monitoring"),
+            SchedulingStage.JOB_COMPLETION: _noop_stage("completion hooks"),
+            SchedulingStage.CLEANUP: _noop_stage("cleaned up"),
+        }
+
+    def replace(self, stage: SchedulingStage,
+                function: StageFunction) -> None:
+        """Graft a custom implementation into one stage."""
+        if stage not in self._stages:
+            raise KeyError(stage)
+        self._stages[stage] = function
+
+    def decide(self, task: Task, machines: Sequence[Machine],
+               user: str = "anonymous",
+               until: SchedulingStage = SchedulingStage.SYSTEM_SELECTION,
+               ) -> PlacementDecision:
+        """Run the pipeline up to and including ``until``.
+
+        The decision stages (1-5) suffice for placement; execution-time
+        stages (6-11) run when the pipeline drives a full job lifecycle.
+        """
+        ctx = PipelineContext(task=task, machines=list(machines), user=user)
+        stages_run = []
+        for stage in SchedulingStage:
+            self._stages[stage](ctx)
+            stages_run.append(stage)
+            if stage is until:
+                break
+        return PlacementDecision(task=task, machine=ctx.selected,
+                                 stages_run=tuple(stages_run),
+                                 log=tuple(ctx.log))

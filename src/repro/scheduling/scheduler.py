@@ -1,0 +1,223 @@
+"""The cluster scheduler: allocation half of the dual problem (C7).
+
+A :class:`ClusterScheduler` owns a waiting queue, orders it with a
+:class:`~repro.scheduling.policies.QueuePolicy`, places tasks with a
+:class:`~repro.scheduling.policies.PlacementPolicy`, and optionally
+applies EASY backfilling — the classic reservation-based optimization
+of parallel-job scheduling.  Completion notifications drive both the
+scheduling loop and external observers (workflow engines, autoscalers,
+portfolio schedulers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..datacenter.datacenter import Datacenter
+from ..datacenter.machine import Machine
+from ..sim import Simulator, TimeWeightedMonitor, summarize
+from ..workload.task import Job, Task, TaskState
+from .policies import FCFS, FairShare, FirstFit, PlacementPolicy, QueuePolicy
+
+__all__ = ["ClusterScheduler"]
+
+
+class ClusterScheduler:
+    """An online scheduler for one datacenter.
+
+    Args:
+        sim: The simulator.
+        datacenter: Execution substrate.
+        queue_policy: Service-order policy (default FCFS).
+        placement_policy: Machine-selection policy (default first-fit).
+        backfilling: Enable EASY backfilling: when the queue head does
+            not fit, later tasks may run if they do not delay the
+            head's earliest possible start (its *shadow time*).
+        strict_head: Without backfilling, stop at the first task that
+            does not fit (true FCFS blocking) instead of greedily
+            skipping it.
+    """
+
+    def __init__(self, sim: Simulator, datacenter: Datacenter,
+                 queue_policy: QueuePolicy | None = None,
+                 placement_policy: PlacementPolicy | None = None,
+                 backfilling: bool = False,
+                 strict_head: bool = False) -> None:
+        self.sim = sim
+        self.datacenter = datacenter
+        self.queue_policy = queue_policy or FCFS()
+        self.placement_policy = placement_policy or FirstFit()
+        self.backfilling = backfilling
+        self.strict_head = strict_head
+
+        self.queue: list[Task] = []
+        self.queue_length = TimeWeightedMonitor("queue_length",
+                                                start_time=sim.now)
+        self.completed: list[Task] = []
+        self.on_task_complete: list[Callable[[Task], None]] = []
+        self._running: dict[Task, tuple[Machine, float]] = {}
+        self._wakeup = sim.event()
+        self._stopped = False
+        datacenter.on_capacity_change.append(self._poke)
+        sim.process(self._run(), name="scheduler-loop")
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Enqueue one task for scheduling."""
+        if task.state not in (TaskState.PENDING, TaskState.ELIGIBLE):
+            raise ValueError(f"task {task.name} is {task.state.value}")
+        self.queue.append(task)
+        self.queue_length.update(self.sim.now, len(self.queue))
+        self._poke()
+
+    def submit_job(self, job: Job) -> None:
+        """Enqueue all currently-eligible tasks of a job.
+
+        Tasks with unfinished dependencies are *not* submitted; use a
+        :class:`~repro.scheduling.workflow_engine.WorkflowEngine` to
+        release DAG tasks as they become eligible.
+        """
+        if isinstance(self.queue_policy, FairShare):
+            for task in job:
+                self.queue_policy.register(task, job.user)
+        for task in job:
+            if task.is_eligible:
+                self.submit(task)
+
+    def stop(self) -> None:
+        """Stop the scheduling loop (used when draining a simulation)."""
+        self._stopped = True
+        self._poke()
+
+    # ------------------------------------------------------------------
+    # Scheduling loop
+    # ------------------------------------------------------------------
+    def _poke(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _run(self):
+        while True:
+            yield self._wakeup
+            self._wakeup = self.sim.event()
+            if self._stopped:
+                return
+            self._schedule_round()
+
+    def _schedule_round(self) -> None:
+        ordered = self.queue_policy.order(self.queue, self.sim.now)
+        if self.backfilling:
+            self._schedule_easy(ordered)
+        else:
+            self._schedule_list(ordered)
+        self.queue_length.update(self.sim.now, len(self.queue))
+
+    def _schedule_list(self, ordered: list[Task]) -> None:
+        for task in ordered:
+            machine = self.placement_policy.select(
+                task, self.datacenter.available_machines())
+            if machine is None:
+                if self.strict_head:
+                    return
+                continue
+            self._start(task, machine)
+
+    def _schedule_easy(self, ordered: list[Task]) -> None:
+        """EASY backfilling: greedy + reservation for the blocked head."""
+        remaining = list(ordered)
+        # Phase 1: place from the front until the head is blocked.
+        while remaining:
+            head = remaining[0]
+            machine = self.placement_policy.select(
+                head, self.datacenter.available_machines())
+            if machine is None:
+                break
+            self._start(head, machine)
+            remaining.pop(0)
+        if not remaining:
+            return
+        head = remaining[0]
+        shadow_time, spare_cores = self._reservation_for(head)
+        # Phase 2: backfill tasks that cannot delay the reservation.
+        for task in remaining[1:]:
+            finishes_before_shadow = (
+                self.sim.now + task.runtime <= shadow_time + 1e-9)
+            fits_spare = task.cores <= spare_cores
+            if not (finishes_before_shadow or fits_spare):
+                continue
+            machine = self.placement_policy.select(
+                task, self.datacenter.available_machines())
+            if machine is None:
+                continue
+            if not finishes_before_shadow:
+                spare_cores -= task.cores
+            self._start(task, machine)
+
+    def _reservation_for(self, head: Task) -> tuple[float, int]:
+        """Shadow time and spare cores of the head's future reservation.
+
+        The shadow time is when enough cores free up (assuming running
+        tasks finish on estimate) for the head to start; spare cores are
+        what remains free at that moment beyond the head's demand.
+        """
+        free = sum(m.cores_free for m in self.datacenter.available_machines())
+        releases = sorted(
+            (start + machine.effective_runtime(task), task.cores)
+            for task, (machine, start) in self._running.items())
+        available = free
+        shadow_time = self.sim.now
+        for finish_time, cores in releases:
+            if available >= head.cores:
+                break
+            available += cores
+            shadow_time = finish_time
+        spare = max(0, available - head.cores)
+        return shadow_time, spare
+
+    def _start(self, task: Task, machine: Machine) -> None:
+        self.queue.remove(task)
+        self._running[task] = (machine, self.sim.now)
+        process = self.datacenter.execute(task, machine)
+        process.add_callback(lambda event, t=task: self._on_finished(t, event))
+
+    def _on_finished(self, task: Task, event) -> None:
+        self._running.pop(task, None)
+        if task.state is TaskState.FINISHED:
+            self.completed.append(task)
+            if isinstance(self.queue_policy, FairShare):
+                self.queue_policy.charge(task)
+        for callback in list(self.on_task_complete):
+            callback(task)
+        self._poke()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def running_count(self) -> int:
+        """Tasks currently executing."""
+        return len(self._running)
+
+    def statistics(self) -> dict[str, float]:
+        """Wait-time / slowdown / response summaries over completed tasks."""
+        waits = [t.wait_time for t in self.completed]
+        slowdowns = [t.slowdown for t in self.completed]
+        responses = [t.response_time for t in self.completed]
+        stats = {"completed": float(len(self.completed))}
+        for prefix, values in (("wait", waits), ("slowdown", slowdowns),
+                               ("response", responses)):
+            summary = summarize(values)
+            stats[f"{prefix}_mean"] = summary["mean"]
+            stats[f"{prefix}_p95"] = summary["p95"]
+            stats[f"{prefix}_max"] = summary["max"]
+        stats["mean_queue_length"] = self.queue_length.time_average(
+            until=self.sim.now)
+        return stats
+
+    def makespan(self) -> float:
+        """Finish time of the last completed task."""
+        if not self.completed:
+            raise RuntimeError("no completed tasks")
+        return max(t.finish_time for t in self.completed)

@@ -1,0 +1,69 @@
+"""Workflow execution engine: releases DAG tasks as they become eligible.
+
+The paper (C7) points at "advanced, typically job-specific, execution
+engines" that automate the user side of the dual problem.  The
+:class:`WorkflowEngine` plays that role for scientific workflows: it
+tracks dependencies and submits each task to the underlying scheduler
+the moment its predecessors finish.
+"""
+
+from __future__ import annotations
+
+from ..sim import Event, Simulator
+from ..workload.task import Task, TaskState
+from ..workload.workflow import Workflow
+from .scheduler import ClusterScheduler
+
+__all__ = ["WorkflowEngine"]
+
+
+class WorkflowEngine:
+    """Drives workflows through a :class:`ClusterScheduler`."""
+
+    def __init__(self, sim: Simulator, scheduler: ClusterScheduler) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self._pending: dict[Task, Workflow] = {}
+        self._workflow_done: dict[Workflow, Event] = {}
+        scheduler.on_task_complete.append(self._on_task_complete)
+
+    def submit(self, workflow: Workflow) -> Event:
+        """Start a workflow; returns an event that fires at completion."""
+        workflow.validate()
+        if workflow in self._workflow_done:
+            raise ValueError(f"workflow {workflow.name!r} already submitted")
+        done = self.sim.event()
+        self._workflow_done[workflow] = done
+        for task in workflow:
+            self._pending[task] = workflow
+        self._release_eligible(workflow)
+        return done
+
+    def _release_eligible(self, workflow: Workflow) -> None:
+        for task in list(workflow):
+            if (task in self._pending and task.state is TaskState.PENDING
+                    and task.is_eligible):
+                task.state = TaskState.ELIGIBLE
+                self.scheduler.submit(task)
+
+    def _on_task_complete(self, task: Task) -> None:
+        workflow = self._pending.pop(task, None)
+        if workflow is None:
+            return
+        if task.state is TaskState.FAILED:
+            # Retry failed workflow tasks once capacity allows.
+            task.reset_for_retry()
+            self._pending[task] = workflow
+            self.scheduler.submit(task)
+            return
+        if workflow.is_finished:
+            done = self._workflow_done.pop(workflow)
+            if not done.triggered:
+                done.succeed(workflow)
+            return
+        self._release_eligible(workflow)
+
+    @property
+    def active_workflows(self) -> int:
+        """Workflows submitted but not yet finished."""
+        return len(self._workflow_done)

@@ -1,0 +1,32 @@
+"""Self-awareness substrate (S7): feedback, adaptation, anomaly handling.
+
+MAPE-K loops and PID control ([17], C6), the 10-problem / 7-approach
+adaptation taxonomy of the paper's survey [95], streaming anomaly
+detectors, and retry-based recovery planning.
+"""
+
+from .adaptation import (
+    APPLICABILITY,
+    APPROACH_IMPLEMENTATIONS,
+    AdaptationApproach,
+    AdaptationProblem,
+    approaches_for,
+    problems_addressed_by,
+)
+from .anomaly import RecoveryPlanner, ThresholdDetector, ZScoreDetector
+from .feedback import Knowledge, MAPEKLoop, PIDController
+
+__all__ = [
+    "Knowledge",
+    "MAPEKLoop",
+    "PIDController",
+    "AdaptationProblem",
+    "AdaptationApproach",
+    "APPROACH_IMPLEMENTATIONS",
+    "APPLICABILITY",
+    "approaches_for",
+    "problems_addressed_by",
+    "ZScoreDetector",
+    "ThresholdDetector",
+    "RecoveryPlanner",
+]

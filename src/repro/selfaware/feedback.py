@@ -1,0 +1,130 @@
+"""Feedback loops up to MAPE-K self-awareness (P4, C6, [17], [95]).
+
+The paper (P4) makes self-awareness "a key building block":
+"Self-awareness includes monitoring and sensing, which give input
+(feedback) to Resource Management and Scheduling."  Kounev et al.'s
+definition [17] is the MAPE-K loop: Monitor, Analyze, Plan, Execute
+over a shared Knowledge base.
+
+:class:`MAPEKLoop` runs that loop periodically inside a simulation;
+:class:`PIDController` is the "simple feedback loop" end of C6's
+spectrum, usable as the Analyze+Plan stages for scalar targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..sim import Simulator
+
+__all__ = ["Knowledge", "MAPEKLoop", "PIDController"]
+
+
+@dataclass
+class Knowledge:
+    """The K of MAPE-K: models and state shared across loop stages."""
+
+    facts: dict[str, Any] = field(default_factory=dict)
+    history: list[tuple[float, dict[str, float]]] = field(default_factory=list)
+
+    def remember(self, time: float, observations: Mapping[str, float]) -> None:
+        """Append one observation snapshot to the history."""
+        self.history.append((time, dict(observations)))
+
+    def recent(self, metric: str, n: int = 10) -> list[float]:
+        """The last ``n`` observed values of ``metric``."""
+        values = [obs[metric] for _, obs in self.history if metric in obs]
+        return values[-n:]
+
+
+#: Monitor: () -> metric snapshot.
+SensorFn = Callable[[], Mapping[str, float]]
+#: Analyze: (knowledge, observations) -> symptoms.
+AnalyzeFn = Callable[[Knowledge, Mapping[str, float]], Mapping[str, float]]
+#: Plan: (knowledge, symptoms) -> actions.
+PlanFn = Callable[[Knowledge, Mapping[str, float]], Mapping[str, float]]
+#: Execute: (actions) -> None.
+ExecuteFn = Callable[[Mapping[str, float]], None]
+
+
+class MAPEKLoop:
+    """A periodic Monitor-Analyze-Plan-Execute loop over Knowledge."""
+
+    def __init__(self, sim: Simulator, sensor: SensorFn, analyze: AnalyzeFn,
+                 plan: PlanFn, execute: ExecuteFn,
+                 interval: float = 10.0,
+                 knowledge: Knowledge | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.sensor = sensor
+        self.analyze = analyze
+        self.plan = plan
+        self.execute = execute
+        self.interval = interval
+        self.knowledge = knowledge or Knowledge()
+        self.iterations = 0
+        self._stopped = False
+        sim.process(self._run(), name="mape-k")
+
+    def step(self) -> Mapping[str, float]:
+        """Run one full M-A-P-E iteration; returns the actions taken."""
+        observations = self.sensor()
+        self.knowledge.remember(self.sim.now, observations)
+        symptoms = self.analyze(self.knowledge, observations)
+        actions = self.plan(self.knowledge, symptoms)
+        self.execute(actions)
+        self.iterations += 1
+        return actions
+
+    def _run(self):
+        while not self._stopped:
+            self.step()
+            yield self.sim.timeout(self.interval)
+
+    def stop(self) -> None:
+        """Stop the loop at the next tick."""
+        self._stopped = True
+
+
+class PIDController:
+    """A discrete PID controller for scalar setpoint tracking.
+
+    C6 approach class (i): "feedback control-based techniques".  Call
+    :meth:`update` once per control period with the measured value; the
+    returned control signal is the adjustment to apply.
+    """
+
+    def __init__(self, setpoint: float, kp: float = 1.0, ki: float = 0.0,
+                 kd: float = 0.0,
+                 output_limits: tuple[float, float] = (-float("inf"),
+                                                       float("inf"))) -> None:
+        if output_limits[0] > output_limits[1]:
+            raise ValueError("invalid output limits")
+        self.setpoint = setpoint
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.output_limits = output_limits
+        self._integral = 0.0
+        self._previous_error: float | None = None
+
+    def update(self, measured: float, dt: float = 1.0) -> float:
+        """One control step; returns the clamped control output."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        error = self.setpoint - measured
+        self._integral += error * dt
+        derivative = (0.0 if self._previous_error is None
+                      else (error - self._previous_error) / dt)
+        self._previous_error = error
+        output = (self.kp * error + self.ki * self._integral
+                  + self.kd * derivative)
+        low, high = self.output_limits
+        return max(low, min(high, output))
+
+    def reset(self) -> None:
+        """Clear integral and derivative state."""
+        self._integral = 0.0
+        self._previous_error = None

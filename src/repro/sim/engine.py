@@ -1,0 +1,231 @@
+"""The discrete-event simulator and its process model.
+
+A :class:`Simulator` owns the virtual clock and a priority queue of
+triggered events.  A :class:`Process` wraps a Python generator; every
+value the generator yields must be an :class:`~repro.sim.events.Event`,
+and the process resumes when that event is processed.  This is the same
+cooperative model used by SimPy and by datacenter simulators built on it.
+
+Determinism: two events scheduled for the same time are processed in the
+order they were scheduled (FIFO tie-breaking via a monotonically
+increasing sequence number), so runs are exactly reproducible given the
+same seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
+
+__all__ = ["Simulator", "Process"]
+
+#: Type alias for the generators that drive processes.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; also an event that triggers when the process ends.
+
+    The wrapped generator yields events; the process is resumed with the
+    event's value (or the event's exception is thrown into it).  When the
+    generator returns, the process event succeeds with the return value;
+    when it raises, the process event fails with the exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str | None = None) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Kick the process off via an immediately-succeeding event.
+        starter = Event(sim)
+        starter.add_callback(self._resume)
+        starter.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it resumes queues both interrupts.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has already finished")
+        event = Event(self.sim)
+        event._ok = False
+        event._exception = Interrupt(cause)
+        event.defused = True
+        event.callbacks = []
+        event.add_callback(self._resume)
+        self.sim._enqueue(event, delay=0.0)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                next_event = self._generator.send(event.value)
+            else:
+                event.defused = True
+                next_event = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._finish_fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_event!r}, "
+                "which is not an Event")
+            self._generator.close()
+            self._finish_fail(error)
+            return
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._target = None
+        if self._ok is None:
+            self.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._target = None
+        if self._ok is None:
+            self.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def producer(sim):
+            for i in range(3):
+                yield sim.timeout(1.0)
+
+        sim.process(producer(sim))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+        #: Count of events processed so far; useful for budget guards.
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Start a new process driven by ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the main loop
+    # ------------------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+        if not event._ok and not event.defused:
+            # A failure nobody waited for must not pass silently.
+            raise event._exception  # type: ignore[misc]
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, until a time, or until an event.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up to
+        and including that time), or an :class:`Event` (run until it is
+        processed, returning its value).
+        """
+        stop_event: Event | None = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} lies in the past (now={self._now})")
+
+        while self._queue:
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event "
+                f"{stop_event!r} triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,109 @@
+"""Reproducibility recipes for simulation experiments (C16, P8).
+
+"Reproducing arbitrary experiments, to test claims or to compare with
+previous approaches, is non-trivial.  Many factors influence
+experiments ... including but not limited to the workload, the
+environment, and metrics."
+
+An :class:`ExperimentRecipe` pins everything a rerun needs — name,
+seed, parameters, and which metrics to report; :func:`run_experiment`
+executes a recipe and captures a :class:`ExperimentRecord`;
+:func:`check_reproduction` re-runs a record's recipe and compares
+metric-by-metric — the mechanical core of publishing reproducible
+results (P8 step (i): "reproducibility as essential service").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["ExperimentRecipe", "ExperimentRecord", "run_experiment",
+           "check_reproduction", "ReproductionReport"]
+
+#: An experiment is a callable from (seed, parameters) to metrics.
+ExperimentFn = Callable[[int, Mapping[str, Any]], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class ExperimentRecipe:
+    """Everything needed to re-run an experiment."""
+
+    name: str
+    seed: int
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """A stable digest of the recipe (for artifact registries)."""
+        body = json.dumps({"name": self.name, "seed": self.seed,
+                           "parameters": dict(self.parameters)},
+                          sort_keys=True, default=str)
+        return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """A recipe plus the metrics one execution produced."""
+
+    recipe: ExperimentRecipe
+    metrics: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """Outcome of re-running a record's recipe."""
+
+    matched: dict[str, bool]
+    original: Mapping[str, float]
+    reproduced: Mapping[str, float]
+
+    @property
+    def reproducible(self) -> bool:
+        """Whether every metric matched within tolerance."""
+        return bool(self.matched) and all(self.matched.values())
+
+    def mismatches(self) -> list[str]:
+        """Metric names that failed to reproduce."""
+        return sorted(name for name, ok in self.matched.items() if not ok)
+
+
+def run_experiment(experiment: ExperimentFn,
+                   recipe: ExperimentRecipe) -> ExperimentRecord:
+    """Execute a recipe and capture the record."""
+    metrics = dict(experiment(recipe.seed, recipe.parameters))
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)):
+            raise TypeError(f"metric {name!r} is not numeric: {value!r}")
+    return ExperimentRecord(recipe=recipe, metrics=metrics)
+
+
+def check_reproduction(experiment: ExperimentFn,
+                       record: ExperimentRecord,
+                       relative_tolerance: float = 1e-9,
+                       ) -> ReproductionReport:
+    """Re-run a record's recipe and compare every metric.
+
+    A deterministic simulation must reproduce exactly; a stochastic
+    one reproduces given the pinned seed.  Divergence means the code,
+    environment, or an unpinned factor changed — precisely what C16
+    wants surfaced.
+    """
+    if relative_tolerance < 0:
+        raise ValueError("relative_tolerance must be non-negative")
+    rerun = run_experiment(experiment, record.recipe)
+    matched = {}
+    for name, original in record.metrics.items():
+        reproduced = rerun.metrics.get(name)
+        if reproduced is None:
+            matched[name] = False
+            continue
+        scale = max(abs(original), abs(reproduced), 1e-12)
+        matched[name] = (abs(original - reproduced) / scale
+                         <= relative_tolerance)
+    for name in rerun.metrics:
+        if name not in record.metrics:
+            matched[name] = False  # new metric appeared: not a reproduction
+    return ReproductionReport(matched=matched, original=dict(record.metrics),
+                              reproduced=dict(rerun.metrics))

@@ -1,0 +1,136 @@
+"""Evolutionary and annealing metaheuristics (§3.5).
+
+"...developed into new fields of study, such as evolutionary
+computing, which describes a wide variety of biology-inspired search
+algorithms: genetic algorithms, genetic programming, particle-swarm
+optimization..."
+
+Generic maximizers over user-supplied genomes: a steady-state
+:class:`GeneticAlgorithm` and :func:`simulated_annealing`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["GeneticAlgorithm", "GAResult", "simulated_annealing"]
+
+Genome = TypeVar("Genome")
+
+
+@dataclass(frozen=True)
+class GAResult:
+    """Outcome of a genetic-algorithm run."""
+
+    best: object
+    best_fitness: float
+    generations: int
+    history: tuple[float, ...]
+
+
+class GeneticAlgorithm:
+    """A generational GA with tournament selection and elitism.
+
+    Args:
+        fitness: Genome -> score (maximized).
+        crossover: (parent_a, parent_b, rng) -> child genome.
+        mutate: (genome, rng) -> mutated genome.
+        population_size: Individuals per generation.
+        tournament: Tournament size for parent selection.
+        elite: Best individuals copied unchanged each generation.
+        mutation_rate: Probability a child is mutated.
+    """
+
+    def __init__(self, fitness: Callable[[Genome], float],
+                 crossover: Callable[[Genome, Genome, random.Random], Genome],
+                 mutate: Callable[[Genome, random.Random], Genome],
+                 population_size: int = 50, tournament: int = 3,
+                 elite: int = 2, mutation_rate: float = 0.2,
+                 rng: random.Random | None = None) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if tournament < 1:
+            raise ValueError("tournament must be >= 1")
+        if elite < 0 or elite >= population_size:
+            raise ValueError("need 0 <= elite < population_size")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        self.fitness = fitness
+        self.crossover = crossover
+        self.mutate = mutate
+        self.population_size = population_size
+        self.tournament = tournament
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+        self.rng = rng or random.Random(0)
+
+    def _select(self, scored: list[tuple[float, int, Genome]]) -> Genome:
+        contenders = [scored[self.rng.randrange(len(scored))]
+                      for _ in range(self.tournament)]
+        return max(contenders, key=lambda pair: pair[0])[2]
+
+    def run(self, initial_population: Sequence[Genome],
+            generations: int = 50) -> GAResult:
+        """Evolve for ``generations``; returns the best genome found."""
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if len(initial_population) < 2:
+            raise ValueError("initial population needs >= 2 genomes")
+        population = list(initial_population)
+        history = []
+        best: Genome = population[0]
+        best_fitness = -float("inf")
+        for generation in range(generations):
+            scored = sorted(
+                ((self.fitness(genome), index, genome)
+                 for index, genome in enumerate(population)),
+                key=lambda pair: -pair[0])
+            if scored[0][0] > best_fitness:
+                best_fitness, _, best = scored[0]
+            history.append(scored[0][0])
+            next_population = [genome for _, _, genome
+                               in scored[:self.elite]]
+            while len(next_population) < self.population_size:
+                parent_a = self._select(scored)
+                parent_b = self._select(scored)
+                child = self.crossover(parent_a, parent_b, self.rng)
+                if self.rng.random() < self.mutation_rate:
+                    child = self.mutate(child, self.rng)
+                next_population.append(child)
+            population = next_population
+        return GAResult(best=best, best_fitness=best_fitness,
+                        generations=generations, history=tuple(history))
+
+
+def simulated_annealing(initial: Genome,
+                        energy: Callable[[Genome], float],
+                        neighbor: Callable[[Genome, random.Random], Genome],
+                        initial_temperature: float = 1.0,
+                        cooling: float = 0.995,
+                        iterations: int = 5000,
+                        rng: random.Random | None = None,
+                        ) -> tuple[Genome, float]:
+    """Minimize ``energy`` by annealing; returns (best, best_energy)."""
+    if initial_temperature <= 0:
+        raise ValueError("initial_temperature must be positive")
+    if not 0.0 < cooling < 1.0:
+        raise ValueError("cooling must be in (0, 1)")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    rng = rng or random.Random(0)
+    current = best = initial
+    current_energy = best_energy = energy(initial)
+    temperature = initial_temperature
+    for _ in range(iterations):
+        candidate = neighbor(current, rng)
+        candidate_energy = energy(candidate)
+        delta = candidate_energy - current_energy
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current, current_energy = candidate, candidate_energy
+            if current_energy < best_energy:
+                best, best_energy = current, current_energy
+        temperature *= cooling
+    return best, best_energy

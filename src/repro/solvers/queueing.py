@@ -1,0 +1,126 @@
+"""Queueing-theory models: M/M/1, M/M/c, Little's Law (§3.5).
+
+"More complex models, as the ones defined by queuing theory led to
+seminal results such as Little's Law, widely used in distributed
+systems, networking and scheduling."
+
+These closed forms are the *stochastic performance models* of C6
+approach class (vi), and the analytical baselines the simulation-based
+experiments validate against (C15's model-validation obligation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MM1", "MMc", "littles_law_holds"]
+
+
+@dataclass(frozen=True)
+class MM1:
+    """An M/M/1 queue: Poisson arrivals, exponential service, 1 server."""
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0 or self.service_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.arrival_rate >= self.service_rate:
+            raise ValueError("unstable queue: arrival rate >= service rate")
+
+    @property
+    def utilization(self) -> float:
+        """Server utilization rho = lambda / mu."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_jobs_in_system(self) -> float:
+        """L = rho / (1 - rho)."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_response_time(self) -> float:
+        """W = 1 / (mu - lambda)."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Wq = W - 1/mu."""
+        return self.mean_response_time - 1.0 / self.service_rate
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Lq = lambda * Wq (Little's law on the queue)."""
+        return self.arrival_rate * self.mean_waiting_time
+
+
+@dataclass(frozen=True)
+class MMc:
+    """An M/M/c queue with ``servers`` parallel servers (Erlang C)."""
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0 or self.service_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.servers < 1:
+            raise ValueError("servers must be >= 1")
+        if self.arrival_rate >= self.servers * self.service_rate:
+            raise ValueError("unstable queue: offered load >= capacity")
+
+    @property
+    def offered_load(self) -> float:
+        """a = lambda / mu, in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilization rho = a / c."""
+        return self.offered_load / self.servers
+
+    @property
+    def erlang_c(self) -> float:
+        """Probability an arrival must wait (Erlang C formula)."""
+        a, c = self.offered_load, self.servers
+        rho = self.utilization
+        summation = sum(a ** k / math.factorial(k) for k in range(c))
+        tail = a ** c / (math.factorial(c) * (1.0 - rho))
+        return tail / (summation + tail)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Wq = C(c, a) / (c mu - lambda)."""
+        return self.erlang_c / (self.servers * self.service_rate
+                                - self.arrival_rate)
+
+    @property
+    def mean_response_time(self) -> float:
+        """W = Wq + 1/mu."""
+        return self.mean_waiting_time + 1.0 / self.service_rate
+
+    @property
+    def mean_jobs_in_system(self) -> float:
+        """L = lambda W (Little's law)."""
+        return self.arrival_rate * self.mean_response_time
+
+
+def littles_law_holds(arrival_rate: float, mean_in_system: float,
+                      mean_response: float, tolerance: float = 0.1) -> bool:
+    """Check L = lambda W on measured values, within ``tolerance``.
+
+    The consistency check every measurement campaign should run on its
+    own numbers (P8: everything tested, reproducibly).
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    predicted = arrival_rate * mean_response
+    if predicted == 0:
+        return mean_in_system == 0
+    return abs(mean_in_system - predicted) / predicted <= tolerance

@@ -1,0 +1,51 @@
+"""The Roofline performance model (Williams et al. [67]; §3.5).
+
+"Frameworks such as the Roofline model are effective in predicting the
+performance achieved by modern multicore architectures using only
+modest numbers of parameters (e.g., memory bandwidth, floating-point
+performance, operational intensity)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RooflineModel"]
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A two-parameter roofline: peak compute and peak memory bandwidth.
+
+    Attributes:
+        peak_gflops: Peak floating-point rate, GFLOP/s.
+        peak_bandwidth: Peak memory bandwidth, GB/s.
+    """
+
+    peak_gflops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.peak_bandwidth <= 0:
+            raise ValueError("peaks must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity (FLOP/byte) where the roofs meet."""
+        return self.peak_gflops / self.peak_bandwidth
+
+    def attainable_gflops(self, operational_intensity: float) -> float:
+        """Attainable performance at a given operational intensity."""
+        if operational_intensity <= 0:
+            raise ValueError("operational intensity must be positive")
+        return min(self.peak_gflops,
+                   self.peak_bandwidth * operational_intensity)
+
+    def is_memory_bound(self, operational_intensity: float) -> bool:
+        """Whether a kernel at this intensity is memory-bandwidth bound."""
+        return operational_intensity < self.ridge_point
+
+    def roofline_series(self, intensities: list[float],
+                        ) -> list[tuple[float, float]]:
+        """(intensity, attainable GFLOP/s) points for plotting."""
+        return [(oi, self.attainable_gflops(oi)) for oi in intensities]

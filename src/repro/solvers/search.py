@@ -1,0 +1,176 @@
+"""Heuristic state-space search: A* and iterative-deepening A* (§3.5).
+
+"Possibly the most widely used family of methods to investigate large
+solution spaces are the A* algorithm and its optimizations, such as
+the iterative deepening A*."
+
+Both solvers are generic over a :class:`SearchProblem`; a grid
+path-finding problem is included as the canonical instance (and as the
+test vehicle).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
+
+__all__ = ["SearchProblem", "SearchResult", "astar", "ida_star",
+           "GridPathProblem"]
+
+State = TypeVar("State", bound=Hashable)
+
+
+class SearchProblem(Generic[State]):
+    """Interface for state-space search problems."""
+
+    def initial_state(self) -> State:
+        """The start state."""
+        raise NotImplementedError
+
+    def is_goal(self, state: State) -> bool:
+        """Whether ``state`` is a goal."""
+        raise NotImplementedError
+
+    def successors(self, state: State) -> Iterable[tuple[State, float]]:
+        """(next_state, step_cost) pairs."""
+        raise NotImplementedError
+
+    def heuristic(self, state: State) -> float:
+        """Admissible estimate of remaining cost (default 0 = Dijkstra)."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class SearchResult(Generic[State]):
+    """Outcome of a search."""
+
+    path: tuple[State, ...]
+    cost: float
+    expanded: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a goal was reached."""
+        return bool(self.path)
+
+
+def astar(problem: SearchProblem[State],
+          max_expansions: int = 1_000_000) -> SearchResult[State]:
+    """A* search; optimal when the heuristic is admissible."""
+    start = problem.initial_state()
+    frontier: list[tuple[float, int, State]] = []
+    counter = 0
+    heapq.heappush(frontier, (problem.heuristic(start), counter, start))
+    best_cost: dict[State, float] = {start: 0.0}
+    parent: dict[State, State] = {}
+    expanded = 0
+    while frontier:
+        _, _, state = heapq.heappop(frontier)
+        if problem.is_goal(state):
+            return SearchResult(_reconstruct(parent, state),
+                                best_cost[state], expanded)
+        expanded += 1
+        if expanded > max_expansions:
+            break
+        for successor, cost in problem.successors(state):
+            if cost < 0:
+                raise ValueError("step costs must be non-negative")
+            candidate = best_cost[state] + cost
+            if candidate < best_cost.get(successor, float("inf")):
+                best_cost[successor] = candidate
+                parent[successor] = state
+                counter += 1
+                heapq.heappush(frontier, (
+                    candidate + problem.heuristic(successor), counter,
+                    successor))
+    return SearchResult((), float("inf"), expanded)
+
+
+def _reconstruct(parent: dict, goal) -> tuple:
+    path = [goal]
+    while path[-1] in parent:
+        path.append(parent[path[-1]])
+    return tuple(reversed(path))
+
+
+def ida_star(problem: SearchProblem[State],
+             max_iterations: int = 100) -> SearchResult[State]:
+    """Iterative-deepening A*: optimal with O(depth) memory."""
+    start = problem.initial_state()
+    bound = problem.heuristic(start)
+    expanded = 0
+
+    def depth_first(path: list[State], g: float,
+                    bound: float) -> tuple[float, bool]:
+        nonlocal expanded
+        state = path[-1]
+        f = g + problem.heuristic(state)
+        if f > bound + 1e-12:
+            return f, False
+        if problem.is_goal(state):
+            return g, True
+        expanded += 1
+        minimum = float("inf")
+        for successor, cost in problem.successors(state):
+            if successor in path:
+                continue
+            path.append(successor)
+            threshold, found = depth_first(path, g + cost, bound)
+            if found:
+                return threshold, True
+            path.pop()
+            minimum = min(minimum, threshold)
+        return minimum, False
+
+    for _ in range(max_iterations):
+        path = [start]
+        threshold, found = depth_first(path, 0.0, bound)
+        if found:
+            return SearchResult(tuple(path), threshold, expanded)
+        if threshold == float("inf"):
+            break
+        bound = threshold
+    return SearchResult((), float("inf"), expanded)
+
+
+class GridPathProblem(SearchProblem[tuple[int, int]]):
+    """Shortest path on a 2D grid with obstacles; Manhattan heuristic."""
+
+    def __init__(self, width: int, height: int,
+                 start: tuple[int, int], goal: tuple[int, int],
+                 obstacles: Iterable[tuple[int, int]] = ()) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        self.width = width
+        self.height = height
+        self.start = start
+        self.goal = goal
+        self.obstacles = set(obstacles)
+        for point in (start, goal):
+            if not self._inside(point) or point in self.obstacles:
+                raise ValueError(f"invalid start/goal {point}")
+
+    def _inside(self, point: tuple[int, int]) -> bool:
+        x, y = point
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def initial_state(self) -> tuple[int, int]:
+        """Return the configured start cell."""
+        return self.start
+
+    def is_goal(self, state: tuple[int, int]) -> bool:
+        """Whether the cell is the goal."""
+        return state == self.goal
+
+    def successors(self, state: tuple[int, int]):
+        """Yield 4-neighborhood moves of unit cost."""
+        x, y = state
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            candidate = (x + dx, y + dy)
+            if self._inside(candidate) and candidate not in self.obstacles:
+                yield candidate, 1.0
+
+    def heuristic(self, state: tuple[int, int]) -> float:
+        """Manhattan distance to the goal (admissible)."""
+        return abs(state[0] - self.goal[0]) + abs(state[1] - self.goal[1])

@@ -1,0 +1,217 @@
+"""Tasks, jobs, and bags-of-tasks — the paper's core workload models.
+
+The paper (§3.5) lists "core workload models such as workflows and
+dataflows" as imports from Computer Systems; grids and clouds run
+bags-of-tasks and workflows ([39], [107], [114]).  A :class:`Task` is
+the unit of allocation; a :class:`Job` groups tasks submitted together;
+a :class:`BagOfTasks` is a job of independent tasks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["TaskState", "Task", "Job", "BagOfTasks"]
+
+_task_ids = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the simulator."""
+
+    PENDING = "pending"
+    ELIGIBLE = "eligible"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes:
+        runtime: Service demand in seconds on one dedicated core-set.
+        cores: Number of cores needed simultaneously (rigid allocation).
+        memory: Memory footprint in GiB.
+        submit_time: Time the task entered the system.
+        dependencies: Tasks that must finish before this one is eligible.
+        kind: Application class, used by vicissitude mixes and
+            heterogeneity-aware policies (C4).
+        deadline: Optional absolute completion deadline (banking, C3).
+    """
+
+    runtime: float
+    cores: int = 1
+    memory: float = 1.0
+    submit_time: float = 0.0
+    name: str = ""
+    kind: str = "generic"
+    deadline: Optional[float] = None
+    dependencies: list["Task"] = field(default_factory=list)
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    state: TaskState = TaskState.PENDING
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    machine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            raise ValueError(f"runtime must be non-negative, got {self.runtime}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.memory < 0:
+            raise ValueError(f"memory must be non-negative, got {self.memory}")
+        if not self.name:
+            self.name = f"task-{self.task_id}"
+
+    # ------------------------------------------------------------------
+    # Dependency handling
+    # ------------------------------------------------------------------
+    def add_dependency(self, task: "Task") -> None:
+        """Require ``task`` to finish before this one may start."""
+        if task is self:
+            raise ValueError("a task cannot depend on itself")
+        self.dependencies.append(task)
+
+    @property
+    def is_eligible(self) -> bool:
+        """Whether all dependencies have finished."""
+        return all(dep.state is TaskState.FINISHED for dep in self.dependencies)
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+    def start(self, time: float, machine: str = "") -> None:
+        """Mark the task running at ``time`` on ``machine``."""
+        if self.state is TaskState.RUNNING:
+            raise RuntimeError(f"{self.name} is already running")
+        if self.state is TaskState.FINISHED:
+            raise RuntimeError(f"{self.name} has already finished")
+        self.state = TaskState.RUNNING
+        self.start_time = time
+        self.machine = machine or None
+
+    def finish(self, time: float) -> None:
+        """Mark the task finished at ``time``."""
+        if self.state is not TaskState.RUNNING:
+            raise RuntimeError(f"{self.name} is not running")
+        self.state = TaskState.FINISHED
+        self.finish_time = time
+
+    def fail(self, time: float) -> None:
+        """Mark the task failed at ``time``; it may later restart."""
+        self.state = TaskState.FAILED
+        self.finish_time = time
+
+    def reset_for_retry(self) -> None:
+        """Return a failed task to the pending state for re-execution."""
+        if self.state is not TaskState.FAILED:
+            raise RuntimeError(f"{self.name} has not failed")
+        self.state = TaskState.PENDING
+        self.start_time = None
+        self.finish_time = None
+        self.machine = None
+
+    # ------------------------------------------------------------------
+    # Metrics (Performance Engineering imports, §3.5)
+    # ------------------------------------------------------------------
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay from submission to start."""
+        if self.start_time is None:
+            raise RuntimeError(f"{self.name} has not started")
+        return self.start_time - self.submit_time
+
+    @property
+    def response_time(self) -> float:
+        """Submission-to-completion latency (a.k.a. turnaround)."""
+        if self.finish_time is None:
+            raise RuntimeError(f"{self.name} has not finished")
+        return self.finish_time - self.submit_time
+
+    @property
+    def slowdown(self) -> float:
+        """Bounded slowdown: response time over runtime (>= 1)."""
+        return self.response_time / max(self.runtime, 1e-9)
+
+    @property
+    def core_seconds(self) -> float:
+        """Resource demand: runtime x cores."""
+        return self.runtime * self.cores
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the task finished by its deadline (True if none set)."""
+        if self.deadline is None:
+            return True
+        if self.finish_time is None:
+            return False
+        return self.finish_time <= self.deadline
+
+    def __hash__(self) -> int:
+        return self.task_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Task {self.name} rt={self.runtime} cores={self.cores} "
+                f"{self.state.value}>")
+
+
+class Job:
+    """A named group of tasks submitted together by one user."""
+
+    def __init__(self, name: str, tasks: Iterable[Task] = (),
+                 user: str = "anonymous", submit_time: float = 0.0) -> None:
+        self.name = name
+        self.user = user
+        self.submit_time = submit_time
+        self.tasks: list[Task] = list(tasks)
+        for task in self.tasks:
+            task.submit_time = submit_time
+
+    def add(self, task: Task) -> Task:
+        """Add a task, aligning its submit time to the job's."""
+        task.submit_time = self.submit_time
+        self.tasks.append(task)
+        return task
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether every task finished."""
+        return bool(self.tasks) and all(
+            t.state is TaskState.FINISHED for t in self.tasks)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task minus job submission."""
+        if not self.is_finished:
+            raise RuntimeError(f"job {self.name} has unfinished tasks")
+        return max(t.finish_time for t in self.tasks) - self.submit_time
+
+    @property
+    def total_core_seconds(self) -> float:
+        """Aggregate resource demand of the job."""
+        return sum(t.core_seconds for t in self.tasks)
+
+
+class BagOfTasks(Job):
+    """A job of independent tasks — the dominant grid workload [107]."""
+
+    def __init__(self, name: str, tasks: Iterable[Task] = (),
+                 user: str = "anonymous", submit_time: float = 0.0) -> None:
+        tasks = list(tasks)
+        for task in tasks:
+            if task.dependencies:
+                raise ValueError(
+                    f"bag-of-tasks {name!r} contains dependent task {task.name!r}")
+        super().__init__(name, tasks, user=user, submit_time=submit_time)

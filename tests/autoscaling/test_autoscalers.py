@@ -1,0 +1,168 @@
+"""Unit tests for the autoscaler policy families."""
+
+import pytest
+
+from repro.autoscaling import (
+    AUTOSCALERS,
+    AdaptAutoscaler,
+    AutoscalerInput,
+    ConPaaSAutoscaler,
+    HistAutoscaler,
+    ReactAutoscaler,
+    RegAutoscaler,
+    TokenAutoscaler,
+)
+
+
+def snap(time=0.0, queued=0, running=0, eligible=0, soon=0, machines=4,
+         cores=4, max_machines=16):
+    return AutoscalerInput(
+        time=time, queued_cores=queued, running_cores=running,
+        eligible_tasks=eligible, soon_eligible_tasks=soon,
+        machines=machines, cores_per_machine=cores,
+        max_machines=max_machines)
+
+
+def test_input_helpers():
+    s = snap(queued=6, running=2, cores=4)
+    assert s.demand_cores == 8
+    assert s.machines_for(8) == 2
+    assert s.machines_for(9) == 3
+    assert s.machines_for(-5) == 0
+    assert s.machines_for(1e9) == 16  # clamped
+
+
+class TestReact:
+    def test_matches_demand_exactly(self):
+        scaler = ReactAutoscaler()
+        assert scaler.decide(snap(queued=16, running=0)) == 4
+        assert scaler.decide(snap(queued=0, running=0)) == 0
+
+    def test_clamps_to_max(self):
+        assert ReactAutoscaler().decide(snap(queued=1000)) == 16
+
+
+class TestAdapt:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptAutoscaler(damping=0.0)
+
+    def test_damps_oscillating_demand(self):
+        scaler = AdaptAutoscaler(damping=0.5)
+        # Oscillating demand: once the history is inconsistent, steps
+        # are limited to half the gap.
+        scaler.decide(snap(queued=32, machines=4))
+        scaler.decide(snap(queued=0, machines=4))
+        decision = scaler.decide(snap(queued=32, machines=4))
+        # Target 8, gap +4, damped step ceil(4*0.5)=2 -> 6, not 8.
+        assert decision == 6
+
+    def test_moves_fully_on_consistent_trend(self):
+        scaler = AdaptAutoscaler(damping=0.5)
+        for demand in (8, 16, 24):
+            decision = scaler.decide(snap(queued=demand, machines=2))
+        # Consistent upward trend -> full step to demand (24/4 = 6).
+        assert decision == 6
+
+    def test_no_gap_no_change(self):
+        scaler = AdaptAutoscaler()
+        assert scaler.decide(snap(queued=16, machines=4)) == 4
+
+
+class TestHist:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistAutoscaler(percentile=0.0)
+
+    def test_provisions_high_percentile_of_history(self):
+        scaler = HistAutoscaler(percentile=0.95, window=100)
+        for _ in range(9):
+            scaler.decide(snap(queued=4))
+        decision = scaler.decide(snap(queued=40))
+        # History is nine 4s and one 40; nearest-rank p95 over 10
+        # samples is the 10th value, 40 cores -> 10 machines.
+        assert decision == 10
+
+    def test_resists_single_spike(self):
+        scaler = HistAutoscaler(percentile=0.5, window=100)
+        for _ in range(9):
+            scaler.decide(snap(queued=4))
+        decision = scaler.decide(snap(queued=400))
+        assert decision == 1  # median stays at 4 cores -> 1 machine
+
+
+class TestReg:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegAutoscaler(window=1)
+
+    def test_extrapolates_rising_trend(self):
+        scaler = RegAutoscaler(window=5, horizon=1.0)
+        decision = None
+        for t, demand in enumerate((4, 8, 12, 16)):
+            decision = scaler.decide(snap(time=float(t), queued=demand))
+        # Perfect line with slope 4/step: predicts 20 cores -> 5 machines.
+        assert decision == 5
+
+    def test_flat_history_matches_demand(self):
+        scaler = RegAutoscaler(window=5)
+        for t in range(4):
+            decision = scaler.decide(snap(time=float(t), queued=8))
+        assert decision == 2
+
+    def test_never_scales_below_running(self):
+        scaler = RegAutoscaler(window=3)
+        scaler.decide(snap(time=0.0, queued=40, running=16))
+        scaler.decide(snap(time=1.0, queued=20, running=16))
+        decision = scaler.decide(snap(time=2.0, queued=0, running=16))
+        assert decision >= 4  # at least the 16 running cores
+
+
+class TestConPaaS:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConPaaSAutoscaler(low=0.8, high=0.3)
+
+    def test_holds_in_deadband(self):
+        scaler = ConPaaSAutoscaler(low=0.3, high=0.8)
+        assert scaler.decide(snap(queued=8, machines=4)) == 4  # util 0.5
+
+    def test_scales_up_above_high(self):
+        scaler = ConPaaSAutoscaler(low=0.3, high=0.8)
+        assert scaler.decide(snap(queued=15, machines=4)) == 6
+
+    def test_scales_down_below_low(self):
+        scaler = ConPaaSAutoscaler(low=0.3, high=0.8)
+        decision = scaler.decide(snap(queued=2, machines=8))
+        assert decision < 8
+        assert decision >= 1  # still covers the 2-core demand
+
+
+class TestToken:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenAutoscaler(lookahead=2.0)
+
+    def test_counts_eligible_tokens(self):
+        scaler = TokenAutoscaler(lookahead=0.0)
+        decision = scaler.decide(snap(queued=8, eligible=4))
+        # 4 tokens x mean 2 cores = 8 cores -> 2 machines.
+        assert decision == 2
+
+    def test_lookahead_adds_capacity(self):
+        with_la = TokenAutoscaler(lookahead=1.0).decide(
+            snap(queued=8, eligible=4, soon=4))
+        without_la = TokenAutoscaler(lookahead=0.0).decide(
+            snap(queued=8, eligible=4, soon=4))
+        assert with_la > without_la
+
+    def test_no_tokens_still_covers_running(self):
+        decision = TokenAutoscaler().decide(snap(running=8, eligible=0))
+        assert decision == 2
+
+
+def test_registry_instantiates_all_families():
+    for name, factory in AUTOSCALERS.items():
+        scaler = factory()
+        assert scaler.name == name
+        assert scaler.decide(snap(queued=8)) >= 0

@@ -1,0 +1,85 @@
+"""Integration-style tests for the autoscaling controller."""
+
+import pytest
+
+from repro.autoscaling import AutoscalingController, ReactAutoscaler
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.scheduling import ClusterScheduler
+from repro.sim import Simulator
+from repro.workload import Task
+
+
+def build(n_machines=8, cores=4, interval=5.0):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", n_machines, MachineSpec(cores=cores, memory=1e9))])
+    scheduler = ClusterScheduler(sim, dc)
+    controller = AutoscalingController(sim, dc, scheduler,
+                                       ReactAutoscaler(), interval=interval)
+    return sim, dc, scheduler, controller
+
+
+def test_interval_validation():
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster("c", 1)])
+    scheduler = ClusterScheduler(sim, dc)
+    with pytest.raises(ValueError):
+        AutoscalingController(sim, dc, scheduler, ReactAutoscaler(),
+                              interval=0.0)
+
+
+def test_idle_platform_scales_to_zero():
+    sim, dc, scheduler, controller = build()
+    sim.run(until=20.0)
+    controller.stop()
+    assert controller.leased_machines == 0
+
+
+def test_load_scales_up_and_work_completes():
+    sim, dc, scheduler, controller = build(interval=2.0)
+    sim.run(until=3.0)  # scale to zero first
+    tasks = [Task(runtime=20.0, cores=4) for _ in range(6)]
+    for task in tasks:
+        scheduler.submit(task)
+    sim.run(until=100.0)
+    controller.stop()
+    assert len(scheduler.completed) == 6
+    # React should have leased ~6 machines at peak.
+    supply = controller.supply_series()
+    assert max(supply.values) >= 6
+
+
+def test_elasticity_report_produced():
+    sim, dc, scheduler, controller = build(interval=2.0)
+    for _ in range(4):
+        scheduler.submit(Task(runtime=10.0, cores=4))
+    sim.run(until=60.0)
+    controller.stop()
+    report = controller.elasticity(0.0, 60.0)
+    assert report.accuracy_under >= 0.0
+    assert 0.0 <= report.timeshare_under <= 1.0
+    assert report.jitter >= 0.0
+
+
+def test_supply_never_exceeds_fleet():
+    sim, dc, scheduler, controller = build(n_machines=4, interval=2.0)
+    for _ in range(50):
+        scheduler.submit(Task(runtime=5.0, cores=4))
+    sim.run(until=120.0)
+    controller.stop()
+    assert max(controller.supply_series().values) <= 4
+    assert len(scheduler.completed) == 50
+
+
+def test_busy_machines_not_released():
+    sim, dc, scheduler, controller = build(n_machines=2, interval=1.0)
+    long_task = Task(runtime=50.0, cores=4)
+    scheduler.submit(long_task)
+    sim.run(until=10.0)
+    # Demand (1 machine) < lease (2), but the busy machine must survive.
+    running_machines = [m for m in dc.machines() if m.running_tasks]
+    assert len(running_machines) == 1
+    assert running_machines[0].available
+    sim.run(until=120.0)
+    controller.stop()
+    assert len(scheduler.completed) == 1

@@ -1,0 +1,87 @@
+"""Unit tests for StepSeries and the SPEC elasticity metrics."""
+
+import pytest
+
+from repro.autoscaling import ElasticityReport, StepSeries, evaluate_elasticity
+
+
+class TestStepSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepSeries([])
+        with pytest.raises(ValueError):
+            StepSeries([(1.0, 1.0), (0.0, 2.0)])
+        with pytest.raises(ValueError):
+            StepSeries([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_at_lookup(self):
+        series = StepSeries([(0.0, 2.0), (10.0, 5.0)])
+        assert series.at(0.0) == 2.0
+        assert series.at(9.99) == 2.0
+        assert series.at(10.0) == 5.0
+        assert series.at(100.0) == 5.0
+        assert series.at(-5.0) == 2.0  # before start, first value
+
+    def test_change_times_skip_no_ops(self):
+        series = StepSeries([(0.0, 2.0), (5.0, 2.0), (10.0, 3.0)])
+        assert series.change_times() == [0.0, 10.0]
+
+    def test_segments_cover_interval(self):
+        series = StepSeries([(0.0, 1.0), (10.0, 2.0)])
+        segments = series.segments(5.0, 15.0)
+        assert segments == [(5.0, 10.0, 1.0), (10.0, 15.0, 2.0)]
+        with pytest.raises(ValueError):
+            series.segments(5.0, 5.0)
+
+
+class TestElasticityMetrics:
+    def test_perfect_tracking_scores_zero(self):
+        demand = StepSeries([(0.0, 2.0), (10.0, 4.0)])
+        supply = StepSeries([(0.0, 2.0), (10.0, 4.0)])
+        report = evaluate_elasticity(demand, supply, 0.0, 20.0)
+        assert report.accuracy_under == 0.0
+        assert report.accuracy_over == 0.0
+        assert report.timeshare_under == 0.0
+        assert report.timeshare_over == 0.0
+        assert report.elastic_deviation() == 0.0
+
+    def test_underprovisioning_measured(self):
+        demand = StepSeries([(0.0, 4.0)])
+        supply = StepSeries([(0.0, 2.0)])
+        report = evaluate_elasticity(demand, supply, 0.0, 10.0)
+        assert report.accuracy_under == pytest.approx(2.0)
+        assert report.timeshare_under == pytest.approx(1.0)
+        assert report.accuracy_over == 0.0
+
+    def test_overprovisioning_measured(self):
+        demand = StepSeries([(0.0, 2.0)])
+        supply = StepSeries([(0.0, 5.0)])
+        report = evaluate_elasticity(demand, supply, 0.0, 10.0)
+        assert report.accuracy_over == pytest.approx(3.0)
+        assert report.timeshare_over == pytest.approx(1.0)
+
+    def test_mixed_interval(self):
+        demand = StepSeries([(0.0, 4.0)])
+        supply = StepSeries([(0.0, 2.0), (5.0, 6.0)])
+        report = evaluate_elasticity(demand, supply, 0.0, 10.0)
+        # Half the time 2 under, half the time 2 over.
+        assert report.accuracy_under == pytest.approx(1.0)
+        assert report.accuracy_over == pytest.approx(1.0)
+        assert report.timeshare_under == pytest.approx(0.5)
+        assert report.timeshare_over == pytest.approx(0.5)
+
+    def test_jitter_counts_supply_changes(self):
+        demand = StepSeries([(0.0, 2.0)])
+        supply = StepSeries([(0.0, 2.0), (1.0, 3.0), (2.0, 2.0), (3.0, 3.0)])
+        report = evaluate_elasticity(demand, supply, 0.0, 10.0)
+        assert report.jitter == pytest.approx(3 / 10.0)
+
+    def test_under_weighted_more_in_deviation(self):
+        under = ElasticityReport(1.0, 0.0, 0.5, 0.0, 0.0, 0.0)
+        over = ElasticityReport(0.0, 1.0, 0.0, 0.5, 0.0, 0.0)
+        assert under.elastic_deviation() > over.elastic_deviation()
+
+    def test_invalid_interval_rejected(self):
+        series = StepSeries([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            evaluate_elasticity(series, series, 10.0, 10.0)

@@ -1,0 +1,216 @@
+"""Unit tests for the PSD2 banking substrate."""
+
+import pytest
+
+from repro.banking import (
+    ClearingSystem,
+    ComplianceChecker,
+    OpenBankingEcosystem,
+    Participant,
+    ParticipantKind,
+    Payment,
+    PaymentStatus,
+    edf_order,
+    fcfs_order,
+)
+from repro.sim import Simulator
+
+
+def make_market():
+    market = OpenBankingEcosystem()
+    market.join(Participant("ing", ParticipantKind.BANK,
+                            applications=10, legacy_fraction=0.5))
+    market.join(Participant("rabo", ParticipantKind.BANK, applications=5))
+    market.join(Participant("adyen", ParticipantKind.FINTECH,
+                            applications=3))
+    market.join(Participant("google", ParticipantKind.CONSUMER_BRAND,
+                            applications=2))
+    return market
+
+
+class TestMarket:
+    def test_join_and_lookup(self):
+        market = make_market()
+        assert market.get("ing").kind is ParticipantKind.BANK
+        with pytest.raises(KeyError):
+            market.get("monzo")
+        with pytest.raises(ValueError):
+            market.join(Participant("ing", ParticipantKind.BANK))
+
+    def test_participant_validation(self):
+        with pytest.raises(ValueError):
+            Participant("x", ParticipantKind.BANK, applications=-1)
+        with pytest.raises(ValueError):
+            Participant("x", ParticipantKind.BANK, legacy_fraction=1.5)
+
+    def test_kind_filter(self):
+        market = make_market()
+        banks = market.participants(ParticipantKind.BANK)
+        assert {b.name for b in banks} == {"ing", "rabo"}
+
+    def test_only_banks_provide_apis(self):
+        market = make_market()
+        with pytest.raises(ValueError):
+            market.grant_api_access("adyen", "google")
+
+    def test_grant_and_compliance_lists(self):
+        market = make_market()
+        market.grant_api_access("ing", "adyen")
+        assert market.has_access("ing", "adyen")
+        assert not market.has_access("rabo", "adyen")
+        assert market.psd2_compliant_grants() == ["ing"]
+        assert market.non_compliant_banks() == ["rabo"]
+
+    def test_market_qualifies_as_ecosystem(self):
+        market = make_market()
+        eco = market.as_ecosystem()
+        assert eco.is_ecosystem(), eco.disqualifications()
+        assert eco.is_super_distributed()
+        # Legacy apps present but not all-legacy, so no disqualification.
+        legacy = [s for s in eco.walk() if s.legacy]
+        assert len(legacy) == 5  # half of ing's 10 applications
+
+
+class TestPayments:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Payment(amount=0.0, submit_time=0.0, deadline=10.0)
+        with pytest.raises(ValueError):
+            Payment(amount=1.0, submit_time=10.0, deadline=5.0)
+
+    def test_clearing_meets_deadline_under_light_load(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=2, service_time=1.0)
+        payments = [Payment(100.0, submit_time=0.0, deadline=5.0)
+                    for _ in range(2)]
+        for payment in payments:
+            clearing.submit(payment)
+        sim.run(until=10.0)
+        clearing.stop()
+        assert all(p.status is PaymentStatus.CLEARED for p in payments)
+        assert clearing.deadline_compliance() == 1.0
+        assert clearing.mean_clearing_latency() == pytest.approx(1.0)
+
+    def test_overload_misses_deadlines(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=1, service_time=1.0)
+        payments = [Payment(10.0, submit_time=0.0, deadline=2.0)
+                    for _ in range(5)]
+        for payment in payments:
+            clearing.submit(payment)
+        sim.run(until=20.0)
+        clearing.stop()
+        assert clearing.deadline_compliance() < 1.0
+
+    def test_edf_beats_fcfs_on_mixed_deadlines(self):
+        def run(order):
+            sim = Simulator()
+            clearing = ClearingSystem(sim, capacity=1, service_time=1.0,
+                                      order=order)
+            # Relaxed payments are created (and thus FCFS-ordered) first.
+            relaxed = [Payment(1.0, 0.0, deadline=100.0) for _ in range(3)]
+            urgent = [Payment(1.0, 0.0, deadline=3.0) for _ in range(2)]
+            for payment in relaxed + urgent:
+                clearing.submit(payment)
+            sim.run(until=50.0)
+            clearing.stop()
+            return clearing.deadline_compliance()
+
+        assert run(edf_order) > run(fcfs_order)
+
+    def test_double_submission_rejected(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=1)
+        payment = Payment(1.0, 0.0, deadline=10.0)
+        clearing.submit(payment)
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            clearing.submit(payment)
+
+    def test_refund_reenters_pipeline(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=1, service_time=1.0)
+        original = Payment(50.0, 0.0, deadline=10.0, initiator="adyen",
+                           provider="ing")
+        clearing.submit(original)
+        sim.run(until=5.0)
+        refund = clearing.refund(original)
+        sim.run(until=20.0)
+        clearing.stop()
+        assert original.status is PaymentStatus.REFUNDED
+        assert refund.status is PaymentStatus.CLEARED
+        assert refund.refund_of == original.payment_id
+        assert refund.initiator == "ing"  # direction reversed
+        assert refund.provider == "adyen"
+
+    def test_refund_requires_cleared_payment(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=1)
+        payment = Payment(1.0, 0.0, deadline=10.0)
+        with pytest.raises(ValueError):
+            clearing.refund(payment)
+
+    def test_clearing_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ClearingSystem(sim, capacity=0)
+        with pytest.raises(ValueError):
+            ClearingSystem(sim, service_time=0.0)
+
+
+class TestCompliance:
+    def test_checker_validation(self):
+        with pytest.raises(ValueError):
+            ComplianceChecker(deadline_target=0.0)
+
+    def test_open_api_audit(self):
+        market = make_market()
+        market.grant_api_access("ing", "adyen")
+        report = ComplianceChecker().audit(market)
+        assert not report.compliant
+        psd2 = report.by_regulation("PSD2")
+        assert len(psd2) == 1
+        assert psd2[0].subject == "rabo"
+
+    def test_deadline_audit_flags_overloaded_bank(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=1, service_time=1.0)
+        for _ in range(5):
+            clearing.submit(Payment(1.0, 0.0, deadline=2.0))
+        sim.run(until=20.0)
+        clearing.stop()
+        market = make_market()
+        market.grant_api_access("ing", "adyen")
+        market.grant_api_access("rabo", "adyen")
+        report = ComplianceChecker(deadline_target=0.99).audit(
+            market, [("ing", clearing)])
+        subjects = {v.subject for v in report.by_regulation("PSD2")}
+        assert "ing" in subjects
+
+    def test_gdpr_minimization(self):
+        violations = ComplianceChecker.gdpr_data_minimization(
+            [], ["amount", "account_holder_address"])
+        assert len(violations) == 1
+        assert violations[0].regulation == "GDPR"
+        assert "account_holder_address" in violations[0].description
+
+    def test_stress_capacity(self):
+        lanes = ComplianceChecker.stress_capacity_needed(
+            surge_rate=10.0, service_time=1.0, deadline_slack=2.0)
+        assert lanes >= 10  # stability bound
+        with pytest.raises(ValueError):
+            ComplianceChecker.stress_capacity_needed(0.0, 1.0, 1.0)
+
+    def test_fully_compliant_market(self):
+        sim = Simulator()
+        clearing = ClearingSystem(sim, capacity=4, service_time=0.5)
+        for _ in range(4):
+            clearing.submit(Payment(1.0, 0.0, deadline=10.0))
+        sim.run(until=5.0)
+        clearing.stop()
+        market = make_market()
+        market.grant_api_access("ing", "adyen")
+        market.grant_api_access("rabo", "google")
+        report = ComplianceChecker().audit(market, [("ing", clearing)])
+        assert report.compliant
+        assert report.checks_run == 3

@@ -1,0 +1,150 @@
+"""Unit tests for the Figure 1 stack and the MapReduce/Pregel engines."""
+
+import random
+
+import pytest
+
+from repro.bigdata import (
+    BIGDATA_COMPONENTS,
+    SUB_ECOSYSTEMS,
+    BigDataStack,
+    StackComponent,
+    StackLayer,
+    mapreduce_job,
+    pregel_job,
+    straggler_slowdown,
+)
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.scheduling import ClusterScheduler, WorkflowEngine
+from repro.sim import Simulator
+
+
+class TestStack:
+    def test_four_layers(self):
+        assert len(StackLayer) == 4
+
+    def test_catalog_covers_all_layers(self):
+        layers = {c.layer for c in BIGDATA_COMPONENTS}
+        assert layers == set(StackLayer)
+
+    def test_mapreduce_sub_ecosystem_is_execution_ready(self):
+        stack = BigDataStack.sub_ecosystem("mapreduce")
+        assert stack.execution_ready()
+        assert {c.name for c in stack} == {"MapReduce", "Hadoop", "HDFS"}
+        # Optional top layer not required for execution (Figure 1).
+        assert StackLayer.HIGH_LEVEL_LANGUAGE not in stack.covered_layers()
+
+    def test_pregel_sub_ecosystem(self):
+        stack = BigDataStack.sub_ecosystem("pregel")
+        assert stack.execution_ready()
+        assert {c.name for c in stack} == set(SUB_ECOSYSTEMS["pregel"])
+
+    def test_unknown_sub_ecosystem(self):
+        with pytest.raises(KeyError):
+            BigDataStack.sub_ecosystem("flink")
+
+    def test_incomplete_stack_reports_missing_layers(self):
+        stack = BigDataStack("partial")
+        stack.add(StackComponent("MapReduce", StackLayer.PROGRAMMING_MODEL))
+        missing = stack.missing_execution_layers()
+        assert StackLayer.EXECUTION_ENGINE in missing
+        assert StackLayer.STORAGE_ENGINE in missing
+        assert not stack.execution_ready()
+
+    def test_layer_and_vendor_queries(self):
+        stack = BigDataStack.sub_ecosystem("mapreduce")
+        assert [c.name for c in
+                stack.at_layer(StackLayer.STORAGE_ENGINE)] == ["HDFS"]
+        assert "apache" in stack.vendors()
+
+
+class TestMapReduce:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mapreduce_job(n_maps=0)
+        with pytest.raises(ValueError):
+            mapreduce_job(straggler_fraction=2.0)
+        with pytest.raises(ValueError):
+            mapreduce_job(straggler_factor=0.5)
+
+    def test_shape_and_barrier(self):
+        job = mapreduce_job(n_maps=8, n_reduces=2)
+        assert len(job) == 10
+        reduces = [t for t in job if t.name.startswith("reduce")]
+        maps = [t for t in job if t.name.startswith("map")]
+        for reduce_task in reduces:
+            assert set(reduce_task.dependencies) == set(maps)
+        assert job.depth == 2
+
+    def test_map_only_job(self):
+        job = mapreduce_job(n_maps=4, n_reduces=0)
+        assert len(job) == 4
+        assert job.depth == 1
+
+    def test_stragglers_inflate_critical_path(self):
+        clean = mapreduce_job(n_maps=16, straggler_fraction=0.0,
+                              rng=random.Random(1))
+        slow = mapreduce_job(n_maps=16, straggler_fraction=0.1,
+                             straggler_factor=5.0, rng=random.Random(1))
+        assert (slow.critical_path_length()
+                > 2.0 * clean.critical_path_length() / 1.5)
+
+    def test_straggler_slowdown_metric(self):
+        assert straggler_slowdown(10.0, 25.0) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            straggler_slowdown(0.0, 5.0)
+
+    def test_runs_on_datacenter(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster(
+            "c", 4, MachineSpec(cores=4, memory=1e9))])
+        scheduler = ClusterScheduler(sim, dc)
+        engine = WorkflowEngine(sim, scheduler)
+        job = mapreduce_job(n_maps=8, n_reduces=2, rng=random.Random(2))
+        done = engine.submit(job)
+        sim.run(until=done)
+        assert job.is_finished
+        reduces = [t for t in job if t.name.startswith("reduce")]
+        maps = [t for t in job if t.name.startswith("map")]
+        last_map_finish = max(t.finish_time for t in maps)
+        assert all(r.start_time >= last_map_finish - 1e-9 for r in reduces)
+
+
+class TestPregel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pregel_job(n_workers=0)
+        with pytest.raises(ValueError):
+            pregel_job(convergence=0.0)
+
+    def test_superstep_barriers(self):
+        job = pregel_job(n_workers=4, n_supersteps=3)
+        assert len(job) == 12
+        assert job.depth == 3
+        levels = job.levels()
+        for later, earlier in zip(levels[1:], levels):
+            for task in later:
+                assert set(task.dependencies) == set(earlier)
+
+    def test_work_decays_with_convergence(self):
+        job = pregel_job(n_workers=4, n_supersteps=4, convergence=0.5,
+                         superstep_runtime=10.0, rng=random.Random(3))
+        levels = job.levels()
+        mean_work = [sum(t.runtime for t in level) / len(level)
+                     for level in levels]
+        assert mean_work[0] > mean_work[-1] * 4  # ~8x decay over 3 halvings
+
+    def test_runs_on_datacenter_with_bsp_semantics(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster(
+            "c", 2, MachineSpec(cores=8, memory=1e9))])
+        scheduler = ClusterScheduler(sim, dc)
+        engine = WorkflowEngine(sim, scheduler)
+        job = pregel_job(n_workers=8, n_supersteps=3, rng=random.Random(4))
+        done = engine.submit(job)
+        sim.run(until=done)
+        assert job.is_finished
+        levels = job.levels()
+        for earlier, later in zip(levels, levels[1:]):
+            barrier = max(t.finish_time for t in earlier)
+            assert all(t.start_time >= barrier - 1e-9 for t in later)

@@ -1,0 +1,71 @@
+"""Unit tests for the python -m repro command-line interface."""
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, main
+
+
+def run_cli(*args):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(args))
+    return code, out.getvalue(), err.getvalue()
+
+
+def test_no_args_lists_artifacts():
+    code, out, _ = run_cli()
+    assert code == 0
+    for name in ARTIFACTS:
+        assert name in out
+
+
+def test_help_flag():
+    code, out, _ = run_cli("--help")
+    assert code == 0
+    assert "Usage" in out
+
+
+def test_each_artifact_prints_its_title():
+    titles = {
+        "table1": "TABLE 1",
+        "table2": "TABLE 2",
+        "table3": "TABLE 3",
+        "table4": "TABLE 4",
+        "table5": "TABLE 5",
+        "figure2": "FIGURE 2",
+        "figure3": "FIGURE 3",
+        "figure4": "FIGURE 4",
+        "figure5": "FIGURE 5",
+        "curriculum": "C12",
+    }
+    for name, expected in titles.items():
+        code, out, _ = run_cli(name)
+        assert code == 0
+        assert expected in out
+
+
+def test_all_prints_everything():
+    code, out, _ = run_cli("all")
+    assert code == 0
+    assert "TABLE 1" in out and "FIGURE 5" in out and "C12" in out
+
+
+def test_unknown_artifact_fails_with_hint():
+    code, out, err = run_cli("table9")
+    assert code == 2
+    assert "unknown artifact" in err
+    assert "table5" in err
+
+
+def test_module_invocation():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "table2"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0
+    assert "The Age of Ecosystems" in result.stdout

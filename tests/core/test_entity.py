@@ -1,0 +1,113 @@
+"""Unit tests for System / Ecosystem definitions (paper §2.1)."""
+
+import pytest
+
+from repro.core import CollectiveFunction, Ecosystem, System
+
+
+def make_bigdata_ecosystem():
+    """The Figure 1 example: a big-data ecosystem with a sub-ecosystem."""
+    eco = Ecosystem("big-data", function="data processing", owner="community")
+    eco.add(System("Hive", function="high-level language", owner="apache",
+                   kind="language"))
+    mapreduce = Ecosystem("mapreduce", function="programming model",
+                          owner="apache")
+    mapreduce.add(System("Hadoop", function="execution engine", owner="apache",
+                         kind="engine"))
+    mapreduce.add(System("HDFS", function="storage engine", owner="apache",
+                         kind="storage"))
+    eco.add(mapreduce)
+    eco.add(System("S3", function="storage engine", owner="amazon",
+                   kind="storage"))
+    eco.register_collective_function(
+        CollectiveFunction("run-big-data-jobs", required_fraction=0.75))
+    return eco
+
+
+def test_plain_system_has_no_constituents():
+    system = System("solo")
+    assert system.constituents() == ()
+    assert system.distribution_depth() == 1
+
+
+def test_ecosystem_walk_is_recursive():
+    eco = make_bigdata_ecosystem()
+    names = [s.name for s in eco.walk()]
+    assert names == ["Hive", "mapreduce", "Hadoop", "HDFS", "S3"]
+
+
+def test_distribution_depth_counts_nesting():
+    eco = make_bigdata_ecosystem()
+    assert eco.distribution_depth() == 3  # eco -> mapreduce -> Hadoop
+
+
+def test_super_distribution_detected():
+    eco = make_bigdata_ecosystem()
+    assert eco.is_super_distributed()
+    flat = Ecosystem("flat")
+    flat.add(System("a"))
+    assert not flat.is_super_distributed()
+
+
+def test_heterogeneity_zero_for_clones():
+    eco = Ecosystem("clones")
+    for i in range(4):
+        eco.add(System(f"node-{i}", owner="one-org", kind="compute"))
+    assert eco.heterogeneity() == 0.0
+
+
+def test_heterogeneity_positive_for_diverse_group():
+    eco = make_bigdata_ecosystem()
+    assert 0.0 < eco.heterogeneity() <= 1.0
+
+
+def test_collective_responsibility_requires_significant_fraction():
+    eco = Ecosystem("weak")
+    eco.add(System("a", owner="x"))
+    eco.add(System("b", owner="y", kind="storage"))
+    eco.register_collective_function(
+        CollectiveFunction("tiny", required_fraction=0.1))
+    assert not eco.has_collective_responsibility()
+    eco.register_collective_function(
+        CollectiveFunction("majority", required_fraction=0.5))
+    assert eco.has_collective_responsibility()
+
+
+def test_collective_function_fraction_validated():
+    with pytest.raises(ValueError):
+        CollectiveFunction("bad", required_fraction=0.0)
+    with pytest.raises(ValueError):
+        CollectiveFunction("bad", required_fraction=1.5)
+
+
+def test_qualifying_ecosystem_has_no_disqualifications():
+    eco = make_bigdata_ecosystem()
+    assert eco.disqualifications() == []
+    assert eco.is_ecosystem()
+
+
+def test_single_constituent_disqualifies():
+    eco = Ecosystem("lonely")
+    eco.add(System("only"))
+    assert "fewer than two constituents" in eco.disqualifications()
+
+
+def test_non_autonomous_constituent_disqualifies():
+    eco = make_bigdata_ecosystem()
+    eco.add(System("slave", autonomous=False, owner="z", kind="agent"))
+    assert any("non-autonomous" in r for r in eco.disqualifications())
+
+
+def test_legacy_monolith_disqualifies():
+    eco = Ecosystem("legacy-stack")
+    eco.add(System("cobol-core", legacy=True, owner="bank", kind="app"))
+    eco.add(System("cobol-batch", legacy=True, owner="vendor", kind="batch"))
+    eco.register_collective_function(CollectiveFunction("batch", 0.9))
+    assert any("legacy" in r for r in eco.disqualifications())
+
+
+def test_audited_system_disqualifies():
+    eco = make_bigdata_ecosystem()
+    eco.audited = True
+    assert any("audited" in r for r in eco.disqualifications())
+    assert not eco.is_ecosystem()

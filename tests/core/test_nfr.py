@@ -1,0 +1,126 @@
+"""Unit tests for first-class non-functional requirements (P3, C3)."""
+
+import pytest
+
+from repro.core import SLA, SLO, Direction, NFRKind, Requirement
+
+
+def latency_requirement(target=100.0, **kwargs):
+    return Requirement(kind=NFRKind.PERFORMANCE, metric="p99_latency",
+                       target=target, direction=Direction.MINIMIZE, **kwargs)
+
+
+def availability_requirement(target=0.999, **kwargs):
+    return Requirement(kind=NFRKind.AVAILABILITY, metric="availability",
+                       target=target, direction=Direction.MAXIMIZE, **kwargs)
+
+
+def test_minimize_satisfaction():
+    req = latency_requirement(100.0)
+    assert req.satisfied(80.0)
+    assert req.satisfied(100.0)
+    assert not req.satisfied(120.0)
+
+
+def test_maximize_satisfaction():
+    req = availability_requirement(0.999)
+    assert req.satisfied(0.9999)
+    assert not req.satisfied(0.99)
+
+
+def test_violation_magnitude():
+    req = latency_requirement(100.0)
+    assert req.violation(120.0) == pytest.approx(20.0)
+    assert req.violation(90.0) == 0.0
+    avail = availability_requirement(0.999)
+    assert avail.violation(0.99) == pytest.approx(0.009)
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ValueError):
+        latency_requirement(weight=-1.0)
+
+
+def test_temporal_schedule_changes_target():
+    # Stricter latency during business hours (C3: temporal fine-grained NFRs).
+    req = latency_requirement(
+        200.0, schedule=((0.0, 200.0), (9.0, 50.0), (17.0, 200.0)))
+    assert req.target_at(3.0) == 200.0
+    assert req.target_at(12.0) == 50.0
+    assert req.target_at(20.0) == 200.0
+    assert req.satisfied(100.0, time=3.0)
+    assert not req.satisfied(100.0, time=12.0)
+
+
+def test_schedule_before_first_entry_uses_base_target():
+    req = latency_requirement(150.0, schedule=((10.0, 50.0),))
+    assert req.target_at(5.0) == 150.0
+
+
+def test_unsorted_schedule_rejected():
+    with pytest.raises(ValueError):
+        latency_requirement(schedule=((5.0, 1.0), (1.0, 2.0)))
+
+
+def test_spatial_scope_defaults_to_application():
+    req = latency_requirement()
+    assert req.scope == "application"
+    fine = Requirement(kind=NFRKind.PERFORMANCE, metric="task_latency",
+                       target=10.0, scope="task")
+    assert fine.scope == "task"
+
+
+def test_sla_evaluation_and_penalty():
+    sla = SLA("gold", provider="dc", client="bank")
+    sla.add(SLO("latency", latency_requirement(100.0)), penalty=5.0)
+    sla.add(SLO("availability", availability_requirement(0.999)), penalty=10.0)
+    report = sla.evaluate({"p99_latency": 150.0, "availability": 0.9999})
+    assert report.satisfied == {"latency": False, "availability": True}
+    assert report.penalty == 5.0
+    assert not report.all_met
+    assert report.fraction_met == pytest.approx(0.5)
+
+
+def test_sla_skips_unmeasured_metrics():
+    sla = SLA("partial")
+    sla.add(SLO("latency", latency_requirement(100.0)))
+    report = sla.evaluate({})
+    assert report.satisfied == {}
+    assert report.fraction_met == 1.0
+
+
+def test_sla_duplicate_slo_rejected():
+    sla = SLA("dup")
+    sla.add(SLO("x", latency_requirement()))
+    with pytest.raises(ValueError):
+        sla.add(SLO("x", latency_requirement()))
+
+
+def test_sla_negative_penalty_rejected():
+    sla = SLA("neg")
+    with pytest.raises(ValueError):
+        sla.add(SLO("x", latency_requirement()), penalty=-1.0)
+
+
+def test_weighted_utility_reflects_importance():
+    sla = SLA("weighted")
+    sla.add(SLO("latency", latency_requirement(100.0, weight=3.0)))
+    sla.add(SLO("availability", availability_requirement(0.999, weight=1.0)))
+    # Latency violated, availability met -> utility = 1/4.
+    utility = sla.weighted_utility(
+        {"p99_latency": 200.0, "availability": 1.0})
+    assert utility == pytest.approx(0.25)
+
+
+def test_weighted_utility_empty_measurements():
+    sla = SLA("empty")
+    sla.add(SLO("latency", latency_requirement()))
+    assert sla.weighted_utility({}) == 1.0
+
+
+def test_nfr_catalogue_covers_paper_dimensions():
+    names = {kind.value for kind in NFRKind}
+    for expected in ("performance", "availability", "scalability",
+                     "elasticity", "security", "trust", "privacy", "cost",
+                     "risk"):
+        assert expected in names

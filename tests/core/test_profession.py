@@ -1,0 +1,104 @@
+"""Unit tests for the P7 profession: licensing and enforcement."""
+
+import pytest
+
+from repro.core import (
+    CertificationBody,
+    Privilege,
+    Professional,
+    UnlicensedOperationError,
+    require_license,
+)
+
+
+def competent(name="ada"):
+    return Professional(name, competences={
+        "systems thinking": 0.9, "design thinking": 0.8})
+
+
+class TestProfessional:
+    def test_competence_validation(self):
+        with pytest.raises(ValueError):
+            Professional("x", competences={"systems thinking": 1.5})
+        professional = Professional("x")
+        with pytest.raises(ValueError):
+            professional.certify_competence("skill", -0.1)
+
+    def test_incident_recording(self):
+        professional = competent()
+        professional.record_incident()
+        assert professional.integrity_incidents == 1
+
+
+class TestCertificationBody:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CertificationBody("b", min_competence=0.0)
+        with pytest.raises(ValueError):
+            CertificationBody("b", max_incidents=-1)
+
+    def test_grants_to_qualified(self):
+        body = CertificationBody("mcs-society")
+        license_ = body.grant(competent(), Privilege.OPERATE)
+        assert license_.holder == "ada"
+        assert body.is_licensed("ada", Privilege.OPERATE)
+        assert not body.is_licensed("ada", Privilege.CREATE)
+
+    def test_denies_incompetent(self):
+        body = CertificationBody("mcs-society", min_competence=0.6)
+        novice = Professional("bob", competences={
+            "systems thinking": 0.3, "design thinking": 0.9})
+        with pytest.raises(UnlicensedOperationError):
+            body.grant(novice, Privilege.OPERATE)
+        assert any("denied" in d for d in body.decisions)
+
+    def test_denies_integrity_incidents(self):
+        body = CertificationBody("mcs-society", max_incidents=0)
+        offender = competent("mallory")
+        offender.record_incident()
+        assert not body.qualifies(offender)
+
+    def test_revocation_on_abuse(self):
+        body = CertificationBody("mcs-society")
+        body.grant(competent(), Privilege.OPERATE)
+        body.revoke("ada", Privilege.OPERATE)
+        assert not body.is_licensed("ada", Privilege.OPERATE)
+        with pytest.raises(KeyError):
+            body.revoke("ada", Privilege.OPERATE)
+
+    def test_licensed_roster(self):
+        body = CertificationBody("mcs-society")
+        body.grant(competent("ada"), Privilege.OPERATE)
+        body.grant(competent("grace"), Privilege.OPERATE)
+        body.grant(competent("edsger"), Privilege.CREATE)
+        assert body.licensed_professionals(Privilege.OPERATE) == [
+            "ada", "grace"]
+
+
+class TestEnforcement:
+    def test_require_license_gates_operations(self):
+        body = CertificationBody("mcs-society")
+        with pytest.raises(UnlicensedOperationError):
+            require_license(body, "ada", Privilege.OPERATE)
+        body.grant(competent(), Privilege.OPERATE)
+        require_license(body, "ada", Privilege.OPERATE)  # passes
+
+    def test_control_plane_gated_by_license(self):
+        """P7 end-to-end: only licensed operators may drive the fleet."""
+        from repro.datacenter import ControlPlane, Datacenter, homogeneous_cluster
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster("c", 2)])
+        plane = ControlPlane(dc)
+        body = CertificationBody("mcs-society")
+
+        def licensed_release(operator, names):
+            require_license(body, operator, Privilege.OPERATE)
+            return plane.release(names)
+
+        with pytest.raises(UnlicensedOperationError):
+            licensed_release("intern", ["c-m0"])
+        body.grant(competent("sre"), Privilege.OPERATE)
+        result = licensed_release("sre", ["c-m0"])
+        assert result.fully_applied

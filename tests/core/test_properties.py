@@ -1,0 +1,126 @@
+"""Unit tests for super-properties and ecosystem restructuring (P5)."""
+
+import pytest
+
+from repro.core import (
+    CollectiveFunction,
+    Ecosystem,
+    SuperFlexibility,
+    System,
+    merge_ecosystems,
+    split_ecosystem,
+    super_scalability,
+)
+
+
+def make_ecosystem(name="eco", n=4):
+    eco = Ecosystem(name, function="services", owner="op")
+    for i in range(n):
+        eco.add(System(f"{name}-s{i}", owner=f"org-{i % 2}",
+                       kind="compute" if i % 2 else "storage"))
+    eco.register_collective_function(CollectiveFunction("serve", 0.7))
+    return eco
+
+
+class TestSuperFlexibility:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperFlexibility(closed={}, open={"elasticity": 0.5})
+        with pytest.raises(ValueError):
+            SuperFlexibility(closed={"perf": 1.5}, open={"elasticity": 0.5})
+
+    def test_harmonic_combination_punishes_imbalance(self):
+        balanced = SuperFlexibility(closed={"perf": 0.7},
+                                    open={"elasticity": 0.7})
+        lopsided = SuperFlexibility(closed={"perf": 1.0},
+                                    open={"elasticity": 0.4})
+        assert balanced.score > lopsided.score
+        assert balanced.score == pytest.approx(0.7)
+
+    def test_zero_side_zeroes_score(self):
+        assessment = SuperFlexibility(closed={"perf": 1.0},
+                                      open={"elasticity": 0.0})
+        assert assessment.score == 0.0
+        assert not assessment.is_super_flexible()
+
+    def test_threshold_validation(self):
+        assessment = SuperFlexibility(closed={"a": 0.8}, open={"b": 0.8})
+        assert assessment.is_super_flexible(threshold=0.6)
+        with pytest.raises(ValueError):
+            assessment.is_super_flexible(threshold=0.0)
+
+
+class TestSuperScalability:
+    def test_bounds_and_validation(self):
+        assert 0.0 <= super_scalability(0.8, 0.9, 0.5) <= 1.0
+        with pytest.raises(ValueError):
+            super_scalability(1.5, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            super_scalability(0.5, 0.5, -0.1)
+
+    def test_perfect_system_scores_one(self):
+        assert super_scalability(1.0, 1.0, 0.0) == pytest.approx(1.0)
+
+    def test_elasticity_deviation_drags_score(self):
+        good = super_scalability(0.9, 0.9, 0.1)
+        bad = super_scalability(0.9, 0.9, 5.0)
+        assert good > bad
+
+
+class TestMerge:
+    def test_merge_preserves_both_sides(self):
+        a, b = make_ecosystem("a"), make_ecosystem("b")
+        merged = merge_ecosystems(a, b, "a+b")
+        assert merged.is_super_distributed()
+        names = {s.name for s in merged.walk()}
+        assert "a" in names and "b" in names
+        assert merged.is_ecosystem(), merged.disqualifications()
+        # Originals untouched.
+        assert len(a.constituents()) == 4
+
+    def test_merge_self_rejected(self):
+        eco = make_ecosystem()
+        with pytest.raises(ValueError):
+            merge_ecosystems(eco, eco, "dup")
+
+
+class TestSplit:
+    def test_split_partitions_constituents(self):
+        eco = make_ecosystem("mono", n=4)
+        parts = split_ecosystem(eco, {
+            "left": ["mono-s0", "mono-s1"],
+            "right": ["mono-s2", "mono-s3"],
+        })
+        assert len(parts) == 2
+        assert {s.name for s in parts[0].walk()} == {"mono-s0", "mono-s1"}
+        assert {s.name for s in parts[1].walk()} == {"mono-s2", "mono-s3"}
+        # Parts inherit the collective functions, so they can be
+        # re-checked for qualification after the break-up.
+        for part in parts:
+            assert part.has_collective_responsibility()
+        # The original is not mutated.
+        assert len(eco.constituents()) == 4
+
+    def test_split_validation(self):
+        eco = make_ecosystem("mono", n=3)
+        with pytest.raises(ValueError):
+            split_ecosystem(eco, {"only": ["mono-s0", "mono-s1",
+                                           "mono-s2"]})
+        with pytest.raises(KeyError):
+            split_ecosystem(eco, {"a": ["ghost"], "b": ["mono-s0"]})
+        with pytest.raises(ValueError):
+            split_ecosystem(eco, {"a": ["mono-s0"], "b": ["mono-s0"]})
+        with pytest.raises(ValueError):
+            split_ecosystem(eco, {"a": ["mono-s0"], "b": ["mono-s1"]})
+
+
+class TestMergeThenSplitRoundTrip:
+    def test_anti_trust_cycle(self):
+        """Merge two ecosystems, then break the merger up again."""
+        a, b = make_ecosystem("a"), make_ecosystem("b")
+        merged = merge_ecosystems(a, b, "conglomerate")
+        parts = split_ecosystem(merged, {"part-a": ["a"], "part-b": ["b"]})
+        assert {p.name for p in parts} == {"part-a", "part-b"}
+        recovered_a = next(p for p in parts if p.name == "part-a")
+        assert {s.name for s in recovered_a.walk()} >= {
+            "a-s0", "a-s1", "a-s2", "a-s3"}

@@ -1,0 +1,176 @@
+"""Unit tests for the Figure 3 reference architecture and federation."""
+
+import pytest
+
+from repro.datacenter import (
+    DATACENTER_LAYERS,
+    Datacenter,
+    DatacenterStack,
+    Federation,
+    LayeredComponent,
+    MachineSpec,
+    ReferenceArchitecture,
+    homogeneous_cluster,
+    least_loaded_offload,
+    never_offload,
+)
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 reference architecture
+# ---------------------------------------------------------------------------
+class TestReferenceArchitecture:
+    def test_five_core_layers_plus_devops(self):
+        arch = ReferenceArchitecture()
+        assert len(arch) == 6
+        assert len(arch.core_layers()) == 5
+        assert arch.layer(6).orthogonal
+
+    def test_core_layer_order_top_down(self):
+        names = [l.name for l in ReferenceArchitecture().core_layers()]
+        assert names == ["Front-end", "Back-end", "Resources",
+                         "Operations Service", "Infrastructure"]
+
+    def test_sublayers_match_figure1_names(self):
+        frontend = ReferenceArchitecture().layer(5)
+        assert "High Level Languages" in frontend.sublayers
+        assert "Programming Models" in frontend.sublayers
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(KeyError):
+            ReferenceArchitecture().layer(9)
+
+    def test_duplicate_layer_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceArchitecture(DATACENTER_LAYERS + (DATACENTER_LAYERS[0],))
+
+    def test_table_rows(self):
+        rows = ReferenceArchitecture().table_rows()
+        assert (5, "Front-end", "application-level functionality") in rows
+
+
+class TestDatacenterStack:
+    def build_full_stack(self):
+        stack = DatacenterStack("aws-like")
+        stack.place(LayeredComponent("SQL-console", 5,
+                                     sublayer="High Level Languages"))
+        stack.place(LayeredComponent("Spark", 4, sublayer="Execution Engine"))
+        stack.place(LayeredComponent("YARN", 3))
+        stack.place(LayeredComponent("Zookeeper", 2))
+        stack.place(LayeredComponent("EC2", 1))
+        return stack
+
+    def test_complete_stack(self):
+        stack = self.build_full_stack()
+        assert stack.is_complete()
+        assert stack.missing_layers() == []
+
+    def test_missing_layers_reported_in_order(self):
+        stack = DatacenterStack("partial")
+        stack.place(LayeredComponent("Spark", 4, sublayer="Execution Engine"))
+        missing = [l.name for l in stack.missing_layers()]
+        assert missing == ["Front-end", "Resources", "Operations Service",
+                           "Infrastructure"]
+
+    def test_invalid_sublayer_rejected(self):
+        stack = DatacenterStack("bad")
+        with pytest.raises(ValueError):
+            stack.place(LayeredComponent("X", 3, sublayer="Nope"))
+
+    def test_devops_not_required_for_completeness(self):
+        stack = self.build_full_stack()
+        assert 6 not in stack.covered_layers()
+        assert stack.is_complete()
+
+    def test_at_layer_query(self):
+        stack = self.build_full_stack()
+        assert [c.name for c in stack.at_layer(4)] == ["Spark"]
+
+
+# ---------------------------------------------------------------------------
+# Federation (C10)
+# ---------------------------------------------------------------------------
+def build_federation(sim, policy):
+    dc_eu = Datacenter(sim, [homogeneous_cluster("eu-c", 2,
+                                                 MachineSpec(cores=4))],
+                       name="eu")
+    dc_us = Datacenter(sim, [homogeneous_cluster("us-c", 2,
+                                                 MachineSpec(cores=4))],
+                       name="us")
+    return Federation(sim, [dc_eu, dc_us],
+                      latency={("eu", "us"): 0.15}, policy=policy), dc_eu, dc_us
+
+
+class TestFederation:
+    def test_requires_members_and_unique_names(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Federation(sim, [])
+        dc = Datacenter(sim, [homogeneous_cluster("c", 1)], name="x")
+        dc2 = Datacenter(sim, [homogeneous_cluster("c2", 1)], name="x")
+        with pytest.raises(ValueError):
+            Federation(sim, [dc, dc2])
+
+    def test_latency_symmetric_lookup(self):
+        sim = Simulator()
+        federation, _, _ = build_federation(sim, never_offload)
+        assert federation.latency("eu", "us") == 0.15
+        assert federation.latency("us", "eu") == 0.15
+        assert federation.latency("eu", "eu") == 0.0
+        with pytest.raises(KeyError):
+            federation.latency("eu", "asia")
+
+    def test_never_offload_runs_at_home(self):
+        sim = Simulator()
+        federation, dc_eu, dc_us = build_federation(sim, never_offload)
+        tasks = [Task(runtime=10.0, cores=2) for _ in range(4)]
+        for task in tasks:
+            federation.submit(task, "eu")
+        sim.run()
+        assert federation.offloaded_tasks == 0
+        assert all(t.state is TaskState.FINISHED for t in tasks)
+        assert len(dc_eu.completed_tasks) == 4
+        assert len(dc_us.completed_tasks) == 0
+
+    def test_overload_triggers_offload(self):
+        sim = Simulator()
+        federation, dc_eu, dc_us = build_federation(
+            sim, least_loaded_offload(threshold=0.5))
+        # Saturate eu first (8 cores), then submit more: they must go to us.
+        saturating = [Task(runtime=50.0, cores=4) for _ in range(2)]
+        for task in saturating:
+            federation.submit(task, "eu")
+        sim.run(until=1.0)
+        extra = [Task(runtime=10.0, cores=4) for _ in range(2)]
+        for task in extra:
+            federation.submit(task, "eu")
+        sim.run()
+        assert federation.offloaded_tasks == 2
+        assert federation.wide_area_seconds == pytest.approx(0.3)
+        assert len(dc_us.completed_tasks) == 2
+
+    def test_offload_threshold_validated(self):
+        with pytest.raises(ValueError):
+            least_loaded_offload(threshold=1.5)
+
+    def test_offloaded_task_pays_latency(self):
+        sim = Simulator()
+        federation, dc_eu, dc_us = build_federation(
+            sim, least_loaded_offload(threshold=0.0))
+        # Threshold 0: everything goes to the least loaded site; first
+        # submit ties are broken toward home (min is stable), so fill eu.
+        task = Task(runtime=10.0, cores=4)
+        federation.submit(task, "eu")
+        sim.run()
+        assert task.state is TaskState.FINISHED
+
+    def test_total_utilization(self):
+        sim = Simulator()
+        federation, dc_eu, _ = build_federation(sim, never_offload)
+        task = Task(runtime=10.0, cores=4)
+        federation.submit(task, "eu")
+        sim.run(until=5.0)
+        # 4 cores of 16 total are busy.
+        assert federation.total_utilization() == pytest.approx(0.25)

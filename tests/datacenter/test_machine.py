@@ -1,0 +1,109 @@
+"""Unit tests for machines: capacity, heterogeneity, power, failures."""
+
+import pytest
+
+from repro.datacenter import Machine, MachineKind, MachineSpec
+from repro.workload import Task
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(cores=0)
+    with pytest.raises(ValueError):
+        MachineSpec(memory=0.0)
+    with pytest.raises(ValueError):
+        MachineSpec(speed=0.0)
+    with pytest.raises(ValueError):
+        MachineSpec(idle_watts=300.0, max_watts=200.0)
+
+
+def test_allocation_bookkeeping():
+    machine = Machine("m", MachineSpec(cores=8, memory=16.0))
+    task = Task(runtime=10.0, cores=4, memory=8.0)
+    assert machine.can_fit(task)
+    machine.allocate(task)
+    assert machine.cores_used == 4
+    assert machine.cores_free == 4
+    assert machine.memory_free == pytest.approx(8.0)
+    assert machine.utilization == 0.5
+    machine.release(task)
+    assert machine.cores_used == 0
+
+
+def test_cannot_overallocate_cores():
+    machine = Machine("m", MachineSpec(cores=4, memory=16.0))
+    machine.allocate(Task(1.0, cores=3))
+    big = Task(1.0, cores=2)
+    assert not machine.can_fit(big)
+    with pytest.raises(RuntimeError):
+        machine.allocate(big)
+
+
+def test_cannot_overallocate_memory():
+    machine = Machine("m", MachineSpec(cores=8, memory=4.0))
+    assert not machine.can_fit(Task(1.0, cores=1, memory=8.0))
+
+
+def test_double_allocation_rejected():
+    machine = Machine("m", MachineSpec(cores=8))
+    task = Task(1.0)
+    machine.allocate(task)
+    with pytest.raises(RuntimeError):
+        machine.allocate(task)
+
+
+def test_release_requires_allocation():
+    machine = Machine("m")
+    with pytest.raises(RuntimeError):
+        machine.release(Task(1.0))
+
+
+def test_speed_scales_runtime():
+    gpu = Machine("g", MachineSpec(cores=8, speed=4.0, kind=MachineKind.GPU))
+    task = Task(runtime=40.0)
+    assert gpu.effective_runtime(task) == pytest.approx(10.0)
+
+
+def test_failure_evicts_and_blocks():
+    machine = Machine("m", MachineSpec(cores=8))
+    task = Task(1.0, cores=2)
+    machine.allocate(task)
+    victims = machine.fail()
+    assert victims == [task]
+    assert not machine.available
+    assert machine.cores_free == 0
+    assert not machine.can_fit(Task(1.0))
+    machine.repair()
+    assert machine.available
+    assert machine.cores_free == 8
+
+
+def test_power_model_linear():
+    spec = MachineSpec(cores=4, idle_watts=100.0, max_watts=300.0)
+    machine = Machine("m", spec)
+    assert machine.power_watts() == pytest.approx(100.0)
+    machine.allocate(Task(1.0, cores=2))
+    assert machine.power_watts() == pytest.approx(200.0)
+
+
+def test_power_zero_when_down():
+    machine = Machine("m")
+    machine.fail()
+    assert machine.power_watts() == 0.0
+
+
+def test_energy_accounting_integrates():
+    spec = MachineSpec(cores=4, idle_watts=100.0, max_watts=300.0)
+    machine = Machine("m", spec)
+    machine.account_energy(10.0)  # 10 s idle at 100 W
+    assert machine.energy_joules == pytest.approx(1000.0)
+    machine.allocate(Task(1.0, cores=4))
+    machine.account_energy(20.0)  # 10 s at full 300 W
+    assert machine.energy_joules == pytest.approx(1000.0 + 3000.0)
+
+
+def test_energy_accounting_rejects_time_travel():
+    machine = Machine("m")
+    machine.account_energy(10.0)
+    with pytest.raises(ValueError):
+        machine.account_energy(5.0)

@@ -1,0 +1,135 @@
+"""Unit tests for memory scavenging ([118], C7)."""
+
+import pytest
+
+from repro.datacenter import (
+    Datacenter,
+    Machine,
+    MachineSpec,
+    ScavengingCoordinator,
+    homogeneous_cluster,
+)
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+def build(n_machines=2, cores=8, memory=8.0, **kwargs):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", n_machines, MachineSpec(cores=cores, memory=memory))])
+    coordinator = ScavengingCoordinator(dc, **kwargs)
+    return sim, dc, coordinator
+
+
+class TestMachineReservations:
+    def test_reserve_and_release(self):
+        machine = Machine("m", MachineSpec(cores=4, memory=8.0))
+        machine.reserve_memory("k", 3.0)
+        assert machine.memory_used == pytest.approx(3.0)
+        assert machine.memory_free == pytest.approx(5.0)
+        machine.release_memory("k")
+        assert machine.memory_used == 0.0
+        machine.release_memory("k")  # idempotent
+
+    def test_reservation_validation(self):
+        machine = Machine("m", MachineSpec(cores=4, memory=8.0))
+        with pytest.raises(ValueError):
+            machine.reserve_memory("k", 0.0)
+        machine.reserve_memory("k", 2.0)
+        with pytest.raises(RuntimeError):
+            machine.reserve_memory("k", 1.0)
+        with pytest.raises(RuntimeError):
+            machine.reserve_memory("big", 100.0)
+
+    def test_reservation_blocks_local_allocation(self):
+        machine = Machine("m", MachineSpec(cores=4, memory=8.0))
+        machine.reserve_memory("remote", 6.0)
+        assert not machine.can_fit(Task(1.0, cores=1, memory=4.0))
+        assert machine.can_fit(Task(1.0, cores=1, memory=2.0))
+
+
+class TestScavengingCoordinator:
+    def test_validation(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster("c", 1)])
+        with pytest.raises(ValueError):
+            ScavengingCoordinator(dc, penalty_per_remote_fraction=-1.0)
+        with pytest.raises(ValueError):
+            ScavengingCoordinator(dc, max_remote_fraction=0.0)
+
+    def test_direct_fit_preferred(self):
+        sim, dc, coordinator = build()
+        task = Task(runtime=10.0, cores=2, memory=4.0)
+        process = coordinator.try_place(task)
+        assert process is not None
+        sim.run(until=process)
+        assert coordinator.total_scavenged == 0
+        assert task.state is TaskState.FINISHED
+
+    def test_oversized_task_scavenges_from_neighbor(self):
+        sim, dc, coordinator = build(n_machines=2, memory=8.0)
+        # 12 GiB does not fit any single 8 GiB machine.
+        task = Task(runtime=10.0, cores=2, memory=12.0)
+        process = coordinator.try_place(task)
+        assert process is not None
+        assert coordinator.total_scavenged == 1
+        assert coordinator.total_borrowed_gb == pytest.approx(4.0)
+        # The lender holds a reservation while the task runs.
+        lender = dc.machines()[1]
+        assert lender.memory_used == pytest.approx(4.0)
+        result = sim.run(until=process)
+        assert result is task
+        # Penalty applied: runtime inflated by 0.3 * (4/12) = 10%.
+        assert task.finish_time == pytest.approx(11.0)
+        # Reservation released, task footprint restored.
+        assert lender.memory_used == 0.0
+        assert task.memory == pytest.approx(12.0)
+        assert task.runtime == pytest.approx(10.0)
+
+    def test_scavenging_respects_remote_fraction_cap(self):
+        sim, dc, coordinator = build(n_machines=3, memory=8.0,
+                                     max_remote_fraction=0.3)
+        # Would need 16/24 = 67% remote: above the 30% cap.
+        task = Task(runtime=10.0, cores=2, memory=24.0)
+        assert coordinator.try_place(task) is None
+        assert coordinator.total_scavenged == 0
+
+    def test_unplaceable_when_no_lenders(self):
+        sim, dc, coordinator = build(n_machines=1, memory=8.0)
+        task = Task(runtime=10.0, cores=2, memory=12.0)
+        assert coordinator.try_place(task) is None
+
+    def test_scavenging_increases_placeable_work(self):
+        """The [118] result: scavenging places work plain fitting cannot."""
+        def run(scavenge: bool) -> int:
+            sim, dc, coordinator = build(n_machines=4, cores=8, memory=8.0)
+            placed = 0
+            tasks = [Task(runtime=5.0, cores=1, memory=10.0,
+                          name=f"big-{i}") for i in range(3)]
+            for task in tasks:
+                if scavenge:
+                    process = coordinator.try_place(task)
+                else:
+                    machine = next((m for m in dc.machines()
+                                    if m.can_fit(task)), None)
+                    process = (dc.execute(task, machine)
+                               if machine else None)
+                if process is not None:
+                    placed += 1
+            sim.run(until=1000.0)
+            return placed
+
+        assert run(scavenge=False) == 0
+        assert run(scavenge=True) >= 2
+
+    def test_multiple_lenders_combine(self):
+        sim, dc, coordinator = build(n_machines=3, memory=8.0)
+        # 20 GiB: 8 local + 8 + 4 from two lenders (<= 60% remote).
+        task = Task(runtime=10.0, cores=2, memory=20.0)
+        process = coordinator.try_place(task)
+        assert process is not None
+        lenders = coordinator.active[0].lenders
+        assert len(lenders) == 2
+        assert sum(lenders.values()) == pytest.approx(12.0)
+        sim.run(until=process)
+        assert all(m.memory_used == 0.0 for m in dc.machines())

@@ -1,0 +1,98 @@
+"""Unit tests for software-defined control and legacy adaptation (C2)."""
+
+import pytest
+
+from repro.datacenter import (
+    ControlPlane,
+    Datacenter,
+    MachineSpec,
+    MetaMiddleware,
+    homogeneous_cluster,
+)
+from repro.sim import Simulator
+from repro.workload import Task
+
+
+def build(n_machines=4, legacy=()):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", n_machines, MachineSpec(cores=4, memory=1e9))])
+    plane = ControlPlane(dc, legacy=legacy)
+    return sim, dc, plane
+
+
+class TestControlPlane:
+    def test_unknown_legacy_rejected(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster("c", 1)])
+        with pytest.raises(ValueError):
+            ControlPlane(dc, legacy=["ghost"])
+
+    def test_fully_software_defined_fleet(self):
+        sim, dc, plane = build()
+        assert plane.software_defined_fraction() == 1.0
+        result = plane.release(["c-m0", "c-m1"])
+        assert result.fully_applied
+        assert sum(1 for m in dc.machines() if m.available) == 2
+
+    def test_legacy_machines_reject_dynamic_control(self):
+        sim, dc, plane = build(legacy=["c-m0", "c-m1"])
+        assert plane.software_defined_fraction() == 0.5
+        result = plane.release(["c-m0", "c-m2"])
+        assert result.applied == ("c-m2",)
+        assert result.rejected == ("c-m0",)
+        assert not result.fully_applied
+        machine = dc.machines()[0]
+        assert machine.available  # legacy machine untouched
+
+    def test_release_skips_busy_machines(self):
+        sim, dc, plane = build()
+        machine = dc.machines()[0]
+        task = Task(runtime=100.0, cores=2)
+        dc.execute(task, machine)
+        result = plane.release(["c-m0"])
+        assert result.applied == ("c-m0",)  # accepted but...
+        assert machine.available            # ...busy machines stay up
+
+    def test_lease_brings_machines_back(self):
+        sim, dc, plane = build()
+        plane.release(["c-m0"])
+        assert not dc.machines()[0].available
+        plane.lease(["c-m0"])
+        assert dc.machines()[0].available
+
+    def test_unknown_machine_in_action(self):
+        sim, dc, plane = build()
+        with pytest.raises(KeyError):
+            plane.release(["ghost"])
+
+    def test_audit_log_records_actions(self):
+        sim, dc, plane = build(legacy=["c-m0"])
+        plane.release(["c-m0"])
+        plane.lease(["c-m1"])
+        assert [r.action for r in plane.log] == ["release", "lease"]
+        assert plane.log[0].rejected == ("c-m0",)
+
+
+class TestMetaMiddleware:
+    def test_adapters_make_legacy_controllable(self):
+        sim, dc, plane = build(legacy=["c-m0", "c-m1"])
+        middleware = MetaMiddleware(plane)
+        adapted = middleware.wrap_legacy(["c-m0"])
+        assert adapted == ["c-m0"]
+        assert plane.software_defined_fraction() == 0.75
+        result = plane.release(["c-m0"])
+        assert result.fully_applied
+
+    def test_wrap_all_covers_remaining_legacy(self):
+        sim, dc, plane = build(legacy=["c-m0", "c-m1", "c-m2"])
+        middleware = MetaMiddleware(plane)
+        adapted = middleware.wrap_all()
+        assert sorted(adapted) == ["c-m0", "c-m1", "c-m2"]
+        assert plane.software_defined_fraction() == 1.0
+
+    def test_wrapping_modern_machine_is_noop(self):
+        sim, dc, plane = build(legacy=["c-m0"])
+        middleware = MetaMiddleware(plane)
+        assert middleware.wrap_legacy(["c-m3"]) == []
+        assert middleware.adapters == []

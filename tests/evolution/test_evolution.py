@@ -1,0 +1,150 @@
+"""Unit tests for the Figure 2 timeline and the evolution model."""
+
+import random
+
+import pytest
+
+from repro.evolution import (
+    EvolutionModel,
+    Technology,
+    TechnologyEra,
+    TechnologyTimeline,
+    TIMELINE,
+)
+
+
+class TestTimeline:
+    def test_all_fields_present(self):
+        timeline = TechnologyTimeline()
+        assert timeline.fields() == {"Distributed Systems",
+                                     "Software Engineering",
+                                     "Performance Engineering", "MCS"}
+
+    def test_mcs_converges_all_three_fields(self):
+        # Figure 2's punchline: MCS synthesizes DS + SE + PE.
+        inputs = TechnologyTimeline().mcs_inputs()
+        assert inputs == {"Distributed Systems", "Software Engineering",
+                          "Performance Engineering"}
+
+    def test_cloud_descends_from_grid_and_cluster(self):
+        timeline = TechnologyTimeline()
+        ancestors = timeline.ancestors("Cloud Computing")
+        assert "Grid Computing" in ancestors
+        assert "Cluster Computing" in ancestors
+        assert "Computer Systems" in ancestors
+
+    def test_mcs_is_late_2010s(self):
+        mcs = TechnologyTimeline().get("Massivizing Computer Systems")
+        assert mcs.decade == "late-2010s"
+
+    def test_dangling_predecessor_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyTimeline((TechnologyEra("x", "2020s", "f",
+                                              ("ghost",)),))
+
+    def test_duplicate_names_rejected(self):
+        entry = TIMELINE[0]
+        with pytest.raises(ValueError):
+            TechnologyTimeline(TIMELINE + (entry,))
+
+    def test_field_lineages_nonempty(self):
+        timeline = TechnologyTimeline()
+        for field in ("Distributed Systems", "Software Engineering",
+                      "Performance Engineering"):
+            assert len(timeline.by_field(field)) >= 3
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            TechnologyTimeline().get("Quantum Blockchain")
+
+
+class TestEvolutionModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionModel(n_initial=1)
+        with pytest.raises(ValueError):
+            EvolutionModel(radical_probability=1.5)
+        with pytest.raises(ValueError):
+            EvolutionModel(lock_in_strength=-1.0)
+        with pytest.raises(ValueError):
+            Technology("t", quality=-1.0, share=0.5)
+        with pytest.raises(ValueError):
+            Technology("t", quality=1.0, share=2.0)
+
+    def test_shares_always_normalized(self):
+        model = EvolutionModel(rng=random.Random(1))
+        model.run(generations=20)
+        assert sum(t.share for t in model.population) == pytest.approx(1.0)
+
+    def test_darwinian_run_improves_quality(self):
+        model = EvolutionModel(n_initial=8, radical_probability=0.0,
+                               lock_in_strength=0.0,
+                               rng=random.Random(2))
+        trace = model.run(generations=60)
+        assert trace.mean_quality[-1] > trace.mean_quality[0]
+
+    def test_darwinian_selection_concentrates_market(self):
+        model = EvolutionModel(n_initial=8, rng=random.Random(3))
+        trace = model.run(generations=60)
+        # HHI rises as better tech wins (starts at 1/8 = 0.125).
+        assert trace.concentration[-1] > trace.concentration[0]
+
+    def test_pure_darwinian_has_no_radical_events(self):
+        model = EvolutionModel(radical_probability=0.0,
+                               rng=random.Random(4))
+        trace = model.run(generations=40)
+        combines = [e for e in trace.events if e.kind == "combine"]
+        assert combines == []
+
+    def test_non_darwinian_produces_radical_recombinations(self):
+        model = EvolutionModel(radical_probability=0.5,
+                               rng=random.Random(5))
+        trace = model.run(generations=40)
+        combines = [e for e in trace.events if e.kind == "combine"]
+        assert combines
+        assert any(t.radical for t in model.population) or combines
+
+    def test_lock_in_lets_inferior_tech_lead(self):
+        # Strong lock-in: installed base dominates quality.
+        locked = EvolutionModel(n_initial=6, radical_probability=0.3,
+                                lock_in_strength=2.0,
+                                rng=random.Random(6))
+        trace_locked = locked.run(generations=80)
+        free = EvolutionModel(n_initial=6, radical_probability=0.3,
+                              lock_in_strength=0.0,
+                              rng=random.Random(6))
+        trace_free = free.run(generations=80)
+        assert (len(trace_locked.lock_in_events)
+                > len(trace_free.lock_in_events))
+
+    def test_mechanism_operations(self):
+        model = EvolutionModel(n_initial=4, rng=random.Random(7))
+        a, b = model.population[0], model.population[1]
+        child = model.combine(a, b)
+        assert child in model.population
+        assert sum(t.share for t in model.population) == pytest.approx(1.0)
+        added = model.add("blockchain", quality=0.4)
+        assert added in model.population
+        model.bridge(a, b)
+        replacement = Technology("next-gen", quality=2.0, share=0.0)
+        model.replace(a, replacement)
+        assert replacement in model.population
+        assert a not in model.population
+        model.remove(added)
+        assert added not in model.population
+
+    def test_remove_last_technology_rejected(self):
+        model = EvolutionModel(n_initial=2, rng=random.Random(8))
+        model.remove(model.population[0])
+        with pytest.raises(ValueError):
+            model.remove(model.population[0])
+
+    def test_replace_unknown_rejected(self):
+        model = EvolutionModel(rng=random.Random(9))
+        ghost = Technology("ghost", quality=1.0, share=0.0)
+        with pytest.raises(ValueError):
+            model.replace(ghost, ghost)
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionModel().run(generations=0)

@@ -1,0 +1,207 @@
+"""Unit tests for the FaaS architecture, platform, and compositions."""
+
+import pytest
+
+from repro.faas import (
+    Composition,
+    CompositionEngine,
+    FaaSPlatform,
+    FaaSReferenceArchitecture,
+    FunctionSpec,
+    PLATFORM_MAPPINGS,
+    parallel,
+    sequence,
+    step,
+    validate_platform_mapping,
+)
+from repro.sim import Simulator
+
+
+class TestReferenceArchitecture:
+    def test_four_layers_bl_to_ol(self):
+        arch = FaaSReferenceArchitecture()
+        assert len(arch) == 4
+        numbers = [layer.number for layer in arch]
+        assert numbers == [4, 3, 2, 1]
+
+    def test_business_vs_operational_split(self):
+        arch = FaaSReferenceArchitecture()
+        business = [l.name for l in arch.business_layers()]
+        assert business == ["Function Composition Layer",
+                            "Function Management Layer"]
+
+    def test_figure3_correspondence_matches_paper(self):
+        mapping = FaaSReferenceArchitecture().figure3_correspondence()
+        assert mapping[4] == 5  # composition -> layer 5
+        assert mapping[3] == 4  # management -> layer 4 runtime engine
+        assert mapping[2] == 3  # orchestration -> layer 3
+
+    def test_layer_lookup(self):
+        arch = FaaSReferenceArchitecture()
+        assert arch.layer(2).name == "Resource Orchestration Layer"
+        with pytest.raises(KeyError):
+            arch.layer(7)
+
+    def test_known_platforms_validate_cleanly(self):
+        for platform in PLATFORM_MAPPINGS:
+            assert validate_platform_mapping(platform) == []
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            validate_platform_mapping("lambda-clone")
+
+
+class TestFunctionSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("f", mean_runtime=0.0)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", memory_gb=0.0)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", cold_start=-1.0)
+        with pytest.raises(ValueError):
+            FunctionSpec("f", keep_alive=-1.0)
+
+
+class TestFaaSPlatform:
+    def build(self, **platform_kwargs):
+        sim = Simulator()
+        platform = FaaSPlatform(sim, **platform_kwargs)
+        platform.deploy(FunctionSpec("resize", mean_runtime=1.0,
+                                     cold_start=0.5, keep_alive=10.0))
+        return sim, platform
+
+    def test_concurrency_validation(self):
+        with pytest.raises(ValueError):
+            FaaSPlatform(Simulator(), concurrency=0)
+
+    def test_invoke_unknown_function(self):
+        sim, platform = self.build()
+        with pytest.raises(KeyError):
+            platform.invoke("missing")
+
+    def test_first_invocation_is_cold(self):
+        sim, platform = self.build()
+        process = platform.invoke("resize")
+        invocation = sim.run(until=process)
+        assert invocation.cold
+        assert invocation.latency == pytest.approx(1.5)  # cold + runtime
+
+    def test_second_invocation_reuses_warm_instance(self):
+        sim, platform = self.build()
+        sim.run(until=platform.invoke("resize"))
+        second = sim.run(until=platform.invoke("resize"))
+        assert not second.cold
+        assert second.latency == pytest.approx(1.0)
+
+    def test_keep_alive_expiry_forces_cold_start(self):
+        sim, platform = self.build()
+        sim.run(until=platform.invoke("resize"))
+        sim.run(until=20.0)  # beyond the 10 s keep-alive
+        again = sim.run(until=platform.invoke("resize"))
+        assert again.cold
+
+    def test_warm_pool_visibility(self):
+        sim, platform = self.build()
+        assert platform.warm_instances("resize") == 0
+        sim.run(until=platform.invoke("resize"))
+        assert platform.warm_instances("resize") == 1
+
+    def test_concurrency_limits_parallelism(self):
+        sim, platform = self.build(concurrency=1)
+        p1 = platform.invoke("resize")
+        p2 = platform.invoke("resize")
+        sim.run(until=sim.all_of([p1, p2]))
+        # Serialized: second finishes after ~1.5 + 1.0 (second is warm).
+        assert sim.now == pytest.approx(2.5)
+
+    def test_billing_accumulates(self):
+        sim, platform = self.build()
+        platform.deploy(FunctionSpec("big", mean_runtime=2.0,
+                                     memory_gb=1.0, cold_start=0.0))
+        sim.run(until=platform.invoke("big"))
+        assert platform.billed_gb_seconds == pytest.approx(2.0)
+        assert platform.billed_dollars > 0.0
+
+    def test_statistics_shape(self):
+        sim, platform = self.build()
+        for _ in range(3):
+            sim.run(until=platform.invoke("resize"))
+        stats = platform.statistics()
+        assert stats["invocations"] == 3
+        assert 0.0 < stats["cold_start_fraction"] <= 1.0
+        assert stats["latency_p99"] >= stats["latency_mean"] - 1e9
+
+    def test_negative_runtime_rejected(self):
+        sim, platform = self.build()
+        process = platform.invoke("resize", runtime=-1.0)
+        with pytest.raises(ValueError):
+            sim.run(until=process)
+
+
+class TestComposition:
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            Composition(kind="step")
+        with pytest.raises(ValueError):
+            Composition(kind="nope", function="f")
+        with pytest.raises(ValueError):
+            Composition(kind="sequence")
+
+    def test_functions_listed_in_order(self):
+        comp = sequence(step("a"), parallel(step("b"), step("c")), step("d"))
+        assert comp.functions() == ["a", "b", "c", "d"]
+
+    def test_critical_path_steps(self):
+        comp = sequence(step("a"), parallel(sequence(step("b"), step("c")),
+                                            step("d")))
+        assert comp.critical_path_steps() == 3  # a + (b->c)
+
+
+class TestCompositionEngine:
+    def build(self):
+        sim = Simulator()
+        platform = FaaSPlatform(sim, concurrency=10)
+        for name in "abcd":
+            platform.deploy(FunctionSpec(name, mean_runtime=1.0,
+                                         cold_start=0.0))
+        return sim, platform, CompositionEngine(sim, platform)
+
+    def test_unknown_function_fails_fast(self):
+        sim, platform, engine = self.build()
+        with pytest.raises(KeyError):
+            engine.run(step("ghost"))
+
+    def test_sequence_latency_adds(self):
+        sim, platform, engine = self.build()
+        result = sim.run(until=engine.run(sequence(step("a"), step("b"))))
+        assert result.latency == pytest.approx(2.0)
+        assert len(result.invocations) == 2
+
+    def test_parallel_latency_is_max(self):
+        sim, platform, engine = self.build()
+        result = sim.run(until=engine.run(
+            parallel(step("a"), step("b"), step("c"))))
+        assert result.latency == pytest.approx(1.0)
+        assert len(result.invocations) == 3
+
+    def test_image_pipeline_shape(self):
+        # The paper's canonical serverless example: image translation
+        # and processing — fetch, then parallel transforms, then store.
+        sim, platform, engine = self.build()
+        pipeline = sequence(step("a"),
+                            parallel(step("b"), step("c")),
+                            step("d"))
+        result = sim.run(until=engine.run(pipeline))
+        assert result.latency == pytest.approx(3.0)
+        assert engine.completed == [result]
+
+    def test_cold_starts_counted(self):
+        sim = Simulator()
+        platform = FaaSPlatform(sim, concurrency=10)
+        platform.deploy(FunctionSpec("cold", mean_runtime=1.0,
+                                     cold_start=1.0))
+        engine = CompositionEngine(sim, platform)
+        result = sim.run(until=engine.run(sequence(step("cold"),
+                                                   step("cold"))))
+        assert result.cold_starts == 1  # second call reuses the instance

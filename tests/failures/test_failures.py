@@ -1,0 +1,203 @@
+"""Unit tests for failure models, injection, and availability analysis."""
+
+import random
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.failures import (
+    FailureEvent,
+    FailureInjector,
+    SpaceCorrelatedModel,
+    TimeCorrelatedModel,
+    failure_correlation_index,
+    fleet_availability,
+    machine_availability,
+    mtbf_mttr,
+    peak_concurrent_failures,
+)
+from repro.scheduling import ClusterScheduler
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+class TestFailureEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(0.0, ("m",), duration=0.0)
+        with pytest.raises(ValueError):
+            FailureEvent(0.0, (), duration=1.0)
+
+
+class TestSpaceCorrelatedModel:
+    RACKS = [[f"r{r}-m{i}" for i in range(8)] for r in range(4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceCorrelatedModel(burst_rate=0.0)
+        with pytest.raises(ValueError):
+            SpaceCorrelatedModel(1.0, group_alpha=0.0)
+        with pytest.raises(ValueError):
+            SpaceCorrelatedModel(1.0, locality=1.5)
+        with pytest.raises(ValueError):
+            SpaceCorrelatedModel(1.0).generate(10.0, [])
+
+    def test_events_within_horizon_and_valid(self):
+        model = SpaceCorrelatedModel(burst_rate=0.1, rng=random.Random(1))
+        events = model.generate(1000.0, self.RACKS)
+        assert events
+        names = {n for rack in self.RACKS for n in rack}
+        for event in events:
+            assert 0 <= event.time < 1000.0
+            assert set(event.machine_names) <= names
+            assert len(set(event.machine_names)) == len(event.machine_names)
+
+    def test_produces_correlated_bursts(self):
+        model = SpaceCorrelatedModel(burst_rate=0.1, group_alpha=1.0,
+                                     rng=random.Random(2))
+        events = model.generate(2000.0, self.RACKS)
+        assert failure_correlation_index(events) > 0.2
+
+    def test_locality_concentrates_bursts_in_racks(self):
+        model = SpaceCorrelatedModel(burst_rate=0.1, group_alpha=1.0,
+                                     locality=1.0, rng=random.Random(3))
+        events = model.generate(3000.0, self.RACKS)
+        multi = [e for e in events if 1 < len(e.machine_names) <= 8]
+        assert multi
+        rack_of = {n: r for r, rack in enumerate(self.RACKS) for n in rack}
+        same_rack = sum(
+            1 for e in multi
+            if len({rack_of[n] for n in e.machine_names}) == 1)
+        assert same_rack / len(multi) > 0.9
+
+    def test_group_sizes_capped(self):
+        model = SpaceCorrelatedModel(burst_rate=0.1, group_alpha=0.5,
+                                     max_group=4, rng=random.Random(4))
+        events = model.generate(2000.0, self.RACKS)
+        assert max(len(e.machine_names) for e in events) <= 4
+
+
+class TestTimeCorrelatedModel:
+    MACHINES = [f"m{i}" for i in range(16)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeCorrelatedModel(base_rate=0.0)
+        with pytest.raises(ValueError):
+            TimeCorrelatedModel(1.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            TimeCorrelatedModel(1.0, period=0.0)
+        with pytest.raises(ValueError):
+            TimeCorrelatedModel(1.0).generate(10.0, [])
+
+    def test_intensity_oscillates(self):
+        model = TimeCorrelatedModel(base_rate=1.0, amplitude=0.5,
+                                    period=100.0)
+        assert model.intensity(25.0) == pytest.approx(1.5)
+        assert model.intensity(75.0) == pytest.approx(0.5)
+
+    def test_failures_cluster_at_peak_intensity(self):
+        model = TimeCorrelatedModel(base_rate=0.5, amplitude=1.0,
+                                    period=100.0, rng=random.Random(5))
+        events = model.generate(10000.0, self.MACHINES)
+        # First half of each period has intensity >= base; expect most
+        # failures there.
+        in_peak = sum(1 for e in events if (e.time % 100.0) < 50.0)
+        assert in_peak / len(events) > 0.7
+
+    def test_single_machine_events(self):
+        model = TimeCorrelatedModel(base_rate=0.1, rng=random.Random(6))
+        events = model.generate(1000.0, self.MACHINES)
+        assert all(len(e.machine_names) == 1 for e in events)
+        assert failure_correlation_index(events) == 0.0
+
+
+class TestFailureInjector:
+    def build(self, events, n_machines=4):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster(
+            "c", n_machines, MachineSpec(cores=4, memory=1e9))])
+        scheduler = ClusterScheduler(sim, dc)
+        injector = FailureInjector(sim, dc, events)
+        return sim, dc, scheduler, injector
+
+    def machine_names(self, n=4):
+        return [f"c-m{i}" for i in range(n)]
+
+    def test_unknown_machines_rejected(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster("c", 2)])
+        with pytest.raises(ValueError):
+            FailureInjector(sim, dc, [FailureEvent(1.0, ("ghost",), 5.0)])
+
+    def test_failure_kills_running_task_and_repairs(self):
+        events = [FailureEvent(5.0, ("c-m0",), 10.0)]
+        sim, dc, scheduler, injector = self.build(events, n_machines=1)
+        task = Task(runtime=100.0, cores=4)
+        scheduler.submit(task)
+        sim.run(until=30.0)
+        assert task.state is TaskState.FAILED
+        assert injector.victim_tasks == 1
+        machine = dc.machines()[0]
+        assert machine.available  # repaired at t=15
+        log = injector.transitions
+        assert (5.0, "c-m0", "down") in log
+        assert (15.0, "c-m0", "up") in log
+
+    def test_overlapping_failures_repair_last(self):
+        events = [FailureEvent(5.0, ("c-m0",), 20.0),
+                  FailureEvent(10.0, ("c-m0",), 5.0)]
+        sim, dc, scheduler, injector = self.build(events, n_machines=2)
+        sim.run(until=100.0)
+        downs = [t for t in injector.transitions if t[2] == "down"
+                 and t[1] == "c-m0"]
+        ups = [t for t in injector.transitions if t[2] == "up"
+               and t[1] == "c-m0"]
+        assert len(downs) == 1
+        assert len(ups) == 1
+        assert ups[0][0] == pytest.approx(25.0)  # latest repair wins
+
+    def test_downtime_intervals(self):
+        events = [FailureEvent(5.0, ("c-m0",), 10.0),
+                  FailureEvent(40.0, ("c-m1",), 5.0)]
+        sim, dc, scheduler, injector = self.build(events)
+        sim.run(until=100.0)
+        intervals = injector.downtime_intervals()
+        assert intervals["c-m0"] == [(5.0, 15.0)]
+        assert intervals["c-m1"] == [(40.0, 45.0)]
+        assert intervals["c-m2"] == []
+
+
+class TestAvailabilityAnalysis:
+    def test_machine_availability(self):
+        assert machine_availability([], 100.0) == 1.0
+        assert machine_availability([(0.0, 25.0)], 100.0) == 0.75
+        with pytest.raises(ValueError):
+            machine_availability([], 0.0)
+
+    def test_fleet_availability(self):
+        downtime = {"a": [(0.0, 50.0)], "b": []}
+        assert fleet_availability(downtime, 100.0) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            fleet_availability({}, 100.0)
+
+    def test_mtbf_mttr(self):
+        events = [FailureEvent(10.0, ("a",), 4.0),
+                  FailureEvent(50.0, ("b",), 6.0)]
+        mtbf, mttr = mtbf_mttr(events, 100.0)
+        assert mtbf == 50.0
+        assert mttr == 5.0
+        assert mtbf_mttr([], 100.0) == (float("inf"), 0.0)
+
+    def test_correlation_index(self):
+        events = [FailureEvent(1.0, ("a", "b", "c"), 1.0),
+                  FailureEvent(2.0, ("d",), 1.0)]
+        assert failure_correlation_index(events) == pytest.approx(0.75)
+        assert failure_correlation_index([]) == 0.0
+
+    def test_peak_concurrent(self):
+        events = [FailureEvent(0.0, ("a", "b"), 10.0),
+                  FailureEvent(5.0, ("c",), 10.0),
+                  FailureEvent(20.0, ("d",), 1.0)]
+        assert peak_concurrent_failures(events) == 3
+        assert peak_concurrent_failures([]) == 0

@@ -1,0 +1,256 @@
+"""Unit tests for the gaming substrate (Figure 4 functions)."""
+
+import random
+
+import pytest
+
+from repro.gaming import (
+    GAMING_FUNCTIONS,
+    ChatMessage,
+    CloudProvisioner,
+    GamingArchitecture,
+    Match,
+    PlayEvent,
+    PuzzleGenerator,
+    SelfHostedProvisioner,
+    ToxicityDetector,
+    VirtualWorld,
+    diurnal_player_curve,
+    engagement_summary,
+    generation_batch,
+    implicit_social_network,
+    retention,
+    sessionize,
+    social_communities,
+    tie_strength,
+)
+from repro.sim import Simulator
+
+
+class TestArchitecture:
+    def test_four_functions(self):
+        assert len(GamingArchitecture()) == 4
+        names = {f.name for f in GAMING_FUNCTIONS}
+        assert names == {"Virtual World", "Gaming Analytics",
+                         "Procedural Content Generation",
+                         "Social Meta-Gaming"}
+
+    def test_every_function_has_gap_and_module(self):
+        import importlib
+        for function in GAMING_FUNCTIONS:
+            assert function.current_gap
+            importlib.import_module(function.module)
+
+    def test_lookup(self):
+        arch = GamingArchitecture()
+        assert "seamless" in arch.get("Virtual World").responsibility
+        with pytest.raises(KeyError):
+            arch.get("Lootboxes")
+
+
+class TestVirtualWorld:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            VirtualWorld(sim, n_zones=0)
+        with pytest.raises(ValueError):
+            VirtualWorld(sim, players_per_server=0)
+
+    def test_population_distribution(self):
+        sim = Simulator()
+        world = VirtualWorld(sim, n_zones=4)
+        world.set_population(1000, rng=random.Random(1))
+        assert world.total_players == 1000
+        assert all(z.players >= 0 for z in world.zones)
+
+    def test_lag_when_capacity_exceeded(self):
+        sim = Simulator()
+        world = VirtualWorld(sim, n_zones=1, players_per_server=100)
+        world.zones[0].servers = 2
+        world.set_population(350)
+        assert world.lagged_players() == 150
+
+    def test_qos_accumulates_over_time(self):
+        sim = Simulator()
+        world = VirtualWorld(sim, n_zones=1, players_per_server=100)
+        world.zones[0].servers = 1
+        world.set_population(200)  # half the players lag
+
+        def advance(sim):
+            yield sim.timeout(100.0)
+
+        sim.run(until=sim.process(advance(sim)))
+        assert world.qos() == pytest.approx(0.5)
+
+    def test_diurnal_curve_bounds(self):
+        players = diurnal_player_curve(1000, period=100.0,
+                                       trough_fraction=0.2)
+        values = [players(t) for t in range(0, 100, 5)]
+        assert min(values) >= 150
+        assert max(values) <= 1000
+        assert max(values) > 900
+        with pytest.raises(ValueError):
+            diurnal_player_curve(0)
+
+
+class TestProvisioners:
+    def test_self_hosted_fixed_fleet(self):
+        sim = Simulator()
+        world = VirtualWorld(sim, n_zones=2, players_per_server=100)
+        hosting = SelfHostedProvisioner(world, servers_per_zone=5,
+                                        server_price=1000.0)
+        assert world.total_servers == 10
+        assert hosting.upfront_cost == 10000.0
+        hosting.rebalance()  # no-op
+        assert world.total_servers == 10
+
+    def test_cloud_scales_with_population(self):
+        sim = Simulator()
+        world = VirtualWorld(sim, n_zones=2, players_per_server=100)
+        cloud = CloudProvisioner(world, sim, headroom=0.0)
+        world.set_population(600, rng=random.Random(2))
+        cloud.rebalance()
+        assert world.total_servers == pytest.approx(6, abs=1)
+        world.set_population(100, rng=random.Random(2))
+        cloud.rebalance()
+        assert world.total_servers <= 3
+        assert cloud.upfront_cost == 0.0
+
+    def test_cloud_cost_integrates_time(self):
+        sim = Simulator()
+        world = VirtualWorld(sim, n_zones=1, players_per_server=100)
+        cloud = CloudProvisioner(world, sim, price_per_server_hour=1.0)
+        world.set_population(400)
+        cloud.rebalance()
+
+        def advance(sim):
+            yield sim.timeout(3600.0)
+
+        sim.run(until=sim.process(advance(sim)))
+        # ~5 servers (400 players * 1.2 headroom / 100) for one hour.
+        assert cloud.total_cost() == pytest.approx(5.0, rel=0.3)
+
+
+class TestAnalytics:
+    def events(self):
+        return ([PlayEvent("alice", t) for t in (0, 600, 1200)]
+                + [PlayEvent("alice", t) for t in (90000, 90600)]
+                + [PlayEvent("bob", 100)])
+
+    def test_sessionize_groups_by_gap(self):
+        sessions = sessionize(self.events(), gap=1800.0)
+        alice = [s for s in sessions if s.player == "alice"]
+        assert len(alice) == 2
+        assert alice[0].events == 3
+        assert alice[0].duration == pytest.approx(1200.0)
+        with pytest.raises(ValueError):
+            sessionize([], gap=0.0)
+
+    def test_retention_day0_is_one(self):
+        sessions = sessionize(self.events())
+        curve = retention(sessions, period=86400.0, n_periods=3)
+        assert curve[0] == 1.0
+        assert curve[1] == pytest.approx(0.5)  # only alice returned
+        assert retention([], n_periods=2) == [0.0, 0.0]
+
+    def test_engagement_summary(self):
+        summary = engagement_summary(sessionize(self.events()))
+        assert summary["players"] == 2
+        assert summary["sessions"] == 3
+        assert summary["max_sessions_per_player"] == 2
+        with pytest.raises(ValueError):
+            engagement_summary([])
+
+
+class TestContent:
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            PuzzleGenerator(size=1)
+        generator = PuzzleGenerator(size=6, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            generator.generate(difficulty=2.0)
+
+    def test_difficulty_calibration(self):
+        generator = PuzzleGenerator(size=8, tolerance=0.1,
+                                    rng=random.Random(2))
+        easy = generator.generate(0.1)
+        hard = generator.generate(0.9)
+        assert easy.optimal_moves < hard.optimal_moves
+        assert abs(easy.difficulty - 0.1) <= 0.1
+        assert abs(hard.difficulty - 0.9) <= 0.1
+        assert easy.is_solvable() and hard.is_solvable()
+
+    def test_ids_unique(self):
+        generator = PuzzleGenerator(rng=random.Random(3))
+        batch = generator.generate_many(0.5, count=5)
+        assert len({p.puzzle_id for p in batch}) == 5
+
+    def test_generation_batch_is_bag_of_tasks(self):
+        bag = generation_batch(count=10, seconds_per_instance=3.0)
+        assert len(bag) == 10
+        assert all(t.kind == "content-generation" for t in bag)
+        assert bag.total_core_seconds == pytest.approx(30.0)
+        with pytest.raises(ValueError):
+            generation_batch(count=0)
+
+
+class TestMetaGaming:
+    def matches(self):
+        return [
+            Match(1, ("a", "b", "c")),
+            Match(2, ("a", "b")),
+            Match(3, ("a", "b", "d")),
+            Match(4, ("x", "y")),
+            Match(5, ("x", "y")),
+            Match(6, ("c", "d")),
+        ]
+
+    def test_match_validation(self):
+        with pytest.raises(ValueError):
+            Match(1, ())
+        with pytest.raises(ValueError):
+            Match(1, ("a", "a"))
+
+    def test_tie_strength(self):
+        assert tie_strength(self.matches(), "a", "b") == 3
+        assert tie_strength(self.matches(), "a", "x") == 0
+
+    def test_implicit_network_thresholds_weak_ties(self):
+        graph = implicit_social_network(self.matches(), min_coplays=2)
+        index = graph.player_index
+        assert graph.has_edge(index["a"], index["b"])  # 3 co-plays
+        assert graph.has_edge(index["x"], index["y"])  # 2 co-plays
+        assert not graph.has_edge(index["c"], index["d"])  # only 1 each
+        with pytest.raises(ValueError):
+            implicit_social_network(self.matches(), min_coplays=0)
+
+    def test_communities_separate_groups(self):
+        graph = implicit_social_network(self.matches(), min_coplays=2)
+        labels = social_communities(graph)
+        index = graph.player_index
+        assert labels[index["a"]] == labels[index["b"]]
+        assert labels[index["x"]] == labels[index["y"]]
+        assert labels[index["a"]] != labels[index["x"]]
+
+    def test_toxicity_detection(self):
+        detector = ToxicityDetector(threshold=0.5)
+        assert not detector.observe(ChatMessage("nice", "good game all"))
+        assert detector.observe(ChatMessage("mean",
+                                            "uninstall you trash loser"))
+        assert detector.flagged[0].player == "mean"
+        worst = detector.worst_offenders(1)
+        assert worst[0][0] == "mean"
+
+    def test_toxicity_running_score_decays(self):
+        detector = ToxicityDetector(threshold=0.5, smoothing=0.5)
+        detector.observe(ChatMessage("p", "uninstall trash"))
+        high = detector.player_scores["p"]
+        for _ in range(5):
+            detector.observe(ChatMessage("p", "well played"))
+        assert detector.player_scores["p"] < high
+
+    def test_toxicity_validation(self):
+        with pytest.raises(ValueError):
+            ToxicityDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            ToxicityDetector(smoothing=0.0)

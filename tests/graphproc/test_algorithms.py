@@ -1,0 +1,180 @@
+"""Unit tests for the Graphalytics algorithms, with networkx oracles."""
+
+import random
+
+import networkx
+import pytest
+
+from repro.graphproc import (
+    Graph,
+    bfs,
+    cdlp,
+    lcc,
+    pagerank,
+    random_graph,
+    sssp,
+    wcc,
+)
+
+
+def to_networkx(graph: Graph) -> "networkx.Graph":
+    nx_graph = networkx.DiGraph() if graph.directed else networkx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    for u, v, w in graph.edges():
+        nx_graph.add_edge(u, v, weight=w)
+    return nx_graph
+
+
+def sample_graph(seed=1, n=120, p=0.05):
+    return random_graph(n, p, rng=random.Random(seed))
+
+
+class TestBFS:
+    def test_depths_match_networkx(self):
+        graph = sample_graph()
+        depths, _ = bfs(graph, source=0)
+        oracle = networkx.single_source_shortest_path_length(
+            to_networkx(graph), 0)
+        assert depths == dict(oracle)
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            bfs(sample_graph(), source=10**9)
+
+    def test_unreachable_vertices_absent(self):
+        graph = Graph.from_edges([(0, 1)])
+        graph.add_vertex(5)
+        depths, _ = bfs(graph, 0)
+        assert 5 not in depths
+
+    def test_ops_counted(self):
+        graph = sample_graph()
+        _, ops = bfs(graph, 0)
+        assert ops.vertices_touched > 0
+        assert ops.edges_scanned > 0
+        assert ops.iterations >= 1
+
+
+class TestPageRank:
+    def test_matches_networkx(self):
+        graph = sample_graph(seed=2)
+        ranks, _ = pagerank(graph, damping=0.85, iterations=50)
+        oracle = networkx.pagerank(to_networkx(graph), alpha=0.85,
+                                   max_iter=200, tol=1e-10)
+        for vertex, value in ranks.items():
+            assert value == pytest.approx(oracle[vertex], abs=1e-4)
+
+    def test_ranks_sum_to_one(self):
+        ranks, _ = pagerank(sample_graph(seed=3), iterations=30)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_dangling_vertices_handled(self):
+        graph = Graph(directed=True)
+        graph.add_edge(0, 1)  # vertex 1 dangles
+        ranks, _ = pagerank(graph, iterations=50)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert ranks[1] > ranks[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pagerank(sample_graph(), damping=1.0)
+        with pytest.raises(ValueError):
+            pagerank(sample_graph(), iterations=0)
+        with pytest.raises(ValueError):
+            pagerank(Graph())
+
+
+class TestWCC:
+    def test_matches_networkx_components(self):
+        graph = sample_graph(seed=4, n=80, p=0.02)
+        components, _ = wcc(graph)
+        oracle = list(networkx.connected_components(to_networkx(graph)))
+        mine: dict[int, set] = {}
+        for vertex, label in components.items():
+            mine.setdefault(label, set()).add(vertex)
+        assert sorted(map(sorted, mine.values())) == sorted(
+            map(sorted, oracle))
+
+    def test_labels_are_component_minimum(self):
+        graph = Graph.from_edges([(5, 3), (3, 7), (10, 11)])
+        components, _ = wcc(graph)
+        assert components[5] == components[3] == components[7] == 3
+        assert components[10] == components[11] == 10
+
+    def test_directed_edges_ignored_for_connectivity(self):
+        graph = Graph(directed=True)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 1)
+        components, _ = wcc(graph)
+        assert len(set(components.values())) == 1
+
+
+class TestCDLP:
+    def test_two_cliques_get_two_labels(self):
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(a, b) for a in range(10, 14) for b in range(a + 1, 14)]
+        edges.append((3, 10))  # weak bridge
+        graph = Graph.from_edges(edges)
+        labels, _ = cdlp(graph, iterations=10)
+        first = {labels[v] for v in range(4)}
+        second = {labels[v] for v in range(10, 14)}
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_isolated_vertex_keeps_own_label(self):
+        graph = Graph()
+        graph.add_vertex(9)
+        labels, _ = cdlp(graph)
+        assert labels == {9: 9}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdlp(Graph(), iterations=0)
+
+
+class TestLCC:
+    def test_matches_networkx_clustering(self):
+        graph = sample_graph(seed=5, n=60, p=0.1)
+        coefficients, _ = lcc(graph)
+        oracle = networkx.clustering(to_networkx(graph))
+        for vertex, value in coefficients.items():
+            assert value == pytest.approx(oracle[vertex], abs=1e-9)
+
+    def test_triangle_is_fully_clustered(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        coefficients, _ = lcc(graph)
+        assert all(v == pytest.approx(1.0) for v in coefficients.values())
+
+    def test_degree_below_two_is_zero(self):
+        graph = Graph.from_edges([(0, 1)])
+        coefficients, _ = lcc(graph)
+        assert coefficients == {0: 0.0, 1: 0.0}
+
+
+class TestSSSP:
+    def test_matches_networkx_dijkstra(self):
+        rng = random.Random(6)
+        graph = Graph()
+        for _ in range(200):
+            u, v = rng.randrange(50), rng.randrange(50)
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v, weight=rng.uniform(0.1, 10.0))
+        distances, _ = sssp(graph, source=0)
+        oracle = networkx.single_source_dijkstra_path_length(
+            to_networkx(graph), 0)
+        assert set(distances) == set(oracle)
+        for vertex, dist in distances.items():
+            assert dist == pytest.approx(oracle[vertex])
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            sssp(Graph.from_edges([(0, 1)]), source=42)
+
+    def test_weights_respected_over_hop_count(self):
+        graph = Graph()
+        graph.add_edge(0, 1, weight=10.0)
+        graph.add_edge(0, 2, weight=1.0)
+        graph.add_edge(2, 1, weight=1.0)
+        distances, _ = sssp(graph, 0)
+        assert distances[1] == pytest.approx(2.0)

@@ -1,0 +1,93 @@
+"""Unit tests for platform-model calibration (C15)."""
+
+import random
+
+import pytest
+
+from repro.graphproc import (
+    Observation,
+    OpCount,
+    PLATFORMS,
+    calibrate_platform,
+    validation_report,
+)
+
+
+def synthesize_observations(model, n=20, seed=1, noise=0.0):
+    rng = random.Random(seed)
+    observations = []
+    for _ in range(n):
+        ops = OpCount(vertices_touched=rng.randint(100, 100_000),
+                      edges_scanned=rng.randint(1000, 1_000_000),
+                      iterations=rng.randint(1, 50))
+        workers = rng.choice((1, 2, 4, 8))
+        runtime = model.runtime(ops, workers)
+        if noise:
+            runtime *= 1.0 + rng.gauss(0.0, noise)
+        observations.append(Observation(ops=ops, workers=workers,
+                                        runtime=max(0.0, runtime)))
+    return observations
+
+
+class TestObservation:
+    def test_validation(self):
+        ops = OpCount()
+        with pytest.raises(ValueError):
+            Observation(ops=ops, workers=0, runtime=1.0)
+        with pytest.raises(ValueError):
+            Observation(ops=ops, workers=1, runtime=-1.0)
+
+
+class TestCalibration:
+    def test_needs_enough_observations(self):
+        with pytest.raises(ValueError):
+            calibrate_platform([])
+
+    def test_recovers_known_model_exactly(self):
+        truth = PLATFORMS["dataflow-engine"]
+        observations = synthesize_observations(truth, n=30, seed=2)
+        fitted = calibrate_platform(observations, name="fit",
+                                    max_workers=truth.max_workers)
+        assert fitted.per_edge == pytest.approx(truth.per_edge, rel=1e-6)
+        assert fitted.per_vertex == pytest.approx(truth.per_vertex,
+                                                  rel=1e-4)
+        assert fitted.barrier == pytest.approx(truth.barrier, rel=1e-6)
+        assert fitted.overhead == pytest.approx(truth.overhead, rel=1e-4)
+
+    def test_noisy_calibration_still_predictive(self):
+        truth = PLATFORMS["mapreduce-engine"]
+        train = synthesize_observations(truth, n=40, seed=3, noise=0.05)
+        test = synthesize_observations(truth, n=15, seed=4)
+        fitted = calibrate_platform(train, max_workers=truth.max_workers)
+        report = validation_report(fitted, test)
+        assert report["mape"] < 0.1
+        assert report["r_squared"] > 0.95
+
+    def test_costs_clamped_non_negative(self):
+        # Degenerate data (all zero-work, random runtimes) must not
+        # produce negative cost parameters.
+        observations = [Observation(OpCount(), workers=1, runtime=r)
+                        for r in (1.0, 2.0, 3.0, 4.0)]
+        fitted = calibrate_platform(observations)
+        assert fitted.per_edge >= 0.0
+        assert fitted.barrier >= 0.0
+
+
+class TestValidationReport:
+    def test_perfect_model_scores_perfectly(self):
+        truth = PLATFORMS["native-engine"]
+        observations = synthesize_observations(truth, n=10, seed=5)
+        report = validation_report(truth, observations)
+        assert report["mape"] == pytest.approx(0.0, abs=1e-12)
+        assert report["r_squared"] == pytest.approx(1.0)
+
+    def test_wrong_model_scores_badly(self):
+        truth = PLATFORMS["native-engine"]
+        wrong = PLATFORMS["mapreduce-engine"]
+        observations = synthesize_observations(truth, n=10, seed=6)
+        report = validation_report(wrong, observations)
+        assert report["mape"] > 1.0
+
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            validation_report(PLATFORMS["native-engine"], [])

@@ -1,0 +1,120 @@
+"""Unit tests for choke-point analysis and experiment compression (C17)."""
+
+import random
+
+import pytest
+
+from repro.graphproc import (
+    OpCount,
+    PLATFORMS,
+    choke_point_analysis,
+    compress_experiments,
+)
+
+
+class TestChokePointAnalysis:
+    def test_components_sum_to_runtime(self):
+        model = PLATFORMS["dataflow-engine"]
+        ops = OpCount(vertices_touched=10_000, edges_scanned=100_000,
+                      iterations=10)
+        breakdown = choke_point_analysis(model, ops, workers=4)
+        assert breakdown.total == pytest.approx(model.runtime(ops,
+                                                              workers=4))
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            choke_point_analysis(PLATFORMS["native-engine"], OpCount(),
+                                 workers=0)
+
+    def test_mapreduce_choke_point_is_barriers_on_small_graphs(self):
+        # The disk engine's pathology: synchronization dominates small
+        # iterative jobs — the [45] observation behind Figure 1's stack.
+        model = PLATFORMS["mapreduce-engine"]
+        ops = OpCount(vertices_touched=500, edges_scanned=4000,
+                      iterations=10)
+        breakdown = choke_point_analysis(model, ops)
+        assert breakdown.choke_point == "barriers"
+        assert breakdown.fraction("barriers") > 0.5
+
+    def test_native_choke_point_shifts_to_edge_work_at_scale(self):
+        model = PLATFORMS["native-engine"]
+        ops = OpCount(vertices_touched=10**6, edges_scanned=10**8,
+                      iterations=10)
+        breakdown = choke_point_analysis(model, ops)
+        assert breakdown.choke_point == "edge-work"
+
+    def test_parallelism_shrinks_work_not_barriers(self):
+        model = PLATFORMS["dataflow-engine"]
+        ops = OpCount(vertices_touched=10**6, edges_scanned=10**7,
+                      iterations=20)
+        serial = choke_point_analysis(model, ops, workers=1)
+        parallel = choke_point_analysis(model, ops, workers=16)
+        assert parallel.edge_work < serial.edge_work
+        assert parallel.barriers == serial.barriers
+
+    def test_fraction_validation(self):
+        breakdown = choke_point_analysis(PLATFORMS["native-engine"],
+                                         OpCount())
+        with pytest.raises(KeyError):
+            breakdown.fraction("network")
+        assert breakdown.fraction("overhead") == 1.0  # only overhead > 0
+
+
+class TestExperimentCompression:
+    def make_grid(self, n=30, seed=1):
+        rng = random.Random(seed)
+        return [(OpCount(vertices_touched=rng.randint(100, 50_000),
+                         edges_scanned=rng.randint(1000, 500_000),
+                         iterations=rng.randint(1, 30)),
+                 rng.choice((1, 2, 4, 8)))
+                for _ in range(n)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compress_experiments([], lambda o, w: 1.0)
+        grid = self.make_grid(n=8)
+        with pytest.raises(ValueError):
+            compress_experiments(grid, lambda o, w: 1.0, real_fraction=0.0)
+
+    def test_compression_predicts_a_model_backed_reality(self):
+        truth = PLATFORMS["dataflow-engine"]
+
+        def real_runner(ops, workers):
+            return truth.runtime(ops, workers)
+
+        grid = self.make_grid(n=40)
+        report, runtimes = compress_experiments(grid, real_runner,
+                                                real_fraction=0.25)
+        assert len(runtimes) == 40
+        assert report.real_runs < 40
+        assert report.predicted_points == 40 - report.real_runs
+        assert report.compression_ratio > 0.5
+        assert report.mape < 1e-6  # exact model, exact recovery
+
+    def test_noisy_reality_bounded_error(self):
+        truth = PLATFORMS["mapreduce-engine"]
+        rng = random.Random(7)
+
+        def noisy_runner(ops, workers):
+            return truth.runtime(ops, workers) * (1.0
+                                                  + rng.gauss(0.0, 0.03))
+
+        grid = self.make_grid(n=40, seed=2)
+        report, _ = compress_experiments(grid, noisy_runner,
+                                         real_fraction=0.4)
+        assert report.mape < 0.15
+
+    def test_tiny_grid_runs_everything_for_real(self):
+        grid = self.make_grid(n=4)
+        calls = []
+
+        def counting_runner(ops, workers):
+            calls.append(1)
+            return 1.0
+
+        report, runtimes = compress_experiments(grid, counting_runner,
+                                                real_fraction=0.5)
+        assert report.real_runs == 4
+        assert report.predicted_points == 0
+        assert report.compression_ratio == 0.0
+        assert len(runtimes) == 4

@@ -1,0 +1,107 @@
+"""Unit tests for graph structures and generators."""
+
+import random
+
+import pytest
+
+from repro.graphproc import (
+    Graph,
+    grid_graph,
+    preferential_attachment_graph,
+    random_graph,
+)
+
+
+class TestGraph:
+    def test_edge_validation(self):
+        graph = Graph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 2, weight=0.0)
+
+    def test_undirected_symmetry(self):
+        graph = Graph(directed=False)
+        graph.add_edge(1, 2, weight=3.0)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert graph.edge_count == 1
+        assert graph.neighbors(2) == {1: 3.0}
+
+    def test_directed_asymmetry(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+        assert graph.edge_count == 1
+
+    def test_from_edges(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 2
+
+    def test_isolated_vertices(self):
+        graph = Graph()
+        graph.add_vertex(7)
+        assert graph.vertex_count == 1
+        assert graph.degree(7) == 0
+        with pytest.raises(KeyError):
+            graph.neighbors(99)
+
+    def test_edges_iterator_counts_once_undirected(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert len(list(graph.edges())) == 3
+
+    def test_degree_statistics(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        stats = graph.degree_statistics()
+        assert stats["vertices"] == 3
+        assert stats["edges"] == 2
+        assert stats["mean_degree"] == pytest.approx(4 / 3)
+        assert stats["max_degree"] == 2
+        with pytest.raises(ValueError):
+            Graph().degree_statistics()
+
+
+class TestGenerators:
+    def test_random_graph_edge_density(self):
+        n, p = 200, 0.05
+        graph = random_graph(n, p, rng=random.Random(1))
+        expected = p * n * (n - 1) / 2
+        assert graph.edge_count == pytest.approx(expected, rel=0.2)
+        assert graph.vertex_count == n
+
+    def test_random_graph_p_zero_and_validation(self):
+        assert random_graph(10, 0.0).edge_count == 0
+        with pytest.raises(ValueError):
+            random_graph(0, 0.5)
+        with pytest.raises(ValueError):
+            random_graph(10, 1.5)
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(50, 0.1, rng=random.Random(7))
+        b = random_graph(50, 0.1, rng=random.Random(7))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_preferential_attachment_properties(self):
+        graph = preferential_attachment_graph(300, m=2,
+                                              rng=random.Random(2))
+        assert graph.vertex_count == 300
+        stats = graph.degree_statistics()
+        # Scale-free: hub degree far exceeds the mean.
+        assert stats["max_degree"] > 4 * stats["mean_degree"]
+
+    def test_preferential_attachment_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(2, m=2)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, m=0)
+
+    def test_grid_graph_structure(self):
+        graph = grid_graph(3, 4)
+        assert graph.vertex_count == 12
+        # Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+        assert graph.edge_count == 17
+        assert graph.degree_statistics()["max_degree"] == 4
+        with pytest.raises(ValueError):
+            grid_graph(0, 4)

@@ -1,0 +1,130 @@
+"""Unit tests for platform models and the Graphalytics harness."""
+
+import pytest
+
+from repro.graphproc import (
+    ALGORITHMS,
+    GraphalyticsHarness,
+    OpCount,
+    PLATFORMS,
+    PlatformModel,
+    default_workload,
+    random_graph,
+)
+
+
+class TestPlatformModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformModel("bad", per_edge=-1.0, per_vertex=0.0,
+                          barrier=0.0, overhead=0.0)
+        with pytest.raises(ValueError):
+            PlatformModel("bad", 0.0, 0.0, 0.0, 0.0, max_workers=0)
+        model = PLATFORMS["native-engine"]
+        with pytest.raises(ValueError):
+            model.runtime(OpCount(), workers=0)
+
+    def test_runtime_composition(self):
+        model = PlatformModel("m", per_edge=1.0, per_vertex=2.0,
+                              barrier=10.0, overhead=100.0)
+        ops = OpCount(vertices_touched=3, edges_scanned=4, iterations=2)
+        # 100 + 2*10 + (4*1 + 3*2)/1 = 130.
+        assert model.runtime(ops) == pytest.approx(130.0)
+        assert model.runtime(ops, workers=2) == pytest.approx(125.0)
+
+    def test_workers_capped(self):
+        model = PlatformModel("m", 1.0, 0.0, 0.0, 0.0, max_workers=4)
+        ops = OpCount(edges_scanned=100)
+        assert model.runtime(ops, workers=1000) == model.runtime(ops,
+                                                                 workers=4)
+
+    def test_native_beats_mapreduce_on_small_graphs(self):
+        ops = OpCount(vertices_touched=1000, edges_scanned=5000,
+                      iterations=10)
+        assert (PLATFORMS["native-engine"].runtime(ops)
+                < PLATFORMS["dataflow-engine"].runtime(ops)
+                < PLATFORMS["mapreduce-engine"].runtime(ops))
+
+    def test_strong_scaling_sublinear(self):
+        model = PLATFORMS["dataflow-engine"]
+        ops = OpCount(vertices_touched=10**6, edges_scanned=10**7,
+                      iterations=20)
+        speedup_8 = model.strong_scaling_speedup(ops, 8)
+        assert 1.0 < speedup_8 < 8.0  # barriers prevent linear scaling
+
+
+class TestWorkload:
+    def test_default_workload_complete(self):
+        workload = default_workload(scale=100)
+        assert set(workload.algorithms) == set(ALGORITHMS)
+        assert len(workload.datasets) == 3
+        assert workload.version == 1
+
+    def test_renewal_process(self):
+        workload = default_workload(scale=50)
+        extra = random_graph(30, 0.2)
+        renewed = workload.renew(add_datasets={"tiny": extra},
+                                 retire_datasets=["sparse"])
+        assert renewed.version == 2
+        assert "tiny" in renewed.datasets
+        assert "sparse" not in renewed.datasets
+        assert "sparse" in workload.datasets  # original untouched
+
+    def test_renewal_validation(self):
+        workload = default_workload(scale=50)
+        with pytest.raises(KeyError):
+            workload.renew(retire_datasets=["missing"])
+        with pytest.raises(KeyError):
+            workload.renew(retire_algorithms=["missing"])
+        with pytest.raises(ValueError):
+            workload.renew(retire_algorithms=list(workload.algorithms))
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return GraphalyticsHarness(default_workload(scale=120, seed=1))
+
+    def test_full_matrix_size(self, harness):
+        results = harness.run_suite()
+        assert len(results) == 3 * 6 * 3  # platforms x algorithms x datasets
+        assert all(r.runtime > 0 for r in results)
+        assert all(r.evps > 0 for r in results)
+
+    def test_platform_ranking_order(self, harness):
+        results = harness.run_suite()
+        ranking = harness.rank_platforms(results)
+        assert [name for name, _ in ranking] == [
+            "native-engine", "dataflow-engine", "mapreduce-engine"]
+
+    def test_strong_scaling_curve_monotone(self, harness):
+        curve = harness.strong_scaling("dataflow-engine", "pr", "uniform")
+        speedups = [s for _, s in curve]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 1.0
+
+    def test_weak_scaling_efficiency_below_one(self, harness):
+        curve = harness.weak_scaling("dataflow-engine", "bfs",
+                                     base_scale=80, worker_counts=(1, 2, 4))
+        assert curve[0][1] == pytest.approx(1.0)
+        assert all(0.0 < eff <= 1.5 for _, eff in curve)
+
+    def test_variability_report(self, harness):
+        report = harness.variability("mapreduce-engine", "bfs",
+                                     repetitions=5, scale=100)
+        assert report["cv"] >= 0.0
+        assert report["p95_over_median"] >= 1.0
+        with pytest.raises(ValueError):
+            harness.variability("native-engine", "bfs", repetitions=1)
+
+    def test_results_deterministic(self):
+        a = GraphalyticsHarness(default_workload(scale=80, seed=3)).run_suite()
+        b = GraphalyticsHarness(default_workload(scale=80, seed=3)).run_suite()
+        assert [(r.platform, r.algorithm, r.dataset, r.runtime)
+                for r in a] == [(r.platform, r.algorithm, r.dataset,
+                                 r.runtime) for r in b]
+
+    def test_empty_platforms_rejected(self):
+        with pytest.raises(ValueError):
+            GraphalyticsHarness(default_workload(scale=50), platforms={})

@@ -1,0 +1,81 @@
+"""Integration: detecting emergent behavior (P9, §3.2, C6).
+
+The paper's example of functional emergence is exaptation — "changing
+the function of a design" (footnote: DNS tunneling turned web lookup
+infrastructure into an arbitrary transport).  This test reproduces the
+phenomenon on the FaaS substrate: a function deployed for occasional
+thumbnailing is exapted by users into a bulk transport, and the
+monitoring side (C6's anomaly detectors over P9's "constantly
+monitoring for evolutionary and emergent behavior") catches the shift.
+"""
+
+import pytest
+
+from repro.faas import FaaSPlatform, FunctionSpec
+from repro.selfaware import ThresholdDetector, ZScoreDetector
+from repro.sim import Simulator
+
+
+def test_exaptation_shows_up_in_the_invocation_stream():
+    sim = Simulator()
+    platform = FaaSPlatform(sim, concurrency=64)
+    platform.deploy(FunctionSpec("thumbnail", mean_runtime=0.2,
+                                 cold_start=0.1, keep_alive=300.0))
+    # Rate: the designed pattern peaks at ~2 calls per 10 s interval;
+    # 5+ is emergent. Duration: z-score over the (slightly jittered)
+    # designed service times.
+    rate_detector = ThresholdDetector(high=5.0)
+    duration_detector = ZScoreDetector(window=100, threshold=4.0,
+                                       min_samples=10)
+    anomalies_at: list[float] = []
+
+    def designed_use(sim):
+        # Phase 1: the designed function — occasional small thumbnails.
+        for index in range(30):
+            jitter = 0.02 * ((index % 5) - 2)
+            yield platform.invoke("thumbnail", runtime=0.2 + jitter)
+            yield sim.timeout(10.0)
+
+    def exapted_use(sim):
+        # Phase 2: users discover the function moves bytes — long
+        # invocations in rapid-fire bursts (the DNS-tunneling pattern).
+        yield sim.timeout(320.0)
+        for _ in range(30):
+            # Fire-and-forget: the tunnelers do not wait for completion.
+            platform.invoke("thumbnail", runtime=3.0)
+            yield sim.timeout(0.5)
+
+    def monitor(sim):
+        # P9's continuous monitoring: sample the per-interval call rate
+        # and each invocation's duration.
+        seen = 0
+        while True:
+            yield sim.timeout(10.0)
+            current = len(platform.invocations)
+            rate = current - seen
+            seen = current
+            if rate_detector.observe(float(rate)):
+                anomalies_at.append(sim.now)
+            for invocation in platform.invocations[
+                    current - rate:current]:
+                duration = invocation.finish_time - invocation.start_time
+                if duration_detector.observe(duration):
+                    anomalies_at.append(sim.now)
+
+    sim.process(designed_use(sim))
+    sim.process(exapted_use(sim))
+    sim.process(monitor(sim))
+    sim.run(until=700.0)
+
+    # During the designed phase nothing is anomalous...
+    assert all(t > 320.0 for t in anomalies_at)
+    # ...but the exapted phase trips both detectors.
+    assert anomalies_at, "rate shift was never detected"
+    assert duration_detector.anomalies, "duration shift was never detected"
+    assert rate_detector.anomalies, "rate shift was never detected"
+    assert min(anomalies_at) < 700.0
+    # The emergent load is real: most invocations now violate the
+    # designed duration envelope.
+    long_calls = [i for i in platform.invocations
+                  if i.finish_time - i.start_time > 1.0]
+    assert len(long_calls) == 30

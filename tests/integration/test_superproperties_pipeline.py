@@ -1,0 +1,77 @@
+"""Integration: the P5 super-scalability index from real measurements.
+
+Super-scalability "combines the properties of closed systems (e.g.,
+weak and strong scalability) and of open systems (e.g., the many faces
+of elasticity)".  This test computes the index end-to-end: strong- and
+weak-scaling efficiencies come from a Graphalytics run, the elasticity
+deviation from an autoscaled datacenter run — no hand-picked scores.
+"""
+
+import pytest
+
+from repro.autoscaling import AutoscalingController, ReactAutoscaler
+from repro.core import super_scalability
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.graphproc import GraphalyticsHarness, default_workload
+from repro.scheduling import ClusterScheduler
+from repro.sim import Simulator
+from repro.workload import Task
+
+
+def measured_scaling_efficiencies():
+    harness = GraphalyticsHarness(default_workload(scale=150, seed=9))
+    strong = harness.strong_scaling("dataflow-engine", "pr", "uniform",
+                                    worker_counts=(1, 8))
+    strong_efficiency = strong[-1][1] / strong[-1][0]  # speedup / workers
+    weak = harness.weak_scaling("dataflow-engine", "bfs", base_scale=80,
+                                worker_counts=(1, 4))
+    weak_efficiency = min(1.0, weak[-1][1])
+    return strong_efficiency, weak_efficiency
+
+
+def measured_elastic_deviation():
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", 8, MachineSpec(cores=4, memory=1e9))])
+    scheduler = ClusterScheduler(sim, dc)
+    controller = AutoscalingController(sim, dc, scheduler,
+                                       ReactAutoscaler(), interval=5.0)
+    for burst_start in (0.0, 100.0, 200.0):
+        for i in range(6):
+            task = Task(runtime=20.0, cores=4,
+                        submit_time=burst_start + i * 1.0)
+
+            def submit_later(sim, task=task):
+                delay = task.submit_time - sim.now
+                if delay > 0:
+                    yield sim.timeout(delay)
+                scheduler.submit(task)
+
+            sim.process(submit_later(sim))
+    sim.run(until=400.0)
+    controller.stop()
+    assert len(scheduler.completed) == 18
+    return controller.elasticity(0.0, 400.0).elastic_deviation()
+
+
+def test_super_scalability_from_real_runs():
+    strong_efficiency, weak_efficiency = measured_scaling_efficiencies()
+    deviation = measured_elastic_deviation()
+
+    assert 0.0 < strong_efficiency <= 1.0
+    assert 0.0 < weak_efficiency <= 1.0
+    assert deviation >= 0.0
+
+    index = super_scalability(strong_efficiency, weak_efficiency,
+                              deviation)
+    assert 0.0 < index < 1.0  # real systems are never perfect
+
+    # The index genuinely couples both sides: degrading either the
+    # closed-system side or the open-system side lowers it.
+    worse_scaling = super_scalability(strong_efficiency / 2,
+                                      weak_efficiency / 2, deviation)
+    worse_elasticity = super_scalability(strong_efficiency,
+                                         weak_efficiency,
+                                         deviation + 5.0)
+    assert worse_scaling < index
+    assert worse_elasticity < index

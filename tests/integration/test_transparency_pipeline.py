@@ -1,0 +1,85 @@
+"""Integration: the C13 transparency pipeline fed from a real run."""
+
+import random
+
+import pytest
+
+from repro.core import SLA, SLO, Direction, NFRKind, Requirement
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent, FailureInjector
+from repro.reporting import OperationalSnapshot, TransparencyReporter
+from repro.scheduling import ClusterScheduler
+from repro.selfaware import RecoveryPlanner
+from repro.sim import Simulator
+from repro.workload import Task
+
+
+def run_quarter(seed: int, with_failures: bool):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", 4, MachineSpec(cores=4, memory=1e9))])
+    scheduler = ClusterScheduler(sim, dc)
+    RecoveryPlanner(scheduler, max_retries=5)
+    events = []
+    if with_failures:
+        events = [FailureEvent(50.0, ("c-m0", "c-m1"), 30.0),
+                  FailureEvent(200.0, ("c-m2",), 20.0)]
+    injector = FailureInjector(sim, dc, events)
+    rng = random.Random(seed)
+    tasks = [Task(runtime=rng.uniform(5, 20), cores=rng.randint(1, 4),
+                  submit_time=i * 2.0) for i in range(100)]
+
+    def feeder(sim):
+        for task in tasks:
+            delay = task.submit_time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            scheduler.submit(task)
+
+    sim.run(until=sim.process(feeder(sim)))
+    sim.run(until=5000.0)
+    stats = scheduler.statistics()
+    sla = SLA("quarterly")
+    sla.add(SLO("latency", Requirement(NFRKind.PERFORMANCE,
+                                       "response_mean", target=60.0,
+                                       direction=Direction.MINIMIZE)))
+    sla.add(SLO("work", Requirement(NFRKind.SCALABILITY, "completed",
+                                    target=100.0,
+                                    direction=Direction.MAXIMIZE)))
+    report = sla.evaluate(stats)
+    return OperationalSnapshot(
+        period=f"Q{seed}",
+        completed_work=int(stats["completed"]),
+        mean_latency=stats["response_mean"],
+        sla_fraction_met=report.fraction_met,
+        outages=len(events),
+        tasks_lost_to_failures=injector.victim_tasks,
+        cost_dollars=dc.total_energy_joules() / 3.6e6 * 0.25,
+        energy_kilojoules=dc.total_energy_joules() / 1000.0,
+        mean_utilization=dc.mean_utilization(),
+    )
+
+
+def test_transparency_pipeline_end_to_end():
+    reporter = TransparencyReporter("batch-compute")
+    reporter.publish(run_quarter(1, with_failures=True))
+    reporter.publish(run_quarter(2, with_failures=False))
+
+    # All stakeholder views render from real measurements.
+    client = reporter.view("client")
+    assert client["your work completed"] == 100
+    operator = reporter.view("operator")
+    assert 0.0 < operator["mean utilization"] <= 1.0
+    assert operator["energy [kJ]"] > 0
+    regulator = reporter.view("regulator")
+    assert regulator["periods reported"] == 2
+    assert regulator["total outages"] == 2
+
+    # The failure-free quarter improved the risk trend.
+    assert reporter.risk_trend() == "improving"
+    assert reporter.outage_frequency() == pytest.approx(1.0)
+
+    # The rendered text is stakeholder-readable (P6).
+    text = reporter.render("client")
+    assert "transparency report" in text
+    assert "SLA objectives met" in text

@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoscaling import StepSeries, evaluate_elasticity
+from repro.core import Direction, NFRKind, Requirement
+from repro.datacenter import Machine, MachineSpec
+from repro.graphproc import Graph, bfs, random_graph, wcc
+from repro.sim import Simulator, summarize
+from repro.solvers import MM1, MMc
+from repro.workload import GWFRecord, Task, random_workflow
+
+
+# ---------------------------------------------------------------------------
+# Event queue: events process in non-decreasing time order
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_event_queue_time_ordered(delays):
+    sim = Simulator()
+    fired = []
+
+    def waiter(sim, delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.process(waiter(sim, delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ---------------------------------------------------------------------------
+# summarize: order statistics are consistent
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_summarize_order_statistics(values):
+    stats = summarize(values)
+    assert stats["min"] <= stats["p50"] <= stats["p95"] <= stats["max"]
+    # Mean can drift below min/above max by float-summation rounding.
+    assert (stats["min"] <= stats["mean"] <= stats["max"]
+            or math.isclose(stats["mean"], stats["min"], rel_tol=1e-9)
+            or math.isclose(stats["mean"], stats["max"], rel_tol=1e-9))
+    assert stats["std"] >= 0.0
+    assert stats["count"] == len(values)
+
+
+# ---------------------------------------------------------------------------
+# Machine capacity conservation under arbitrary allocate/release
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=8),
+                          st.floats(min_value=0.1, max_value=16.0)),
+                min_size=1, max_size=40),
+       st.randoms(use_true_random=False))
+def test_machine_capacity_never_exceeded(task_specs, rng):
+    machine = Machine("m", MachineSpec(cores=8, memory=16.0))
+    live = []
+    for cores, memory in task_specs:
+        task = Task(runtime=1.0, cores=cores, memory=memory)
+        if machine.can_fit(task):
+            machine.allocate(task)
+            live.append(task)
+        assert 0 <= machine.cores_used <= machine.spec.cores
+        assert 0.0 <= machine.memory_used <= machine.spec.memory + 1e-9
+        if live and rng.random() < 0.4:
+            victim = live.pop(rng.randrange(len(live)))
+            machine.release(victim)
+    for task in live:
+        machine.release(task)
+    assert machine.cores_used == 0
+    assert machine.memory_used == 0.0
+
+
+# ---------------------------------------------------------------------------
+# GWF round-trip fidelity
+# ---------------------------------------------------------------------------
+record_strategy = st.builds(
+    GWFRecord,
+    job_id=st.integers(min_value=1, max_value=10**9),
+    submit_time=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    wait_time=st.floats(min_value=-1, max_value=1e6, allow_nan=False),
+    run_time=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    n_procs=st.integers(min_value=1, max_value=4096),
+    req_n_procs=st.integers(min_value=-1, max_value=4096),
+    req_memory=st.floats(min_value=-1, max_value=1e4, allow_nan=False),
+    status=st.sampled_from([0, 1]),
+    user_id=st.from_regex(r"U[0-9]{1,6}", fullmatch=True),
+    job_structure=st.sampled_from(["UNITARY", "BOT"]),
+)
+
+
+@given(st.lists(record_strategy, min_size=1, max_size=30))
+def test_gwf_line_round_trip(records):
+    for record in records:
+        assert GWFRecord.from_line(record.to_line()) == record
+
+
+# ---------------------------------------------------------------------------
+# Elasticity metrics: bounds always hold
+# ---------------------------------------------------------------------------
+series_points = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=20)
+
+
+@given(series_points, series_points)
+def test_elasticity_metric_bounds(demand_values, supply_values):
+    demand = StepSeries([(float(i), v)
+                         for i, v in enumerate(demand_values)])
+    supply = StepSeries([(float(i), v)
+                         for i, v in enumerate(supply_values)])
+    horizon = max(len(demand_values), len(supply_values)) + 1.0
+    report = evaluate_elasticity(demand, supply, 0.0, horizon)
+    assert 0.0 <= report.timeshare_under <= 1.0
+    assert 0.0 <= report.timeshare_over <= 1.0
+    assert report.timeshare_under + report.timeshare_over <= 1.0 + 1e-9
+    assert report.accuracy_under >= 0.0
+    assert report.accuracy_over >= 0.0
+    assert report.jitter >= 0.0
+
+
+@given(series_points)
+def test_perfect_tracking_scores_zero(values):
+    series = StepSeries([(float(i), v) for i, v in enumerate(values)])
+    report = evaluate_elasticity(series, series, 0.0, len(values) + 1.0)
+    assert report.accuracy_under == 0.0
+    assert report.accuracy_over == 0.0
+    assert report.elastic_deviation() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Requirement: satisfied iff violation is zero
+# ---------------------------------------------------------------------------
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+       st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+       st.sampled_from(list(Direction)))
+def test_requirement_violation_consistency(measured, target, direction):
+    requirement = Requirement(kind=NFRKind.PERFORMANCE, metric="m",
+                              target=target, direction=direction)
+    violation = requirement.violation(measured)
+    assert violation >= 0.0
+    assert requirement.satisfied(measured) == (violation == 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Random workflows: structural invariants
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=40),
+       st.floats(min_value=0.0, max_value=0.5),
+       st.integers(min_value=0, max_value=10**6))
+def test_random_workflow_invariants(n_tasks, edge_probability, seed):
+    workflow = random_workflow(n_tasks=n_tasks,
+                               edge_probability=edge_probability,
+                               rng=random.Random(seed))
+    workflow.validate()
+    assert len(workflow) == n_tasks
+    seen = set()
+    for task in workflow.walk_topological():
+        assert all(dep in seen for dep in task.dependencies)
+        seen.add(task)
+    total_work = sum(t.runtime for t in workflow)
+    critical = workflow.critical_path_length()
+    assert 0.0 < critical <= total_work + 1e-9
+    assert workflow.depth <= n_tasks
+
+
+# ---------------------------------------------------------------------------
+# Graph algorithms: BFS and WCC structural properties
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=2, max_value=40),
+       st.floats(min_value=0.0, max_value=0.3),
+       st.integers(min_value=0, max_value=10**6))
+def test_bfs_depths_are_shortest(n, p, seed):
+    graph = random_graph(n, p, rng=random.Random(seed))
+    depths, _ = bfs(graph, source=0)
+    assert depths[0] == 0
+    # Every reachable vertex's depth differs by <=1 from some neighbor
+    # on a shortest-path tree, and edges never skip levels.
+    for u in depths:
+        for v in graph.neighbors(u):
+            if v in depths:
+                assert abs(depths[u] - depths[v]) <= 1
+
+
+@given(st.integers(min_value=2, max_value=40),
+       st.floats(min_value=0.0, max_value=0.3),
+       st.integers(min_value=0, max_value=10**6))
+def test_wcc_labels_are_equivalence_classes(n, p, seed):
+    graph = random_graph(n, p, rng=random.Random(seed))
+    components, _ = wcc(graph)
+    assert set(components) == set(graph.vertices())
+    # Every edge joins same-component vertices.
+    for u, v, _ in graph.edges():
+        assert components[u] == components[v]
+    # Labels are component minima.
+    for vertex, label in components.items():
+        assert label <= vertex
+
+
+# ---------------------------------------------------------------------------
+# Queueing closed forms satisfy Little's law and reduce correctly
+# ---------------------------------------------------------------------------
+@given(st.floats(min_value=0.1, max_value=10.0),
+       st.floats(min_value=0.01, max_value=0.95))
+def test_mm1_littles_law(service_rate, utilization):
+    arrival_rate = service_rate * utilization
+    queue = MM1(arrival_rate=arrival_rate, service_rate=service_rate)
+    assert math.isclose(queue.mean_jobs_in_system,
+                        arrival_rate * queue.mean_response_time,
+                        rel_tol=1e-9)
+    assert queue.mean_response_time >= 1.0 / service_rate
+
+
+@given(st.floats(min_value=0.1, max_value=5.0),
+       st.floats(min_value=0.05, max_value=0.9),
+       st.integers(min_value=1, max_value=16))
+def test_mmc_consistency(service_rate, utilization, servers):
+    arrival_rate = servers * service_rate * utilization
+    queue = MMc(arrival_rate=arrival_rate, service_rate=service_rate,
+                servers=servers)
+    assert 0.0 <= queue.erlang_c <= 1.0
+    assert queue.mean_waiting_time >= 0.0
+    assert math.isclose(queue.mean_jobs_in_system,
+                        arrival_rate * queue.mean_response_time,
+                        rel_tol=1e-9)

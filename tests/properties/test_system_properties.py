@@ -1,0 +1,108 @@
+"""Property-based tests over whole subsystems (scheduler, FaaS, banking)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.banking import ClearingSystem, Payment, PaymentStatus, edf_order
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.faas import FaaSPlatform, FunctionSpec
+from repro.scheduling import ClusterScheduler
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+task_strategy = st.tuples(
+    st.floats(min_value=0.1, max_value=50.0),   # runtime
+    st.integers(min_value=1, max_value=4),      # cores
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(task_strategy, min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=3),
+       st.booleans())
+def test_scheduler_completes_every_task_exactly_once(specs, machines,
+                                                     backfilling):
+    """No task is lost or run twice, whatever the load and policy."""
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", machines, MachineSpec(cores=4, memory=1e9))])
+    scheduler = ClusterScheduler(sim, dc, backfilling=backfilling)
+    tasks = [Task(runtime=runtime, cores=cores)
+             for runtime, cores in specs]
+    for task in tasks:
+        scheduler.submit(task)
+    sim.run(until=1_000_000.0)
+    assert len(scheduler.completed) == len(tasks)
+    assert {t.task_id for t in scheduler.completed} == {
+        t.task_id for t in tasks}
+    for task in tasks:
+        assert task.state is TaskState.FINISHED
+        assert task.slowdown >= 1.0 - 1e-9
+        assert task.wait_time >= 0.0
+    # Capacity was conserved: total served core-seconds fit the fleet.
+    makespan = scheduler.makespan()
+    served = sum(t.core_seconds for t in tasks)
+    assert served <= makespan * machines * 4 + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.05, max_value=2.0),
+                min_size=1, max_size=20),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.25, max_value=2.0))
+def test_faas_billing_is_exact(runtimes, cold_start, memory_gb):
+    """Billed GB-seconds equal the sum of execution durations x memory."""
+    sim = Simulator()
+    platform = FaaSPlatform(sim, concurrency=100, gb_second_price=1.0,
+                            per_invocation_price=0.0)
+    platform.deploy(FunctionSpec("f", mean_runtime=1.0, memory_gb=memory_gb,
+                                 cold_start=cold_start, keep_alive=1e9))
+    for runtime in runtimes:
+        sim.run(until=platform.invoke("f", runtime=runtime))
+    expected = sum(runtimes) * memory_gb
+    assert platform.billed_gb_seconds == pytest.approx(expected)
+    assert platform.billed_dollars == pytest.approx(expected)
+    # Cold starts never exceed invocations; with an infinite keep-alive
+    # and sequential calls, exactly the first one is cold.
+    cold = sum(1 for i in platform.invocations if i.cold)
+    assert cold == 1
+    # Warm pool can never exceed completed invocations.
+    assert platform.warm_instances("f") <= len(platform.invocations)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0.0, max_value=50.0),   # submit offset
+    st.floats(min_value=0.5, max_value=30.0)),  # deadline slack
+    min_size=1, max_size=25),
+    st.integers(min_value=1, max_value=4))
+def test_clearing_conserves_payments(payment_specs, capacity):
+    """Every submitted payment is cleared exactly once, in any order."""
+    sim = Simulator()
+    clearing = ClearingSystem(sim, capacity=capacity, service_time=0.5,
+                              order=edf_order)
+    payments = []
+
+    def feeder(sim):
+        for offset, slack in sorted(payment_specs):
+            delay = offset - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            payment = Payment(amount=1.0, submit_time=sim.now,
+                              deadline=sim.now + slack)
+            payments.append(payment)
+            clearing.submit(payment)
+
+    sim.run(until=sim.process(feeder(sim)))
+    sim.run(until=10_000.0)
+    clearing.stop()
+    assert len(clearing.cleared) == len(payments)
+    assert all(p.status is PaymentStatus.CLEARED for p in payments)
+    assert 0.0 <= clearing.deadline_compliance() <= 1.0
+    # Clearing latency is at least the service time for everyone.
+    for payment in payments:
+        assert (payment.cleared_time - payment.submit_time
+                >= 0.5 - 1e-9)

@@ -1,0 +1,65 @@
+"""Unit tests for the plain-text renderers."""
+
+import pytest
+
+from repro.reporting import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        text = render_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 20]],
+                            title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "20" in lines[4]
+
+    def test_column_alignment(self):
+        text = render_table(["a"], [["xxxxxx"], ["y"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000123], [123456.0], [1.5]])
+        assert "0.000123" in text
+        assert "1.23e+05" in text or "123456" in text.replace(",", "")
+        assert "1.5" in text
+
+
+class TestRenderSeries:
+    def test_bars_scale_to_maximum(self):
+        text = render_series([(1.0, 10.0), (2.0, 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_validation(self):
+        text = render_series([(0.0, 1.0)], title="Curve")
+        assert text.startswith("Curve")
+        with pytest.raises(ValueError):
+            render_series([])
+        with pytest.raises(ValueError):
+            render_series([(0.0, 1.0)], width=0)
+
+    def test_all_zero_series(self):
+        text = render_series([(0.0, 0.0), (1.0, 0.0)])
+        assert "#" not in text
+
+
+class TestRenderKV:
+    def test_alignment(self):
+        text = render_kv([("short", 1), ("much-longer-key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_kv([])

@@ -1,0 +1,88 @@
+"""Unit tests for the C13 transparency reports."""
+
+import pytest
+
+from repro.reporting import (
+    STAKEHOLDERS,
+    OperationalSnapshot,
+    TransparencyReporter,
+)
+
+
+def snapshot(period="2026-Q1", outages=1, lost=2, sla=0.97, **kwargs):
+    defaults = dict(period=period, completed_work=1000, mean_latency=0.25,
+                    sla_fraction_met=sla, outages=outages,
+                    tasks_lost_to_failures=lost, cost_dollars=123.45,
+                    energy_kilojoules=456.7, mean_utilization=0.6)
+    defaults.update(kwargs)
+    return OperationalSnapshot(**defaults)
+
+
+class TestSnapshot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            snapshot(sla=1.5)
+        with pytest.raises(ValueError):
+            snapshot(outages=-1)
+        with pytest.raises(ValueError):
+            snapshot(mean_utilization=2.0)
+
+
+class TestReporter:
+    def test_requires_published_snapshot(self):
+        reporter = TransparencyReporter("svc")
+        with pytest.raises(RuntimeError):
+            reporter.view("client")
+        with pytest.raises(RuntimeError):
+            reporter.outage_frequency()
+
+    def test_all_stakeholder_views_render(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot())
+        for stakeholder in STAKEHOLDERS:
+            text = reporter.render(stakeholder)
+            assert "svc" in text
+            assert stakeholder in text
+
+    def test_unknown_stakeholder_rejected(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot())
+        with pytest.raises(KeyError):
+            reporter.view("shareholder-activist")
+
+    def test_client_view_excludes_operator_internals(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot())
+        client = reporter.view("client")
+        assert "SLA objectives met" in client
+        assert "mean utilization" not in client  # operator-only
+        operator = reporter.view("operator")
+        assert "mean utilization" in operator
+
+    def test_regulator_sees_history(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot(period="Q1", sla=0.99))
+        reporter.publish(snapshot(period="Q2", sla=0.91))
+        regulator = reporter.view("regulator")
+        assert regulator["periods reported"] == 2
+        assert regulator["worst SLA period"] == "91%"
+        assert regulator["total outages"] == 2
+
+    def test_outage_frequency_and_trend(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot(outages=4, lost=8))
+        reporter.publish(snapshot(outages=2, lost=3))
+        reporter.publish(snapshot(outages=0, lost=0))
+        assert reporter.outage_frequency() == pytest.approx(2.0)
+        assert reporter.risk_trend() == "improving"
+
+    def test_degrading_trend(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot(outages=0, lost=0))
+        reporter.publish(snapshot(outages=5, lost=1))
+        assert reporter.risk_trend() == "degrading"
+
+    def test_single_snapshot_is_stable(self):
+        reporter = TransparencyReporter("svc")
+        reporter.publish(snapshot())
+        assert reporter.risk_trend() == "stable"

@@ -1,0 +1,113 @@
+"""Unit tests for RM-architecture comparison ([131])."""
+
+import random
+
+import pytest
+
+from repro.datacenter import MachineSpec
+from repro.scheduling import (
+    LeastLoadedRouter,
+    MultiClusterDeployment,
+    RandomRouter,
+    run_architecture,
+)
+from repro.sim import Simulator
+from repro.workload import BagOfTasks, PoissonArrivals, Task, WorkloadGenerator
+
+
+def make_trace(seed=1, horizon=150.0, rate=0.25):
+    generator = WorkloadGenerator(
+        PoissonArrivals(rate, rng=random.Random(seed)),
+        rng=random.Random(seed + 1))
+    return generator.generate(horizon)
+
+
+class TestDeployment:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            MultiClusterDeployment(sim, n_sites=0, machines_per_site=1)
+
+    def test_sites_are_independent_domains(self):
+        sim = Simulator()
+        deployment = MultiClusterDeployment(
+            sim, n_sites=3, machines_per_site=1,
+            spec=MachineSpec(cores=4, memory=1e9))
+        assert len(deployment.sites) == 3
+        job = BagOfTasks("j", [Task(runtime=10.0, cores=2)])
+        site = deployment.submit(job, LeastLoadedRouter())
+        sim.run(until=100.0)
+        assert deployment.completed() == 1
+        assert len(site.scheduler.completed) == 1
+        others = [s for s in deployment.sites if s is not site]
+        assert all(not s.scheduler.completed for s in others)
+
+    def test_load_and_imbalance(self):
+        sim = Simulator()
+        deployment = MultiClusterDeployment(
+            sim, n_sites=2, machines_per_site=1,
+            spec=MachineSpec(cores=4, memory=1e9))
+        job = BagOfTasks("j", [Task(runtime=100.0, cores=4)])
+        deployment.submit(job, LeastLoadedRouter())
+        sim.run(until=1.0)
+        assert deployment.sites[0].load() == pytest.approx(1.0)
+        assert deployment.load_imbalance() == pytest.approx(1.0)
+
+
+class TestRouters:
+    def test_least_loaded_prefers_idle_site(self):
+        sim = Simulator()
+        deployment = MultiClusterDeployment(
+            sim, n_sites=2, machines_per_site=1,
+            spec=MachineSpec(cores=4, memory=1e9))
+        busy_job = BagOfTasks("busy", [Task(runtime=100.0, cores=4)])
+        router = LeastLoadedRouter()
+        first = deployment.submit(busy_job, router)
+        sim.run(until=1.0)
+        second = deployment.submit(
+            BagOfTasks("next", [Task(runtime=1.0, cores=1)]), router)
+        assert second is not first
+
+    def test_random_router_spreads_eventually(self):
+        sim = Simulator()
+        deployment = MultiClusterDeployment(
+            sim, n_sites=4, machines_per_site=1,
+            spec=MachineSpec(cores=16, memory=1e9))
+        router = RandomRouter(rng=random.Random(3))
+        chosen = {deployment.submit(
+            BagOfTasks(f"j{i}", [Task(runtime=1.0)]), router).name
+            for i in range(40)}
+        assert len(chosen) >= 3
+
+
+class TestRunArchitecture:
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            run_architecture("anarchic", make_trace())
+
+    def test_all_architectures_complete_the_trace(self):
+        jobs_a, jobs_b, jobs_c = (make_trace(seed=2) for _ in range(3))
+        for architecture, jobs in (("centralized", jobs_a),
+                                   ("hierarchical", jobs_b),
+                                   ("decentralized", jobs_c)):
+            stats = run_architecture(architecture, jobs, n_sites=3,
+                                     machines_per_site=2,
+                                     spec=MachineSpec(cores=16,
+                                                      memory=1e9))
+            assert stats["completed"] == sum(len(j) for j in jobs)
+            assert stats["slowdown_mean"] >= 1.0
+
+    def test_information_hierarchy_orders_performance(self):
+        """[131]'s shape: more scheduling knowledge, better slowdown."""
+        def run(architecture):
+            jobs = make_trace(seed=5, horizon=250.0, rate=0.5)
+            return run_architecture(
+                architecture, jobs, n_sites=4, machines_per_site=1,
+                spec=MachineSpec(cores=16, memory=1e9),
+                seed=9)["slowdown_mean"]
+
+        centralized = run("centralized")
+        hierarchical = run("hierarchical")
+        decentralized = run("decentralized")
+        assert centralized <= hierarchical * 1.05
+        assert hierarchical < decentralized

@@ -1,0 +1,178 @@
+"""Unit tests for queue-ordering and placement policies."""
+
+import random
+
+import pytest
+
+from repro.datacenter import Machine, MachineKind, MachineSpec
+from repro.scheduling import (
+    EDF,
+    FCFS,
+    LJF,
+    PLACEMENT_POLICIES,
+    QUEUE_POLICIES,
+    SJF,
+    BestFit,
+    CheapestFit,
+    FairShare,
+    FastestFit,
+    FirstFit,
+    GreenestFit,
+    RandomOrder,
+    RoundRobin,
+    SmallestTaskFirst,
+    WorstFit,
+)
+from repro.workload import Task
+
+
+def make_queue():
+    return [
+        Task(runtime=30.0, cores=2, submit_time=0.0, name="long-early"),
+        Task(runtime=5.0, cores=4, submit_time=1.0, name="short-mid",
+             deadline=10.0),
+        Task(runtime=15.0, cores=1, submit_time=2.0, name="mid-late",
+             deadline=5.0),
+    ]
+
+
+class TestQueuePolicies:
+    def test_fcfs_orders_by_submit(self):
+        names = [t.name for t in FCFS().order(make_queue(), now=0.0)]
+        assert names == ["long-early", "short-mid", "mid-late"]
+
+    def test_sjf_orders_by_runtime(self):
+        names = [t.name for t in SJF().order(make_queue(), now=0.0)]
+        assert names == ["short-mid", "mid-late", "long-early"]
+
+    def test_ljf_reverses_sjf(self):
+        names = [t.name for t in LJF().order(make_queue(), now=0.0)]
+        assert names == ["long-early", "mid-late", "short-mid"]
+
+    def test_edf_orders_by_deadline_with_deadlineless_last(self):
+        names = [t.name for t in EDF().order(make_queue(), now=0.0)]
+        assert names == ["mid-late", "short-mid", "long-early"]
+
+    def test_smallest_first_orders_by_cores(self):
+        names = [t.name for t in
+                 SmallestTaskFirst().order(make_queue(), now=0.0)]
+        assert names == ["mid-late", "long-early", "short-mid"]
+
+    def test_random_order_is_permutation_and_deterministic(self):
+        queue = make_queue()
+        policy = RandomOrder(rng=random.Random(1))
+        a = policy.order(queue, now=0.0)
+        assert sorted(t.name for t in a) == sorted(t.name for t in queue)
+        policy2 = RandomOrder(rng=random.Random(1))
+        assert [t.name for t in policy2.order(queue, 0.0)] == [
+            t.name for t in a]
+
+    def test_order_does_not_mutate_queue(self):
+        queue = make_queue()
+        original = list(queue)
+        SJF().order(queue, now=0.0)
+        assert queue == original
+
+    def test_fair_share_prefers_underserved_user(self):
+        policy = FairShare()
+        queue = make_queue()
+        policy.register(queue[0], "heavy")
+        policy.register(queue[1], "light")
+        policy.register(queue[2], "heavy")
+        served = Task(runtime=1000.0, cores=4, name="served")
+        policy.register(served, "heavy")
+        served.start(0.0)
+        served.finish(1000.0)
+        policy.charge(served)
+        names = [t.name for t in policy.order(queue, now=0.0)]
+        assert names[0] == "short-mid"  # light user's task jumps the queue
+
+    def test_registry_instantiates_all(self):
+        for name, factory in QUEUE_POLICIES.items():
+            policy = factory()
+            assert policy.name == name
+            assert policy.order(make_queue(), 0.0)
+
+
+def make_machines():
+    return [
+        Machine("big-busy", MachineSpec(cores=16, memory=64.0)),
+        Machine("small", MachineSpec(cores=4, memory=8.0)),
+        Machine("gpu", MachineSpec(cores=8, memory=32.0, speed=4.0,
+                                   kind=MachineKind.GPU, cost_per_hour=4.0,
+                                   idle_watts=150.0, max_watts=500.0)),
+    ]
+
+
+class TestPlacementPolicies:
+    def test_first_fit_takes_topology_order(self):
+        machines = make_machines()
+        chosen = FirstFit().select(Task(1.0, cores=2), machines)
+        assert chosen.name == "big-busy"
+
+    def test_first_fit_none_when_nothing_fits(self):
+        machines = make_machines()
+        assert FirstFit().select(Task(1.0, cores=32), machines) is None
+
+    def test_best_fit_minimizes_leftover(self):
+        machines = make_machines()
+        chosen = BestFit().select(Task(1.0, cores=3), machines)
+        assert chosen.name == "small"  # 1 core left over beats 13 and 5
+
+    def test_worst_fit_maximizes_leftover(self):
+        machines = make_machines()
+        chosen = WorstFit().select(Task(1.0, cores=3), machines)
+        assert chosen.name == "big-busy"
+
+    def test_round_robin_cycles(self):
+        machines = make_machines()
+        policy = RoundRobin()
+        names = [policy.select(Task(1.0, cores=1), machines).name
+                 for _ in range(4)]
+        assert names == ["big-busy", "small", "gpu", "big-busy"]
+
+    def test_round_robin_skips_unfitting(self):
+        machines = make_machines()
+        policy = RoundRobin()
+        # 10 cores only fits the 16-core machine.
+        names = [policy.select(Task(1.0, cores=10), machines).name
+                 for _ in range(2)]
+        assert names == ["big-busy", "big-busy"]
+
+    def test_fastest_fit_prefers_gpu(self):
+        chosen = FastestFit().select(Task(1.0, cores=2), make_machines())
+        assert chosen.name == "gpu"
+
+    def test_cheapest_fit_accounts_speed(self):
+        # GPU is 4x the price but 4x the speed: equal cost; CPU wins ties
+        # by name ordering only if cost ties — make GPU strictly cheaper.
+        machines = make_machines()
+        task = Task(runtime=8.0, cores=2)
+        chosen = CheapestFit().select(task, machines)
+        # cpu: 1.0 * 8 = 8; gpu: 4.0 * 2 = 8; tie -> lexicographic name.
+        assert chosen.name in ("big-busy", "gpu")
+        machines[2].spec = MachineSpec(cores=8, memory=32.0, speed=16.0,
+                                       kind=MachineKind.GPU,
+                                       cost_per_hour=4.0)
+        chosen = CheapestFit().select(task, machines)
+        assert chosen.name == "gpu"  # 4.0 * 0.5 = 2 beats 8
+
+    def test_greenest_fit_minimizes_marginal_energy(self):
+        machines = make_machines()
+        task = Task(runtime=8.0, cores=2)
+        chosen = GreenestFit().select(task, machines)
+        # cpu big: (250-100)*(2/16)*8 = 150; small: (250-100)*(2/4)*8=600;
+        # gpu: (500-150)*(2/8)*2 = 175 -> big-busy wins.
+        assert chosen.name == "big-busy"
+
+    def test_busy_machines_excluded(self):
+        machines = make_machines()
+        machines[0].allocate(Task(1.0, cores=16))
+        chosen = FirstFit().select(Task(1.0, cores=8), machines)
+        assert chosen.name == "gpu"
+
+    def test_registry_instantiates_all(self):
+        for name, factory in PLACEMENT_POLICIES.items():
+            policy = factory()
+            assert policy.name == name
+            assert policy.select(Task(1.0, cores=1), make_machines())

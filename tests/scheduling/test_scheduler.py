@@ -1,0 +1,222 @@
+"""Unit tests for the cluster scheduler, backfilling, and workflow engine."""
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.scheduling import (
+    FCFS,
+    SJF,
+    ClusterScheduler,
+    WorkflowEngine,
+)
+from repro.sim import Simulator
+from repro.workload import (
+    BagOfTasks,
+    Task,
+    TaskState,
+    chain_workflow,
+    fork_join_workflow,
+    montage_workflow,
+)
+
+
+def build(cores=4, machines=2, **scheduler_kwargs):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster(
+        "c", machines, MachineSpec(cores=cores, memory=1e9))])
+    scheduler = ClusterScheduler(sim, dc, **scheduler_kwargs)
+    return sim, dc, scheduler
+
+
+def test_single_task_runs_to_completion():
+    sim, dc, scheduler = build()
+    task = Task(runtime=10.0, cores=2)
+    scheduler.submit(task)
+    sim.run()
+    assert task.state is TaskState.FINISHED
+    assert task.finish_time == pytest.approx(10.0)
+    assert scheduler.completed == [task]
+
+
+def test_submit_rejects_running_task():
+    sim, dc, scheduler = build()
+    task = Task(1.0)
+    task.start(0.0)
+    with pytest.raises(ValueError):
+        scheduler.submit(task)
+
+
+def test_tasks_queue_when_capacity_exhausted():
+    sim, dc, scheduler = build(cores=4, machines=1)
+    tasks = [Task(runtime=10.0, cores=4, name=f"t{i}") for i in range(3)]
+    for task in tasks:
+        scheduler.submit(task)
+    sim.run()
+    finish_times = sorted(t.finish_time for t in tasks)
+    assert finish_times == [pytest.approx(10.0), pytest.approx(20.0),
+                            pytest.approx(30.0)]
+
+
+def test_fcfs_respects_submission_order():
+    sim, dc, scheduler = build(cores=4, machines=1,
+                               queue_policy=FCFS(), strict_head=True)
+    first = Task(runtime=10.0, cores=4, submit_time=0.0, name="first")
+    second = Task(runtime=1.0, cores=4, submit_time=0.0, name="second")
+    scheduler.submit(first)
+    scheduler.submit(second)
+    sim.run()
+    assert first.finish_time < second.finish_time
+
+
+def test_sjf_reorders_queue():
+    sim, dc, scheduler = build(cores=4, machines=1, queue_policy=SJF())
+    blocker = Task(runtime=5.0, cores=4, name="blocker")
+    long_task = Task(runtime=20.0, cores=4, name="long")
+    short_task = Task(runtime=1.0, cores=4, name="short")
+    scheduler.submit(blocker)
+    scheduler.submit(long_task)
+    scheduler.submit(short_task)
+    sim.run()
+    assert short_task.start_time < long_task.start_time
+
+
+def test_strict_head_blocks_later_tasks():
+    sim, dc, scheduler = build(cores=4, machines=1, strict_head=True)
+    big = Task(runtime=10.0, cores=4, name="big")
+    small = Task(runtime=1.0, cores=1, name="small")
+    blocker = Task(runtime=5.0, cores=2, name="pre")
+    scheduler.submit(blocker)   # occupies 2 cores
+    scheduler.submit(big)       # head: needs 4, blocked
+    scheduler.submit(small)     # would fit, but strict head blocks it
+    sim.run()
+    assert small.start_time >= big.start_time
+
+
+def test_greedy_mode_skips_blocked_head():
+    sim, dc, scheduler = build(cores=4, machines=1, strict_head=False)
+    blocker = Task(runtime=5.0, cores=2, name="pre")
+    big = Task(runtime=10.0, cores=4, name="big")
+    small = Task(runtime=1.0, cores=1, name="small")
+    scheduler.submit(blocker)
+    scheduler.submit(big)
+    scheduler.submit(small)
+    sim.run()
+    assert small.start_time < big.start_time
+
+
+def test_easy_backfilling_fills_holes_without_delaying_head():
+    sim, dc, scheduler = build(cores=4, machines=1, backfilling=True)
+    blocker = Task(runtime=10.0, cores=2, submit_time=0.0, name="blocker")
+    head = Task(runtime=10.0, cores=4, submit_time=0.0, name="head")
+    filler = Task(runtime=5.0, cores=2, submit_time=0.0, name="filler")
+    too_long = Task(runtime=50.0, cores=2, submit_time=0.0, name="too-long")
+    scheduler.submit(blocker)
+    scheduler.submit(head)
+    scheduler.submit(filler)
+    scheduler.submit(too_long)
+    sim.run()
+    # Filler (5s <= shadow 10s) backfills immediately.
+    assert filler.start_time == pytest.approx(0.0)
+    # Head starts exactly at the shadow time: not delayed by backfilling.
+    assert head.start_time == pytest.approx(10.0)
+    # The 50 s task would have delayed the head; it must wait for it.
+    assert too_long.start_time >= head.start_time
+
+
+def test_backfilling_improves_utilization_over_strict_fcfs():
+    def run(backfilling):
+        sim, dc, scheduler = build(cores=4, machines=1,
+                                   backfilling=backfilling,
+                                   strict_head=not backfilling)
+        tasks = [Task(runtime=10.0, cores=2, submit_time=0.0),
+                 Task(runtime=10.0, cores=4, submit_time=0.0),
+                 Task(runtime=9.0, cores=2, submit_time=0.0)]
+        for task in tasks:
+            scheduler.submit(task)
+        sim.run()
+        return max(t.finish_time for t in tasks)
+
+    assert run(backfilling=True) < run(backfilling=False)
+
+
+def test_statistics_shape():
+    sim, dc, scheduler = build()
+    for _ in range(4):
+        scheduler.submit(Task(runtime=5.0, cores=2))
+    sim.run()
+    stats = scheduler.statistics()
+    assert stats["completed"] == 4
+    assert stats["wait_mean"] >= 0.0
+    assert stats["slowdown_mean"] >= 1.0
+    assert scheduler.makespan() > 0
+
+
+def test_makespan_requires_completions():
+    sim, dc, scheduler = build()
+    with pytest.raises(RuntimeError):
+        scheduler.makespan()
+
+
+def test_submit_job_only_eligible_tasks():
+    sim, dc, scheduler = build()
+    bag = BagOfTasks("bag", [Task(5.0), Task(5.0)], submit_time=0.0)
+    scheduler.submit_job(bag)
+    sim.run()
+    assert bag.is_finished
+
+
+def test_stop_halts_loop():
+    sim, dc, scheduler = build()
+    scheduler.submit(Task(runtime=5.0))
+    sim.run()
+    scheduler.stop()
+    sim.run()  # drains the stop event without error
+
+
+class TestWorkflowEngine:
+    def test_chain_runs_sequentially(self):
+        sim, dc, scheduler = build(cores=4, machines=2)
+        engine = WorkflowEngine(sim, scheduler)
+        wf = chain_workflow(length=3, runtime=10.0)
+        done = engine.submit(wf)
+        result = sim.run(until=done)
+        assert result is wf
+        assert wf.is_finished
+        assert wf.makespan == pytest.approx(30.0)
+
+    def test_fork_join_parallelizes(self):
+        sim, dc, scheduler = build(cores=8, machines=2)
+        engine = WorkflowEngine(sim, scheduler)
+        wf = fork_join_workflow(width=8, runtime=10.0)
+        done = engine.submit(wf)
+        sim.run(until=done)
+        # 1 fork + parallel middle (two waves at most) + join.
+        assert wf.makespan < 8 * 10.0  # far better than serial
+        assert wf.makespan >= 30.0     # fork + >=1 wave + join
+
+    def test_dependencies_never_violated(self):
+        sim, dc, scheduler = build(cores=16, machines=2)
+        engine = WorkflowEngine(sim, scheduler)
+        wf = montage_workflow(width=6)
+        done = engine.submit(wf)
+        sim.run(until=done)
+        for task in wf:
+            for dep in task.dependencies:
+                assert dep.finish_time <= task.start_time + 1e-9
+
+    def test_double_submission_rejected(self):
+        sim, dc, scheduler = build()
+        engine = WorkflowEngine(sim, scheduler)
+        wf = chain_workflow(length=2)
+        engine.submit(wf)
+        with pytest.raises(ValueError):
+            engine.submit(wf)
+
+    def test_active_workflow_count(self):
+        sim, dc, scheduler = build()
+        engine = WorkflowEngine(sim, scheduler)
+        wf = chain_workflow(length=2, runtime=5.0)
+        done = engine.submit(wf)
+        assert engine.active_workflows == 1
+        sim.run(until=done)
+        assert engine.active_workflows == 0

@@ -1,0 +1,89 @@
+"""Unit tests for socially-aware group scheduling (C5)."""
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.scheduling import ClusterScheduler, FCFS, GroupAwarePolicy, group_response_times
+from repro.sim import Simulator
+from repro.workload import Task
+
+
+def test_unregistered_tasks_form_singletons():
+    policy = GroupAwarePolicy()
+    a, b = Task(1.0), Task(1.0)
+    assert policy.group_of(a) != policy.group_of(b)
+    policy.register(a, "team")
+    assert policy.group_of(a) == "team"
+
+
+def test_order_prefers_smallest_group():
+    policy = GroupAwarePolicy()
+    big = [Task(runtime=100.0, cores=2, submit_time=0.0,
+                name=f"big-{i}") for i in range(3)]
+    small = [Task(runtime=10.0, cores=1, submit_time=1.0,
+                  name=f"small-{i}") for i in range(2)]
+    policy.register_job_group(big, "big-team")
+    policy.register_job_group(small, "small-team")
+    ordered = policy.order(big + small, now=0.0)
+    # The small group (20 core-seconds) precedes the big one (600).
+    assert [t.name for t in ordered[:2]] == ["small-0", "small-1"]
+
+
+def test_group_members_stay_contiguous():
+    policy = GroupAwarePolicy()
+    groups = {}
+    queue = []
+    for g, size in (("a", 3), ("b", 3)):
+        tasks = [Task(runtime=10.0, submit_time=float(i), name=f"{g}{i}")
+                 for i in range(size)]
+        policy.register_job_group(tasks, g)
+        groups[g] = tasks
+        queue.extend(tasks)
+    # Interleave the submission order; ordering must de-interleave.
+    queue = [queue[0], queue[3], queue[1], queue[4], queue[2], queue[5]]
+    ordered = policy.order(queue, now=0.0)
+    labels = [policy.group_of(t) for t in ordered]
+    assert labels == sorted(labels, key=lambda g: (g,)) or (
+        labels[:3] == [labels[0]] * 3 and labels[3:] == [labels[3]] * 3)
+
+
+def test_group_response_times_requires_finished():
+    task = Task(1.0)
+    with pytest.raises(RuntimeError):
+        group_response_times({"g": [task]})
+    with pytest.raises(ValueError):
+        group_response_times({"g": []})
+
+
+def test_group_aware_beats_fcfs_on_group_response():
+    """[108]/[105]: scheduling groups as units improves what the
+    group's users perceive — the mean group response time."""
+
+    def run(use_group_policy: bool):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster(
+            "c", 1, MachineSpec(cores=2, memory=1e9))])
+        policy = GroupAwarePolicy() if use_group_policy else FCFS()
+        scheduler = ClusterScheduler(sim, dc, queue_policy=policy)
+        groups = {}
+        # Two small groups interleaved with one large group: FCFS
+        # interleaves them, stretching every group's completion.
+        for g, size, runtime in (("big", 6, 30.0), ("s1", 2, 10.0),
+                                 ("s2", 2, 10.0)):
+            tasks = [Task(runtime=runtime, cores=2, submit_time=0.0,
+                          name=f"{g}-{i}") for i in range(size)]
+            groups[g] = tasks
+        interleaved = [groups["big"][0], groups["s1"][0], groups["big"][1],
+                       groups["s2"][0], groups["big"][2], groups["s1"][1],
+                       groups["big"][3], groups["s2"][1], groups["big"][4],
+                       groups["big"][5]]
+        if use_group_policy:
+            for g, tasks in groups.items():
+                policy.register_job_group(tasks, g)
+        for task in interleaved:
+            scheduler.submit(task)
+        sim.run(until=10_000.0)
+        responses = group_response_times(groups)
+        return sum(responses.values()) / len(responses)
+
+    assert run(use_group_policy=True) < run(use_group_policy=False)

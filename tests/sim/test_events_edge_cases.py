@@ -1,0 +1,174 @@
+"""Edge-case tests for composite events, interrupts, and late waiters."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator
+
+
+def test_all_of_fails_when_any_child_fails():
+    sim = Simulator()
+    caught = []
+
+    def failing(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def waiter(sim, children):
+        try:
+            yield sim.all_of(children)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    children = [sim.process(failing(sim)), sim.timeout(5.0)]
+    sim.process(waiter(sim, children))
+    sim.run()
+    assert caught == ["child died"]
+
+
+def test_any_of_fails_when_first_event_fails():
+    sim = Simulator()
+    caught = []
+
+    def failing(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("fast failure")
+
+    def waiter(sim, children):
+        try:
+            yield sim.any_of(children)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    children = [sim.process(failing(sim)), sim.timeout(10.0)]
+    sim.process(waiter(sim, children))
+    sim.run()
+    assert caught == ["fast failure"]
+
+
+def test_any_of_success_beats_later_failure():
+    sim = Simulator()
+    results = []
+
+    def failing(sim):
+        yield sim.timeout(10.0)
+        raise RuntimeError("late failure")
+
+    def waiter(sim, children):
+        value = yield sim.any_of(children)
+        results.append(list(value.values()))
+
+    target = sim.process(failing(sim))
+    target.defused = True  # nobody handles the late failure directly
+    children = [sim.timeout(1.0, value="fast"), target]
+    sim.process(waiter(sim, children))
+    sim.run()
+    assert results == [["fast"]]
+
+
+def test_cross_simulator_condition_rejected():
+    sim_a, sim_b = Simulator(), Simulator()
+    event_a = sim_a.event()
+    event_b = sim_b.event()
+    with pytest.raises(SimulationError):
+        AllOf(sim_a, [event_a, event_b])
+
+
+def test_multiple_queued_interrupts_delivered_in_order():
+    sim = Simulator()
+    causes = []
+
+    def sleeper(sim):
+        for _ in range(2):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                causes.append(interrupt.cause)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt("first")
+        victim.interrupt("second")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert causes == ["first", "second"]
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    done = sim.timeout(1.0, value="early")
+    sim.run()
+    results = []
+
+    def late_waiter(sim, target):
+        value = yield target
+        results.append(value)
+
+    sim.process(late_waiter(sim, done))
+    sim.run()
+    assert results == ["early"]
+
+
+def test_run_until_already_processed_event_returns_value():
+    sim = Simulator()
+    done = sim.timeout(1.0, value=42)
+    sim.run()
+    assert sim.run(until=done) == 42
+
+
+def test_run_until_failed_event_raises():
+    sim = Simulator()
+
+    def failing(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    process = sim.process(failing(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=process)
+
+
+def test_interrupt_cause_defaults_to_none():
+    sim = Simulator()
+    causes = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append(interrupt.cause)
+
+    victim = sim.process(sleeper(sim))
+
+    def interrupter(sim):
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    sim.process(interrupter(sim))
+    sim.run()
+    assert causes == [None]
+
+
+def test_event_callbacks_none_after_processing():
+    sim = Simulator()
+    event = sim.timeout(1.0)
+    assert not event.processed
+    sim.run()
+    assert event.processed
+    assert event.callbacks is None
+
+
+def test_active_process_visible_during_resume():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(1.0)
+        seen.append(sim.active_process)
+
+    process = sim.process(proc(sim))
+    sim.run()
+    assert seen == [process, process]
+    assert sim.active_process is None

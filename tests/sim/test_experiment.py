@@ -1,0 +1,116 @@
+"""Unit tests for reproducibility recipes (C16)."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    ExperimentRecipe,
+    check_reproduction,
+    run_experiment,
+)
+
+
+def deterministic_experiment(seed, parameters):
+    rng = random.Random(seed)
+    n = parameters.get("n", 10)
+    samples = [rng.random() for _ in range(n)]
+    return {"mean": sum(samples) / n, "max": max(samples)}
+
+
+class TestRecipe:
+    def test_fingerprint_is_stable_and_sensitive(self):
+        a = ExperimentRecipe("exp", seed=1, parameters={"n": 10})
+        b = ExperimentRecipe("exp", seed=1, parameters={"n": 10})
+        c = ExperimentRecipe("exp", seed=2, parameters={"n": 10})
+        d = ExperimentRecipe("exp", seed=1, parameters={"n": 20})
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+        assert a.fingerprint() != d.fingerprint()
+
+
+class TestRunExperiment:
+    def test_captures_metrics(self):
+        record = run_experiment(deterministic_experiment,
+                                ExperimentRecipe("exp", seed=7))
+        assert set(record.metrics) == {"mean", "max"}
+
+    def test_non_numeric_metric_rejected(self):
+        def bad(seed, parameters):
+            return {"label": "not-a-number"}
+
+        with pytest.raises(TypeError):
+            run_experiment(bad, ExperimentRecipe("bad", seed=0))
+
+
+class TestCheckReproduction:
+    def test_pinned_seed_reproduces(self):
+        recipe = ExperimentRecipe("exp", seed=42, parameters={"n": 50})
+        record = run_experiment(deterministic_experiment, recipe)
+        report = check_reproduction(deterministic_experiment, record)
+        assert report.reproducible
+        assert report.mismatches() == []
+
+    def test_code_change_detected(self):
+        recipe = ExperimentRecipe("exp", seed=42)
+        record = run_experiment(deterministic_experiment, recipe)
+
+        def drifted(seed, parameters):
+            metrics = dict(deterministic_experiment(seed, parameters))
+            metrics["mean"] += 0.5  # a silent change in the code
+            return metrics
+
+        report = check_reproduction(drifted, record)
+        assert not report.reproducible
+        assert report.mismatches() == ["mean"]
+
+    def test_missing_and_extra_metrics_flagged(self):
+        recipe = ExperimentRecipe("exp", seed=1)
+        record = run_experiment(deterministic_experiment, recipe)
+
+        def renamed(seed, parameters):
+            metrics = deterministic_experiment(seed, parameters)
+            return {"average": metrics["mean"], "max": metrics["max"]}
+
+        report = check_reproduction(renamed, record)
+        assert not report.reproducible
+        assert "mean" in report.mismatches()    # disappeared
+        assert "average" in report.mismatches()  # appeared
+
+    def test_tolerance_validation(self):
+        recipe = ExperimentRecipe("exp", seed=1)
+        record = run_experiment(deterministic_experiment, recipe)
+        with pytest.raises(ValueError):
+            check_reproduction(deterministic_experiment, record,
+                               relative_tolerance=-1.0)
+
+    def test_simulation_experiment_reproduces_end_to_end(self):
+        """A full scheduler run is reproducible from its recipe."""
+        from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+        from repro.scheduling import ClusterScheduler
+        from repro.sim import Simulator
+        from repro.workload import PoissonArrivals, WorkloadGenerator
+
+        def scheduling_experiment(seed, parameters):
+            sim = Simulator()
+            dc = Datacenter(sim, [homogeneous_cluster(
+                "c", parameters["machines"],
+                MachineSpec(cores=16, memory=1e9))])
+            scheduler = ClusterScheduler(sim, dc)
+            jobs = WorkloadGenerator(
+                PoissonArrivals(0.3, rng=random.Random(seed)),
+                rng=random.Random(seed + 1)).generate(
+                    parameters["horizon"])
+            for job in jobs:
+                scheduler.submit_job(job)
+            sim.run(until=1_000_000.0)
+            stats = scheduler.statistics()
+            return {"completed": stats["completed"],
+                    "slowdown_mean": stats["slowdown_mean"]}
+
+        recipe = ExperimentRecipe("sched", seed=5,
+                                  parameters={"machines": 4,
+                                              "horizon": 100.0})
+        record = run_experiment(scheduling_experiment, recipe)
+        report = check_reproduction(scheduling_experiment, record)
+        assert report.reproducible

@@ -1,0 +1,86 @@
+"""Unit tests for monitors and summary statistics."""
+
+import math
+
+import pytest
+
+from repro.sim import Monitor, TimeWeightedMonitor, summarize
+
+
+def test_summarize_empty():
+    stats = summarize([])
+    assert stats["count"] == 0
+    assert math.isnan(stats["mean"])
+
+
+def test_summarize_basics():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats["count"] == 4
+    assert stats["mean"] == pytest.approx(2.5)
+    assert stats["min"] == 1.0
+    assert stats["max"] == 4.0
+    assert stats["p50"] == 2.0
+
+
+def test_summarize_percentiles_nearest_rank():
+    values = list(range(1, 101))
+    stats = summarize(values)
+    assert stats["p95"] == 95
+    assert stats["p99"] == 99
+
+
+def test_monitor_records_and_summarizes():
+    monitor = Monitor("latency")
+    for t, v in [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)]:
+        monitor.record(t, v)
+    assert len(monitor) == 3
+    assert monitor.mean == pytest.approx(20.0)
+
+
+def test_monitor_rejects_time_travel():
+    monitor = Monitor()
+    monitor.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        monitor.record(4.0, 1.0)
+
+
+def test_monitor_window():
+    monitor = Monitor()
+    for t in range(10):
+        monitor.record(float(t), float(t))
+    assert monitor.window(2.0, 5.0) == [2.0, 3.0, 4.0]
+
+
+def test_time_weighted_average():
+    tw = TimeWeightedMonitor(initial=0.0)
+    tw.update(10.0, 4.0)   # value 0 held for 10
+    tw.update(20.0, 0.0)   # value 4 held for 10
+    assert tw.time_average() == pytest.approx(2.0)
+
+
+def test_time_weighted_average_with_until():
+    tw = TimeWeightedMonitor(initial=2.0)
+    tw.update(10.0, 6.0)
+    # 2 for 10 units + 6 for 10 units = mean 4 at t=20
+    assert tw.time_average(until=20.0) == pytest.approx(4.0)
+
+
+def test_time_weighted_extremes():
+    tw = TimeWeightedMonitor(initial=5.0)
+    tw.add(1.0, +3.0)
+    tw.add(2.0, -7.0)
+    assert tw.maximum == 8.0
+    assert tw.minimum == 1.0
+    assert tw.value == 1.0
+
+
+def test_time_weighted_rejects_time_travel():
+    tw = TimeWeightedMonitor()
+    tw.update(5.0, 1.0)
+    with pytest.raises(ValueError):
+        tw.update(4.0, 2.0)
+
+
+def test_time_weighted_zero_duration_returns_value():
+    tw = TimeWeightedMonitor(initial=7.0)
+    assert tw.time_average() == 7.0

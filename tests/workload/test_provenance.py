@@ -1,0 +1,103 @@
+"""Unit tests for tamper-evident provenance chains (§6.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.scheduling import ClusterScheduler, WorkflowEngine
+from repro.sim import Simulator
+from repro.workload import (
+    ProvenanceChain,
+    chain_workflow,
+    montage_workflow,
+    record_workflow_run,
+)
+
+
+class TestProvenanceChain:
+    def test_empty_chain_intact(self):
+        chain = ProvenanceChain("pipeline")
+        assert chain.is_intact()
+        assert len(chain) == 0
+
+    def test_entries_link_hashes(self):
+        chain = ProvenanceChain("pipeline")
+        first = chain.record("event", {"x": 1})
+        second = chain.record("event", {"x": 2})
+        assert second.previous_hash == first.entry_hash
+        assert chain.head_hash == second.entry_hash
+        assert chain.is_intact()
+
+    def test_payload_tampering_detected(self):
+        chain = ProvenanceChain("pipeline")
+        chain.record("event", {"result": "original"})
+        chain.record("event", {"result": "later"})
+        entry = chain.entries[0]
+        tampered = dataclasses.replace(entry,
+                                       payload={"result": "FORGED"})
+        chain._entries[0] = tampered
+        broken = chain.verify()
+        assert 0 in broken
+        assert not chain.is_intact()
+
+    def test_removal_detected(self):
+        chain = ProvenanceChain("pipeline")
+        for i in range(3):
+            chain.record("event", {"i": i})
+        del chain._entries[1]
+        assert not chain.is_intact()
+
+    def test_reordering_detected(self):
+        chain = ProvenanceChain("pipeline")
+        for i in range(3):
+            chain.record("event", {"i": i})
+        chain._entries[0], chain._entries[1] = (chain._entries[1],
+                                                chain._entries[0])
+        assert not chain.is_intact()
+
+
+class TestWorkflowRecording:
+    def run_workflow(self, workflow):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster(
+            "c", 2, MachineSpec(cores=8, memory=1e9))])
+        scheduler = ClusterScheduler(sim, dc)
+        engine = WorkflowEngine(sim, scheduler)
+        done = engine.submit(workflow)
+        sim.run(until=done)
+        return workflow
+
+    def test_unfinished_workflow_rejected(self):
+        chain = ProvenanceChain("sci")
+        with pytest.raises(ValueError):
+            record_workflow_run(chain, chain_workflow(length=2))
+
+    def test_records_every_task_plus_summary(self):
+        workflow = self.run_workflow(montage_workflow(width=4))
+        chain = ProvenanceChain("sci")
+        entries = record_workflow_run(chain, workflow)
+        assert len(entries) == len(workflow) + 1
+        assert entries[-1].kind == "workflow-complete"
+        assert entries[-1].payload["tasks"] == len(workflow)
+        assert chain.is_intact()
+
+    def test_dependency_lineage_recorded(self):
+        workflow = self.run_workflow(chain_workflow(length=3))
+        chain = ProvenanceChain("sci")
+        record_workflow_run(chain, workflow)
+        task_entries = [e for e in chain.entries if e.kind == "task"]
+        assert task_entries[0].payload["inputs"] == []
+        assert task_entries[1].payload["inputs"] == ["stage-0"]
+        assert task_entries[2].payload["inputs"] == ["stage-1"]
+
+    def test_multi_lab_append_and_audit(self):
+        """Two labs append runs; the audit still verifies end-to-end."""
+        chain = ProvenanceChain("shared")
+        for width in (3, 5):
+            workflow = self.run_workflow(montage_workflow(width=width))
+            record_workflow_run(chain, workflow)
+        assert chain.is_intact()
+        summaries = [e for e in chain.entries
+                     if e.kind == "workflow-complete"]
+        assert len(summaries) == 2

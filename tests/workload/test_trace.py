@@ -1,0 +1,123 @@
+"""Unit tests for GWF trace reading, writing, and characterization."""
+
+import io
+
+import pytest
+
+from repro.workload import (
+    BagOfTasks,
+    GWFRecord,
+    Task,
+    jobs_to_records,
+    read_gwf,
+    records_to_jobs,
+    trace_statistics,
+    write_gwf,
+)
+
+
+def sample_records():
+    return [
+        GWFRecord(1, 0.0, 5.0, 100.0, 2, 2, 4.0, 1, "U1", "UNITARY"),
+        GWFRecord(2, 10.0, 0.0, 50.0, 1, 1, 2.0, 1, "U2", "BOT"),
+        GWFRecord(3, 20.0, 1.0, 200.0, 4, 4, 8.0, 1, "U1", "UNITARY"),
+    ]
+
+
+def test_round_trip_through_file(tmp_path):
+    path = tmp_path / "trace.gwf"
+    write_gwf(sample_records(), path, comments=["synthetic test trace"])
+    loaded = read_gwf(path)
+    assert loaded == sample_records()
+
+
+def test_round_trip_through_stream():
+    buffer = io.StringIO()
+    write_gwf(sample_records(), buffer)
+    buffer.seek(0)
+    assert read_gwf(buffer) == sample_records()
+
+
+def test_read_from_inline_string():
+    text = "# comment\n\n1 0.0 5.0 100.0 2 2 4.0 1 U1 UNITARY\n"
+    records = read_gwf(text)
+    assert len(records) == 1
+    assert records[0].job_id == 1
+    assert records[0].run_time == 100.0
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ValueError):
+        GWFRecord.from_line("1 2 3")
+
+
+def test_comments_and_header_skipped(tmp_path):
+    path = tmp_path / "trace.gwf"
+    write_gwf(sample_records(), path, comments=["a", "b"])
+    content = path.read_text()
+    assert content.startswith("# a\n# b\n# JobID")
+
+
+def test_records_to_jobs():
+    jobs = records_to_jobs(sample_records())
+    assert len(jobs) == 3
+    assert jobs[0].tasks[0].runtime == 100.0
+    assert jobs[0].tasks[0].cores == 2
+    assert jobs[1].user == "U2"
+    assert jobs[2].submit_time == 20.0
+
+
+def test_jobs_to_records_marks_bots():
+    bot = BagOfTasks("b", [Task(5.0), Task(6.0)], user="U9", submit_time=1.0)
+    records = jobs_to_records([bot])
+    assert len(records) == 2
+    assert all(r.job_structure == "BOT" for r in records)
+    assert all(r.user_id == "U9" for r in records)
+
+
+def test_jobs_to_records_wait_time():
+    task = Task(5.0)
+    job = BagOfTasks("j", [task], submit_time=2.0)
+    task.start(4.0)
+    task.finish(9.0)
+    record = jobs_to_records([job])[0]
+    assert record.wait_time == pytest.approx(2.0)
+
+
+def test_statistics_basics():
+    stats = trace_statistics(sample_records())
+    assert stats["jobs"] == 3
+    assert stats["users"] == 2
+    assert stats["total_core_seconds"] == pytest.approx(
+        100 * 2 + 50 * 1 + 200 * 4)
+    assert stats["mean_runtime"] == pytest.approx(350 / 3)
+    assert stats["max_runtime"] == 200.0
+    assert stats["bot_fraction"] == pytest.approx(1 / 3)
+
+
+def test_statistics_dominant_user_share():
+    # U1 contributes 200 + 800 = 1000 of 1050 core-seconds.
+    stats = trace_statistics(sample_records())
+    assert stats["dominant_user_share"] == pytest.approx(1000 / 1050)
+
+
+def test_statistics_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        trace_statistics([])
+
+
+def test_generator_to_trace_round_trip():
+    """Synthetic workload -> GWF -> jobs preserves counts and demand."""
+    import random
+
+    from repro.workload import PoissonArrivals, WorkloadGenerator
+
+    generator = WorkloadGenerator(
+        PoissonArrivals(0.2, rng=random.Random(5)), rng=random.Random(6))
+    jobs = generator.generate(horizon=100.0)
+    records = jobs_to_records(jobs)
+    rebuilt = records_to_jobs(records)
+    assert len(rebuilt) == sum(len(j) for j in jobs)
+    original_demand = sum(j.total_core_seconds for j in jobs)
+    rebuilt_demand = sum(j.total_core_seconds for j in rebuilt)
+    assert rebuilt_demand == pytest.approx(original_demand)
