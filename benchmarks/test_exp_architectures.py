@@ -14,7 +14,6 @@ import random
 from repro.datacenter import MachineSpec
 from repro.reporting import render_table
 from repro.scheduling import run_architecture
-from repro.sim import Simulator
 from repro.workload import MMPPArrivals, TaskProfile, VicissitudeMix, WorkloadGenerator
 
 

@@ -75,6 +75,15 @@ def run_with_failures(kind: str, seed: int = 2) -> dict[str, float]:
     assert len(scheduler.completed) == expected, (kind,
                                                   len(scheduler.completed))
     mtbf, mttr = mtbf_mttr(events, HORIZON)
+    # Chaos metrics: useful work delivered, work destroyed by the
+    # failures, and how long each burst's victims took to recover.
+    goodput = sum(t.runtime * t.cores for t in scheduler.completed)
+    recovery_times = []
+    for when, _, victims in injector.event_log:
+        finishes = [v.finish_time for v in victims
+                    if v.finish_time is not None]
+        if finishes:
+            recovery_times.append(max(finishes) - when)
     return {
         "bursts": float(len(events)),
         "machine_failures": float(sum(len(e.machine_names)
@@ -87,6 +96,13 @@ def run_with_failures(kind: str, seed: int = 2) -> dict[str, float]:
         "retries": float(planner.total_retries),
         "mtbf": mtbf,
         "mttr": mttr,
+        "goodput_core_seconds": goodput,
+        "wasted_core_seconds": dc.wasted_core_seconds,
+        "wasted_fraction": dc.wasted_core_seconds
+        / (goodput + dc.wasted_core_seconds),
+        "mean_recovery_time": (sum(recovery_times) / len(recovery_times)
+                               if recovery_times else 0.0),
+        "max_recovery_time": max(recovery_times, default=0.0),
     }
 
 
@@ -108,14 +124,26 @@ def test_exp_failures(benchmark, show):
     # Contract (c): fleet availability stays comparable (within a few
     # percent) while the correlated case is operationally worse.
     assert abs(space["availability"] - independent["availability"]) < 0.2
+    # Chaos metrics are populated: every run with victims wastes some
+    # work and takes nonzero time to recover from its bursts.
+    for metrics in results.values():
+        assert metrics["goodput_core_seconds"] > 0.0
+        if metrics["victim_tasks"] > 0:
+            assert metrics["wasted_core_seconds"] > 0.0
+            assert metrics["mean_recovery_time"] > 0.0
+        assert 0.0 <= metrics["wasted_fraction"] < 1.0
     rows = [(kind,
              f"{m['machine_failures']:.0f}", f"{m['correlation']:.2f}",
              f"{m['peak_concurrent']:.0f}", f"{m['availability']:.4f}",
-             f"{m['victim_tasks']:.0f}", f"{m['retries']:.0f}")
+             f"{m['victim_tasks']:.0f}", f"{m['retries']:.0f}",
+             f"{m['goodput_core_seconds']:.0f}",
+             f"{m['wasted_core_seconds']:.0f}",
+             f"{m['mean_recovery_time']:.0f}")
             for kind, m in results.items()]
     show(render_table(
         ["Failure model", "Machine failures", "Correlation index",
          "Peak concurrent", "Fleet availability", "Victim tasks",
-         "Retries"],
+         "Retries", "Goodput (core-s)", "Wasted (core-s)",
+         "Mean recovery (s)"],
         rows,
         title="E3. SPACE-CORRELATED [26] VS INDEPENDENT [27] FAILURES."))

@@ -16,7 +16,6 @@ from repro.navigation import (
     NFRProfile,
     Requirements,
     ServiceComponent,
-    compare,
     compose,
     find_replacements,
     select_optimizing,

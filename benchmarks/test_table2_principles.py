@@ -1,6 +1,6 @@
 """T2 — regenerate Table 2: the 10 key principles of MCS (§4)."""
 
-from repro.core import PrincipleRegistry, PrincipleType
+from repro.core import PrincipleRegistry
 from repro.reporting import render_table
 
 

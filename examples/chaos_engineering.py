@@ -1,0 +1,109 @@
+"""Chaos engineering study (C17): resilience mechanisms under fire.
+
+Runs the same workload through a reproducible chaos experiment — a
+space-correlated failure burst takes down half the cluster mid-run —
+with progressively more resilience armed:
+
+1. retries only (bounded exponential backoff),
+2. retries + checkpoint/restart,
+3. retries + checkpoints + hedged execution,
+4. the full stack, plus load shedding of low-priority work.
+
+The table shows what each mechanism buys: checkpoints shrink wasted
+work, hedging shortens recovery, shedding trades a few low-priority
+tasks for everyone else's latency.  Same seed, same burst, every row.
+
+Run with:  python examples/chaos_engineering.py
+"""
+
+from repro.datacenter import MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent
+from repro.reporting import render_table
+from repro.resilience import (
+    ChaosExperiment,
+    CheckpointPolicy,
+    ExponentialBackoff,
+    HedgePolicy,
+    LoadSheddingAdmission,
+)
+from repro.workload import Task
+
+N_MACHINES = 16
+
+
+def make_cluster():
+    return homogeneous_cluster("c", N_MACHINES, MachineSpec(cores=4),
+                               machines_per_rack=4)
+
+
+def make_workload(streams):
+    rng = streams.stream("workload")
+    return [Task(runtime=rng.uniform(20.0, 120.0), cores=2,
+                 submit_time=rng.uniform(0.0, 50.0), priority=i % 3,
+                 name=f"t{i}")
+            for i in range(80)]
+
+
+def burst_failures(streams, racks, horizon):
+    """One correlated burst killing 50% of the fleet at t=60."""
+    rng = streams.stream("failures")
+    names = [name for rack in racks for name in rack]
+    victims = tuple(sorted(rng.sample(names, k=len(names) // 2)))
+    return [FailureEvent(time=60.0, machine_names=victims, duration=40.0)]
+
+
+def run_scenario(name: str):
+    checkpoints = "checkpoint" in name or "full" in name
+    hedging = "hedge" in name or "full" in name
+    shedding = "full" in name
+    experiment = ChaosExperiment(
+        cluster=make_cluster,
+        workload=make_workload,
+        failures=burst_failures,
+        seed=7,
+        horizon=500.0,
+        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0, cap=60.0,
+                                        jitter="decorrelated"),
+        checkpoint_policy=(CheckpointPolicy(interval=15.0, overhead=0.5)
+                           if checkpoints else None),
+        hedge_policy=(HedgePolicy(delay_factor=2.5, min_runtime=30.0)
+                      if hedging else None),
+        admission=((lambda dc: LoadSheddingAdmission(dc, threshold=0.85,
+                                                     shed_below=1))
+                   if shedding else None),
+        availability_slo=0.9,
+    )
+    return experiment.run()
+
+
+def main() -> None:
+    scenarios = [
+        ("retries only", "retries"),
+        ("+ checkpoints", "checkpoint"),
+        ("+ hedging", "checkpoint+hedge"),
+        ("full (+ shedding)", "full"),
+    ]
+    rows = []
+    for label, key in scenarios:
+        report = run_scenario(key)
+        assert report.ok, report.violations
+        rows.append((label,
+                     f"{report.tasks_finished}/{report.tasks_total}",
+                     f"{report.tasks_shed}",
+                     f"{report.wasted_core_seconds:.0f}",
+                     f"{report.mean_recovery_time:.0f}",
+                     f"{report.makespan:.0f}",
+                     f"{report.availability:.3f}",
+                     "yes" if report.slo_met else "no"))
+    print(render_table(
+        ["Mechanisms", "Finished", "Shed", "Wasted (core-s)",
+         "Mean recovery (s)", "Makespan (s)", "Availability", "SLO met"],
+        rows,
+        title="Chaos experiment: 50% of machines lost at t=60, seed 7"))
+    print()
+    print("Every run is bit-reproducible: rerunning this script yields")
+    print("the identical table (all randomness derives from one seed).")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,6 @@ action.
 Run with:  python examples/graph_analytics.py
 """
 
-import random
 
 from repro.graphproc import (
     GraphalyticsHarness,

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from dataclasses import dataclass
+from typing import Protocol
 
 __all__ = [
     "AutoscalerInput",

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .ecosystem import OpenBankingEcosystem, ParticipantKind
+from .ecosystem import OpenBankingEcosystem
 from .transactions import ClearingSystem, Payment
 
 __all__ = ["ComplianceViolation", "ComplianceReport", "ComplianceChecker"]

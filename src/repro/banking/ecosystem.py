@@ -16,7 +16,7 @@ regulation forces heterogeneous, multi-owner integration.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.entity import CollectiveFunction, Ecosystem, System
 

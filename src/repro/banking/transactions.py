@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..sim import Simulator, Store
+from ..sim import Simulator
 
 __all__ = ["PaymentStatus", "Payment", "ClearingSystem",
            "fcfs_order", "edf_order"]

@@ -18,7 +18,7 @@ ecosystem" exclusions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 __all__ = ["System", "CollectiveFunction", "Ecosystem"]

@@ -11,7 +11,7 @@ registry rather than mutating it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 __all__ = ["PrincipleType", "Principle", "PrincipleRegistry", "PRINCIPLES"]

@@ -9,7 +9,7 @@ carries it out, accounts energy, and reacts to machine failures.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..core.entity import CollectiveFunction, Ecosystem, System
 from ..sim import Interrupt, Process, Simulator, TimeWeightedMonitor
@@ -35,6 +35,14 @@ class Datacenter:
                                               start_time=sim.now)
         self.completed_tasks: list[Task] = []
         self.failed_executions = 0
+        #: Core-seconds of work destroyed by interrupted executions
+        #: (work since the victim's last checkpoint).
+        self.wasted_core_seconds = 0.0
+        #: Core-seconds preserved by checkpoints across interruptions.
+        self.preserved_core_seconds = 0.0
+        #: Per-interruption (task, lost_work) log, in task-runtime
+        #: seconds — the chaos harness checks checkpoint invariants here.
+        self.execution_losses: list[tuple[Task, float]] = []
         self._running: dict[Task, Process] = {}
         #: Called whenever capacity reappears (machine repair); cluster
         #: schedulers subscribe their wake-up here.
@@ -95,13 +103,26 @@ class Datacenter:
         return process
 
     def _execute(self, task: Task, machine: Machine):
+        remaining_before = task.remaining_work
+        service = machine.effective_runtime(task)
+        started = self.sim.now
         try:
-            yield self.sim.timeout(machine.effective_runtime(task))
+            yield self.sim.timeout(service)
         except Interrupt:
             machine.account_energy(self.sim.now)
             if task in machine.running_tasks:
                 machine.release(task)
             self.used_cores.add(self.sim.now, -task.cores)
+            # Progress scales with the fraction of the service time
+            # served; checkpoints preserve the part up to the last
+            # interval boundary, the rest is wasted work.
+            work_done = 0.0
+            if service > 0:
+                work_done = remaining_before * (self.sim.now - started) / service
+            preserved, lost = task.record_progress(work_done)
+            self.preserved_core_seconds += preserved * task.cores
+            self.wasted_core_seconds += lost * task.cores
+            self.execution_losses.append((task, lost))
             task.fail(self.sim.now)
             self.failed_executions += 1
             self._running.pop(task, None)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Mapping, Sequence
 
 from ..sim import Simulator
-from ..workload.task import Task
+from ..workload.task import Task, TaskState
 from .datacenter import Datacenter
 from .machine import Machine
 
@@ -54,30 +54,56 @@ def least_loaded_offload(threshold: float = 0.9) -> OffloadDecision:
 class Federation:
     """A set of datacenters with inter-site latencies and delegation.
 
+    Offloading is guarded per peer (C17): an optional circuit breaker
+    rejects delegation to a peer that keeps failing, and an optional
+    deadline bounds how long a delegated task may wait for remote
+    capacity before falling back to its home site.
+
     Args:
         sim: The shared simulator.
         datacenters: Member sites.
         latency: Symmetric map of ``(site_a, site_b) -> seconds`` for
             the wide-area transfer penalty charged on offloaded tasks.
         policy: Offload policy deciding where each task runs.
+        peer_breakers: Optional per-site-name breaker objects
+            (duck-typed ``allow`` / ``record_success`` /
+            ``record_failure``, e.g.
+            :class:`~repro.resilience.breakers.CircuitBreaker`).  A
+            task is not delegated to a peer whose breaker is open.
+        offload_deadline: Maximum sim-time an offloaded task may wait
+            for a remote machine before being recalled home (the
+            breaker, if any, records the timeout as a failure).
     """
 
     def __init__(self, sim: Simulator, datacenters: Sequence[Datacenter],
                  latency: Mapping[tuple[str, str], float] | None = None,
-                 policy: OffloadDecision = never_offload) -> None:
+                 policy: OffloadDecision = never_offload,
+                 peer_breakers: Mapping[str, object] | None = None,
+                 offload_deadline: float | None = None) -> None:
         if not datacenters:
             raise ValueError("a federation needs at least one datacenter")
         names = [dc.name for dc in datacenters]
         if len(set(names)) != len(names):
             raise ValueError("datacenter names must be unique")
+        if offload_deadline is not None and offload_deadline <= 0:
+            raise ValueError("offload_deadline must be positive")
         self.sim = sim
         self.datacenters = list(datacenters)
         self._latency = dict(latency or {})
         self.policy = policy
+        self.peer_breakers = dict(peer_breakers or {})
+        unknown = set(self.peer_breakers) - set(names)
+        if unknown:
+            raise ValueError(f"breakers reference unknown sites: {sorted(unknown)}")
+        self.offload_deadline = offload_deadline
         #: Count of tasks executed away from their home site.
         self.offloaded_tasks = 0
         #: Aggregate wide-area latency paid, in seconds.
         self.wide_area_seconds = 0.0
+        #: Delegations vetoed by an open peer breaker.
+        self.offloads_rejected = 0
+        #: Offloaded tasks recalled home after the offload deadline.
+        self.offload_fallbacks = 0
 
     def get(self, name: str) -> Datacenter:
         """Look up a member site by name."""
@@ -105,29 +131,69 @@ class Federation:
 
         The offload policy picks the execution site; offloaded tasks pay
         the inter-site latency before starting, then run on the least
-        loaded fitting machine of the chosen site.
+        loaded fitting machine of the chosen site.  A peer whose
+        breaker is open is vetoed (the task runs at home instead), and
+        a delegated task that cannot start remotely within
+        ``offload_deadline`` is recalled to the home site.
         """
         home = self.get(home_name)
         target = self.policy(home, self.peers_of(home), task)
+        if target is not home:
+            breaker = self.peer_breakers.get(target.name)
+            if breaker is not None and not breaker.allow():
+                self.offloads_rejected += 1
+                target = home
         transfer = self.latency(home.name, target.name)
         if target is not home:
             self.offloaded_tasks += 1
             self.wide_area_seconds += transfer
-        return self.sim.process(self._delegated(task, target, transfer),
+        return self.sim.process(self._delegated(task, home, target, transfer),
                                 name=f"federated-{task.name}")
 
-    def _delegated(self, task: Task, target: Datacenter, transfer: float):
+    def _delegated(self, task: Task, home: Datacenter, target: Datacenter,
+                   transfer: float):
         if transfer > 0:
             yield self.sim.timeout(transfer)
+        deadline = (None if target is home or self.offload_deadline is None
+                    else self.sim.now + self.offload_deadline)
         machine = self._pick_machine(target, task)
+        if machine is None and target is not home:
+            target, machine = self._recall(task, home, target, "unfit")
         if machine is None:
             raise RuntimeError(
                 f"no machine in {target.name} can ever fit task {task.name}")
         while not machine.can_fit(task):
+            if deadline is not None and self.sim.now >= deadline:
+                target, machine = self._recall(task, home, target, "deadline")
+                deadline = None
+                continue
             yield self.sim.timeout(1.0)
             machine = self._pick_machine(target, task) or machine
+        breaker = (self.peer_breakers.get(target.name)
+                   if target is not home else None)
         result = yield target.execute(task, machine)
+        if breaker is not None:
+            if task.state is TaskState.FINISHED:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
         return result
+
+    def _recall(self, task: Task, home: Datacenter, target: Datacenter,
+                reason: str) -> tuple[Datacenter, Machine]:
+        """Fall back to the home site after a failed delegation attempt."""
+        self.offload_fallbacks += 1
+        breaker = self.peer_breakers.get(target.name)
+        if breaker is not None:
+            breaker.record_failure()
+        # The recalled task pays the wide-area transfer back home.
+        self.wide_area_seconds += self.latency(home.name, target.name)
+        machine = self._pick_machine(home, task)
+        if machine is None:
+            raise RuntimeError(
+                f"no machine in {home.name} can ever fit task {task.name}"
+                f" (recalled from {target.name}: {reason})")
+        return home, machine
 
     @staticmethod
     def _pick_machine(dc: Datacenter, task: Task) -> Machine | None:

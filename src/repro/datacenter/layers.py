@@ -23,7 +23,7 @@ does explicitly (§6.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 __all__ = ["Layer", "DATACENTER_LAYERS", "ReferenceArchitecture",

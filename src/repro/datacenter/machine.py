@@ -11,7 +11,8 @@ energy accounting of C6's energy-proportionality problems).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 
 from ..workload.task import Task
 
@@ -140,8 +141,18 @@ class Machine:
         del self._allocations[task]
 
     def effective_runtime(self, task: Task) -> float:
-        """Service time of the task on this machine's speed."""
-        return task.runtime / self.spec.speed
+        """Service time of the task on this machine's speed.
+
+        Honors checkpoint/restart (C17): only the work past the task's
+        last checkpoint must execute, plus the cost of writing the
+        checkpoints that fall inside it.
+        """
+        remaining = task.remaining_work
+        if task.checkpoint_interval is not None and remaining > 0:
+            n_checkpoints = max(
+                0, math.ceil(remaining / task.checkpoint_interval) - 1)
+            remaining += n_checkpoints * task.checkpoint_overhead
+        return remaining / self.spec.speed
 
     # ------------------------------------------------------------------
     # Remote-memory reservations (scavenging, [118])

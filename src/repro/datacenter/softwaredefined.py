@@ -22,7 +22,7 @@ Two pieces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .datacenter import Datacenter

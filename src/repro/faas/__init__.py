@@ -20,7 +20,7 @@ from .composition import (
     sequence,
     step,
 )
-from .platform import FaaSPlatform, FunctionSpec, Invocation
+from .platform import FaaSPlatform, FunctionSpec, Invocation, ResilientInvoker
 
 __all__ = [
     "FaaSLayer",
@@ -31,6 +31,7 @@ __all__ = [
     "FunctionSpec",
     "Invocation",
     "FaaSPlatform",
+    "ResilientInvoker",
     "Composition",
     "step",
     "sequence",

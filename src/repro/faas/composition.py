@@ -14,7 +14,6 @@ layer".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence as SequenceType
 
 from ..sim import Event, Simulator
 from .platform import FaaSPlatform, Invocation

@@ -20,10 +20,27 @@ __all__ = ["FailureInjector"]
 
 
 class FailureInjector:
-    """Replays failure events against a datacenter."""
+    """Replays failure events against a datacenter.
+
+    Args:
+        sim: The simulator.
+        datacenter: The datacenter to injure.
+        events: Failure events to replay (sorted internally).
+        streams: Optional :class:`~repro.sim.RandomStreams`; when given
+            with ``jitter > 0`` each event's injection time is perturbed
+            by ``U(0, jitter)`` drawn from the ``"failure-injection"``
+            substream, so the perturbation is bit-reproducible under
+            the experiment seed.
+        jitter: Maximum injection-time perturbation in sim-seconds.
+    """
 
     def __init__(self, sim: Simulator, datacenter: Datacenter,
-                 events: Sequence[FailureEvent]) -> None:
+                 events: Sequence[FailureEvent],
+                 streams=None, jitter: float = 0.0) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if jitter > 0 and streams is None:
+            raise ValueError("jitter requires a RandomStreams instance")
         self.sim = sim
         self.datacenter = datacenter
         self.events = sorted(events, key=lambda e: e.time)
@@ -37,28 +54,42 @@ class FailureInjector:
         self.transitions: list[tuple[float, str, str]] = []
         #: Tasks killed by injected failures.
         self.victim_tasks = 0
+        #: Per-event (scheduled_time, event, victim task list) records.
+        self.event_log: list[tuple[float, FailureEvent, list]] = []
         #: Repairs still outstanding per machine (handles overlapping hits).
         self._down_depth: dict[str, int] = {}
+        if jitter > 0:
+            rng = streams.stream("failure-injection")
+            self._schedule = sorted(
+                ((event.time + rng.uniform(0.0, jitter), event)
+                 for event in self.events),
+                key=lambda pair: pair[0])
+        else:
+            self._schedule = [(event.time, event) for event in self.events]
         sim.process(self._run(), name="failure-injector")
 
     def _run(self):
-        for event in self.events:
-            delay = event.time - self.sim.now
+        for when, event in self._schedule:
+            delay = when - self.sim.now
             if delay > 0:
                 yield self.sim.timeout(delay)
+            victims: list = []
             for name in event.machine_names:
-                self._take_down(name)
+                victims.extend(self._take_down(name))
+            self.event_log.append((self.sim.now, event, victims))
             self.sim.process(self._repair_later(event),
                              name=f"repair@{event.time:.0f}")
 
-    def _take_down(self, name: str) -> None:
+    def _take_down(self, name: str) -> list:
         machine = self._machines[name]
         depth = self._down_depth.get(name, 0)
+        victims: list = []
         if depth == 0:
-            victims = self.datacenter.fail_machine(machine)
+            victims = list(self.datacenter.fail_machine(machine))
             self.victim_tasks += len(victims)
             self.transitions.append((self.sim.now, name, "down"))
         self._down_depth[name] = depth + 1
+        return victims
 
     def _repair_later(self, event: FailureEvent):
         yield self.sim.timeout(event.duration)

@@ -10,7 +10,7 @@ scanned, iterations), which the platform models of
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .graph import Graph
 

@@ -13,8 +13,8 @@ of :mod:`repro.navigation.selection`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterator
 
 __all__ = ["NFRProfile", "ServiceComponent", "ComponentCatalog"]
 

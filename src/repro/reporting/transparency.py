@@ -16,8 +16,8 @@ meters") is the client view.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from .tables import render_kv
 

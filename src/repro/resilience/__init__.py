@@ -1,0 +1,55 @@
+"""Ecosystem-wide resilience mechanisms (C17, §6 techniques).
+
+The paper's challenge C17 asks for ecosystems that "tolerate, predict,
+and even steer failures"; this package supplies the composable
+mechanisms the rest of the stack wires in:
+
+- :mod:`~repro.resilience.policies` — retry policies (fixed and
+  exponential backoff with jitter) and Finagle-style retry budgets;
+- :mod:`~repro.resilience.breakers` — circuit breakers and deadlines;
+- :mod:`~repro.resilience.checkpoint` — checkpoint/restart arithmetic
+  and a policy stamping checkpoint intervals onto long tasks;
+- :mod:`~repro.resilience.hedging` — speculative (hedged) execution
+  policies against stragglers;
+- :mod:`~repro.resilience.shedding` — load-shedding admission control;
+- :mod:`~repro.resilience.chaos` — a chaos-experiment harness that
+  composes the correlated failure models with any scenario and
+  measures goodput, wasted work, recovery time, and availability.
+"""
+
+from .breakers import BreakerState, CircuitBreaker, Deadline
+from .chaos import ChaosExperiment, ChaosReport
+from .checkpoint import (
+    CheckpointPolicy,
+    checkpoints_remaining,
+    preserved_work,
+)
+from .hedging import HedgePolicy
+from .policies import (
+    ExponentialBackoff,
+    FixedBackoff,
+    NoRetry,
+    RetryBudget,
+    RetryPolicy,
+    RetrySession,
+)
+from .shedding import LoadSheddingAdmission
+
+__all__ = [
+    "RetryPolicy",
+    "NoRetry",
+    "FixedBackoff",
+    "ExponentialBackoff",
+    "RetrySession",
+    "RetryBudget",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "CheckpointPolicy",
+    "checkpoints_remaining",
+    "preserved_work",
+    "HedgePolicy",
+    "LoadSheddingAdmission",
+    "ChaosExperiment",
+    "ChaosReport",
+]

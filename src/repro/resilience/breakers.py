@@ -1,0 +1,144 @@
+"""Circuit breakers and deadlines for inter-system calls (C17).
+
+When a downstream system (a FaaS platform, a federation peer) starts
+failing, continuing to call it both wastes work and delays the caller's
+own recovery.  A :class:`CircuitBreaker` tracks consecutive failures on
+one dependency and, past a threshold, *opens*: calls are rejected
+immediately (the caller falls back to a degraded path) until a
+``recovery_timeout`` elapses, after which a limited number of
+*half-open* probe calls test whether the dependency healed.
+
+The breaker reads time from the simulator clock, so experiments remain
+deterministic.  It is deliberately duck-typed — consumers
+(:mod:`repro.faas.platform`, :mod:`repro.datacenter.federation`) accept
+any object with ``allow`` / ``record_success`` / ``record_failure``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..sim import Simulator
+
+__all__ = ["BreakerState", "CircuitBreaker", "Deadline"]
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker automaton."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on one named dependency.
+
+    Args:
+        sim: Simulator whose clock drives the recovery timeout.
+        failure_threshold: Consecutive failures that open the breaker.
+        recovery_timeout: Sim-time the breaker stays open before
+            allowing half-open probes.
+        half_open_max: Probe calls allowed while half-open; one success
+            closes the breaker, one failure re-opens it.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "breaker",
+                 failure_threshold: int = 5,
+                 recovery_timeout: float = 30.0,
+                 half_open_max: int = 1) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_timeout <= 0:
+            raise ValueError("recovery_timeout must be positive")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.half_open_max = half_open_max
+
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        #: (time, state) transition log for post-hoc analysis.
+        self.transitions: list[tuple[float, BreakerState]] = []
+        self.calls_allowed = 0
+        self.calls_rejected = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, accounting for recovery-timeout expiry."""
+        if (self._state is BreakerState.OPEN
+                and self.sim.now - self._opened_at >= self.recovery_timeout):
+            self._transition(BreakerState.HALF_OPEN)
+            self._half_open_inflight = 0
+        return self._state
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is not self._state:
+            self._state = state
+            self.transitions.append((self.sim.now, state))
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts probe slots)."""
+        state = self.state
+        if state is BreakerState.CLOSED:
+            self.calls_allowed += 1
+            return True
+        if state is BreakerState.HALF_OPEN:
+            if self._half_open_inflight < self.half_open_max:
+                self._half_open_inflight += 1
+                self.calls_allowed += 1
+                return True
+        self.calls_rejected += 1
+        return False
+
+    def record_success(self) -> None:
+        """Report a successful call; closes a half-open breaker."""
+        self._consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._half_open_inflight = 0
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """Report a failed call; may open the breaker."""
+        state = self.state
+        if state is BreakerState.HALF_OPEN:
+            self._half_open_inflight = 0
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if (state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._open()
+
+    def _open(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = self.sim.now
+        self._transition(BreakerState.OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CircuitBreaker {self.name} {self.state.value}>"
+
+
+class Deadline:
+    """An absolute or relative time bound on one call.
+
+    A tiny value object so call sites read
+    ``Deadline(5.0).expires_at(sim.now)`` instead of bare floats.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+
+    def expires_at(self, now: float) -> float:
+        """Absolute sim-time at which a call started ``now`` expires."""
+        return now + self.timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Deadline {self.timeout}s>"

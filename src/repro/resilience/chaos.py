@@ -1,0 +1,330 @@
+"""Chaos experiments: measured resilience under injected failures (C17).
+
+The paper's C17 calls for "systems that tolerate, predict, and even
+steer failures"; its methodological thread (P6) demands that such
+claims be *measured*, not asserted.  A :class:`ChaosExperiment`
+composes the correlated failure models of :mod:`repro.failures.models`
+with an arbitrary workload scenario and the resilience mechanisms of
+this package — retry policies, checkpointing, hedging, load shedding —
+then reports the metrics that matter for an availability story:
+
+- **goodput**: core-seconds of work that finished and was useful;
+- **wasted work**: core-seconds destroyed by interrupted executions
+  (work since the victim's last checkpoint, plus losing hedge copies);
+- **recovery time**: per failure burst, how long until every task it
+  killed had finished after all;
+- **availability**: machine-uptime fraction, checked against an SLO.
+
+Experiments are bit-reproducible: all randomness — workload sampling,
+failure generation, retry jitter, injection jitter — is drawn from
+named :class:`~repro.sim.RandomStreams` substreams of one root seed,
+so the same seed always yields the identical :class:`ChaosReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..datacenter.cluster import Cluster
+from ..datacenter.datacenter import Datacenter
+from ..failures.injection import FailureInjector
+from ..failures.models import FailureEvent
+from ..scheduling.scheduler import ClusterScheduler
+from ..selfaware.anomaly import RecoveryPlanner
+from ..sim import RandomStreams, Simulator
+from ..workload.task import Task, TaskState
+from .checkpoint import CheckpointPolicy
+from .policies import ExponentialBackoff, RetryPolicy
+
+__all__ = ["ChaosExperiment", "ChaosReport"]
+
+#: Builds the workload for one run: ``(streams) -> tasks``.
+WorkloadFn = Callable[[RandomStreams], Sequence[Task]]
+#: Builds the failure schedule: ``(streams, racks, horizon) -> events``,
+#: where ``racks`` is a list of racks, each a list of machine names.
+FailureFn = Callable[[RandomStreams, list, float], Sequence[FailureEvent]]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos experiment."""
+
+    seed: int
+    makespan: float
+    #: Task census.
+    tasks_total: int = 0
+    tasks_finished: int = 0
+    tasks_shed: int = 0
+    tasks_abandoned: int = 0
+    #: Useful work delivered, in core-seconds of task runtime.
+    goodput_core_seconds: float = 0.0
+    #: Work destroyed by interruptions (beyond the last checkpoint).
+    wasted_core_seconds: float = 0.0
+    #: Work saved by checkpoints across interruptions.
+    preserved_core_seconds: float = 0.0
+    #: Throughput of useful work: goodput / makespan.
+    goodput_rate: float = 0.0
+    #: Fraction of attempted work that was wasted.
+    wasted_fraction: float = 0.0
+    #: Failure bursts injected / tasks they killed.
+    failure_events: int = 0
+    victim_tasks: int = 0
+    #: Victims that never reached FINISHED by the end of the run.
+    unrecovered_victims: int = 0
+    #: Mean / max time from a burst to the last of its victims finishing.
+    mean_recovery_time: float = 0.0
+    max_recovery_time: float = 0.0
+    #: Machine-uptime fraction over the run, and the SLO verdict.
+    availability: float = 1.0
+    availability_slo: float = 0.0
+    slo_met: bool = True
+    #: Retry and hedging activity.
+    total_retries: int = 0
+    max_attempts_observed: int = 0
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    hedge_rescues: int = 0
+    #: Resilience-invariant violations; empty means the run was clean.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no resilience invariant was violated."""
+        return not self.violations
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric view for tabulation and benchmark records."""
+        return {
+            "seed": float(self.seed),
+            "makespan": self.makespan,
+            "tasks_total": float(self.tasks_total),
+            "tasks_finished": float(self.tasks_finished),
+            "tasks_shed": float(self.tasks_shed),
+            "tasks_abandoned": float(self.tasks_abandoned),
+            "goodput_core_seconds": self.goodput_core_seconds,
+            "wasted_core_seconds": self.wasted_core_seconds,
+            "preserved_core_seconds": self.preserved_core_seconds,
+            "goodput_rate": self.goodput_rate,
+            "wasted_fraction": self.wasted_fraction,
+            "failure_events": float(self.failure_events),
+            "victim_tasks": float(self.victim_tasks),
+            "mean_recovery_time": self.mean_recovery_time,
+            "max_recovery_time": self.max_recovery_time,
+            "availability": self.availability,
+            "slo_met": float(self.slo_met),
+            "total_retries": float(self.total_retries),
+            "hedges_launched": float(self.hedges_launched),
+            "violations": float(len(self.violations)),
+        }
+
+
+class ChaosExperiment:
+    """One reproducible resilience experiment over a cluster.
+
+    Args:
+        cluster: Factory for the physical topology, ``() -> Cluster``
+            (a fresh cluster per run keeps runs independent).
+        workload: ``(streams) -> tasks``; tasks are submitted at their
+            ``submit_time`` through the scheduler.
+        failures: ``(streams, racks, horizon) -> FailureEvent list``;
+            ``racks`` is the cluster's rack layout as machine names —
+            ready to feed a
+            :class:`~repro.failures.models.SpaceCorrelatedModel`.
+        seed: Root seed; every random choice in the run derives from it.
+        horizon: Failure-generation horizon in sim-seconds.
+        retry_policy: Policy for resubmitting failed tasks (default:
+            exponential backoff, 6 attempts, decorrelated jitter).
+        checkpoint_policy: Optional
+            :class:`~repro.resilience.checkpoint.CheckpointPolicy`
+            stamped onto the workload before submission.
+        hedge_policy: Optional straggler-hedging policy for the
+            scheduler.
+        admission: Optional factory ``(datacenter) -> admission
+            controller`` (e.g. wrapping
+            :class:`~repro.resilience.shedding.LoadSheddingAdmission`).
+        availability_slo: Machine-availability target in [0, 1] the
+            report is checked against.
+        injection_jitter: Perturbation bound on failure times, drawn
+            from the ``"failure-injection"`` substream.
+        max_time: Safety cap on simulated time.
+    """
+
+    def __init__(self, cluster: Callable[[], Cluster],
+                 workload: WorkloadFn, failures: FailureFn,
+                 seed: int = 0, horizon: float = 1000.0,
+                 retry_policy: RetryPolicy | None = None,
+                 checkpoint_policy: CheckpointPolicy | None = None,
+                 hedge_policy: Any = None,
+                 admission: Callable[[Datacenter], Any] | None = None,
+                 availability_slo: float = 0.0,
+                 injection_jitter: float = 0.0,
+                 max_time: float = 10_000_000.0) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not 0.0 <= availability_slo <= 1.0:
+            raise ValueError("availability_slo must be in [0, 1]")
+        if injection_jitter < 0:
+            raise ValueError("injection_jitter must be non-negative")
+        self.cluster = cluster
+        self.workload = workload
+        self.failures = failures
+        self.seed = seed
+        self.horizon = horizon
+        self.retry_policy = retry_policy or ExponentialBackoff(
+            max_attempts=6, base=1.0, cap=60.0, jitter="decorrelated")
+        self.checkpoint_policy = checkpoint_policy
+        self.hedge_policy = hedge_policy
+        self.admission = admission
+        self.availability_slo = availability_slo
+        self.injection_jitter = injection_jitter
+        self.max_time = max_time
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ChaosReport:
+        """Execute the experiment once and report."""
+        sim = Simulator()
+        streams = RandomStreams(self.seed)
+        cluster = self.cluster()
+        datacenter = Datacenter(sim, [cluster], name="chaos-dc")
+        admission = self.admission(datacenter) if self.admission else None
+        scheduler = ClusterScheduler(sim, datacenter, admission=admission,
+                                     hedge_policy=self.hedge_policy)
+        planner = RecoveryPlanner(scheduler, retry_policy=self.retry_policy,
+                                  rng=streams.stream("retry-jitter"))
+        tasks = list(self.workload(streams))
+        if not tasks:
+            raise ValueError("the workload produced no tasks")
+        if self.checkpoint_policy is not None:
+            self.checkpoint_policy.apply(tasks)
+        racks = [[m.name for m in rack] for rack in cluster.racks]
+        events = list(self.failures(streams, racks, self.horizon))
+        injector = FailureInjector(sim, datacenter, events, streams=streams,
+                                   jitter=self.injection_jitter)
+        sim.process(self._arrivals(sim, scheduler, tasks), name="arrivals")
+        # Run to event exhaustion, but without the clock jump to the
+        # stop time that run(until=...) performs on an early drain —
+        # the availability denominator is the *actual* elapsed time.
+        while sim.peek() <= self.max_time:
+            sim.step()
+        scheduler.stop()
+        return self._report(sim, datacenter, scheduler, planner, injector,
+                            tasks)
+
+    @staticmethod
+    def _arrivals(sim: Simulator, scheduler: ClusterScheduler,
+                  tasks: Sequence[Task]):
+        for task in sorted(tasks, key=lambda t: (t.submit_time, t.name)):
+            delay = task.submit_time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            scheduler.submit(task)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, sim: Simulator, datacenter: Datacenter,
+                scheduler: ClusterScheduler, planner: RecoveryPlanner,
+                injector: FailureInjector,
+                tasks: Sequence[Task]) -> ChaosReport:
+        finished = [t for t in tasks if t.state is TaskState.FINISHED]
+        shed = [t for t in tasks if t.state is TaskState.SHED]
+        makespan = (max(t.finish_time for t in finished) if finished
+                    else sim.now)
+        goodput = sum(t.runtime * t.cores for t in finished)
+        wasted = datacenter.wasted_core_seconds
+        attempted = goodput + wasted
+        recovery = self._recovery_times(injector)
+        unrecovered = sum(
+            1 for _, _, victims in injector.event_log
+            for v in victims if v.state is not TaskState.FINISHED
+            and not v.speculative)
+        availability = self._availability(sim, datacenter, injector)
+        report = ChaosReport(
+            seed=self.seed,
+            makespan=makespan,
+            tasks_total=len(tasks),
+            tasks_finished=len(finished),
+            tasks_shed=len(shed),
+            tasks_abandoned=len(planner.abandoned),
+            goodput_core_seconds=goodput,
+            wasted_core_seconds=wasted,
+            preserved_core_seconds=datacenter.preserved_core_seconds,
+            goodput_rate=goodput / makespan if makespan > 0 else 0.0,
+            wasted_fraction=wasted / attempted if attempted > 0 else 0.0,
+            failure_events=len(injector.event_log),
+            victim_tasks=injector.victim_tasks,
+            unrecovered_victims=unrecovered,
+            mean_recovery_time=(sum(recovery) / len(recovery)
+                                if recovery else 0.0),
+            max_recovery_time=max(recovery, default=0.0),
+            availability=availability,
+            availability_slo=self.availability_slo,
+            slo_met=availability >= self.availability_slo,
+            total_retries=planner.total_retries,
+            max_attempts_observed=max(
+                (t.attempts for t in tasks if not t.speculative), default=0),
+            hedges_launched=scheduler.hedges_launched,
+            hedge_wins=scheduler.hedge_wins,
+            hedge_rescues=scheduler.hedge_rescues,
+        )
+        report.violations = self._check_invariants(datacenter, planner,
+                                                   tasks, report)
+        return report
+
+    @staticmethod
+    def _recovery_times(injector: FailureInjector) -> list[float]:
+        """Burst time to last-victim-finish, per burst with victims."""
+        times = []
+        for when, _, victims in injector.event_log:
+            finishes = [v.finish_time for v in victims
+                        if v.state is TaskState.FINISHED]
+            if finishes:
+                times.append(max(finishes) - when)
+        return times
+
+    @staticmethod
+    def _availability(sim: Simulator, datacenter: Datacenter,
+                      injector: FailureInjector) -> float:
+        elapsed = sim.now
+        n_machines = len(datacenter.machines())
+        if elapsed <= 0 or n_machines == 0:
+            return 1.0
+        downtime = sum(end - start
+                       for intervals in injector.downtime_intervals().values()
+                       for start, end in intervals)
+        return 1.0 - downtime / (n_machines * elapsed)
+
+    def _check_invariants(self, datacenter: Datacenter,
+                          planner: RecoveryPlanner, tasks: Sequence[Task],
+                          report: ChaosReport) -> list[str]:
+        violations = []
+        abandoned_ids = {id(t) for t in planner.abandoned}
+        stuck = [t for t in tasks
+                 if t.state not in (TaskState.FINISHED, TaskState.SHED)
+                 and id(t) not in abandoned_ids]
+        if stuck:
+            violations.append(
+                f"{len(stuck)} non-shed tasks neither finished nor were "
+                f"abandoned (first: {stuck[0].name}, {stuck[0].state.value})")
+        budget = self.retry_policy.max_attempts
+        over = [t for t in tasks
+                if not t.speculative and t.attempts > budget]
+        if over:
+            violations.append(
+                f"{len(over)} tasks exceeded the {budget}-attempt budget "
+                f"(worst: {max(t.attempts for t in over)} attempts)")
+        for task, lost in datacenter.execution_losses:
+            interval = task.checkpoint_interval
+            if interval is not None and lost > interval + 1e-6:
+                violations.append(
+                    f"task {task.name} lost {lost:.3f}s of work, more than "
+                    f"its {interval:.3f}s checkpoint interval")
+                break
+        if not report.slo_met and self.availability_slo > 0:
+            violations.append(
+                f"availability {report.availability:.4f} misses the "
+                f"{self.availability_slo:.4f} SLO")
+        return violations

@@ -1,0 +1,53 @@
+"""Hedged (speculative) execution against stragglers and failures.
+
+"The tail at scale" defense: when a task has run well past its expected
+service time — because it landed on a slow machine, or its machine is
+about to be lost — launch a backup copy elsewhere and keep whichever
+finishes first.  The :class:`~repro.scheduling.scheduler.ClusterScheduler`
+implements the mechanics (clone, race, cancel the loser, adopt the
+winner's result); this module provides the policy that decides *when*
+to hedge.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HedgePolicy"]
+
+
+class HedgePolicy:
+    """Decides when a running task deserves a speculative backup.
+
+    Args:
+        delay_factor: A backup launches once the task has been running
+            ``delay_factor`` times its expected service time on its
+            machine.  Values <= 1 hedge immediately; the classic
+            straggler setting is 1.5-2.5.
+        min_delay: Never hedge before this much sim-time has passed —
+            keeps short tasks from being hedged on noise.
+        max_hedges: Backups allowed per task (almost always 1).
+        min_runtime: Tasks shorter than this are never hedged; a
+            backup for a tiny task costs more than the wait.
+    """
+
+    def __init__(self, delay_factor: float = 2.0, min_delay: float = 0.0,
+                 max_hedges: int = 1, min_runtime: float = 0.0) -> None:
+        if delay_factor <= 0:
+            raise ValueError(f"delay_factor must be positive, got {delay_factor}")
+        if min_delay < 0:
+            raise ValueError(f"min_delay must be non-negative, got {min_delay}")
+        if max_hedges < 1:
+            raise ValueError(f"max_hedges must be >= 1, got {max_hedges}")
+        if min_runtime < 0:
+            raise ValueError(f"min_runtime must be non-negative, got {min_runtime}")
+        self.delay_factor = delay_factor
+        self.min_delay = min_delay
+        self.max_hedges = max_hedges
+        self.min_runtime = min_runtime
+
+    def should_consider(self, runtime: float) -> bool:
+        """Whether a task of this runtime is worth watching at all."""
+        return runtime >= self.min_runtime
+
+    def hedge_delay(self, expected_service_time: float) -> float:
+        """Running time after which a backup copy should launch."""
+        return max(self.min_delay, self.delay_factor * expected_service_time)

@@ -1,0 +1,210 @@
+"""Composable retry policies with bounded budgets (C17, §2.2 problem 2).
+
+Unbounded, immediate retry — what the seed's workflow engine did — is
+exactly the retry-storm anti-pattern that amplifies correlated failures
+into ecosystem-wide outages.  The policies here bound *how many* times
+a unit of work may be retried and space the attempts out in time:
+
+- :class:`NoRetry` / :class:`FixedBackoff`: the baselines.
+- :class:`ExponentialBackoff`: exponential delays, optionally with
+  *full* or *decorrelated* jitter (the AWS-architecture-blog family),
+  so synchronized failures do not resubmit in synchronized waves.
+- :class:`RetryBudget`: a global token bucket that caps the *ratio* of
+  retries to first attempts across the whole system, so a correlated
+  burst cannot multiply load even when per-task budgets allow it.
+
+Policies are stateless and shareable; per-task attempt state lives in
+the :class:`RetrySession` a caller obtains from
+:meth:`RetryPolicy.session`.  Jitter draws come from an explicitly
+provided ``random.Random`` — in simulations, a
+:class:`~repro.sim.rng.RandomStreams` substream — never from an
+implicit global seed, so chaos experiments stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "RetryPolicy",
+    "NoRetry",
+    "FixedBackoff",
+    "ExponentialBackoff",
+    "RetrySession",
+    "RetryBudget",
+]
+
+
+class RetryPolicy:
+    """Decides whether a failed attempt may retry, and after what delay.
+
+    Args:
+        max_attempts: Total execution attempts allowed, including the
+            first one (``max_attempts=3`` means up to two retries).
+    """
+
+    def __init__(self, max_attempts: int) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+
+    @property
+    def max_retries(self) -> int:
+        """Retries allowed after the first attempt."""
+        return self.max_attempts - 1
+
+    def delay(self, retry_number: int, previous_delay: float,
+              rng: Optional[random.Random]) -> float:
+        """Backoff before retry ``retry_number`` (1-based).  Override."""
+        raise NotImplementedError
+
+    def session(self, rng: Optional[random.Random] = None) -> "RetrySession":
+        """Per-work-unit attempt tracker bound to this policy."""
+        return RetrySession(self, rng)
+
+
+class NoRetry(RetryPolicy):
+    """Fail fast: the first attempt is the only attempt."""
+
+    def __init__(self) -> None:
+        super().__init__(max_attempts=1)
+
+    def delay(self, retry_number: int, previous_delay: float,
+              rng: Optional[random.Random]) -> float:  # pragma: no cover
+        """Never called — the one-attempt budget is spent up front."""
+        raise RuntimeError("NoRetry never grants a retry")
+
+
+class FixedBackoff(RetryPolicy):
+    """A constant delay between attempts."""
+
+    def __init__(self, max_attempts: int = 3, delay: float = 0.0) -> None:
+        super().__init__(max_attempts)
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.fixed_delay = delay
+
+    def delay(self, retry_number: int, previous_delay: float,
+              rng: Optional[random.Random]) -> float:
+        """The configured constant delay, regardless of retry number."""
+        return self.fixed_delay
+
+
+class ExponentialBackoff(RetryPolicy):
+    """Exponential backoff with optional (decorrelated) jitter.
+
+    Args:
+        max_attempts: Total attempts, including the first.
+        base: Delay before the first retry.
+        cap: Upper bound on any single delay.
+        multiplier: Growth factor between consecutive retries.
+        jitter: ``"none"`` for the deterministic schedule
+            ``base * multiplier**(n-1)``; ``"full"`` for a uniform draw
+            in ``[0, deterministic]``; ``"decorrelated"`` for
+            ``uniform(base, 3 * previous_delay)``.  Jittered modes
+            require an ``rng`` at delay time.
+    """
+
+    JITTER_MODES = ("none", "full", "decorrelated")
+
+    def __init__(self, max_attempts: int = 3, base: float = 1.0,
+                 cap: float = 60.0, multiplier: float = 2.0,
+                 jitter: str = "none") -> None:
+        super().__init__(max_attempts)
+        if base < 0:
+            raise ValueError(f"base must be non-negative, got {base}")
+        if cap < base:
+            raise ValueError(f"cap {cap} must be >= base {base}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if jitter not in self.JITTER_MODES:
+            raise ValueError(f"jitter must be one of {self.JITTER_MODES}")
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+
+    def delay(self, retry_number: int, previous_delay: float,
+              rng: Optional[random.Random]) -> float:
+        """Capped exponential delay, jittered per the configured mode."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        deterministic = min(self.cap,
+                            self.base * self.multiplier ** (retry_number - 1))
+        if self.jitter == "none":
+            return deterministic
+        if rng is None:
+            raise ValueError(
+                f"jitter={self.jitter!r} needs an rng; pass a "
+                "RandomStreams substream for reproducibility")
+        if self.jitter == "full":
+            return rng.uniform(0.0, deterministic)
+        # Decorrelated jitter: spread around the previous delay.
+        anchor = previous_delay if previous_delay > 0 else self.base
+        return min(self.cap, rng.uniform(self.base, max(self.base,
+                                                        3.0 * anchor)))
+
+
+class RetrySession:
+    """Attempt state for one unit of work under a :class:`RetryPolicy`."""
+
+    def __init__(self, policy: RetryPolicy,
+                 rng: Optional[random.Random] = None) -> None:
+        self.policy = policy
+        self.rng = rng
+        #: Retries granted so far (the first attempt is not a retry).
+        self.retries = 0
+        self._previous_delay = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the policy allows no further retries."""
+        return self.retries >= self.policy.max_retries
+
+    def next_delay(self) -> Optional[float]:
+        """Grant one retry and return its backoff, or ``None`` if spent."""
+        if self.exhausted:
+            return None
+        self.retries += 1
+        delay = self.policy.delay(self.retries, self._previous_delay,
+                                  self.rng)
+        self._previous_delay = delay
+        return delay
+
+
+class RetryBudget:
+    """A system-wide cap on the ratio of retries to first attempts.
+
+    Each first attempt deposits ``ratio`` tokens; each retry withdraws
+    one.  When the bucket is empty, retries are denied regardless of
+    per-task policy — the standard defense against retry storms under
+    correlated failure (Finagle-style retry budgets).
+    """
+
+    def __init__(self, ratio: float = 0.2, initial: float = 10.0,
+                 max_tokens: float = 100.0) -> None:
+        if ratio < 0:
+            raise ValueError(f"ratio must be non-negative, got {ratio}")
+        if initial < 0 or max_tokens <= 0:
+            raise ValueError("need initial >= 0 and max_tokens > 0")
+        self.ratio = ratio
+        self.max_tokens = max_tokens
+        self.tokens = min(initial, max_tokens)
+        self.deposits = 0
+        self.granted = 0
+        self.denied = 0
+
+    def record_attempt(self) -> None:
+        """Credit the budget for one first attempt."""
+        self.deposits += 1
+        self.tokens = min(self.max_tokens, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; ``False`` when the budget is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False

@@ -1,0 +1,83 @@
+"""Load-shedding admission control: graceful degradation (C17).
+
+"Systems should degrade gracefully under vicissitude": when the
+datacenter is saturated — typically *because* a correlated failure just
+removed a chunk of capacity — admitting every incoming task only grows
+the queue and pushes every deadline over.  The
+:class:`LoadSheddingAdmission` controller sits in front of a scheduler
+and, above a utilization threshold, drops low-priority work outright
+and optionally *degrades* mid-priority work (runs a cheaper variant) so
+that high-priority tasks keep their service level.
+"""
+
+from __future__ import annotations
+
+from ..datacenter.datacenter import Datacenter
+from ..workload.task import Task
+
+__all__ = ["LoadSheddingAdmission"]
+
+
+class LoadSheddingAdmission:
+    """Utilization-gated, priority-aware admission controller.
+
+    Args:
+        datacenter: Source of the instantaneous utilization signal.
+        threshold: Utilization in [0, 1] above which shedding starts.
+        shed_below: Tasks with ``priority`` strictly below this are
+            dropped while over threshold.
+        degrade_below: Tasks with priority in ``[shed_below,
+            degrade_below)`` are admitted degraded: their runtime is
+            scaled by ``degrade_factor`` (a cheaper, lower-quality
+            execution).  Defaults to ``shed_below`` (no degradation).
+        degrade_factor: Runtime multiplier for degraded admissions.
+    """
+
+    def __init__(self, datacenter: Datacenter, threshold: float = 0.9,
+                 shed_below: int = 0, degrade_below: int | None = None,
+                 degrade_factor: float = 0.5) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if degrade_below is None:
+            degrade_below = shed_below
+        if degrade_below < shed_below:
+            raise ValueError("degrade_below must be >= shed_below")
+        if not 0.0 < degrade_factor <= 1.0:
+            raise ValueError(f"degrade_factor must be in (0, 1], got {degrade_factor}")
+        self.datacenter = datacenter
+        self.threshold = threshold
+        self.shed_below = shed_below
+        self.degrade_below = degrade_below
+        self.degrade_factor = degrade_factor
+        self.admitted = 0
+        self.shed: list[Task] = []
+        self.degraded: list[Task] = []
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the utilization signal is at or above the threshold."""
+        return self.datacenter.utilization() >= self.threshold
+
+    def admit(self, task: Task) -> bool:
+        """Admission decision for one task; may degrade it in place."""
+        if self.overloaded:
+            if task.priority < self.shed_below:
+                self.shed.append(task)
+                return False
+            if task.priority < self.degrade_below:
+                task.runtime *= self.degrade_factor
+                task.degraded = True
+                self.degraded.append(task)
+        self.admitted += 1
+        return True
+
+    def statistics(self) -> dict[str, float]:
+        """Counts of admitted, shed, and degraded tasks."""
+        total = self.admitted + len(self.shed)
+        return {
+            "offered": float(total),
+            "admitted": float(self.admitted),
+            "shed": float(len(self.shed)),
+            "degraded": float(len(self.degraded)),
+            "shed_fraction": len(self.shed) / total if total else 0.0,
+        }

@@ -52,7 +52,7 @@ from .reference import (
 )
 from .scheduler import ClusterScheduler
 from .social import GroupAwarePolicy, group_response_times
-from .workflow_engine import WorkflowEngine
+from .workflow_engine import WorkflowEngine, WorkflowFailed
 
 __all__ = [
     "QueuePolicy",
@@ -83,6 +83,7 @@ __all__ = [
     "MultiClusterDeployment",
     "run_architecture",
     "WorkflowEngine",
+    "WorkflowFailed",
     "ProvisioningState",
     "ProvisioningPolicy",
     "StaticProvisioning",

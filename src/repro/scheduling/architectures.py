@@ -27,7 +27,7 @@ from ..datacenter.datacenter import Datacenter
 from ..datacenter.machine import MachineSpec
 from ..sim import Simulator, summarize
 from ..workload.task import Job
-from .policies import QueuePolicy, SJF
+from .policies import SJF
 from .scheduler import ClusterScheduler
 
 __all__ = ["Site", "JobRouter", "RandomRouter", "LeastLoadedRouter",

@@ -11,7 +11,7 @@ portfolio schedulers).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Any, Callable
 
 from ..datacenter.datacenter import Datacenter
 from ..datacenter.machine import Machine
@@ -20,6 +20,23 @@ from ..workload.task import Job, Task, TaskState
 from .policies import FCFS, FairShare, FirstFit, PlacementPolicy, QueuePolicy
 
 __all__ = ["ClusterScheduler"]
+
+
+class _HedgeRace:
+    """Book-keeping for one primary/backup speculative pair."""
+
+    __slots__ = ("primary", "backup", "resolved", "primary_failed",
+                 "winner")
+
+    def __init__(self, primary: Task, backup: Task) -> None:
+        self.primary = primary
+        self.backup = backup
+        #: Set once the race outcome is decided; later loser events
+        #: are swallowed instead of re-reported.
+        self.resolved = False
+        #: The primary genuinely failed (machine loss, not cancellation).
+        self.primary_failed = False
+        self.winner: Task | None = None
 
 
 class ClusterScheduler:
@@ -36,26 +53,47 @@ class ClusterScheduler:
         strict_head: Without backfilling, stop at the first task that
             does not fit (true FCFS blocking) instead of greedily
             skipping it.
+        admission: Optional admission controller (duck-typed: one
+            ``admit(task) -> bool`` method, e.g.
+            :class:`~repro.resilience.shedding.LoadSheddingAdmission`).
+            Rejected tasks are marked :attr:`~TaskState.SHED` and never
+            queued — graceful degradation under overload (C17).
+        hedge_policy: Optional
+            :class:`~repro.resilience.hedging.HedgePolicy`.  Tasks that
+            run past the policy's straggler threshold get a speculative
+            backup copy; the first copy to finish wins and the loser is
+            cancelled.
     """
 
     def __init__(self, sim: Simulator, datacenter: Datacenter,
                  queue_policy: QueuePolicy | None = None,
                  placement_policy: PlacementPolicy | None = None,
                  backfilling: bool = False,
-                 strict_head: bool = False) -> None:
+                 strict_head: bool = False,
+                 admission: Any = None,
+                 hedge_policy: Any = None) -> None:
         self.sim = sim
         self.datacenter = datacenter
         self.queue_policy = queue_policy or FCFS()
         self.placement_policy = placement_policy or FirstFit()
         self.backfilling = backfilling
         self.strict_head = strict_head
+        self.admission = admission
+        self.hedge_policy = hedge_policy
 
         self.queue: list[Task] = []
         self.queue_length = TimeWeightedMonitor("queue_length",
                                                 start_time=sim.now)
         self.completed: list[Task] = []
+        self.shed_tasks: list[Task] = []
         self.on_task_complete: list[Callable[[Task], None]] = []
         self._running: dict[Task, tuple[Machine, float]] = {}
+        self._hedges: dict[Task, _HedgeRace] = {}
+        self.hedges_launched = 0
+        #: Backup finished first while the primary was still running.
+        self.hedge_wins = 0
+        #: Backup finished after the primary had already failed.
+        self.hedge_rescues = 0
         self._wakeup = sim.event()
         self._stopped = False
         datacenter.on_capacity_change.append(self._poke)
@@ -65,9 +103,17 @@ class ClusterScheduler:
     # Submission API
     # ------------------------------------------------------------------
     def submit(self, task: Task) -> None:
-        """Enqueue one task for scheduling."""
+        """Enqueue one task for scheduling (subject to admission control)."""
         if task.state not in (TaskState.PENDING, TaskState.ELIGIBLE):
             raise ValueError(f"task {task.name} is {task.state.value}")
+        if self.admission is not None and not self.admission.admit(task):
+            task.state = TaskState.SHED
+            self.shed_tasks.append(task)
+            return
+        self._enqueue(task)
+
+    def _enqueue(self, task: Task) -> None:
+        """Queue a task, bypassing admission (internal resubmissions)."""
         self.queue.append(task)
         self.queue_length.update(self.sim.now, len(self.queue))
         self._poke()
@@ -181,16 +227,112 @@ class ClusterScheduler:
         self._running[task] = (machine, self.sim.now)
         process = self.datacenter.execute(task, machine)
         process.add_callback(lambda event, t=task: self._on_finished(t, event))
+        if (self.hedge_policy is not None and not task.speculative
+                and task not in self._hedges
+                and self.hedge_policy.should_consider(task.runtime)):
+            expected = machine.effective_runtime(task)
+            delay = self.hedge_policy.hedge_delay(expected)
+            self.sim.process(self._hedge_watch(task, delay),
+                             name=f"hedge-watch-{task.name}")
+
+    def _hedge_watch(self, task: Task, delay: float):
+        """Launch a speculative backup if ``task`` is still running later."""
+        yield self.sim.timeout(delay)
+        if (task not in self._running or task in self._hedges
+                or task.state is not TaskState.RUNNING):
+            return
+        backup = task.clone_for_speculation()
+        race = _HedgeRace(task, backup)
+        self._hedges[task] = race
+        self._hedges[backup] = race
+        self.hedges_launched += 1
+        self._enqueue(backup)
 
     def _on_finished(self, task: Task, event) -> None:
         self._running.pop(task, None)
+        race = self._hedges.get(task)
+        if race is not None:
+            self._resolve_hedge(task, race)
+            self._poke()
+            return
+        self._report_complete(task)
+        self._poke()
+
+    def _report_complete(self, task: Task) -> None:
+        """Surface one terminal outcome (FINISHED or FAILED) to observers."""
         if task.state is TaskState.FINISHED:
             self.completed.append(task)
             if isinstance(self.queue_policy, FairShare):
                 self.queue_policy.charge(task)
         for callback in list(self.on_task_complete):
             callback(task)
-        self._poke()
+
+    # ------------------------------------------------------------------
+    # Hedged execution (C17: tolerate stragglers and machine loss)
+    # ------------------------------------------------------------------
+    def _resolve_hedge(self, task: Task, race: _HedgeRace) -> None:
+        """Advance the primary/backup race on one completion event.
+
+        Exactly one outcome is ever reported to observers, always under
+        the *primary* task's identity.  Losing copies are cancelled and
+        their (later) failure events swallowed here.
+        """
+        primary, backup = race.primary, race.backup
+        if race.resolved:
+            # A loser event arriving after the race was decided.
+            self._hedges.pop(task, None)
+            if task is primary:
+                # The backup won earlier; the primary's cancellation
+                # just landed — adopt the winner's result and report.
+                if task.state is not TaskState.FINISHED:
+                    task.complete_from(backup)
+                self._report_complete(task)
+            return
+        if task.state is TaskState.FINISHED:
+            race.resolved = True
+            race.winner = task
+            self._hedges.pop(task, None)
+            if task is primary:
+                self._cancel_hedge_copy(backup)
+                self._report_complete(task)
+                return
+            # The backup won the race.
+            if race.primary_failed:
+                # The primary already died for real: a rescue.
+                self.hedge_rescues += 1
+                primary.complete_from(backup)
+                self._report_complete(primary)
+                return
+            # The primary is still running: cancel it; its failure
+            # event (handled in the resolved-branch above) adopts the
+            # backup's result and reports.
+            self.hedge_wins += 1
+            self._cancel_hedge_copy(primary)
+            return
+        # A genuine failure (machine loss) of one copy.
+        self._hedges.pop(task, None)
+        if task is backup:
+            if race.primary_failed:
+                # Both copies are gone: report the primary's failure.
+                race.resolved = True
+                self._report_complete(primary)
+            # Otherwise the primary is still in flight; let it run on.
+            return
+        race.primary_failed = True
+        if backup not in self.queue and backup not in self._running:
+            # The backup is gone too (already failed and swallowed).
+            race.resolved = True
+            self._report_complete(primary)
+        # Otherwise the queued/running backup becomes the recovery path.
+
+    def _cancel_hedge_copy(self, loser: Task) -> None:
+        """Withdraw the losing copy of a decided hedge race."""
+        if loser in self.queue:
+            self.queue.remove(loser)
+            self.queue_length.update(self.sim.now, len(self.queue))
+            self._hedges.pop(loser, None)
+        elif loser in self._running:
+            self.datacenter.interrupt_task(loser)
 
     # ------------------------------------------------------------------
     # Metrics

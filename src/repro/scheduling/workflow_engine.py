@@ -5,30 +5,87 @@ engines" that automate the user side of the dual problem.  The
 :class:`WorkflowEngine` plays that role for scientific workflows: it
 tracks dependencies and submits each task to the underlying scheduler
 the moment its predecessors finish.
+
+Failed tasks are retried through a
+:class:`~repro.resilience.policies.RetryPolicy` (default: 3 attempts
+with exponential backoff) instead of the unbounded immediate retry an
+execution engine must never do: under a correlated failure burst that
+amplifies load exactly when capacity is lowest.  A task that exhausts
+its budget fails the whole workflow terminally with
+:class:`WorkflowFailed`.
 """
 
 from __future__ import annotations
 
-from ..sim import Event, Simulator
+import random
+from typing import Optional
+
+from ..sim import Event, RandomStreams, Simulator
 from ..workload.task import Task, TaskState
 from ..workload.workflow import Workflow
 from .scheduler import ClusterScheduler
 
-__all__ = ["WorkflowEngine"]
+__all__ = ["WorkflowEngine", "WorkflowFailed"]
+
+
+class WorkflowFailed(Exception):
+    """Terminal outcome: a task exhausted its retry budget.
+
+    Carried by the workflow's completion event, so
+    ``sim.run(until=done)`` raises it at the point of failure.
+    """
+
+    def __init__(self, workflow: Workflow, task: Task, retries: int) -> None:
+        super().__init__(
+            f"workflow {workflow.name!r} failed terminally: task "
+            f"{task.name!r} still failing after {retries} retries")
+        self.workflow = workflow
+        self.task = task
+        self.retries = retries
 
 
 class WorkflowEngine:
-    """Drives workflows through a :class:`ClusterScheduler`."""
+    """Drives workflows through a :class:`ClusterScheduler`.
 
-    def __init__(self, sim: Simulator, scheduler: ClusterScheduler) -> None:
+    Args:
+        sim: The simulator.
+        scheduler: Task-execution backend.
+        retry_policy: Bounds re-execution of failed tasks.  ``None``
+            selects the default of 3 attempts with exponential backoff
+            (base 1s, deterministic — pass a jittered policy plus
+            ``streams`` to desynchronize retry waves).
+        streams: Optional :class:`~repro.sim.RandomStreams`; its
+            ``"workflow-retry"`` substream feeds backoff jitter so runs
+            stay bit-reproducible under one experiment seed.
+    """
+
+    def __init__(self, sim: Simulator, scheduler: ClusterScheduler,
+                 retry_policy=None,
+                 streams: Optional[RandomStreams] = None) -> None:
+        if retry_policy is None:
+            # Imported here, not at module top: repro.resilience.chaos
+            # imports the scheduling package, so a top-level import
+            # would be circular.
+            from ..resilience.policies import ExponentialBackoff
+            retry_policy = ExponentialBackoff(max_attempts=3, base=1.0)
         self.sim = sim
         self.scheduler = scheduler
+        self.retry_policy = retry_policy
+        self._retry_rng: Optional[random.Random] = (
+            streams.stream("workflow-retry") if streams is not None else None)
         self._pending: dict[Task, Workflow] = {}
+        self._sessions: dict[Task, object] = {}
         self._workflow_done: dict[Workflow, Event] = {}
+        #: Workflows that ended in WorkflowFailed, with the culprit task.
+        self.failed: dict[Workflow, Task] = {}
         scheduler.on_task_complete.append(self._on_task_complete)
 
     def submit(self, workflow: Workflow) -> Event:
-        """Start a workflow; returns an event that fires at completion."""
+        """Start a workflow; returns an event that fires at completion.
+
+        The event succeeds with the workflow, or fails with
+        :class:`WorkflowFailed` once any task exhausts its retries.
+        """
         workflow.validate()
         if workflow in self._workflow_done:
             raise ValueError(f"workflow {workflow.name!r} already submitted")
@@ -47,15 +104,14 @@ class WorkflowEngine:
                 self.scheduler.submit(task)
 
     def _on_task_complete(self, task: Task) -> None:
-        workflow = self._pending.pop(task, None)
+        workflow = self._pending.get(task)
         if workflow is None:
             return
         if task.state is TaskState.FAILED:
-            # Retry failed workflow tasks once capacity allows.
-            task.reset_for_retry()
-            self._pending[task] = workflow
-            self.scheduler.submit(task)
+            self._retry_or_abandon(task, workflow)
             return
+        self._pending.pop(task, None)
+        self._sessions.pop(task, None)
         if workflow.is_finished:
             done = self._workflow_done.pop(workflow)
             if not done.triggered:
@@ -63,7 +119,45 @@ class WorkflowEngine:
             return
         self._release_eligible(workflow)
 
+    def _retry_or_abandon(self, task: Task, workflow: Workflow) -> None:
+        session = self._sessions.get(task)
+        if session is None:
+            session = self.retry_policy.session(self._retry_rng)
+            self._sessions[task] = session
+        delay = session.next_delay()
+        if delay is None:
+            self._fail_workflow(workflow, task, session.retries)
+            return
+        if delay <= 0:
+            task.reset_for_retry()
+            self.scheduler.submit(task)
+        else:
+            self.sim.process(self._resubmit_later(task, workflow, delay),
+                             name=f"retry-{task.name}")
+
+    def _resubmit_later(self, task: Task, workflow: Workflow, delay: float):
+        yield self.sim.timeout(delay)
+        if task in self._pending and task.state is TaskState.FAILED:
+            task.reset_for_retry()
+            self.scheduler.submit(task)
+
+    def _fail_workflow(self, workflow: Workflow, culprit: Task,
+                       retries: int) -> None:
+        """Terminal failure: withdraw the workflow and fail its event."""
+        self.failed[workflow] = culprit
+        for task in list(workflow):
+            self._pending.pop(task, None)
+            self._sessions.pop(task, None)
+            if task in self.scheduler.queue:
+                self.scheduler.queue.remove(task)
+        done = self._workflow_done.pop(workflow, None)
+        if done is not None and not done.triggered:
+            done.fail(WorkflowFailed(workflow, culprit, retries))
+            # Pre-defuse: a caller not waiting on the event should see
+            # the terminal state via `engine.failed`, not a crash.
+            done.defused = True
+
     @property
     def active_workflows(self) -> int:
-        """Workflows submitted but not yet finished."""
+        """Workflows submitted but not yet finished or failed."""
         return len(self._workflow_done)

@@ -11,7 +11,6 @@ class where one exists.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 __all__ = ["AdaptationProblem", "AdaptationApproach",
            "APPROACH_IMPLEMENTATIONS", "APPLICABILITY", "approaches_for",

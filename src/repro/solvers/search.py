@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, Iterable, TypeVar
+from typing import Generic, Hashable, Iterable, TypeVar
 
 __all__ = ["SearchProblem", "SearchResult", "astar", "ida_star",
            "GridPathProblem"]

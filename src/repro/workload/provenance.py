@@ -20,7 +20,6 @@ import json
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-from .task import Task
 from .workflow import Workflow
 
 __all__ = ["ProvenanceEntry", "ProvenanceChain", "record_workflow_run"]

@@ -27,6 +27,7 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     FINISHED = "finished"
     FAILED = "failed"
+    SHED = "shed"
 
 
 @dataclass
@@ -42,6 +43,11 @@ class Task:
         kind: Application class, used by vicissitude mixes and
             heterogeneity-aware policies (C4).
         deadline: Optional absolute completion deadline (banking, C3).
+        priority: Admission priority; load shedding drops low values
+            first (graceful degradation, C17).
+        checkpoint_interval: Work between checkpoints, in task-runtime
+            seconds; ``None`` disables checkpointing.
+        checkpoint_overhead: Extra service time per checkpoint written.
     """
 
     runtime: float
@@ -51,6 +57,9 @@ class Task:
     name: str = ""
     kind: str = "generic"
     deadline: Optional[float] = None
+    priority: int = 0
+    checkpoint_interval: Optional[float] = None
+    checkpoint_overhead: float = 0.0
     dependencies: list["Task"] = field(default_factory=list)
     task_id: int = field(default_factory=lambda: next(_task_ids))
 
@@ -58,6 +67,14 @@ class Task:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     machine: Optional[str] = None
+    #: Work preserved at the last checkpoint; a restart resumes here.
+    checkpointed_work: float = 0.0
+    #: Execution attempts started (retries and hedges each count one).
+    attempts: int = 0
+    #: Set by load shedding when the task was admitted degraded.
+    degraded: bool = False
+    #: Marks speculative (hedge) clones so observers can tell them apart.
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         if self.runtime < 0:
@@ -66,6 +83,12 @@ class Task:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.memory < 0:
             raise ValueError(f"memory must be non-negative, got {self.memory}")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {self.checkpoint_interval}")
+        if self.checkpoint_overhead < 0:
+            raise ValueError(
+                f"checkpoint_overhead must be non-negative, got {self.checkpoint_overhead}")
         if not self.name:
             self.name = f"task-{self.task_id}"
 
@@ -95,6 +118,7 @@ class Task:
         self.state = TaskState.RUNNING
         self.start_time = time
         self.machine = machine or None
+        self.attempts += 1
 
     def finish(self, time: float) -> None:
         """Mark the task finished at ``time``."""
@@ -109,13 +133,75 @@ class Task:
         self.finish_time = time
 
     def reset_for_retry(self) -> None:
-        """Return a failed task to the pending state for re-execution."""
+        """Return a failed task to the pending state for re-execution.
+
+        ``checkpointed_work`` survives the reset: a restart resumes
+        from the last checkpoint (shared-storage semantics), not from
+        scratch.
+        """
         if self.state is not TaskState.FAILED:
             raise RuntimeError(f"{self.name} has not failed")
         self.state = TaskState.PENDING
         self.start_time = None
         self.finish_time = None
         self.machine = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restart (C17)
+    # ------------------------------------------------------------------
+    @property
+    def remaining_work(self) -> float:
+        """Runtime still to execute after the last checkpoint."""
+        return max(0.0, self.runtime - self.checkpointed_work)
+
+    def record_progress(self, work_done: float) -> tuple[float, float]:
+        """Fold ``work_done`` (since the last restart) into checkpoints.
+
+        Returns ``(preserved, lost)``: how much of the new work survived
+        into ``checkpointed_work`` and how much must be redone.  Without
+        a checkpoint interval everything is lost.
+        """
+        if work_done < 0:
+            raise ValueError(f"work_done must be non-negative, got {work_done}")
+        if self.checkpoint_interval is None:
+            return 0.0, work_done
+        total = min(self.runtime, self.checkpointed_work + work_done)
+        # The 1e-9 guards against float noise just under a boundary.
+        boundary = ((total + 1e-9) // self.checkpoint_interval
+                    ) * self.checkpoint_interval
+        preserved = max(0.0, boundary - self.checkpointed_work)
+        self.checkpointed_work = max(self.checkpointed_work, boundary)
+        return preserved, max(0.0, work_done - preserved)
+
+    # ------------------------------------------------------------------
+    # Hedged execution (speculative copies)
+    # ------------------------------------------------------------------
+    def clone_for_speculation(self) -> "Task":
+        """A fresh speculative copy racing this task from its checkpoint."""
+        clone = Task(runtime=self.runtime, cores=self.cores,
+                     memory=self.memory, submit_time=self.submit_time,
+                     name=f"{self.name}~hedge", kind=self.kind,
+                     deadline=self.deadline, priority=self.priority,
+                     checkpoint_interval=self.checkpoint_interval,
+                     checkpoint_overhead=self.checkpoint_overhead)
+        clone.checkpointed_work = self.checkpointed_work
+        clone.speculative = True
+        return clone
+
+    def complete_from(self, winner: "Task") -> None:
+        """Adopt the result of a winning speculative copy.
+
+        The original may be FAILED (it was cancelled once the copy won)
+        or still RUNNING bookkeeping-wise; either way it becomes
+        FINISHED with the winner's timing.
+        """
+        if self.state is TaskState.FINISHED:
+            raise RuntimeError(f"{self.name} has already finished")
+        self.state = TaskState.FINISHED
+        self.finish_time = winner.finish_time
+        self.machine = winner.machine
+        if self.start_time is None:
+            self.start_time = winner.start_time
 
     # ------------------------------------------------------------------
     # Metrics (Performance Engineering imports, §3.5)

@@ -12,7 +12,7 @@ fan-out degrees, and level structure match the published ones.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator
+from typing import Iterator
 
 from .task import Job, Task
 

@@ -3,7 +3,6 @@
 import io
 from contextlib import redirect_stderr, redirect_stdout
 
-import pytest
 
 from repro.__main__ import ARTIFACTS, main
 

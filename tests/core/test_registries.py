@@ -4,8 +4,6 @@ import pytest
 
 from repro.core import (
     CHALLENGES,
-    FIELDS,
-    PRINCIPLES,
     USE_CASES,
     Challenge,
     ChallengeRegistry,

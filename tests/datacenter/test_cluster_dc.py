@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datacenter import (
-    Cluster,
     Datacenter,
     Machine,
     MachineKind,

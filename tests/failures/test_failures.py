@@ -17,7 +17,7 @@ from repro.failures import (
     peak_concurrent_failures,
 )
 from repro.scheduling import ClusterScheduler
-from repro.sim import Simulator
+from repro.sim import RandomStreams, Simulator
 from repro.workload import Task, TaskState
 
 
@@ -156,6 +156,73 @@ class TestFailureInjector:
         assert len(downs) == 1
         assert len(ups) == 1
         assert ups[0][0] == pytest.approx(25.0)  # latest repair wins
+
+    def test_overlapping_failures_stay_down_until_last_repair(self):
+        # Hit at 5 for 20s (repair at 25) and again at 10 for 30s
+        # (repair at 40): the machine must stay down until 40.
+        events = [FailureEvent(5.0, ("c-m0",), 20.0),
+                  FailureEvent(10.0, ("c-m0",), 30.0)]
+        sim, dc, scheduler, injector = self.build(events, n_machines=2)
+        sim.run(until=100.0)
+        intervals = injector.downtime_intervals()
+        assert intervals["c-m0"] == [(5.0, 40.0)]
+        machine = dc.machines()[0]
+        assert machine.available
+
+    def test_overlapping_failures_count_victims_exactly_once(self):
+        # A task killed by the first hit must not be re-counted when
+        # the second, overlapping event arrives on the same machine.
+        events = [FailureEvent(5.0, ("c-m0",), 20.0),
+                  FailureEvent(10.0, ("c-m0",), 30.0)]
+        sim, dc, scheduler, injector = self.build(events, n_machines=1)
+        task = Task(runtime=100.0, cores=4)
+        scheduler.submit(task)
+        sim.run(until=100.0)
+        assert task.state is TaskState.FAILED
+        assert injector.victim_tasks == 1
+        # Per-event log: the first burst took the victim, the second
+        # found the machine already down.
+        victims_per_event = [len(victims)
+                             for _, _, victims in injector.event_log]
+        assert victims_per_event == [1, 0]
+
+    def test_event_log_records_victim_tasks(self):
+        events = [FailureEvent(5.0, ("c-m0",), 10.0)]
+        sim, dc, scheduler, injector = self.build(events, n_machines=1)
+        task = Task(runtime=100.0, cores=4)
+        scheduler.submit(task)
+        sim.run(until=30.0)
+        (when, event, victims), = injector.event_log
+        assert when == 5.0
+        assert event is events[0]
+        assert victims == [task]
+
+    def test_jitter_requires_streams(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster("c", 2)])
+        with pytest.raises(ValueError):
+            FailureInjector(sim, dc, [], jitter=1.0)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, dc, [], streams=RandomStreams(0),
+                            jitter=-1.0)
+
+    def test_jittered_injection_is_reproducible(self):
+        def run_once():
+            sim = Simulator()
+            dc = Datacenter(sim, [homogeneous_cluster(
+                "c", 2, MachineSpec(cores=4))])
+            injector = FailureInjector(
+                sim, dc, [FailureEvent(5.0, ("c-m0",), 10.0),
+                          FailureEvent(7.0, ("c-m1",), 10.0)],
+                streams=RandomStreams(11), jitter=4.0)
+            sim.run(until=50.0)
+            return injector.transitions
+
+        first = run_once()
+        assert first == run_once()
+        down_times = {name: t for t, name, kind in first if kind == "down"}
+        assert 5.0 <= down_times["c-m0"] <= 9.0
+        assert 7.0 <= down_times["c-m1"] <= 11.0
 
     def test_downtime_intervals(self):
         events = [FailureEvent(5.0, ("c-m0",), 10.0),

@@ -9,7 +9,6 @@ monitoring side (C6's anomaly detectors over P9's "constantly
 monitoring for evolutionary and emergent behavior") catches the shift.
 """
 
-import pytest
 
 from repro.faas import FaaSPlatform, FunctionSpec
 from repro.selfaware import ThresholdDetector, ZScoreDetector

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.autoscaling import AutoscalingController, ReactAutoscaler
 from repro.datacenter import (

@@ -7,7 +7,6 @@ weak-scaling efficiencies come from a Graphalytics run, the elasticity
 deviation from an autoscaled datacenter run — no hand-picked scores.
 """
 
-import pytest
 
 from repro.autoscaling import AutoscalingController, ReactAutoscaler
 from repro.core import super_scalability

@@ -3,13 +3,13 @@
 import math
 import random
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.autoscaling import StepSeries, evaluate_elasticity
 from repro.core import Direction, NFRKind, Requirement
 from repro.datacenter import Machine, MachineSpec
-from repro.graphproc import Graph, bfs, random_graph, wcc
+from repro.graphproc import bfs, random_graph, wcc
 from repro.sim import Simulator, summarize
 from repro.solvers import MM1, MMc
 from repro.workload import GWFRecord, Task, random_workflow

@@ -1,6 +1,5 @@
 """Property-based tests over whole subsystems (scheduler, FaaS, banking)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,0 +1,98 @@
+"""Unit tests for the circuit breaker automaton and deadlines."""
+
+import pytest
+
+from repro.resilience import BreakerState, CircuitBreaker, Deadline
+from repro.sim import Simulator
+
+
+def advance(sim, dt):
+    sim.timeout(dt)
+    sim.run()
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CircuitBreaker(sim, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(sim, recovery_timeout=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(sim, half_open_max=0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        sim = Simulator()
+        breaker = CircuitBreaker(sim, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        sim = Simulator()
+        breaker = CircuitBreaker(sim, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_recovery_timeout(self):
+        sim = Simulator()
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 recovery_timeout=10.0)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        advance(sim, 10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        sim = Simulator()
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 recovery_timeout=5.0, half_open_max=1)
+        breaker.record_failure()
+        advance(sim, 5.0)
+        assert breaker.allow()       # the probe slot
+        assert not breaker.allow()   # only one probe at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        sim = Simulator()
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 recovery_timeout=5.0)
+        breaker.record_failure()
+        advance(sim, 5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # The open period restarts from the probe failure.
+        advance(sim, 4.0)
+        assert breaker.state is BreakerState.OPEN
+        advance(sim, 1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_transition_log(self):
+        sim = Simulator()
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 recovery_timeout=5.0)
+        breaker.record_failure()
+        advance(sim, 5.0)
+        breaker.allow()
+        breaker.record_success()
+        states = [state for _, state in breaker.transitions]
+        assert states == [BreakerState.OPEN, BreakerState.HALF_OPEN,
+                          BreakerState.CLOSED]
+
+
+class TestDeadline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_expiry(self):
+        assert Deadline(5.0).expires_at(10.0) == 15.0
+        assert Deadline(5.0).timeout == 5.0

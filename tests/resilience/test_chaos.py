@@ -1,0 +1,162 @@
+"""Chaos-experiment acceptance tests: the ISSUE's end-to-end scenario."""
+
+import dataclasses
+
+import pytest
+
+from repro.datacenter import MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent, SpaceCorrelatedModel
+from repro.resilience import (
+    ChaosExperiment,
+    ChaosReport,
+    CheckpointPolicy,
+    ExponentialBackoff,
+    HedgePolicy,
+    LoadSheddingAdmission,
+)
+from repro.workload import Task
+
+N_MACHINES = 16
+
+
+def make_cluster():
+    return homogeneous_cluster("c", N_MACHINES, MachineSpec(cores=4),
+                               machines_per_rack=4)
+
+
+def make_workload(streams):
+    rng = streams.stream("workload")
+    return [Task(runtime=rng.uniform(20.0, 120.0), cores=2,
+                 submit_time=rng.uniform(0.0, 50.0), priority=i % 3,
+                 name=f"t{i}")
+            for i in range(80)]
+
+
+def burst_failures(streams, racks, horizon):
+    """One space-correlated burst killing >= 25% of machines mid-run."""
+    rng = streams.stream("failures")
+    names = [name for rack in racks for name in rack]
+    n_victims = max(1, len(names) // 2)  # 50% of the fleet
+    victims = tuple(sorted(rng.sample(names, k=n_victims)))
+    return [FailureEvent(time=60.0, machine_names=victims, duration=40.0)]
+
+
+def make_experiment(seed=7, **overrides):
+    kwargs = dict(
+        cluster=make_cluster,
+        workload=make_workload,
+        failures=burst_failures,
+        seed=seed,
+        horizon=500.0,
+        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0,
+                                        cap=60.0, jitter="decorrelated"),
+        checkpoint_policy=CheckpointPolicy(interval=15.0, overhead=0.5),
+        hedge_policy=HedgePolicy(delay_factor=2.5, min_runtime=30.0),
+        availability_slo=0.9,
+    )
+    kwargs.update(overrides)
+    return ChaosExperiment(**kwargs)
+
+
+class TestChaosAcceptance:
+    """The ISSUE's acceptance scenario, checked invariant by invariant."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return make_experiment().run()
+
+    def test_burst_hits_at_least_a_quarter_of_machines(self, report):
+        assert report.failure_events == 1
+        assert report.victim_tasks > 0
+        # The burst takes down 50% of machines (>= the 25% the issue
+        # demands); availability reflects real downtime.
+        assert report.availability < 1.0
+
+    def test_all_non_shed_tasks_eventually_finish(self, report):
+        assert report.tasks_finished + report.tasks_shed == report.tasks_total
+        assert report.tasks_abandoned == 0
+        assert report.unrecovered_victims == 0
+
+    def test_no_task_exceeds_the_retry_budget(self, report):
+        assert report.max_attempts_observed <= 6
+        assert report.total_retries > 0  # the burst did force retries
+
+    def test_checkpointed_tasks_lose_less_than_one_interval(self, report):
+        assert report.preserved_core_seconds > 0.0
+        # Any violation (including checkpoint-loss > interval) would be
+        # reported here.
+        assert report.violations == []
+        assert report.ok
+
+    def test_metrics_reported(self, report):
+        assert report.goodput_core_seconds > 0.0
+        assert report.goodput_rate > 0.0
+        assert report.wasted_core_seconds > 0.0
+        assert 0.0 < report.wasted_fraction < 1.0
+        assert report.mean_recovery_time > 0.0
+        assert report.max_recovery_time >= report.mean_recovery_time
+        assert 0.0 < report.availability < 1.0
+        assert report.slo_met == (report.availability >= 0.9)
+        summary = report.summary()
+        for key in ("goodput_rate", "wasted_core_seconds",
+                    "mean_recovery_time", "availability"):
+            assert key in summary
+
+    def test_same_seed_is_bit_identical(self, report):
+        again = make_experiment().run()
+        assert dataclasses.asdict(again) == dataclasses.asdict(report)
+
+    def test_different_seed_differs(self, report):
+        other = make_experiment(seed=8).run()
+        assert dataclasses.asdict(other) != dataclasses.asdict(report)
+
+
+class TestChaosVariants:
+    def test_space_correlated_model_composes(self):
+        def model_failures(streams, racks, horizon):
+            model = SpaceCorrelatedModel(burst_rate=0.02, max_group=8,
+                                         repair_median=30.0,
+                                         rng=streams.stream("failures"))
+            return model.generate(horizon, racks)
+
+        report = make_experiment(failures=model_failures, horizon=300.0).run()
+        assert report.ok
+        assert report.failure_events > 0
+
+    def test_injection_jitter_stays_deterministic(self):
+        first = make_experiment(injection_jitter=5.0).run()
+        second = make_experiment(injection_jitter=5.0).run()
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+        unjittered = make_experiment().run()
+        assert dataclasses.asdict(first) != dataclasses.asdict(unjittered)
+
+    def test_load_shedding_drops_low_priority_under_pressure(self):
+        def shedding_admission(datacenter):
+            return LoadSheddingAdmission(datacenter, threshold=0.5,
+                                         shed_below=1)
+
+        report = make_experiment(admission=shedding_admission).run()
+        assert report.tasks_shed > 0
+        assert report.ok
+        assert report.tasks_finished + report.tasks_shed == report.tasks_total
+
+    def test_empty_workload_rejected(self):
+        experiment = make_experiment(workload=lambda streams: [])
+        with pytest.raises(ValueError):
+            experiment.run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_experiment(horizon=0.0)
+        with pytest.raises(ValueError):
+            make_experiment(availability_slo=1.5)
+        with pytest.raises(ValueError):
+            make_experiment(injection_jitter=-1.0)
+
+
+class TestChaosReport:
+    def test_ok_reflects_violations(self):
+        report = ChaosReport(seed=0, makespan=1.0)
+        assert report.ok
+        report.violations.append("boom")
+        assert not report.ok

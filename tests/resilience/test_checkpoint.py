@@ -1,0 +1,120 @@
+"""Checkpoint/restart: arithmetic, policy, and execution integration."""
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent, FailureInjector
+from repro.resilience import (
+    CheckpointPolicy,
+    checkpoints_remaining,
+    preserved_work,
+)
+from repro.scheduling import ClusterScheduler
+from repro.selfaware import RecoveryPlanner
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+class TestCheckpointArithmetic:
+    def test_checkpoints_remaining(self):
+        assert checkpoints_remaining(90.0, 30.0) == 2
+        assert checkpoints_remaining(30.0, 30.0) == 0
+        assert checkpoints_remaining(31.0, 30.0) == 1
+        assert checkpoints_remaining(0.0, 30.0) == 0
+        with pytest.raises(ValueError):
+            checkpoints_remaining(10.0, 0.0)
+
+    def test_preserved_work(self):
+        assert preserved_work(47.0, 15.0, 100.0) == 45.0
+        assert preserved_work(14.9, 15.0, 100.0) == 0.0
+        assert preserved_work(100.0, 30.0, 100.0) == 90.0
+        with pytest.raises(ValueError):
+            preserved_work(10.0, 0.0, 100.0)
+
+
+class TestCheckpointPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(interval=0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(interval=10.0, overhead=-1.0)
+
+    def test_stamps_only_long_tasks(self):
+        policy = CheckpointPolicy(interval=30.0, overhead=1.0)
+        long_task = Task(runtime=100.0)
+        short_task = Task(runtime=10.0)
+        assert policy.apply([long_task, short_task]) == 1
+        assert long_task.checkpoint_interval == 30.0
+        assert long_task.checkpoint_overhead == 1.0
+        assert short_task.checkpoint_interval is None
+
+
+class TestTaskProgress:
+    def test_record_progress_preserves_at_boundaries(self):
+        task = Task(runtime=100.0, checkpoint_interval=30.0)
+        preserved, lost = task.record_progress(47.0)
+        assert preserved == pytest.approx(30.0)
+        assert lost == pytest.approx(17.0)
+        assert task.checkpointed_work == pytest.approx(30.0)
+        assert task.remaining_work == pytest.approx(70.0)
+
+    def test_without_checkpointing_everything_is_lost(self):
+        task = Task(runtime=100.0)
+        preserved, lost = task.record_progress(47.0)
+        assert preserved == 0.0
+        assert lost == pytest.approx(47.0)
+
+    def test_retry_keeps_checkpointed_work(self):
+        task = Task(runtime=100.0, checkpoint_interval=30.0)
+        task.start(0.0, "m")
+        task.record_progress(65.0)
+        task.fail(65.0)
+        task.reset_for_retry()
+        assert task.checkpointed_work == pytest.approx(60.0)
+        assert task.remaining_work == pytest.approx(40.0)
+
+
+class TestExecutionIntegration:
+    def build(self, task):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster(
+            "c", 1, MachineSpec(cores=4))])
+        scheduler = ClusterScheduler(sim, dc)
+        scheduler.submit(task)
+        return sim, dc, scheduler
+
+    def test_interrupted_task_restarts_from_checkpoint(self):
+        task = Task(runtime=100.0, cores=1, checkpoint_interval=20.0)
+        sim, dc, scheduler = self.build(task)
+        RecoveryPlanner(scheduler, max_retries=1)
+        FailureInjector(sim, dc, [FailureEvent(50.0, ("c-m0",), 10.0)])
+        sim.run()
+        assert task.state is TaskState.FINISHED
+        # 40s checkpointed at the failure; the retry served only the
+        # remaining 60s: finish = 60 (repair) + 60.
+        assert task.finish_time == pytest.approx(120.0)
+        assert dc.preserved_core_seconds == pytest.approx(40.0)
+        assert dc.wasted_core_seconds == pytest.approx(10.0)
+        # Strictly less than one interval lost.
+        (_, lost), = dc.execution_losses
+        assert lost < 20.0
+
+    def test_loss_never_exceeds_interval(self):
+        task = Task(runtime=100.0, cores=1, checkpoint_interval=15.0)
+        sim, dc, scheduler = self.build(task)
+        RecoveryPlanner(scheduler, max_retries=3)
+        FailureInjector(sim, dc, [FailureEvent(37.0, ("c-m0",), 5.0),
+                                  FailureEvent(80.0, ("c-m0",), 5.0)])
+        sim.run()
+        assert task.state is TaskState.FINISHED
+        assert dc.execution_losses
+        for _, lost in dc.execution_losses:
+            assert lost < 15.0 + 1e-9
+
+    def test_checkpoint_overhead_extends_service_time(self):
+        task = Task(runtime=90.0, cores=1, checkpoint_interval=30.0,
+                    checkpoint_overhead=2.0)
+        sim, dc, scheduler = self.build(task)
+        sim.run()
+        # Two checkpoints written (at 30 and 60), 2s each.
+        assert task.finish_time == pytest.approx(94.0)

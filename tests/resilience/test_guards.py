@@ -1,0 +1,162 @@
+"""Breaker/deadline/fallback guards on FaaS calls and federation offloads."""
+
+import pytest
+
+from repro.datacenter import (
+    Datacenter,
+    Federation,
+    MachineSpec,
+    homogeneous_cluster,
+)
+from repro.faas import FaaSPlatform, FunctionSpec, ResilientInvoker
+from repro.resilience import BreakerState, CircuitBreaker
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+class TestResilientInvoker:
+    def build(self, **kwargs):
+        sim = Simulator()
+        platform = FaaSPlatform(sim, concurrency=4)
+        platform.deploy(FunctionSpec("f", mean_runtime=10.0, cold_start=0.0))
+        return sim, platform, ResilientInvoker(platform, **kwargs)
+
+    def test_validation(self):
+        sim = Simulator()
+        platform = FaaSPlatform(sim)
+        with pytest.raises(ValueError):
+            ResilientInvoker(platform, deadline=0.0)
+        with pytest.raises(ValueError):
+            ResilientInvoker(platform, fallback_runtime=-1.0)
+
+    def test_fast_call_succeeds(self):
+        sim, platform, invoker = self.build(deadline=20.0)
+        call = invoker.invoke("f")
+        result = sim.run(until=call)
+        assert not result.fallback
+        assert result.latency == pytest.approx(10.0)
+        assert invoker.successes == 1
+
+    def test_deadline_cancels_slow_call(self):
+        sim, platform, invoker = self.build(deadline=5.0,
+                                            fallback_runtime=0.5)
+        call = invoker.invoke("f")
+        result = sim.run(until=call)
+        assert result.fallback
+        assert result.timed_out
+        assert result.finish_time == pytest.approx(5.5)
+        assert invoker.timeouts == 1
+        # The cancelled platform invocation never completed.
+        sim.run()
+        assert len(platform.invocations) == 0
+
+    def test_breaker_opens_and_rejects_without_touching_platform(self):
+        sim = Simulator()
+        platform = FaaSPlatform(sim, concurrency=4)
+        platform.deploy(FunctionSpec("f", mean_runtime=10.0, cold_start=0.0))
+        breaker = CircuitBreaker(sim, failure_threshold=2,
+                                 recovery_timeout=60.0)
+        invoker = ResilientInvoker(platform, breaker=breaker, deadline=1.0,
+                                   fallback_runtime=0.0)
+
+        def scenario():
+            first = yield invoker.invoke("f")
+            second = yield invoker.invoke("f")
+            assert first.timed_out and second.timed_out
+            assert breaker.state is BreakerState.OPEN
+            third = yield invoker.invoke("f")
+            assert third.fallback and not third.timed_out
+            return third
+
+        done = sim.process(scenario())
+        sim.run(until=done)
+        sim.run()
+        assert invoker.timeouts == 2
+        assert invoker.rejections == 1
+        assert breaker.calls_rejected >= 1
+
+    def test_statistics(self):
+        sim, platform, invoker = self.build(deadline=5.0)
+        invoker.invoke("f", runtime=1.0)
+        invoker.invoke("f", runtime=30.0)
+        sim.run()
+        stats = invoker.statistics()
+        assert stats["calls"] == 2.0
+        assert stats["successes"] == 1.0
+        assert stats["timeouts"] == 1.0
+        assert stats["fallback_fraction"] == pytest.approx(0.5)
+
+
+class TestGuardedFederation:
+    def build(self, policy, **kwargs):
+        sim = Simulator()
+        home = Datacenter(sim, [homogeneous_cluster(
+            "h", 1, MachineSpec(cores=2))], name="home")
+        peer = Datacenter(sim, [homogeneous_cluster(
+            "p", 1, MachineSpec(cores=2))], name="peer")
+        fed = Federation(sim, [home, peer],
+                         latency={("home", "peer"): 1.0},
+                         policy=policy, **kwargs)
+        return sim, home, peer, fed
+
+    def test_validation(self):
+        sim = Simulator()
+        home = Datacenter(sim, [homogeneous_cluster("h", 1)], name="home")
+        with pytest.raises(ValueError):
+            Federation(sim, [home], offload_deadline=0.0)
+        with pytest.raises(ValueError):
+            Federation(sim, [home], peer_breakers={"ghost": object()})
+
+    def test_open_breaker_vetoes_offload(self):
+        # An always-offload policy with an open peer breaker: the task
+        # must run at home anyway.
+        def always_peer(home, peers, task):
+            return peers[0]
+
+        sim, home, peer, fed = self.build(always_peer)
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 recovery_timeout=1000.0)
+        fed.peer_breakers["peer"] = breaker
+        breaker.record_failure()
+        task = Task(runtime=10.0, cores=2)
+        fed.submit(task, "home")
+        sim.run()
+        assert task.state is TaskState.FINISHED
+        assert task.machine == "h-m0"
+        assert fed.offloads_rejected == 1
+        assert fed.offloaded_tasks == 0
+
+    def test_remote_success_feeds_breaker(self):
+        def always_peer(home, peers, task):
+            return peers[0]
+
+        sim, home, peer, fed = self.build(always_peer)
+        breaker = CircuitBreaker(sim, failure_threshold=1)
+        fed.peer_breakers["peer"] = breaker
+        task = Task(runtime=10.0, cores=2)
+        fed.submit(task, "home")
+        sim.run()
+        assert task.state is TaskState.FINISHED
+        assert task.machine == "p-m0"
+        assert breaker.state is BreakerState.CLOSED
+        assert fed.offloaded_tasks == 1
+
+    def test_deadline_recalls_stuck_offload(self):
+        def always_peer(home, peers, task):
+            return peers[0]
+
+        sim, home, peer, fed = self.build(always_peer,
+                                          offload_deadline=5.0)
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 recovery_timeout=1000.0)
+        fed.peer_breakers["peer"] = breaker
+        # Saturate the peer so the delegated task cannot start there.
+        blocker = Task(runtime=1000.0, cores=2, name="blocker")
+        peer.execute(blocker, peer.machines()[0])
+        task = Task(runtime=10.0, cores=2)
+        fed.submit(task, "home")
+        sim.run(until=50.0)
+        assert task.state is TaskState.FINISHED
+        assert task.machine == "h-m0"
+        assert fed.offload_fallbacks == 1
+        assert breaker.state is BreakerState.OPEN

@@ -1,0 +1,127 @@
+"""Unit tests for retry policies, sessions, and retry budgets."""
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    ExponentialBackoff,
+    FixedBackoff,
+    NoRetry,
+    RetryBudget,
+)
+
+
+class TestRetryPolicyValidation:
+    def test_max_attempts_bounds(self):
+        with pytest.raises(ValueError):
+            FixedBackoff(max_attempts=0)
+        with pytest.raises(ValueError):
+            FixedBackoff(delay=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=10.0, cap=5.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(multiplier=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter="bogus")
+
+    def test_max_retries_is_attempts_minus_one(self):
+        assert NoRetry().max_retries == 0
+        assert FixedBackoff(max_attempts=4).max_retries == 3
+
+
+class TestNoRetry:
+    def test_session_exhausted_immediately(self):
+        session = NoRetry().session()
+        assert session.exhausted
+        assert session.next_delay() is None
+        assert session.retries == 0
+
+
+class TestFixedBackoff:
+    def test_constant_delays_until_budget_spent(self):
+        session = FixedBackoff(max_attempts=3, delay=2.5).session()
+        assert session.next_delay() == 2.5
+        assert session.next_delay() == 2.5
+        assert session.next_delay() is None
+        assert session.retries == 2
+        assert session.exhausted
+
+
+class TestExponentialBackoff:
+    def test_deterministic_schedule(self):
+        policy = ExponentialBackoff(max_attempts=5, base=1.0, cap=60.0,
+                                    multiplier=2.0)
+        session = policy.session()
+        assert [session.next_delay() for _ in range(4)] == [1.0, 2.0, 4.0, 8.0]
+        assert session.next_delay() is None
+
+    def test_cap_limits_growth(self):
+        policy = ExponentialBackoff(max_attempts=10, base=1.0, cap=5.0)
+        session = policy.session()
+        delays = [session.next_delay() for _ in range(9)]
+        assert max(delays) == 5.0
+
+    def test_jitter_requires_rng(self):
+        session = ExponentialBackoff(jitter="full").session()
+        with pytest.raises(ValueError):
+            session.next_delay()
+
+    def test_full_jitter_within_envelope(self):
+        policy = ExponentialBackoff(max_attempts=6, base=1.0, cap=60.0,
+                                    jitter="full")
+        session = policy.session(random.Random(1))
+        for retry_number in range(1, 6):
+            delay = session.next_delay()
+            assert 0.0 <= delay <= 2.0 ** (retry_number - 1)
+
+    def test_decorrelated_jitter_bounded_by_base_and_cap(self):
+        policy = ExponentialBackoff(max_attempts=50, base=1.0, cap=10.0,
+                                    jitter="decorrelated")
+        session = policy.session(random.Random(2))
+        while (delay := session.next_delay()) is not None:
+            assert 1.0 <= delay <= 10.0
+
+    def test_jittered_delays_reproducible_per_seed(self):
+        policy = ExponentialBackoff(max_attempts=6, jitter="decorrelated")
+        first = [policy.session(random.Random(3)).next_delay()
+                 for _ in range(5)]
+        second = [policy.session(random.Random(3)).next_delay()
+                  for _ in range(5)]
+        assert first == second
+
+
+class TestRetryBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(max_tokens=0.0)
+
+    def test_deposits_fund_retries(self):
+        budget = RetryBudget(ratio=0.5, initial=0.0)
+        assert not budget.try_spend()
+        budget.record_attempt()
+        budget.record_attempt()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.granted == 1
+        assert budget.denied == 2
+
+    def test_tokens_capped(self):
+        budget = RetryBudget(ratio=1.0, initial=0.0, max_tokens=3.0)
+        for _ in range(10):
+            budget.record_attempt()
+        assert budget.tokens == 3.0
+
+    def test_storm_is_throttled(self):
+        # 100 first attempts at ratio 0.1 fund only ~20 retries
+        # (10 initial + 10 deposited), not the 100 a correlated burst
+        # would otherwise unleash.
+        budget = RetryBudget(ratio=0.1, initial=10.0)
+        for _ in range(100):
+            budget.record_attempt()
+        granted = sum(1 for _ in range(100) if budget.try_spend())
+        assert granted == 20

@@ -1,0 +1,79 @@
+"""Load-shedding admission control and its scheduler integration."""
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.resilience import LoadSheddingAdmission
+from repro.scheduling import ClusterScheduler
+from repro.sim import Simulator
+from repro.workload import Task, TaskState
+
+
+def build(threshold=0.9, shed_below=0, degrade_below=None,
+          degrade_factor=0.5):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster("c", 1, MachineSpec(cores=4))])
+    admission = LoadSheddingAdmission(
+        dc, threshold=threshold, shed_below=shed_below,
+        degrade_below=degrade_below, degrade_factor=degrade_factor)
+    scheduler = ClusterScheduler(sim, dc, admission=admission)
+    return sim, dc, admission, scheduler
+
+
+class TestLoadSheddingAdmission:
+    def test_validation(self):
+        sim = Simulator()
+        dc = Datacenter(sim, [homogeneous_cluster("c", 1)])
+        with pytest.raises(ValueError):
+            LoadSheddingAdmission(dc, threshold=1.5)
+        with pytest.raises(ValueError):
+            LoadSheddingAdmission(dc, shed_below=2, degrade_below=1)
+        with pytest.raises(ValueError):
+            LoadSheddingAdmission(dc, degrade_factor=0.0)
+
+    def test_admits_everything_when_underloaded(self):
+        _, _, admission, _ = build(threshold=0.9, shed_below=10)
+        task = Task(runtime=1.0, priority=0)
+        assert admission.admit(task)
+        assert not admission.shed
+
+    def test_sheds_low_priority_when_overloaded(self):
+        sim, dc, admission, scheduler = build(threshold=0.9, shed_below=1)
+        scheduler.submit(Task(runtime=100.0, cores=4, priority=5,
+                              name="hog"))
+        low = Task(runtime=10.0, priority=0, name="low")
+        high = Task(runtime=10.0, priority=1, name="high")
+
+        def late_arrivals():
+            yield sim.timeout(5.0)  # the hog now occupies all cores
+            scheduler.submit(low)
+            scheduler.submit(high)
+
+        sim.process(late_arrivals())
+        sim.run()
+        assert low.state is TaskState.SHED
+        assert low in scheduler.shed_tasks
+        assert high.state is TaskState.FINISHED
+        stats = admission.statistics()
+        assert stats["shed"] == 1.0
+        assert stats["admitted"] == 2.0
+        assert 0.0 < stats["shed_fraction"] < 1.0
+
+    def test_degrades_mid_priority_when_overloaded(self):
+        sim, dc, admission, scheduler = build(
+            threshold=0.9, shed_below=1, degrade_below=3,
+            degrade_factor=0.5)
+        scheduler.submit(Task(runtime=50.0, cores=4, priority=5))
+        mid = Task(runtime=40.0, priority=2, name="mid")
+
+        def late_arrival():
+            yield sim.timeout(5.0)
+            scheduler.submit(mid)
+
+        sim.process(late_arrival())
+        sim.run()
+        assert mid.degraded
+        assert mid.runtime == pytest.approx(20.0)
+        assert mid.state is TaskState.FINISHED
+        assert mid.finish_time == pytest.approx(70.0)  # 50 + 20
+        assert admission.statistics()["degraded"] == 1.0

@@ -1,0 +1,101 @@
+"""Bounded workflow retries and terminal WorkflowFailed semantics."""
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent, FailureInjector
+from repro.resilience import ExponentialBackoff, FixedBackoff
+from repro.scheduling import ClusterScheduler, WorkflowEngine, WorkflowFailed
+from repro.sim import RandomStreams, Simulator
+from repro.workload import Task, TaskState
+from repro.workload.workflow import Workflow
+
+
+def build(events=()):
+    sim = Simulator()
+    dc = Datacenter(sim, [homogeneous_cluster("c", 1, MachineSpec(cores=4))])
+    scheduler = ClusterScheduler(sim, dc)
+    injector = FailureInjector(sim, dc, list(events)) if events else None
+    return sim, dc, scheduler, injector
+
+
+def one_task_workflow(runtime):
+    wf = Workflow("wf")
+    task = wf.add_task(Task(runtime=runtime, cores=1, name="only"))
+    return wf, task
+
+
+class TestBoundedRetries:
+    def test_recovers_within_budget(self):
+        sim, dc, scheduler, _ = build(
+            events=[FailureEvent(5.0, ("c-m0",), 1.0)])
+        engine = WorkflowEngine(sim, scheduler)
+        wf, task = one_task_workflow(runtime=10.0)
+        done = engine.submit(wf)
+        result = sim.run(until=done)
+        assert result is wf
+        assert task.state is TaskState.FINISHED
+        assert task.attempts == 2
+        assert not engine.failed
+
+    def test_backoff_delays_resubmission(self):
+        sim, dc, scheduler, _ = build(
+            events=[FailureEvent(5.0, ("c-m0",), 1.0)])
+        engine = WorkflowEngine(sim, scheduler,
+                                retry_policy=FixedBackoff(max_attempts=2,
+                                                          delay=10.0))
+        wf, task = one_task_workflow(runtime=10.0)
+        done = engine.submit(wf)
+        sim.run(until=done)
+        # Failed at 5, resubmitted at 15, served 10s.
+        assert task.finish_time == pytest.approx(25.0)
+
+    def test_exhausted_budget_fails_workflow_terminally(self):
+        # The machine dies during every attempt: default policy allows
+        # 3 attempts (2 retries), then the workflow fails for good.
+        sim, dc, scheduler, _ = build(
+            events=[FailureEvent(5.0, ("c-m0",), 1.0),
+                    FailureEvent(20.0, ("c-m0",), 1.0),
+                    FailureEvent(40.0, ("c-m0",), 1.0)])
+        engine = WorkflowEngine(sim, scheduler)
+        wf, task = one_task_workflow(runtime=30.0)
+        done = engine.submit(wf)
+        with pytest.raises(WorkflowFailed) as exc_info:
+            sim.run(until=done)
+        assert exc_info.value.workflow is wf
+        assert exc_info.value.task is task
+        assert engine.failed == {wf: task}
+        assert engine.active_workflows == 0
+        # The retry budget was respected exactly: 3 attempts, no more.
+        assert task.attempts == 3
+        sim.run()  # the defused event does not crash a draining run
+        assert task.state is TaskState.FAILED
+
+    def test_failed_workflow_withdraws_queued_siblings(self):
+        sim, dc, scheduler, _ = build(
+            events=[FailureEvent(5.0, ("c-m0",), 100.0)])
+        engine = WorkflowEngine(
+            sim, scheduler, retry_policy=FixedBackoff(max_attempts=1))
+        wf = Workflow("wide")
+        doomed = wf.add_task(Task(runtime=30.0, cores=4, name="doomed"))
+        queued = wf.add_task(Task(runtime=5.0, cores=4, name="queued"))
+        engine.submit(wf)
+        sim.run()
+        assert wf in engine.failed
+        assert queued not in scheduler.queue
+
+    def test_jittered_retries_reproducible_with_streams(self):
+        def run_once():
+            sim, dc, scheduler, _ = build(
+                events=[FailureEvent(5.0, ("c-m0",), 1.0)])
+            engine = WorkflowEngine(
+                sim, scheduler,
+                retry_policy=ExponentialBackoff(max_attempts=4, base=1.0,
+                                                jitter="decorrelated"),
+                streams=RandomStreams(42))
+            wf, task = one_task_workflow(runtime=10.0)
+            done = engine.submit(wf)
+            sim.run(until=done)
+            return task.finish_time
+
+        assert run_once() == run_once()

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.datacenter import Machine, MachineKind, MachineSpec
 from repro.scheduling import (

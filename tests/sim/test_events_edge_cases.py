@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator
+from repro.sim import AllOf, Interrupt, SimulationError, Simulator
 
 
 def test_all_of_fails_when_any_child_fails():
