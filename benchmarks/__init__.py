@@ -1,0 +1,1 @@
+"""Benchmarks package: paper-reproduction benches and the perf harness."""

@@ -1,0 +1,8 @@
+"""Performance-benchmark harness for the simulator hot paths.
+
+Measures the discrete-event core, the cluster-scheduling pipeline, and
+CSR graph construction, and emits machine-readable results for
+``BENCH_sim_core.json``.  Every scenario is seeded and also produces a
+*determinism digest* so optimizations can be checked for bit-identical
+behavior, not just speed.  See ``docs/PERFORMANCE.md``.
+"""

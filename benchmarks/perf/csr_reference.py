@@ -1,0 +1,43 @@
+"""Frozen reference implementation of CSR construction.
+
+This is the original per-edge Python loop that
+:class:`repro.graphproc.csr.CSRGraph` shipped with, kept verbatim so
+the harness can measure the vectorized implementation's speedup on the
+*same machine* in the *same run* — a ratio that is meaningful on any
+host, unlike absolute wall-clock numbers.  Do not "optimize" this file;
+its slowness is the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy
+
+from repro.graphproc.graph import Graph
+
+__all__ = ["reference_csr_arrays"]
+
+
+def reference_csr_arrays(
+        graph: Graph) -> tuple[numpy.ndarray, numpy.ndarray, numpy.ndarray]:
+    """Build (indptr, indices, weights) with the original per-edge loop."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        raise ValueError("empty graph")
+    index_of = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    degrees = numpy.zeros(n + 1, dtype=numpy.int64)
+    for v in vertices:
+        degrees[index_of[v] + 1] = graph.degree(v)
+    indptr = numpy.cumsum(degrees)
+    m = int(indptr[-1])
+    indices = numpy.empty(m, dtype=numpy.int64)
+    weights = numpy.empty(m, dtype=numpy.float64)
+    cursor = indptr[:-1].copy()
+    for v in vertices:
+        i = index_of[v]
+        for u, w in graph.neighbors(v).items():
+            position = cursor[i]
+            indices[position] = index_of[u]
+            weights[position] = w
+            cursor[i] += 1
+    return indptr, indices, weights

@@ -1,0 +1,320 @@
+"""Seeded benchmark scenarios over the simulator's hot paths.
+
+Each scenario exposes two entry points:
+
+- ``run_*`` — build and execute the scenario once, returning timing
+  metrics (used for the perf trajectory);
+- ``digest_*`` — execute the scenario under instrumentation and return
+  a determinism digest: a JSON-able record of the *outcome* (event
+  trace, statistics, report fields, array hashes) that must stay
+  bit-identical across behavior-preserving optimizations.
+
+All randomness derives from :class:`repro.sim.RandomStreams`
+substreams of an explicit seed, so every run of a scenario at a given
+size is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent
+from repro.graphproc.csr import CSRGraph, pagerank_csr
+from repro.graphproc.graph import Graph, preferential_attachment_graph
+from repro.resilience import ChaosExperiment, CheckpointPolicy, HedgePolicy
+from repro.scheduling import ClusterScheduler
+from repro.sim import RandomStreams, Simulator
+from repro.workload import Task
+
+from .harness import best_of, digest, digest_floats
+
+__all__ = [
+    "SIZES",
+    "make_scheduling_tasks",
+    "run_scheduling",
+    "digest_scheduling",
+    "run_event_core",
+    "digest_event_core",
+    "run_csr_build",
+    "digest_csr",
+    "run_chaos",
+    "digest_chaos",
+]
+
+#: Scenario sizes per harness mode.  ``full`` backs the headline
+#: numbers in BENCH_sim_core.json; ``smoke`` is the CI regression
+#: check; ``golden`` is small enough for the tier-1 determinism tests.
+SIZES = {
+    "full": {
+        "sched_tasks": 10_000, "sched_machines": 1_000,
+        "event_count": 200_000,
+        "csr_vertices": 25_000, "csr_degree": 4,
+    },
+    # Smoke sizes are chosen so every scenario takes a few hundred ms
+    # *after* optimization: much smaller and best-of-N wall times get
+    # noisy enough to trip the CI tolerance on a quiet regression-free
+    # run.
+    "smoke": {
+        "sched_tasks": 2_500, "sched_machines": 256,
+        "event_count": 150_000,
+        "csr_vertices": 8_000, "csr_degree": 4,
+    },
+    "golden": {
+        "sched_tasks": 400, "sched_machines": 64,
+        "event_count": 10_000,
+        "csr_vertices": 1_200, "csr_degree": 3,
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Scheduling pipeline: submission -> queue -> placement -> execution
+# ---------------------------------------------------------------------------
+def make_scheduling_tasks(n_tasks: int, total_cores: int,
+                          seed: int = 0, load: float = 0.9) -> list[Task]:
+    """A seeded open-arrival workload targeting ``load`` utilization."""
+    rng = RandomStreams(seed).stream("perf-workload")
+    mean_demand = 4.5 * 100.0  # E[cores] * E[runtime] core-seconds
+    rate = load * total_cores / mean_demand
+    now = 0.0
+    tasks = []
+    for i in range(n_tasks):
+        now += rng.expovariate(rate)
+        cores = rng.randint(1, 8)
+        tasks.append(Task(runtime=rng.uniform(5.0, 195.0), cores=cores,
+                          memory=2.0 * cores, submit_time=now,
+                          name=f"perf-{i}"))
+    return tasks
+
+
+def _build_scheduling(n_tasks: int, n_machines: int,
+                      seed: int) -> tuple[Simulator, Datacenter,
+                                          ClusterScheduler]:
+    sim = Simulator()
+    cluster = homogeneous_cluster(
+        "perf", n_machines, MachineSpec(cores=8, memory=32.0),
+        machines_per_rack=32)
+    datacenter = Datacenter(sim, [cluster], name="perf-dc")
+    scheduler = ClusterScheduler(sim, datacenter)
+    tasks = make_scheduling_tasks(n_tasks, datacenter.total_cores, seed=seed)
+
+    def arrivals():
+        for task in tasks:
+            delay = task.submit_time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            scheduler.submit(task)
+
+    sim.process(arrivals(), name="perf-arrivals")
+    return sim, datacenter, scheduler
+
+
+def run_scheduling(n_tasks: int, n_machines: int,
+                   seed: int = 0) -> dict[str, float]:
+    """Time one end-to-end scheduling run; returns flat metrics."""
+    sim, datacenter, scheduler = _build_scheduling(n_tasks, n_machines, seed)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    scheduler.stop()
+    return {
+        "elapsed_s": elapsed,
+        "events_processed": float(sim.events_processed),
+        "events_per_sec": sim.events_processed / elapsed if elapsed else 0.0,
+        "tasks_completed": float(len(scheduler.completed)),
+        "sim_time": sim.now,
+    }
+
+
+def _scheduling_outcome(sim: Simulator, datacenter: Datacenter,
+                        scheduler: ClusterScheduler,
+                        trace: Sequence[float]) -> dict:
+    return {
+        "statistics": scheduler.statistics(),
+        "makespan": scheduler.makespan(),
+        "completed": len(scheduler.completed),
+        "failed_executions": datacenter.failed_executions,
+        "energy_joules": datacenter.total_energy_joules(),
+        "mean_utilization": datacenter.mean_utilization(),
+        "events_processed": sim.events_processed,
+        "sim_time": sim.now,
+        "event_trace_len": len(trace),
+        "event_trace_sha": digest_floats(trace),
+    }
+
+
+def digest_scheduling(n_tasks: int, n_machines: int, seed: int = 0) -> dict:
+    """Run under step-level instrumentation; digest the full outcome.
+
+    The event-time trace pins the simulator's exact event ordering:
+    any change to when (or how many) events fire changes the digest.
+    """
+    sim, datacenter, scheduler = _build_scheduling(n_tasks, n_machines, seed)
+    trace: list[float] = []
+    record = trace.append
+    while sim.peek() != float("inf"):
+        sim.step()
+        record(sim.now)
+    scheduler.stop()
+    outcome = _scheduling_outcome(sim, datacenter, scheduler, trace)
+    outcome["sha"] = digest(outcome)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Event core: timeout-driven process churn
+# ---------------------------------------------------------------------------
+def _build_event_core(event_count: int, seed: int = 0) -> Simulator:
+    sim = Simulator()
+    rng = RandomStreams(seed).stream("perf-events")
+    n_processes = 50
+    per_process = event_count // n_processes
+
+    def ticker(delays):
+        for delay in delays:
+            yield sim.timeout(delay)
+
+    for _ in range(n_processes):
+        delays = [rng.uniform(0.01, 10.0) for _ in range(per_process)]
+        sim.process(ticker(delays), name="perf-ticker")
+    return sim
+
+
+def run_event_core(event_count: int, seed: int = 0) -> dict[str, float]:
+    """Time a pure timeout/process workload; the kernel's floor cost."""
+    sim = _build_event_core(event_count, seed)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": elapsed,
+        "events_processed": float(sim.events_processed),
+        "events_per_sec": sim.events_processed / elapsed if elapsed else 0.0,
+    }
+
+
+def digest_event_core(event_count: int, seed: int = 0) -> dict:
+    """Step-driven digest of the event core's exact timing sequence."""
+    sim = _build_event_core(event_count, seed)
+    trace: list[float] = []
+    record = trace.append
+    while sim.peek() != float("inf"):
+        sim.step()
+        record(sim.now)
+    outcome = {
+        "events_processed": sim.events_processed,
+        "sim_time": sim.now,
+        "event_trace_len": len(trace),
+        "event_trace_sha": digest_floats(trace),
+    }
+    outcome["sha"] = digest(outcome)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# CSR construction
+# ---------------------------------------------------------------------------
+def build_csr_graph(n_vertices: int, degree: int, seed: int = 0) -> Graph:
+    """A scale-free graph with roughly ``n_vertices * degree`` edges."""
+    rng = RandomStreams(seed).stream("perf-graph")
+    return preferential_attachment_graph(n_vertices, m=degree, rng=rng)
+
+
+def run_csr_build(n_vertices: int, degree: int, seed: int = 0,
+                  repeat: int = 3,
+                  with_reference: bool = True) -> dict[str, float]:
+    """Time CSR construction; optionally also the frozen reference loop.
+
+    The reference ratio (``speedup_vs_reference``) is machine-portable:
+    both implementations run back to back on the same host.
+    """
+    graph = build_csr_graph(n_vertices, degree, seed)
+    build_elapsed, csr = best_of(lambda: CSRGraph(graph), repeat=repeat)
+    metrics = {
+        "elapsed_s": build_elapsed,
+        "vertices": float(csr.vertex_count),
+        "directed_edges": float(csr.directed_edge_count),
+        "edges_per_sec": (csr.directed_edge_count / build_elapsed
+                          if build_elapsed else 0.0),
+    }
+    if with_reference:
+        from .csr_reference import reference_csr_arrays
+        ref_elapsed, _ = best_of(lambda: reference_csr_arrays(graph),
+                                 repeat=repeat)
+        metrics["reference_elapsed_s"] = ref_elapsed
+        metrics["speedup_vs_reference"] = (ref_elapsed / build_elapsed
+                                           if build_elapsed else 0.0)
+    return metrics
+
+
+def digest_csr(n_vertices: int, degree: int, seed: int = 0) -> dict:
+    """Digest the CSR arrays and a PageRank over them."""
+    graph = build_csr_graph(n_vertices, degree, seed)
+    csr = CSRGraph(graph)
+    ranks, ops = pagerank_csr(csr, iterations=10)
+    outcome = {
+        "vertices": csr.vertex_count,
+        "directed_edges": csr.directed_edge_count,
+        "indptr_sha": digest_floats([float(x) for x in csr.indptr]),
+        "indices_sha": digest_floats([float(x) for x in csr.indices]),
+        "weights_sha": digest_floats([float(x) for x in csr.weights]),
+        "pagerank_sha": digest_floats([ranks[v] for v in sorted(ranks)]),
+        "edges_scanned": ops.edges_scanned,
+    }
+    outcome["sha"] = digest(outcome)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Chaos experiment: resilience machinery end to end
+# ---------------------------------------------------------------------------
+def _make_chaos(seed: int = 11) -> ChaosExperiment:
+    def cluster():
+        return homogeneous_cluster("chaos", 24, MachineSpec(cores=4),
+                                   machines_per_rack=6)
+
+    def workload(streams):
+        rng = streams.stream("workload")
+        return [Task(runtime=rng.uniform(20.0, 150.0), cores=rng.randint(1, 3),
+                     submit_time=rng.uniform(0.0, 80.0), priority=i % 3,
+                     name=f"chaos-{i}")
+                for i in range(160)]
+
+    def failures(streams, racks, horizon):
+        rng = streams.stream("failures")
+        names = [name for rack in racks for name in rack]
+        events = []
+        for when in (70.0, 180.0, 320.0):
+            victims = tuple(sorted(rng.sample(names, k=6)))
+            events.append(FailureEvent(time=when, machine_names=victims,
+                                       duration=35.0))
+        return events
+
+    return ChaosExperiment(
+        cluster=cluster, workload=workload, failures=failures, seed=seed,
+        horizon=600.0,
+        checkpoint_policy=CheckpointPolicy(interval=20.0, overhead=0.5),
+        hedge_policy=HedgePolicy(delay_factor=2.5, min_runtime=40.0),
+        availability_slo=0.85, injection_jitter=3.0)
+
+
+def run_chaos(seed: int = 11) -> dict[str, float]:
+    """Time one chaos experiment (retries, checkpoints, hedges, repairs)."""
+    experiment = _make_chaos(seed)
+    start = time.perf_counter()
+    experiment.run()
+    elapsed = time.perf_counter() - start
+    return {"elapsed_s": elapsed}
+
+
+def digest_chaos(seed: int = 11) -> dict:
+    """Digest the full chaos report — every resilience counter."""
+    report = _make_chaos(seed).run()
+    outcome = {"summary": report.summary(),
+               "max_attempts_observed": report.max_attempts_observed,
+               "unrecovered_victims": report.unrecovered_victims,
+               "violations": list(report.violations)}
+    outcome["sha"] = digest(outcome)
+    return outcome

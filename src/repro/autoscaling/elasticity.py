@@ -46,10 +46,10 @@ class StepSeries:
     def change_times(self) -> list[float]:
         """Times at which the value actually changes."""
         changes = [self.times[0]]
-        for t, previous, current in zip(self.times[1:], self.values,
-                                        self.values[1:]):
-            if current != previous:
-                changes.append(t)
+        changes.extend(
+            t for t, previous, current in zip(self.times[1:], self.values,
+                                              self.values[1:])
+            if current != previous)
         return changes
 
     def segments(self, start: float, end: float) -> list[tuple[float, float, float]]:

@@ -82,12 +82,13 @@ class ComplianceChecker:
     def _check_open_apis(self, market: OpenBankingEcosystem,
                          report: ComplianceReport) -> None:
         report.checks_run += 1
-        for bank in market.non_compliant_banks():
-            report.violations.append(ComplianceViolation(
+        report.violations.extend(
+            ComplianceViolation(
                 regulation="PSD2",
                 subject=bank,
                 description="bank has not opened its payment API to any "
-                            "third party"))
+                            "third party")
+            for bank in market.non_compliant_banks())
 
     # ------------------------------------------------------------------
     # PSD2: clearing deadlines
@@ -136,16 +137,15 @@ class ComplianceChecker:
         """
         permitted = {"amount", "submit_time", "deadline", "provider",
                      "status", "payment_id"}
-        violations = []
-        for field_name in accessed_fields:
-            if field_name not in permitted:
-                violations.append(ComplianceViolation(
-                    regulation="GDPR",
-                    subject=field_name,
-                    description=f"initiator accessed non-essential field "
-                                f"{field_name!r} on "
-                                f"{len(payments)} payments"))
-        return violations
+        return [
+            ComplianceViolation(
+                regulation="GDPR",
+                subject=field_name,
+                description=f"initiator accessed non-essential field "
+                            f"{field_name!r} on "
+                            f"{len(payments)} payments")
+            for field_name in accessed_fields
+            if field_name not in permitted]
 
     # ------------------------------------------------------------------
     # Basel-style stress test

@@ -145,7 +145,7 @@ def split_ecosystem(ecosystem: Ecosystem,
                 f"ambiguous constituent name {constituent.name!r}")
         by_name[constituent.name] = constituent
     assigned: set[str] = set()
-    for part_name, members in partition.items():
+    for members in partition.values():
         for member in members:
             if member not in by_name:
                 raise KeyError(f"unknown constituent {member!r}")

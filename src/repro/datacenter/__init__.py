@@ -6,6 +6,7 @@ accounting, the Figure 3 reference architecture, and federated
 multi-datacenter delegation (C10).
 """
 
+from .capacity import CapacityIndex
 from .cluster import Cluster, Rack, heterogeneous_cluster, homogeneous_cluster
 from .datacenter import Datacenter
 from .federation import (
@@ -35,6 +36,7 @@ __all__ = [
     "homogeneous_cluster",
     "heterogeneous_cluster",
     "Datacenter",
+    "CapacityIndex",
     "Federation",
     "OffloadDecision",
     "never_offload",

@@ -1,0 +1,213 @@
+"""Incremental capacity index over a datacenter topology.
+
+The placement hot path of a cluster scheduler asks two questions tens of
+thousands of times per simulated hour: *which machines are up?* and
+*which machines can fit this task?*  Answering them by rescanning the
+cluster/rack/machine tree is O(machines) per query and dominates
+large-scale runs.  :class:`CapacityIndex` answers both incrementally:
+
+- a flat, cached machine tuple (invalidated only on topology changes);
+- per-cluster free/used core counters maintained from machine watcher
+  notifications (O(1) per allocate/release, O(cluster) per
+  failure/repair, which are rare);
+- a :meth:`candidates` iterator that skips entire clusters whose free
+  cores cannot satisfy a task before touching any machine.
+
+The index is deliberately *order-preserving*: machines are always
+yielded in topology order (clusters, then racks, then mount order),
+exactly the order the old ``Datacenter.available_machines()`` scan
+produced, so placement decisions — and therefore whole simulations —
+stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..workload.task import Task
+from .cluster import Cluster
+from .machine import Machine
+
+__all__ = ["CapacityIndex"]
+
+
+class _ClusterEntry:
+    """Per-cluster aggregate counters plus the cached machine list."""
+
+    __slots__ = ("cluster", "machines", "free_cores", "used_cores",
+                 "total_cores")
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.machines: tuple[Machine, ...] = ()
+        self.free_cores = 0
+        self.used_cores = 0
+        self.total_cores = 0
+
+    def recount(self) -> None:
+        """Rebuild the machine list and counters from scratch."""
+        self.machines = tuple(self.cluster.machines())
+        free = 0
+        used = 0
+        total = 0
+        for machine in self.machines:
+            total += machine.spec.cores
+            used += machine._cores_used
+            if machine._available:
+                free += machine.spec.cores - machine._cores_used
+        self.free_cores = free
+        self.used_cores = used
+        self.total_cores = total
+
+
+class CapacityIndex:
+    """Watches machines and keeps datacenter-wide capacity aggregates.
+
+    The index subscribes itself as a watcher on every machine; machines
+    call back on every allocate/release (``machine_delta``) and on every
+    availability flip (``machine_availability``).  Topology changes
+    (racks/machines added after construction) are detected lazily via a
+    cheap machine-count check on each query.
+    """
+
+    def __init__(self, clusters: Sequence[Cluster]) -> None:
+        self.clusters = clusters
+        self._entries: list[_ClusterEntry] = []
+        self._by_cluster: dict[int, _ClusterEntry] = {}
+        self._machines: tuple[Machine, ...] = ()
+        self._machine_cluster: dict[str, _ClusterEntry] = {}
+        #: Bumped whenever the set of *available* machines may have
+        #: changed; lets callers cache availability-derived views.
+        self.availability_epoch = 0
+        self._available_cache: tuple[Machine, ...] | None = None
+        self._available_cache_epoch = -1
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Construction / topology maintenance
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Full re-index; called at construction and on topology growth."""
+        self._entries = []
+        self._by_cluster = {}
+        self._machine_cluster = {}
+        machines: list[Machine] = []
+        for cluster in self.clusters:
+            entry = _ClusterEntry(cluster)
+            entry.recount()
+            self._entries.append(entry)
+            self._by_cluster[id(cluster)] = entry
+            for machine in entry.machines:
+                machine.add_watcher(self)
+                self._machine_cluster[machine.name] = entry
+            machines.extend(entry.machines)
+        self._machines = tuple(machines)
+        self.availability_epoch += 1
+        self._available_cache = None
+
+    def _check_topology(self) -> None:
+        """Detect machines added since the last (re)build.
+
+        Topology only ever *grows* (racks and machines are added, never
+        removed), so a total-count comparison is a sufficient and cheap
+        staleness check.
+        """
+        count = 0
+        for cluster in self.clusters:
+            for rack in cluster.racks:
+                count += len(rack.machines)
+        if count != len(self._machines):
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Watcher callbacks (invoked by Machine)
+    # ------------------------------------------------------------------
+    def machine_delta(self, machine: Machine, cores_delta: int) -> None:
+        """An allocation changed by ``cores_delta`` cores on ``machine``."""
+        entry = self._machine_cluster.get(machine.name)
+        if entry is None:
+            return
+        entry.used_cores += cores_delta
+        if machine._available:
+            entry.free_cores -= cores_delta
+
+    def machine_availability(self, machine: Machine) -> None:
+        """``machine`` flipped availability (fail/repair/decommission)."""
+        entry = self._machine_cluster.get(machine.name)
+        if entry is not None:
+            entry.recount()
+        self.availability_epoch += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def machines(self) -> tuple[Machine, ...]:
+        """All machines in topology order (cached)."""
+        self._check_topology()
+        return self._machines
+
+    def available_machines(self) -> tuple[Machine, ...]:
+        """Machines that are up, in topology order (epoch-cached)."""
+        self._check_topology()
+        if self._available_cache_epoch != self.availability_epoch:
+            self._available_cache = tuple(
+                m for m in self._machines if m._available)
+            self._available_cache_epoch = self.availability_epoch
+        assert self._available_cache is not None
+        return self._available_cache
+
+    def used_cores_total(self) -> int:
+        """Cores currently allocated across the datacenter."""
+        self._check_topology()
+        return sum(entry.used_cores for entry in self._entries)
+
+    def total_cores(self) -> int:
+        """Installed cores across the datacenter (cached)."""
+        self._check_topology()
+        return sum(entry.total_cores for entry in self._entries)
+
+    def free_cores_total(self) -> int:
+        """Cores currently free on available machines."""
+        self._check_topology()
+        return sum(entry.free_cores for entry in self._entries)
+
+    def cluster_free_cores(self, cluster: Cluster) -> int:
+        """Free cores of one cluster (counter lookup, no scan)."""
+        self._check_topology()
+        entry = self._by_cluster.get(id(cluster))
+        return entry.free_cores if entry is not None else 0
+
+    def cluster_used_cores(self, cluster: Cluster) -> int:
+        """Used cores of one cluster (counter lookup, no scan)."""
+        self._check_topology()
+        entry = self._by_cluster.get(id(cluster))
+        return entry.used_cores if entry is not None else 0
+
+    def candidates(self, task: Task) -> Iterator[Machine]:
+        """Machines that can fit ``task`` right now, in topology order.
+
+        Equivalent to ``[m for m in available_machines() if
+        m.can_fit(task)]`` but skips whole clusters whose free-core
+        counter already rules them out.
+        """
+        self._check_topology()
+        cores = task.cores
+        memory = task.memory
+        for entry in self._entries:
+            if entry.free_cores < cores:
+                continue
+            for machine in entry.machines:
+                if machine._available:
+                    spec = machine.spec
+                    if (cores <= spec.cores - machine._cores_used
+                            and memory <= (spec.memory
+                                           - machine._alloc_memory
+                                           - machine._reserved_memory)
+                            + 1e-12):
+                        yield machine
+
+    def has_candidate(self, task: Task) -> bool:
+        """Whether at least one machine can fit ``task`` right now."""
+        for _ in self.candidates(task):
+            return True
+        return False

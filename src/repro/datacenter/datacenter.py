@@ -14,6 +14,7 @@ from typing import Sequence
 from ..core.entity import CollectiveFunction, Ecosystem, System
 from ..sim import Interrupt, Process, Simulator, TimeWeightedMonitor
 from ..workload.task import Task
+from .capacity import CapacityIndex
 from .cluster import Cluster
 from .machine import Machine
 
@@ -31,6 +32,9 @@ class Datacenter:
         self.name = name
         self.operator = operator
         self.clusters: list[Cluster] = list(clusters)
+        #: Incremental capacity aggregates; schedulers use it to probe
+        #: fitting machines without rescanning the topology.
+        self.capacity = CapacityIndex(self.clusters)
         self.used_cores = TimeWeightedMonitor(f"{name}.used_cores",
                                               start_time=sim.now)
         self.completed_tasks: list[Task] = []
@@ -52,25 +56,24 @@ class Datacenter:
     # Topology queries
     # ------------------------------------------------------------------
     def machines(self) -> list[Machine]:
-        """All machines across all clusters."""
-        return [m for cluster in self.clusters for m in cluster.machines()]
+        """All machines across all clusters (cached topology order)."""
+        return list(self.capacity.machines())
 
     def available_machines(self) -> list[Machine]:
-        """Machines that are up."""
-        return [m for m in self.machines() if m.available]
+        """Machines that are up (cached between availability changes)."""
+        return list(self.capacity.available_machines())
 
     @property
     def total_cores(self) -> int:
         """Total installed cores."""
-        return sum(c.total_cores for c in self.clusters)
+        return self.capacity.total_cores()
 
     def utilization(self) -> float:
         """Instantaneous aggregate core utilization in [0, 1]."""
-        total = self.total_cores
+        total = self.capacity.total_cores()
         if total == 0:
             return 0.0
-        used = sum(m.cores_used for m in self.machines())
-        return used / total
+        return self.capacity.used_cores_total() / total
 
     def mean_utilization(self) -> float:
         """Time-weighted mean utilization since the simulation start."""
@@ -155,7 +158,8 @@ class Datacenter:
         """Bring a failed machine back into service."""
         machine.account_energy(self.sim.now)
         machine.repair()
-        for callback in list(self.on_capacity_change):
+        # Copy first: callbacks may (un)register observers reentrantly.
+        for callback in tuple(self.on_capacity_change):
             callback()
 
     # ------------------------------------------------------------------
@@ -163,9 +167,12 @@ class Datacenter:
     # ------------------------------------------------------------------
     def total_energy_joules(self) -> float:
         """Energy consumed by all machines up to the current sim time."""
-        for machine in self.machines():
-            machine.account_energy(self.sim.now)
-        return sum(m.energy_joules for m in self.machines())
+        now = self.sim.now
+        total = 0.0
+        for machine in self.capacity.machines():
+            machine.account_energy(now)
+            total += machine.energy_joules
+        return total
 
     # ------------------------------------------------------------------
     # Ecosystem view (§2.1)

@@ -6,6 +6,14 @@ TPU, FPGA) — "this is different from the past, when datacenters were
 filled with similar hardware".  Each machine exposes capacity
 book-keeping (used by schedulers) and a linear power model (used by the
 energy accounting of C6's energy-proportionality problems).
+
+Capacity book-keeping is *incremental*: ``cores_used`` and
+``memory_used`` are counters maintained on allocate/release rather than
+sums over the allocation table, so schedulers can probe thousands of
+machines per round in O(1) each.  Machines also accept *watchers*
+(see :class:`repro.datacenter.capacity.CapacityIndex`) that are
+notified on every capacity or availability change, which lets
+datacenter-level indexes stay consistent without rescans.
 """
 
 from __future__ import annotations
@@ -70,16 +78,58 @@ class Machine:
     has consumed under the linear utilization-power model.
     """
 
+    __slots__ = ("name", "spec", "_allocations", "_memory_reservations",
+                 "_available", "_cores_used", "_alloc_memory",
+                 "_reserved_memory", "_watchers", "energy_joules",
+                 "_last_energy_time")
+
     def __init__(self, name: str, spec: MachineSpec = MachineSpec()) -> None:
         self.name = name
         self.spec = spec
         self._allocations: dict[Task, tuple[int, float]] = {}
         #: Named memory reservations by remote borrowers (scavenging).
         self._memory_reservations: dict[str, float] = {}
-        self.available = True
+        self._available = True
+        self._cores_used = 0
+        self._alloc_memory = 0.0
+        self._reserved_memory = 0.0
+        #: Capacity watchers (duck-typed: ``machine_delta(machine,
+        #: cores_delta)`` and ``machine_availability(machine)``).
+        self._watchers: list = []
         #: Accumulated energy in watt-seconds (joules).
         self.energy_joules = 0.0
         self._last_energy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Watchers (capacity indexes)
+    # ------------------------------------------------------------------
+    def add_watcher(self, watcher) -> None:
+        """Subscribe a capacity watcher (idempotent)."""
+        if watcher not in self._watchers:
+            self._watchers.append(watcher)
+
+    def _notify_delta(self, cores_delta: int) -> None:
+        for watcher in self._watchers:
+            watcher.machine_delta(self, cores_delta)
+
+    def _notify_availability(self) -> None:
+        for watcher in self._watchers:
+            watcher.machine_availability(self)
+
+    # ------------------------------------------------------------------
+    # Availability
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether the machine is up (False while failed/decommissioned)."""
+        return self._available
+
+    @available.setter
+    def available(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._available:
+            self._available = value
+            self._notify_availability()
 
     # ------------------------------------------------------------------
     # Capacity
@@ -87,32 +137,31 @@ class Machine:
     @property
     def cores_used(self) -> int:
         """Cores currently allocated."""
-        return sum(cores for cores, _ in self._allocations.values())
+        return self._cores_used
 
     @property
     def cores_free(self) -> int:
         """Cores currently free (0 when the machine is down)."""
-        if not self.available:
+        if not self._available:
             return 0
-        return self.spec.cores - self.cores_used
+        return self.spec.cores - self._cores_used
 
     @property
     def memory_used(self) -> float:
         """Memory currently allocated (local tasks + remote borrows), GiB."""
-        return (sum(mem for _, mem in self._allocations.values())
-                + sum(self._memory_reservations.values()))
+        return self._alloc_memory + self._reserved_memory
 
     @property
     def memory_free(self) -> float:
         """Memory currently free, GiB (0 when the machine is down)."""
-        if not self.available:
+        if not self._available:
             return 0.0
-        return self.spec.memory - self.memory_used
+        return self.spec.memory - (self._alloc_memory + self._reserved_memory)
 
     @property
     def utilization(self) -> float:
         """Core utilization in [0, 1]."""
-        return self.cores_used / self.spec.cores
+        return self._cores_used / self.spec.cores
 
     @property
     def running_tasks(self) -> list[Task]:
@@ -121,9 +170,12 @@ class Machine:
 
     def can_fit(self, task: Task) -> bool:
         """Whether the task's cores and memory fit right now."""
-        return (self.available
-                and task.cores <= self.cores_free
-                and task.memory <= self.memory_free + 1e-12)
+        if not self._available:
+            return False
+        spec = self.spec
+        return (task.cores <= spec.cores - self._cores_used
+                and task.memory <= (spec.memory - self._alloc_memory
+                                    - self._reserved_memory) + 1e-12)
 
     def allocate(self, task: Task) -> None:
         """Claim the task's cores and memory."""
@@ -133,12 +185,26 @@ class Machine:
         if task in self._allocations:
             raise RuntimeError(f"task {task.name} already allocated here")
         self._allocations[task] = (task.cores, task.memory)
+        self._cores_used += task.cores
+        self._alloc_memory += task.memory
+        if self._watchers:
+            self._notify_delta(task.cores)
 
     def release(self, task: Task) -> None:
         """Return the task's cores and memory."""
-        if task not in self._allocations:
+        allocation = self._allocations.pop(task, None)
+        if allocation is None:
             raise RuntimeError(f"task {task.name} holds no allocation here")
-        del self._allocations[task]
+        cores, memory = allocation
+        self._cores_used -= cores
+        self._alloc_memory -= memory
+        if not self._allocations:
+            # Re-anchor the float accumulator so incremental updates
+            # can never drift away from the exact recomputed sum.
+            self._cores_used = 0
+            self._alloc_memory = 0.0
+        if self._watchers:
+            self._notify_delta(-cores)
 
     def effective_runtime(self, task: Task) -> float:
         """Service time of the task on this machine's speed.
@@ -167,10 +233,15 @@ class Machine:
             raise RuntimeError(
                 f"machine {self.name} cannot lend {amount} GiB")
         self._memory_reservations[key] = amount
+        self._reserved_memory += amount
 
     def release_memory(self, key: str) -> None:
         """Return a lent reservation (idempotent on missing keys)."""
-        self._memory_reservations.pop(key, None)
+        amount = self._memory_reservations.pop(key, None)
+        if amount is not None:
+            self._reserved_memory -= amount
+            if not self._memory_reservations:
+                self._reserved_memory = 0.0
 
     # ------------------------------------------------------------------
     # Failures (S8 hooks)
@@ -179,7 +250,13 @@ class Machine:
         """Take the machine down; returns (and evicts) the victims."""
         victims = list(self._allocations)
         self._allocations.clear()
-        self.available = False
+        self._cores_used = 0
+        self._alloc_memory = 0.0
+        if self._available:
+            self._available = False
+            self._notify_availability()
+        elif self._watchers and victims:
+            self._notify_availability()
         return victims
 
     def repair(self) -> None:
@@ -191,7 +268,7 @@ class Machine:
     # ------------------------------------------------------------------
     def power_watts(self) -> float:
         """Instantaneous power draw under the linear model."""
-        if not self.available:
+        if not self._available:
             return 0.0
         spec = self.spec
         return spec.idle_watts + (spec.max_watts
@@ -210,4 +287,4 @@ class Machine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Machine {self.name} {self.spec.kind.value} "
-                f"{self.cores_used}/{self.spec.cores} cores>")
+                f"{self._cores_used}/{self.spec.cores} cores>")

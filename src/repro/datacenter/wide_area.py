@@ -110,9 +110,8 @@ class WideAreaAnalytics:
         """The accuracy/traffic trade-off curve across strategies."""
         results = [self.query_mean("aggregate"),
                    self.query_mean("full")]
-        for fraction in sample_fractions:
-            results.append(self.query_mean("sample",
-                                           sample_fraction=fraction))
+        results.extend(self.query_mean("sample", sample_fraction=fraction)
+                       for fraction in sample_fractions)
         return sorted(results, key=lambda r: r.bytes_transferred)
 
 

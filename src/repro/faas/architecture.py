@@ -128,14 +128,12 @@ def validate_platform_mapping(platform: str) -> list[str]:
     architecture = FaaSReferenceArchitecture()
     known_layers = {layer.number for layer in architecture}
     mapping = PLATFORM_MAPPINGS[platform]
-    problems = []
-    for component, layer in mapping.items():
-        if layer not in known_layers:
-            problems.append(f"component {component!r} maps to unknown "
-                            f"layer {layer}")
+    problems = [f"component {component!r} maps to unknown layer {layer}"
+                for component, layer in mapping.items()
+                if layer not in known_layers]
     covered = set(mapping.values())
-    for layer in architecture:
-        if layer.number not in covered:
-            problems.append(f"layer {layer.number} ({layer.name}) has no "
-                            f"component in {platform}")
+    problems.extend(
+        f"layer {layer.number} ({layer.name}) has no "
+        f"component in {platform}"
+        for layer in architecture if layer.number not in covered)
     return problems

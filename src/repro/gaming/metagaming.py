@@ -59,7 +59,7 @@ def implicit_social_network(matches: Sequence[Match],
             for b in roster[i + 1:]:
                 coplays[(a, b)] = coplays.get((a, b), 0) + 1
     graph = Graph(directed=False)
-    for player, index in players.items():
+    for index in players.values():
         graph.add_vertex(index)
     for (a, b), count in coplays.items():
         if count >= min_coplays:

@@ -11,6 +11,8 @@ this repository's own code.
 
 from __future__ import annotations
 
+from itertools import chain
+
 import numpy
 
 from .algorithms import OpCount
@@ -31,24 +33,42 @@ class CSRGraph:
         vertices = list(graph.vertices())
         if not vertices:
             raise ValueError("empty graph")
-        self.vertex_of = list(vertices)
-        self.index_of = {v: i for i, v in enumerate(vertices)}
+        self.vertex_of = vertices
+        self._index_of: dict | None = None
         n = len(vertices)
-        degrees = numpy.zeros(n + 1, dtype=numpy.int64)
-        for v in vertices:
-            degrees[self.index_of[v] + 1] = graph.degree(v)
-        self.indptr = numpy.cumsum(degrees)
+        # graph.vertices() iterates the adjacency dict, so its values
+        # are the per-vertex neighbor dicts in exactly index order and
+        # insertion order within each — one flattened sweep therefore
+        # yields every edge at its final CSR position, with no per-edge
+        # cursor arithmetic; the flattening itself runs in C iterators.
+        adjacency = graph._adjacency.values()
+        self.indptr = numpy.empty(n + 1, dtype=numpy.int64)
+        self.indptr[0] = 0
+        numpy.cumsum(numpy.fromiter(map(len, adjacency), dtype=numpy.int64,
+                                    count=n), out=self.indptr[1:])
         m = int(self.indptr[-1])
-        self.indices = numpy.empty(m, dtype=numpy.int64)
-        self.weights = numpy.empty(m, dtype=numpy.float64)
-        cursor = self.indptr[:-1].copy()
-        for v in vertices:
-            i = self.index_of[v]
-            for u, w in graph.neighbors(v).items():
-                position = cursor[i]
-                self.indices[position] = self.index_of[u]
-                self.weights[position] = w
-                cursor[i] += 1
+        # Fast path: when vertex ids are already the dense indices
+        # 0..n-1 (every built-in generator), the id->index map is the
+        # identity and the flattened targets fill the array directly,
+        # without materializing an intermediate list.
+        if vertices == list(range(n)):
+            self.indices = numpy.fromiter(chain.from_iterable(adjacency),
+                                          dtype=numpy.int64, count=m)
+        else:
+            index_of = self.index_of
+            self.indices = numpy.fromiter(
+                (index_of[u] for row in adjacency for u in row),
+                dtype=numpy.int64, count=m)
+        self.weights = numpy.fromiter(
+            chain.from_iterable(map(dict.values, adjacency)),
+            dtype=numpy.float64, count=m)
+
+    @property
+    def index_of(self) -> dict:
+        """Original-id -> CSR-position map (built on first use)."""
+        if self._index_of is None:
+            self._index_of = {v: i for i, v in enumerate(self.vertex_of)}
+        return self._index_of
 
     @property
     def vertex_count(self) -> int:

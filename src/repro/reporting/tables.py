@@ -33,8 +33,8 @@ def render_table(headers: Sequence[str],
         lines.append(title)
     lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append(separator)
-    for row in cells:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths))
+                 for row in cells)
     return "\n".join(lines)
 
 
@@ -59,8 +59,8 @@ def render_kv(pairs: Sequence[tuple[str, object]], title: str = "") -> str:
         raise ValueError("pairs must be non-empty")
     key_width = max(len(key) for key, _ in pairs)
     lines = [title] if title else []
-    for key, value in pairs:
-        lines.append(f"{key.ljust(key_width)} : {_fmt(value)}")
+    lines.extend(f"{key.ljust(key_width)} : {_fmt(value)}"
+                 for key, value in pairs)
     return "\n".join(lines)
 
 

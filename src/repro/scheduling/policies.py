@@ -39,6 +39,7 @@ __all__ = [
     "GreenestFit",
     "QUEUE_POLICIES",
     "PLACEMENT_POLICIES",
+    "incremental_sort_key",
 ]
 
 
@@ -282,6 +283,31 @@ class GreenestFit:
             return watts * machine.effective_runtime(task)
 
         return min(fitting, key=lambda m: (marginal_energy(m), m.name))
+
+
+#: Queue policies whose sort key is constant while a task waits.  For
+#: these the scheduler keeps the queue incrementally sorted (insort at
+#: submit) instead of re-sorting every round.  Each key must match the
+#: policy's ``order`` exactly — keys embed ``task_id``, so they are
+#: total orders and the incremental view is bit-identical to sorted().
+_INCREMENTAL_SORT_KEYS = {
+    FCFS: lambda t: (t.submit_time, t.task_id),
+    SJF: lambda t: (t.runtime, t.task_id),
+    LJF: lambda t: (-t.runtime, t.task_id),
+    EDF: lambda t: (t.deadline if t.deadline is not None else float("inf"),
+                    t.submit_time, t.task_id),
+    SmallestTaskFirst: lambda t: (t.cores, t.runtime, t.task_id),
+}
+
+
+def incremental_sort_key(policy: QueuePolicy):
+    """Time-invariant sort key of ``policy``, or ``None``.
+
+    ``None`` means the policy's order depends on mutable state (fair
+    share) or randomness, so the scheduler must call ``order()`` each
+    round.  Matches on exact type: subclasses may override ``order``.
+    """
+    return _INCREMENTAL_SORT_KEYS.get(type(policy))
 
 
 #: Name -> factory for each queue policy (used by benches and portfolios).

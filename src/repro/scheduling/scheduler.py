@@ -13,11 +13,15 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from bisect import insort
+
 from ..datacenter.datacenter import Datacenter
 from ..datacenter.machine import Machine
 from ..sim import Simulator, TimeWeightedMonitor, summarize
 from ..workload.task import Job, Task, TaskState
-from .policies import FCFS, FairShare, FirstFit, PlacementPolicy, QueuePolicy
+from .policies import (FCFS, FairShare, FirstFit, PlacementPolicy,
+                       QueuePolicy, incremental_sort_key)
+from .taskqueue import TaskQueue
 
 __all__ = ["ClusterScheduler"]
 
@@ -71,8 +75,10 @@ class ClusterScheduler:
                  backfilling: bool = False,
                  strict_head: bool = False,
                  admission: Any = None,
-                 hedge_policy: Any = None) -> None:
+                 hedge_policy: Any = None,
+                 name: str = "scheduler") -> None:
         self.sim = sim
+        self.name = name
         self.datacenter = datacenter
         self.queue_policy = queue_policy or FCFS()
         self.placement_policy = placement_policy or FirstFit()
@@ -81,13 +87,24 @@ class ClusterScheduler:
         self.admission = admission
         self.hedge_policy = hedge_policy
 
-        self.queue: list[Task] = []
+        self.queue = TaskQueue()
+        #: Policy object the queue's incremental sort view was keyed
+        #: for; compared by identity each round so portfolio schedulers
+        #: can swap ``queue_policy`` at runtime.
+        self._order_source: QueuePolicy | None = None
         self.queue_length = TimeWeightedMonitor("queue_length",
                                                 start_time=sim.now)
         self.completed: list[Task] = []
         self.shed_tasks: list[Task] = []
         self.on_task_complete: list[Callable[[Task], None]] = []
         self._running: dict[Task, tuple[Machine, float]] = {}
+        #: Sorted upcoming releases ``(finish, cores, seq, task, token)``
+        #: kept incrementally for EASY reservations; ``token`` is the
+        #: exact ``_running`` value tuple, so a stale entry is detected
+        #: by an identity check instead of a rescan.
+        self._releases: list[tuple] = []
+        self._release_seq = 0
+        self._release_dead = 0
         self._hedges: dict[Task, _HedgeRace] = {}
         self.hedges_launched = 0
         #: Backup finished first while the primary was still running.
@@ -153,48 +170,64 @@ class ClusterScheduler:
             self._schedule_round()
 
     def _schedule_round(self) -> None:
-        ordered = self.queue_policy.order(self.queue, self.sim.now)
+        policy = self.queue_policy
+        if policy is not self._order_source:
+            # First round, or a portfolio scheduler swapped the policy:
+            # (re)key the queue's incremental sort view.
+            self._order_source = policy
+            self.queue.set_key(incremental_sort_key(policy))
+        if self.queue.has_key:
+            ordered = self.queue.ordered()
+        else:
+            ordered = policy.order(list(self.queue), self.sim.now)
         if self.backfilling:
             self._schedule_easy(ordered)
         else:
             self._schedule_list(ordered)
         self.queue_length.update(self.sim.now, len(self.queue))
 
+    def _select_machine(self, task: Task) -> Machine | None:
+        """Placement with a cluster-skipping fast path for first-fit."""
+        if type(self.placement_policy) is FirstFit:
+            return next(self.datacenter.capacity.candidates(task), None)
+        return self.placement_policy.select(
+            task, self.datacenter.available_machines())
+
     def _schedule_list(self, ordered: list[Task]) -> None:
+        strict_head = self.strict_head
         for task in ordered:
-            machine = self.placement_policy.select(
-                task, self.datacenter.available_machines())
+            machine = self._select_machine(task)
             if machine is None:
-                if self.strict_head:
+                if strict_head:
                     return
                 continue
             self._start(task, machine)
 
     def _schedule_easy(self, ordered: list[Task]) -> None:
         """EASY backfilling: greedy + reservation for the blocked head."""
-        remaining = list(ordered)
         # Phase 1: place from the front until the head is blocked.
-        while remaining:
-            head = remaining[0]
-            machine = self.placement_policy.select(
-                head, self.datacenter.available_machines())
+        index = 0
+        n = len(ordered)
+        while index < n:
+            head = ordered[index]
+            machine = self._select_machine(head)
             if machine is None:
                 break
             self._start(head, machine)
-            remaining.pop(0)
-        if not remaining:
+            index += 1
+        if index >= n:
             return
-        head = remaining[0]
+        head = ordered[index]
         shadow_time, spare_cores = self._reservation_for(head)
         # Phase 2: backfill tasks that cannot delay the reservation.
-        for task in remaining[1:]:
+        for i in range(index + 1, n):
+            task = ordered[i]
             finishes_before_shadow = (
                 self.sim.now + task.runtime <= shadow_time + 1e-9)
             fits_spare = task.cores <= spare_cores
             if not (finishes_before_shadow or fits_spare):
                 continue
-            machine = self.placement_policy.select(
-                task, self.datacenter.available_machines())
+            machine = self._select_machine(task)
             if machine is None:
                 continue
             if not finishes_before_shadow:
@@ -207,24 +240,32 @@ class ClusterScheduler:
         The shadow time is when enough cores free up (assuming running
         tasks finish on estimate) for the head to start; spare cores are
         what remains free at that moment beyond the head's demand.
+        Upcoming releases come from the incrementally-sorted
+        ``_releases`` list rather than a sort of ``_running`` per call.
         """
-        free = sum(m.cores_free for m in self.datacenter.available_machines())
-        releases = sorted(
-            (start + machine.effective_runtime(task), task.cores)
-            for task, (machine, start) in self._running.items())
+        free = self.datacenter.capacity.free_cores_total()
+        running = self._running
         available = free
         shadow_time = self.sim.now
-        for finish_time, cores in releases:
-            if available >= head.cores:
+        head_cores = head.cores
+        for finish_time, cores, _seq, task, token in self._releases:
+            if running.get(task) is not token:
+                continue
+            if available >= head_cores:
                 break
             available += cores
             shadow_time = finish_time
-        spare = max(0, available - head.cores)
+        spare = max(0, available - head_cores)
         return shadow_time, spare
 
     def _start(self, task: Task, machine: Machine) -> None:
         self.queue.remove(task)
-        self._running[task] = (machine, self.sim.now)
+        token = (machine, self.sim.now)
+        self._running[task] = token
+        insort(self._releases,
+               (self.sim.now + machine.effective_runtime(task), task.cores,
+                self._release_seq, task, token))
+        self._release_seq += 1
         process = self.datacenter.execute(task, machine)
         process.add_callback(lambda event, t=task: self._on_finished(t, event))
         if (self.hedge_policy is not None and not task.speculative
@@ -249,7 +290,14 @@ class ClusterScheduler:
         self._enqueue(backup)
 
     def _on_finished(self, task: Task, event) -> None:
-        self._running.pop(task, None)
+        if self._running.pop(task, None) is not None:
+            self._release_dead += 1
+            if self._release_dead > 64 and \
+                    self._release_dead > len(self._running):
+                running = self._running
+                self._releases = [e for e in self._releases
+                                  if running.get(e[3]) is e[4]]
+                self._release_dead = 0
         race = self._hedges.get(task)
         if race is not None:
             self._resolve_hedge(task, race)
@@ -264,7 +312,8 @@ class ClusterScheduler:
             self.completed.append(task)
             if isinstance(self.queue_policy, FairShare):
                 self.queue_policy.charge(task)
-        for callback in list(self.on_task_complete):
+        # Copy first: callbacks may (un)register observers reentrantly.
+        for callback in tuple(self.on_task_complete):
             callback(task)
 
     # ------------------------------------------------------------------
@@ -344,9 +393,17 @@ class ClusterScheduler:
 
     def statistics(self) -> dict[str, float]:
         """Wait-time / slowdown / response summaries over completed tasks."""
-        waits = [t.wait_time for t in self.completed]
-        slowdowns = [t.slowdown for t in self.completed]
-        responses = [t.response_time for t in self.completed]
+        waits: list[float] = []
+        slowdowns: list[float] = []
+        responses: list[float] = []
+        for t in self.completed:
+            # One pass over completed: each task's timestamps are read
+            # once, and the response value feeds the slowdown directly.
+            submit = t.submit_time
+            waits.append(t.start_time - submit)
+            response = t.finish_time - submit
+            responses.append(response)
+            slowdowns.append(response / max(t.runtime, 1e-9))
         stats = {"completed": float(len(self.completed))}
         for prefix, values in (("wait", waits), ("slowdown", slowdowns),
                                ("response", responses)):
@@ -361,5 +418,8 @@ class ClusterScheduler:
     def makespan(self) -> float:
         """Finish time of the last completed task."""
         if not self.completed:
-            raise RuntimeError("no completed tasks")
+            raise RuntimeError(
+                f"scheduler {self.name!r} "
+                f"({self.queue_policy.name}/{self.placement_policy.name}) "
+                "has no completed tasks")
         return max(t.finish_time for t in self.completed)

@@ -97,7 +97,7 @@ class WorkflowEngine:
         return done
 
     def _release_eligible(self, workflow: Workflow) -> None:
-        for task in list(workflow):
+        for task in workflow:
             if (task in self._pending and task.state is TaskState.PENDING
                     and task.is_eligible):
                 task.state = TaskState.ELIGIBLE
@@ -145,7 +145,7 @@ class WorkflowEngine:
                        retries: int) -> None:
         """Terminal failure: withdraw the workflow and fail its event."""
         self.failed[workflow] = culprit
-        for task in list(workflow):
+        for task in workflow:
             self._pending.pop(task, None)
             self._sessions.pop(task, None)
             if task in self.scheduler.queue:

@@ -17,7 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
+from .events import (NO_CALLBACKS, AllOf, AnyOf, Event, Interrupt,
+                     SimulationError, Timeout)
 
 __all__ = ["Simulator", "Process"]
 
@@ -33,6 +34,8 @@ class Process(Event):
     generator returns, the process event succeeds with the return value;
     when it raises, the process event fails with the exception.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str | None = None) -> None:
@@ -64,7 +67,6 @@ class Process(Event):
         event._ok = False
         event._exception = Interrupt(cause)
         event.defused = True
-        event.callbacks = []
         event.add_callback(self._resume)
         self.sim._enqueue(event, delay=0.0)
 
@@ -184,12 +186,9 @@ class Simulator:
         if not self._queue:
             raise SimulationError("no scheduled events")
         self._now, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        event._run_callbacks()
         self.events_processed += 1
-        if not event._ok and not event.defused:
+        if event._ok is False and not event.defused:
             # A failure nobody waited for must not pass silently.
             raise event._exception  # type: ignore[misc]
 
@@ -212,15 +211,37 @@ class Simulator:
                 raise ValueError(
                     f"until={stop_time} lies in the past (now={self._now})")
 
-        while self._queue:
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
+        # Hot loop: equivalent to repeated step() calls, with the heap,
+        # the heappop function, and the callback sentinel held in locals
+        # so the per-event cost is a handful of bytecode ops.
+        queue = self._queue
+        heappop = heapq.heappop
+        no_callbacks = NO_CALLBACKS
+        processed = 0
+        try:
+            while queue:
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self._now, _, event = heappop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is not no_callbacks:
+                    if type(callbacks) is list:
+                        for callback in callbacks:
+                            callback(event)
+                    else:
+                        callbacks(event)
+                processed += 1
+                if event._ok is False and not event.defused:
+                    # A failure nobody waited for must not pass silently.
+                    raise event._exception  # type: ignore[misc]
+                if stop_event is not None and stop_event.callbacks is None:
+                    if not stop_event.ok:
+                        raise stop_event.value
+                    return stop_event.value
+        finally:
+            self.events_processed += processed
 
         if stop_event is not None and not stop_event.processed:
             raise SimulationError(

@@ -7,6 +7,16 @@ events they want to wait for.  Events are one-shot: they are *triggered*
 exactly once, either successfully (carrying a value) or with a failure
 (carrying an exception), after which all registered callbacks run at the
 event's scheduled time.
+
+Performance notes: events are the kernel's unit of allocation — a
+million-task simulation creates tens of millions of them — so the
+classes here are deliberately lean.  All event types use ``__slots__``
+(no per-instance ``__dict__``), and the callback store is *lazy*: it
+starts as a shared empty-tuple sentinel, holds a bare callable while
+exactly one callback is registered (the overwhelmingly common case of a
+single waiting process), and only becomes a real list for two or more
+callbacks.  ``Event.callbacks`` is still ``None`` once the event has
+been processed, which external code may rely on.
 """
 
 from __future__ import annotations
@@ -24,6 +34,10 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
+
+#: Shared sentinel marking "triggered or pending, no callbacks yet".
+#: Distinct from ``None``, which marks "already processed".
+NO_CALLBACKS: tuple = ()
 
 
 class SimulationError(Exception):
@@ -49,11 +63,19 @@ class Event:
     triggered), *triggered* (scheduled onto the event queue), and
     *processed* (its callbacks have run).  Use :meth:`succeed` or
     :meth:`fail` to trigger it.
+
+    The ``callbacks`` attribute is ``None`` once processed; before that
+    it is the sentinel ``NO_CALLBACKS``, a single bare callable, or a
+    list of callables.  Use :meth:`add_callback` rather than touching
+    it directly.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_ok",
+                 "defused")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self.callbacks: Any = NO_CALLBACKS
         self._value: Any = None
         self._exception: BaseException | None = None
         self._ok: bool | None = None
@@ -111,10 +133,26 @@ class Event:
         If the event was already processed the callback runs immediately,
         which keeps late waiters correct.
         """
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is None:
             callback(self)
+        elif cbs is NO_CALLBACKS:
+            self.callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
         else:
-            self.callbacks.append(callback)
+            self.callbacks = [cbs, callback]
+
+    def _run_callbacks(self) -> None:
+        """Deliver the event: run the stored callbacks and mark processed."""
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks is not NO_CALLBACKS:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else (
@@ -125,18 +163,28 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after ``delay`` sim-time units."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus immediate triggering: timeouts are
+        # the hot path of every process loop, so they skip the generic
+        # succeed() machinery entirely.
+        self.sim = sim
+        self.callbacks = NO_CALLBACKS
         self._value = value
+        self._exception = None
+        self._ok = True
+        self.defused = False
+        self.delay = delay
         sim._enqueue(self, delay=delay)
 
 
 class _Condition(Event):
     """Base class for composite events over a set of child events."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -161,6 +209,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers as soon as any child event triggers."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -173,6 +223,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Triggers once all child events have triggered."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:

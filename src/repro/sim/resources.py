@@ -36,6 +36,8 @@ class Request(Event):
             yield sim.timeout(service_time)
     """
 
+    __slots__ = ("resource", "_granted")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource

@@ -114,16 +114,16 @@ def record_workflow_run(chain: ProvenanceChain,
     """
     if not workflow.is_finished:
         raise ValueError(f"workflow {workflow.name!r} has unfinished tasks")
-    entries = []
-    for task in workflow.walk_topological():
-        entries.append(chain.record("task", {
+    entries = [
+        chain.record("task", {
             "workflow": workflow.name,
             "task": task.name,
             "inputs": sorted(d.name for d in task.dependencies),
             "machine": task.machine or "",
             "start": task.start_time,
             "finish": task.finish_time,
-        }))
+        })
+        for task in workflow.walk_topological()]
     entries.append(chain.record("workflow-complete", {
         "workflow": workflow.name,
         "tasks": len(workflow),

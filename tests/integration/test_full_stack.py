@@ -137,10 +137,10 @@ def test_machines_never_oversubscribed_under_stress():
 
     def watchdog(sim):
         while True:
-            for machine in dc.machines():
+            violations.extend(
+                (sim.now, machine.name) for machine in dc.machines()
                 if (machine.cores_used > machine.spec.cores
-                        or machine.memory_used > machine.spec.memory + 1e-9):
-                    violations.append((sim.now, machine.name))
+                    or machine.memory_used > machine.spec.memory + 1e-9))
             yield sim.timeout(0.5)
 
     sim.process(watchdog(sim))

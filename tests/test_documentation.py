@@ -45,10 +45,8 @@ def public_objects(module):
 @pytest.mark.parametrize("module", MODULES,
                          ids=lambda m: m.__name__)
 def test_public_objects_have_docstrings(module):
-    undocumented = []
-    for name, obj in public_objects(module):
-        if not (obj.__doc__ and obj.__doc__.strip()):
-            undocumented.append(name)
+    undocumented = [name for name, obj in public_objects(module)
+                    if not (obj.__doc__ and obj.__doc__.strip())]
     assert not undocumented, (
         f"{module.__name__}: missing docstrings on {undocumented}")
 
