@@ -108,8 +108,24 @@ class AutoscalingController:
         while not self._stopped:
             snapshot = self._snapshot()
             target = self.autoscaler.decide(snapshot)
+            before = self.leased_machines
             self._apply(target)
             self._record()
+            observer = self.sim.observer
+            if observer is not None:
+                after = self.leased_machines
+                metrics = observer.metrics
+                metrics.gauge("autoscaling.machines").set(float(after))
+                metrics.gauge("autoscaling.demand_cores").set(
+                    float(snapshot.demand_cores))
+                if after != before:
+                    direction = ("scale_ups" if after > before
+                                 else "scale_downs")
+                    metrics.counter(f"autoscaling.{direction}").inc()
+                    observer.tracer.instant(
+                        "autoscale", category="autoscaling",
+                        attrs={"target": target, "before": before,
+                               "after": after})
             yield self.sim.timeout(self.interval)
 
     def stop(self) -> None:

@@ -100,12 +100,23 @@ class Datacenter:
         machine.allocate(task)
         self.used_cores.add(self.sim.now, task.cores)
         task.start(self.sim.now, machine.name)
-        process = self.sim.process(self._execute(task, machine),
+        observer = self.sim.observer
+        span = None
+        if observer is not None:
+            observer.metrics.counter("datacenter.executions_started").inc()
+            observer.metrics.gauge("datacenter.used_cores").set(
+                float(self.capacity.used_cores_total()))
+            span = observer.tracer.begin(
+                "exec " + task.name, category="datacenter",
+                parent=observer.tracer.active(("task", task.task_id)),
+                attrs={"task": task.name, "machine": machine.name,
+                       "cores": task.cores, "attempt": task.attempts})
+        process = self.sim.process(self._execute(task, machine, span),
                                    name=f"exec-{task.name}")
         self._running[task] = process
         return process
 
-    def _execute(self, task: Task, machine: Machine):
+    def _execute(self, task: Task, machine: Machine, span=None):
         remaining_before = task.remaining_work
         service = machine.effective_runtime(task)
         started = self.sim.now
@@ -129,6 +140,17 @@ class Datacenter:
             task.fail(self.sim.now)
             self.failed_executions += 1
             self._running.pop(task, None)
+            observer = self.sim.observer
+            if observer is not None:
+                observer.metrics.counter(
+                    "datacenter.executions_interrupted").inc()
+                observer.metrics.counter(
+                    "datacenter.wasted_core_seconds").inc(lost * task.cores)
+                observer.metrics.gauge("datacenter.used_cores").set(
+                    float(self.capacity.used_cores_total()))
+                if span is not None:
+                    observer.tracer.end(span,
+                                        attrs={"outcome": "interrupted"})
             return None
         machine.account_energy(self.sim.now)
         machine.release(task)
@@ -136,6 +158,13 @@ class Datacenter:
         task.finish(self.sim.now)
         self.completed_tasks.append(task)
         self._running.pop(task, None)
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("datacenter.executions_finished").inc()
+            observer.metrics.gauge("datacenter.used_cores").set(
+                float(self.capacity.used_cores_total()))
+            if span is not None:
+                observer.tracer.end(span, attrs={"outcome": "finished"})
         return task
 
     def interrupt_task(self, task: Task, cause: str = "preempted") -> None:
@@ -149,6 +178,12 @@ class Datacenter:
         """Bring a machine down, interrupting everything on it (S8)."""
         victims = machine.running_tasks
         machine.account_energy(self.sim.now)
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("datacenter.machine_failures").inc()
+            observer.tracer.instant(
+                "machine-failure " + machine.name, category="resilience",
+                attrs={"machine": machine.name, "victims": len(victims)})
         for task in victims:
             self.interrupt_task(task, cause=f"machine-failure:{machine.name}")
         machine.available = False
@@ -158,6 +193,12 @@ class Datacenter:
         """Bring a failed machine back into service."""
         machine.account_energy(self.sim.now)
         machine.repair()
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("datacenter.machine_repairs").inc()
+            observer.tracer.instant(
+                "machine-repair " + machine.name, category="resilience",
+                attrs={"machine": machine.name})
         # Copy first: callbacks may (un)register observers reentrantly.
         for callback in tuple(self.on_capacity_change):
             callback()

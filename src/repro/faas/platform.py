@@ -161,11 +161,17 @@ class FaaSPlatform:
         """Invoke a function; the returned process yields the Invocation."""
         spec = self.get_function(name)
         record = Invocation(function=name, submit_time=self.sim.now)
-        return self.sim.process(self._invoke(spec, record, runtime),
+        observer = self.sim.observer
+        span = None
+        if observer is not None:
+            observer.metrics.counter("faas.invocations").inc()
+            span = observer.tracer.begin("invoke " + name, category="faas",
+                                         attrs={"function": name})
+        return self.sim.process(self._invoke(spec, record, runtime, span),
                                 name=f"faas-{name}")
 
     def _invoke(self, spec: FunctionSpec, record: Invocation,
-                runtime: float | None):
+                runtime: float | None, span=None):
         with self.concurrency.request() as slot:
             yield slot
             pool = self._pools[spec.name]
@@ -183,6 +189,15 @@ class FaaSPlatform:
         self._bill(spec, record)
         self.invocations.append(record)
         self.latency.record(self.sim.now, record.latency)
+        observer = self.sim.observer
+        if observer is not None:
+            if record.cold:
+                observer.metrics.counter("faas.cold_starts").inc()
+            observer.metrics.histogram("faas.latency").observe(record.latency)
+            observer.metrics.counter("faas.billed_gb_seconds").inc(
+                (record.finish_time - record.start_time) * spec.memory_gb)
+            if span is not None:
+                observer.tracer.end(span, attrs={"cold": record.cold})
         record.result = record
         return record
 
@@ -274,6 +289,8 @@ class ResilientInvoker:
     def _invoke(self, name: str, runtime: float | None):
         if self.breaker is not None and not self.breaker.allow():
             self.rejections += 1
+            if self.sim.observer is not None:
+                self.sim.observer.metrics.counter("faas.rejections").inc()
             fallback = yield from self._fallback(name, timed_out=False)
             return fallback
         call = self.platform.invoke(name, runtime)
@@ -290,6 +307,8 @@ class ResilientInvoker:
         # cancelled process fails with Interrupt; pre-defuse it so the
         # unawaited failure does not crash the simulation.
         self.timeouts += 1
+        if self.sim.observer is not None:
+            self.sim.observer.metrics.counter("faas.timeouts").inc()
         if self.breaker is not None:
             self.breaker.record_failure()
         call.add_callback(lambda event: setattr(event, "defused", True))
@@ -312,6 +331,12 @@ class ResilientInvoker:
         record.finish_time = self.sim.now
         record.result = record
         self.fallbacks.append(record)
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("faas.fallbacks").inc()
+            observer.tracer.instant("fallback " + name, category="faas",
+                                    attrs={"function": name,
+                                           "timed_out": timed_out})
         return record
 
     def statistics(self) -> dict[str, float]:

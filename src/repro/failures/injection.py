@@ -77,6 +77,16 @@ class FailureInjector:
             for name in event.machine_names:
                 victims.extend(self._take_down(name))
             self.event_log.append((self.sim.now, event, victims))
+            observer = self.sim.observer
+            if observer is not None:
+                observer.metrics.counter("failures.bursts").inc()
+                observer.metrics.counter("failures.victim_tasks").inc(
+                    len(victims))
+                observer.tracer.instant(
+                    "failure-burst", category="resilience",
+                    attrs={"machines": len(event.machine_names),
+                           "victims": len(victims),
+                           "duration": event.duration})
             self.sim.process(self._repair_later(event),
                              name=f"repair@{event.time:.0f}")
 

@@ -1,0 +1,55 @@
+"""Observability substrate (S18): tracing, metrics, profiling (C2, C15).
+
+The paper's self-awareness challenge (C2) and its call for responsible,
+transparent operation (C15, and the AtLarge design vision) require
+ecosystems that can *observe themselves*.  This package is that sense
+organ for every simulation in :mod:`repro`:
+
+- :mod:`~repro.observability.tracing` — causal spans over simulated
+  time (event → task → machine chains), exportable to Chrome traces;
+- :mod:`~repro.observability.metrics` — a pull-based registry of
+  counters, gauges, and fixed-bucket histograms;
+- :mod:`~repro.observability.profiling` — per-subsystem attribution of
+  simulated-time and wall-time cost inside ``Simulator.run``;
+- :mod:`~repro.observability.observer` — the single
+  :class:`Observer` switch that arms all of it; disabled by default
+  and zero-overhead when disabled;
+- :mod:`~repro.observability.export` — deterministic JSON / Chrome
+  trace serialization.
+
+See docs/OBSERVABILITY.md for the operator's handbook.
+"""
+
+from .export import (
+    chrome_trace,
+    dumps_deterministic,
+    write_chrome_trace,
+    write_trace_json,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .observer import Observer
+from .profiling import DEFAULT_RULES, SubsystemProfiler
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Observer",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "SubsystemProfiler",
+    "DEFAULT_RULES",
+    "chrome_trace",
+    "dumps_deterministic",
+    "write_chrome_trace",
+    "write_trace_json",
+]

@@ -1,5 +1,6 @@
 """Reporting substrate (S17): plain-text rendering of results."""
 
+from .observability import render_metrics, render_profile
 from .tables import render_kv, render_series, render_table
 from .transparency import (
     STAKEHOLDERS,
@@ -11,6 +12,8 @@ __all__ = [
     "render_table",
     "render_series",
     "render_kv",
+    "render_metrics",
+    "render_profile",
     "OperationalSnapshot",
     "TransparencyReporter",
     "STAKEHOLDERS",

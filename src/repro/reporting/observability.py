@@ -1,0 +1,97 @@
+"""Rendering observability data for stakeholders (C13).
+
+The observability layer (:mod:`repro.observability`) produces JSON-able
+snapshots; operators mostly want them as readable tables.  These
+renderers turn a :class:`~repro.observability.metrics.MetricsRegistry`
+snapshot and a :class:`~repro.observability.profiling.SubsystemProfiler`
+report into the same plain-text table style the benchmark harnesses
+use, so a chaos run, a scheduler study, and a live dashboard all read
+alike.
+"""
+
+from __future__ import annotations
+
+from .tables import render_table
+
+__all__ = ["render_metrics", "render_profile"]
+
+
+def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
+    """Render a registry snapshot as one table.
+
+    ``snapshot`` is the dict returned by
+    :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`.
+    Counters and gauges show their value; histograms show count, mean,
+    and the p50/p95 bucket upper bounds so latency tails are visible
+    without raw samples.
+    """
+    rows: list[tuple] = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append((name, "counter", _short(value)))
+    for name, value in snapshot.get("gauges", {}).items():
+        rows.append((name, "gauge", _short(value)))
+    for name, entry in snapshot.get("histograms", {}).items():
+        count = entry["count"]
+        mean = entry["sum"] / count if count else 0.0
+        rows.append((name, "histogram",
+                     f"n={count} mean={_short(mean)} "
+                     f"p50<={_short(_bucket_quantile(entry, 0.50))} "
+                     f"p95<={_short(_bucket_quantile(entry, 0.95))}"))
+    rows.sort(key=lambda row: row[0])
+    if not rows:
+        rows.append(("(no instruments registered)", "-", "-"))
+    return render_table(["Metric", "Kind", "Value"], rows, title=title)
+
+
+def render_profile(report: dict, wall: dict | None = None,
+                   title: str = "Subsystem profile") -> str:
+    """Render a profiler report as one table.
+
+    ``report`` is
+    :meth:`~repro.observability.profiling.SubsystemProfiler.report`
+    (deterministic: events and simulated time); pass the matching
+    :meth:`~repro.observability.profiling.SubsystemProfiler.wall_report`
+    as ``wall`` to add the non-deterministic wall-clock column.
+    """
+    total_events = sum(entry["events"] for entry in report.values()) or 1.0
+    headers = ["Subsystem", "Events", "Share", "Sim time [s]"]
+    if wall is not None:
+        headers.append("Wall time [ms]")
+    rows = []
+    for name in sorted(report):
+        entry = report[name]
+        row = [name, f"{entry['events']:.0f}",
+               f"{entry['events'] / total_events:.1%}",
+               _short(entry["sim_time"])]
+        if wall is not None:
+            row.append(f"{wall.get(name, 0.0) * 1e3:.2f}")
+        rows.append(tuple(row))
+    if not rows:
+        rows.append(tuple(["(no events profiled)"] + ["-"] * (len(headers) - 1)))
+    return render_table(headers, rows, title=title)
+
+
+def _bucket_quantile(entry: dict, q: float) -> float:
+    """Quantile bucket upper bound from a histogram snapshot entry."""
+    count = entry["count"]
+    if count == 0:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    boundaries = entry["boundaries"]
+    for index, bucket_count in enumerate(entry["counts"]):
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count:
+            if index < len(boundaries):
+                return boundaries[index]
+            return entry.get("max", boundaries[-1])
+    return entry.get("max", boundaries[-1])
+
+
+def _short(value: float) -> str:
+    """Compact numeric formatting shared by both tables."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) >= 1000 or 0 < abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")

@@ -183,9 +183,23 @@ class ChaosExperiment:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self) -> ChaosReport:
-        """Execute the experiment once and report."""
+    def run(self, observer: Any = None) -> ChaosReport:
+        """Execute the experiment once and report.
+
+        Args:
+            observer: Optional
+                :class:`~repro.observability.observer.Observer` to
+                attach to the run's private simulator.  When given, the
+                run streams spans and ``scheduler.*`` /
+                ``datacenter.*`` / ``failures.*`` metrics live, and the
+                finished report's fields are published as ``chaos.*``
+                gauges — the registry replaces reading counters off the
+                report by hand.  Observability never perturbs the run:
+                the same seed yields the identical report either way.
+        """
         sim = Simulator()
+        if observer is not None:
+            observer.attach(sim)
         streams = RandomStreams(self.seed)
         cluster = self.cluster()
         datacenter = Datacenter(sim, [cluster], name="chaos-dc")
@@ -210,8 +224,16 @@ class ChaosExperiment:
         while sim.peek() <= self.max_time:
             sim.step()
         scheduler.stop()
-        return self._report(sim, datacenter, scheduler, planner, injector,
-                            tasks)
+        report = self._report(sim, datacenter, scheduler, planner, injector,
+                              tasks)
+        if observer is not None:
+            for key, value in report.summary().items():
+                observer.metrics.gauge(f"chaos.{key}").set(value)
+            # The run's simulator is private; release the observer so
+            # its collected data can outlive the experiment (and the
+            # observer itself could be attached elsewhere).
+            observer.detach()
+        return report
 
     @staticmethod
     def _arrivals(sim: Simulator, scheduler: ClusterScheduler,

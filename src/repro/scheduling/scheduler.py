@@ -123,16 +123,33 @@ class ClusterScheduler:
         """Enqueue one task for scheduling (subject to admission control)."""
         if task.state not in (TaskState.PENDING, TaskState.ELIGIBLE):
             raise ValueError(f"task {task.name} is {task.state.value}")
+        observer = self.sim.observer
         if self.admission is not None and not self.admission.admit(task):
             task.state = TaskState.SHED
             self.shed_tasks.append(task)
+            if observer is not None:
+                observer.metrics.counter("scheduler.tasks_shed").inc()
+                observer.tracer.instant("shed " + task.name,
+                                        category="scheduling",
+                                        attrs={"task": task.name})
             return
+        if observer is not None:
+            observer.metrics.counter("scheduler.tasks_submitted").inc()
+            observer.tracer.begin(
+                "task " + task.name, category="scheduling",
+                key=("task", task.task_id),
+                attrs={"task": task.name, "cores": task.cores,
+                       "runtime": task.runtime})
         self._enqueue(task)
 
     def _enqueue(self, task: Task) -> None:
         """Queue a task, bypassing admission (internal resubmissions)."""
         self.queue.append(task)
         self.queue_length.update(self.sim.now, len(self.queue))
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.gauge("scheduler.queue_length").set(
+                float(len(self.queue)))
         self._poke()
 
     def submit_job(self, job: Job) -> None:
@@ -185,6 +202,10 @@ class ClusterScheduler:
         else:
             self._schedule_list(ordered)
         self.queue_length.update(self.sim.now, len(self.queue))
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.gauge("scheduler.queue_length").set(
+                float(len(self.queue)))
 
     def _select_machine(self, task: Task) -> Machine | None:
         """Placement with a cluster-skipping fast path for first-fit."""
@@ -287,6 +308,13 @@ class ClusterScheduler:
         self._hedges[task] = race
         self._hedges[backup] = race
         self.hedges_launched += 1
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("scheduler.hedges_launched").inc()
+            observer.tracer.instant(
+                "hedge " + task.name, category="scheduling",
+                parent=observer.tracer.active(("task", task.task_id)),
+                attrs={"task": task.name, "backup": backup.name})
         self._enqueue(backup)
 
     def _on_finished(self, task: Task, event) -> None:
@@ -308,10 +336,24 @@ class ClusterScheduler:
 
     def _report_complete(self, task: Task) -> None:
         """Surface one terminal outcome (FINISHED or FAILED) to observers."""
-        if task.state is TaskState.FINISHED:
+        finished = task.state is TaskState.FINISHED
+        if finished:
             self.completed.append(task)
             if isinstance(self.queue_policy, FairShare):
                 self.queue_policy.charge(task)
+        observer = self.sim.observer
+        if observer is not None:
+            metrics = observer.metrics
+            if finished:
+                metrics.counter("scheduler.tasks_completed").inc()
+                metrics.histogram("scheduler.wait_time").observe(
+                    task.start_time - task.submit_time)
+                metrics.histogram("scheduler.response_time").observe(
+                    task.finish_time - task.submit_time)
+            else:
+                metrics.counter("scheduler.tasks_failed").inc()
+            observer.tracer.end_key(("task", task.task_id),
+                                    attrs={"outcome": task.state.value})
         # Copy first: callbacks may (un)register observers reentrantly.
         for callback in tuple(self.on_task_complete):
             callback(task)
@@ -349,6 +391,9 @@ class ClusterScheduler:
             if race.primary_failed:
                 # The primary already died for real: a rescue.
                 self.hedge_rescues += 1
+                if self.sim.observer is not None:
+                    self.sim.observer.metrics.counter(
+                        "scheduler.hedge_rescues").inc()
                 primary.complete_from(backup)
                 self._report_complete(primary)
                 return
@@ -356,6 +401,9 @@ class ClusterScheduler:
             # event (handled in the resolved-branch above) adopts the
             # backup's result and reports.
             self.hedge_wins += 1
+            if self.sim.observer is not None:
+                self.sim.observer.metrics.counter(
+                    "scheduler.hedge_wins").inc()
             self._cancel_hedge_copy(primary)
             return
         # A genuine failure (machine loss) of one copy.
@@ -392,7 +440,17 @@ class ClusterScheduler:
         return len(self._running)
 
     def statistics(self) -> dict[str, float]:
-        """Wait-time / slowdown / response summaries over completed tasks."""
+        """Wait-time / slowdown / response summaries over completed tasks.
+
+        This is the legacy post-hoc view, kept stable because the
+        determinism goldens pin its exact values.  When an
+        :class:`~repro.observability.observer.Observer` is attached,
+        the same signals stream live into its
+        :class:`~repro.observability.metrics.MetricsRegistry` under the
+        ``scheduler.*`` names (counters, queue-length gauge, wait- and
+        response-time histograms) — prefer that for in-flight
+        monitoring and cross-subsystem dashboards.
+        """
         waits: list[float] = []
         slowdowns: list[float] = []
         responses: list[float] = []

@@ -91,6 +91,13 @@ class WorkflowEngine:
             raise ValueError(f"workflow {workflow.name!r} already submitted")
         done = self.sim.event()
         self._workflow_done[workflow] = done
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("workflow.submitted").inc()
+            observer.tracer.begin(
+                "workflow " + workflow.name, category="scheduling",
+                key=("workflow", workflow),
+                attrs={"workflow": workflow.name, "tasks": len(workflow)})
         for task in workflow:
             self._pending[task] = workflow
         self._release_eligible(workflow)
@@ -116,6 +123,11 @@ class WorkflowEngine:
             done = self._workflow_done.pop(workflow)
             if not done.triggered:
                 done.succeed(workflow)
+            observer = self.sim.observer
+            if observer is not None:
+                observer.metrics.counter("workflow.completed").inc()
+                observer.tracer.end_key(("workflow", workflow),
+                                        attrs={"outcome": "finished"})
             return
         self._release_eligible(workflow)
 
@@ -145,6 +157,12 @@ class WorkflowEngine:
                        retries: int) -> None:
         """Terminal failure: withdraw the workflow and fail its event."""
         self.failed[workflow] = culprit
+        observer = self.sim.observer
+        if observer is not None:
+            observer.metrics.counter("workflow.failed").inc()
+            observer.tracer.end_key(("workflow", workflow),
+                                    attrs={"outcome": "failed",
+                                           "culprit": culprit.name})
         for task in workflow:
             self._pending.pop(task, None)
             self._sessions.pop(task, None)

@@ -15,6 +15,7 @@ same seed.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Generator, Iterable, Optional
 
 from .events import (NO_CALLBACKS, AllOf, AnyOf, Event, Interrupt,
@@ -135,6 +136,11 @@ class Simulator:
         self._active_process: Process | None = None
         #: Count of events processed so far; useful for budget guards.
         self.events_processed = 0
+        #: Optional :class:`~repro.observability.observer.Observer`.
+        #: ``None`` (the default) keeps every instrumented code path —
+        #: including the hot event loop, which dispatches on this once
+        #: per ``run()`` call — at its uninstrumented cost.
+        self.observer: Any = None
 
     @property
     def now(self) -> float:
@@ -185,12 +191,48 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        self._now, _, event = heapq.heappop(self._queue)
-        event._run_callbacks()
+        observer = self.observer
+        if observer is not None and observer.profiler is not None:
+            event = self._step_profiled(observer.profiler)
+        else:
+            self._now, _, event = heapq.heappop(self._queue)
+            event._run_callbacks()
         self.events_processed += 1
         if event._ok is False and not event.defused:
             # A failure nobody waited for must not pass silently.
             raise event._exception  # type: ignore[misc]
+
+    def _step_profiled(self, profiler) -> Event:
+        """Pop and deliver one event, attributing its cost per subsystem.
+
+        The virtual-time advance is charged to the subsystem of the
+        event that moved the clock; each callback's wall time is
+        charged to the subsystem of the process it resumes (falling
+        back to the event's own name, then to the kernel).
+        """
+        previous = self._now
+        self._now, _, event = heapq.heappop(self._queue)
+        sim_dt = self._now - previous
+        event_label = getattr(event, "name", "") or ""
+        callbacks = event.callbacks
+        event.callbacks = None
+        primary: str | None = None
+        if callbacks is not NO_CALLBACKS:
+            if type(callbacks) is not list:
+                callbacks = (callbacks,)
+            for callback in callbacks:
+                owner = getattr(callback, "__self__", None)
+                label = getattr(owner, "name", None) or event_label
+                subsystem = profiler.classify(label)
+                if primary is None:
+                    primary = subsystem
+                started = perf_counter()
+                callback(event)
+                profiler.record(subsystem, wall_dt=perf_counter() - started)
+        if primary is None:
+            primary = profiler.classify(event_label)
+        profiler.record(primary, sim_dt=sim_dt, events=1)
+        return event
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, until a time, or until an event.
@@ -210,6 +252,11 @@ class Simulator:
             if stop_time < self._now:
                 raise ValueError(
                     f"until={stop_time} lies in the past (now={self._now})")
+
+        observer = self.observer
+        if observer is not None and observer.profiler is not None:
+            return self._run_profiled(stop_event, stop_time,
+                                      observer.profiler)
 
         # Hot loop: equivalent to repeated step() calls, with the heap,
         # the heappop function, and the callback sentinel held in locals
@@ -242,6 +289,44 @@ class Simulator:
                     return stop_event.value
         finally:
             self.events_processed += processed
+
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event "
+                f"{stop_event!r} triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None
+
+    def _run_profiled(self, stop_event: Event | None, stop_time: float,
+                      profiler) -> Any:
+        """The ``run()`` loop with per-subsystem cost attribution.
+
+        Semantically identical to the fast loop (same event order, same
+        stop conditions, same failure propagation); it only adds the
+        profiler's book-keeping, so runs with and without an observer
+        produce bit-identical simulation outcomes.
+        """
+        queue = self._queue
+        processed = 0
+        run_started = perf_counter()
+        try:
+            while queue:
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                event = self._step_profiled(profiler)
+                processed += 1
+                if event._ok is False and not event.defused:
+                    # A failure nobody waited for must not pass silently.
+                    raise event._exception  # type: ignore[misc]
+                if stop_event is not None and stop_event.callbacks is None:
+                    if not stop_event.ok:
+                        raise stop_event.value
+                    return stop_event.value
+        finally:
+            self.events_processed += processed
+            profiler.record_run_wall(perf_counter() - run_started)
 
         if stop_event is not None and not stop_event.processed:
             raise SimulationError(

@@ -1,0 +1,131 @@
+"""Integration: the Observer woven through scheduler/datacenter/chaos.
+
+The two contracts under test, straight from docs/OBSERVABILITY.md:
+
+1. observability never perturbs a simulation (same seed → same
+   outcome, observer or not);
+2. with a fixed seed, the exported trace and metrics snapshot are
+   byte-identical across runs.
+"""
+
+import pytest
+
+from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent
+from repro.faas import FaaSPlatform, FunctionSpec
+from repro.observability import Observer
+from repro.resilience import ChaosExperiment, ExponentialBackoff
+from repro.scheduling import ClusterScheduler, WorkflowEngine
+from repro.sim import Simulator
+from repro.workload import Task, chain_workflow
+
+
+def make_experiment():
+    def workload(streams):
+        rng = streams.stream("workload")
+        return [Task(runtime=rng.uniform(20.0, 60.0), cores=2,
+                     submit_time=rng.uniform(0.0, 30.0), name=f"t{i}")
+                for i in range(30)]
+
+    def failures(streams, racks, horizon):
+        rng = streams.stream("failures")
+        names = [name for rack in racks for name in rack]
+        victims = tuple(sorted(rng.sample(names, k=4)))
+        return [FailureEvent(time=40.0, machine_names=victims,
+                             duration=25.0)]
+
+    return ChaosExperiment(
+        cluster=lambda: homogeneous_cluster("c", 8, MachineSpec(cores=4),
+                                            machines_per_rack=4),
+        workload=workload, failures=failures, seed=11, horizon=300.0,
+        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0, cap=30.0))
+
+
+def test_observer_does_not_perturb_chaos_outcome():
+    plain = make_experiment().run()
+    observed = make_experiment().run(observer=Observer())
+    assert observed.summary() == plain.summary()
+
+
+def test_chaos_run_with_observer_collects_everything():
+    observer = Observer()
+    report = make_experiment().run(observer=observer)
+    metrics = observer.metrics.snapshot()
+    counters = metrics["counters"]
+    # The registry mirrors the report's census exactly.
+    assert counters["failures.bursts"] == 1.0
+    assert counters["failures.victim_tasks"] == report.victim_tasks
+    assert counters["scheduler.tasks_completed"] == report.tasks_finished
+    assert metrics["gauges"]["chaos.tasks_finished"] == report.tasks_finished
+    assert metrics["gauges"]["chaos.seed"] == 11.0
+    # Causal trace: every task span has at least one exec child.
+    spans = observer.tracer.spans
+    task_spans = [s for s in spans if s.name.startswith("task ")]
+    exec_spans = [s for s in spans if s.name.startswith("exec ")]
+    assert len(task_spans) >= 30
+    parents = {s.parent_id for s in exec_spans}
+    assert parents & {s.span_id for s in task_spans}
+    burst = [s for s in spans if s.name == "failure-burst"]
+    assert len(burst) == 1 and burst[0].attrs["victims"] == report.victim_tasks
+    # Interrupted executions are visible as exec spans marked so.
+    interrupted = [s for s in exec_spans
+                   if s.attrs.get("outcome") == "interrupted"]
+    assert len(interrupted) == report.victim_tasks
+    # The chaos harness detaches its private simulator afterwards.
+    assert observer.sim is None
+
+
+def test_observer_attach_detach_contract():
+    sim = Simulator()
+    observer = Observer()
+    observer.attach(sim)
+    with pytest.raises(RuntimeError):
+        Observer().attach(sim)
+    with pytest.raises(RuntimeError):
+        observer.attach(Simulator())
+    observer.detach()
+    assert sim.observer is None
+    Observer().attach(sim)  # slot is free again
+
+
+def test_workflow_engine_emits_workflow_spans():
+    sim = Simulator()
+    observer = Observer()
+    observer.attach(sim)
+    datacenter = Datacenter(sim, [homogeneous_cluster(
+        "c", 2, MachineSpec(cores=4))])
+    scheduler = ClusterScheduler(sim, datacenter)
+    engine = WorkflowEngine(sim, scheduler)
+    done = engine.submit(chain_workflow(length=3, runtime=5.0))
+    sim.run(until=done)
+    counters = observer.metrics.snapshot()["counters"]
+    assert counters["workflow.submitted"] == 1.0
+    assert counters["workflow.completed"] == 1.0
+    workflow_spans = [s for s in observer.tracer.spans
+                      if s.name.startswith("workflow ")]
+    assert len(workflow_spans) == 1
+    span = workflow_spans[0]
+    assert span.attrs["outcome"] == "finished"
+    assert span.duration == pytest.approx(15.0)
+
+
+def test_faas_platform_metrics_and_spans():
+    sim = Simulator()
+    observer = Observer()
+    observer.attach(sim)
+    platform = FaaSPlatform(sim, concurrency=2)
+    platform.deploy(FunctionSpec("f", mean_runtime=0.2, cold_start=0.3))
+    calls = [platform.invoke("f") for _ in range(3)]
+    for call in calls:
+        sim.run(until=call)
+    counters = observer.metrics.snapshot()["counters"]
+    assert counters["faas.invocations"] == 3.0
+    assert counters["faas.cold_starts"] >= 1.0
+    histogram = observer.metrics.histogram("faas.latency")
+    assert histogram.count == 3
+    invoke_spans = [s for s in observer.tracer.spans
+                    if s.name == "invoke f"]
+    assert len(invoke_spans) == 3
+    assert all(not s.is_open for s in invoke_spans)
+    cold = [s for s in invoke_spans if s.attrs["cold"]]
+    assert len(cold) >= 1

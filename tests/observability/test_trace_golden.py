@@ -1,0 +1,63 @@
+"""Golden determinism: fixed-seed traces are byte-identical across runs.
+
+This pins the acceptance criterion from the observability contract
+(docs/OBSERVABILITY.md): with the observer enabled, two runs of the
+same fixed-seed scenario must export byte-for-byte identical Chrome
+traces and metrics snapshots.
+
+The workload names its tasks explicitly (``t0`` .. ``tN``) — task ids
+come from a process-global counter and therefore differ between runs
+inside one interpreter, so exports key on names, never ids.
+"""
+
+import hashlib
+
+from repro.datacenter import MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent
+from repro.observability import Observer
+from repro.resilience import ChaosExperiment, ExponentialBackoff
+from repro.workload import Task
+
+
+def _observed_run():
+    def workload(streams):
+        rng = streams.stream("workload")
+        return [Task(runtime=rng.uniform(10.0, 40.0), cores=2,
+                     submit_time=rng.uniform(0.0, 20.0), name=f"t{i}")
+                for i in range(24)]
+
+    def failures(streams, racks, horizon):
+        rng = streams.stream("failures")
+        names = [name for rack in racks for name in rack]
+        victims = tuple(sorted(rng.sample(names, k=3)))
+        return [FailureEvent(time=30.0, machine_names=victims,
+                             duration=20.0)]
+
+    experiment = ChaosExperiment(
+        cluster=lambda: homogeneous_cluster("c", 8, MachineSpec(cores=4),
+                                            machines_per_rack=4),
+        workload=workload, failures=failures, seed=23, horizon=250.0,
+        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0, cap=20.0))
+    observer = Observer()
+    report = experiment.run(observer=observer)
+    return observer, report
+
+
+def test_fixed_seed_exports_are_byte_identical():
+    first, report_a = _observed_run()
+    second, report_b = _observed_run()
+    assert report_a.summary() == report_b.summary()
+    trace_a = first.trace_chrome_json().encode()
+    trace_b = second.trace_chrome_json().encode()
+    assert hashlib.sha256(trace_a).hexdigest() == \
+        hashlib.sha256(trace_b).hexdigest()
+    assert first.metrics_json().encode() == second.metrics_json().encode()
+    # The deterministic half of the full snapshot also matches; the
+    # wall-clock half is intentionally excluded from snapshot().
+    assert first.snapshot() == second.snapshot()
+
+
+def test_trace_export_is_repeatable_within_one_observer():
+    observer, _ = _observed_run()
+    assert observer.trace_chrome_json() == observer.trace_chrome_json()
+    assert observer.metrics_json() == observer.metrics_json()

@@ -1,0 +1,130 @@
+"""Unit tests: span lifecycle, causal parentage, and export shape."""
+
+import pytest
+
+from repro.observability import Span, Tracer, chrome_trace, dumps_deterministic
+
+
+class FakeClock:
+    """A settable clock standing in for a simulator's ``now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock)
+
+
+def test_span_lifecycle_and_duration(tracer, clock):
+    span = tracer.begin("work", category="test")
+    assert span.is_open and span.duration == 0.0
+    clock.now = 5.0
+    tracer.end(span, attrs={"outcome": "ok"})
+    assert not span.is_open
+    assert span.duration == 5.0
+    assert span.attrs["outcome"] == "ok"
+
+
+def test_double_end_is_an_error(tracer):
+    span = tracer.begin("once")
+    tracer.end(span)
+    with pytest.raises(RuntimeError):
+        tracer.end(span)
+
+
+def test_unbound_tracer_refuses_to_trace():
+    with pytest.raises(RuntimeError):
+        Tracer().begin("no-clock")
+
+
+def test_span_ids_are_monotonic_and_parentage_links(tracer):
+    parent = tracer.begin("parent")
+    child = tracer.begin("child", parent=parent)
+    assert child.span_id == parent.span_id + 1
+    assert child.parent_id == parent.span_id
+    assert parent.parent_id is None
+
+
+def test_key_registry_replaces_and_pops(tracer):
+    first = tracer.begin("attempt", key="task")
+    assert tracer.active("task") is first
+    second = tracer.begin("attempt", key="task")  # retry replaces
+    assert tracer.active("task") is second
+    ended = tracer.end_key("task")
+    assert ended is second and not second.is_open
+    assert tracer.active("task") is None
+    assert tracer.end_key("task") is None  # no-op on absent key
+    assert first.is_open  # the replaced span was left untouched
+
+
+def test_instant_spans_have_zero_duration(tracer, clock):
+    clock.now = 3.0
+    span = tracer.instant("marker", attrs={"k": 1})
+    assert span.start == span.end == 3.0
+    assert not span.is_open
+
+
+def test_close_all_marks_incomplete(tracer, clock):
+    tracer.begin("a", key="a")
+    done = tracer.begin("b")
+    tracer.end(done)
+    clock.now = 9.0
+    assert tracer.close_all() == 1
+    assert not tracer.open_spans()
+    incomplete = [s for s in tracer.spans if s.attrs.get("incomplete")]
+    assert len(incomplete) == 1 and incomplete[0].end == 9.0
+    assert tracer.active("a") is None
+
+
+def test_to_json_orders_by_start_then_id(tracer, clock):
+    clock.now = 2.0
+    late = tracer.begin("late")
+    clock.now = 1.0
+    early = tracer.begin("early")
+    exported = tracer.to_json()
+    assert [e["name"] for e in exported] == ["early", "late"]
+    assert exported[0]["span_id"] == early.span_id
+    assert exported[1]["span_id"] == late.span_id
+
+
+def test_chrome_trace_shape(tracer, clock):
+    span = tracer.begin("work", category="scheduling")
+    clock.now = 0.5
+    tracer.end(span)
+    tracer.instant("mark", category="resilience")
+    open_span = tracer.begin("pending", category="scheduling")
+    trace = chrome_trace(tracer)
+    events = trace["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert [m["args"]["name"] for m in metadata] == ["resilience",
+                                                     "scheduling"]
+    complete = next(e for e in events if e["ph"] == "X")
+    assert complete["name"] == "work" and complete["dur"] == 0.5 * 1e6
+    instants = [e for e in events if e["ph"] == "i"]
+    names = {e["name"] for e in instants}
+    assert names == {"mark", "pending"}
+    pending = next(e for e in instants if e["name"] == "pending")
+    assert pending["args"]["incomplete"] is True
+    assert open_span.is_open  # export must not mutate the span
+    dumps_deterministic(trace)  # serializable with stable bytes
+
+
+def test_dumps_deterministic_sorts_keys_and_rejects_nan():
+    assert dumps_deterministic({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+    with pytest.raises(ValueError):
+        dumps_deterministic({"x": float("inf")})
+
+
+def test_span_to_dict_sorts_attrs():
+    span = Span(1, "s", 0.0, attrs={"z": 1, "a": 2})
+    assert list(span.to_dict()["attrs"]) == ["a", "z"]

@@ -9,10 +9,16 @@ requirement mechanical rather than aspirational.
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import pytest
 
 import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 
 def iter_modules():
@@ -83,3 +89,50 @@ def test_all_entries_resolve(module):
     for name in module.__all__:
         assert hasattr(module, name), (
             f"{module.__name__}.__all__ lists missing name {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Doc-coverage contract: the handbook must stay connected.  Every page
+# under docs/ is reachable from the README, and every example script is
+# mentioned in at least one document, so neither can silently rot.
+# ---------------------------------------------------------------------------
+
+
+def doc_pages():
+    return sorted(DOCS_DIR.glob("*.md"))
+
+
+def example_scripts():
+    return sorted(p for p in EXAMPLES_DIR.glob("*.py")
+                  if p.name != "__init__.py")
+
+
+@pytest.mark.parametrize("page", doc_pages(), ids=lambda p: p.name)
+def test_readme_links_every_doc_page(page):
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert f"docs/{page.name}" in readme, (
+        f"docs/{page.name} is not linked from README.md — add it to the"
+        " documentation index")
+
+
+@pytest.mark.parametrize("script", example_scripts(),
+                         ids=lambda p: p.name)
+def test_every_example_is_mentioned_in_a_doc(script):
+    corpus = (REPO_ROOT / "README.md").read_text()
+    for page in doc_pages():
+        corpus += page.read_text()
+    assert script.name in corpus, (
+        f"examples/{script.name} is not mentioned in README.md or any"
+        " docs/*.md page")
+
+
+def test_readme_relative_links_resolve():
+    """Every relative markdown link in the README points at a real file."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    broken = []
+    for target in re.findall(r"\]\(([^)#]+)(?:#[^)]*)?\)", readme):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not (REPO_ROOT / target).exists():
+            broken.append(target)
+    assert not broken, f"README.md links to missing files: {broken}"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation set.
+
+Scans the given markdown files (plus everything under docs/ when a
+directory is passed) and verifies that every *relative* link target
+exists on disk.  External http(s)/mailto links are skipped — CI runs
+offline — and pure anchors (``#section``) are checked only for having
+a non-empty name.
+
+Exit status is the number of broken links, so CI fails on any.
+
+Usage:
+    python tools/check_md_links.py README.md docs docs/TUTORIAL.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target) and reference definitions [id]: target.
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_REFDEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_targets(text: str):
+    """Yield every link target found in a markdown document."""
+    yield from _INLINE.findall(text)
+    yield from _REFDEF.findall(text)
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Return human-readable messages for each broken link in ``path``."""
+    broken = []
+    for target in iter_targets(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            if len(target) == 1:
+                broken.append(f"{path}: empty anchor link")
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        base = repo_root if plain.startswith("/") else path.parent
+        resolved = (base / plain.lstrip("/")).resolve()
+        if not resolved.exists():
+            broken.append(f"{path}: broken link -> {target}")
+    return broken
+
+
+def collect(arguments: list[str]) -> list[Path]:
+    """Expand CLI arguments into a sorted, de-duplicated file list."""
+    files: set[Path] = set()
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def main(arguments: list[str]) -> int:
+    """Check every file; print findings; return the broken-link count."""
+    files = collect(arguments or ["README.md", "docs"])
+    repo_root = Path(__file__).resolve().parent.parent
+    broken: list[str] = []
+    for path in files:
+        if not path.exists():
+            broken.append(f"{path}: file does not exist")
+            continue
+        broken.extend(check_file(path, repo_root))
+    for message in broken:
+        print(message)
+    print(f"checked {len(files)} files: "
+          f"{'all links OK' if not broken else f'{len(broken)} broken'}")
+    return len(broken)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
