@@ -82,6 +82,7 @@ def _golden_capture() -> dict:
         "csr": scenarios.digest_csr(sizes["csr_vertices"],
                                     sizes["csr_degree"]),
         "chaos": scenarios.digest_chaos(),
+        "alerts": scenarios.digest_alerts(),
     }
 
 

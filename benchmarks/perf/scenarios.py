@@ -21,6 +21,8 @@ from typing import Sequence
 
 from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
 from repro.failures import FailureEvent
+from repro.observability import (AvailabilityObjective, BurnRateRule,
+                                 Observer, QueueWaitObjective)
 from repro.graphproc.csr import CSRGraph, pagerank_csr
 from repro.graphproc.graph import Graph, preferential_attachment_graph
 from repro.resilience import ChaosExperiment, CheckpointPolicy, HedgePolicy
@@ -41,6 +43,7 @@ __all__ = [
     "digest_csr",
     "run_chaos",
     "digest_chaos",
+    "digest_alerts",
 ]
 
 #: Scenario sizes per harness mode.  ``full`` backs the headline
@@ -315,6 +318,35 @@ def digest_chaos(seed: int = 11) -> dict:
     outcome = {"summary": report.summary(),
                "max_attempts_observed": report.max_attempts_observed,
                "unrecovered_victims": report.unrecovered_victims,
+               "violations": list(report.violations)}
+    outcome["sha"] = digest(outcome)
+    return outcome
+
+
+def digest_alerts(seed: int = 11) -> dict:
+    """Digest the SLO verdicts and alert log of an observed chaos run.
+
+    The same scenario as :func:`digest_chaos`, re-run with the
+    observer armed and SLOs declared: the per-tick burn-rate
+    evaluation, every fire/resolve transition, and the final SLO
+    report must all be bit-identical for a fixed seed.
+    """
+    experiment = _make_chaos(seed)
+    experiment.slos = (
+        AvailabilityObjective(
+            "exec-success", good="datacenter.executions_finished",
+            bad="datacenter.executions_interrupted", target=0.9),
+        QueueWaitObjective("fast-start", threshold=50.0, target=0.9),
+    )
+    experiment.slo_rules = (
+        BurnRateRule("fast", long_window=60.0, short_window=15.0,
+                     threshold=4.0),
+        BurnRateRule("slow", long_window=240.0, short_window=60.0,
+                     threshold=2.0),
+    )
+    report = experiment.run(observer=Observer())
+    outcome = {"slo_report": report.slo_report,
+               "alerts": report.alert_log.to_json(),
                "violations": list(report.violations)}
     outcome["sha"] = digest(outcome)
     return outcome

@@ -5,6 +5,13 @@ Usage::
     python -m repro                 # list available artifacts
     python -m repro table2          # print one artifact
     python -m repro all             # print everything
+    python -m repro observe         # watch a simulation observe itself
+
+``observe`` (also ``--observe``) runs a small deterministic scenario —
+a fork-join workflow on a cluster that takes a correlated failure
+burst mid-run — with the full observability stack armed, then prints
+the operator's view: the metrics table, the SLO verdicts, the alert
+log, and the workflow's critical path.
 """
 
 from __future__ import annotations
@@ -92,6 +99,77 @@ def _curriculum() -> str:
                         title="C12. THE BOKMCS CURRICULUM ADDITIONS.")
 
 
+def _observe() -> str:
+    """One self-observing run: telemetry, SLOs, alerts, critical path.
+
+    Everything is fixed (no randomness), so the printed tables are
+    byte-identical on every invocation — the observability contract,
+    demonstrated at the command line.
+    """
+    from .datacenter import Datacenter, MachineSpec, homogeneous_cluster
+    from .failures import FailureEvent, FailureInjector
+    from .observability import (AvailabilityObjective, BurnRateRule,
+                                Observer, QueueWaitObjective, SLOEngine,
+                                StreamingPipeline, critical_path)
+    from .reporting import (render_alerts, render_critical_path,
+                            render_metrics, render_slo_report)
+    from .scheduling import ClusterScheduler, WorkflowEngine
+    from .sim import Simulator
+    from .workload import Task, Workflow
+
+    sim = Simulator()
+    observer = Observer()
+    observer.attach(sim)
+    cluster = homogeneous_cluster("observe", 4, MachineSpec(cores=2),
+                                  machines_per_rack=2)
+    datacenter = Datacenter(sim, [cluster], name="observe-dc")
+    scheduler = ClusterScheduler(sim, datacenter)
+    engine = WorkflowEngine(sim, scheduler)
+
+    workflow = Workflow("observe-demo")
+    prep = workflow.add_task(Task(runtime=5.0, cores=1, name="prep"))
+    stages = [workflow.add_task(Task(runtime=8.0 + i, cores=1,
+                                     name=f"stage{i}"),
+                                dependencies=[prep])
+              for i in range(6)]
+    workflow.add_task(Task(runtime=4.0, cores=1, name="merge"),
+                      dependencies=stages)
+
+    burst = FailureEvent(time=9.0, duration=25.0,
+                         machine_names=("observe-m0", "observe-m1"))
+    FailureInjector(sim, datacenter, [burst])
+
+    pipeline = StreamingPipeline(sim, observer.metrics, interval=2.0)
+    pipeline.attach(until=120.0)
+    slo = SLOEngine(
+        pipeline,
+        objectives=[
+            AvailabilityObjective(
+                "exec-success", good="datacenter.executions_finished",
+                bad="datacenter.executions_interrupted", target=0.9),
+            QueueWaitObjective("fast-start", threshold=5.0, target=0.9),
+        ],
+        rules=(BurnRateRule("fast", long_window=20.0, short_window=6.0,
+                            threshold=2.0),))
+
+    done = engine.submit(workflow)
+    sim.run(until=done)
+    scheduler.stop()
+
+    path = critical_path(observer.tracer, "workflow observe-demo")
+    sections = [
+        f"One workflow, one failure burst, makespan {sim.now:.1f}s "
+        "- as the run saw itself:",
+        render_metrics(observer.metrics.snapshot(),
+                       title="Metrics (end of run)"),
+        render_slo_report(slo.report()),
+        render_alerts(slo.alerts),
+        render_critical_path(path,
+                             title="Critical path (workflow observe-demo)"),
+    ]
+    return "\n\n".join(sections)
+
+
 ARTIFACTS = {
     "table1": _table1,
     "table2": _table2,
@@ -115,8 +193,12 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(ARTIFACTS):
             print(f"  {name}")
         print("  all")
+        print("  observe")
         return 0
     name = argv[0]
+    if name in ("observe", "--observe"):
+        print(_observe())
+        return 0
     if name == "all":
         for artifact in sorted(ARTIFACTS):
             print(ARTIFACTS[artifact]())

@@ -52,6 +52,9 @@ class AutoscalingController:
         self._demand_points: list[tuple[float, float]] = []
         self._supply_points: list[tuple[float, float]] = []
         self._stopped = False
+        #: Emergency capacity boosts taken in response to SLO alerts
+        #: (see :meth:`respond_to_alerts`).
+        self.alert_boosts = 0
         self._record(initial=True)
         sim.process(self._run(), name=f"autoscaler-{autoscaler.name}")
 
@@ -131,6 +134,39 @@ class AutoscalingController:
     def stop(self) -> None:
         """Stop the control loop at the next tick."""
         self._stopped = True
+
+    def respond_to_alerts(self, engine, boost: int = 1) -> None:
+        """Lease extra machines the moment a burn-rate alert fires.
+
+        Subscribes to an :class:`~repro.observability.slo.SLOEngine`
+        (anything with an ``on_alert`` list works): every ``fire``
+        event immediately leases ``boost`` machines beyond the current
+        supply, without waiting for the next periodic evaluation — the
+        paper's monitoring → analysis → action loop closed at alert
+        latency rather than control-period latency.  Resolve events
+        are ignored; the periodic policy scales back down on its own.
+        """
+        if boost < 1:
+            raise ValueError(f"boost must be at least 1, got {boost}")
+
+        def _on_alert(event) -> None:
+            if event.kind != "fire":
+                return
+            self.alert_boosts += 1
+            before = self.leased_machines
+            self._apply(before + boost)
+            self._record()
+            observer = self.sim.observer
+            if observer is not None:
+                observer.metrics.counter("autoscaling.alert_boosts").inc()
+                observer.metrics.gauge("autoscaling.machines").set(
+                    float(self.leased_machines))
+                observer.tracer.instant(
+                    "alert-boost", category="autoscaling",
+                    attrs={"slo": event.slo, "rule": event.rule,
+                           "before": before, "after": self.leased_machines})
+
+        engine.on_alert.append(_on_alert)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -15,7 +15,14 @@ organ for every simulation in :mod:`repro`:
   :class:`Observer` switch that arms all of it; disabled by default
   and zero-overhead when disabled;
 - :mod:`~repro.observability.export` — deterministic JSON / Chrome
-  trace serialization.
+  trace serialization;
+- :mod:`~repro.observability.streaming` — windowed telemetry
+  aggregation evaluated at sim-time ticks *during* the run;
+- :mod:`~repro.observability.slo` — declarative service objectives,
+  error budgets, multi-window burn-rate alerting, deterministic
+  :class:`AlertLog`;
+- :mod:`~repro.observability.traceanalysis` — critical-path
+  extraction, per-subsystem latency breakdowns, span-census diffs.
 
 See docs/OBSERVABILITY.md for the operator's handbook.
 """
@@ -32,9 +39,30 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_counts,
 )
 from .observer import Observer
 from .profiling import DEFAULT_RULES, SubsystemProfiler
+from .slo import (
+    DEFAULT_BURN_RULES,
+    AlertEvent,
+    AlertLog,
+    AvailabilityObjective,
+    BurnRateRule,
+    GoodputObjective,
+    LatencyObjective,
+    QueueWaitObjective,
+    ServiceObjective,
+    SLOEngine,
+)
+from .streaming import StreamingPipeline, StreamSeries, Window, watch_all
+from .traceanalysis import (
+    PathSegment,
+    census_diff,
+    critical_path,
+    span_census,
+    subsystem_breakdown,
+)
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -46,10 +74,30 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "quantile_from_counts",
     "SubsystemProfiler",
     "DEFAULT_RULES",
     "chrome_trace",
     "dumps_deterministic",
     "write_chrome_trace",
     "write_trace_json",
+    "StreamingPipeline",
+    "StreamSeries",
+    "Window",
+    "watch_all",
+    "ServiceObjective",
+    "AvailabilityObjective",
+    "LatencyObjective",
+    "QueueWaitObjective",
+    "GoodputObjective",
+    "BurnRateRule",
+    "DEFAULT_BURN_RULES",
+    "AlertEvent",
+    "AlertLog",
+    "SLOEngine",
+    "PathSegment",
+    "critical_path",
+    "subsystem_breakdown",
+    "span_census",
+    "census_diff",
 ]

@@ -31,7 +31,33 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "quantile_from_counts",
 ]
+
+
+def quantile_from_counts(boundaries: Sequence[float], counts: Sequence[int],
+                         total: int, q: float, overflow: float) -> float:
+    """Quantile upper bound from fixed-bucket counts.
+
+    The shared estimator behind :meth:`Histogram.quantile` and the
+    streaming pipeline's window aggregates: find the first bucket whose
+    cumulative count reaches ``q * total`` and return its upper
+    boundary (``overflow`` — typically the max observation seen — for
+    the implicit last bucket).  Deterministic and monotone in ``q``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return float("nan")
+    target = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count:
+            if index < len(boundaries):
+                return boundaries[index]
+            return overflow
+    return overflow
 
 #: Default histogram bucket upper bounds (in whatever unit the metric
 #: uses, typically sim-seconds).  Roughly logarithmic, wide enough for
@@ -158,19 +184,23 @@ class Histogram:
         resolution, deterministic, and monotone in ``q``.  The overflow
         bucket reports the largest observation seen.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self._count == 0:
-            return float("nan")
-        target = q * self._count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= target and bucket_count:
-                if index < len(self.boundaries):
-                    return self.boundaries[index]
-                return self._max
-        return self._max
+        return quantile_from_counts(self.boundaries, self.counts,
+                                    self._count, q, self._max)
+
+    @property
+    def p50(self) -> float:
+        """Median estimate: the 0.50-quantile bucket upper bound."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """Tail estimate: the 0.95-quantile bucket upper bound."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """Far-tail estimate: the 0.99-quantile bucket upper bound."""
+        return self.quantile(0.99)
 
 
 class MetricsRegistry:
@@ -215,6 +245,15 @@ class MetricsRegistry:
         return self._get(name, Histogram,
                          lambda: Histogram(name, boundaries, description))
 
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, or ``None``.
+
+        Read-only lookup for consumers (the streaming pipeline, SLO
+        objectives) that must never create instruments as a side
+        effect of observing them.
+        """
+        return self._instruments.get(name)
+
     def __len__(self) -> int:
         return len(self._instruments)
 
@@ -230,9 +269,9 @@ class MetricsRegistry:
 
         Returns a dict with ``counters`` / ``gauges`` / ``histograms``
         sections, each keyed by sorted instrument name.  Histogram
-        entries carry boundaries, per-bucket counts, sum, count, and
-        min/max (omitted while empty so no non-finite values leak into
-        JSON).
+        entries carry boundaries, per-bucket counts, sum, count, and —
+        once non-empty — min/max and the p50/p95/p99 bucket estimates
+        (omitted while empty so no non-finite values leak into JSON).
         """
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
@@ -253,6 +292,9 @@ class MetricsRegistry:
                 if instrument.count:
                     entry["min"] = instrument._min
                     entry["max"] = instrument._max
+                    entry["p50"] = instrument.p50
+                    entry["p95"] = instrument.p95
+                    entry["p99"] = instrument.p99
                 histograms[name] = entry
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}

@@ -1,0 +1,216 @@
+"""Trace analytics: critical paths, latency breakdowns, census diffs.
+
+PR 3's tracer records *what happened*; this module answers the
+operator questions the paper's self-awareness challenge (C2) and its
+performance-analysis thread (C7, C14) actually pose:
+
+- **Where did the time go?**  :func:`critical_path` walks a span tree
+  backwards from its last-finishing child and returns the chain of
+  spans (and the waits between them) that determined the root's
+  duration — the classic trace-based critical path of workflow
+  analysis.  Shortening any span *off* this path cannot shorten the
+  workflow.
+- **Which subsystem holds the latency?**  :func:`subsystem_breakdown`
+  aggregates closed spans per category (scheduling, datacenter, faas,
+  resilience, ...) into count / total / mean / share columns.
+- **What changed between two runs?**  :func:`span_census` counts spans
+  by kind and :func:`census_diff` diffs two censuses, which turns a
+  pair of traces into a one-table regression summary (more retries?
+  fewer hedges? new failure bursts?).
+
+Everything here is a pure post-processing function over
+:class:`~repro.observability.tracing.Span` lists: deterministic input
+(the tracer's contract) in, deterministic tables out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .tracing import Span, Tracer
+
+__all__ = [
+    "PathSegment",
+    "critical_path",
+    "subsystem_breakdown",
+    "span_census",
+    "census_diff",
+]
+
+#: Span-time comparisons tolerate only float noise; simulated
+#: timestamps are exact otherwise.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of a critical path: a span, or the wait before one."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+    kind: str  # "span" | "wait"
+
+    @property
+    def duration(self) -> float:
+        """Simulated-time length of the segment."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-able view of the segment."""
+        return {"name": self.name, "category": self.category,
+                "start": self.start, "end": self.end, "kind": self.kind}
+
+
+def _spans_of(trace: "Tracer | Iterable[Span]") -> list[Span]:
+    spans = trace.spans if isinstance(trace, Tracer) else list(trace)
+    return [s for s in spans if s.end is not None]
+
+
+def _resolve_root(spans: list[Span], root: "Span | str") -> Span:
+    if isinstance(root, Span):
+        if root.end is None:
+            raise ValueError(f"root span {root.name!r} is still open; "
+                             "close it (tracer.close_all()) before analysis")
+        return root
+    matches = [s for s in spans if s.name == root]
+    if not matches:
+        raise ValueError(f"no closed span named {root!r} in the trace")
+    if len(matches) > 1:
+        raise ValueError(f"{len(matches)} spans named {root!r}; pass the "
+                         "Span object to disambiguate")
+    return matches[0]
+
+
+def critical_path(trace: "Tracer | Iterable[Span]", root: "Span | str",
+                  expand: bool = True) -> list[PathSegment]:
+    """The chain of child spans that determined ``root``'s duration.
+
+    Walks backwards from the root's end: the child span finishing last
+    is on the path; before its start, the child finishing last before
+    that is; and so on.  Gaps where no child was running become
+    ``wait`` segments — for a workflow root these are scheduler-queue
+    or dependency stalls; shrinking them needs capacity, not faster
+    tasks.
+
+    Args:
+        trace: A tracer or span iterable (open spans are ignored).
+        root: The root span, or the unique name of one (e.g.
+            ``"workflow montage"``).
+        expand: Recursively replace path spans that have children of
+            their own with *their* critical path (a task span expands
+            into its exec attempts plus queue wait).
+
+    Returns:
+        Segments in chronological order, covering exactly
+        ``[root.start, root.end]``.  A childless root yields its own
+        single segment.
+    """
+    spans = _spans_of(trace)
+    root_span = _resolve_root(spans, root)
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    return _walk(root_span, children, expand)
+
+
+def _walk(root: Span, children: dict[int, list[Span]],
+          expand: bool) -> list[PathSegment]:
+    own = children.get(root.span_id, [])
+    if not own:
+        return [PathSegment(root.name, root.category, root.start, root.end,
+                            "span")]
+    segments: list[PathSegment] = []
+    cursor = root.end
+    while cursor > root.start + _EPS:
+        # The latest-finishing child that ended by the cursor; ties
+        # prefer the longer span, then the earlier (smaller) span id —
+        # all deterministic under the tracer's ordering contract.
+        best: Span | None = None
+        for child in own:
+            if child.end > cursor + _EPS or child.end <= root.start + _EPS:
+                continue
+            if child.duration <= _EPS:
+                continue  # instant markers cannot explain elapsed time
+
+            if best is None or (child.end, child.duration, -child.span_id) \
+                    > (best.end, best.duration, -best.span_id):
+                best = child
+        if best is None:
+            segments.append(PathSegment("(wait)", root.category, root.start,
+                                        cursor, "wait"))
+            break
+        if best.end < cursor - _EPS:
+            segments.append(PathSegment("(wait)", root.category, best.end,
+                                        cursor, "wait"))
+        start = max(best.start, root.start)
+        if expand and children.get(best.span_id):
+            inner = _walk(best, children, expand)
+            segments.extend(reversed(inner))
+        else:
+            segments.append(PathSegment(best.name, best.category, start,
+                                        best.end, "span"))
+        cursor = start
+    segments.reverse()
+    return segments
+
+
+def subsystem_breakdown(trace: "Tracer | Iterable[Span]") -> dict[str, dict]:
+    """Closed-span latency totals per category (subsystem).
+
+    Returns ``{category: {"spans", "total_time", "mean_time",
+    "share"}}`` where ``share`` is the category's fraction of all
+    closed-span time (instant markers contribute to counts but not to
+    time).  Keys are sorted for deterministic iteration.
+    """
+    totals: dict[str, list[float]] = {}
+    for span in _spans_of(trace):
+        category = span.category or "span"
+        entry = totals.setdefault(category, [0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+    grand_total = sum(entry[1] for entry in totals.values()) or 1.0
+    return {
+        category: {
+            "spans": entry[0],
+            "total_time": entry[1],
+            "mean_time": entry[1] / entry[0] if entry[0] else 0.0,
+            "share": entry[1] / grand_total,
+        }
+        for category, entry in sorted(totals.items())
+    }
+
+
+def span_census(trace: "Tracer | Iterable[Span]") -> dict[str, int]:
+    """Span counts by kind — the first word of the span name.
+
+    ``task t17`` and ``task t3`` both count as ``task``; instant
+    markers like ``failure-burst`` count under their full name.  The
+    census is the trace's table of contents and the unit
+    :func:`census_diff` compares across runs.
+    """
+    spans = trace.spans if isinstance(trace, Tracer) else list(trace)
+    census: dict[str, int] = {}
+    for span in spans:
+        kind = span.name.split(" ", 1)[0]
+        census[kind] = census.get(kind, 0) + 1
+    return dict(sorted(census.items()))
+
+
+def census_diff(before: dict[str, int],
+                after: dict[str, int]) -> dict[str, tuple[int, int, int]]:
+    """Compare two span censuses: ``{kind: (before, after, delta)}``.
+
+    Kinds present in either census appear (missing side counts 0);
+    keys are sorted.  A chaos run that suddenly shows ``delta > 0`` on
+    ``exec`` with flat ``task`` counts, for example, means more retry
+    attempts per task — a resilience regression visible without
+    reading a single raw span.
+    """
+    keys = sorted(set(before) | set(after))
+    return {key: (before.get(key, 0), after.get(key, 0),
+                  after.get(key, 0) - before.get(key, 0))
+            for key in keys}

@@ -1,6 +1,12 @@
 """Reporting substrate (S17): plain-text rendering of results."""
 
-from .observability import render_metrics, render_profile
+from .observability import (
+    render_alerts,
+    render_critical_path,
+    render_metrics,
+    render_profile,
+    render_slo_report,
+)
 from .tables import render_kv, render_series, render_table
 from .transparency import (
     STAKEHOLDERS,
@@ -14,6 +20,9 @@ __all__ = [
     "render_kv",
     "render_metrics",
     "render_profile",
+    "render_alerts",
+    "render_critical_path",
+    "render_slo_report",
     "OperationalSnapshot",
     "TransparencyReporter",
     "STAKEHOLDERS",

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from .tables import render_table
 
-__all__ = ["render_metrics", "render_profile"]
+__all__ = ["render_metrics", "render_profile", "render_alerts",
+           "render_critical_path", "render_slo_report"]
 
 
 def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
@@ -22,8 +23,9 @@ def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
     ``snapshot`` is the dict returned by
     :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`.
     Counters and gauges show their value; histograms show count, mean,
-    and the p50/p95 bucket upper bounds so latency tails are visible
-    without raw samples.
+    and the p50/p95/p99 bucket upper bounds (taken from the snapshot's
+    own percentile keys) so latency tails are visible without raw
+    samples.
     """
     rows: list[tuple] = []
     for name, value in snapshot.get("counters", {}).items():
@@ -33,14 +35,76 @@ def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
     for name, entry in snapshot.get("histograms", {}).items():
         count = entry["count"]
         mean = entry["sum"] / count if count else 0.0
+        p50 = entry.get("p50", _bucket_quantile(entry, 0.50))
+        p95 = entry.get("p95", _bucket_quantile(entry, 0.95))
+        p99 = entry.get("p99", _bucket_quantile(entry, 0.99))
         rows.append((name, "histogram",
                      f"n={count} mean={_short(mean)} "
-                     f"p50<={_short(_bucket_quantile(entry, 0.50))} "
-                     f"p95<={_short(_bucket_quantile(entry, 0.95))}"))
+                     f"p50<={_short(p50)} p95<={_short(p95)} "
+                     f"p99<={_short(p99)}"))
     rows.sort(key=lambda row: row[0])
     if not rows:
         rows.append(("(no instruments registered)", "-", "-"))
     return render_table(["Metric", "Kind", "Value"], rows, title=title)
+
+
+def render_alerts(log, title: str = "Alert log") -> str:
+    """Render an :class:`~repro.observability.slo.AlertLog` as one table.
+
+    Accepts the log itself or any iterable of
+    :class:`~repro.observability.slo.AlertEvent`; each fire/resolve
+    transition becomes a row with its sim-time and the short/long
+    burn rates at the transition.
+    """
+    rows = [(f"{event.time:.1f}", event.slo, event.rule, event.kind,
+             f"{event.burn_short:.2f}x", f"{event.burn_long:.2f}x")
+            for event in log]
+    if not rows:
+        rows.append(("-", "(no alerts)", "-", "-", "-", "-"))
+    return render_table(
+        ["Time [s]", "SLO", "Rule", "Event", "Burn (short)", "Burn (long)"],
+        rows, title=title)
+
+
+def render_critical_path(segments, title: str = "Critical path") -> str:
+    """Render :func:`~repro.observability.traceanalysis.critical_path`.
+
+    One row per :class:`~repro.observability.traceanalysis.PathSegment`
+    with its interval, duration, and share of the whole path — the
+    ``(wait)`` rows are where capacity, not faster tasks, would shorten
+    the run.
+    """
+    segments = list(segments)
+    total = sum(segment.duration for segment in segments) or 1.0
+    rows = [(segment.name, segment.kind, f"{segment.start:.1f}",
+             f"{segment.end:.1f}", _short(segment.duration),
+             f"{segment.duration / total:.1%}")
+            for segment in segments]
+    if not rows:
+        rows.append(("(empty path)", "-", "-", "-", "-", "-"))
+    return render_table(
+        ["Segment", "Kind", "Start [s]", "End [s]", "Duration [s]", "Share"],
+        rows, title=title)
+
+
+def render_slo_report(report: dict, title: str = "SLO report") -> str:
+    """Render :meth:`~repro.observability.slo.SLOEngine.report`.
+
+    One row per objective: target vs achieved compliance, the error
+    budget consumed (``> 1`` means blown), alert counts, and the
+    verdict.
+    """
+    rows = [(name, f"{entry['target']:.3f}", f"{entry['compliance']:.4f}",
+             f"{entry['budget_consumed']:.2f}x",
+             f"{int(entry['alerts_fired'])}/{int(entry['alerts_active'])}",
+             "ok" if entry["ok"] else "VIOLATED")
+            for name, entry in report.items()]
+    if not rows:
+        rows.append(("(no objectives)", "-", "-", "-", "-", "-"))
+    return render_table(
+        ["SLO", "Target", "Compliance", "Budget used",
+         "Alerts fired/active", "Verdict"],
+        rows, title=title)
 
 
 def render_profile(report: dict, wall: dict | None = None,

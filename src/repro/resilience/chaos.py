@@ -30,6 +30,9 @@ from ..datacenter.cluster import Cluster
 from ..datacenter.datacenter import Datacenter
 from ..failures.injection import FailureInjector
 from ..failures.models import FailureEvent
+from ..observability.slo import (AlertLog, BurnRateRule, ServiceObjective,
+                                 SLOEngine)
+from ..observability.streaming import StreamingPipeline
 from ..scheduling.scheduler import ClusterScheduler
 from ..selfaware.anomaly import RecoveryPlanner
 from ..sim import RandomStreams, Simulator
@@ -87,6 +90,11 @@ class ChaosReport:
     hedge_rescues: int = 0
     #: Resilience-invariant violations; empty means the run was clean.
     violations: list[str] = field(default_factory=list)
+    #: SLO grading — populated only when the experiment declares
+    #: ``slos`` and runs with an observer.  Kept out of
+    #: :meth:`summary` so existing benchmark records stay comparable.
+    slo_report: dict[str, dict[str, float]] | None = None
+    alert_log: AlertLog | None = None
 
     @property
     def ok(self) -> bool:
@@ -148,6 +156,17 @@ class ChaosExperiment:
         injection_jitter: Perturbation bound on failure times, drawn
             from the ``"failure-injection"`` substream.
         max_time: Safety cap on simulated time.
+        slos: Optional declared
+            :class:`~repro.observability.slo.ServiceObjective` set the
+            run is graded against at every telemetry tick.  Requires
+            passing an observer to :meth:`run`; violations land in the
+            report's ``violations`` and the full verdicts in
+            ``slo_report`` / ``alert_log``.
+        slo_rules: Burn-rate rules for the SLO engine (default: the
+            SRE fast/slow pair,
+            :data:`~repro.observability.slo.DEFAULT_BURN_RULES`).
+        telemetry_interval: Sim-seconds between telemetry ticks when
+            ``slos`` are declared.
     """
 
     def __init__(self, cluster: Callable[[], Cluster],
@@ -159,13 +178,18 @@ class ChaosExperiment:
                  admission: Callable[[Datacenter], Any] | None = None,
                  availability_slo: float = 0.0,
                  injection_jitter: float = 0.0,
-                 max_time: float = 10_000_000.0) -> None:
+                 max_time: float = 10_000_000.0,
+                 slos: Sequence[ServiceObjective] | None = None,
+                 slo_rules: Sequence[BurnRateRule] | None = None,
+                 telemetry_interval: float = 5.0) -> None:
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         if not 0.0 <= availability_slo <= 1.0:
             raise ValueError("availability_slo must be in [0, 1]")
         if injection_jitter < 0:
             raise ValueError("injection_jitter must be non-negative")
+        if telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
         self.cluster = cluster
         self.workload = workload
         self.failures = failures
@@ -179,6 +203,9 @@ class ChaosExperiment:
         self.availability_slo = availability_slo
         self.injection_jitter = injection_jitter
         self.max_time = max_time
+        self.slos = tuple(slos) if slos else ()
+        self.slo_rules = tuple(slo_rules) if slo_rules else None
+        self.telemetry_interval = telemetry_interval
 
     # ------------------------------------------------------------------
     # Execution
@@ -197,9 +224,20 @@ class ChaosExperiment:
                 report by hand.  Observability never perturbs the run:
                 the same seed yields the identical report either way.
         """
+        if self.slos and observer is None:
+            raise ValueError(
+                "SLO grading reads the metrics registry; pass an observer "
+                "to run() when the experiment declares slos")
         sim = Simulator()
         if observer is not None:
             observer.attach(sim)
+        engine: SLOEngine | None = None
+        if self.slos:
+            pipeline = StreamingPipeline(sim, observer.metrics,
+                                         interval=self.telemetry_interval)
+            engine = (SLOEngine(pipeline, self.slos, rules=self.slo_rules)
+                      if self.slo_rules is not None
+                      else SLOEngine(pipeline, self.slos))
         streams = RandomStreams(self.seed)
         cluster = self.cluster()
         datacenter = Datacenter(sim, [cluster], name="chaos-dc")
@@ -221,11 +259,25 @@ class ChaosExperiment:
         # Run to event exhaustion, but without the clock jump to the
         # stop time that run(until=...) performs on an early drain —
         # the availability denominator is the *actual* elapsed time.
-        while sim.peek() <= self.max_time:
-            sim.step()
+        # Telemetry ticks are driven externally (`advance`) rather than
+        # as sim events, so observation can never keep a drained
+        # simulation alive or perturb its event order.
+        if engine is None:
+            while sim.peek() <= self.max_time:
+                sim.step()
+        else:
+            pipeline = engine.pipeline
+            while (when := sim.peek()) <= self.max_time:
+                pipeline.advance(when)
+                sim.step()
+            pipeline.advance(sim.now)
         scheduler.stop()
         report = self._report(sim, datacenter, scheduler, planner, injector,
                               tasks)
+        if engine is not None:
+            report.slo_report = engine.report()
+            report.alert_log = engine.alerts
+            report.violations.extend(engine.violations())
         if observer is not None:
             for key, value in report.summary().items():
                 observer.metrics.gauge(f"chaos.{key}").set(value)

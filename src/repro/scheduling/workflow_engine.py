@@ -104,11 +104,22 @@ class WorkflowEngine:
         return done
 
     def _release_eligible(self, workflow: Workflow) -> None:
+        observer = self.sim.observer
+        wf_span = (observer.tracer.active(("workflow", workflow))
+                   if observer is not None else None)
         for task in workflow:
             if (task in self._pending and task.state is TaskState.PENDING
                     and task.is_eligible):
                 task.state = TaskState.ELIGIBLE
                 self.scheduler.submit(task)
+                if wf_span is not None:
+                    # The scheduler opened the task span parentless; put
+                    # it under the workflow span so trace analytics can
+                    # extract workflow critical paths.
+                    task_span = observer.tracer.active(
+                        ("task", task.task_id))
+                    if task_span is not None and task_span.parent_id is None:
+                        task_span.parent_id = wf_span.span_id
 
     def _on_task_complete(self, task: Task) -> None:
         workflow = self._pending.get(task)
@@ -141,17 +152,26 @@ class WorkflowEngine:
             self._fail_workflow(workflow, task, session.retries)
             return
         if delay <= 0:
-            task.reset_for_retry()
-            self.scheduler.submit(task)
+            self._resubmit(task)
         else:
             self.sim.process(self._resubmit_later(task, workflow, delay),
                              name=f"retry-{task.name}")
 
+    def _resubmit(self, task: Task) -> None:
+        """Re-queue a failed task, marking it ELIGIBLE immediately.
+
+        Leaving it PENDING while queued would make the next
+        :meth:`_release_eligible` sweep (any sibling finishing) submit
+        it a second time.
+        """
+        task.reset_for_retry()
+        task.state = TaskState.ELIGIBLE
+        self.scheduler.submit(task)
+
     def _resubmit_later(self, task: Task, workflow: Workflow, delay: float):
         yield self.sim.timeout(delay)
         if task in self._pending and task.state is TaskState.FAILED:
-            task.reset_for_retry()
-            self.scheduler.submit(task)
+            self._resubmit(task)
 
     def _fail_workflow(self, workflow: Workflow, culprit: Task,
                        retries: int) -> None:

@@ -14,12 +14,14 @@ from .adaptation import (
     problems_addressed_by,
 )
 from .anomaly import RecoveryPlanner, ThresholdDetector, ZScoreDetector
-from .feedback import Knowledge, MAPEKLoop, PIDController
+from .feedback import (AlertDrivenAdaptation, Knowledge, MAPEKLoop,
+                       PIDController)
 
 __all__ = [
     "Knowledge",
     "MAPEKLoop",
     "PIDController",
+    "AlertDrivenAdaptation",
     "AdaptationProblem",
     "AdaptationApproach",
     "APPROACH_IMPLEMENTATIONS",

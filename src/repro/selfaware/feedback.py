@@ -18,7 +18,7 @@ from typing import Any, Callable, Mapping
 
 from ..sim import Simulator
 
-__all__ = ["Knowledge", "MAPEKLoop", "PIDController"]
+__all__ = ["Knowledge", "MAPEKLoop", "PIDController", "AlertDrivenAdaptation"]
 
 
 @dataclass
@@ -86,6 +86,50 @@ class MAPEKLoop:
     def stop(self) -> None:
         """Stop the loop at the next tick."""
         self._stopped = True
+
+
+class AlertDrivenAdaptation:
+    """Turns SLO burn-rate alerts into immediate adaptation triggers.
+
+    The periodic :class:`MAPEKLoop` senses on a fixed cadence; this
+    bridge adds the event-driven path the paper's P4 asks for —
+    "monitoring and sensing, which give input (feedback) to Resource
+    Management and Scheduling" — by subscribing to an
+    :class:`~repro.observability.slo.SLOEngine` (anything with an
+    ``on_alert`` list) and reacting the instant an alert lands.
+
+    Args:
+        engine: The alert source; its ``on_alert`` list gains this
+            bridge as a subscriber.
+        loop: Optional :class:`MAPEKLoop` whose :meth:`MAPEKLoop.step`
+            runs out-of-cadence on every ``fire`` event.
+        handler: Optional callable invoked with *every*
+            :class:`~repro.observability.slo.AlertEvent` (fires and
+            resolves) for custom reactions.
+
+    At least one of ``loop`` / ``handler`` is required.  Every
+    received event is kept in :attr:`triggered` for assertions.
+    """
+
+    def __init__(self, engine: Any, loop: MAPEKLoop | None = None,
+                 handler: Callable[[Any], None] | None = None) -> None:
+        if loop is None and handler is None:
+            raise ValueError(
+                "AlertDrivenAdaptation needs a MAPE-K loop, a handler, "
+                "or both — with neither it could not adapt anything")
+        self.engine = engine
+        self.loop = loop
+        self.handler = handler
+        #: Every alert event received, in arrival order.
+        self.triggered: list[Any] = []
+        engine.on_alert.append(self._on_alert)
+
+    def _on_alert(self, event: Any) -> None:
+        self.triggered.append(event)
+        if self.handler is not None:
+            self.handler(event)
+        if self.loop is not None and event.kind == "fire":
+            self.loop.step()
 
 
 class PIDController:

@@ -176,6 +176,29 @@ class Simulator:
         """Event that triggers when all of ``events`` have."""
         return AllOf(self, events)
 
+    def every(self, interval: float, fn, until: float | None = None,
+              name: str = "tick") -> Process:
+        """Run ``fn(now)`` at ``now + k * interval`` for ``k = 1, 2, ...``.
+
+        The canonical driver for sim-time-scheduled evaluation ticks
+        (streaming telemetry, SLO checks, periodic samplers).  ``fn``
+        must be a plain callable — it runs synchronously inside the
+        tick event, so it may read state and schedule work but cannot
+        itself consume simulated time.  ``until`` bounds the process:
+        no tick is scheduled past it, so a periodic observer cannot
+        keep an otherwise-drained simulation alive.  Returns the tick
+        :class:`Process` (interrupt it to cancel early).
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+
+        def _ticks():
+            while until is None or self._now + interval <= until + 1e-9:
+                yield self.timeout(interval)
+                fn(self._now)
+
+        return self.process(_ticks(), name=name)
+
     # ------------------------------------------------------------------
     # Scheduling and the main loop
     # ------------------------------------------------------------------

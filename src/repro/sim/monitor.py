@@ -9,12 +9,19 @@ provides the two workhorse instruments:
 - :class:`TimeWeightedMonitor` — a piecewise-constant state variable
   (queue length, machines busy) whose statistics are weighted by how long
   each value was held.
+
+Sampling-path note: since the streaming telemetry layer landed
+(:mod:`repro.observability.streaming`), :class:`Monitor` is its gauge
+sample *store* and :func:`summarize` its one statistics routine —
+prefer a :class:`~repro.observability.streaming.StreamingPipeline`
+watch over hand-rolled periodic sampling loops; this module remains
+the storage/summary primitive underneath, not a second pipeline.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Sequence
 
 __all__ = ["Monitor", "TimeWeightedMonitor", "summarize"]
@@ -77,10 +84,26 @@ class Monitor:
         return summarize(self.values)
 
     def window(self, start: float, end: float) -> list[float]:
-        """Values with ``start <= time < end``."""
-        lo = bisect_right(self.times, start - 1e-15)
-        hi = bisect_right(self.times, end - 1e-15)
+        """Values with ``start <= time < end`` (half-open, left-closed).
+
+        Boundary samples resolve exactly — no epsilon nudging — so this
+        and :meth:`window_summary` can never disagree about which side
+        of a window edge a sample falls on.
+        """
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)
         return self.values[lo:hi]
+
+    def window_summary(self, start: float, end: float) -> dict[str, float]:
+        """:func:`summarize` of samples with ``start < time <= end``.
+
+        Right-closed to match the streaming pipeline's windows, whose
+        aggregate at tick time ``T`` covers ``(T - width, T]`` — the
+        sample taken *at* the tick belongs to the window it ends.
+        """
+        lo = bisect_right(self.times, start)
+        hi = bisect_right(self.times, end)
+        return summarize(self.values[lo:hi])
 
 
 class TimeWeightedMonitor:

@@ -1,0 +1,106 @@
+"""Golden determinism: fixed-seed SLO grading is byte-identical.
+
+The tentpole contract for streaming telemetry and alerting extends the
+observability contract of docs/OBSERVABILITY.md: with the observer
+enabled and SLOs declared, two runs of the same fixed-seed chaos
+experiment must produce byte-for-byte identical alert logs and SLO
+reports — and declaring the SLOs must not perturb the simulation
+itself.
+"""
+
+import hashlib
+
+from repro.datacenter import MachineSpec, homogeneous_cluster
+from repro.failures import FailureEvent
+from repro.observability import (AvailabilityObjective, BurnRateRule,
+                                 Observer, QueueWaitObjective)
+from repro.resilience import ChaosExperiment, ExponentialBackoff
+from repro.workload import Task
+
+
+def _experiment(graded=True):
+    def workload(streams):
+        rng = streams.stream("workload")
+        return [Task(runtime=rng.uniform(10.0, 40.0), cores=2,
+                     submit_time=rng.uniform(0.0, 20.0), name=f"t{i}")
+                for i in range(24)]
+
+    def failures(streams, racks, horizon):
+        rng = streams.stream("failures")
+        names = [name for rack in racks for name in rack]
+        victims = tuple(sorted(rng.sample(names, k=3)))
+        return [FailureEvent(time=30.0, machine_names=victims,
+                             duration=20.0)]
+
+    kwargs = {}
+    if graded:
+        kwargs["slos"] = [
+            AvailabilityObjective(
+                "exec-success", good="datacenter.executions_finished",
+                bad="datacenter.executions_interrupted", target=0.95),
+            QueueWaitObjective("fast-start", threshold=25.0, target=0.9),
+        ]
+        kwargs["slo_rules"] = (
+            BurnRateRule("fast", long_window=60.0, short_window=15.0,
+                         threshold=2.0),)
+        kwargs["telemetry_interval"] = 5.0
+    return ChaosExperiment(
+        cluster=lambda: homogeneous_cluster("c", 8, MachineSpec(cores=4),
+                                            machines_per_rack=4),
+        workload=workload, failures=failures, seed=23, horizon=250.0,
+        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0, cap=20.0),
+        **kwargs)
+
+
+def _graded_run():
+    observer = Observer()
+    report = _experiment().run(observer=observer)
+    return observer, report
+
+
+def test_alert_log_and_slo_report_are_byte_identical():
+    _, report_a = _graded_run()
+    _, report_b = _graded_run()
+    bytes_a = report_a.alert_log.json().encode()
+    bytes_b = report_b.alert_log.json().encode()
+    assert hashlib.sha256(bytes_a).hexdigest() == \
+        hashlib.sha256(bytes_b).hexdigest()
+    assert report_a.slo_report == report_b.slo_report
+    assert report_a.summary() == report_b.summary()
+    # The scenario is tuned to actually alert — an empty log would make
+    # this test vacuous.
+    assert len(report_a.alert_log.fires()) > 0
+
+
+def test_slo_grading_does_not_perturb_the_simulation():
+    plain = _experiment(graded=False).run(observer=Observer())
+    graded_observer = Observer()
+    graded = _experiment().run(observer=graded_observer)
+    plain_summary = plain.summary()
+    graded_summary = graded.summary()
+    # Every simulation-outcome field matches; only the violations count
+    # may differ (SLO verdicts are appended as violations by design).
+    drifted = {key for key in plain_summary
+               if plain_summary[key] != graded_summary[key]}
+    assert drifted <= {"violations"}
+    # And the trace the observer collected is byte-identical too.
+    control = Observer()
+    _experiment(graded=False).run(observer=control)
+    assert control.trace_chrome_json() == graded_observer.trace_chrome_json()
+
+
+def test_slo_violations_land_in_the_report():
+    _, report = _graded_run()
+    assert report.slo_report is not None
+    assert set(report.slo_report) == {"exec-success", "fast-start"}
+    slo_lines = [line for line in report.violations
+                 if line.startswith("SLO ")]
+    blown = [name for name, entry in report.slo_report.items()
+             if not entry["ok"]]
+    assert len(slo_lines) == len(blown)
+
+
+def test_declaring_slos_without_observer_is_an_error():
+    import pytest
+    with pytest.raises(ValueError):
+        _experiment().run()

@@ -1,0 +1,233 @@
+"""SLO engine: objectives, error budgets, burn-rate alerting."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.slo import (DEFAULT_BURN_RULES, AlertLog,
+                                     AvailabilityObjective, BurnRateRule,
+                                     GoodputObjective, LatencyObjective,
+                                     QueueWaitObjective, ServiceObjective,
+                                     SLOEngine)
+from repro.observability.streaming import StreamingPipeline
+from repro.sim import Simulator
+
+
+def _rig(objectives, rules=None, interval=1.0):
+    sim = Simulator()
+    metrics = MetricsRegistry()
+    pipeline = StreamingPipeline(sim, metrics, interval=interval)
+    rules = rules or (BurnRateRule("fast", long_window=4.0,
+                                   short_window=2.0, threshold=2.0),)
+    engine = SLOEngine(pipeline, objectives, rules=rules)
+    return sim, metrics, pipeline, engine
+
+
+# ----------------------------------------------------------------------
+# Objective declarations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("target", [0.0, 1.0, -0.1, 1.5])
+def test_targets_must_be_strictly_inside_unit_interval(target):
+    with pytest.raises(ValueError):
+        AvailabilityObjective("x", good="g", bad="b", target=target)
+
+
+def test_error_budget_is_one_minus_target():
+    objective = AvailabilityObjective("x", good="g", bad="b", target=0.99)
+    assert objective.error_budget == pytest.approx(0.01)
+
+
+def test_base_objective_is_abstract():
+    objective = ServiceObjective("x", target=0.9)
+    with pytest.raises(NotImplementedError):
+        objective.good_bad(MetricsRegistry(), 0.0)
+
+
+def test_availability_objective_reads_counter_pair():
+    metrics = MetricsRegistry()
+    metrics.counter("ok").inc(9.0)
+    metrics.counter("err").inc(1.0)
+    objective = AvailabilityObjective("x", good="ok", bad="err", target=0.9)
+    assert objective.good_bad(metrics, 10.0) == (9.0, 1.0)
+    # Missing instruments count as zero, not as errors.
+    absent = AvailabilityObjective("y", good="nope", bad="also", target=0.9)
+    assert absent.good_bad(metrics, 10.0) == (0.0, 0.0)
+
+
+def test_latency_objective_splits_at_threshold_bucket():
+    metrics = MetricsRegistry()
+    histogram = metrics.histogram("lat", boundaries=(1.0, 5.0, 10.0))
+    for value in (0.5, 0.7, 4.0, 9.0):
+        histogram.observe(value)
+    objective = LatencyObjective("x", histogram="lat", threshold=5.0,
+                                 target=0.9)
+    good, bad = objective.good_bad(metrics, 0.0)
+    assert (good, bad) == (3.0, 1.0)
+
+
+def test_latency_objective_requires_positive_threshold():
+    with pytest.raises(ValueError):
+        LatencyObjective("x", histogram="lat", threshold=0.0)
+
+
+def test_queue_wait_objective_targets_scheduler_wait_time():
+    objective = QueueWaitObjective("x", threshold=10.0)
+    assert objective.histogram == "scheduler.wait_time"
+
+
+def test_goodput_objective_measures_shortfall():
+    metrics = MetricsRegistry()
+    metrics.counter("work").inc(30.0)
+    objective = GoodputObjective("x", counter="work", target_rate=4.0,
+                                 target=0.9)
+    good, bad = objective.good_bad(metrics, 10.0)  # demand = 40
+    assert (good, bad) == (30.0, 10.0)
+    # Over-delivery is capped, not credited.
+    good, bad = objective.good_bad(metrics, 5.0)   # demand = 20
+    assert (good, bad) == (20.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Burn-rate rules
+# ----------------------------------------------------------------------
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        BurnRateRule("x", long_window=0.0, short_window=1.0, threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", long_window=10.0, short_window=20.0, threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", long_window=10.0, short_window=5.0, threshold=0.0)
+
+
+def test_default_rules_are_the_sre_pair():
+    fast, slow = DEFAULT_BURN_RULES
+    assert fast.threshold > slow.threshold
+    assert fast.long_window < slow.long_window
+
+
+# ----------------------------------------------------------------------
+# Engine: evaluation, alert lifecycle, report
+# ----------------------------------------------------------------------
+def test_engine_rejects_degenerate_configs():
+    sim = Simulator()
+    pipeline = StreamingPipeline(sim, MetricsRegistry(), interval=1.0)
+    objective = AvailabilityObjective("x", good="g", bad="b", target=0.9)
+    with pytest.raises(ValueError):
+        SLOEngine(pipeline, [])
+    with pytest.raises(ValueError):
+        SLOEngine(pipeline, [objective], rules=())
+    with pytest.raises(ValueError):
+        SLOEngine(pipeline, [objective, objective])  # duplicate name
+
+
+def _error_burst_run(error_ticks, total_ticks=10):
+    """Drive a good/bad counter pair: 1 good/tick, plus errors on some."""
+    objective = AvailabilityObjective("avail", good="ok", bad="err",
+                                      target=0.9)
+    sim, metrics, pipeline, engine = _rig([objective])
+    good, bad = metrics.counter("ok"), metrics.counter("err")
+
+    def load(sim):
+        for tick in range(total_ticks):
+            yield sim.timeout(1.0)
+            good.inc()
+            if tick in error_ticks:
+                bad.inc(3.0)
+
+    sim.process(load(sim))
+    pipeline.attach(until=float(total_ticks))
+    sim.run()
+    return engine
+
+
+def test_quiet_run_raises_no_alerts():
+    engine = _error_burst_run(error_ticks=())
+    assert len(engine.alerts) == 0
+    report = engine.report()["avail"]
+    assert report["ok"] == 1.0
+    assert report["compliance"] == 1.0
+    assert engine.violations() == []
+
+
+def test_burst_fires_then_resolves():
+    engine = _error_burst_run(error_ticks={2, 3})
+    fires = engine.alerts.fires()
+    resolves = engine.alerts.resolves()
+    assert len(fires) == 1
+    assert len(resolves) == 1
+    assert fires[0].time < resolves[0].time
+    assert fires[0].burn_short >= 2.0
+    assert fires[0].burn_long >= 2.0
+    assert engine.alerts.active() == set()
+
+
+def test_fire_requires_both_windows_over_threshold():
+    # A single isolated error spikes the short window but not enough
+    # budget burn over the long window at threshold 30x.
+    objective = AvailabilityObjective("avail", good="ok", bad="err",
+                                      target=0.9)
+    rules = (BurnRateRule("strict", long_window=8.0, short_window=2.0,
+                          threshold=8.0),)
+    sim, metrics, pipeline, engine = _rig([objective], rules=rules)
+    good, bad = metrics.counter("ok"), metrics.counter("err")
+
+    def load(sim):
+        for tick in range(10):
+            yield sim.timeout(1.0)
+            good.inc(9.0)
+            if tick == 4:
+                bad.inc(9.0)  # one-tick 50% error rate
+
+    sim.process(load(sim))
+    pipeline.attach(until=10.0)
+    sim.run()
+    # Short-window burn spikes to 5x budget over threshold... but the
+    # long window dilutes it below 8x, so nothing fires.
+    assert len(engine.alerts) == 0
+
+
+def test_alert_log_json_is_deterministic_and_ordered():
+    a = _error_burst_run(error_ticks={2, 3, 7}).alerts
+    b = _error_burst_run(error_ticks={2, 3, 7}).alerts
+    assert isinstance(a, AlertLog)
+    assert a.json() == b.json()
+    times = [event.time for event in a]
+    assert times == sorted(times)
+
+
+def test_on_alert_subscribers_see_every_transition():
+    received = []
+    objective = AvailabilityObjective("avail", good="ok", bad="err",
+                                      target=0.9)
+    sim, metrics, pipeline, engine = _rig([objective])
+    engine.on_alert.append(received.append)
+    good, bad = metrics.counter("ok"), metrics.counter("err")
+
+    def load(sim):
+        for tick in range(10):
+            yield sim.timeout(1.0)
+            good.inc()
+            if tick in (2, 3):
+                bad.inc(3.0)
+
+    sim.process(load(sim))
+    pipeline.attach(until=10.0)
+    sim.run()
+    assert [event.kind for event in received] == \
+        [event.kind for event in engine.alerts]
+    assert len(received) == len(engine.alerts) > 0
+
+
+def test_report_flags_blown_budget():
+    engine = _error_burst_run(error_ticks={1, 2, 3, 4})
+    entry = engine.report()["avail"]
+    assert entry["budget_consumed"] > 1.0
+    assert entry["ok"] == 0.0
+    violations = engine.violations()
+    assert len(violations) == 1
+    assert "avail" in violations[0]
+
+
+def test_report_json_is_deterministic():
+    a = _error_burst_run(error_ticks={2, 5})
+    b = _error_burst_run(error_ticks={2, 5})
+    assert a.report_json() == b.report_json()

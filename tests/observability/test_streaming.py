@@ -1,0 +1,277 @@
+"""Streaming telemetry: windows, ticks, aggregates, determinism."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.streaming import (StreamingPipeline, Window,
+                                           watch_all)
+from repro.sim import Simulator
+
+
+def _pipeline(interval=1.0):
+    sim = Simulator()
+    metrics = MetricsRegistry()
+    return sim, metrics, StreamingPipeline(sim, metrics, interval=interval)
+
+
+# ----------------------------------------------------------------------
+# Window specification
+# ----------------------------------------------------------------------
+def test_default_window_is_tumbling():
+    window = Window(4.0)
+    assert window.tumbling
+    assert window.stride == window.width == 4.0
+
+
+def test_sliding_window():
+    window = Window(4.0, stride=2.0)
+    assert not window.tumbling
+
+
+@pytest.mark.parametrize("width,stride", [(0.0, None), (-1.0, None),
+                                          (4.0, 0.0), (4.0, -2.0)])
+def test_window_rejects_non_positive(width, stride):
+    with pytest.raises(ValueError):
+        Window(width, stride)
+
+
+def test_window_rejects_stride_beyond_width():
+    with pytest.raises(ValueError):
+        Window(2.0, stride=3.0)
+
+
+def test_watch_rejects_window_off_the_tick_grid():
+    _, _, pipeline = _pipeline(interval=2.0)
+    with pytest.raises(ValueError):
+        pipeline.watch("x", Window(3.0))
+    with pytest.raises(ValueError):
+        pipeline.watch("x", Window(4.0, stride=1.0))
+
+
+def test_watch_rejects_duplicates():
+    _, _, pipeline = _pipeline()
+    pipeline.watch("x")
+    with pytest.raises(ValueError):
+        pipeline.watch("x")
+
+
+def test_pipeline_rejects_non_positive_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        StreamingPipeline(sim, MetricsRegistry(), interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# Scheduled ticks (attach)
+# ----------------------------------------------------------------------
+def test_attached_ticks_fire_on_the_grid_and_stop_at_until():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    counter = metrics.counter("events")
+    series = pipeline.watch("events")
+
+    def load(sim):
+        for _ in range(10):
+            yield sim.timeout(0.5)
+            counter.inc()
+
+    sim.process(load(sim))
+    pipeline.attach(until=3.0)
+    sim.run()
+    # The run drains at t=5 (workload), but ticks stopped at 3.0.
+    assert pipeline.ticks == 3
+    assert [time for time, _ in series.points] == [1.0, 2.0, 3.0]
+    assert sim.now == 5.0
+
+
+def test_attach_twice_is_an_error():
+    _, _, pipeline = _pipeline()
+    pipeline.attach(until=1.0)
+    with pytest.raises(RuntimeError):
+        pipeline.attach(until=1.0)
+
+
+def test_counter_window_delta_and_rate():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    counter = metrics.counter("events")
+    series = pipeline.watch("events", Window(2.0))
+
+    def load(sim):
+        for _ in range(8):
+            yield sim.timeout(0.5)
+            counter.inc()
+
+    sim.process(load(sim))
+    pipeline.attach(until=4.0)
+    sim.run()
+    # Tumbling 2s windows ending at t=2 and t=4.  The tick's timeout at
+    # each whole second was enqueued before the half-phase increment
+    # landing at the same instant (FIFO tie-breaking), so the t=2 tick
+    # sees the increments at 0.5/1.0/1.5 only — deterministically.
+    assert [time for time, _ in series.points] == [2.0, 4.0]
+    assert series.values("delta") == [3.0, 4.0]
+    assert series.values("rate") == [pytest.approx(1.5), pytest.approx(2.0)]
+    assert series.latest()["total"] == 7.0
+
+
+def test_sliding_window_overlaps():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    counter = metrics.counter("events")
+    series = pipeline.watch("events", Window(2.0, stride=1.0))
+
+    def load(sim):
+        for _ in range(4):
+            yield sim.timeout(1.0)
+            counter.inc()
+
+    sim.process(load(sim))
+    pipeline.attach(until=4.0)
+    sim.run()
+    # Emitted every 1s over the trailing 2s.  An increment lands at the
+    # same timestamp as the tick but is scheduled earlier, so the tick
+    # at t observes it.
+    assert [time for time, _ in series.points] == [1.0, 2.0, 3.0, 4.0]
+    assert series.values("delta") == [1.0, 2.0, 2.0, 2.0]
+
+
+def test_gauge_window_summary_uses_the_monitor_path():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    gauge = metrics.gauge("queue")
+    series = pipeline.watch("queue", Window(3.0))
+
+    def load(sim):
+        for value in (2.0, 4.0, 6.0):
+            gauge.set(value)
+            yield sim.timeout(1.0)
+
+    sim.process(load(sim))
+    pipeline.attach(until=3.0)
+    sim.run()
+    [(time, aggs)] = series.points
+    assert time == 3.0
+    # Ticks at 1, 2, 3 saw 4, 6, 6 (each tick observes the state the
+    # events before it left behind).
+    assert aggs["count"] == 3
+    assert aggs["mean"] == pytest.approx((4.0 + 6.0 + 6.0) / 3)
+    assert aggs["min"] == 4.0
+    assert aggs["max"] == 6.0
+    assert aggs["last"] == 6.0
+    assert "p95" in aggs
+
+
+def test_histogram_window_percentiles_are_window_local():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    histogram = metrics.histogram("latency", boundaries=(1.0, 5.0, 10.0))
+    series = pipeline.watch("latency", Window(1.0))
+
+    def load(sim):
+        yield sim.timeout(0.5)
+        for _ in range(4):
+            histogram.observe(0.5)
+        yield sim.timeout(1.0)
+        for _ in range(4):
+            histogram.observe(8.0)
+
+    sim.process(load(sim))
+    pipeline.attach(until=2.0)
+    sim.run()
+    first, second = (aggs for _, aggs in series.points)
+    assert first["count"] == 4.0
+    assert first["p50"] == 1.0       # all in the <=1.0 bucket
+    assert second["count"] == 4.0
+    assert second["p50"] == 10.0     # the second burst alone, not mixed
+    assert second["mean"] == pytest.approx(8.0)
+
+
+def test_missing_instrument_emits_nothing_until_it_appears():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    series = pipeline.watch("late.counter")
+
+    def load(sim):
+        yield sim.timeout(2.5)
+        metrics.counter("late.counter").inc(7.0)
+
+    sim.process(load(sim))
+    pipeline.attach(until=4.0)
+    sim.run()
+    # Ticks at 1 and 2 found no instrument; at 3 and 4 it exists.
+    assert [time for time, _ in series.points] == [3.0, 4.0]
+    assert series.points[0][1]["total"] == 7.0
+    assert series.points[0][1]["delta"] == 7.0
+
+
+def test_watch_all_shares_one_window():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    metrics.counter("a")
+    metrics.counter("b")
+    series = watch_all(pipeline, ["a", "b"], Window(2.0))
+    assert set(series) == {"a", "b"}
+    assert pipeline.series["a"] is series["a"]
+
+
+# ----------------------------------------------------------------------
+# Externally-driven ticks (advance)
+# ----------------------------------------------------------------------
+def test_advance_matches_attached_ticks():
+    def run(driven):
+        sim = Simulator()
+        metrics = MetricsRegistry()
+        pipeline = StreamingPipeline(sim, metrics, interval=1.0)
+        counter = metrics.counter("events")
+        pipeline.watch("events", Window(2.0))
+
+        def load(sim):
+            for _ in range(6):
+                yield sim.timeout(0.7)
+                counter.inc()
+
+        sim.process(load(sim))
+        if driven:
+            while sim.peek() <= 6.0:
+                pipeline.advance(sim.peek())
+                sim.step()
+            pipeline.advance(4.0)
+        else:
+            pipeline.attach(until=4.0)
+            sim.run()
+        return pipeline.series_json()
+
+    assert run(driven=True) == run(driven=False)
+
+
+def test_advance_does_not_keep_a_drained_simulation_alive():
+    sim, metrics, pipeline = _pipeline(interval=1.0)
+    metrics.counter("x")
+    pipeline.watch("x")
+
+    def load(sim):
+        yield sim.timeout(0.5)
+
+    sim.process(load(sim))
+    while sim.peek() < float("inf"):
+        pipeline.advance(sim.peek())
+        sim.step()
+    # The queue is empty: no telemetry event was ever enqueued.
+    assert sim.peek() == float("inf")
+    assert pipeline.ticks == 0  # no tick was due by t=0.5
+
+
+def test_series_json_is_deterministic():
+    def run():
+        sim, metrics, pipeline = _pipeline(interval=1.0)
+        counter = metrics.counter("events")
+        gauge = metrics.gauge("level")
+        pipeline.watch("events", Window(2.0))
+        pipeline.watch("level", Window(2.0, stride=1.0))
+
+        def load(sim):
+            for i in range(6):
+                yield sim.timeout(0.5)
+                counter.inc()
+                gauge.set(float(i))
+
+        sim.process(load(sim))
+        pipeline.attach(until=3.0)
+        sim.run()
+        return pipeline.series_json()
+
+    assert run() == run()

@@ -1,0 +1,171 @@
+"""Trace analytics: critical paths, breakdowns, census diffs."""
+
+import pytest
+
+from repro.observability import Tracer
+from repro.observability.traceanalysis import (PathSegment, census_diff,
+                                               critical_path, span_census,
+                                               subsystem_breakdown)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _tracer():
+    clock = _Clock()
+    tracer = Tracer(clock=clock)
+    return clock, tracer
+
+
+def _span(tracer, clock, name, start, end, parent=None, category=""):
+    clock.now = start
+    span = tracer.begin(name, parent=parent, category=category)
+    clock.now = end
+    tracer.end(span)
+    return span
+
+
+# ----------------------------------------------------------------------
+# critical_path
+# ----------------------------------------------------------------------
+def test_childless_root_is_its_own_path():
+    clock, tracer = _tracer()
+    root = _span(tracer, clock, "job", 0.0, 10.0)
+    path = critical_path(tracer, root)
+    assert path == [PathSegment("job", "", 0.0, 10.0, "span")]
+    assert path[0].duration == 10.0
+
+
+def test_chain_with_gap_inserts_wait_segments():
+    clock, tracer = _tracer()
+    clock.now = 0.0
+    root = tracer.begin("workflow")
+    _span(tracer, clock, "a", 0.0, 4.0, parent=root)
+    _span(tracer, clock, "b", 6.0, 10.0, parent=root)  # 2s idle gap
+    clock.now = 10.0
+    tracer.end(root)
+    path = critical_path(tracer, root)
+    assert [(s.name, s.kind) for s in path] == \
+        [("a", "span"), ("(wait)", "wait"), ("b", "span")]
+    assert path[1].start == 4.0 and path[1].end == 6.0
+    # The path tiles the root exactly.
+    assert path[0].start == root.start
+    assert path[-1].end == root.end
+    assert sum(s.duration for s in path) == pytest.approx(10.0)
+
+
+def test_parallel_children_pick_the_late_finisher():
+    clock, tracer = _tracer()
+    clock.now = 0.0
+    root = tracer.begin("workflow")
+    _span(tracer, clock, "fast", 0.0, 3.0, parent=root)
+    _span(tracer, clock, "slow", 0.0, 9.0, parent=root)
+    clock.now = 9.0
+    tracer.end(root)
+    path = critical_path(tracer, root)
+    assert [s.name for s in path] == ["slow"]
+
+
+def test_expansion_recurses_into_grandchildren():
+    clock, tracer = _tracer()
+    clock.now = 0.0
+    root = tracer.begin("workflow")
+    clock.now = 0.0
+    task = tracer.begin("task t1", parent=root)
+    _span(tracer, clock, "exec attempt1", 0.0, 4.0, parent=task)
+    _span(tracer, clock, "exec attempt2", 5.0, 8.0, parent=task)
+    clock.now = 8.0
+    tracer.end(task)
+    tracer.end(root)
+    expanded = critical_path(tracer, root)
+    assert [s.name for s in expanded] == \
+        ["exec attempt1", "(wait)", "exec attempt2"]
+    flat = critical_path(tracer, root, expand=False)
+    assert [s.name for s in flat] == ["task t1"]
+
+
+def test_instant_markers_cannot_carry_the_path():
+    clock, tracer = _tracer()
+    clock.now = 0.0
+    root = tracer.begin("workflow")
+    _span(tracer, clock, "work", 0.0, 6.0, parent=root)
+    clock.now = 6.0
+    tracer.instant("marker", parent=root)
+    tracer.end(root)
+    path = critical_path(tracer, root)
+    assert [s.name for s in path] == ["work"]
+
+
+def test_root_resolution_by_name():
+    clock, tracer = _tracer()
+    _span(tracer, clock, "solo", 0.0, 2.0)
+    path = critical_path(tracer, "solo")
+    assert path[0].name == "solo"
+    with pytest.raises(ValueError):
+        critical_path(tracer, "missing")
+    _span(tracer, clock, "solo", 3.0, 4.0)
+    with pytest.raises(ValueError):
+        critical_path(tracer, "solo")  # ambiguous now
+
+
+def test_open_root_is_rejected():
+    clock, tracer = _tracer()
+    clock.now = 0.0
+    root = tracer.begin("open")
+    with pytest.raises(ValueError):
+        critical_path(tracer, root)
+
+
+def test_segments_serialize():
+    segment = PathSegment("x", "scheduling", 1.0, 3.0, "span")
+    assert segment.to_dict() == {"name": "x", "category": "scheduling",
+                                 "start": 1.0, "end": 3.0, "kind": "span"}
+
+
+# ----------------------------------------------------------------------
+# subsystem_breakdown
+# ----------------------------------------------------------------------
+def test_breakdown_shares_sum_to_one():
+    clock, tracer = _tracer()
+    _span(tracer, clock, "a", 0.0, 6.0, category="scheduling")
+    _span(tracer, clock, "b", 0.0, 2.0, category="datacenter")
+    _span(tracer, clock, "c", 2.0, 4.0, category="datacenter")
+    breakdown = subsystem_breakdown(tracer)
+    assert list(breakdown) == ["datacenter", "scheduling"]  # sorted
+    assert breakdown["datacenter"]["spans"] == 2
+    assert breakdown["datacenter"]["total_time"] == pytest.approx(4.0)
+    assert breakdown["datacenter"]["mean_time"] == pytest.approx(2.0)
+    assert sum(e["share"] for e in breakdown.values()) == pytest.approx(1.0)
+
+
+def test_breakdown_ignores_open_spans():
+    clock, tracer = _tracer()
+    _span(tracer, clock, "closed", 0.0, 2.0, category="x")
+    tracer.begin("still-open", category="y")
+    assert list(subsystem_breakdown(tracer)) == ["x"]
+
+
+# ----------------------------------------------------------------------
+# span_census / census_diff
+# ----------------------------------------------------------------------
+def test_census_groups_by_first_word():
+    clock, tracer = _tracer()
+    _span(tracer, clock, "task t1", 0.0, 1.0)
+    _span(tracer, clock, "task t2", 0.0, 1.0)
+    _span(tracer, clock, "exec t1 on m0", 0.0, 1.0)
+    tracer.instant("failure-burst")
+    assert span_census(tracer) == {"exec": 1, "failure-burst": 1, "task": 2}
+
+
+def test_census_diff_covers_the_union():
+    before = {"task": 4, "exec": 4}
+    after = {"task": 4, "exec": 7, "hedge": 2}
+    diff = census_diff(before, after)
+    assert diff == {"exec": (4, 7, 3), "hedge": (0, 2, 2),
+                    "task": (4, 4, 0)}
+    assert list(diff) == sorted(diff)

@@ -1,0 +1,109 @@
+"""The committed BENCH record and its CI sanity checker stay honest."""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_sim_core.json"
+
+if str(REPO_ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench_trajectory as checker  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def record() -> dict:
+    return json.loads(BENCH_PATH.read_text())
+
+
+def _write(tmp_path: Path, record: dict) -> Path:
+    path = tmp_path / "BENCH_edited.json"
+    path.write_text(json.dumps(record))
+    return path
+
+
+def test_committed_record_passes(record: dict) -> None:
+    assert checker.check_record(BENCH_PATH) == []
+
+
+def test_committed_record_shape(record: dict) -> None:
+    assert record["schema"] == "bench-sim-core/v1"
+    assert set(record) >= {"before", "current", "generated_with", "smoke",
+                           "speedups"}
+    for name in ("before", "current", "smoke"):
+        assert set(record[name]) >= {"digests", "metrics", "schema"}
+    assert all(ratio > 0 for ratio in record["speedups"].values())
+
+
+def test_checker_rejects_wrong_schema(record: dict, tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    edited["schema"] = "bench-sim-core/v0"
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("schema" in p for p in problems)
+
+
+def test_checker_rejects_missing_sections(record: dict,
+                                          tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    del edited["speedups"]
+    del edited["smoke"]
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("'speedups'" in p for p in problems)
+    assert any("'smoke'" in p for p in problems)
+
+
+def test_checker_rejects_nonpositive_speedup(record: dict,
+                                             tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    edited["speedups"]["scheduling"] = -2.0
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("positive finite" in p for p in problems)
+
+
+def test_checker_rejects_fabricated_speedup(record: dict,
+                                            tmp_path: Path) -> None:
+    # A speedup claim that the captured timings do not support.
+    edited = copy.deepcopy(record)
+    edited["speedups"]["scheduling"] = 1000.0
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("disagrees" in p for p in problems)
+
+
+def test_checker_rejects_missing_sha(record: dict, tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    del edited["current"]["digests"]["chaos"]["sha"]
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("sha" in p for p in problems)
+
+
+def test_checker_rejects_dropped_digest(record: dict,
+                                        tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    del edited["current"]["digests"]["csr"]
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("dropped digests" in p for p in problems)
+
+
+def test_checker_rejects_unreadable_file(tmp_path: Path) -> None:
+    path = tmp_path / "BENCH_broken.json"
+    path.write_text("{not json")
+    assert checker.check_record(path)
+
+
+def test_main_exit_status(record: dict, tmp_path: Path,
+                          capsys: pytest.CaptureFixture) -> None:
+    assert checker.main([str(BENCH_PATH)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "all OK" in out
+    edited = copy.deepcopy(record)
+    edited["speedups"]["chaos"] = float("nan")
+    bad = _write(tmp_path, edited)
+    assert checker.main([str(bad)]) == 1
+    assert "FAIL" in capsys.readouterr().out

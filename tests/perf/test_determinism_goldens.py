@@ -41,7 +41,7 @@ def golden() -> dict:
 
 def test_golden_file_schema(golden: dict) -> None:
     assert golden["schema"] == "determinism-goldens/v1"
-    for name in ("scheduling", "event_core", "csr", "chaos"):
+    for name in ("scheduling", "event_core", "csr", "chaos", "alerts"):
         assert "sha" in golden[name], f"golden {name} lacks a digest"
 
 
@@ -81,3 +81,12 @@ def test_chaos_report_is_bit_identical(golden: dict) -> None:
         "ordering moved")
     assert record["summary"] == golden["chaos"]["summary"]
     assert record["violations"] == golden["chaos"]["violations"]
+
+
+def test_slo_alert_log_is_bit_identical(golden: dict) -> None:
+    record = scenarios.digest_alerts()
+    assert record["sha"] == golden["alerts"]["sha"], (
+        "SLO report / alert-log digest changed — burn-rate evaluation "
+        "or telemetry tick placement moved")
+    assert record["alerts"] == golden["alerts"]["alerts"]
+    assert record["slo_report"] == golden["alerts"]["slo_report"]

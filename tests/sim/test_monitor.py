@@ -51,6 +51,43 @@ def test_monitor_window():
     assert monitor.window(2.0, 5.0) == [2.0, 3.0, 4.0]
 
 
+def test_monitor_window_is_left_closed_right_open():
+    # window([start, end)) — a sample exactly at `end` belongs to the
+    # *next* window, so tiled tumbling windows never double-count.
+    monitor = Monitor()
+    for t in (0.0, 1.0, 2.0, 3.0):
+        monitor.record(t, t * 10.0)
+    assert monitor.window(0.0, 2.0) == [0.0, 10.0]
+    assert monitor.window(2.0, 4.0) == [20.0, 30.0]
+    assert monitor.window(4.0, 6.0) == []
+
+
+def test_monitor_window_summary_is_left_open_right_closed():
+    # window_summary((start, end]) matches telemetry-tick semantics: a
+    # tick at time T summarizes everything since the previous tick,
+    # *including* samples recorded at T itself.
+    monitor = Monitor()
+    for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+        monitor.record(t, t)
+    first = monitor.window_summary(0.0, 2.0)
+    assert first["count"] == 2          # t=1, t=2 (not t=0)
+    assert first["max"] == 2.0
+    second = monitor.window_summary(2.0, 4.0)
+    assert second["count"] == 2         # t=3, t=4 (t=2 already counted)
+    assert second["min"] == 3.0
+    # Tiled (start, end] windows cover every sample except the one at
+    # the very first window's open start.
+    assert first["count"] + second["count"] == len(monitor) - 1
+
+
+def test_monitor_window_summary_empty_window():
+    monitor = Monitor()
+    monitor.record(1.0, 5.0)
+    stats = monitor.window_summary(2.0, 3.0)
+    assert stats["count"] == 0
+    assert math.isnan(stats["mean"])
+
+
 def test_time_weighted_average():
     tw = TimeWeightedMonitor(initial=0.0)
     tw.update(10.0, 4.0)   # value 0 held for 10

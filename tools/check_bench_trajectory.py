@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Sanity-check committed BENCH_*.json perf-trajectory records.
+
+A BENCH record (written by ``benchmarks.perf.run_benchmarks --output``)
+is the repository's claim about its own performance trajectory: a
+"before" capture, the "current" capture, the speedup ratios between
+them, and the determinism digests proving both captures computed the
+same thing.  This checker validates the *structure and internal
+consistency* of those claims without re-running any benchmark, so CI
+can catch a hand-edited or truncated record in milliseconds.
+
+Checks per record:
+
+* schema is ``bench-sim-core/v1`` at the top and in each capture;
+* the before/current/smoke captures and the speedups section exist;
+* every speedup is a finite, positive ratio and agrees (within slack)
+  with before/current elapsed times recomputed from the captures;
+* every digest entry carries a non-empty ``sha``;
+* digest names match between the before and current captures.
+
+Exit status is the number of failed records, so CI fails on any.
+
+Usage:
+    python tools/check_bench_trajectory.py BENCH_sim_core.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "bench-sim-core/v1"
+# Speedups are recomputed from the captured elapsed times; allow for
+# rounding in the committed record.
+RATIO_SLACK = 0.05
+
+
+def _check_capture(name: str, capture: object) -> list[str]:
+    """Validate one capture section (before/current/smoke)."""
+    problems = []
+    if not isinstance(capture, dict):
+        return [f"'{name}' section is not an object"]
+    if capture.get("schema") != SCHEMA:
+        problems.append(f"'{name}' capture schema is {capture.get('schema')!r},"
+                        f" expected {SCHEMA!r}")
+    metrics = capture.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append(f"'{name}' capture has no metrics")
+        metrics = {}
+    for scenario, record in metrics.items():
+        elapsed = record.get("elapsed_s")
+        if not isinstance(elapsed, (int, float)) or not elapsed > 0:
+            problems.append(f"'{name}' metric {scenario} has bad "
+                            f"elapsed_s: {elapsed!r}")
+    digests = capture.get("digests")
+    if not isinstance(digests, dict) or not digests:
+        problems.append(f"'{name}' capture has no determinism digests")
+        digests = {}
+    for scenario, record in digests.items():
+        sha = record.get("sha") if isinstance(record, dict) else None
+        if not isinstance(sha, str) or len(sha) != 64:
+            problems.append(f"'{name}' digest {scenario} lacks a sha-256")
+    return problems
+
+
+def check_record(path: Path) -> list[str]:
+    """Return human-readable messages for every problem in ``path``."""
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"unreadable: {error}"]
+    problems = []
+    if record.get("schema") != SCHEMA:
+        problems.append(f"top-level schema is {record.get('schema')!r}, "
+                        f"expected {SCHEMA!r}")
+    for key in ("before", "current", "smoke", "speedups", "generated_with"):
+        if key not in record:
+            problems.append(f"missing top-level section '{key}'")
+    for name in ("before", "current", "smoke"):
+        if name in record:
+            problems.extend(_check_capture(name, record[name]))
+
+    before = record.get("before", {})
+    current = record.get("current", {})
+    speedups = record.get("speedups", {})
+    if not isinstance(speedups, dict) or not speedups:
+        problems.append("speedups section is empty")
+        speedups = {}
+    for scenario, ratio in speedups.items():
+        if not isinstance(ratio, (int, float)) or not math.isfinite(ratio) \
+                or ratio <= 0:
+            problems.append(f"speedup {scenario} is not a positive finite "
+                            f"ratio: {ratio!r}")
+            continue
+        try:
+            expected = (before["metrics"][scenario]["elapsed_s"]
+                        / current["metrics"][scenario]["elapsed_s"])
+        except (KeyError, TypeError, ZeroDivisionError):
+            problems.append(f"speedup {scenario} has no matching "
+                            f"before/current timings")
+            continue
+        if abs(ratio - expected) > RATIO_SLACK * expected:
+            problems.append(f"speedup {scenario} ({ratio:.2f}x) disagrees "
+                            f"with captured timings ({expected:.2f}x)")
+
+    before_digests = set(before.get("digests", {}) or {})
+    current_digests = set(current.get("digests", {}) or {})
+    missing = before_digests - current_digests
+    if missing:
+        problems.append(f"current capture dropped digests: {sorted(missing)}")
+    return problems
+
+
+def main(arguments: list[str]) -> int:
+    """Check every record; print a summary; return the failure count."""
+    paths = [Path(argument) for argument in arguments]
+    if not paths:
+        paths = sorted(Path(".").glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json records found")
+        return 1
+    failed = 0
+    for path in paths:
+        problems = check_record(path)
+        if problems:
+            failed += 1
+            for message in problems:
+                print(f"FAIL {path}: {message}")
+            continue
+        record = json.loads(path.read_text(encoding="utf-8"))
+        ratios = ", ".join(f"{name} {ratio:.2f}x" for name, ratio
+                           in sorted(record["speedups"].items()))
+        print(f"OK {path}: {ratios}")
+    print(f"checked {len(paths)} records: "
+          f"{'all OK' if not failed else f'{failed} failed'}")
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
