@@ -19,13 +19,15 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
-from repro.failures import FailureEvent
-from repro.observability import (AvailabilityObjective, BurnRateRule,
-                                 Observer, QueueWaitObjective)
+from repro.datacenter import Datacenter
+from repro.observability import Observer
 from repro.graphproc.csr import CSRGraph, pagerank_csr
 from repro.graphproc.graph import Graph, preferential_attachment_graph
-from repro.resilience import ChaosExperiment, CheckpointPolicy, HedgePolicy
+from repro.resilience import ChaosExperiment
+from repro.scenario import (BurnRuleSpec, CheckpointSpec, ClusterSpec,
+                            FailureSpec, HedgeSpec, ObjectiveSpec, RetrySpec,
+                            ScenarioRuntime, ScenarioSpec, SLOSpec,
+                            TopologySpec, WorkloadSpec, open_arrival_tasks)
 from repro.scheduling import ClusterScheduler
 from repro.sim import RandomStreams, Simulator
 from repro.workload import Task
@@ -34,6 +36,9 @@ from .harness import best_of, digest, digest_floats
 
 __all__ = [
     "SIZES",
+    "scheduling_spec",
+    "chaos_spec",
+    "sweep_spec",
     "make_scheduling_tasks",
     "run_scheduling",
     "digest_scheduling",
@@ -75,58 +80,43 @@ SIZES = {
 # ---------------------------------------------------------------------------
 # Scheduling pipeline: submission -> queue -> placement -> execution
 # ---------------------------------------------------------------------------
+def scheduling_spec(n_tasks: int, n_machines: int,
+                    seed: int = 0) -> ScenarioSpec:
+    """The scheduling benchmark as a declarative scenario spec."""
+    return ScenarioSpec(
+        name="perf-scheduling",
+        seed=seed,
+        topology=TopologySpec(
+            clusters=(ClusterSpec("perf", n_machines, cores=8, memory=32.0,
+                                  machines_per_rack=32),),
+            datacenter="perf-dc"),
+        workload=WorkloadSpec("open-arrivals", {
+            "n_tasks": n_tasks, "load": 0.9, "cores": [1, 8],
+            "runtime": [5.0, 195.0], "memory_per_core": 2.0,
+            "prefix": "perf", "stream": "perf-workload"}))
+
+
 def make_scheduling_tasks(n_tasks: int, total_cores: int,
                           seed: int = 0, load: float = 0.9) -> list[Task]:
     """A seeded open-arrival workload targeting ``load`` utilization."""
     rng = RandomStreams(seed).stream("perf-workload")
-    mean_demand = 4.5 * 100.0  # E[cores] * E[runtime] core-seconds
-    rate = load * total_cores / mean_demand
-    now = 0.0
-    tasks = []
-    for i in range(n_tasks):
-        now += rng.expovariate(rate)
-        cores = rng.randint(1, 8)
-        tasks.append(Task(runtime=rng.uniform(5.0, 195.0), cores=cores,
-                          memory=2.0 * cores, submit_time=now,
-                          name=f"perf-{i}"))
-    return tasks
-
-
-def _build_scheduling(n_tasks: int, n_machines: int,
-                      seed: int) -> tuple[Simulator, Datacenter,
-                                          ClusterScheduler]:
-    sim = Simulator()
-    cluster = homogeneous_cluster(
-        "perf", n_machines, MachineSpec(cores=8, memory=32.0),
-        machines_per_rack=32)
-    datacenter = Datacenter(sim, [cluster], name="perf-dc")
-    scheduler = ClusterScheduler(sim, datacenter)
-    tasks = make_scheduling_tasks(n_tasks, datacenter.total_cores, seed=seed)
-
-    def arrivals():
-        for task in tasks:
-            delay = task.submit_time - sim.now
-            if delay > 0:
-                yield sim.timeout(delay)
-            scheduler.submit(task)
-
-    sim.process(arrivals(), name="perf-arrivals")
-    return sim, datacenter, scheduler
+    return open_arrival_tasks(rng, n_tasks, total_cores, load=load)
 
 
 def run_scheduling(n_tasks: int, n_machines: int,
                    seed: int = 0) -> dict[str, float]:
     """Time one end-to-end scheduling run; returns flat metrics."""
-    sim, datacenter, scheduler = _build_scheduling(n_tasks, n_machines, seed)
+    runtime = scheduling_spec(n_tasks, n_machines, seed).build()
+    sim = runtime.sim
     start = time.perf_counter()
     sim.run()
     elapsed = time.perf_counter() - start
-    scheduler.stop()
+    runtime.finalize()
     return {
         "elapsed_s": elapsed,
         "events_processed": float(sim.events_processed),
         "events_per_sec": sim.events_processed / elapsed if elapsed else 0.0,
-        "tasks_completed": float(len(scheduler.completed)),
+        "tasks_completed": float(len(runtime.scheduler.completed)),
         "sim_time": sim.now,
     }
 
@@ -154,14 +144,13 @@ def digest_scheduling(n_tasks: int, n_machines: int, seed: int = 0) -> dict:
     The event-time trace pins the simulator's exact event ordering:
     any change to when (or how many) events fire changes the digest.
     """
-    sim, datacenter, scheduler = _build_scheduling(n_tasks, n_machines, seed)
+    runtime: ScenarioRuntime = scheduling_spec(n_tasks, n_machines,
+                                               seed).build()
     trace: list[float] = []
-    record = trace.append
-    while sim.peek() != float("inf"):
-        sim.step()
-        record(sim.now)
-    scheduler.stop()
-    outcome = _scheduling_outcome(sim, datacenter, scheduler, trace)
+    runtime.drive(trace=trace)
+    runtime.finalize()
+    outcome = _scheduling_outcome(runtime.sim, runtime.datacenter,
+                                  runtime.scheduler, trace)
     outcome["sha"] = digest(outcome)
     return outcome
 
@@ -273,39 +262,66 @@ def digest_csr(n_vertices: int, degree: int, seed: int = 0) -> dict:
 # ---------------------------------------------------------------------------
 # Chaos experiment: resilience machinery end to end
 # ---------------------------------------------------------------------------
-def _make_chaos(seed: int = 11) -> ChaosExperiment:
-    def cluster():
-        return homogeneous_cluster("chaos", 24, MachineSpec(cores=4),
-                                   machines_per_rack=6)
+def chaos_spec(seed: int = 11, with_slos: bool = False) -> ScenarioSpec:
+    """The chaos benchmark as a declarative scenario spec.
 
-    def workload(streams):
-        rng = streams.stream("workload")
-        return [Task(runtime=rng.uniform(20.0, 150.0), cores=rng.randint(1, 3),
-                     submit_time=rng.uniform(0.0, 80.0), priority=i % 3,
-                     name=f"chaos-{i}")
-                for i in range(160)]
+    ``with_slos=True`` adds the SLO/burn-rate declarations graded by
+    :func:`digest_alerts`.
+    """
+    slos = None
+    if with_slos:
+        slos = SLOSpec(
+            objectives=(
+                ObjectiveSpec("availability", {
+                    "name": "exec-success",
+                    "good": "datacenter.executions_finished",
+                    "bad": "datacenter.executions_interrupted",
+                    "target": 0.9}),
+                ObjectiveSpec("queue-wait", {
+                    "name": "fast-start", "threshold": 50.0,
+                    "target": 0.9}),
+            ),
+            rules=(BurnRuleSpec("fast", long_window=60.0, short_window=15.0,
+                                threshold=4.0),
+                   BurnRuleSpec("slow", long_window=240.0, short_window=60.0,
+                                threshold=2.0)),
+            telemetry_interval=5.0)
+    return ScenarioSpec(
+        name="perf-chaos",
+        seed=seed,
+        topology=TopologySpec(
+            clusters=(ClusterSpec("chaos", 24, cores=4, memory=32.0,
+                                  machines_per_rack=6),),
+            datacenter="chaos-dc"),
+        workload=WorkloadSpec("uniform-tasks", {
+            "n_tasks": 160, "runtime": [20.0, 150.0], "cores": [1, 3],
+            "submit": [0.0, 80.0], "priority_levels": 3,
+            "prefix": "chaos-", "stream": "workload"}),
+        failures=FailureSpec("sampled-bursts", {
+            "times": [70.0, 180.0, 320.0], "victims": 6,
+            "duration": 35.0, "stream": "failures"}),
+        retries=RetrySpec(max_attempts=6, base=1.0, cap=60.0,
+                          jitter="decorrelated"),
+        checkpoints=CheckpointSpec(interval=20.0, overhead=0.5),
+        hedging=HedgeSpec(delay_factor=2.5, min_runtime=40.0),
+        horizon=600.0, availability_slo=0.85, injection_jitter=3.0,
+        slos=slos)
 
-    def failures(streams, racks, horizon):
-        rng = streams.stream("failures")
-        names = [name for rack in racks for name in rack]
-        events = []
-        for when in (70.0, 180.0, 320.0):
-            victims = tuple(sorted(rng.sample(names, k=6)))
-            events.append(FailureEvent(time=when, machine_names=victims,
-                                       duration=35.0))
-        return events
 
-    return ChaosExperiment(
-        cluster=cluster, workload=workload, failures=failures, seed=seed,
-        horizon=600.0,
-        checkpoint_policy=CheckpointPolicy(interval=20.0, overhead=0.5),
-        hedge_policy=HedgePolicy(delay_factor=2.5, min_runtime=40.0),
-        availability_slo=0.85, injection_jitter=3.0)
+def sweep_spec() -> ScenarioSpec:
+    """The base spec for the sweep benchmark (seed x policy grid).
+
+    A mid-size chaos scenario: heavy enough that a sweep has real work
+    to parallelize, light enough for CI smoke runs.
+    """
+    spec = chaos_spec(seed=3)
+    return spec.override({"workload.params.n_tasks": 120,
+                          "horizon": 400.0})
 
 
 def run_chaos(seed: int = 11) -> dict[str, float]:
     """Time one chaos experiment (retries, checkpoints, hedges, repairs)."""
-    experiment = _make_chaos(seed)
+    experiment = ChaosExperiment.from_spec(chaos_spec(seed))
     start = time.perf_counter()
     experiment.run()
     elapsed = time.perf_counter() - start
@@ -314,7 +330,7 @@ def run_chaos(seed: int = 11) -> dict[str, float]:
 
 def digest_chaos(seed: int = 11) -> dict:
     """Digest the full chaos report — every resilience counter."""
-    report = _make_chaos(seed).run()
+    report = ChaosExperiment.from_spec(chaos_spec(seed)).run()
     outcome = {"summary": report.summary(),
                "max_attempts_observed": report.max_attempts_observed,
                "unrecovered_victims": report.unrecovered_victims,
@@ -331,19 +347,8 @@ def digest_alerts(seed: int = 11) -> dict:
     evaluation, every fire/resolve transition, and the final SLO
     report must all be bit-identical for a fixed seed.
     """
-    experiment = _make_chaos(seed)
-    experiment.slos = (
-        AvailabilityObjective(
-            "exec-success", good="datacenter.executions_finished",
-            bad="datacenter.executions_interrupted", target=0.9),
-        QueueWaitObjective("fast-start", threshold=50.0, target=0.9),
-    )
-    experiment.slo_rules = (
-        BurnRateRule("fast", long_window=60.0, short_window=15.0,
-                     threshold=4.0),
-        BurnRateRule("slow", long_window=240.0, short_window=60.0,
-                     threshold=2.0),
-    )
+    spec = chaos_spec(seed, with_slos=True)
+    experiment = ChaosExperiment.from_spec(spec)
     report = experiment.run(observer=Observer())
     outcome = {"slo_report": report.slo_report,
                "alerts": report.alert_log.to_json(),

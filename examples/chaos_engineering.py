@@ -9,74 +9,70 @@ with progressively more resilience armed:
 3. retries + checkpoints + hedged execution,
 4. the full stack, plus load shedding of low-priority work.
 
-The table shows what each mechanism buys: checkpoints shrink wasted
-work, hedging shortens recovery, shedding trades a few low-priority
-tasks for everyone else's latency.  Same seed, same burst, every row.
+Each row is one declarative :class:`~repro.scenario.ScenarioSpec`
+derived from the base by switching resilience sections on — the
+mechanism ladder is literally a sequence of spec overrides, and any
+row could be exported with ``spec.to_json()`` and replayed with
+``python -m repro run``.  The table shows what each mechanism buys:
+checkpoints shrink wasted work, hedging shortens recovery, shedding
+trades a few low-priority tasks for everyone else's latency.  Same
+seed, same burst, every row.
 
 Run with:  python examples/chaos_engineering.py
 """
 
-from repro.datacenter import MachineSpec, homogeneous_cluster
-from repro.failures import FailureEvent
 from repro.reporting import render_table
-from repro.resilience import (
-    ChaosExperiment,
-    CheckpointPolicy,
-    ExponentialBackoff,
-    HedgePolicy,
-    LoadSheddingAdmission,
-)
-from repro.workload import Task
+from repro.scenario import (CheckpointSpec, ClusterSpec, FailureSpec,
+                            HedgeSpec, RetrySpec, ScenarioSpec,
+                            SheddingSpec, TopologySpec, WorkloadSpec)
 
-N_MACHINES = 16
+BASE = ScenarioSpec(
+    name="chaos-engineering",
+    seed=7,
+    topology=TopologySpec(
+        clusters=(ClusterSpec("c", 16, cores=4, machines_per_rack=4),),
+        datacenter="chaos-dc"),
+    workload=WorkloadSpec("uniform-tasks", {
+        "n_tasks": 80, "runtime": [20.0, 120.0], "cores": 2,
+        "submit": [0.0, 50.0], "priority_levels": 3, "prefix": "t"}),
+    failures=FailureSpec("sampled-bursts", {
+        "times": [60.0], "victims": 0.5, "duration": 40.0}),
+    retries=RetrySpec(max_attempts=6, base=1.0, cap=60.0,
+                      jitter="decorrelated"),
+    horizon=500.0,
+    availability_slo=0.9)
+
+#: Mechanism ladder: scenario key -> extra spec sections.
+MECHANISMS = {
+    "retries": {},
+    "checkpoint": {"checkpoints": CheckpointSpec(interval=15.0,
+                                                 overhead=0.5)},
+    "checkpoint+hedge": {
+        "checkpoints": CheckpointSpec(interval=15.0, overhead=0.5),
+        "hedging": HedgeSpec(delay_factor=2.5, min_runtime=30.0)},
+    "full": {
+        "checkpoints": CheckpointSpec(interval=15.0, overhead=0.5),
+        "hedging": HedgeSpec(delay_factor=2.5, min_runtime=30.0),
+        "shedding": SheddingSpec(threshold=0.85, shed_below=1)},
+}
 
 
-def make_cluster():
-    return homogeneous_cluster("c", N_MACHINES, MachineSpec(cores=4),
-                               machines_per_rack=4)
+def make_spec(key: str) -> ScenarioSpec:
+    """The base chaos spec with the keyed mechanisms switched on."""
+    sections = {name: section.to_dict()
+                for name, section in MECHANISMS[key].items()}
+    return BASE.override(sections)
 
 
-def make_workload(streams):
-    rng = streams.stream("workload")
-    return [Task(runtime=rng.uniform(20.0, 120.0), cores=2,
-                 submit_time=rng.uniform(0.0, 50.0), priority=i % 3,
-                 name=f"t{i}")
-            for i in range(80)]
-
-
-def burst_failures(streams, racks, horizon):
-    """One correlated burst killing 50% of the fleet at t=60."""
-    rng = streams.stream("failures")
-    names = [name for rack in racks for name in rack]
-    victims = tuple(sorted(rng.sample(names, k=len(names) // 2)))
-    return [FailureEvent(time=60.0, machine_names=victims, duration=40.0)]
-
-
-def run_scenario(name: str):
-    checkpoints = "checkpoint" in name or "full" in name
-    hedging = "hedge" in name or "full" in name
-    shedding = "full" in name
-    experiment = ChaosExperiment(
-        cluster=make_cluster,
-        workload=make_workload,
-        failures=burst_failures,
-        seed=7,
-        horizon=500.0,
-        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0, cap=60.0,
-                                        jitter="decorrelated"),
-        checkpoint_policy=(CheckpointPolicy(interval=15.0, overhead=0.5)
-                           if checkpoints else None),
-        hedge_policy=(HedgePolicy(delay_factor=2.5, min_runtime=30.0)
-                      if hedging else None),
-        admission=((lambda dc: LoadSheddingAdmission(dc, threshold=0.85,
-                                                     shed_below=1))
-                   if shedding else None),
-        availability_slo=0.9,
-    )
-    return experiment.run()
+def run_scenario(key: str) -> dict:
+    """Run one rung of the mechanism ladder; return the chaos view."""
+    result = make_spec(key).run()
+    assert result.chaos is not None
+    return result.chaos
 
 
 def main() -> None:
+    """Climb the resilience ladder and tabulate what each rung buys."""
     scenarios = [
         ("retries only", "retries"),
         ("+ checkpoints", "checkpoint"),
@@ -85,16 +81,18 @@ def main() -> None:
     ]
     rows = []
     for label, key in scenarios:
-        report = run_scenario(key)
-        assert report.ok, report.violations
+        chaos = run_scenario(key)
+        assert not chaos["violations"], chaos["violations"]
+        summary = chaos["summary"]
         rows.append((label,
-                     f"{report.tasks_finished}/{report.tasks_total}",
-                     f"{report.tasks_shed}",
-                     f"{report.wasted_core_seconds:.0f}",
-                     f"{report.mean_recovery_time:.0f}",
-                     f"{report.makespan:.0f}",
-                     f"{report.availability:.3f}",
-                     "yes" if report.slo_met else "no"))
+                     f"{summary['tasks_finished']:.0f}/"
+                     f"{summary['tasks_total']:.0f}",
+                     f"{summary['tasks_shed']:.0f}",
+                     f"{summary['wasted_core_seconds']:.0f}",
+                     f"{summary['mean_recovery_time']:.0f}",
+                     f"{summary['makespan']:.0f}",
+                     f"{summary['availability']:.3f}",
+                     "yes" if summary["slo_met"] else "no"))
     print(render_table(
         ["Mechanisms", "Finished", "Shed", "Wasted (core-s)",
          "Mean recovery (s)", "Makespan (s)", "Availability", "SLO met"],

@@ -1,80 +1,61 @@
 """Datacenter scheduling study (§6.1, C7): policies on a bursty trace.
 
-Generates a bursty grid-style workload (MMPP arrivals [113]), replays
-it under four allocation policies, and adds elastic provisioning with
-an autoscaler — the full dual problem on one page.
+Declares a bursty grid-style workload (MMPP arrivals [113]) as a
+:class:`~repro.scenario.ScenarioSpec`, replays it under four
+allocation policies, and adds elastic provisioning with an autoscaler
+— the full dual problem on one page.  Every variant is derived from
+one base spec via ``override``; no hand-wired setup code remains, and
+each derived spec could be dumped to JSON and re-run bit-identically
+(``python -m repro run <spec.json>``).
 
 Run with:  python examples/datacenter_scheduling.py
 """
 
-import random
-
-from repro.autoscaling import AutoscalingController, ReactAutoscaler
-from repro.datacenter import Datacenter, MachineSpec, homogeneous_cluster
 from repro.reporting import render_table
-from repro.scheduling import FCFS, SJF, ClusterScheduler, PortfolioScheduler
-from repro.sim import Simulator
-from repro.workload import (
-    MMPPArrivals,
-    TaskProfile,
-    VicissitudeMix,
-    WorkloadGenerator,
-)
+from repro.scenario import (ClusterSpec, ScenarioSpec, TopologySpec,
+                            WorkloadSpec)
 
+BASE = ScenarioSpec(
+    name="datacenter-scheduling",
+    seed=1,
+    topology=TopologySpec(
+        clusters=(ClusterSpec("c", 6, cores=8, memory=1e9),)),
+    workload=WorkloadSpec("mmpp-jobs", {
+        "quiet_rate": 0.05, "burst_rate": 0.8,
+        "quiet_duration": 60.0, "burst_duration": 20.0,
+        "profiles": [{"kind": "batch", "runtime_mean": 25.0,
+                      "runtime_sigma": 1.0, "cores_choices": [1, 2, 4]}],
+        "tasks_per_job": 3.0, "horizon": 500.0}),
+    duration=20_000.0)
 
-def make_jobs(seed: int = 1):
-    generator = WorkloadGenerator(
-        MMPPArrivals(quiet_rate=0.05, burst_rate=0.8, quiet_duration=60.0,
-                     burst_duration=20.0, rng=random.Random(seed)),
-        mix=VicissitudeMix.steady(
-            (TaskProfile("batch", runtime_mean=25.0, runtime_sigma=1.0,
-                         cores_choices=(1, 2, 4)),)),
-        tasks_per_job=3.0, rng=random.Random(seed + 1))
-    return generator.generate(horizon=500.0)
+#: Variant name -> dotted-path overrides on the base spec.
+VARIANTS = {
+    "fcfs": {"scheduler.strict_head": True},
+    "fcfs+backfill": {"scheduler.backfilling": True},
+    "sjf": {"scheduler.queue": "sjf"},
+    "portfolio": {"scheduler.portfolio": ["sjf"],
+                  "scheduler.portfolio_interval": 25.0},
+}
 
 
 def run(policy_name: str, autoscale: bool = False) -> dict[str, float]:
-    sim = Simulator()
-    datacenter = Datacenter(sim, [homogeneous_cluster(
-        "c", 6, MachineSpec(cores=8, memory=1e9))])
-    if policy_name == "fcfs":
-        scheduler = ClusterScheduler(sim, datacenter, queue_policy=FCFS(),
-                                     strict_head=True)
-    elif policy_name == "fcfs+backfill":
-        scheduler = ClusterScheduler(sim, datacenter, queue_policy=FCFS(),
-                                     backfilling=True)
-    elif policy_name == "sjf":
-        scheduler = ClusterScheduler(sim, datacenter, queue_policy=SJF())
-    else:
-        scheduler = ClusterScheduler(sim, datacenter)
-        PortfolioScheduler(sim, scheduler, [FCFS(), SJF()], interval=25.0)
-    controller = None
+    """Run one policy variant; return its headline metrics."""
+    spec = BASE.override(VARIANTS[policy_name])
     if autoscale:
-        controller = AutoscalingController(sim, datacenter, scheduler,
-                                           ReactAutoscaler(), interval=5.0)
-    jobs = make_jobs()
-
-    def feeder(sim):
-        for job in jobs:
-            delay = job.submit_time - sim.now
-            if delay > 0:
-                yield sim.timeout(delay)
-            scheduler.submit_job(job)
-
-    sim.run(until=sim.process(feeder(sim)))
-    sim.run(until=20_000.0)
-    if controller is not None:
-        controller.stop()
-    stats = scheduler.statistics()
-    assert stats["completed"] == sum(len(j) for j in jobs)
+        spec = spec.override(
+            {"autoscaler": {"policy": "react", "interval": 5.0}})
+    result = spec.run()
+    assert result.statistics is not None
+    assert result.statistics["completed"] == result.tasks_total
     return {
-        "slowdown": stats["slowdown_mean"],
-        "wait_p95": stats["wait_p95"],
-        "utilization": datacenter.mean_utilization(),
+        "slowdown": result.statistics["slowdown_mean"],
+        "wait_p95": result.statistics["wait_p95"],
+        "utilization": result.datacenter["mean_utilization"],
     }
 
 
 def main() -> None:
+    """Replay the trace under every variant and tabulate."""
     rows = []
     for name in ("fcfs", "fcfs+backfill", "sjf", "portfolio"):
         metrics = run(name)

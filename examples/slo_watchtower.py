@@ -1,6 +1,7 @@
 """SLO watchtower (C2, C13, P4): declare objectives, watch them burn.
 
-Three acts, all deterministic:
+Three acts, all deterministic, all declared as
+:class:`~repro.scenario.ScenarioSpec` documents:
 
 1. **Grade a chaos run against declared SLOs.**  A correlated failure
    burst takes down a third of a small cluster; streaming telemetry
@@ -8,76 +9,68 @@ Three acts, all deterministic:
    seconds, multi-window burn-rate rules raise alerts, and the chaos
    report carries the verdicts.
 2. **Explain the damage with trace analytics.**  A span census diff
-   between a calm control run and the chaos run shows exactly which
-   causal activity the burst added (extra exec attempts, failure
-   markers), and the subsystem breakdown attributes the simulated time.
-3. **Close the loop.**  In a live simulation, a pathological
-   autoscaling policy pins capacity at one machine while load piles up;
-   the queue-wait SLO burns, the alert fires, and the alert-driven
-   boost leases machines the policy never would — monitoring turned
-   into action, the MAPE-K arc of the paper's self-awareness principle.
+   between a calm control run (the same spec with the burst overridden
+   away) and the chaos run shows exactly which causal activity the
+   burst added, and the subsystem breakdown attributes the simulated
+   time.
+3. **Close the loop.**  A pathological autoscaling policy — injected
+   as a programmatic ``build()`` override, the escape hatch for
+   components with no declarative form — pins capacity at one machine
+   while load piles up; the queue-wait SLO burns, the alert fires, and
+   the alert-driven boost leases machines the policy never would —
+   monitoring turned into action, the MAPE-K arc of the paper's
+   self-awareness principle.
 
 Run with:  python examples/slo_watchtower.py
 """
 
-from repro.autoscaling import AutoscalingController
-from repro.datacenter import (Datacenter, MachineSpec, homogeneous_cluster)
-from repro.failures import FailureEvent
-from repro.observability import (AvailabilityObjective, BurnRateRule,
-                                 Observer, QueueWaitObjective, SLOEngine,
-                                 StreamingPipeline, census_diff, span_census,
-                                 subsystem_breakdown)
-from repro.reporting import (render_alerts, render_slo_report, render_table)
-from repro.resilience import ChaosExperiment, ExponentialBackoff
-from repro.scheduling import ClusterScheduler
-from repro.sim import Simulator
-from repro.workload import Task
+from repro.observability import Observer, census_diff, span_census, \
+    subsystem_breakdown
+from repro.reporting import render_alerts, render_slo_report, render_table
+from repro.resilience import ChaosExperiment
+from repro.scenario import (BurnRuleSpec, ClusterSpec, FailureSpec,
+                            ObjectiveSpec, RetrySpec, ScenarioSpec,
+                            SLOSpec, TopologySpec, WorkloadSpec)
 
-SLOS = [
-    AvailabilityObjective("exec-success",
-                          good="datacenter.executions_finished",
-                          bad="datacenter.executions_interrupted",
-                          target=0.95),
-    QueueWaitObjective("fast-start", threshold=25.0, target=0.9),
-]
-RULES = (
-    BurnRateRule("fast", long_window=60.0, short_window=15.0, threshold=2.0),
-    BurnRateRule("slow", long_window=180.0, short_window=60.0, threshold=1.5),
-)
+CHAOS_SPEC = ScenarioSpec(
+    name="slo-watchtower",
+    seed=23,
+    topology=TopologySpec(
+        clusters=(ClusterSpec("c", 8, cores=4, machines_per_rack=4),),
+        datacenter="chaos-dc"),
+    workload=WorkloadSpec("uniform-tasks", {
+        "n_tasks": 24, "runtime": [10.0, 40.0], "cores": 2,
+        "submit": [0.0, 20.0], "prefix": "t"}),
+    failures=FailureSpec("sampled-bursts", {
+        "times": [30.0], "victims": 3, "duration": 20.0}),
+    retries=RetrySpec(max_attempts=6, base=1.0, cap=20.0),
+    horizon=250.0,
+    slos=SLOSpec(
+        objectives=(
+            ObjectiveSpec("availability", {
+                "name": "exec-success",
+                "good": "datacenter.executions_finished",
+                "bad": "datacenter.executions_interrupted",
+                "target": 0.95}),
+            ObjectiveSpec("queue-wait", {
+                "name": "fast-start", "threshold": 25.0, "target": 0.9}),
+        ),
+        rules=(BurnRuleSpec("fast", long_window=60.0, short_window=15.0,
+                            threshold=2.0),),
+        telemetry_interval=5.0))
 
-
-def make_experiment(chaotic=True):
-    """The graded chaos experiment; ``chaotic=False`` is the calm control."""
-    def workload(streams):
-        rng = streams.stream("workload")
-        return [Task(runtime=rng.uniform(10.0, 40.0), cores=2,
-                     submit_time=rng.uniform(0.0, 20.0), name=f"t{i}")
-                for i in range(24)]
-
-    def failures(streams, racks, horizon):
-        if not chaotic:
-            return []
-        rng = streams.stream("failures")
-        names = [name for rack in racks for name in rack]
-        victims = tuple(sorted(rng.sample(names, k=3)))
-        return [FailureEvent(time=30.0, machine_names=victims,
-                             duration=20.0)]
-
-    return ChaosExperiment(
-        cluster=lambda: homogeneous_cluster("c", 8, MachineSpec(cores=4),
-                                            machines_per_rack=4),
-        workload=workload,
-        failures=failures,
-        seed=23,
-        horizon=250.0,
-        retry_policy=ExponentialBackoff(max_attempts=6, base=1.0, cap=20.0),
-        slos=SLOS, slo_rules=(RULES[0],), telemetry_interval=5.0)
+#: The calm control: identical trace, the burst overridden away, no
+#: grading (an explicit empty failure schedule keeps the injector armed
+#: so both runs compose identically).
+CALM_SPEC = CHAOS_SPEC.override({
+    "failures": {"kind": "explicit", "params": {"events": []}},
+    "slos": None})
 
 
 def act_one():
     """Grade the chaos run; print verdicts and the alert timeline."""
     observer = Observer()
-    report = make_experiment().run(observer=observer)
+    report = ChaosExperiment.from_spec(CHAOS_SPEC).run(observer=observer)
     print(render_slo_report(report.slo_report,
                             title="Act 1 — SLO verdicts, chaos run seed 23"))
     print()
@@ -93,9 +86,7 @@ def act_one():
 def act_two(chaos_observer):
     """Diff the chaos trace against a calm control run."""
     calm = Observer()
-    experiment = make_experiment(chaotic=False)
-    experiment.slos = ()          # control run: same workload, no grading
-    experiment.run(observer=calm)
+    ChaosExperiment.from_spec(CALM_SPEC).run(observer=calm)
     diff = census_diff(span_census(calm.tracer),
                        span_census(chaos_observer.tracer))
     rows = [(kind, str(before), str(after), f"{delta:+d}")
@@ -122,37 +113,38 @@ class PinnedAutoscaler:
         return 1
 
 
+LIVE_SPEC = ScenarioSpec(
+    name="slo-watchtower-live",
+    seed=0,
+    topology=TopologySpec(
+        clusters=(ClusterSpec("live", 6, cores=2, machines_per_rack=3),),
+        datacenter="live-dc"),
+    workload=WorkloadSpec("uniform-tasks", {
+        "n_tasks": 30, "runtime": 4.0, "cores": 1, "submit": 0.5,
+        "prefix": "load"}),
+    slos=SLOSpec(
+        objectives=(ObjectiveSpec("queue-wait", {
+            "name": "fast-start", "threshold": 5.0, "target": 0.9}),),
+        rules=(BurnRuleSpec("fast", long_window=8.0, short_window=2.0,
+                            threshold=2.0),),
+        telemetry_interval=1.0),
+    duration=120.0)
+
+
 def act_three():
     """A burning SLO fires an alert that leases machines."""
-    sim = Simulator()
-    observer = Observer()
-    observer.attach(sim)
-    cluster = homogeneous_cluster("live", 6, MachineSpec(cores=2),
-                                  machines_per_rack=3)
-    datacenter = Datacenter(sim, [cluster], name="live-dc")
-    scheduler = ClusterScheduler(sim, datacenter)
-    controller = AutoscalingController(sim, datacenter, scheduler,
-                                       PinnedAutoscaler(), interval=1000.0)
-    pipeline = StreamingPipeline(sim, observer.metrics, interval=1.0)
-    engine = SLOEngine(
-        pipeline,
-        objectives=[QueueWaitObjective("fast-start", threshold=5.0,
-                                       target=0.9)],
-        rules=(BurnRateRule("fast", long_window=8.0, short_window=2.0,
-                            threshold=2.0),))
-    controller.respond_to_alerts(engine, boost=3)
+    # The pathological policy has no declarative form — inject it as a
+    # build-time override (the run is then no longer reproducible from
+    # the spec JSON alone, which is exactly the boundary the kernel
+    # draws around programmatic components).
+    runtime = LIVE_SPEC.build(autoscaler=PinnedAutoscaler(),
+                              autoscaler_interval=1000.0)
+    runtime.controller.respond_to_alerts(runtime.engine, boost=3)
+    runtime.drive()
+    runtime.finalize()
 
-    def arrivals(sim):
-        yield sim.timeout(0.5)
-        for i in range(30):
-            scheduler.submit(Task(runtime=4.0, cores=1, submit_time=sim.now,
-                                  name=f"load{i}"))
-
-    sim.process(arrivals(sim))
-    pipeline.attach(until=120.0)
-    sim.run(until=120.0)
-    scheduler.stop()
-
+    engine = runtime.engine
+    controller = runtime.controller
     fires = engine.alerts.fires()
     print("Act 3 — closing the loop")
     print("  pinned policy parked the fleet at 1 machine; 30 tasks queued")
@@ -160,7 +152,7 @@ def act_three():
           f"(burn {fires[0].burn_long:.1f}x over budget)")
     print(f"  alert boosts applied: {controller.alert_boosts} "
           f"(+3 machines each) -> {controller.leased_machines} machines")
-    stats = scheduler.statistics()
+    stats = runtime.scheduler.statistics()
     print(f"  tasks completed by t=120: {stats['completed']:.0f}, "
           f"mean wait {stats['wait_mean']:.1f}s")
     print()

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: tables, figures, and scenario runs.
 
 Usage::
 
@@ -6,17 +6,32 @@ Usage::
     python -m repro table2          # print one artifact
     python -m repro all             # print everything
     python -m repro observe         # watch a simulation observe itself
+    python -m repro observe --spec examples/specs/chaos_slo.json
+    python -m repro run examples/specs/chaos_baseline.json
+    python -m repro sweep examples/specs/chaos_baseline.json \\
+        --seeds 1,2 --policies fcfs,sjf --workers 2
 
 ``observe`` (also ``--observe``) runs a small deterministic scenario —
 a fork-join workflow on a cluster that takes a correlated failure
 burst mid-run — with the full observability stack armed, then prints
 the operator's view: the metrics table, the SLO verdicts, the alert
-log, and the workflow's critical path.
+log, and the workflow's critical path.  With ``--spec <file>`` it
+instead arms the observability stack on *any* declarative scenario
+spec and prints the same operator's view for it.
+
+``run`` executes one scenario spec (a JSON document, see
+``docs/SCENARIOS.md``) and prints its deterministic result summary,
+fingerprint, and digest; ``--out <file>`` also writes the full result
+JSON.  ``sweep`` fans a seed/policy/scale grid of the spec across
+worker processes (``--workers``) with a deterministic merge;
+``--verify-serial`` re-runs the grid serially and asserts the merged
+report digest is byte-identical.
 """
 
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
 from .core import (
     ChallengeRegistry,
@@ -170,6 +185,127 @@ def _observe() -> str:
     return "\n\n".join(sections)
 
 
+def _load_spec(path: str):
+    """Read a :class:`ScenarioSpec` from a JSON file."""
+    from .scenario import ScenarioSpec
+    return ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _observe_spec(path: str) -> str:
+    """The operator's view of one declarative scenario run."""
+    from .observability import Observer
+    from .reporting import (render_alerts, render_metrics,
+                            render_slo_report)
+    spec = _load_spec(path)
+    observer = Observer()
+    runtime = spec.build(observer=observer)
+    engine = runtime.engine
+    result = runtime.execute()
+    sections = [
+        f"Scenario {spec.name!r} (seed {spec.seed}, fingerprint "
+        f"{spec.fingerprint()}) - as the run saw itself:",
+        render_metrics(observer.metrics.snapshot(),
+                       title="Metrics (end of run)"),
+    ]
+    if engine is not None:
+        sections.append(render_slo_report(engine.report()))
+        sections.append(render_alerts(engine.alerts))
+    if result.chaos is not None:
+        lines = [f"  {key}: {value:g}"
+                 for key, value in sorted(result.chaos["summary"].items())]
+        sections.append("Resilience summary:\n" + "\n".join(lines))
+    sections.append(f"Result digest: {result.digest()}")
+    return "\n\n".join(sections)
+
+
+def _run_spec(argv: list[str]) -> int:
+    """``run <spec.json> [--out result.json]``: one scenario run."""
+    out = None
+    if "--out" in argv:
+        index = argv.index("--out")
+        out = argv[index + 1]
+        argv = argv[:index] + argv[index + 2:]
+    if len(argv) != 1:
+        print("usage: python -m repro run <spec.json> [--out result.json]",
+              file=sys.stderr)
+        return 2
+    result = _load_spec(argv[0]).run()
+    for key, value in sorted(result.summary().items()):
+        print(f"  {key}: {value:g}")
+    print(f"  fingerprint: {result.fingerprint}")
+    print(f"  digest: {result.digest()}")
+    if out is not None:
+        Path(out).write_text(result.to_json() + "\n", encoding="utf-8")
+        print(f"  result written to {out}")
+    return 0
+
+
+def _parse_axis(text: str, cast) -> list:
+    """Split a ``--axis a,b,c`` value into typed entries."""
+    return [cast(part) for part in text.split(",") if part]
+
+
+def _sweep_spec(argv: list[str]) -> int:
+    """``sweep <spec.json> --seeds 1,2 --policies fcfs,sjf ...``."""
+    from .reporting import render_table
+    from .scenario import SweepRunner
+    options = {"--seeds": None, "--policies": None, "--scale": None,
+               "--workers": "1", "--out": None}
+    positional: list[str] = []
+    verify_serial = False
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument == "--verify-serial":
+            verify_serial = True
+            index += 1
+        elif argument in options:
+            if index + 1 >= len(argv):
+                print(f"missing value for {argument}", file=sys.stderr)
+                return 2
+            options[argument] = argv[index + 1]
+            index += 2
+        else:
+            positional.append(argument)
+            index += 1
+    if len(positional) != 1:
+        print("usage: python -m repro sweep <spec.json> [--seeds 1,2] "
+              "[--policies fcfs,sjf] [--scale 1.0,2.0] [--workers N] "
+              "[--verify-serial] [--out report.json]", file=sys.stderr)
+        return 2
+    spec = _load_spec(positional[0])
+    seeds = _parse_axis(options["--seeds"] or "", int)
+    policies = _parse_axis(options["--policies"] or "", str)
+    scale = _parse_axis(options["--scale"] or "", float)
+    workers = int(options["--workers"] or "1")
+    report = SweepRunner(spec, workers=workers).sweep(
+        seeds=seeds, policies=policies, scale=scale)
+    rows = []
+    for label, summary in report.rows():
+        rows.append((label, f"{summary['makespan']:.1f}",
+                     f"{summary['tasks_finished']:.0f}/"
+                     f"{summary['tasks_total']:.0f}",
+                     f"{summary.get('wait_mean', 0.0):.1f}"))
+    print(render_table(
+        ["Point", "Makespan", "Finished", "Mean wait"], rows,
+        title=f"Sweep of {spec.name!r}: {len(report.runs)} runs on "
+              f"{workers} worker(s)"))
+    print(f"  base fingerprint: {report.base_fingerprint}")
+    print(f"  report digest: {report.digest()}")
+    if verify_serial:
+        serial = SweepRunner(spec, workers=1).sweep(
+            seeds=seeds, policies=policies, scale=scale)
+        if serial.digest() != report.digest():
+            print("  FAIL: serial re-run digest differs", file=sys.stderr)
+            return 1
+        print("  serial re-run digest matches (byte-identical merge)")
+    if options["--out"] is not None:
+        Path(options["--out"]).write_text(report.to_json() + "\n",
+                                          encoding="utf-8")
+        print(f"  report written to {options['--out']}")
+    return 0
+
+
 ARTIFACTS = {
     "table1": _table1,
     "table2": _table2,
@@ -193,12 +329,22 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(ARTIFACTS):
             print(f"  {name}")
         print("  all")
-        print("  observe")
+        print("  observe [--spec <file>]")
+        print("  run <spec.json> [--out <file>]")
+        print("  sweep <spec.json> [--seeds ..] [--policies ..] "
+              "[--scale ..] [--workers N] [--verify-serial] [--out <file>]")
         return 0
     name = argv[0]
     if name in ("observe", "--observe"):
-        print(_observe())
+        if len(argv) >= 3 and argv[1] == "--spec":
+            print(_observe_spec(argv[2]))
+        else:
+            print(_observe())
         return 0
+    if name == "run":
+        return _run_spec(argv[1:])
+    if name == "sweep":
+        return _sweep_spec(argv[1:])
     if name == "all":
         for artifact in sorted(ARTIFACTS):
             print(ARTIFACTS[artifact]())

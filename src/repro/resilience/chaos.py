@@ -30,9 +30,7 @@ from ..datacenter.cluster import Cluster
 from ..datacenter.datacenter import Datacenter
 from ..failures.injection import FailureInjector
 from ..failures.models import FailureEvent
-from ..observability.slo import (AlertLog, BurnRateRule, ServiceObjective,
-                                 SLOEngine)
-from ..observability.streaming import StreamingPipeline
+from ..observability.slo import AlertLog, BurnRateRule, ServiceObjective
 from ..scheduling.scheduler import ClusterScheduler
 from ..selfaware.anomaly import RecoveryPlanner
 from ..sim import RandomStreams, Simulator
@@ -40,7 +38,7 @@ from ..workload.task import Task, TaskState
 from .checkpoint import CheckpointPolicy
 from .policies import ExponentialBackoff, RetryPolicy
 
-__all__ = ["ChaosExperiment", "ChaosReport"]
+__all__ = ["ChaosExperiment", "ChaosReport", "compile_report"]
 
 #: Builds the workload for one run: ``(streams) -> tasks``.
 WorkloadFn = Callable[[RandomStreams], Sequence[Task]]
@@ -206,12 +204,71 @@ class ChaosExperiment:
         self.slos = tuple(slos) if slos else ()
         self.slo_rules = tuple(slo_rules) if slo_rules else None
         self.telemetry_interval = telemetry_interval
+        #: When True, ``workload`` takes ``(streams, datacenter)`` —
+        #: the spec-builder signature — instead of ``(streams)``.
+        self.workload_takes_datacenter = False
+
+    # ------------------------------------------------------------------
+    # Construction from a declarative spec
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Any) -> "ChaosExperiment":
+        """A chaos experiment resolved from a declarative scenario spec.
+
+        ``spec`` is a :class:`~repro.scenario.spec.ScenarioSpec` with a
+        single-cluster topology; its workload/failure kinds, resilience
+        sections, and SLO declarations map onto the experiment's
+        constructor arguments.  The returned experiment runs through
+        the same composition root as ``spec.run()``, so both paths
+        yield identical reports for the same spec.
+        """
+        if len(spec.topology.clusters) != 1:
+            raise ValueError("ChaosExperiment runs a single cluster; "
+                             f"the spec declares "
+                             f"{len(spec.topology.clusters)}")
+
+        def cluster() -> Cluster:
+            return spec.topology.clusters[0].build()
+
+        experiment = cls(
+            cluster=cluster,
+            workload=spec.workload.build,
+            failures=(spec.failures.build if spec.failures is not None
+                      else lambda streams, racks, horizon: []),
+            seed=spec.seed,
+            horizon=spec.horizon,
+            retry_policy=(spec.retries.build() if spec.retries is not None
+                          else None),
+            checkpoint_policy=(spec.checkpoints.build()
+                               if spec.checkpoints is not None else None),
+            hedge_policy=(spec.hedging.build()
+                          if spec.hedging is not None else None),
+            admission=(spec.shedding.build()
+                       if spec.shedding is not None else None),
+            availability_slo=spec.availability_slo,
+            injection_jitter=spec.injection_jitter,
+            max_time=spec.max_time,
+            slos=(spec.slos.build_objectives()
+                  if spec.slos is not None else None),
+            slo_rules=(spec.slos.build_rules()
+                       if spec.slos is not None else None),
+            telemetry_interval=(spec.slos.telemetry_interval
+                                if spec.slos is not None else 5.0))
+        # Spec workload builders take ``(streams, datacenter)``; the
+        # classic callable interface takes ``(streams)`` only.
+        experiment.workload_takes_datacenter = True
+        return experiment
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, observer: Any = None) -> ChaosReport:
         """Execute the experiment once and report.
+
+        Composition and the drive loop are delegated to the scenario
+        kernel (:func:`repro.scenario.runtime.compose`) — the chaos
+        harness is a thin resilience-flavored view over the same
+        composition root every other entry point uses.
 
         Args:
             observer: Optional
@@ -224,60 +281,39 @@ class ChaosExperiment:
                 report by hand.  Observability never perturbs the run:
                 the same seed yields the identical report either way.
         """
+        from ..scenario.runtime import compose
         if self.slos and observer is None:
             raise ValueError(
                 "SLO grading reads the metrics registry; pass an observer "
                 "to run() when the experiment declares slos")
-        sim = Simulator()
-        if observer is not None:
-            observer.attach(sim)
-        engine: SLOEngine | None = None
-        if self.slos:
-            pipeline = StreamingPipeline(sim, observer.metrics,
-                                         interval=self.telemetry_interval)
-            engine = (SLOEngine(pipeline, self.slos, rules=self.slo_rules)
-                      if self.slo_rules is not None
-                      else SLOEngine(pipeline, self.slos))
-        streams = RandomStreams(self.seed)
-        cluster = self.cluster()
-        datacenter = Datacenter(sim, [cluster], name="chaos-dc")
-        admission = self.admission(datacenter) if self.admission else None
-        scheduler = ClusterScheduler(sim, datacenter, admission=admission,
-                                     hedge_policy=self.hedge_policy)
-        planner = RecoveryPlanner(scheduler, retry_policy=self.retry_policy,
-                                  rng=streams.stream("retry-jitter"))
-        tasks = list(self.workload(streams))
-        if not tasks:
-            raise ValueError("the workload produced no tasks")
-        if self.checkpoint_policy is not None:
-            self.checkpoint_policy.apply(tasks)
-        racks = [[m.name for m in rack] for rack in cluster.racks]
-        events = list(self.failures(streams, racks, self.horizon))
-        injector = FailureInjector(sim, datacenter, events, streams=streams,
-                                   jitter=self.injection_jitter)
-        sim.process(self._arrivals(sim, scheduler, tasks), name="arrivals")
-        # Run to event exhaustion, but without the clock jump to the
-        # stop time that run(until=...) performs on an early drain —
-        # the availability denominator is the *actual* elapsed time.
-        # Telemetry ticks are driven externally (`advance`) rather than
-        # as sim events, so observation can never keep a drained
-        # simulation alive or perturb its event order.
-        if engine is None:
-            while sim.peek() <= self.max_time:
-                sim.step()
+        workload = self.workload
+        if getattr(self, "workload_takes_datacenter", False):
+            workload2 = workload
         else:
-            pipeline = engine.pipeline
-            while (when := sim.peek()) <= self.max_time:
-                pipeline.advance(when)
-                sim.step()
-            pipeline.advance(sim.now)
-        scheduler.stop()
-        report = self._report(sim, datacenter, scheduler, planner, injector,
-                              tasks)
-        if engine is not None:
-            report.slo_report = engine.report()
-            report.alert_log = engine.alerts
-            report.violations.extend(engine.violations())
+            def workload2(streams: RandomStreams,
+                          datacenter: Datacenter) -> Sequence[Task]:
+                return workload(streams)
+        runtime = compose(
+            seed=self.seed,
+            clusters=lambda: [self.cluster()],
+            workload=workload2,
+            failures=self.failures,
+            observer=observer,
+            slos=self.slos,
+            slo_rules=self.slo_rules,
+            telemetry_interval=self.telemetry_interval,
+            admission=self.admission,
+            hedge_policy=self.hedge_policy,
+            retry_policy=self.retry_policy,
+            checkpoint_policy=self.checkpoint_policy,
+            datacenter_name="chaos-dc",
+            horizon=self.horizon,
+            injection_jitter=self.injection_jitter,
+            availability_slo=self.availability_slo,
+            max_time=self.max_time)
+        runtime.drive()
+        runtime.finalize()
+        report = runtime.chaos_report()
         if observer is not None:
             for key, value in report.summary().items():
                 observer.metrics.gauge(f"chaos.{key}").set(value)
@@ -287,118 +323,133 @@ class ChaosExperiment:
             observer.detach()
         return report
 
-    @staticmethod
-    def _arrivals(sim: Simulator, scheduler: ClusterScheduler,
-                  tasks: Sequence[Task]):
-        for task in sorted(tasks, key=lambda t: (t.submit_time, t.name)):
-            delay = task.submit_time - sim.now
-            if delay > 0:
-                yield sim.timeout(delay)
-            scheduler.submit(task)
 
-    # ------------------------------------------------------------------
-    # Reporting
-    # ------------------------------------------------------------------
-    def _report(self, sim: Simulator, datacenter: Datacenter,
-                scheduler: ClusterScheduler, planner: RecoveryPlanner,
-                injector: FailureInjector,
-                tasks: Sequence[Task]) -> ChaosReport:
-        finished = [t for t in tasks if t.state is TaskState.FINISHED]
-        shed = [t for t in tasks if t.state is TaskState.SHED]
-        makespan = (max(t.finish_time for t in finished) if finished
-                    else sim.now)
-        goodput = sum(t.runtime * t.cores for t in finished)
-        wasted = datacenter.wasted_core_seconds
-        attempted = goodput + wasted
-        recovery = self._recovery_times(injector)
-        unrecovered = sum(
-            1 for _, _, victims in injector.event_log
-            for v in victims if v.state is not TaskState.FINISHED
-            and not v.speculative)
-        availability = self._availability(sim, datacenter, injector)
-        report = ChaosReport(
-            seed=self.seed,
-            makespan=makespan,
-            tasks_total=len(tasks),
-            tasks_finished=len(finished),
-            tasks_shed=len(shed),
-            tasks_abandoned=len(planner.abandoned),
-            goodput_core_seconds=goodput,
-            wasted_core_seconds=wasted,
-            preserved_core_seconds=datacenter.preserved_core_seconds,
-            goodput_rate=goodput / makespan if makespan > 0 else 0.0,
-            wasted_fraction=wasted / attempted if attempted > 0 else 0.0,
-            failure_events=len(injector.event_log),
-            victim_tasks=injector.victim_tasks,
-            unrecovered_victims=unrecovered,
-            mean_recovery_time=(sum(recovery) / len(recovery)
-                                if recovery else 0.0),
-            max_recovery_time=max(recovery, default=0.0),
-            availability=availability,
-            availability_slo=self.availability_slo,
-            slo_met=availability >= self.availability_slo,
-            total_retries=planner.total_retries,
-            max_attempts_observed=max(
-                (t.attempts for t in tasks if not t.speculative), default=0),
-            hedges_launched=scheduler.hedges_launched,
-            hedge_wins=scheduler.hedge_wins,
-            hedge_rescues=scheduler.hedge_rescues,
-        )
-        report.violations = self._check_invariants(datacenter, planner,
-                                                   tasks, report)
-        return report
+# ---------------------------------------------------------------------------
+# Report compilation (shared with the scenario kernel)
+# ---------------------------------------------------------------------------
+def compile_report(sim: Simulator, datacenter: Datacenter,
+                   scheduler: ClusterScheduler,
+                   planner: RecoveryPlanner | None,
+                   injector: FailureInjector | None,
+                   tasks: Sequence[Task], *, seed: int,
+                   availability_slo: float = 0.0,
+                   retry_policy: RetryPolicy | None = None) -> ChaosReport:
+    """Compile the resilience report for one finished run.
 
-    @staticmethod
-    def _recovery_times(injector: FailureInjector) -> list[float]:
-        """Burst time to last-victim-finish, per burst with victims."""
-        times = []
-        for when, _, victims in injector.event_log:
-            finishes = [v.finish_time for v in victims
-                        if v.state is TaskState.FINISHED]
-            if finishes:
-                times.append(max(finishes) - when)
-        return times
+    The single grading path shared by :meth:`ChaosExperiment.run` and
+    :meth:`~repro.scenario.runtime.ScenarioRuntime.chaos_report`.
+    ``planner`` / ``injector`` / ``retry_policy`` may be ``None`` for
+    runs without retries or failure injection; the corresponding
+    counters report zero and the attempt-budget invariant is skipped.
+    """
+    finished = [t for t in tasks if t.state is TaskState.FINISHED]
+    shed = [t for t in tasks if t.state is TaskState.SHED]
+    makespan = (max(t.finish_time for t in finished) if finished
+                else sim.now)
+    goodput = sum(t.runtime * t.cores for t in finished)
+    wasted = datacenter.wasted_core_seconds
+    attempted = goodput + wasted
+    recovery = _recovery_times(injector)
+    unrecovered = 0 if injector is None else sum(
+        1 for _, _, victims in injector.event_log
+        for v in victims if v.state is not TaskState.FINISHED
+        and not v.speculative)
+    availability = _availability(sim, datacenter, injector)
+    report = ChaosReport(
+        seed=seed,
+        makespan=makespan,
+        tasks_total=len(tasks),
+        tasks_finished=len(finished),
+        tasks_shed=len(shed),
+        tasks_abandoned=0 if planner is None else len(planner.abandoned),
+        goodput_core_seconds=goodput,
+        wasted_core_seconds=wasted,
+        preserved_core_seconds=datacenter.preserved_core_seconds,
+        goodput_rate=goodput / makespan if makespan > 0 else 0.0,
+        wasted_fraction=wasted / attempted if attempted > 0 else 0.0,
+        failure_events=0 if injector is None else len(injector.event_log),
+        victim_tasks=0 if injector is None else injector.victim_tasks,
+        unrecovered_victims=unrecovered,
+        mean_recovery_time=(sum(recovery) / len(recovery)
+                            if recovery else 0.0),
+        max_recovery_time=max(recovery, default=0.0),
+        availability=availability,
+        availability_slo=availability_slo,
+        slo_met=availability >= availability_slo,
+        total_retries=0 if planner is None else planner.total_retries,
+        max_attempts_observed=max(
+            (t.attempts for t in tasks if not t.speculative), default=0),
+        hedges_launched=scheduler.hedges_launched,
+        hedge_wins=scheduler.hedge_wins,
+        hedge_rescues=scheduler.hedge_rescues,
+    )
+    report.violations = _check_invariants(
+        datacenter, planner, tasks, report,
+        availability_slo=availability_slo, retry_policy=retry_policy)
+    return report
 
-    @staticmethod
-    def _availability(sim: Simulator, datacenter: Datacenter,
-                      injector: FailureInjector) -> float:
-        elapsed = sim.now
-        n_machines = len(datacenter.machines())
-        if elapsed <= 0 or n_machines == 0:
-            return 1.0
-        downtime = sum(end - start
-                       for intervals in injector.downtime_intervals().values()
-                       for start, end in intervals)
-        return 1.0 - downtime / (n_machines * elapsed)
 
-    def _check_invariants(self, datacenter: Datacenter,
-                          planner: RecoveryPlanner, tasks: Sequence[Task],
-                          report: ChaosReport) -> list[str]:
-        violations = []
-        abandoned_ids = {id(t) for t in planner.abandoned}
-        stuck = [t for t in tasks
-                 if t.state not in (TaskState.FINISHED, TaskState.SHED)
-                 and id(t) not in abandoned_ids]
-        if stuck:
-            violations.append(
-                f"{len(stuck)} non-shed tasks neither finished nor were "
-                f"abandoned (first: {stuck[0].name}, {stuck[0].state.value})")
-        budget = self.retry_policy.max_attempts
+def _recovery_times(injector: FailureInjector | None) -> list[float]:
+    """Burst time to last-victim-finish, per burst with victims."""
+    if injector is None:
+        return []
+    times = []
+    for when, _, victims in injector.event_log:
+        finishes = [v.finish_time for v in victims
+                    if v.state is TaskState.FINISHED]
+        if finishes:
+            times.append(max(finishes) - when)
+    return times
+
+
+def _availability(sim: Simulator, datacenter: Datacenter,
+                  injector: FailureInjector | None) -> float:
+    """Machine-uptime fraction over the run (1.0 with no injector)."""
+    if injector is None:
+        return 1.0
+    elapsed = sim.now
+    n_machines = len(datacenter.machines())
+    if elapsed <= 0 or n_machines == 0:
+        return 1.0
+    downtime = sum(end - start
+                   for intervals in injector.downtime_intervals().values()
+                   for start, end in intervals)
+    return 1.0 - downtime / (n_machines * elapsed)
+
+
+def _check_invariants(datacenter: Datacenter,
+                      planner: RecoveryPlanner | None,
+                      tasks: Sequence[Task], report: ChaosReport, *,
+                      availability_slo: float,
+                      retry_policy: RetryPolicy | None) -> list[str]:
+    """The resilience invariants; empty when the run was clean."""
+    violations = []
+    abandoned = () if planner is None else planner.abandoned
+    abandoned_ids = {id(t) for t in abandoned}
+    stuck = [t for t in tasks
+             if t.state not in (TaskState.FINISHED, TaskState.SHED)
+             and id(t) not in abandoned_ids]
+    if stuck:
+        violations.append(
+            f"{len(stuck)} non-shed tasks neither finished nor were "
+            f"abandoned (first: {stuck[0].name}, {stuck[0].state.value})")
+    if retry_policy is not None:
+        budget = retry_policy.max_attempts
         over = [t for t in tasks
                 if not t.speculative and t.attempts > budget]
         if over:
             violations.append(
                 f"{len(over)} tasks exceeded the {budget}-attempt budget "
                 f"(worst: {max(t.attempts for t in over)} attempts)")
-        for task, lost in datacenter.execution_losses:
-            interval = task.checkpoint_interval
-            if interval is not None and lost > interval + 1e-6:
-                violations.append(
-                    f"task {task.name} lost {lost:.3f}s of work, more than "
-                    f"its {interval:.3f}s checkpoint interval")
-                break
-        if not report.slo_met and self.availability_slo > 0:
+    for task, lost in datacenter.execution_losses:
+        interval = task.checkpoint_interval
+        if interval is not None and lost > interval + 1e-6:
             violations.append(
-                f"availability {report.availability:.4f} misses the "
-                f"{self.availability_slo:.4f} SLO")
-        return violations
+                f"task {task.name} lost {lost:.3f}s of work, more than "
+                f"its {interval:.3f}s checkpoint interval")
+            break
+    if not report.slo_met and availability_slo > 0:
+        violations.append(
+            f"availability {report.availability:.4f} misses the "
+            f"{availability_slo:.4f} SLO")
+    return violations

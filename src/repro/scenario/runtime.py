@@ -1,0 +1,390 @@
+"""The scenario composition root: one assembly path for every run.
+
+Before this module existed the repository wired up simulations five
+different ways — the perf benchmarks, each example script, the chaos
+harness, experiment recipes, and the CLI all duplicated the
+datacenter/workload/scheduler/observer setup.  :func:`compose` is the
+single composition root they now share: it builds a
+:class:`ScenarioRuntime` holding every live component of one run, in a
+*fixed construction order* so that refactoring an entry point onto the
+kernel preserves its determinism digests bit for bit.
+
+The drive loop is the one introduced by the chaos harness: step the
+simulator to event exhaustion (bounded by ``duration``/``max_time``)
+without the clock jump that ``run(until=...)`` performs on an early
+drain, advancing streaming telemetry *externally* so observation can
+never perturb the event order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..autoscaling.controller import AutoscalingController
+from ..datacenter.cluster import Cluster
+from ..datacenter.datacenter import Datacenter
+from ..failures.injection import FailureInjector
+from ..failures.models import FailureEvent
+from ..observability.observer import Observer
+from ..observability.slo import BurnRateRule, ServiceObjective, SLOEngine
+from ..observability.streaming import StreamingPipeline
+from ..scheduling.policies import PLACEMENT_POLICIES, QUEUE_POLICIES
+from ..scheduling.portfolio import PortfolioScheduler
+from ..scheduling.scheduler import ClusterScheduler
+from ..selfaware.anomaly import RecoveryPlanner
+from ..sim import RandomStreams, Simulator
+from ..workload.task import Job, Task
+from .result import ScenarioResult, compile_result
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioRuntime", "compose", "build_runtime"]
+
+
+class ScenarioRuntime:
+    """The live components of one composed scenario run.
+
+    Produced by :func:`compose`; holds the simulator, the observer (if
+    armed), the SLO engine (if objectives were declared), the
+    datacenter, scheduler, resilience machinery, workload, and failure
+    injector.  :meth:`drive` executes the run, :meth:`finalize` stops
+    the periodic processes, and :meth:`result` compiles the
+    deterministic :class:`~repro.scenario.result.ScenarioResult`.
+    """
+
+    def __init__(self) -> None:
+        self.spec: ScenarioSpec | None = None
+        self.seed: int = 0
+        self.sim: Simulator = None  # type: ignore[assignment]
+        self.observer: Observer | None = None
+        self.engine: SLOEngine | None = None
+        self.streams: RandomStreams = None  # type: ignore[assignment]
+        self.clusters: list[Cluster] = []
+        self.datacenter: Datacenter = None  # type: ignore[assignment]
+        self.admission: Any = None
+        self.scheduler: ClusterScheduler = None  # type: ignore[assignment]
+        self.portfolio: PortfolioScheduler | None = None
+        self.controller: AutoscalingController | None = None
+        self.planner: RecoveryPlanner | None = None
+        self.retry_policy: Any = None
+        self.items: list = []
+        self.tasks: list[Task] = []
+        self.events: list[FailureEvent] = []
+        self.injector: FailureInjector | None = None
+        self.availability_slo: float = 0.0
+        self.duration: float | None = None
+        self.max_time: float = 10_000_000.0
+        self._driven = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def drive(self, trace: list[float] | None = None) -> None:
+        """Step the run to completion.
+
+        Runs to event exhaustion bounded by ``duration`` (when set) or
+        ``max_time``, *without* the clock jump to the stop time that
+        ``Simulator.run(until=...)`` performs on an early drain — the
+        availability denominator is the actual elapsed time.  Streaming
+        telemetry ticks are driven externally (``advance``) rather than
+        as sim events, so observation can never keep a drained
+        simulation alive or perturb its event order.
+
+        Args:
+            trace: Optional list; when given, ``sim.now`` is appended
+                after every step — the event-time trace the perf
+                harness digests to pin exact event ordering.
+        """
+        if self._driven:
+            raise RuntimeError("this runtime was already driven; "
+                               "build a fresh one per run")
+        self._driven = True
+        sim = self.sim
+        bound = self.duration if self.duration is not None else self.max_time
+        if self.engine is None:
+            if trace is None:
+                while sim.peek() <= bound:
+                    sim.step()
+            else:
+                record = trace.append
+                while sim.peek() <= bound:
+                    sim.step()
+                    record(sim.now)
+        else:
+            pipeline = self.engine.pipeline
+            record = trace.append if trace is not None else None
+            while (when := sim.peek()) <= bound:
+                pipeline.advance(when)
+                sim.step()
+                if record is not None:
+                    record(sim.now)
+        if self.duration is not None and sim.now < self.duration:
+            # An explicit duration fixes the observation window: jump
+            # the clock to it (no events remain at or before it).
+            sim.run(until=self.duration)
+        if self.engine is not None:
+            self.engine.pipeline.advance(sim.now)
+
+    def finalize(self) -> None:
+        """Stop the periodic processes (scheduler, portfolio, scaler)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.scheduler.stop()
+        if self.portfolio is not None:
+            self.portfolio.stop()
+        if self.controller is not None:
+            self.controller.stop()
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def chaos_report(self):
+        """The resilience-graded view of the finished run.
+
+        Returns a :class:`~repro.resilience.chaos.ChaosReport` (SLO
+        verdicts included when an engine was armed) — exactly what
+        :meth:`ChaosExperiment.run` reports.
+        """
+        from ..resilience.chaos import compile_report
+        report = compile_report(
+            self.sim, self.datacenter, self.scheduler, self.planner,
+            self.injector, self.tasks, seed=self.seed,
+            availability_slo=self.availability_slo,
+            retry_policy=self.retry_policy)
+        if self.engine is not None:
+            report.slo_report = self.engine.report()
+            report.alert_log = self.engine.alerts
+            report.violations.extend(self.engine.violations())
+        return report
+
+    def result(self) -> ScenarioResult:
+        """Compile the deterministic result record for this run."""
+        return compile_result(self)
+
+    def execute(self, trace: list[float] | None = None) -> ScenarioResult:
+        """Drive, finalize, and compile the result in one call."""
+        self.drive(trace=trace)
+        self.finalize()
+        result = self.result()
+        if self.observer is not None:
+            # The run's simulator is private; release the observer so
+            # its collected data can outlive the scenario.
+            self.observer.detach()
+        return result
+
+
+def compose(*, seed: int,
+            clusters: Callable[[], Sequence[Cluster]],
+            workload: Callable[[RandomStreams, Datacenter], Sequence],
+            failures: Callable[[RandomStreams, list, float],
+                               Sequence[FailureEvent]] | None = None,
+            observer: Observer | None = None,
+            slos: Sequence[ServiceObjective] = (),
+            slo_rules: Sequence[BurnRateRule] | None = None,
+            telemetry_interval: float = 5.0,
+            queue_policy: Any = None,
+            placement_policy: Any = None,
+            backfilling: bool = False,
+            strict_head: bool = False,
+            admission: Callable[[Datacenter], Any] | None = None,
+            hedge_policy: Any = None,
+            retry_policy: Any = None,
+            checkpoint_policy: Any = None,
+            portfolio: Sequence[Any] | None = None,
+            portfolio_interval: float = 50.0,
+            autoscaler: Any = None,
+            autoscaler_interval: float = 10.0,
+            datacenter_name: str = "dc",
+            operator: str = "operator",
+            horizon: float = 1000.0,
+            injection_jitter: float = 0.0,
+            availability_slo: float = 0.0,
+            duration: float | None = None,
+            max_time: float = 10_000_000.0,
+            spec: ScenarioSpec | None = None) -> ScenarioRuntime:
+    """Assemble one run from live ingredients (the composition root).
+
+    Every entry point — spec runs, the chaos harness, the perf
+    benchmarks — funnels through this function, in this construction
+    order; the order is part of the determinism contract.
+
+    Args:
+        seed: Root seed for the run's :class:`RandomStreams`.
+        clusters: ``() -> clusters`` factory (fresh topology per run).
+        workload: ``(streams, datacenter) -> tasks-or-jobs``.
+        failures: Optional ``(streams, racks, horizon) -> events``;
+            when given a :class:`FailureInjector` is armed even if the
+            schedule comes back empty (a calm control run).
+        observer: Optional observer to attach to the private simulator.
+        slos: Declared objectives; arm streaming telemetry + SLOEngine
+            (requires ``observer``).
+        slo_rules: Burn rules for the engine (None keeps its default).
+        telemetry_interval: Sim-seconds between telemetry windows.
+        queue_policy / placement_policy / backfilling / strict_head:
+            Scheduler configuration, as for :class:`ClusterScheduler`.
+        admission: Optional ``(datacenter) -> admission controller``.
+        hedge_policy: Optional speculative-execution policy.
+        retry_policy: Optional retry policy; arms a
+            :class:`RecoveryPlanner` with the ``"retry-jitter"`` stream.
+        checkpoint_policy: Optional policy stamped onto the workload.
+        portfolio: Optional extra queue-policy instances raced by a
+            :class:`PortfolioScheduler`.
+        portfolio_interval: Portfolio re-selection cadence.
+        autoscaler: Optional autoscaling policy object; arms an
+            :class:`AutoscalingController`.
+        autoscaler_interval: Autoscaler evaluation cadence.
+        datacenter_name / operator: Datacenter identity.
+        horizon: Failure-generation horizon.
+        injection_jitter: Failure-time perturbation bound.
+        availability_slo: Target graded into the chaos report.
+        duration: Optional run-until bound; None runs to exhaustion.
+        max_time: Safety cap on simulated time.
+        spec: The originating spec, if any (carried on the runtime for
+            fingerprinting; composition never reads it).
+
+    Returns:
+        A ready-to-drive :class:`ScenarioRuntime`.
+    """
+    if slos and observer is None:
+        raise ValueError(
+            "SLO grading reads the metrics registry; pass an observer "
+            "when the scenario declares slos")
+    runtime = ScenarioRuntime()
+    runtime.spec = spec
+    runtime.seed = seed
+    runtime.availability_slo = availability_slo
+    runtime.duration = duration
+    runtime.max_time = max_time
+    runtime.retry_policy = retry_policy
+
+    sim = Simulator()
+    runtime.sim = sim
+    if observer is not None:
+        observer.attach(sim)
+        runtime.observer = observer
+    if slos:
+        pipeline = StreamingPipeline(sim, observer.metrics,
+                                     interval=telemetry_interval)
+        runtime.engine = (SLOEngine(pipeline, tuple(slos), rules=slo_rules)
+                          if slo_rules is not None
+                          else SLOEngine(pipeline, tuple(slos)))
+    streams = RandomStreams(seed)
+    runtime.streams = streams
+    runtime.clusters = list(clusters())
+    datacenter = Datacenter(sim, runtime.clusters, name=datacenter_name,
+                            operator=operator)
+    runtime.datacenter = datacenter
+    runtime.admission = admission(datacenter) if admission else None
+    scheduler = ClusterScheduler(
+        sim, datacenter, queue_policy=queue_policy,
+        placement_policy=placement_policy, backfilling=backfilling,
+        strict_head=strict_head, admission=runtime.admission,
+        hedge_policy=hedge_policy)
+    runtime.scheduler = scheduler
+    if portfolio:
+        runtime.portfolio = PortfolioScheduler(
+            sim, scheduler, list(portfolio), interval=portfolio_interval)
+    if autoscaler is not None:
+        runtime.controller = AutoscalingController(
+            sim, datacenter, scheduler, autoscaler,
+            interval=autoscaler_interval)
+    if retry_policy is not None:
+        runtime.planner = RecoveryPlanner(
+            scheduler, retry_policy=retry_policy,
+            rng=streams.stream("retry-jitter"))
+    items = list(workload(streams, datacenter))
+    if not items:
+        raise ValueError("the workload produced no tasks")
+    runtime.items = items
+    runtime.tasks = _flatten(items)
+    if checkpoint_policy is not None:
+        checkpoint_policy.apply(runtime.tasks)
+    if failures is not None:
+        racks = [[machine.name for machine in rack]
+                 for cluster in runtime.clusters for rack in cluster.racks]
+        runtime.events = list(failures(streams, racks, horizon))
+        runtime.injector = FailureInjector(sim, datacenter, runtime.events,
+                                           streams=streams,
+                                           jitter=injection_jitter)
+    sim.process(_arrivals(sim, scheduler, items), name="arrivals")
+    return runtime
+
+
+def build_runtime(spec: ScenarioSpec, **overrides: Any) -> ScenarioRuntime:
+    """Resolve a :class:`ScenarioSpec` into a composed runtime.
+
+    This is what :meth:`ScenarioSpec.build` calls.  Keyword
+    ``overrides`` replace resolved ingredients by :func:`compose`
+    parameter name (e.g. ``autoscaler=CustomPolicy()``,
+    ``observer=my_observer``) — the programmatic escape hatch for
+    studies whose components have no declarative form.  A run built
+    with overrides is no longer reproducible from the spec JSON alone.
+    """
+    scheduler = spec.scheduler
+    ingredients: dict[str, Any] = {
+        "seed": spec.seed,
+        "clusters": spec.cluster_factory(),
+        "workload": spec.workload_fn(),
+        "failures": spec.failure_fn(),
+        "queue_policy": QUEUE_POLICIES[scheduler.queue](),
+        "placement_policy": PLACEMENT_POLICIES[scheduler.placement](),
+        "backfilling": scheduler.backfilling,
+        "strict_head": scheduler.strict_head,
+        "portfolio": ([QUEUE_POLICIES[name]() for name in
+                       (scheduler.queue, *scheduler.portfolio)]
+                      if scheduler.portfolio else None),
+        "portfolio_interval": scheduler.portfolio_interval,
+        "datacenter_name": spec.topology.datacenter,
+        "operator": spec.topology.operator,
+        "horizon": spec.horizon,
+        "injection_jitter": spec.injection_jitter,
+        "availability_slo": spec.availability_slo,
+        "duration": spec.duration,
+        "max_time": spec.max_time,
+        "spec": spec,
+    }
+    if spec.autoscaler is not None:
+        ingredients["autoscaler"] = spec.autoscaler.build()
+        ingredients["autoscaler_interval"] = spec.autoscaler.interval
+    if spec.retries is not None:
+        ingredients["retry_policy"] = spec.retries.build()
+    if spec.checkpoints is not None:
+        ingredients["checkpoint_policy"] = spec.checkpoints.build()
+    if spec.hedging is not None:
+        ingredients["hedge_policy"] = spec.hedging.build()
+    if spec.shedding is not None:
+        ingredients["admission"] = spec.shedding.build()
+    if spec.slos is not None:
+        ingredients["slos"] = spec.slos.build_objectives()
+        ingredients["slo_rules"] = spec.slos.build_rules()
+        ingredients["telemetry_interval"] = spec.slos.telemetry_interval
+    ingredients.update(overrides)
+    if (spec.observer or ingredients.get("slos")) \
+            and ingredients.get("observer") is None:
+        ingredients["observer"] = Observer()
+    return compose(**ingredients)
+
+
+def _flatten(items: Sequence) -> list[Task]:
+    """Every task in a mixed task/job workload, in item order."""
+    tasks: list[Task] = []
+    for item in items:
+        if isinstance(item, Job):
+            tasks.extend(item.tasks)
+        else:
+            tasks.append(item)
+    return tasks
+
+
+def _arrivals(sim: Simulator, scheduler: ClusterScheduler,
+              items: Sequence):
+    """The unified arrival process: submit in (submit_time, name) order."""
+    for item in sorted(items, key=lambda t: (t.submit_time, t.name)):
+        delay = item.submit_time - sim.now
+        if delay > 0:
+            yield sim.timeout(delay)
+        if isinstance(item, Job):
+            scheduler.submit_job(item)
+        else:
+            scheduler.submit(item)

@@ -1,0 +1,243 @@
+"""Process-parallel parameter sweeps over scenario specs.
+
+The ROADMAP's scaling step: parameter studies across seeds, policies,
+and capacity are embarrassingly parallel, and a
+:class:`SweepRunner` fans a spec grid across ``multiprocessing``
+workers.  Determinism is preserved end to end:
+
+- every grid point is an explicit :class:`ScenarioSpec` derived from
+  the base spec via :meth:`~repro.scenario.spec.ScenarioSpec.override`;
+- workers receive the spec *as JSON* and return the result *as JSON*
+  (each parallel run therefore also exercises the rehydration
+  contract);
+- the merge sorts by grid index, so worker completion order never
+  shows through;
+- the :class:`SweepReport` serializes via the deterministic JSON
+  encoder, carries no wall-clock data, and digests identically whether
+  the sweep ran serially or on any number of workers.
+
+``tests/scenario`` pins serial-vs-parallel digest equality and a
+golden sweep digest; CI re-checks a 2x2 grid on 2 workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from multiprocessing import Pool
+from typing import Any, Mapping, Sequence
+
+from ..observability.export import dumps_deterministic
+from .result import ScenarioResult
+from .spec import ScenarioSpec
+
+__all__ = ["SweepPoint", "SweepReport", "SweepRunner", "sweep"]
+
+
+def _run_spec_payload(payload: tuple[int, str]) -> tuple[int, str]:
+    """Worker entry point: rehydrate a spec from JSON, run, emit JSON.
+
+    Module-level so it pickles under every multiprocessing start
+    method.  Passing JSON both ways makes the parallel path exercise
+    the same serialization contract the round-trip tests pin.
+    """
+    index, spec_json = payload
+    result = ScenarioSpec.from_json(spec_json).run()
+    return index, result.to_json()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the derived spec and the overrides that made it."""
+
+    index: int
+    spec: ScenarioSpec
+    overrides: dict[str, Any]
+
+    def label(self) -> str:
+        """Human-readable axis summary (``seed=3 queue=sjf``)."""
+        if not self.overrides:
+            return "base"
+        return " ".join(f"{key.split('.')[-1]}={value}"
+                        for key, value in sorted(self.overrides.items()))
+
+
+@dataclass
+class SweepReport:
+    """The merged, order-independent outcome of one sweep.
+
+    ``runs`` is sorted by grid index; :meth:`to_json` and
+    :meth:`digest` contain no execution details (worker count, wall
+    time), so a serial run and any parallel run of the same grid
+    produce the byte-identical report.
+    """
+
+    base_fingerprint: str
+    points: list[dict[str, Any]]
+    runs: list[ScenarioResult]
+    workers: int = 1  # execution detail; excluded from the serialized form
+    elapsed_s: float = 0.0  # wall time; excluded from the serialized form
+
+    def to_dict(self) -> dict:
+        """JSON-ready plain data (deterministic content only)."""
+        return {
+            "schema": "sweep-report/v1",
+            "base_fingerprint": self.base_fingerprint,
+            "points": self.points,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepReport":
+        """Rehydrate a report from :meth:`to_dict` output."""
+        if data.get("schema") != "sweep-report/v1":
+            raise ValueError(f"unsupported sweep schema "
+                             f"{data.get('schema')!r}")
+        return cls(base_fingerprint=data["base_fingerprint"],
+                   points=list(data["points"]),
+                   runs=[ScenarioResult.from_dict(r)
+                         for r in data["runs"]])
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, no whitespace)."""
+        return dumps_deterministic(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        """Rehydrate a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def rows(self) -> list[tuple[str, dict[str, float]]]:
+        """(label, flat summary) per run, for tabulation."""
+        return [(point["label"], run.summary())
+                for point, run in zip(self.points, self.runs)]
+
+    @classmethod
+    def assemble(cls, base: ScenarioSpec, points: Sequence[SweepPoint],
+                 outcomes: Sequence[tuple[int, str]],
+                 workers: int = 1) -> "SweepReport":
+        """Merge worker outcomes into the deterministic report.
+
+        ``outcomes`` is ``(grid index, result JSON)`` pairs in *any*
+        order — the merge sorts by grid index, which is what makes the
+        report independent of worker scheduling.  Exposed so every
+        execution strategy (the in-process serial path, the worker
+        pool, a benchmark's cold-process loop) shares one merge.
+        """
+        by_index = {index: result_json for index, result_json in outcomes}
+        runs = [ScenarioResult.from_json(by_index[point.index])
+                for point in points]
+        point_rows = [{"index": point.index,
+                       "fingerprint": point.spec.fingerprint(),
+                       "label": point.label(),
+                       "overrides": _jsonable_overrides(point.overrides)}
+                      for point in points]
+        return cls(base_fingerprint=base.fingerprint(),
+                   points=point_rows, runs=runs, workers=workers)
+
+
+class SweepRunner:
+    """Fan a grid of scenario specs across processes; merge determinate.
+
+    Args:
+        base: The spec every grid point derives from.
+        workers: Process count; ``1`` runs serially in-process (but
+            still through the JSON rehydration path, so serial and
+            parallel results are comparable byte for byte).
+    """
+
+    def __init__(self, base: ScenarioSpec, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.base = base
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    # Grid construction
+    # ------------------------------------------------------------------
+    def grid(self, seeds: Sequence[int] = (),
+             policies: Sequence[str] = (),
+             scale: Sequence[float] = (),
+             overrides: Sequence[Mapping[str, Any]] = ()) -> \
+            list[SweepPoint]:
+        """The cartesian grid of sweep points, in deterministic order.
+
+        Axes: ``seeds`` (root seed), ``policies`` (queue policy),
+        ``scale`` (multiplies every cluster's machine count), and
+        ``overrides`` (arbitrary dotted-path update mappings).  Empty
+        axes contribute the base value.  Iteration order is seeds,
+        then policies, then scale, then overrides — index 0 is the
+        first combination.
+        """
+        seed_axis: Sequence[Any] = list(seeds) or [None]
+        policy_axis: Sequence[Any] = list(policies) or [None]
+        scale_axis: Sequence[Any] = list(scale) or [None]
+        override_axis: Sequence[Any] = list(overrides) or [None]
+        points = []
+        index = 0
+        for seed in seed_axis:
+            for policy in policy_axis:
+                for factor in scale_axis:
+                    for extra in override_axis:
+                        updates: dict[str, Any] = {}
+                        if seed is not None:
+                            updates["seed"] = seed
+                        if policy is not None:
+                            updates["scheduler.queue"] = policy
+                        if factor is not None:
+                            updates["scale"] = factor
+                        if extra:
+                            updates.update(extra)
+                        spec = (self.base.override(updates) if updates
+                                else self.base)
+                        points.append(SweepPoint(index=index, spec=spec,
+                                                 overrides=updates))
+                        index += 1
+        return points
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[SweepPoint]) -> SweepReport:
+        """Execute every point; return the merged deterministic report."""
+        if not points:
+            raise ValueError("the sweep grid is empty")
+        payloads = [(point.index, point.spec.to_json()) for point in points]
+        if self.workers == 1:
+            outcomes = [_run_spec_payload(payload) for payload in payloads]
+        else:
+            with Pool(processes=self.workers) as pool:
+                outcomes = pool.map(_run_spec_payload, payloads)
+        return SweepReport.assemble(self.base, points, outcomes,
+                                    workers=self.workers)
+
+    def sweep(self, seeds: Sequence[int] = (),
+              policies: Sequence[str] = (),
+              scale: Sequence[float] = (),
+              overrides: Sequence[Mapping[str, Any]] = ()) -> SweepReport:
+        """Build the grid and run it in one call."""
+        return self.run(self.grid(seeds=seeds, policies=policies,
+                                  scale=scale, overrides=overrides))
+
+
+def sweep(base: ScenarioSpec, seeds: Sequence[int] = (),
+          policies: Sequence[str] = (), scale: Sequence[float] = (),
+          workers: int = 1,
+          overrides: Sequence[Mapping[str, Any]] = ()) -> SweepReport:
+    """Run a spec grid: ``sweep(spec, seeds=..., policies=..., scale=...)``.
+
+    Convenience wrapper over :class:`SweepRunner`; see its docs for
+    grid and determinism semantics.
+    """
+    return SweepRunner(base, workers=workers).sweep(
+        seeds=seeds, policies=policies, scale=scale, overrides=overrides)
+
+
+def _jsonable_overrides(updates: Mapping[str, Any]) -> dict[str, Any]:
+    """Overrides as JSON-ready data (defensive copy, sorted by key)."""
+    return {key: updates[key] for key in sorted(updates)}

@@ -1,10 +1,15 @@
 """Unit tests for the python -m repro command-line interface."""
 
 import io
+import json
 from contextlib import redirect_stderr, redirect_stdout
-
+from pathlib import Path
 
 from repro.__main__ import ARTIFACTS, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SPEC_PATH = REPO_ROOT / "examples" / "specs" / "chaos_baseline.json"
+SLO_SPEC_PATH = REPO_ROOT / "examples" / "specs" / "chaos_slo.json"
 
 
 def run_cli(*args):
@@ -57,6 +62,62 @@ def test_unknown_artifact_fails_with_hint():
     assert code == 2
     assert "unknown artifact" in err
     assert "table5" in err
+
+
+def test_run_spec_prints_summary_and_digest():
+    code, out, _ = run_cli("run", str(SPEC_PATH))
+    assert code == 0
+    assert "makespan:" in out
+    assert "fingerprint:" in out and "digest:" in out
+
+
+def test_run_spec_writes_result(tmp_path):
+    out_file = tmp_path / "result.json"
+    code, _, _ = run_cli("run", str(SPEC_PATH), "--out", str(out_file))
+    assert code == 0
+    result = json.loads(out_file.read_text())
+    assert result["schema"] == "scenario-result/v1"
+    assert result["tasks_finished"] == result["tasks_total"]
+
+
+def test_run_spec_usage_error():
+    code, _, err = run_cli("run")
+    assert code == 2
+    assert "usage" in err
+
+
+def test_sweep_spec_verify_serial(tmp_path):
+    out_file = tmp_path / "report.json"
+    code, out, _ = run_cli("sweep", str(SPEC_PATH), "--seeds", "1,2",
+                           "--policies", "fcfs,sjf", "--workers", "2",
+                           "--verify-serial", "--out", str(out_file))
+    assert code == 0
+    assert "4 runs on 2 worker(s)" in out
+    assert "serial re-run digest matches" in out
+    report = json.loads(out_file.read_text())
+    assert report["schema"] == "sweep-report/v1"
+    assert len(report["runs"]) == 4
+
+
+def test_sweep_spec_usage_error():
+    code, _, err = run_cli("sweep")
+    assert code == 2
+    assert "usage" in err
+
+
+def test_observe_spec_renders_operator_view():
+    code, out, _ = run_cli("observe", "--spec", str(SLO_SPEC_PATH))
+    assert code == 0
+    assert "as the run saw itself" in out
+    assert "SLO report" in out
+    assert "Resilience summary:" in out
+    assert "Result digest:" in out
+
+
+def test_observe_without_spec_keeps_builtin_demo():
+    code, out, _ = run_cli("observe")
+    assert code == 0
+    assert "Critical path" in out
 
 
 def test_module_invocation():

@@ -11,6 +11,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 BENCH_PATH = REPO_ROOT / "BENCH_sim_core.json"
+SWEEP_BENCH_PATH = REPO_ROOT / "BENCH_sweep.json"
 
 if str(REPO_ROOT / "tools") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "tools"))
@@ -89,6 +90,48 @@ def test_checker_rejects_dropped_digest(record: dict,
     del edited["current"]["digests"]["csr"]
     problems = checker.check_record(_write(tmp_path, edited))
     assert any("dropped digests" in p for p in problems)
+
+
+def test_committed_sweep_record_passes() -> None:
+    assert checker.check_record(SWEEP_BENCH_PATH) == []
+
+
+def test_committed_sweep_record_claims() -> None:
+    record = json.loads(SWEEP_BENCH_PATH.read_text())
+    # The headline claim of the sweep kernel: >= 2x over the cold
+    # process-per-config workflow it replaced, identical science.
+    assert record["speedups"]["sweep"] >= 2.0
+    before = record["before"]["digests"]["sweep"]
+    current = record["current"]["digests"]["sweep"]
+    assert before["sha"] == current["sha"]
+    assert checker._valid_fingerprint(before["fingerprint"])
+
+
+def test_checker_accepts_wellformed_fingerprint(record: dict,
+                                                tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    for capture in ("before", "current"):
+        edited[capture]["digests"]["chaos"]["fingerprint"] = "ab12" * 4
+    assert checker.check_record(_write(tmp_path, edited)) == []
+
+
+def test_checker_rejects_malformed_fingerprint(record: dict,
+                                               tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    edited["current"]["digests"]["chaos"]["fingerprint"] = "not-hex!"
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("malformed spec fingerprint" in p for p in problems)
+
+
+def test_checker_rejects_fingerprint_change_between_captures(
+        record: dict, tmp_path: Path) -> None:
+    # Two captures with different spec fingerprints are runs of
+    # different experiments; their timings are not a trajectory.
+    edited = copy.deepcopy(record)
+    edited["before"]["digests"]["chaos"]["fingerprint"] = "a" * 16
+    edited["current"]["digests"]["chaos"]["fingerprint"] = "b" * 16
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("fingerprint changed" in p for p in problems)
 
 
 def test_checker_rejects_unreadable_file(tmp_path: Path) -> None:

@@ -1,0 +1,70 @@
+"""Shared scenario fixtures: one fully-loaded spec, one small one."""
+
+import pytest
+
+from repro.scenario import (BurnRuleSpec, CheckpointSpec, ClusterSpec,
+                            FailureSpec, HedgeSpec, ObjectiveSpec,
+                            RetrySpec, ScenarioSpec, SheddingSpec,
+                            SLOSpec, TopologySpec, WorkloadSpec)
+
+
+def full_spec() -> ScenarioSpec:
+    """A spec exercising every declarative section at once."""
+    return ScenarioSpec(
+        name="kitchen-sink",
+        seed=13,
+        topology=TopologySpec(
+            clusters=(ClusterSpec("a", 8, cores=4, machines_per_rack=4),
+                      ClusterSpec("b", 4, cores=8, memory=64.0,
+                                  speed=1.5)),
+            datacenter="sink-dc"),
+        workload=WorkloadSpec("uniform-tasks", {
+            "n_tasks": 48, "runtime": [10.0, 80.0], "cores": [1, 3],
+            "submit": [0.0, 40.0], "priority_levels": 3, "prefix": "t"}),
+        failures=FailureSpec("sampled-bursts", {
+            "times": [35.0, 90.0], "victims": 3, "duration": 20.0}),
+        retries=RetrySpec(max_attempts=6, base=1.0, cap=30.0,
+                          jitter="decorrelated"),
+        checkpoints=CheckpointSpec(interval=12.0, overhead=0.4),
+        hedging=HedgeSpec(delay_factor=2.5, min_runtime=25.0),
+        shedding=SheddingSpec(threshold=0.9, shed_below=1),
+        slos=SLOSpec(
+            objectives=(
+                ObjectiveSpec("availability", {
+                    "name": "exec-success",
+                    "good": "datacenter.executions_finished",
+                    "bad": "datacenter.executions_interrupted",
+                    "target": 0.9}),
+                ObjectiveSpec("queue-wait", {
+                    "name": "fast-start", "threshold": 30.0,
+                    "target": 0.9}),
+            ),
+            rules=(BurnRuleSpec("fast", long_window=60.0,
+                                short_window=15.0, threshold=3.0),),
+            telemetry_interval=5.0),
+        horizon=300.0,
+        availability_slo=0.8,
+        injection_jitter=2.0)
+
+
+def small_spec() -> ScenarioSpec:
+    """A fast, failure-free spec for structural tests."""
+    return ScenarioSpec(
+        name="small",
+        seed=5,
+        topology=TopologySpec(
+            clusters=(ClusterSpec("s", 4, cores=2, machines_per_rack=2),)),
+        workload=WorkloadSpec("uniform-tasks", {
+            "n_tasks": 12, "runtime": [5.0, 20.0], "cores": 1,
+            "submit": [0.0, 10.0], "prefix": "w"}),
+        horizon=200.0)
+
+
+@pytest.fixture(name="full_spec")
+def full_spec_fixture() -> ScenarioSpec:
+    return full_spec()
+
+
+@pytest.fixture(name="small_spec")
+def small_spec_fixture() -> ScenarioSpec:
+    return small_spec()

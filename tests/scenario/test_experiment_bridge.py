@@ -1,0 +1,27 @@
+"""The reproducibility recipes (C16) run through the scenario kernel."""
+
+from repro.scenario import scenario_experiment
+from repro.sim import check_reproduction, run_experiment
+
+
+def test_recipe_executes_spec_through_kernel(small_spec):
+    record = run_experiment(scenario_experiment, small_spec.recipe())
+    assert record.recipe.name == "small"
+    assert record.metrics == small_spec.run().summary()
+
+
+def test_check_reproduction_passes_for_deterministic_spec(full_spec):
+    record = run_experiment(scenario_experiment, full_spec.recipe())
+    report = check_reproduction(scenario_experiment, record)
+    assert report.reproducible
+    assert not report.mismatches()
+
+
+def test_recipe_seed_overrides_spec_seed(small_spec):
+    recipe = small_spec.recipe()
+    reseeded = run_experiment(
+        scenario_experiment,
+        type(recipe)(name=recipe.name, seed=small_spec.seed + 1,
+                     parameters=recipe.parameters))
+    assert reseeded.metrics == \
+        small_spec.with_seed(small_spec.seed + 1).run().summary()

@@ -1,0 +1,60 @@
+"""Golden-pinned scenario digests: the kernel's determinism contract.
+
+The committed golden (``goldens/scenario.json``) pins spec
+fingerprints, single-run result digests, and a 2x2 sweep-report digest.
+A mismatch here means the kernel's composition order, a builder's RNG
+draw order, or the canonical serialization changed — all of which are
+breaking changes to the reproducibility contract and must be called
+out explicitly (and the golden regenerated) rather than slipped in.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import ScenarioSpec, sweep
+
+from .conftest import full_spec, small_spec
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "scenario.json"
+SPEC_DIR = Path(__file__).resolve().parents[2] / "examples" / "specs"
+
+
+@pytest.fixture(scope="module", name="golden")
+def golden_fixture() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_schema(golden):
+    assert golden["schema"] == "scenario-goldens/v1"
+    assert set(golden) >= {"full", "small", "sweep",
+                           "chaos_baseline_spec"}
+
+
+def test_full_spec_digest_pinned(golden):
+    spec = full_spec()
+    assert spec.fingerprint() == golden["full"]["fingerprint"]
+    assert spec.run().digest() == golden["full"]["result"]
+
+
+def test_small_spec_digest_pinned(golden):
+    spec = small_spec()
+    assert spec.fingerprint() == golden["small"]["fingerprint"]
+    assert spec.run().digest() == golden["small"]["result"]
+
+
+def test_sweep_digest_pinned_serial_and_parallel(golden):
+    grid = golden["sweep"]["grid"]
+    serial = sweep(small_spec(), workers=1, **grid)
+    assert serial.digest() == golden["sweep"]["digest"]
+    parallel = sweep(small_spec(), workers=2, **grid)
+    assert parallel.digest() == golden["sweep"]["digest"]
+
+
+def test_committed_spec_file_digest_pinned(golden):
+    spec = ScenarioSpec.from_json(
+        (SPEC_DIR / "chaos_baseline.json").read_text())
+    pinned = golden["chaos_baseline_spec"]
+    assert spec.fingerprint() == pinned["fingerprint"]
+    assert spec.run().digest() == pinned["result"]

@@ -1,0 +1,114 @@
+"""The composition root: specs become live runtimes, once, correctly."""
+
+import pytest
+
+from repro.observability import Observer
+from repro.scenario import compose
+from repro.scheduling import SJF
+from repro.workload import TaskState
+
+
+def test_build_wires_every_declared_section(full_spec):
+    runtime = full_spec.build()
+    assert runtime.spec is full_spec
+    assert runtime.injector is not None          # failures declared
+    assert runtime.planner is not None           # retries declared
+    assert runtime.admission is not None         # shedding declared
+    assert runtime.engine is not None            # slos declared
+    assert runtime.observer is not None          # auto-armed for slos
+    assert runtime.datacenter.name == "sink-dc"
+    assert len(runtime.datacenter.clusters) == 2
+    assert runtime.tasks, "workload resolved to tasks"
+
+
+def test_small_spec_leaves_optional_systems_off(small_spec):
+    runtime = small_spec.build()
+    assert runtime.injector is None
+    assert runtime.planner is None
+    assert runtime.admission is None
+    assert runtime.engine is None
+    assert runtime.observer is None
+    assert runtime.controller is None
+
+
+def test_execute_returns_deterministic_result(small_spec):
+    first = small_spec.run()
+    second = small_spec.run()
+    assert first.to_json() == second.to_json()
+    assert first.digest() == second.digest()
+    assert first.tasks_finished == first.tasks_total == 12
+    assert first.fingerprint == small_spec.fingerprint()
+
+
+def test_runtime_cannot_be_driven_twice(small_spec):
+    runtime = small_spec.build()
+    runtime.drive()
+    with pytest.raises(RuntimeError, match="already driven"):
+        runtime.drive()
+
+
+def test_build_overrides_replace_ingredients(small_spec):
+    runtime = small_spec.build(queue_policy=SJF())
+    result = runtime.execute()
+    assert result.tasks_finished == result.tasks_total
+    # The declarative path produces the same digest as the explicit
+    # registry instance: "sjf" in the spec is the same class.
+    declared = small_spec.override({"scheduler.queue": "sjf"}).run()
+    assert declared.statistics == result.statistics
+
+
+def test_duration_extends_the_clock(small_spec):
+    result = small_spec.override({"duration": 500.0}).run()
+    assert result.sim_time == 500.0
+
+
+def test_chaos_section_present_only_when_armed(small_spec, full_spec):
+    assert small_spec.run().chaos is None
+    chaos = full_spec.run().chaos
+    assert chaos is not None
+    # Resilience invariants hold; any violations are declared-SLO
+    # verdicts (the kitchen-sink spec deliberately overloads itself).
+    assert all(line.startswith("SLO ") for line in chaos["violations"])
+    assert chaos["summary"]["tasks_total"] == 48
+    assert chaos["summary"]["tasks_shed"] == 4
+
+
+def test_observer_flag_arms_profile(small_spec):
+    profiled = small_spec.override({"observer": True}).run()
+    assert profiled.profile is not None
+    assert "metrics" in profiled.profile and "profile" in profiled.profile
+    assert small_spec.run().profile is None
+
+
+def test_compose_requires_observer_for_slos(full_spec):
+    ingredients = {"seed": 1,
+                   "clusters": full_spec.cluster_factory(),
+                   "workload": full_spec.workload_fn(),
+                   "slos": full_spec.slos.build_objectives()}
+    with pytest.raises(ValueError, match="pass an observer"):
+        compose(**ingredients)
+    ingredients["observer"] = Observer()
+    runtime = compose(**ingredients)
+    assert runtime.engine is not None
+
+
+def test_empty_workload_rejected(small_spec):
+    empty = small_spec.override({"workload.params.n_tasks": 0})
+    with pytest.raises(ValueError, match="produced no tasks"):
+        empty.build()
+
+
+def test_autoscaler_section_builds_controller(small_spec):
+    elastic = small_spec.override(
+        {"autoscaler": {"policy": "react", "interval": 5.0}})
+    runtime = elastic.build()
+    assert runtime.controller is not None
+    result = runtime.execute()
+    assert result.tasks_finished == result.tasks_total
+
+
+def test_tasks_reach_terminal_states(full_spec):
+    runtime = full_spec.build()
+    runtime.execute()
+    terminal = {TaskState.FINISHED, TaskState.FAILED, TaskState.SHED}
+    assert all(task.state in terminal for task in runtime.tasks)

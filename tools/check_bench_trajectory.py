@@ -16,6 +16,10 @@ Checks per record:
 * every speedup is a finite, positive ratio and agrees (within slack)
   with before/current elapsed times recomputed from the captures;
 * every digest entry carries a non-empty ``sha``;
+* a digest entry's optional ``fingerprint`` (the 16-hex-char
+  :meth:`ScenarioSpec.fingerprint` identity of the spec that produced
+  the run) is well-formed and identical across captures — two
+  captures claiming the same digest name must have run the same spec;
 * digest names match between the before and current captures.
 
 Exit status is the number of failed records, so CI fails on any.
@@ -35,6 +39,15 @@ SCHEMA = "bench-sim-core/v1"
 # Speedups are recomputed from the captured elapsed times; allow for
 # rounding in the committed record.
 RATIO_SLACK = 0.05
+# ScenarioSpec.fingerprint() identities are 16 lowercase hex chars.
+FINGERPRINT_HEX = set("0123456789abcdef")
+FINGERPRINT_LENGTH = 16
+
+
+def _valid_fingerprint(value: object) -> bool:
+    """True when ``value`` is a well-formed spec fingerprint."""
+    return (isinstance(value, str) and len(value) == FINGERPRINT_LENGTH
+            and set(value) <= FINGERPRINT_HEX)
 
 
 def _check_capture(name: str, capture: object) -> list[str]:
@@ -62,6 +75,10 @@ def _check_capture(name: str, capture: object) -> list[str]:
         sha = record.get("sha") if isinstance(record, dict) else None
         if not isinstance(sha, str) or len(sha) != 64:
             problems.append(f"'{name}' digest {scenario} lacks a sha-256")
+        if isinstance(record, dict) and "fingerprint" in record \
+                and not _valid_fingerprint(record["fingerprint"]):
+            problems.append(f"'{name}' digest {scenario} has a malformed "
+                            f"spec fingerprint: {record['fingerprint']!r}")
     return problems
 
 
@@ -105,11 +122,22 @@ def check_record(path: Path) -> list[str]:
             problems.append(f"speedup {scenario} ({ratio:.2f}x) disagrees "
                             f"with captured timings ({expected:.2f}x)")
 
-    before_digests = set(before.get("digests", {}) or {})
-    current_digests = set(current.get("digests", {}) or {})
-    missing = before_digests - current_digests
+    before_digests = before.get("digests", {}) or {}
+    current_digests = current.get("digests", {}) or {}
+    missing = set(before_digests) - set(current_digests)
     if missing:
         problems.append(f"current capture dropped digests: {sorted(missing)}")
+    for scenario in set(before_digests) & set(current_digests):
+        entries = (before_digests[scenario], current_digests[scenario])
+        if not all(isinstance(entry, dict) for entry in entries):
+            continue
+        fingerprints = [entry.get("fingerprint") for entry in entries
+                        if "fingerprint" in entry]
+        if len(fingerprints) == 2 and fingerprints[0] != fingerprints[1]:
+            problems.append(f"digest {scenario} fingerprint changed between "
+                            f"captures: {fingerprints[0]!r} != "
+                            f"{fingerprints[1]!r} (different spec, not a "
+                            f"comparable trajectory)")
     return problems
 
 
