@@ -102,6 +102,8 @@ def main() -> None:
     print()
 
     trace_json = observer.trace_chrome_json()
+    # Lands next to this script; a generated artifact, gitignored on
+    # purpose — re-run the tour to regenerate it (same seed, same bytes).
     out = pathlib.Path(__file__).with_name("observability_tour_trace.json")
     out.write_text(trace_json)
     digest = hashlib.sha256(trace_json.encode()).hexdigest()

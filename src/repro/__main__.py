@@ -10,6 +10,7 @@ Usage::
     python -m repro run examples/specs/chaos_baseline.json
     python -m repro sweep examples/specs/chaos_baseline.json \\
         --seeds 1,2 --policies fcfs,sjf --workers 2
+    python -m repro serve --port 8765 --workers 2
 
 ``observe`` (also ``--observe``) runs a small deterministic scenario —
 a fork-join workflow on a cluster that takes a correlated failure
@@ -26,6 +27,13 @@ JSON.  ``sweep`` fans a seed/policy/scale grid of the spec across
 worker processes (``--workers``) with a deterministic merge;
 ``--verify-serial`` re-runs the grid serially and asserts the merged
 report digest is byte-identical.
+
+``serve`` runs the scenario kernel as a long-lived multi-tenant HTTP
+service fronted by the repo's own resilience stack — bounded-queue
+admission with per-tenant quotas (429 + ``Retry-After``), a circuit
+breaker around the warm worker pool (503 while open), per-tenant retry
+budgets, and a fingerprint-keyed result cache.  See
+``docs/SERVICE.md`` for the API.
 """
 
 from __future__ import annotations
@@ -185,10 +193,37 @@ def _observe() -> str:
     return "\n\n".join(sections)
 
 
+class SpecLoadError(Exception):
+    """A spec file could not be read or parsed (user-facing message)."""
+
+
 def _load_spec(path: str):
-    """Read a :class:`ScenarioSpec` from a JSON file."""
+    """Read a :class:`ScenarioSpec` from a JSON file.
+
+    Raises :class:`SpecLoadError` with an actionable message when the
+    file is missing, unreadable, not JSON, or not a valid spec — the
+    CLI turns that into one stderr line and exit code 2, never a raw
+    traceback.
+    """
+    import json
+
     from .scenario import ScenarioSpec
-    return ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8"))
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecLoadError(
+            f"cannot read spec file {path!r}: {exc.strerror or exc}"
+        ) from exc
+    try:
+        return ScenarioSpec.from_json(text)
+    except json.JSONDecodeError as exc:
+        raise SpecLoadError(
+            f"spec file {path!r} is not valid JSON: {exc}") from exc
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SpecLoadError(
+            f"spec file {path!r} is not a valid scenario spec: "
+            f"{type(exc).__name__}: {exc} (see docs/SCENARIOS.md)"
+        ) from exc
 
 
 def _observe_spec(path: str) -> str:
@@ -306,6 +341,64 @@ def _sweep_spec(argv: list[str]) -> int:
     return 0
 
 
+def _serve(argv: list[str]) -> int:
+    """``serve [--host H] [--port P] [--workers N] ...``: HTTP service.
+
+    Blocks until SIGINT/SIGTERM, then shuts the server and its worker
+    pool down cleanly.  ``--inline`` swaps the warm process pool for
+    the in-process executor (useful on machines where spawning
+    processes is expensive; it is what the CI smoke job uses).
+    """
+    import signal
+    import threading
+
+    from .service import (InlineExecutor, ScenarioService, ServiceConfig,
+                          ServiceHTTPServer)
+    options = {"--host": "127.0.0.1", "--port": "8765", "--workers": "2",
+               "--max-queue": "64", "--tenant-quota": "16"}
+    inline = False
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument == "--inline":
+            inline = True
+            index += 1
+        elif argument in options:
+            if index + 1 >= len(argv):
+                print(f"missing value for {argument}", file=sys.stderr)
+                return 2
+            options[argument] = argv[index + 1]
+            index += 2
+        else:
+            print("usage: python -m repro serve [--host H] [--port P] "
+                  "[--workers N] [--max-queue N] [--tenant-quota N] "
+                  "[--inline]", file=sys.stderr)
+            return 2
+    try:
+        config = ServiceConfig(max_queue=int(options["--max-queue"]),
+                               tenant_quota=int(options["--tenant-quota"]),
+                               workers=int(options["--workers"]))
+        port = int(options["--port"])
+    except ValueError as exc:
+        print(f"invalid serve option: {exc}", file=sys.stderr)
+        return 2
+    executor = InlineExecutor() if inline else None
+    service = ScenarioService(config, executor=executor)
+    server = ServiceHTTPServer(service, host=options["--host"], port=port)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    print(f"repro service listening on {server.address} "
+          f"({'inline' if inline else str(config.workers) + ' warm'} "
+          f"worker(s), queue {config.max_queue}, quota "
+          f"{config.tenant_quota}/tenant)", flush=True)
+    stop.wait()
+    print("shutting down...", flush=True)
+    server.stop()
+    return 0
+
+
 ARTIFACTS = {
     "table1": _table1,
     "table2": _table2,
@@ -333,18 +426,25 @@ def main(argv: list[str] | None = None) -> int:
         print("  run <spec.json> [--out <file>]")
         print("  sweep <spec.json> [--seeds ..] [--policies ..] "
               "[--scale ..] [--workers N] [--verify-serial] [--out <file>]")
+        print("  serve [--host H] [--port P] [--workers N] [--inline]")
         return 0
     name = argv[0]
-    if name in ("observe", "--observe"):
-        if len(argv) >= 3 and argv[1] == "--spec":
-            print(_observe_spec(argv[2]))
-        else:
-            print(_observe())
-        return 0
-    if name == "run":
-        return _run_spec(argv[1:])
-    if name == "sweep":
-        return _sweep_spec(argv[1:])
+    try:
+        if name in ("observe", "--observe"):
+            if len(argv) >= 3 and argv[1] == "--spec":
+                print(_observe_spec(argv[2]))
+            else:
+                print(_observe())
+            return 0
+        if name == "run":
+            return _run_spec(argv[1:])
+        if name == "sweep":
+            return _sweep_spec(argv[1:])
+        if name == "serve":
+            return _serve(argv[1:])
+    except SpecLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if name == "all":
         for artifact in sorted(ARTIFACTS):
             print(ARTIFACTS[artifact]())

@@ -2,8 +2,8 @@
 
 The ROADMAP's scaling step: parameter studies across seeds, policies,
 and capacity are embarrassingly parallel, and a
-:class:`SweepRunner` fans a spec grid across ``multiprocessing``
-workers.  Determinism is preserved end to end:
+:class:`SweepRunner` fans a spec grid across process workers.
+Determinism is preserved end to end:
 
 - every grid point is an explicit :class:`ScenarioSpec` derived from
   the base spec via :meth:`~repro.scenario.spec.ScenarioSpec.override`;
@@ -16,23 +16,46 @@ workers.  Determinism is preserved end to end:
   encoder, carries no wall-clock data, and digests identically whether
   the sweep ran serially or on any number of workers.
 
-``tests/scenario`` pins serial-vs-parallel digest equality and a
-golden sweep digest; CI re-checks a 2x2 grid on 2 workers.
+Worker failures are part of the contract, not an abort: a point whose
+run raises (or whose worker process dies) is retried deterministically
+on a fresh worker, and a point that still fails is surfaced in
+:attr:`SweepReport.failed` with explicit gap accounting instead of
+blowing up the merge.  Because a spec run is a pure function of its
+JSON form, a retried point produces the byte-identical result a clean
+run would have — so retries never perturb the report digest.
+
+``tests/scenario`` pins serial-vs-parallel digest equality, a golden
+sweep digest, and crash-retry digest identity; CI re-checks a 2x2
+grid on 2 workers.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
-from multiprocessing import Pool
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import (
+    BrokenProcessPool,
+    ProcessPoolExecutor,
+)
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..observability.export import dumps_deterministic
 from .result import ScenarioResult
 from .spec import ScenarioSpec
 
-__all__ = ["SweepPoint", "SweepReport", "SweepRunner", "sweep"]
+__all__ = ["SweepPoint", "SweepReport", "SweepRunner", "WorkerCrash",
+           "sweep"]
+
+
+class WorkerCrash(RuntimeError):
+    """An injected (or real) worker-tier failure for one sweep point.
+
+    Raised by the fault-injection hook to emulate a worker that died
+    mid-point; the runner treats it exactly like any other per-point
+    exception: deterministic retry, then gap accounting.
+    """
 
 
 def _run_spec_payload(payload: tuple[int, str]) -> tuple[int, str]:
@@ -45,6 +68,36 @@ def _run_spec_payload(payload: tuple[int, str]) -> tuple[int, str]:
     index, spec_json = payload
     result = ScenarioSpec.from_json(spec_json).run()
     return index, result.to_json()
+
+
+def _run_spec_guarded(payload: tuple[int, str, int, dict[int, int] | None],
+                      ) -> tuple[int, bool, str]:
+    """Fault-tolerant worker entry point: never raises for a bad spec run.
+
+    Returns ``(index, ok, result-or-error)``.  The optional crash plan
+    (``{index: failures_remaining}``) deterministically fails the first
+    ``n`` attempts of a point — the chaos hook the injected-crash
+    determinism tests and the service drill both use.  A plan entry of
+    ``-1`` hard-exits the process (a *real* worker crash, exercising
+    the broken-pool recovery path).
+    """
+    index, spec_json, attempt, crash_plan = payload
+    try:
+        if crash_plan is not None:
+            budget = crash_plan.get(index, 0)
+            if budget == -1 and attempt == 0:
+                import os
+                os._exit(17)  # simulate a segfaulting worker
+            if attempt < budget:
+                raise WorkerCrash(
+                    f"injected worker crash (point {index}, "
+                    f"attempt {attempt})")
+        _, result_json = _run_spec_payload((index, spec_json))
+        return index, True, result_json
+    except SystemExit:  # pragma: no cover - re-raise hard exits
+        raise
+    except BaseException as exc:  # noqa: BLE001 - the gap record needs it
+        return index, False, f"{type(exc).__name__}: {exc}"
 
 
 @dataclass(frozen=True)
@@ -70,23 +123,44 @@ class SweepReport:
     ``runs`` is sorted by grid index; :meth:`to_json` and
     :meth:`digest` contain no execution details (worker count, wall
     time), so a serial run and any parallel run of the same grid
-    produce the byte-identical report.
+    produce the byte-identical report.  ``failed`` carries the gap
+    accounting for points that failed even after retry — it is only
+    serialized when non-empty, so a clean sweep's bytes (and goldens)
+    are untouched by its existence.
     """
 
     base_fingerprint: str
     points: list[dict[str, Any]]
     runs: list[ScenarioResult]
+    failed: list[dict[str, Any]] = field(default_factory=list)
     workers: int = 1  # execution detail; excluded from the serialized form
     elapsed_s: float = 0.0  # wall time; excluded from the serialized form
 
+    @property
+    def complete(self) -> bool:
+        """Whether every grid point produced a result."""
+        return not self.failed
+
+    def failed_indexes(self) -> set[int]:
+        """Grid indexes of points that failed after exhausting retries."""
+        return {entry["index"] for entry in self.failed}
+
     def to_dict(self) -> dict:
-        """JSON-ready plain data (deterministic content only)."""
-        return {
+        """JSON-ready plain data (deterministic content only).
+
+        ``failed`` appears only when the sweep has gaps, so a clean
+        report keeps the exact bytes (and digests) it had before gap
+        accounting existed.
+        """
+        data = {
             "schema": "sweep-report/v1",
             "base_fingerprint": self.base_fingerprint,
             "points": self.points,
             "runs": [run.to_dict() for run in self.runs],
         }
+        if self.failed:
+            data["failed"] = self.failed
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepReport":
@@ -97,7 +171,8 @@ class SweepReport:
         return cls(base_fingerprint=data["base_fingerprint"],
                    points=list(data["points"]),
                    runs=[ScenarioResult.from_dict(r)
-                         for r in data["runs"]])
+                         for r in data["runs"]],
+                   failed=list(data.get("failed", ())))
 
     def to_json(self) -> str:
         """Canonical JSON form (sorted keys, no whitespace)."""
@@ -113,32 +188,52 @@ class SweepReport:
         return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
 
     def rows(self) -> list[tuple[str, dict[str, float]]]:
-        """(label, flat summary) per run, for tabulation."""
+        """(label, flat summary) per completed run, for tabulation.
+
+        Failed points are excluded here; their gap records live in
+        :attr:`failed`.
+        """
+        gaps = self.failed_indexes()
+        completed = [point for point in self.points
+                     if point["index"] not in gaps]
         return [(point["label"], run.summary())
-                for point, run in zip(self.points, self.runs)]
+                for point, run in zip(completed, self.runs)]
 
     @classmethod
     def assemble(cls, base: ScenarioSpec, points: Sequence[SweepPoint],
                  outcomes: Sequence[tuple[int, str]],
-                 workers: int = 1) -> "SweepReport":
+                 workers: int = 1,
+                 failures: Sequence[Mapping[str, Any]] = ()) -> "SweepReport":
         """Merge worker outcomes into the deterministic report.
 
         ``outcomes`` is ``(grid index, result JSON)`` pairs in *any*
         order — the merge sorts by grid index, which is what makes the
-        report independent of worker scheduling.  Exposed so every
-        execution strategy (the in-process serial path, the worker
-        pool, a benchmark's cold-process loop) shares one merge.
+        report independent of worker scheduling.  ``failures`` carries
+        gap records (``index`` / ``label`` / ``fingerprint`` /
+        ``error`` / ``attempts``) for points with no outcome.  Exposed
+        so every execution strategy (the in-process serial path, the
+        worker pool, a benchmark's cold-process loop) shares one merge.
         """
         by_index = {index: result_json for index, result_json in outcomes}
+        failed = sorted((dict(entry) for entry in failures),
+                        key=lambda entry: entry["index"])
+        missing = [point.index for point in points
+                   if point.index not in by_index
+                   and point.index not in {f["index"] for f in failed}]
+        if missing:
+            raise ValueError(
+                f"points {missing} have neither an outcome nor a gap "
+                f"record; the merge would silently drop them")
         runs = [ScenarioResult.from_json(by_index[point.index])
-                for point in points]
+                for point in points if point.index in by_index]
         point_rows = [{"index": point.index,
                        "fingerprint": point.spec.fingerprint(),
                        "label": point.label(),
                        "overrides": _jsonable_overrides(point.overrides)}
                       for point in points]
         return cls(base_fingerprint=base.fingerprint(),
-                   points=point_rows, runs=runs, workers=workers)
+                   points=point_rows, runs=runs, failed=failed,
+                   workers=workers)
 
 
 class SweepRunner:
@@ -149,13 +244,37 @@ class SweepRunner:
         workers: Process count; ``1`` runs serially in-process (but
             still through the JSON rehydration path, so serial and
             parallel results are comparable byte for byte).
+        retries: Deterministic re-runs granted to a failed point
+            before it becomes a gap record (default 1 — the "retry
+            once on a fresh worker" contract).
+        point_timeout: Optional wall-clock seconds to wait for one
+            point before declaring its worker hung.  A timed-out point
+            is retried like a crashed one.  ``None`` (the default)
+            waits indefinitely; timeouts are an execution detail and
+            never enter the report bytes.
+        crash_plan: Optional fault-injection plan
+            (``{point index: n}``): the first ``n`` attempts of that
+            point raise :class:`WorkerCrash`; ``-1`` hard-kills the
+            worker process on the first attempt.  For chaos drills and
+            determinism tests — retried points digest identically to a
+            clean run because spec runs are pure functions of their
+            JSON.
     """
 
-    def __init__(self, base: ScenarioSpec, workers: int = 1) -> None:
+    def __init__(self, base: ScenarioSpec, workers: int = 1,
+                 retries: int = 1, point_timeout: float | None = None,
+                 crash_plan: Mapping[int, int] | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive when given")
         self.base = base
         self.workers = workers
+        self.retries = retries
+        self.point_timeout = point_timeout
+        self.crash_plan = dict(crash_plan) if crash_plan else None
 
     # ------------------------------------------------------------------
     # Grid construction
@@ -204,17 +323,104 @@ class SweepRunner:
     # Execution
     # ------------------------------------------------------------------
     def run(self, points: Sequence[SweepPoint]) -> SweepReport:
-        """Execute every point; return the merged deterministic report."""
+        """Execute every point; return the merged deterministic report.
+
+        Per-point failures never abort the sweep: a point whose run
+        raises — or whose worker process dies or hangs — is retried up
+        to ``retries`` times on a fresh worker, and a point that still
+        fails lands in :attr:`SweepReport.failed` with its error and
+        attempt count.
+        """
         if not points:
             raise ValueError("the sweep grid is empty")
-        payloads = [(point.index, point.spec.to_json()) for point in points]
-        if self.workers == 1:
-            outcomes = [_run_spec_payload(payload) for payload in payloads]
-        else:
-            with Pool(processes=self.workers) as pool:
-                outcomes = pool.map(_run_spec_payload, payloads)
+        spec_json = {point.index: point.spec.to_json() for point in points}
+        attempts = {point.index: 0 for point in points}
+        errors: dict[int, str] = {}
+        outcomes: list[tuple[int, str]] = []
+        pending = [point.index for point in points]
+        while pending:
+            wave = [(index, spec_json[index], attempts[index],
+                     self.crash_plan) for index in pending]
+            for index in pending:
+                attempts[index] += 1
+            if self.workers == 1:
+                settled = [_run_spec_guarded(payload) for payload in wave]
+            else:
+                settled = self._run_wave_parallel(wave)
+            retry: list[int] = []
+            for index, ok, payload in settled:
+                if ok:
+                    outcomes.append((index, payload))
+                    errors.pop(index, None)
+                else:
+                    errors[index] = payload
+                    if attempts[index] <= self.retries:
+                        retry.append(index)
+            retry.sort()
+            pending = retry
+        failures = [{"index": point.index,
+                     "label": point.label(),
+                     "fingerprint": point.spec.fingerprint(),
+                     "error": errors[point.index],
+                     "attempts": attempts[point.index]}
+                    for point in points if point.index in errors]
         return SweepReport.assemble(self.base, points, outcomes,
-                                    workers=self.workers)
+                                    workers=self.workers,
+                                    failures=failures)
+
+    def _run_wave_parallel(self, wave: list[tuple]) -> \
+            list[tuple[int, bool, str]]:
+        """One wave of points on a fresh process pool, crash-tolerant.
+
+        A worker that raises returns its error through the guarded
+        entry point; a worker that *dies* (hard exit, OOM kill) breaks
+        the whole pool, so the wave's unfinished points are marked
+        failed and the pool is rebuilt by the next wave.  A hung worker
+        is detected by ``point_timeout`` and treated the same way.
+        """
+        settled: list[tuple[int, bool, str]] = []
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            futures = {pool.submit(_run_spec_guarded, payload): payload[0]
+                       for payload in wave}
+            remaining = set(futures)
+            while remaining:
+                done, _ = wait(remaining, timeout=self.point_timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:  # hung worker: give up on the wave
+                    for future in remaining:
+                        future.cancel()
+                        settled.append((futures[future], False,
+                                        "TimeoutError: worker hung past "
+                                        "point_timeout"))
+                    for process in pool._processes.values():
+                        process.terminate()
+                    remaining = set()
+                    break
+                broken = False
+                for future in done:
+                    remaining.discard(future)
+                    try:
+                        settled.append(future.result())
+                    except BrokenProcessPool:
+                        settled.append((futures[future], False,
+                                        "BrokenProcessPool: a worker "
+                                        "process died mid-point"))
+                        broken = True
+                    except Exception as exc:  # noqa: BLE001
+                        settled.append((futures[future], False,
+                                        f"{type(exc).__name__}: {exc}"))
+                if broken:
+                    # The pool is unusable; fail the wave's leftovers so
+                    # they retry on the next (fresh) pool.
+                    for future in remaining:
+                        settled.append((futures[future], False,
+                                        "BrokenProcessPool: a worker "
+                                        "process died mid-point"))
+                    remaining = set()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return settled
 
     def sweep(self, seeds: Sequence[int] = (),
               policies: Sequence[str] = (),

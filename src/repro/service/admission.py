@@ -1,0 +1,133 @@
+"""Multi-tenant admission control for the scenario service (C17).
+
+The service-tier sibling of
+:class:`~repro.resilience.shedding.LoadSheddingAdmission`: where that
+controller sheds *tasks* when datacenter utilization crosses a
+threshold, this one sheds *requests* when the service's own capacity
+signals — a bounded submission queue and per-tenant quotas — say that
+admitting more work would only grow latency for everyone.  Rejection
+is graceful degradation, not failure: every shed decision carries a
+``retry_after`` hint the transport turns into a 429/503 +
+``Retry-After`` response, and shed requests are accounted separately
+from availability failures (turning work away politely is the
+*success* mode of an overloaded dependable service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionDecision", "ServiceAdmission"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check.
+
+    Attributes:
+        admitted: Whether the request may enter the queue.
+        reason: ``"ok"``, ``"queue-full"``, or ``"tenant-quota"``.
+        retry_after: Suggested client back-off in service-seconds
+            (0.0 when admitted).
+    """
+
+    admitted: bool
+    reason: str = "ok"
+    retry_after: float = 0.0
+
+
+class ServiceAdmission:
+    """Bounded-queue, per-tenant-quota admission control.
+
+    Args:
+        max_queue: Jobs that may be queued or running at once across
+            all tenants (the global bounded queue).
+        tenant_quota: Jobs one tenant may have queued or running at
+            once; the isolation that stops one noisy tenant from
+            starving the rest.
+        retry_after: Back-off hint attached to shed decisions.
+
+    The controller tracks occupancy itself: :meth:`admit` reserves a
+    slot, :meth:`release` returns it when the job reaches a terminal
+    state.  :meth:`statistics` mirrors
+    :meth:`~repro.resilience.shedding.LoadSheddingAdmission.statistics`
+    so operators read one vocabulary across both tiers.
+    """
+
+    def __init__(self, max_queue: int = 64, tenant_quota: int = 16,
+                 retry_after: float = 5.0) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        self.max_queue = max_queue
+        self.tenant_quota = tenant_quota
+        self.retry_after = retry_after
+        self.occupancy = 0
+        self.per_tenant: dict[str, int] = {}
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_tenant_quota = 0
+
+    def admit(self, tenant: str, slots: int = 1) -> AdmissionDecision:
+        """Try to reserve ``slots`` queue slots for ``tenant``.
+
+        Multi-slot admission is all-or-nothing (a sweep admits every
+        grid point or none), so a half-admitted sweep can never wedge
+        the queue.
+        """
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if self.occupancy + slots > self.max_queue:
+            self.shed_queue_full += 1
+            return AdmissionDecision(False, "queue-full", self.retry_after)
+        held = self.per_tenant.get(tenant, 0)
+        if held + slots > self.tenant_quota:
+            self.shed_tenant_quota += 1
+            return AdmissionDecision(False, "tenant-quota",
+                                     self.retry_after)
+        self.occupancy += slots
+        self.per_tenant[tenant] = held + slots
+        self.admitted += 1
+        return AdmissionDecision(True)
+
+    def release(self, tenant: str, slots: int = 1) -> None:
+        """Return ``slots`` slots when jobs reach a terminal state."""
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        held = self.per_tenant.get(tenant, 0)
+        if slots > held or slots > self.occupancy:
+            raise ValueError(
+                f"release({tenant!r}, {slots}) exceeds held slots "
+                f"({held} tenant / {self.occupancy} total)")
+        self.occupancy -= slots
+        remaining = held - slots
+        if remaining:
+            self.per_tenant[tenant] = remaining
+        else:
+            del self.per_tenant[tenant]
+
+    def tenant_occupancy(self, tenant: str) -> int:
+        """Slots ``tenant`` currently holds (queued + running)."""
+        return self.per_tenant.get(tenant, 0)
+
+    def statistics(self) -> dict[str, float]:
+        """Counts of offered, admitted, and shed requests.
+
+        Same shape as the task-tier controller's statistics —
+        ``offered`` / ``admitted`` / ``shed`` / ``shed_fraction`` —
+        plus the per-cause split and current occupancy.
+        """
+        shed = self.shed_queue_full + self.shed_tenant_quota
+        offered = self.admitted + shed
+        return {
+            "offered": float(offered),
+            "admitted": float(self.admitted),
+            "shed": float(shed),
+            "shed_queue_full": float(self.shed_queue_full),
+            "shed_tenant_quota": float(self.shed_tenant_quota),
+            "shed_fraction": shed / offered if offered else 0.0,
+            "occupancy": float(self.occupancy),
+        }

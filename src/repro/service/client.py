@@ -1,0 +1,184 @@
+"""A minimal polling client for the scenario service HTTP API.
+
+Used by the CI smoke test and ``examples/scenario_service.py``; a
+deliberate thin wrapper over :mod:`urllib.request` so it needs
+nothing the standard library does not ship.  The client understands
+the service's degradation vocabulary: 429/503 responses raise
+:class:`ServiceError` carrying the parsed ``Retry-After`` hint, so a
+polite caller can honor the back-off the server asked for.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the service.
+
+    Attributes:
+        status: The HTTP status code.
+        reason: The service's machine-readable reason (may be empty).
+        retry_after: Parsed ``Retry-After`` hint in seconds (0 when
+            the server sent none — i.e. retrying will not help).
+        body: The parsed JSON error body (may be empty).
+    """
+
+    def __init__(self, status: int, reason: str, retry_after: float,
+                 body: dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {reason or 'error'}")
+        self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
+        self.body = body
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.http.ServiceHTTPServer`.
+
+    Args:
+        base_url: ``http://host:port`` of a running service.
+        tenant: Tenant name attached to every request (``X-Tenant``).
+        timeout: Socket timeout per request, wall-clock seconds.
+    """
+
+    def __init__(self, base_url: str, tenant: str = "public",
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: str | None = None) -> tuple[int, dict[str, str],
+                                                   str]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body.encode("utf-8") if body is not None else None,
+            method=method,
+            headers={"X-Tenant": self.tenant,
+                     "Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return (response.status, dict(response.headers),
+                        response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read().decode("utf-8")
+
+    def _call(self, method: str, path: str,
+              body: str | None = None) -> tuple[dict[str, str], str]:
+        """One request; raises :class:`ServiceError` beyond 2xx."""
+        status, headers, text = self._request(method, path, body)
+        if 200 <= status < 300:
+            return headers, text
+        try:
+            parsed = json.loads(text) if text else {}
+        except json.JSONDecodeError:
+            parsed = {"raw": text}
+        raise ServiceError(status, str(parsed.get("reason", "")),
+                           float(headers.get("Retry-After", 0) or 0),
+                           parsed)
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, spec_json: str) -> dict[str, Any]:
+        """Submit a spec; returns the admission body (202 or cached 200).
+
+        Raises :class:`ServiceError` on 400/429/503 — inspect
+        ``retry_after`` to honor the server's back-off hint.
+        """
+        _, text = self._call("POST", "/v1/runs", spec_json)
+        return json.loads(text)
+
+    def submit_sweep(self, spec_json: str,
+                     axes: dict[str, Any]) -> dict[str, Any]:
+        """Submit a sweep (spec + grid axes, admitted atomically)."""
+        body = json.dumps({"spec": json.loads(spec_json), "axes": axes})
+        _, text = self._call("POST", "/v1/sweeps", body)
+        return json.loads(text)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """The job's status document."""
+        _, text = self._call("GET", f"/v1/runs/{job_id}")
+        return json.loads(text)
+
+    def events(self, job_id: str) -> dict[str, Any]:
+        """The job's state-transition history (progress stream)."""
+        _, text = self._call("GET", f"/v1/runs/{job_id}/events")
+        return json.loads(text)
+
+    def result(self, job_id: str) -> tuple[str, str]:
+        """``(digest, result_json)`` for a finished job.
+
+        Raises :class:`ServiceError` with status 409 while the job is
+        still queued or running (``retry_after`` carries the poll
+        hint), 410 if it failed or expired.
+        """
+        headers, text = self._call("GET", f"/v1/runs/{job_id}/result")
+        return headers.get("X-Result-Digest", ""), text
+
+    def result_by_digest(self, digest: str) -> str:
+        """The cached result JSON whose digest is ``digest``."""
+        _, text = self._call("GET", f"/v1/results/{digest}")
+        return text
+
+    def sweep_status(self, sweep_id: str) -> dict[str, Any]:
+        """Child-state tallies for one sweep."""
+        _, text = self._call("GET", f"/v1/sweeps/{sweep_id}")
+        return json.loads(text)
+
+    def sweep_result(self, sweep_id: str) -> tuple[str, str]:
+        """``(digest, report_json)`` for a finished sweep."""
+        headers, text = self._call("GET", f"/v1/sweeps/{sweep_id}/result")
+        return headers.get("X-Result-Digest", ""), text
+
+    def tenant_stats(self, tenant: str | None = None) -> dict[str, Any]:
+        """Quota occupancy and retry-budget state for a tenant."""
+        _, text = self._call("GET",
+                             f"/v1/tenants/{tenant or self.tenant}")
+        return json.loads(text)
+
+    def health(self) -> dict[str, Any]:
+        """The service health document."""
+        _, text = self._call("GET", "/v1/health")
+        return json.loads(text)
+
+    def metrics(self) -> dict[str, Any]:
+        """The service metrics snapshot."""
+        _, text = self._call("GET", "/v1/metrics")
+        return json.loads(text)
+
+    def slo(self) -> dict[str, Any]:
+        """The service's SLO report and alert log."""
+        _, text = self._call("GET", "/v1/slo")
+        return json.loads(text)
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> tuple[str, str]:
+        """Poll until the job finishes; returns ``(digest, result_json)``.
+
+        Wall-clock polling belongs in clients, never in the service's
+        deterministic artifacts.  Raises :class:`ServiceError` (410)
+        if the job failed, or :class:`TimeoutError` past ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.result(job_id)
+            except ServiceError as exc:
+                if exc.status != 409:
+                    raise
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still running after {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,54 @@
+"""The service's logical clock: deterministic time for a live server.
+
+Every resilience and observability component in this repository reads
+time from an object with a ``now`` attribute — usually a
+:class:`~repro.sim.engine.Simulator`.  The service is not a simulation,
+but its dependability machinery (circuit-breaker recovery timeouts,
+SLO burn-rate windows, queue deadlines) still needs a clock, and a
+*wall* clock would make every drill and test nondeterministic.
+
+:class:`ServiceClock` is the answer: a monotonic logical clock the
+service advances by a fixed quantum per unit of work processed.  Under
+the deterministic drill the sequence of advances is a pure function of
+the request sequence, so breaker transitions and the alert log are
+byte-reproducible; under the HTTP transport the quantum still advances
+per pump step, keeping the same machinery live without threading
+wall-clock noise into any digestable artifact.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServiceClock"]
+
+
+class ServiceClock:
+    """A monotonic logical clock with the ``sim``-compatible ``now``.
+
+    Duck-type compatible with the ``sim`` argument of
+    :class:`~repro.resilience.breakers.CircuitBreaker` and
+    :class:`~repro.observability.streaming.StreamingPipeline` (both
+    only read ``.now``; the service drives telemetry ticks externally
+    via :meth:`~repro.observability.streaming.StreamingPipeline.advance`).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock must start at >= 0, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current logical time in service-seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (>= 0); returns the new now."""
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards ({delta})")
+        self._now += delta
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServiceClock now={self._now}>"

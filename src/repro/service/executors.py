@@ -1,0 +1,163 @@
+"""Execution tiers for the service: inline (deterministic) and pooled.
+
+The service core never talks to ``multiprocessing`` directly; it calls
+an *executor* with ``run(fingerprint, spec_json, attempt)`` and
+receives result JSON or an :class:`ExecutionFailure` describing how
+the attempt died.  Two implementations:
+
+- :class:`InlineExecutor` runs specs in-process.  It is deterministic
+  and accepts a *crash plan* (fingerprint → number of attempts to
+  fail), which is how the chaos drill injects worker crashes without
+  any real process churn — the retried attempt then produces the
+  byte-identical result a clean run would, because spec runs are pure
+  functions of their JSON.
+- :class:`PoolExecutor` keeps a **resident warm process pool** (the
+  same economics the sweep benchmarks measured: ~10x over cold
+  processes) and converts the three ways a worker can die — raising,
+  crashing, hanging — into typed :class:`ExecutionFailure`\\ s,
+  rebuilding the pool when an incident poisons it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import (
+    BrokenProcessPool,
+    ProcessPoolExecutor,
+)
+from typing import Mapping
+
+__all__ = ["ExecutionFailure", "InlineExecutor", "PoolExecutor"]
+
+
+class ExecutionFailure(RuntimeError):
+    """One failed execution attempt, typed by how it failed.
+
+    Attributes:
+        kind: ``"crash"`` (worker process died), ``"timeout"`` (worker
+            hung past the deadline), or ``"error"`` (the run raised).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def _pool_worker_run(spec_json: str) -> str:
+    """Worker-process entry point: spec JSON in, result JSON out.
+
+    Module-level so it pickles under every multiprocessing start
+    method; rehydrating from JSON keeps the parallel path on the same
+    serialization contract the round-trip tests pin.
+    """
+    from ..scenario.spec import ScenarioSpec
+    return ScenarioSpec.from_json(spec_json).run().to_json()
+
+
+class InlineExecutor:
+    """In-process, deterministic executor with fault injection.
+
+    Args:
+        crash_plan: Optional ``{fingerprint: n}`` map — the first
+            ``n`` attempts for that spec raise
+            ``ExecutionFailure("crash")``, emulating a worker that
+            died mid-run.  Attempt numbering starts at 0, so a plan of
+            ``{fp: 1}`` fails once and succeeds on the retry.
+    """
+
+    def __init__(self,
+                 crash_plan: Mapping[str, int] | None = None) -> None:
+        self.crash_plan = dict(crash_plan) if crash_plan else {}
+        self.runs = 0
+        self.injected_crashes = 0
+
+    def run(self, fingerprint: str, spec_json: str, attempt: int) -> str:
+        """Execute one attempt; returns result JSON or raises."""
+        if attempt < self.crash_plan.get(fingerprint, 0):
+            self.injected_crashes += 1
+            raise ExecutionFailure(
+                "crash", f"injected worker crash (fingerprint "
+                         f"{fingerprint}, attempt {attempt})")
+        self.runs += 1
+        try:
+            return _pool_worker_run(spec_json)
+        except ExecutionFailure:
+            raise
+        except Exception as exc:  # noqa: BLE001 - typed for the caller
+            raise ExecutionFailure(
+                "error", f"{type(exc).__name__}: {exc}") from exc
+
+    def close(self) -> None:
+        """Nothing to release for the inline tier."""
+
+
+class PoolExecutor:
+    """A resident warm worker pool with crash/hang detection.
+
+    Args:
+        workers: Process count kept warm across requests.
+        timeout: Wall-clock seconds one attempt may take before the
+            worker is declared hung; a hung pool is torn down and
+            rebuilt so one poisoned spec cannot wedge the service.
+            ``None`` waits forever (not recommended for serving).
+    """
+
+    def __init__(self, workers: int = 2,
+                 timeout: float | None = 300.0) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive when given")
+        self.workers = workers
+        self.timeout = timeout
+        self.rebuilds = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _rebuild(self) -> None:
+        """Tear down a poisoned pool; the next run starts a fresh one."""
+        pool, self._pool = self._pool, None
+        self.rebuilds += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, fingerprint: str, spec_json: str, attempt: int) -> str:
+        """Execute one attempt on the warm pool; returns result JSON.
+
+        Raises :class:`ExecutionFailure` kind ``"crash"`` when the
+        worker process died (broken pool — rebuilt), ``"timeout"``
+        when the attempt exceeded the deadline (pool rebuilt so the
+        hung worker cannot absorb further work), or ``"error"`` when
+        the run itself raised (pool stays warm).
+        """
+        pool = self._ensure_pool()
+        try:
+            future = pool.submit(_pool_worker_run, spec_json)
+        except BrokenProcessPool as exc:
+            self._rebuild()
+            raise ExecutionFailure(
+                "crash", f"worker pool broken at submit: {exc}") from exc
+        try:
+            return future.result(timeout=self.timeout)
+        except BrokenProcessPool as exc:
+            self._rebuild()
+            raise ExecutionFailure(
+                "crash", f"worker process died mid-run: {exc}") from exc
+        except FutureTimeout as exc:
+            self._rebuild()
+            raise ExecutionFailure(
+                "timeout", f"worker hung past {self.timeout}s on "
+                           f"fingerprint {fingerprint}") from exc
+        except Exception as exc:  # noqa: BLE001 - typed for the caller
+            raise ExecutionFailure(
+                "error", f"{type(exc).__name__}: {exc}") from exc
+
+    def close(self) -> None:
+        """Shut the resident pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,147 @@
+"""Job records: the service's unit of admitted work.
+
+One :class:`Job` tracks a single admitted scenario run from submission
+to a terminal state, including its full state-transition history on
+the service clock — the raw material for progress streaming
+(``GET /v1/runs/<id>/events``) and for the drill's determinism checks.
+All timestamps are logical :class:`~repro.service.clock.ServiceClock`
+seconds; no wall-clock value ever enters a job record, so a drill's
+job table is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+__all__ = ["JobState", "Job", "JobTable"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one admitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    EXPIRED = "expired"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the state ends the job's lifecycle."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.EXPIRED)
+
+
+class Job:
+    """One admitted scenario run and its full lifecycle record.
+
+    Attributes:
+        job_id: Service-assigned identifier (``run-000001``).
+        tenant: The submitting tenant.
+        spec_json: The spec exactly as admitted (canonical JSON).
+        fingerprint: ``spec.fingerprint()`` — the cache key.
+        name: The scenario's declared name (for listings).
+        state: Current :class:`JobState`.
+        attempts: Execution attempts consumed so far.
+        submitted_at / started_at / finished_at: Service-clock stamps.
+        error: Last failure description (``None`` while healthy).
+        result_json / result_digest: Set when the job completes.
+        cached: Whether the result came from the cache without a run.
+        sweep_id: Owning sweep, when the job is one grid point.
+        transitions: ``(time, state)`` history, oldest first.
+    """
+
+    __slots__ = ("job_id", "tenant", "spec_json", "fingerprint", "name",
+                 "state", "attempts", "submitted_at", "started_at",
+                 "finished_at", "error", "result_json", "result_digest",
+                 "cached", "sweep_id", "transitions")
+
+    def __init__(self, job_id: str, tenant: str, spec_json: str,
+                 fingerprint: str, name: str, submitted_at: float,
+                 sweep_id: str | None = None) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.spec_json = spec_json
+        self.fingerprint = fingerprint
+        self.name = name
+        self.state = JobState.QUEUED
+        self.attempts = 0
+        self.submitted_at = submitted_at
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.error: str | None = None
+        self.result_json: str | None = None
+        self.result_digest: str | None = None
+        self.cached = False
+        self.sweep_id = sweep_id
+        self.transitions: list[tuple[float, str]] = [
+            (submitted_at, JobState.QUEUED.value)]
+
+    def transition(self, state: JobState, now: float) -> None:
+        """Move to ``state`` at service time ``now`` (history recorded)."""
+        if self.state.terminal:
+            raise RuntimeError(
+                f"job {self.job_id} is already terminal ({self.state.value})")
+        self.state = state
+        self.transitions.append((now, state.value))
+        if state is JobState.RUNNING and self.started_at is None:
+            self.started_at = now
+        if state.terminal:
+            self.finished_at = now
+
+    def status(self) -> dict[str, Any]:
+        """The job as a JSON-ready status document."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result_digest": self.result_digest,
+            "cached": self.cached,
+            "sweep_id": self.sweep_id,
+            "transitions": [[time, state]
+                            for time, state in self.transitions],
+        }
+
+
+class JobTable:
+    """All jobs the service has accepted, by id and submission order."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._counter = 0
+
+    def new_id(self, prefix: str = "run") -> str:
+        """The next job identifier (``run-000001``, ``sweep-000002``...)."""
+        self._counter += 1
+        return f"{prefix}-{self._counter:06d}"
+
+    def add(self, job: Job) -> Job:
+        """Register a job (ids are unique by construction)."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job.job_id}")
+        self._jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """The job called ``job_id``, or ``None``."""
+        return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Job tally per state value (states with zero jobs included)."""
+        tally = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            tally[job.state.value] += 1
+        return tally

@@ -129,3 +129,58 @@ def test_module_invocation():
         capture_output=True, text=True, timeout=60)
     assert result.returncode == 0
     assert "The Age of Ecosystems" in result.stdout
+
+
+def test_run_missing_spec_file_is_friendly():
+    code, _, err = run_cli("run", "/no/such/spec.json")
+    assert code == 2
+    assert "cannot read spec file" in err
+    assert "Traceback" not in err
+
+
+def test_run_malformed_json_is_friendly(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken", encoding="utf-8")
+    code, _, err = run_cli("run", str(bad))
+    assert code == 2
+    assert "not valid JSON" in err
+    assert "Traceback" not in err
+
+
+def test_run_invalid_spec_document_is_friendly(tmp_path):
+    notspec = tmp_path / "notspec.json"
+    notspec.write_text('{"valid": "json"}', encoding="utf-8")
+    code, _, err = run_cli("run", str(notspec))
+    assert code == 2
+    assert "not a valid scenario spec" in err
+    assert "docs/SCENARIOS.md" in err
+
+
+def test_sweep_missing_spec_file_is_friendly():
+    code, _, err = run_cli("sweep", "/no/such/spec.json", "--seeds", "1")
+    assert code == 2
+    assert "cannot read spec file" in err
+
+
+def test_observe_missing_spec_file_is_friendly():
+    code, _, err = run_cli("observe", "--spec", "/no/such/spec.json")
+    assert code == 2
+    assert "cannot read spec file" in err
+
+
+def test_serve_usage_errors():
+    code, _, err = run_cli("serve", "--port")
+    assert code == 2
+    assert "missing value" in err
+    code, _, err = run_cli("serve", "--bogus")
+    assert code == 2
+    assert "usage" in err
+    code, _, err = run_cli("serve", "--port", "not-a-number")
+    assert code == 2
+    assert "invalid serve option" in err
+
+
+def test_help_mentions_serve():
+    code, out, _ = run_cli("--help")
+    assert code == 0
+    assert "serve" in out

@@ -1,0 +1,38 @@
+"""Resilience statistics under the scenario kernel, seed-pinned.
+
+Satellite of the service PR: the declarative kernel wires a
+``LoadSheddingAdmission`` controller whenever a spec carries a
+``shedding`` section, and with a pinned seed its statistics are exact
+constants — shedding behavior is part of the reproducibility contract,
+not a best-effort side channel.
+"""
+
+from repro.resilience import LoadSheddingAdmission
+
+from .conftest import full_spec
+
+
+class TestSpecDrivenSheddingStatistics:
+    def test_kernel_wires_the_controller(self):
+        runtime = full_spec().build()
+        assert isinstance(runtime.admission, LoadSheddingAdmission)
+
+    def test_statistics_are_seed_pinned(self):
+        runtime = full_spec().build()
+        runtime.execute()
+        stats = runtime.admission.statistics()
+        assert stats == {
+            "offered": 57.0,
+            "admitted": 53.0,
+            "shed": 4.0,
+            "degraded": 0.0,
+            "shed_fraction": 4.0 / 57.0,
+        }
+
+    def test_statistics_accounting_invariants(self):
+        runtime = full_spec().build()
+        runtime.execute()
+        stats = runtime.admission.statistics()
+        assert stats["offered"] == stats["admitted"] + stats["shed"]
+        assert 0.0 <= stats["shed_fraction"] < 1.0
+        assert stats["degraded"] <= stats["admitted"]

@@ -1,0 +1,37 @@
+"""Shared service fixtures: a fast spec and inline-executor services."""
+
+import pytest
+
+from repro.scenario import (ClusterSpec, ScenarioSpec, TopologySpec,
+                            WorkloadSpec)
+from repro.service import InlineExecutor, ScenarioService, ServiceConfig
+
+
+def service_spec(seed: int = 5) -> ScenarioSpec:
+    """A small, failure-free spec that runs in well under a second."""
+    return ScenarioSpec(
+        name="service-unit",
+        seed=seed,
+        topology=TopologySpec(
+            clusters=(ClusterSpec("s", 4, cores=2, machines_per_rack=2),)),
+        workload=WorkloadSpec("uniform-tasks", {
+            "n_tasks": 8, "runtime": [5.0, 15.0], "cores": 1,
+            "submit": [0.0, 10.0], "prefix": "w"}),
+        horizon=150.0)
+
+
+def inline_service(**overrides) -> ScenarioService:
+    """A deterministic service on the inline executor (no processes)."""
+    crash_plan = overrides.pop("crash_plan", None)
+    config = ServiceConfig(**overrides)
+    return ScenarioService(config, executor=InlineExecutor(crash_plan))
+
+
+@pytest.fixture(name="spec")
+def spec_fixture() -> ScenarioSpec:
+    return service_spec()
+
+
+@pytest.fixture(name="service")
+def service_fixture() -> ScenarioService:
+    return inline_service()

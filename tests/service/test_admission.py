@@ -1,0 +1,103 @@
+"""Unit tests for the service-tier admission controller."""
+
+import pytest
+
+from repro.service import ServiceAdmission
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ServiceAdmission(max_queue=0)
+        with pytest.raises(ValueError):
+            ServiceAdmission(tenant_quota=0)
+        with pytest.raises(ValueError):
+            ServiceAdmission(retry_after=0.0)
+
+    def test_rejects_bad_slot_counts(self):
+        admission = ServiceAdmission()
+        with pytest.raises(ValueError):
+            admission.admit("a", slots=0)
+        with pytest.raises(ValueError):
+            admission.release("a", slots=0)
+
+
+class TestAdmission:
+    def test_admits_within_bounds(self):
+        admission = ServiceAdmission(max_queue=4, tenant_quota=2)
+        decision = admission.admit("acme")
+        assert decision.admitted
+        assert decision.reason == "ok"
+        assert decision.retry_after == 0.0
+        assert admission.tenant_occupancy("acme") == 1
+
+    def test_tenant_quota_shed(self):
+        admission = ServiceAdmission(max_queue=10, tenant_quota=2,
+                                     retry_after=7.0)
+        assert admission.admit("acme").admitted
+        assert admission.admit("acme").admitted
+        decision = admission.admit("acme")
+        assert not decision.admitted
+        assert decision.reason == "tenant-quota"
+        assert decision.retry_after == 7.0
+        # Another tenant is unaffected — that is the isolation.
+        assert admission.admit("beta").admitted
+
+    def test_queue_full_shed(self):
+        admission = ServiceAdmission(max_queue=2, tenant_quota=10)
+        assert admission.admit("a").admitted
+        assert admission.admit("b").admitted
+        decision = admission.admit("c")
+        assert not decision.admitted
+        assert decision.reason == "queue-full"
+
+    def test_multi_slot_is_all_or_nothing(self):
+        admission = ServiceAdmission(max_queue=4, tenant_quota=4)
+        assert admission.admit("a", slots=3).admitted
+        denied = admission.admit("b", slots=2)
+        assert not denied.admitted
+        assert denied.reason == "queue-full"
+        # Nothing was partially reserved for the denied request.
+        assert admission.tenant_occupancy("b") == 0
+        assert admission.admit("b", slots=1).admitted
+
+    def test_release_frees_slots(self):
+        admission = ServiceAdmission(max_queue=2, tenant_quota=2)
+        admission.admit("a", slots=2)
+        assert not admission.admit("a").admitted
+        admission.release("a")
+        assert admission.admit("a").admitted
+        admission.release("a", slots=2)
+        assert admission.tenant_occupancy("a") == 0
+
+    def test_over_release_raises(self):
+        admission = ServiceAdmission()
+        admission.admit("a")
+        with pytest.raises(ValueError):
+            admission.release("a", slots=2)
+        with pytest.raises(ValueError):
+            admission.release("ghost")
+
+
+class TestStatistics:
+    def test_statistics_shape_and_accounting(self):
+        admission = ServiceAdmission(max_queue=2, tenant_quota=1)
+        admission.admit("a")
+        admission.admit("a")          # tenant quota shed
+        admission.admit("b")
+        admission.admit("c")          # queue full shed
+        stats = admission.statistics()
+        assert stats == {
+            "offered": 4.0,
+            "admitted": 2.0,
+            "shed": 2.0,
+            "shed_queue_full": 1.0,
+            "shed_tenant_quota": 1.0,
+            "shed_fraction": 0.5,
+            "occupancy": 2.0,
+        }
+
+    def test_statistics_empty(self):
+        stats = ServiceAdmission().statistics()
+        assert stats["offered"] == 0.0
+        assert stats["shed_fraction"] == 0.0

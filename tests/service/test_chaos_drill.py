@@ -1,0 +1,63 @@
+"""The acceptance drill: the service survives its own chaos script.
+
+This is the PR's acceptance criterion as a test: under a deterministic
+overload burst plus injected worker crashes, the service sheds load
+politely (429/503 with ``Retry-After``), completes every admitted run
+with a digest byte-identical to serial execution, and keeps its
+availability SLO within budget with no alert left firing.
+"""
+
+import pytest
+
+from repro.service import DrillReport, ServiceChaosDrill
+
+from .conftest import service_spec
+
+
+@pytest.fixture(scope="module", name="report")
+def report_fixture() -> DrillReport:
+    return ServiceChaosDrill(service_spec()).run()
+
+
+class TestChaosDrill:
+    def test_overload_sheds_with_retry_after(self, report):
+        assert report.shed_429 > 0
+        assert report.retry_after_violations == 0
+
+    def test_breaker_rejects_during_open_window(self, report):
+        assert report.breaker_503 >= 1
+
+    def test_crashes_were_injected_and_retried(self, report):
+        assert report.injected_crashes >= 3
+        assert report.retries >= report.injected_crashes
+
+    def test_every_admitted_run_completed(self, report):
+        assert report.admitted > 0
+        assert report.completed == report.admitted
+        assert report.failed == 0
+
+    def test_digests_byte_identical_to_serial_runs(self, report):
+        assert report.digest_mismatches == []
+
+    def test_post_storm_cache_hit(self, report):
+        assert report.cache_hit_ok
+
+    def test_availability_slo_within_budget(self, report):
+        assert report.slo_ok
+        assert report.availability["bad"] == 0.0
+        assert report.availability["budget_consumed"] <= 1.0
+        assert report.alerts_active == 0
+
+    def test_overall_verdict(self, report):
+        assert report.passed
+        assert report.to_dict()["passed"] is True
+
+    def test_drill_is_deterministic(self, report):
+        again = ServiceChaosDrill(service_spec()).run()
+        assert again.to_dict() == report.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceChaosDrill(service_spec(), tenants=())
+        with pytest.raises(ValueError):
+            ServiceChaosDrill(service_spec(), crash_points=0)

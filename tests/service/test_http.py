@@ -1,0 +1,117 @@
+"""HTTP transport round trips against an in-process server.
+
+Every server here uses the inline executor (no process churn), a
+loopback socket on an ephemeral port, and the stdlib client wrapper —
+the same path ``python -m repro serve --inline`` exercises.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.service import (InlineExecutor, ScenarioService, ServiceClient,
+                           ServiceConfig, ServiceError, ServiceHTTPServer)
+
+from .conftest import service_spec
+
+
+@pytest.fixture(name="server")
+def server_fixture():
+    service = ScenarioService(ServiceConfig(),
+                              executor=InlineExecutor())
+    server = ServiceHTTPServer(service).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(name="client")
+def client_fixture(server) -> ServiceClient:
+    return ServiceClient(server.address, tenant="pytest")
+
+
+class TestRunLifecycle:
+    def test_submit_wait_result(self, client):
+        spec = service_spec()
+        outcome = client.submit(spec.to_json())
+        assert outcome["status"] == 202
+        digest, result_json = client.wait(outcome["job_id"], timeout=60)
+        assert digest == spec.run().digest()
+        assert json.loads(result_json)["name"] == "service-unit"
+        events = client.events(outcome["job_id"])
+        assert [state for _, state in events["transitions"]] == [
+            "queued", "running", "done"]
+
+    def test_cached_resubmit_identical_digest(self, client):
+        spec = service_spec()
+        first = client.submit(spec.to_json())
+        digest, _ = client.wait(first["job_id"], timeout=60)
+        again = client.submit(spec.to_json())
+        assert again["status"] == 200
+        assert again["cached"] is True
+        assert again["result_digest"] == digest
+        assert client.result_by_digest(digest) != ""
+
+    def test_invalid_spec_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("{not json")
+        assert excinfo.value.status == 400
+        assert excinfo.value.retry_after == 0.0
+
+    def test_unknown_routes_and_ids(self, client):
+        for call in (lambda: client.status("ghost"),
+                     lambda: client.result("ghost"),
+                     lambda: client.sweep_status("ghost"),
+                     lambda: client.result_by_digest("ghost")):
+            with pytest.raises(ServiceError) as excinfo:
+                call()
+            assert excinfo.value.status == 404
+
+    def test_introspection_endpoints(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        metrics = client.metrics()
+        assert "service.submissions" in metrics["counters"]
+        slo = client.slo()
+        assert "service-availability" in slo["slo"]
+        stats = client.tenant_stats()
+        assert stats["tenant"] == "pytest"
+
+
+class TestSweepLifecycle:
+    def test_sweep_round_trip(self, client):
+        spec = service_spec()
+        outcome = client.submit_sweep(spec.to_json(), {"seeds": [1, 2]})
+        assert outcome["status"] == 202
+        digest = None
+        for _ in range(600):
+            status = client.sweep_status(outcome["sweep_id"])
+            if status["done"]:
+                digest, report_json = client.sweep_result(
+                    outcome["sweep_id"])
+                break
+            time.sleep(0.01)
+        assert digest, "sweep did not finish"
+        report = json.loads(report_json)
+        assert len(report["runs"]) == 2
+        assert "failed" not in report
+
+
+class TestDegradation:
+    def test_429_carries_retry_after_header(self):
+        """Deterministic shed: no dispatcher, so the queue stays full."""
+        service = ScenarioService(
+            ServiceConfig(max_queue=8, tenant_quota=1),
+            executor=InlineExecutor())
+        server = ServiceHTTPServer(service).start(dispatch=False)
+        try:
+            client = ServiceClient(server.address, tenant="greedy")
+            assert client.submit(
+                service_spec(seed=1).to_json())["status"] == 202
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(service_spec(seed=2).to_json())
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == "tenant-quota"
+            assert excinfo.value.retry_after > 0
+        finally:
+            server.stop()

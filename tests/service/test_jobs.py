@@ -1,0 +1,74 @@
+"""Unit tests for job records and the job table."""
+
+import pytest
+
+from repro.service import Job, JobState, JobTable
+
+
+def make_job(table: JobTable | None = None) -> Job:
+    table = table if table is not None else JobTable()
+    return table.add(Job(table.new_id(), "acme", "{}", "fp",
+                         "unit", submitted_at=0.0))
+
+
+class TestJob:
+    def test_lifecycle_records_history(self):
+        job = make_job()
+        assert job.state is JobState.QUEUED
+        job.transition(JobState.RUNNING, 1.0)
+        assert job.started_at == 1.0
+        job.transition(JobState.DONE, 3.0)
+        assert job.finished_at == 3.0
+        assert job.transitions == [(0.0, "queued"), (1.0, "running"),
+                                   (3.0, "done")]
+
+    def test_requeue_keeps_first_start(self):
+        job = make_job()
+        job.transition(JobState.RUNNING, 1.0)
+        job.transition(JobState.QUEUED, 2.0)
+        job.transition(JobState.RUNNING, 4.0)
+        assert job.started_at == 1.0
+
+    def test_terminal_states_are_final(self):
+        job = make_job()
+        job.transition(JobState.FAILED, 1.0)
+        with pytest.raises(RuntimeError):
+            job.transition(JobState.RUNNING, 2.0)
+
+    def test_terminal_property(self):
+        assert JobState.DONE.terminal
+        assert JobState.FAILED.terminal
+        assert JobState.EXPIRED.terminal
+        assert not JobState.QUEUED.terminal
+        assert not JobState.RUNNING.terminal
+
+    def test_status_document(self):
+        job = make_job()
+        status = job.status()
+        assert status["job_id"] == job.job_id
+        assert status["state"] == "queued"
+        assert status["transitions"] == [[0.0, "queued"]]
+
+
+class TestJobTable:
+    def test_ids_are_sequential_per_table(self):
+        table = JobTable()
+        assert table.new_id() == "run-000001"
+        assert table.new_id("sweep") == "sweep-000002"
+
+    def test_duplicate_ids_rejected(self):
+        table = JobTable()
+        job = make_job(table)
+        with pytest.raises(ValueError):
+            table.add(Job(job.job_id, "b", "{}", "fp", "dup",
+                          submitted_at=0.0))
+
+    def test_lookup_and_counts(self):
+        table = JobTable()
+        job = make_job(table)
+        assert table.get(job.job_id) is job
+        assert table.get("ghost") is None
+        assert len(table) == 1
+        job.transition(JobState.DONE, 1.0)
+        assert table.counts()["done"] == 1
+        assert table.counts()["queued"] == 0

@@ -1,0 +1,105 @@
+"""CI smoke test for ``python -m repro serve``.
+
+Boots the real server in a subprocess (inline executor — no process
+pool inside CI's container), submits the bundled
+``examples/specs/chaos_baseline.json`` spec over HTTP, polls it to
+completion, re-submits it and requires a *cached* response carrying
+the identical result digest (the provable-cache contract from
+docs/SERVICE.md), checks the health and SLO endpoints, then shuts the
+server down cleanly with SIGTERM and requires exit code 0.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SPEC_PATH = REPO_ROOT / "examples" / "specs" / "chaos_baseline.json"
+BOOT_DEADLINE = 30.0
+RUN_DEADLINE = 120.0
+
+
+def free_port() -> int:
+    """A currently-free loopback port for the server to bind."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_for_boot(process: subprocess.Popen) -> str:
+    """Block until the server prints its listening line; returns it."""
+    deadline = time.monotonic() + BOOT_DEADLINE
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            return line.strip()
+        if process.poll() is not None:
+            raise SystemExit(f"server died during boot "
+                             f"(exit {process.returncode})")
+    raise SystemExit("server did not boot within deadline")
+
+
+def main() -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    from repro.service import ServiceClient
+
+    port = free_port()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--inline",
+         "--port", str(port)],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        print(wait_for_boot(process))
+        client = ServiceClient(f"http://127.0.0.1:{port}",
+                               tenant="ci-smoke")
+        spec_json = SPEC_PATH.read_text(encoding="utf-8")
+
+        outcome = client.submit(spec_json)
+        assert outcome["status"] == 202, outcome
+        job_id = outcome["job_id"]
+        print(f"submitted {SPEC_PATH.name} as {job_id}")
+
+        digest, result_json = client.wait(job_id, timeout=RUN_DEADLINE)
+        assert digest and result_json, "empty result"
+        print(f"completed with digest {digest}")
+
+        again = client.submit(spec_json)
+        assert again["status"] == 200, again
+        assert again.get("cached") is True, again
+        assert again["result_digest"] == digest, (
+            f"cached digest {again['result_digest']} != first-run "
+            f"digest {digest}")
+        print("re-submit served from cache with identical digest")
+
+        assert client.result_by_digest(digest) == result_json
+        health = client.health()
+        assert health["status"] == "ok", health
+        slo = client.slo()
+        assert slo["slo"]["service-availability"]["ok"] == 1.0, slo
+        print("health ok, availability SLO green")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise SystemExit("server did not exit on SIGTERM")
+    if process.returncode != 0:
+        raise SystemExit(f"server exited {process.returncode}")
+    print("clean shutdown (exit 0) — service smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
