@@ -11,13 +11,21 @@ large-scale runs.  :class:`CapacityIndex` answers both incrementally:
   notifications (O(1) per allocate/release, O(cluster) per
   failure/repair, which are rare);
 - a :meth:`candidates` iterator that skips entire clusters whose free
-  cores cannot satisfy a task before touching any machine.
+  cores cannot satisfy a task before touching any machine;
+- a :class:`CapacityVectors` view — numpy arrays of per-machine free
+  cores and free memory, maintained as an exact mirror of the machine
+  counters — on which vectorized placement policies evaluate a whole
+  fleet in one C-speed pass instead of a per-machine attribute walk.
 
 The index is deliberately *order-preserving*: machines are always
 yielded in topology order (clusters, then racks, then mount order),
 exactly the order the old ``Datacenter.available_machines()`` scan
 produced, so placement decisions — and therefore whole simulations —
-stay bit-identical.
+stay bit-identical.  The vector view obeys the same contract: array
+slot ``i`` is machine ``i`` in topology order, every stored value is
+computed by the same float expression :meth:`Machine.can_fit` uses, and
+a down machine stores ``cores_free == -1`` so no task (``cores >= 1``)
+can match it.
 """
 
 from __future__ import annotations
@@ -25,10 +33,16 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from ..workload.task import Task
+from . import cluster as _topology
 from .cluster import Cluster
 from .machine import Machine
 
-__all__ = ["CapacityIndex"]
+try:  # numpy backs the vectorized placement view; the scalar
+    import numpy as _np  # candidates() path below works without it.
+except ImportError:  # pragma: no cover - exercised via stubbed tests
+    _np = None
+
+__all__ = ["CapacityIndex", "CapacityVectors"]
 
 
 class _ClusterEntry:
@@ -60,6 +74,107 @@ class _ClusterEntry:
         self.total_cores = total
 
 
+class CapacityVectors:
+    """Numpy mirror of per-machine capacity, in topology order.
+
+    Maintained by :class:`CapacityIndex` from the same machine watcher
+    notifications that keep its cluster counters fresh.  Vectorized
+    placement policies evaluate fit over these arrays instead of
+    walking machine attributes; the arrays therefore replicate
+    :meth:`Machine.can_fit` exactly:
+
+    - ``cores_free[i]`` is ``spec.cores - machine._cores_used`` for an
+      available machine and ``-1`` for a down one.  Tasks always demand
+      at least one core, so ``task.cores <= cores_free[i]`` is
+      bit-equivalent to ``machine.available and can-fit-cores``.
+    - ``memory_free[i]`` stores the exact float produced by
+      ``spec.memory - _alloc_memory - _reserved_memory`` — the same
+      left-to-right expression ``can_fit`` evaluates — refreshed (not
+      accumulated) on every notification, so no float drift is possible.
+    - static columns (``speed``, ``cost_per_hour``, ``delta_watts``,
+      ``cores_total``, ``name_rank``) feed the scoring placement
+      policies; ``name_rank`` is the lexicographic rank of each machine
+      name, replicating the ``(key, name)`` tie-breaks of the scalar
+      policies without string comparisons.
+    """
+
+    __slots__ = ("machines", "cores_free", "memory_free",
+                 "memory_free_eps", "speed", "cost_per_hour",
+                 "delta_watts", "cores_total", "name_rank",
+                 "_avail_positions", "_avail_epoch", "_index",
+                 "_mask_a", "_mask_b")
+
+    def __init__(self, machines: tuple[Machine, ...]) -> None:
+        assert _np is not None
+        n = len(machines)
+        self.machines = machines
+        self.cores_free = _np.empty(n, dtype=_np.int64)
+        self.memory_free = _np.empty(n, dtype=_np.float64)
+        #: ``memory_free + 1e-12`` maintained alongside, so the fit
+        #: mask is two comparisons with no temporary allocation.
+        self.memory_free_eps = _np.empty(n, dtype=_np.float64)
+        self._mask_a = _np.empty(n, dtype=_np.bool_)
+        self._mask_b = _np.empty(n, dtype=_np.bool_)
+        self.speed = _np.empty(n, dtype=_np.float64)
+        self.cost_per_hour = _np.empty(n, dtype=_np.float64)
+        self.delta_watts = _np.empty(n, dtype=_np.float64)
+        self.cores_total = _np.empty(n, dtype=_np.int64)
+        self._index = {}
+        for i, machine in enumerate(machines):
+            spec = machine.spec
+            self.speed[i] = spec.speed
+            self.cost_per_hour[i] = spec.cost_per_hour
+            self.delta_watts[i] = spec.max_watts - spec.idle_watts
+            self.cores_total[i] = spec.cores
+            self._index[machine.name] = i
+            self.refresh(machine, i)
+        self.name_rank = _np.empty(n, dtype=_np.int64)
+        order = sorted(range(n), key=lambda i: machines[i].name)
+        for rank, i in enumerate(order):
+            self.name_rank[i] = rank
+        self._avail_positions = None
+        self._avail_epoch = -1
+
+    def refresh(self, machine: Machine, i: int | None = None) -> None:
+        """Re-derive machine ``i``'s row from its exact counters."""
+        if i is None:
+            i = self._index.get(machine.name)
+            if i is None:
+                return
+        spec = machine.spec
+        if machine._available:
+            self.cores_free[i] = spec.cores - machine._cores_used
+        else:
+            self.cores_free[i] = -1
+        free = (spec.memory - machine._alloc_memory
+                - machine._reserved_memory)
+        self.memory_free[i] = free
+        self.memory_free_eps[i] = free + 1e-12
+
+    def fit_mask(self, cores: int, memory: float):
+        """Boolean fit mask over all machines for one task shape.
+
+        Bit-equivalent to ``machine.available and machine.can_fit``:
+        the memory comparison keeps ``can_fit``'s exact
+        ``demand <= free + 1e-12`` form and operand order (the epsilon
+        sum is precomputed per machine, which stores the identical
+        float).  The returned array is a reused buffer, valid until the
+        next ``fit_mask`` call on this view.
+        """
+        mask = self._mask_a
+        _np.less_equal(cores, self.cores_free, out=mask)
+        _np.less_equal(memory, self.memory_free_eps, out=self._mask_b)
+        _np.logical_and(mask, self._mask_b, out=mask)
+        return mask
+
+    def available_positions(self, epoch: int):
+        """Indices of up machines in topology order (epoch-cached)."""
+        if self._avail_epoch != epoch:
+            self._avail_positions = _np.flatnonzero(self.cores_free >= 0)
+            self._avail_epoch = epoch
+        return self._avail_positions
+
+
 class CapacityIndex:
     """Watches machines and keeps datacenter-wide capacity aggregates.
 
@@ -79,8 +194,18 @@ class CapacityIndex:
         #: Bumped whenever the set of *available* machines may have
         #: changed; lets callers cache availability-derived views.
         self.availability_epoch = 0
+        #: Bumped whenever capacity may have *grown* anywhere (core or
+        #: memory release, availability flip, topology rebuild).  While
+        #: it stands still, a demand shape proven unplaceable stays
+        #: unplaceable — the scheduler's dominated-demand skip carries
+        #: its failed set across rounds on this guarantee.
+        self.release_epoch = 0
         self._available_cache: tuple[Machine, ...] | None = None
         self._available_cache_epoch = -1
+        self._topology_version = -1
+        #: Numpy capacity mirror; ``None`` when numpy is unavailable,
+        #: in which case callers fall back to :meth:`candidates`.
+        self.vectors: CapacityVectors | None = None
         self._rebuild()
 
     # ------------------------------------------------------------------
@@ -102,22 +227,32 @@ class CapacityIndex:
                 self._machine_cluster[machine.name] = entry
             machines.extend(entry.machines)
         self._machines = tuple(machines)
+        self.vectors = (CapacityVectors(self._machines)
+                        if _np is not None else None)
         self.availability_epoch += 1
+        self.release_epoch += 1
         self._available_cache = None
 
     def _check_topology(self) -> None:
         """Detect machines added since the last (re)build.
 
         Topology only ever *grows* (racks and machines are added, never
-        removed), so a total-count comparison is a sufficient and cheap
-        staleness check.
+        removed), and every growth path bumps the process-wide
+        ``cluster.topology_version()`` counter, so an unchanged version
+        makes this probe O(1).  On a version change (possibly from an
+        unrelated topology) a total-count comparison decides whether
+        *this* index is stale.
         """
+        version = _topology.topology_version()
+        if version == self._topology_version:
+            return
         count = 0
         for cluster in self.clusters:
             for rack in cluster.racks:
                 count += len(rack.machines)
         if count != len(self._machines):
             self._rebuild()
+        self._topology_version = version
 
     # ------------------------------------------------------------------
     # Watcher callbacks (invoked by Machine)
@@ -130,13 +265,35 @@ class CapacityIndex:
         entry.used_cores += cores_delta
         if machine._available:
             entry.free_cores -= cores_delta
+        if cores_delta <= 0:
+            # A release (or a zero-delta memory-reservation change) may
+            # have grown capacity; invalidate carried failure proofs.
+            self.release_epoch += 1
+        if self.vectors is not None:
+            self.vectors.refresh(machine)
 
     def machine_availability(self, machine: Machine) -> None:
         """``machine`` flipped availability (fail/repair/decommission)."""
         entry = self._machine_cluster.get(machine.name)
         if entry is not None:
             entry.recount()
+        if self.vectors is not None:
+            self.vectors.refresh(machine)
         self.availability_epoch += 1
+        self.release_epoch += 1
+
+    def sync(self) -> CapacityVectors | None:
+        """Run the topology staleness check once and return the vectors.
+
+        The scheduler calls this at the top of each epoch so the
+        vectorized kernels inside the round can use the arrays without
+        paying the per-query topology scan.  Topology can only change
+        between events, never inside a synchronous scheduling round, so
+        one check per round gives the same guarantee the per-query
+        check gives the scalar paths.
+        """
+        self._check_topology()
+        return self.vectors
 
     # ------------------------------------------------------------------
     # Queries

@@ -12,7 +12,24 @@ from typing import Iterator, Sequence
 
 from .machine import Machine, MachineKind, MachineSpec
 
-__all__ = ["Rack", "Cluster", "homogeneous_cluster", "heterogeneous_cluster"]
+__all__ = ["Rack", "Cluster", "homogeneous_cluster", "heterogeneous_cluster",
+           "topology_version"]
+
+#: Process-wide count of topology mutations (racks built or extended).
+#: CapacityIndex snapshots it to make its staleness probe O(1): an
+#: unchanged version proves no machine was mounted anywhere, so the
+#: per-rack recount can be skipped entirely.
+_TOPOLOGY_VERSION = 0
+
+
+def topology_version() -> int:
+    """Current global topology-mutation count."""
+    return _TOPOLOGY_VERSION
+
+
+def _bump_topology() -> None:
+    global _TOPOLOGY_VERSION
+    _TOPOLOGY_VERSION += 1
 
 
 class Rack:
@@ -21,10 +38,12 @@ class Rack:
     def __init__(self, name: str, machines: Sequence[Machine] = ()) -> None:
         self.name = name
         self.machines: list[Machine] = list(machines)
+        _bump_topology()
 
     def add(self, machine: Machine) -> Machine:
         """Mount a machine in this rack."""
         self.machines.append(machine)
+        _bump_topology()
         return machine
 
     def __iter__(self) -> Iterator[Machine]:
@@ -45,10 +64,12 @@ class Cluster:
     def __init__(self, name: str, racks: Sequence[Rack] = ()) -> None:
         self.name = name
         self.racks: list[Rack] = list(racks)
+        _bump_topology()
 
     def add_rack(self, rack: Rack) -> Rack:
         """Add a rack to the cluster."""
         self.racks.append(rack)
+        _bump_topology()
         return rack
 
     def machines(self) -> list[Machine]:

@@ -48,6 +48,15 @@ class Datacenter:
         #: seconds — the chaos harness checks checkpoint invariants here.
         self.execution_losses: list[tuple[Task, float]] = []
         self._running: dict[Task, Process] = {}
+        #: Deferred-flush seam for scheduling epochs: while a scheduler
+        #: round is open (``begin_epoch``), per-execution ``used_cores``
+        #: monitor adds and gauge sets are accumulated here and flushed
+        #: once at ``end_epoch``.  A round is synchronous — no other
+        #: event can observe the monitor mid-round — and same-timestamp
+        #: updates carry zero weighted time, so one merged add is
+        #: bit-identical to the per-execution adds it replaces.
+        self._epoch_depth = 0
+        self._epoch_cores = 0
         #: Called whenever capacity reappears (machine repair); cluster
         #: schedulers subscribe their wake-up here.
         self.on_capacity_change: list = []
@@ -98,14 +107,18 @@ class Datacenter:
         """
         machine.account_energy(self.sim.now)
         machine.allocate(task)
-        self.used_cores.add(self.sim.now, task.cores)
+        if self._epoch_depth:
+            self._epoch_cores += task.cores
+        else:
+            self.used_cores.add(self.sim.now, task.cores)
         task.start(self.sim.now, machine.name)
         observer = self.sim.observer
         span = None
         if observer is not None:
             observer.metrics.counter("datacenter.executions_started").inc()
-            observer.metrics.gauge("datacenter.used_cores").set(
-                float(self.capacity.used_cores_total()))
+            if not self._epoch_depth:
+                observer.metrics.gauge("datacenter.used_cores").set(
+                    float(self.capacity.used_cores_total()))
             span = observer.tracer.begin(
                 "exec " + task.name, category="datacenter",
                 parent=observer.tracer.active(("task", task.task_id)),
@@ -115,6 +128,24 @@ class Datacenter:
                                    name=f"exec-{task.name}")
         self._running[task] = process
         return process
+
+    def begin_epoch(self) -> None:
+        """Open a deferred-flush epoch (one scheduler round)."""
+        self._epoch_depth += 1
+
+    def end_epoch(self) -> None:
+        """Close an epoch, flushing the batched bookkeeping once."""
+        self._epoch_depth -= 1
+        if self._epoch_depth:
+            return
+        cores = self._epoch_cores
+        if cores:
+            self._epoch_cores = 0
+            self.used_cores.add(self.sim.now, cores)
+            observer = self.sim.observer
+            if observer is not None:
+                observer.metrics.gauge("datacenter.used_cores").set(
+                    float(self.capacity.used_cores_total()))
 
     def _execute(self, task: Task, machine: Machine, span=None):
         remaining_before = task.remaining_work

@@ -19,7 +19,6 @@ datacenter-level indexes stay consistent without rescans.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 
 from ..workload.task import Task
@@ -213,12 +212,7 @@ class Machine:
         last checkpoint must execute, plus the cost of writing the
         checkpoints that fall inside it.
         """
-        remaining = task.remaining_work
-        if task.checkpoint_interval is not None and remaining > 0:
-            n_checkpoints = max(
-                0, math.ceil(remaining / task.checkpoint_interval) - 1)
-            remaining += n_checkpoints * task.checkpoint_overhead
-        return remaining / self.spec.speed
+        return task.checkpoint_adjusted_work() / self.spec.speed
 
     # ------------------------------------------------------------------
     # Remote-memory reservations (scavenging, [118])
@@ -234,6 +228,10 @@ class Machine:
                 f"machine {self.name} cannot lend {amount} GiB")
         self._memory_reservations[key] = amount
         self._reserved_memory += amount
+        if self._watchers:
+            # Zero core delta: cluster counters are untouched, but
+            # capacity watchers must refresh their memory view.
+            self._notify_delta(0)
 
     def release_memory(self, key: str) -> None:
         """Return a lent reservation (idempotent on missing keys)."""
@@ -242,6 +240,8 @@ class Machine:
             self._reserved_memory -= amount
             if not self._memory_reservations:
                 self._reserved_memory = 0.0
+            if self._watchers:
+                self._notify_delta(0)
 
     # ------------------------------------------------------------------
     # Failures (S8 hooks)

@@ -18,6 +18,7 @@ from .policies import (
     EDF,
     FCFS,
     LJF,
+    ORDER_FALLBACKS,
     PLACEMENT_POLICIES,
     QUEUE_POLICIES,
     SJF,
@@ -33,6 +34,8 @@ from .policies import (
     RoundRobin,
     SmallestTaskFirst,
     WorstFit,
+    incremental_sort_key,
+    vectorized_placement,
 )
 from .portfolio import PolicyScore, PortfolioScheduler, estimate_mean_slowdown
 from .provisioning import (
@@ -73,6 +76,9 @@ __all__ = [
     "GreenestFit",
     "QUEUE_POLICIES",
     "PLACEMENT_POLICIES",
+    "ORDER_FALLBACKS",
+    "incremental_sort_key",
+    "vectorized_placement",
     "ClusterScheduler",
     "GroupAwarePolicy",
     "group_response_times",

@@ -10,6 +10,25 @@ classic families in two orthogonal roles:
 - *Machine selection* (:class:`PlacementPolicy`): where to place the
   chosen task — first-fit, best-fit, worst-fit, round-robin, and the
   heterogeneity-, cost-, and energy-aware variants of C4.
+
+Every policy has a *reference* implementation (``order``/``select``
+over plain Python sequences) and, where possible, a fast-path twin:
+
+- Queue policies with time-invariant keys expose their sort key through
+  the ``_INCREMENTAL_SORT_KEYS`` seam; ``order()`` and the incremental
+  :class:`TaskQueue` view share the *same* key function, so the two can
+  never disagree.  :class:`FairShare` routes through the same seam via
+  :meth:`FairShare.sort_key` but is excluded from the incremental
+  registry because its key mutates as tasks complete;
+  :class:`RandomOrder` is a documented slow-path fallback (its output
+  is an RNG stream, not a sort).
+- Placement policies gain vectorized kernels (``vectorized_placement``)
+  that evaluate one task against a whole fleet's
+  :class:`~repro.datacenter.capacity.CapacityVectors` in a single numpy
+  pass.  Each kernel replicates its reference ``select`` bit-for-bit:
+  the fit mask mirrors :meth:`Machine.can_fit`'s exact float
+  comparison, scoring expressions keep the scalar operand order, and
+  name tie-breaks use a precomputed lexicographic rank column.
 """
 
 from __future__ import annotations
@@ -19,6 +38,11 @@ from typing import Protocol, Sequence
 
 from ..datacenter.machine import Machine
 from ..workload.task import Task
+
+try:  # the scalar reference paths below work without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via stubbed tests
+    _np = None
 
 __all__ = [
     "QueuePolicy",
@@ -39,7 +63,9 @@ __all__ = [
     "GreenestFit",
     "QUEUE_POLICIES",
     "PLACEMENT_POLICIES",
+    "ORDER_FALLBACKS",
     "incremental_sort_key",
+    "vectorized_placement",
 ]
 
 
@@ -67,6 +93,30 @@ class PlacementPolicy(Protocol):
 # ---------------------------------------------------------------------------
 # Queue-ordering policies
 # ---------------------------------------------------------------------------
+# Key-extraction seam: each sortable policy's key lives here once, and
+# both its order() and the incremental TaskQueue registry reference the
+# same function, so the slow and fast paths cannot drift apart.
+def _fcfs_key(t: Task):
+    return (t.submit_time, t.task_id)
+
+
+def _sjf_key(t: Task):
+    return (t.runtime, t.task_id)
+
+
+def _ljf_key(t: Task):
+    return (-t.runtime, t.task_id)
+
+
+def _edf_key(t: Task):
+    return (t.deadline if t.deadline is not None else float("inf"),
+            t.submit_time, t.task_id)
+
+
+def _smallest_key(t: Task):
+    return (t.cores, t.runtime, t.task_id)
+
+
 class FCFS:
     """First-come first-served: by submission time."""
 
@@ -74,7 +124,7 @@ class FCFS:
 
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         """Order by submission time, ties by task id."""
-        return sorted(queue, key=lambda t: (t.submit_time, t.task_id))
+        return sorted(queue, key=_fcfs_key)
 
 
 class SJF:
@@ -84,7 +134,7 @@ class SJF:
 
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         """Order by estimated runtime, shortest first."""
-        return sorted(queue, key=lambda t: (t.runtime, t.task_id))
+        return sorted(queue, key=_sjf_key)
 
 
 class LJF:
@@ -94,7 +144,7 @@ class LJF:
 
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         """Order by estimated runtime, longest first."""
-        return sorted(queue, key=lambda t: (-t.runtime, t.task_id))
+        return sorted(queue, key=_ljf_key)
 
 
 class EDF:
@@ -104,9 +154,7 @@ class EDF:
 
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         """Order by deadline; deadline-less tasks go last."""
-        return sorted(queue, key=lambda t: (
-            t.deadline if t.deadline is not None else float("inf"),
-            t.submit_time, t.task_id))
+        return sorted(queue, key=_edf_key)
 
 
 class SmallestTaskFirst:
@@ -116,11 +164,18 @@ class SmallestTaskFirst:
 
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         """Order by core demand, smallest first."""
-        return sorted(queue, key=lambda t: (t.cores, t.runtime, t.task_id))
+        return sorted(queue, key=_smallest_key)
 
 
 class RandomOrder:
-    """Uniformly random service order (a fairness baseline)."""
+    """Uniformly random service order (a fairness baseline).
+
+    Deliberate slow-path fallback: the service order is an RNG stream,
+    not a sort, so there is no time-invariant key to extract and
+    ``incremental_sort_key`` returns ``None``.  The scheduler must call
+    ``order()`` every round — and exactly once per round, since each
+    call advances the RNG and therefore the simulation's random state.
+    """
 
     name = "random"
 
@@ -139,6 +194,11 @@ class FairShare:
 
     Users who have consumed less get priority — the multi-tenancy
     fairness concern of P5.
+
+    ``order`` routes through the same key-extraction seam as the
+    vectorized policies (:meth:`sort_key`), but the key reads mutable
+    served-share state, so the policy is excluded from the incremental
+    registry and re-sorts every round (a documented slow path).
     """
 
     name = "fair-share"
@@ -156,13 +216,14 @@ class FairShare:
         user = self._owner.get(task.task_id, "anonymous")
         self._served[user] = self._served.get(user, 0.0) + task.core_seconds
 
+    def sort_key(self, task: Task):
+        """Current sort key of ``task`` (valid until the next charge)."""
+        user = self._owner.get(task.task_id, "anonymous")
+        return (self._served.get(user, 0.0), task.submit_time, task.task_id)
+
     def order(self, queue: Sequence[Task], now: float) -> list[Task]:
         """Order by the owning user's served core-seconds."""
-        def key(task: Task):
-            user = self._owner.get(task.task_id, "anonymous")
-            return (self._served.get(user, 0.0), task.submit_time, task.task_id)
-
-        return sorted(queue, key=key)
+        return sorted(queue, key=self.sort_key)
 
 
 # ---------------------------------------------------------------------------
@@ -287,17 +348,24 @@ class GreenestFit:
 
 #: Queue policies whose sort key is constant while a task waits.  For
 #: these the scheduler keeps the queue incrementally sorted (insort at
-#: submit) instead of re-sorting every round.  Each key must match the
-#: policy's ``order`` exactly — keys embed ``task_id``, so they are
-#: total orders and the incremental view is bit-identical to sorted().
+#: submit) instead of re-sorting every round.  Each entry is the *same
+#: function object* the policy's ``order`` sorts with — keys embed
+#: ``task_id``, so they are total orders and the incremental view is
+#: bit-identical to sorted().
 _INCREMENTAL_SORT_KEYS = {
-    FCFS: lambda t: (t.submit_time, t.task_id),
-    SJF: lambda t: (t.runtime, t.task_id),
-    LJF: lambda t: (-t.runtime, t.task_id),
-    EDF: lambda t: (t.deadline if t.deadline is not None else float("inf"),
-                    t.submit_time, t.task_id),
-    SmallestTaskFirst: lambda t: (t.cores, t.runtime, t.task_id),
+    FCFS: _fcfs_key,
+    SJF: _sjf_key,
+    LJF: _ljf_key,
+    EDF: _edf_key,
+    SmallestTaskFirst: _smallest_key,
 }
+
+#: Queue policies that legitimately bypass the incremental fast path.
+#: ``RandomOrder`` is an RNG stream; ``FairShare``'s key reads mutable
+#: served-share state.  Tests assert every registered queue policy is
+#: either in ``_INCREMENTAL_SORT_KEYS`` or here, so a new policy cannot
+#: *silently* miss the fast path.
+ORDER_FALLBACKS = frozenset({RandomOrder, FairShare})
 
 
 def incremental_sort_key(policy: QueuePolicy):
@@ -308,6 +376,143 @@ def incremental_sort_key(policy: QueuePolicy):
     round.  Matches on exact type: subclasses may override ``order``.
     """
     return _INCREMENTAL_SORT_KEYS.get(type(policy))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized placement kernels
+# ---------------------------------------------------------------------------
+# Each kernel answers select(task, available_machines()) for one policy
+# using the CapacityVectors arrays instead of a per-machine attribute
+# walk.  Kernels must be *bit-identical* to their reference: the fit
+# mask replicates Machine.can_fit exactly (see CapacityVectors), score
+# expressions keep the scalar operand order (IEEE-754 float ops are
+# deterministic given operand order), and ties on the score resolve by
+# machine-name rank exactly as the (key, name) tuples of the scalar
+# min()/max() do.
+def _pick(vectors, fitting, keys, largest: bool):
+    """Index of the best fitting machine, with scalar-exact tie-breaks.
+
+    ``min()`` over ``(key, name)`` tuples picks the smallest name among
+    key ties; ``max()`` picks the largest.  ``name_rank`` is the
+    lexicographic rank of each machine name, so argmin/argmax over it
+    replicates the string comparison without touching strings.
+    """
+    best = keys.max() if largest else keys.min()
+    ties = fitting[keys == best]
+    if ties.size == 1:
+        return int(ties[0])
+    ranks = vectors.name_rank[ties]
+    return int(ties[ranks.argmax() if largest else ranks.argmin()])
+
+
+def _vec_first_fit(policy, task: Task, index) -> Machine | None:
+    vectors = index.vectors
+    mask = vectors.fit_mask(task.cores, task.memory)
+    if not mask.size:
+        return None
+    i = int(mask.argmax())
+    if not mask[i]:
+        return None
+    return vectors.machines[i]
+
+
+def _vec_best_fit(policy, task: Task, index) -> Machine | None:
+    vectors = index.vectors
+    fitting = _np.flatnonzero(vectors.fit_mask(task.cores, task.memory))
+    if not fitting.size:
+        return None
+    keys = vectors.cores_free[fitting] - task.cores
+    return vectors.machines[_pick(vectors, fitting, keys, largest=False)]
+
+
+def _vec_worst_fit(policy, task: Task, index) -> Machine | None:
+    vectors = index.vectors
+    fitting = _np.flatnonzero(vectors.fit_mask(task.cores, task.memory))
+    if not fitting.size:
+        return None
+    keys = vectors.cores_free[fitting] - task.cores
+    return vectors.machines[_pick(vectors, fitting, keys, largest=True)]
+
+
+def _vec_round_robin(policy, task: Task, index) -> Machine | None:
+    # The reference rotates over the *available* machine sequence, so
+    # the kernel works in that index space: positions of up machines in
+    # topology order, cached per availability epoch.
+    vectors = index.vectors
+    positions = vectors.available_positions(index.availability_epoch)
+    n = positions.size
+    if n == 0:
+        return None
+    fit_idx = _np.flatnonzero(
+        vectors.fit_mask(task.cores, task.memory)[positions])
+    if not fit_idx.size:
+        return None
+    # First fitting machine at or after the rotation cursor, wrapping —
+    # i.e. the fitting index with the smallest (i - next) mod n offset.
+    offsets = (fit_idx - policy._next) % n
+    k = int(fit_idx[offsets.argmin()])
+    policy._next = (k + 1) % n
+    return vectors.machines[int(positions[k])]
+
+
+def _vec_fastest_fit(policy, task: Task, index) -> Machine | None:
+    vectors = index.vectors
+    fitting = _np.flatnonzero(vectors.fit_mask(task.cores, task.memory))
+    if not fitting.size:
+        return None
+    keys = vectors.speed[fitting]
+    return vectors.machines[_pick(vectors, fitting, keys, largest=True)]
+
+
+def _vec_cheapest_fit(policy, task: Task, index) -> Machine | None:
+    vectors = index.vectors
+    fitting = _np.flatnonzero(vectors.fit_mask(task.cores, task.memory))
+    if not fitting.size:
+        return None
+    # cost_per_hour * (work / speed), in the reference's operand order.
+    work = task.checkpoint_adjusted_work()
+    keys = vectors.cost_per_hour[fitting] * (work / vectors.speed[fitting])
+    return vectors.machines[_pick(vectors, fitting, keys, largest=False)]
+
+
+def _vec_greenest_fit(policy, task: Task, index) -> Machine | None:
+    vectors = index.vectors
+    fitting = _np.flatnonzero(vectors.fit_mask(task.cores, task.memory))
+    if not fitting.size:
+        return None
+    # (max_watts - idle_watts) * (cores / spec.cores) * effective_runtime,
+    # each factor in the reference's operand order.
+    work = task.checkpoint_adjusted_work()
+    watts = (vectors.delta_watts[fitting]
+             * (task.cores / vectors.cores_total[fitting]))
+    keys = watts * (work / vectors.speed[fitting])
+    return vectors.machines[_pick(vectors, fitting, keys, largest=False)]
+
+
+_VECTOR_PLACEMENTS = {
+    FirstFit: _vec_first_fit,
+    BestFit: _vec_best_fit,
+    WorstFit: _vec_worst_fit,
+    RoundRobin: _vec_round_robin,
+    FastestFit: _vec_fastest_fit,
+    CheapestFit: _vec_cheapest_fit,
+    GreenestFit: _vec_greenest_fit,
+}
+
+
+def vectorized_placement(policy: PlacementPolicy):
+    """Vectorized kernel of ``policy``, or ``None``.
+
+    ``None`` (numpy missing, or an unknown/subclassed policy) sends the
+    scheduler down the reference ``select()`` path.  Matches on exact
+    type: subclasses may override ``select``, so they must not inherit
+    the kernel.  A kernel is called as ``kernel(policy, task, index)``
+    with ``index`` a :class:`~repro.datacenter.capacity.CapacityIndex`
+    whose ``vectors`` view is non-``None``.
+    """
+    if _np is None:
+        return None
+    return _VECTOR_PLACEMENTS.get(type(policy))
 
 
 #: Name -> factory for each queue policy (used by benches and portfolios).

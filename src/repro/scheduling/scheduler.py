@@ -20,10 +20,27 @@ from ..datacenter.machine import Machine
 from ..sim import Simulator, TimeWeightedMonitor, summarize
 from ..workload.task import Job, Task, TaskState
 from .policies import (FCFS, FairShare, FirstFit, PlacementPolicy,
-                       QueuePolicy, incremental_sort_key)
+                       QueuePolicy, incremental_sort_key,
+                       vectorized_placement)
 from .taskqueue import TaskQueue
 
 __all__ = ["ClusterScheduler"]
+
+
+def _dominated(failed: list[tuple[int, float]], cores: int,
+               memory: float) -> bool:
+    """Whether ``(cores, memory)`` dominates a known-failed demand.
+
+    Capacity can only shrink while ``failed`` is live (placements
+    allocate; every release bumps the capacity index's
+    ``release_epoch``, which discards the list), so a demand at least
+    as large as a failed one in both dimensions cannot be placed and
+    its probe is skipped.
+    """
+    for fcores, fmemory in failed:
+        if cores >= fcores and memory >= fmemory:
+            return True
+    return False
 
 
 class _HedgeRace:
@@ -92,8 +109,27 @@ class ClusterScheduler:
         #: for; compared by identity each round so portfolio schedulers
         #: can swap ``queue_policy`` at runtime.
         self._order_source: QueuePolicy | None = None
+        #: Placement policy the vectorized kernel was resolved for
+        #: (identity-compared each round, like ``_order_source``).
+        self._placement_source: PlacementPolicy | None = None
+        self._placement_kernel = None
+        #: CapacityIndex to hand the kernel this round; ``None`` sends
+        #: ``_select_machine`` down the scalar reference path.
+        self._round_capacity = None
+        #: Demand shapes proven unplaceable, carried across rounds
+        #: while the capacity index's ``release_epoch`` stands still
+        #: (i.e. nothing was freed, so failure proofs stay valid).
+        self._failed_demands: list[tuple[int, float]] = []
+        self._failed_epoch = -1
         self.queue_length = TimeWeightedMonitor("queue_length",
                                                 start_time=sim.now)
+        #: Deferred-flush seam for ``queue_length``: enqueues mark the
+        #: monitor dirty instead of updating it, and the scheduling
+        #: round that ``_poke()`` guarantees at the *same* sim timestamp
+        #: flushes it.  Same-timestamp updates contribute zero weighted
+        #: time, so the flushed monitor is bit-identical to eager
+        #: updates while skipping one update call per task.
+        self._queue_dirty = False
         self.completed: list[Task] = []
         self.shed_tasks: list[Task] = []
         self.on_task_complete: list[Callable[[Task], None]] = []
@@ -145,9 +181,16 @@ class ClusterScheduler:
     def _enqueue(self, task: Task) -> None:
         """Queue a task, bypassing admission (internal resubmissions)."""
         self.queue.append(task)
-        self.queue_length.update(self.sim.now, len(self.queue))
+        if self._stopped:
+            # No round will follow; keep the monitor eager so post-run
+            # statistics stay exact.
+            self.queue_length.update(self.sim.now, len(self.queue))
+        else:
+            self._queue_dirty = True
         observer = self.sim.observer
         if observer is not None:
+            # The gauge stays eager: streaming ticks may sample it
+            # between this event and the round's flush.
             observer.metrics.gauge("scheduler.queue_length").set(
                 float(len(self.queue)))
         self._poke()
@@ -182,25 +225,64 @@ class ClusterScheduler:
         while True:
             yield self._wakeup
             self._wakeup = self.sim.event()
+            if self._queue_dirty:
+                # Flush the deferred queue-length seam.  _poke()
+                # guarantees this runs at the same sim timestamp as the
+                # deferred changes, so the flush is bit-identical to
+                # eager per-change updates.
+                self._queue_dirty = False
+                self.queue_length.update(self.sim.now, len(self.queue))
             if self._stopped:
                 return
             self._schedule_round()
 
     def _schedule_round(self) -> None:
+        """One scheduling epoch: order once, place over the whole set.
+
+        The round batches everything batchable: queue ordering is one
+        incremental-view read (or one ``order()`` call), placement runs
+        through a vectorized kernel over the capacity arrays when one
+        exists for the policy, failed demands prune later dominated
+        tasks (capacity only shrinks within a round), and datacenter
+        bookkeeping is deferred to one flush at round end.
+        """
         policy = self.queue_policy
         if policy is not self._order_source:
             # First round, or a portfolio scheduler swapped the policy:
             # (re)key the queue's incremental sort view.
             self._order_source = policy
             self.queue.set_key(incremental_sort_key(policy))
+        placement = self.placement_policy
+        if placement is not self._placement_source:
+            self._placement_source = placement
+            self._placement_kernel = vectorized_placement(placement)
+        capacity = self.datacenter.capacity
+        # One topology check per round covers every kernel call inside
+        # it: topology can only change between events, never inside a
+        # synchronous round.
+        self._round_capacity = (
+            capacity if (self._placement_kernel is not None
+                         and capacity.sync() is not None) else None)
+        epoch = capacity.release_epoch
+        if epoch != self._failed_epoch:
+            # Something was freed since the failures were proven (or
+            # this is the first round): discard the carried set.
+            self._failed_demands = []
+            self._failed_epoch = epoch
         if self.queue.has_key:
             ordered = self.queue.ordered()
         else:
             ordered = policy.order(list(self.queue), self.sim.now)
-        if self.backfilling:
-            self._schedule_easy(ordered)
-        else:
-            self._schedule_list(ordered)
+        datacenter = self.datacenter
+        datacenter.begin_epoch()
+        try:
+            if self.backfilling:
+                self._schedule_easy(ordered)
+            else:
+                self._schedule_list(ordered)
+        finally:
+            datacenter.end_epoch()
+        self._queue_dirty = False
         self.queue_length.update(self.sim.now, len(self.queue))
         observer = self.sim.observer
         if observer is not None:
@@ -208,31 +290,64 @@ class ClusterScheduler:
                 float(len(self.queue)))
 
     def _select_machine(self, task: Task) -> Machine | None:
-        """Placement with a cluster-skipping fast path for first-fit."""
+        """Placement via the vectorized kernel, else the scalar path."""
+        capacity = self._round_capacity
+        if capacity is not None:
+            return self._placement_kernel(self.placement_policy, task,
+                                          capacity)
         if type(self.placement_policy) is FirstFit:
+            # Cluster-skipping scalar fast path (no numpy available).
             return next(self.datacenter.capacity.candidates(task), None)
         return self.placement_policy.select(
             task, self.datacenter.available_machines())
 
+    @staticmethod
+    def _note_failure(failed: list[tuple[int, float]], cores: int,
+                      memory: float) -> None:
+        """Record a failed demand, keeping ``failed`` an antichain."""
+        if failed:
+            failed[:] = [f for f in failed
+                         if not (f[0] >= cores and f[1] >= memory)]
+        failed.append((cores, memory))
+
     def _schedule_list(self, ordered: list[Task]) -> None:
+        # ``failed`` holds demand shapes proven unplaceable — earlier
+        # in this round or carried from previous rounds with no release
+        # in between.  Any task whose demand dominates a failed shape
+        # cannot fit either and its placement probe is skipped — same
+        # decisions, fewer scans.
         strict_head = self.strict_head
+        failed = self._failed_demands
         for task in ordered:
+            cores = task.cores
+            memory = task.memory
+            if failed and _dominated(failed, cores, memory):
+                if strict_head:
+                    return
+                continue
             machine = self._select_machine(task)
             if machine is None:
                 if strict_head:
                     return
+                self._note_failure(failed, cores, memory)
                 continue
             self._start(task, machine)
 
     def _schedule_easy(self, ordered: list[Task]) -> None:
         """EASY backfilling: greedy + reservation for the blocked head."""
-        # Phase 1: place from the front until the head is blocked.
+        # Phase 1: place from the front until the head is blocked.  A
+        # head whose demand dominates a carried failed shape is known
+        # blocked without a probe.
+        failed = self._failed_demands
         index = 0
         n = len(ordered)
         while index < n:
             head = ordered[index]
+            if failed and _dominated(failed, head.cores, head.memory):
+                break
             machine = self._select_machine(head)
             if machine is None:
+                self._note_failure(failed, head.cores, head.memory)
                 break
             self._start(head, machine)
             index += 1
@@ -241,15 +356,24 @@ class ClusterScheduler:
         head = ordered[index]
         shadow_time, spare_cores = self._reservation_for(head)
         # Phase 2: backfill tasks that cannot delay the reservation.
+        # The blocked head's demand is already in the failed set, so
+        # the reservation pass and the placement pass share one view of
+        # what is provably unplaceable.
+        now = self.sim.now
+        shadow_cut = shadow_time + 1e-9
         for i in range(index + 1, n):
             task = ordered[i]
-            finishes_before_shadow = (
-                self.sim.now + task.runtime <= shadow_time + 1e-9)
+            finishes_before_shadow = now + task.runtime <= shadow_cut
             fits_spare = task.cores <= spare_cores
             if not (finishes_before_shadow or fits_spare):
                 continue
+            cores = task.cores
+            memory = task.memory
+            if _dominated(failed, cores, memory):
+                continue
             machine = self._select_machine(task)
             if machine is None:
+                self._note_failure(failed, cores, memory)
                 continue
             if not finishes_before_shadow:
                 spare_cores -= task.cores
@@ -426,7 +550,12 @@ class ClusterScheduler:
         """Withdraw the losing copy of a decided hedge race."""
         if loser in self.queue:
             self.queue.remove(loser)
-            self.queue_length.update(self.sim.now, len(self.queue))
+            if self._stopped:
+                self.queue_length.update(self.sim.now, len(self.queue))
+            else:
+                # The completion event that resolved this race pokes
+                # the loop; the same-timestamp round flushes the seam.
+                self._queue_dirty = True
             self._hedges.pop(loser, None)
         elif loser in self._running:
             self.datacenter.interrupt_task(loser)
@@ -451,6 +580,11 @@ class ClusterScheduler:
         response-time histograms) — prefer that for in-flight
         monitoring and cross-subsystem dashboards.
         """
+        if self._queue_dirty:
+            # A reader inside the deferred window sees the flushed
+            # value; the pending round would flush identically.
+            self._queue_dirty = False
+            self.queue_length.update(self.sim.now, len(self.queue))
         waits: list[float] = []
         slowdowns: list[float] = []
         responses: list[float] = []

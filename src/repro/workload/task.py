@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
@@ -153,6 +154,21 @@ class Task:
     def remaining_work(self) -> float:
         """Runtime still to execute after the last checkpoint."""
         return max(0.0, self.runtime - self.checkpointed_work)
+
+    def checkpoint_adjusted_work(self) -> float:
+        """Remaining work plus the checkpoint writes that fall inside it.
+
+        This is the machine-independent numerator of
+        :meth:`Machine.effective_runtime`; placement kernels divide it
+        by a whole fleet's speed column at once, so it must stay the
+        single source of truth for the checkpoint adjustment.
+        """
+        remaining = self.remaining_work
+        if self.checkpoint_interval is not None and remaining > 0:
+            n_checkpoints = max(
+                0, math.ceil(remaining / self.checkpoint_interval) - 1)
+            remaining += n_checkpoints * self.checkpoint_overhead
+        return remaining
 
     def record_progress(self, work_done: float) -> tuple[float, float]:
         """Fold ``work_done`` (since the last restart) into checkpoints.

@@ -92,6 +92,95 @@ def test_checker_rejects_dropped_digest(record: dict,
     assert any("dropped digests" in p for p in problems)
 
 
+def test_checker_rejects_drifted_digest_with_field_diff(
+        record: dict, tmp_path: Path) -> None:
+    # A sha drift must fail AND name the summary fields that diverged,
+    # so a broken determinism contract reads like a failing assertion.
+    edited = copy.deepcopy(record)
+    entry = edited["current"]["digests"]["scheduling"]
+    entry["sha"] = "0" * 64
+    entry["completed"] = 9_999.0
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("sha drifted" in p for p in problems)
+    assert any("completed" in p and "9999.0" in p for p in problems)
+
+
+def test_checker_explains_sha_drift_with_equal_summaries(
+        record: dict, tmp_path: Path) -> None:
+    # Same statistics but a different trace hash: the diff must point
+    # at the event-trace goldens instead of printing nothing.
+    edited = copy.deepcopy(record)
+    edited["current"]["digests"]["scheduling"]["sha"] = "0" * 64
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("sha drifted" in p for p in problems)
+    assert any("goldens" in p for p in problems)
+
+
+def test_checker_caps_drift_diff_length(record: dict,
+                                        tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    for capture, base in (("before", 0.0), ("current", 1.0)):
+        entry = edited[capture]["digests"]["scheduling"]
+        entry["statistics"] = {f"stat{i}": base + i for i in range(40)}
+    edited["current"]["digests"]["scheduling"]["sha"] = "0" * 64
+    problems = checker.check_record(_write(tmp_path, edited))
+    diff_lines = [p for p in problems if "statistics.stat" in p]
+    assert len(diff_lines) == checker.DRIFT_DIFF_LIMIT
+    assert any("more differing summary fields" in p for p in problems)
+
+
+def test_checker_skips_sha_comparison_across_spec_change(
+        record: dict, tmp_path: Path) -> None:
+    # Different fingerprints mean different experiments: the checker
+    # reports the fingerprint change, not a meaningless sha diff.
+    edited = copy.deepcopy(record)
+    edited["before"]["digests"]["scheduling"]["fingerprint"] = "a" * 16
+    current = edited["current"]["digests"]["scheduling"]
+    current["fingerprint"] = "b" * 16
+    current["sha"] = "0" * 64
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("fingerprint changed" in p for p in problems)
+    assert not any("sha drifted" in p for p in problems)
+
+
+def test_checker_rejects_calibrated_cost_regression(
+        record: dict, tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    before_cost = edited["before"]["metrics"]["scheduling"]["calibrated_cost"]
+    edited["current"]["metrics"]["scheduling"]["calibrated_cost"] = (
+        before_cost * 2.0)
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("calibrated_cost regressed for scheduling" in p
+               for p in problems)
+
+
+def test_checker_allows_cost_noise_within_slack(record: dict,
+                                                tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    before_cost = edited["before"]["metrics"]["scheduling"]["calibrated_cost"]
+    edited["current"]["metrics"]["scheduling"]["calibrated_cost"] = (
+        before_cost * (1.0 + checker.COST_REGRESSION_SLACK / 2))
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert not any("calibrated_cost regressed" in p for p in problems)
+
+
+def test_checker_rejects_dropped_cost_tracking(record: dict,
+                                               tmp_path: Path) -> None:
+    edited = copy.deepcopy(record)
+    del edited["current"]["metrics"]["scheduling"]["calibrated_cost"]
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("dropped calibrated_cost" in p for p in problems)
+
+
+def test_committed_scheduling_trajectory_claims(record: dict) -> None:
+    # The epoch-batching PR's headline: the scheduling macro got >= 5x
+    # faster while computing byte-identical results.
+    before = record["before"]["digests"]["scheduling"]
+    current = record["current"]["digests"]["scheduling"]
+    assert before["sha"] == current["sha"]
+    assert record["speedups"]["scheduling"] >= 5.0
+
+
 def test_committed_sweep_record_passes() -> None:
     assert checker.check_record(SWEEP_BENCH_PATH) == []
 

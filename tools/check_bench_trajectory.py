@@ -20,7 +20,14 @@ Checks per record:
   :meth:`ScenarioSpec.fingerprint` identity of the spec that produced
   the run) is well-formed and identical across captures — two
   captures claiming the same digest name must have run the same spec;
-* digest names match between the before and current captures.
+* digest names match between the before and current captures;
+* digest *shas* match between the before and current captures — the
+  record's claim is "same results, faster", so a drifted sha fails
+  with a per-field diff of the digest summaries to make the divergence
+  readable;
+* ``calibrated_cost`` is monotonically non-regressing from before to
+  current for every scenario tracked by both captures (a perf
+  trajectory may not silently give back its wins).
 
 Exit status is the number of failed records, so CI fails on any.
 
@@ -42,6 +49,12 @@ RATIO_SLACK = 0.05
 # ScenarioSpec.fingerprint() identities are 16 lowercase hex chars.
 FINGERPRINT_HEX = set("0123456789abcdef")
 FINGERPRINT_LENGTH = 16
+# calibrated_cost divides elapsed time by the host calibration unit, so
+# before/current are comparable across machines; the slack absorbs the
+# residual run-to-run noise of the calibration itself.
+COST_REGRESSION_SLACK = 0.15
+# A digest-drift diff prints at most this many per-field lines.
+DRIFT_DIFF_LIMIT = 12
 
 
 def _valid_fingerprint(value: object) -> bool:
@@ -80,6 +93,57 @@ def _check_capture(name: str, capture: object) -> list[str]:
             problems.append(f"'{name}' digest {scenario} has a malformed "
                             f"spec fingerprint: {record['fingerprint']!r}")
     return problems
+
+
+def _flatten_digest(entry: dict) -> dict:
+    """Digest entry as dotted-path leaves, minus the hash fields.
+
+    Digest shapes vary per scenario (flat statistics, a nested
+    ``summary``/``statistics`` dict, or both); one level of flattening
+    makes them diffable field by field.
+    """
+    flat = {}
+    for key, value in entry.items():
+        if key == "sha" or key == "fingerprint":
+            continue
+        if isinstance(value, dict):
+            for subkey, subvalue in value.items():
+                flat[f"{key}.{subkey}"] = subvalue
+        else:
+            flat[key] = value
+    return flat
+
+
+def _digest_drift_diff(scenario: str, before_entry: dict,
+                       current_entry: dict) -> list[str]:
+    """Readable messages for a digest whose sha drifted between captures.
+
+    The sha alone says "something changed"; the summary diff says
+    *what*: every statistic that differs is printed as its own line, so
+    a determinism break reads like a failing assertion, not a hash.
+    """
+    problems = [f"digest {scenario} sha drifted between captures: "
+                f"{before_entry['sha'][:12]}... != "
+                f"{current_entry['sha'][:12]}... (the trajectory claim is "
+                f"'same results, faster')"]
+    before_flat = _flatten_digest(before_entry)
+    current_flat = _flatten_digest(current_entry)
+    lines = []
+    for key in sorted(set(before_flat) | set(current_flat)):
+        old = before_flat.get(key, "<absent>")
+        new = current_flat.get(key, "<absent>")
+        if old != new:
+            lines.append(f"digest {scenario} {key}: {old!r} -> {new!r}")
+    if not lines:
+        lines.append(f"digest {scenario} statistics agree — the drift is "
+                     f"in the event trace; diff the captured goldens "
+                     f"(tests/perf/goldens)")
+    overflow = len(lines) - DRIFT_DIFF_LIMIT
+    if overflow > 0:
+        lines = lines[:DRIFT_DIFF_LIMIT]
+        lines.append(f"digest {scenario}: ... and {overflow} more "
+                     f"differing summary fields")
+    return problems + lines
 
 
 def check_record(path: Path) -> list[str]:
@@ -138,6 +202,33 @@ def check_record(path: Path) -> list[str]:
                             f"captures: {fingerprints[0]!r} != "
                             f"{fingerprints[1]!r} (different spec, not a "
                             f"comparable trajectory)")
+            continue
+        shas = [entry.get("sha") for entry in entries]
+        if all(isinstance(sha, str) and len(sha) == 64 for sha in shas) \
+                and shas[0] != shas[1]:
+            problems.extend(_digest_drift_diff(scenario, *entries))
+
+    before_metrics = before.get("metrics") if isinstance(before, dict) else {}
+    current_metrics = (current.get("metrics")
+                       if isinstance(current, dict) else {})
+    if isinstance(before_metrics, dict) and isinstance(current_metrics, dict):
+        for scenario in sorted(set(before_metrics) & set(current_metrics)):
+            entries = (before_metrics[scenario], current_metrics[scenario])
+            if not all(isinstance(entry, dict) for entry in entries):
+                continue
+            old = entries[0].get("calibrated_cost")
+            new = entries[1].get("calibrated_cost")
+            if not isinstance(old, (int, float)):
+                continue
+            if not isinstance(new, (int, float)):
+                problems.append(f"metric {scenario} dropped calibrated_cost "
+                                f"from the current capture")
+            elif new > old * (1 + COST_REGRESSION_SLACK):
+                problems.append(
+                    f"calibrated_cost regressed for {scenario}: "
+                    f"{old:.1f} -> {new:.1f} "
+                    f"({new / old:.2f}x; current must stay <= before — a "
+                    f"perf trajectory may not give back its wins)")
     return problems
 
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Profile the scheduling macro benchmark with the SubsystemProfiler.
+
+"Profile ourselves before optimizing ourselves": this helper runs the
+same scheduling scenario the perf harness times
+(``benchmarks.perf.scenarios``), but under an attached
+:class:`~repro.observability.observer.Observer` with profiling on, and
+prints the per-subsystem attribution table — event counts, simulated
+time, and (non-deterministic) wall time per subsystem.  Future perf
+PRs start here: the table says which layer owns the wall clock before
+anyone touches code.
+
+The profiled run is *slower* than the benchmark run (profiling is the
+one observability feature with per-event overhead), so the numbers are
+for attribution, not for the BENCH record.  The unprofiled wall time
+is measured separately first and printed alongside for scale.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_macro.py              # smoke size
+    PYTHONPATH=src python tools/profile_macro.py --size full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf.scenarios import SIZES, scheduling_spec  # noqa: E402
+from repro.observability.observer import Observer  # noqa: E402
+from repro.reporting import render_profile  # noqa: E402
+
+
+def profile_scheduling(size: str) -> str:
+    """Run the scheduling macro scenario profiled; return the table."""
+    params = SIZES[size]
+    n_tasks = params["sched_tasks"]
+    n_machines = params["sched_machines"]
+
+    # Pass 1 — unprofiled, for the headline number the BENCH record
+    # tracks.
+    runtime = scheduling_spec(n_tasks, n_machines).build()
+    start = time.perf_counter()
+    runtime.sim.run()
+    plain_elapsed = time.perf_counter() - start
+    events = runtime.sim.events_processed
+    runtime.finalize()
+
+    # Pass 2 — same spec, observer attached, profiler on.
+    observer = Observer(profiling=True)
+    runtime = scheduling_spec(n_tasks, n_machines).build(observer=observer)
+    start = time.perf_counter()
+    runtime.sim.run()
+    profiled_elapsed = time.perf_counter() - start
+    runtime.finalize()
+
+    assert observer.profiler is not None
+    lines = [
+        f"scheduling macro scenario, size={size!r}: "
+        f"{n_tasks} tasks / {n_machines} machines",
+        f"unprofiled: {plain_elapsed:.3f}s wall, {events} events "
+        f"({events / plain_elapsed:,.0f} events/sec)",
+        f"profiled:   {profiled_elapsed:.3f}s wall "
+        "(profiling overhead included — attribution only)",
+        "",
+        render_profile(observer.profiler.report(),
+                       wall=observer.profiler.wall_report(),
+                       title="Per-subsystem attribution"),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", choices=sorted(SIZES),
+                        default="smoke",
+                        help="scenario size from benchmarks.perf.scenarios")
+    args = parser.parse_args(argv)
+    print(profile_scheduling(args.size))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
