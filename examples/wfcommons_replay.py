@@ -1,0 +1,66 @@
+"""WfCommons replay (C7, C16): published workflow instances as specs.
+
+Loads the LIGO-shaped WfFormat instance from the spec gallery
+(``examples/specs/ligo_small.wfformat.json``), compiles it into a
+:class:`~repro.scenario.ScenarioSpec`, and replays it twice — once
+under data-blind ``first-fit`` placement and once under the
+``data-local`` policy that prefers machines already holding a task's
+input files.  The instance's trigbank stage re-reads the *partner*
+detector's frame segment (a crossed coincidence check), so a
+data-blind scheduler keeps shipping 250 MB frame files between
+machines while the data-aware one routes each task to the machine
+that already holds its inputs.  Both configurations stay on the
+bit-identical determinism contract: each reproduces its own digest
+exactly across runs.
+
+Any gallery instance replays from the command line through its
+compiled spec (see ``examples/specs/*_scenario.json``)::
+
+    python -m repro run examples/specs/ligo_small_scenario.json
+
+Run with:  python examples/wfcommons_replay.py
+"""
+
+from pathlib import Path
+
+from repro.reporting import render_table
+from repro.workload import load_wfformat, scenario_from_wfformat
+
+GALLERY = Path(__file__).parent / "specs"
+
+
+def replay(document: dict, placement: str):
+    """Run the instance under one placement policy; return the result."""
+    spec = scenario_from_wfformat(document, machines=2, cores=2,
+                                  link_bandwidth=1.0e8,
+                                  placement=placement)
+    return spec.run()
+
+
+def main() -> None:
+    """Replay the LIGO instance data-blind and data-aware."""
+    document = load_wfformat(GALLERY / "ligo_small.wfformat.json")
+    rows = []
+    for placement in ("first-fit", "data-local"):
+        result = replay(document, placement)
+        view = result.datacenter
+        rows.append((placement,
+                     f"{result.makespan:.1f}",
+                     f"{view['data_transfer_seconds']:.2f}",
+                     f"{view['data_transfer_bytes'] / 1e6:.0f}",
+                     f"{view['data_local_bytes'] / 1e6:.0f}",
+                     result.digest()[:12]))
+        again = replay(document, placement)
+        assert again.digest() == result.digest(), "determinism violated"
+    print(render_table(
+        ("placement", "makespan", "transfer s", "moved MB", "local MB",
+         "digest"),
+        rows,
+        title="LIGO-small replay: data-blind vs data-aware placement"))
+    blind, aware = (float(r[2]) for r in rows)
+    print(f"\ndata-local cut input staging from {blind:.2f}s to "
+          f"{aware:.2f}s ({blind - aware:.2f}s saved).")
+
+
+if __name__ == "__main__":
+    main()

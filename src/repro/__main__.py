@@ -54,6 +54,7 @@ from .evolution import TechnologyTimeline
 from .faas import FaaSReferenceArchitecture
 from .gaming import GamingArchitecture
 from .reporting import render_table
+from .workload.wfformat import WfFormatError
 
 __all__ = ["main"]
 
@@ -443,6 +444,11 @@ def main(argv: list[str] | None = None) -> int:
         if name == "serve":
             return _serve(argv[1:])
     except SpecLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except WfFormatError as exc:
+        # Malformed WfFormat documents embedded in (or referenced by)
+        # a spec surface exactly like other spec errors.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if name == "all":

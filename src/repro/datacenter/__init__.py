@@ -9,6 +9,7 @@ multi-datacenter delegation (C10).
 from .capacity import CapacityIndex
 from .cluster import Cluster, Rack, heterogeneous_cluster, homogeneous_cluster
 from .datacenter import Datacenter
+from .datastore import DataStore
 from .federation import (
     Federation,
     OffloadDecision,
@@ -36,6 +37,7 @@ __all__ = [
     "homogeneous_cluster",
     "heterogeneous_cluster",
     "Datacenter",
+    "DataStore",
     "CapacityIndex",
     "Federation",
     "OffloadDecision",

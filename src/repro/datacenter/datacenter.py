@@ -16,6 +16,7 @@ from ..sim import Interrupt, Process, Simulator, TimeWeightedMonitor
 from ..workload.task import Task
 from .capacity import CapacityIndex
 from .cluster import Cluster
+from .datastore import DataStore
 from .machine import Machine
 
 __all__ = ["Datacenter"]
@@ -35,6 +36,10 @@ class Datacenter:
         #: Incremental capacity aggregates; schedulers use it to probe
         #: fitting machines without rescanning the topology.
         self.capacity = CapacityIndex(self.clusters)
+        #: File residency + transfer accounting for data-aware
+        #: scheduling; inert (no counters, no timing changes) for
+        #: workloads that declare no input/output files.
+        self.data = DataStore()
         self.used_cores = TimeWeightedMonitor(f"{name}.used_cores",
                                               start_time=sim.now)
         self.completed_tasks: list[Task] = []
@@ -100,13 +105,19 @@ class Datacenter:
         Capacity is claimed *synchronously* — by the time this method
         returns, the task holds its cores, so a scheduler's fit-check
         cannot be invalidated by a concurrent placement.  The process
-        holds the allocation for the machine-speed-adjusted runtime,
-        then releases it.  If interrupted (failure or preemption) the
-        task is marked failed and capacity released.  The returned
-        process event succeeds with the task on normal completion.
+        holds the allocation for the machine-speed-adjusted runtime
+        (plus any input stage-in time, see :class:`DataStore`), then
+        releases it.  If interrupted (failure or preemption) the task
+        is marked failed and capacity released.  The returned process
+        event succeeds with the task on normal completion.
         """
         machine.account_energy(self.sim.now)
         machine.allocate(task)
+        # Stage-in is synchronous too: the inputs become resident the
+        # instant placement commits, so later placements in the same
+        # scheduling epoch already see them for locality scoring.
+        transfer = (self.data.stage_in(task, machine)
+                    if task.input_files else 0.0)
         if self._epoch_depth:
             self._epoch_cores += task.cores
         else:
@@ -124,7 +135,8 @@ class Datacenter:
                 parent=observer.tracer.active(("task", task.task_id)),
                 attrs={"task": task.name, "machine": machine.name,
                        "cores": task.cores, "attempt": task.attempts})
-        process = self.sim.process(self._execute(task, machine, span),
+        process = self.sim.process(self._execute(task, machine, span,
+                                                 transfer),
                                    name=f"exec-{task.name}")
         self._running[task] = process
         return process
@@ -147,9 +159,15 @@ class Datacenter:
                 observer.metrics.gauge("datacenter.used_cores").set(
                     float(self.capacity.used_cores_total()))
 
-    def _execute(self, task: Task, machine: Machine, span=None):
+    def _execute(self, task: Task, machine: Machine, span=None,
+                 transfer: float = 0.0):
         remaining_before = task.remaining_work
         service = machine.effective_runtime(task)
+        if transfer:
+            # Input stage-in extends the service interval; the guard
+            # keeps file-less executions on the exact historical float
+            # path (service + 0.0 is an op, skipping it is not).
+            service += transfer
         started = self.sim.now
         try:
             yield self.sim.timeout(service)
@@ -187,6 +205,8 @@ class Datacenter:
         machine.release(task)
         self.used_cores.add(self.sim.now, -task.cores)
         task.finish(self.sim.now)
+        if task.output_files:
+            self.data.publish(task, machine.name)
         self.completed_tasks.append(task)
         self._running.pop(task, None)
         observer = self.sim.observer

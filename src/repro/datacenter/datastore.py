@@ -1,0 +1,133 @@
+"""Datacenter file residency and transfer accounting (data-aware C7).
+
+The SC18 reference architecture for datacenter scheduling makes data
+movement a first-class scheduling stage: where a task runs determines
+how many of its input bytes must cross the network first.  The
+:class:`DataStore` is the datacenter's view of that state — which
+files are resident on which machine — plus the deterministic transfer
+model the execution engine charges against.
+
+The model is deliberately simple and fully deterministic:
+
+- Every machine has a local disk cache; a shared backing store holds
+  every file ever declared (workflow inputs with no producer are
+  served from it on first access).
+- Staging in a task's inputs costs ``remote_bytes / link_bandwidth``
+  seconds on the destination machine's link
+  (:attr:`~repro.datacenter.machine.MachineSpec.link_bandwidth`);
+  bytes already resident cost nothing.
+- Once staged (or published by a finishing producer), files stay
+  resident — shared-disk semantics that survive machine failures, so a
+  retry on the same machine pays no second transfer.
+
+The store is inert for workloads that declare no files: no counters
+move and no execution path changes, which is what keeps every
+pre-existing scenario digest byte-identical.
+"""
+
+from __future__ import annotations
+
+from ..workload.task import Task
+from .machine import Machine
+
+__all__ = ["DataStore"]
+
+
+class DataStore:
+    """Tracks file residency per machine and accounts transfers."""
+
+    __slots__ = ("_resident", "transfer_seconds", "transfer_bytes",
+                 "local_bytes", "transfers", "stagings")
+
+    def __init__(self) -> None:
+        #: machine name -> set of resident file names.
+        self._resident: dict[str, set[str]] = {}
+        #: Total stage-in time charged, in seconds.
+        self.transfer_seconds = 0.0
+        #: Total bytes moved over machine links.
+        self.transfer_bytes = 0.0
+        #: Total input bytes served from the local cache (no transfer).
+        self.local_bytes = 0.0
+        #: Stage-ins that actually moved at least one byte.
+        self.transfers = 0
+        #: Stage-in operations performed (tasks with inputs executed).
+        self.stagings = 0
+
+    # ------------------------------------------------------------------
+    # Queries (used by placement policies)
+    # ------------------------------------------------------------------
+    def resident_files(self, machine_name: str) -> frozenset[str]:
+        """Files currently resident on ``machine_name``."""
+        return frozenset(self._resident.get(machine_name, ()))
+
+    def holds(self, machine_name: str, file_name: str) -> bool:
+        """Whether ``file_name`` is resident on ``machine_name``."""
+        resident = self._resident.get(machine_name)
+        return resident is not None and file_name in resident
+
+    def remote_bytes(self, task: Task, machine_name: str) -> float:
+        """Input bytes of ``task`` that are *not* resident on the machine.
+
+        This is the quantity a data-locality placement policy
+        minimizes; zero means every input is already local.
+        """
+        if not task.input_files:
+            return 0.0
+        resident = self._resident.get(machine_name)
+        if not resident:
+            return sum(task.input_files.values())
+        return sum(size for name, size in task.input_files.items()
+                   if name not in resident)
+
+    # ------------------------------------------------------------------
+    # Mutations (driven by the execution engine)
+    # ------------------------------------------------------------------
+    def stage_in(self, task: Task, machine: Machine) -> float:
+        """Stage the task's inputs onto ``machine``; return the delay.
+
+        Called synchronously at allocation time, so placements later in
+        the same scheduling epoch already see the inputs resident.
+        Returns the transfer time in seconds — remote bytes divided by
+        the machine's link bandwidth — and updates the counters.
+        """
+        if not task.input_files:
+            return 0.0
+        resident = self._resident.setdefault(machine.name, set())
+        moved = 0.0
+        local = 0.0
+        for name, size in task.input_files.items():
+            if name in resident:
+                local += size
+            else:
+                moved += size
+                resident.add(name)
+        self.stagings += 1
+        self.local_bytes += local
+        if not moved:
+            return 0.0
+        self.transfers += 1
+        self.transfer_bytes += moved
+        delay = moved / machine.spec.link_bandwidth
+        self.transfer_seconds += delay
+        return delay
+
+    def publish(self, task: Task, machine_name: str) -> None:
+        """Register the task's outputs as resident on ``machine_name``.
+
+        Called when an execution finishes successfully; children placed
+        on the same machine then read those outputs locally.
+        """
+        if not task.output_files:
+            return
+        resident = self._resident.setdefault(machine_name, set())
+        resident.update(task.output_files)
+
+    def statistics(self) -> dict[str, float]:
+        """Flat numeric summary of the transfer accounting."""
+        return {
+            "transfer_seconds": self.transfer_seconds,
+            "transfer_bytes": self.transfer_bytes,
+            "local_bytes": self.local_bytes,
+            "transfers": float(self.transfers),
+            "stagings": float(self.stagings),
+        }

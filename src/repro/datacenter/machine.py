@@ -48,6 +48,9 @@ class MachineSpec:
         idle_watts / max_watts: Endpoints of the linear power model
             ``P(u) = idle + (max - idle) * u`` at utilization ``u``.
         cost_per_hour: Price used by cost-aware policies (C3).
+        link_bandwidth: Network link speed in bytes/second, used to
+            convert remote input bytes into stage-in transfer time
+            (data-aware scheduling).  Default is 10 Gbit/s.
     """
 
     cores: int = 8
@@ -57,6 +60,7 @@ class MachineSpec:
     idle_watts: float = 100.0
     max_watts: float = 250.0
     cost_per_hour: float = 1.0
+    link_bandwidth: float = 1.25e9
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -67,6 +71,9 @@ class MachineSpec:
             raise ValueError(f"speed must be positive, got {self.speed}")
         if self.idle_watts < 0 or self.max_watts < self.idle_watts:
             raise ValueError("need 0 <= idle_watts <= max_watts")
+        if self.link_bandwidth <= 0:
+            raise ValueError(
+                f"link_bandwidth must be positive, got {self.link_bandwidth}")
 
 
 class Machine:

@@ -163,6 +163,13 @@ def compile_result(runtime: Any) -> ScenarioResult:
         "wasted_core_seconds": datacenter.wasted_core_seconds,
         "preserved_core_seconds": datacenter.preserved_core_seconds,
     }
+    if any(t.input_files or t.output_files for t in tasks):
+        # Data-transfer accounting appears only for data-aware
+        # workloads, keeping every pre-existing result digest intact.
+        data = datacenter.data
+        datacenter_view["data_transfer_seconds"] = data.transfer_seconds
+        datacenter_view["data_transfer_bytes"] = data.transfer_bytes
+        datacenter_view["data_local_bytes"] = data.local_bytes
     chaos = None
     if runtime.injector is not None or runtime.planner is not None:
         report = runtime.chaos_report()

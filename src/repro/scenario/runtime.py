@@ -31,9 +31,11 @@ from ..observability.streaming import StreamingPipeline
 from ..scheduling.policies import PLACEMENT_POLICIES, QUEUE_POLICIES
 from ..scheduling.portfolio import PortfolioScheduler
 from ..scheduling.scheduler import ClusterScheduler
+from ..scheduling.workflow_engine import WorkflowEngine
 from ..selfaware.anomaly import RecoveryPlanner
 from ..sim import RandomStreams, Simulator
 from ..workload.task import Job, Task
+from ..workload.workflow import Workflow
 from .result import ScenarioResult, compile_result
 from .spec import ScenarioSpec
 
@@ -65,6 +67,7 @@ class ScenarioRuntime:
         self.portfolio: PortfolioScheduler | None = None
         self.controller: AutoscalingController | None = None
         self.planner: RecoveryPlanner | None = None
+        self.workflow_engine: WorkflowEngine | None = None
         self.retry_policy: Any = None
         self.items: list = []
         self.tasks: list[Task] = []
@@ -298,6 +301,12 @@ def compose(*, seed: int,
         raise ValueError("the workload produced no tasks")
     runtime.items = items
     runtime.tasks = _flatten(items)
+    if any(isinstance(item, Workflow) for item in items):
+        # DAG workloads need an execution engine that releases tasks
+        # as dependencies finish; plain job/task workloads keep the
+        # historical path (no engine, no extra completion callback).
+        runtime.workflow_engine = WorkflowEngine(
+            sim, scheduler, retry_policy=retry_policy, streams=streams)
     if checkpoint_policy is not None:
         checkpoint_policy.apply(runtime.tasks)
     if failures is not None:
@@ -307,7 +316,9 @@ def compose(*, seed: int,
         runtime.injector = FailureInjector(sim, datacenter, runtime.events,
                                            streams=streams,
                                            jitter=injection_jitter)
-    sim.process(_arrivals(sim, scheduler, items), name="arrivals")
+    sim.process(_arrivals(sim, scheduler, items,
+                          engine=runtime.workflow_engine),
+                name="arrivals")
     return runtime
 
 
@@ -378,13 +389,20 @@ def _flatten(items: Sequence) -> list[Task]:
 
 
 def _arrivals(sim: Simulator, scheduler: ClusterScheduler,
-              items: Sequence):
-    """The unified arrival process: submit in (submit_time, name) order."""
+              items: Sequence, engine: WorkflowEngine | None = None):
+    """The unified arrival process: submit in (submit_time, name) order.
+
+    Workflows route through the :class:`WorkflowEngine` (dependency
+    release + bounded retries) when one was armed; plain jobs and tasks
+    go straight to the scheduler, as always.
+    """
     for item in sorted(items, key=lambda t: (t.submit_time, t.name)):
         delay = item.submit_time - sim.now
         if delay > 0:
             yield sim.timeout(delay)
-        if isinstance(item, Job):
+        if engine is not None and isinstance(item, Workflow):
+            engine.submit(item)
+        elif isinstance(item, Job):
             scheduler.submit_job(item)
         else:
             scheduler.submit(item)

@@ -99,6 +99,11 @@ class ClusterScheduler:
         self.datacenter = datacenter
         self.queue_policy = queue_policy or FCFS()
         self.placement_policy = placement_policy or FirstFit()
+        # Duck-typed binding hook: data-aware policies need the
+        # datacenter's file-residency store to score locality.
+        binder = getattr(self.placement_policy, "bind_datacenter", None)
+        if binder is not None:
+            binder(datacenter)
         self.backfilling = backfilling
         self.strict_head = strict_head
         self.admission = admission

@@ -109,7 +109,12 @@ class WorkflowEngine:
                    if observer is not None else None)
         for task in workflow:
             if (task in self._pending and task.state is TaskState.PENDING
-                    and task.is_eligible):
+                    and task.is_eligible
+                    and task not in self.scheduler.queue):
+                # The queue check covers tasks an external recovery
+                # component (e.g. a RecoveryPlanner sharing the
+                # scheduler) already reset and re-queued as PENDING —
+                # submitting again would double-allocate the task.
                 task.state = TaskState.ELIGIBLE
                 self.scheduler.submit(task)
                 if wf_span is not None:
@@ -127,6 +132,11 @@ class WorkflowEngine:
             return
         if task.state is TaskState.FAILED:
             self._retry_or_abandon(task, workflow)
+            return
+        if task.state is not TaskState.FINISHED:
+            # An earlier completion callback (a recovery planner runs
+            # before this engine in composition order) already reset
+            # the task for its own retry; keep tracking it.
             return
         self._pending.pop(task, None)
         self._sessions.pop(task, None)

@@ -26,11 +26,19 @@ from .task import BagOfTasks, Job, Task, TaskState
 from .trace import (
     GWF_FIELDS,
     GWFRecord,
+    downsample_records,
     jobs_to_records,
     read_gwf,
     records_to_jobs,
+    rescale_records,
     trace_statistics,
     write_gwf,
+)
+from .wfformat import (
+    WfFormatError,
+    load_wfformat,
+    scenario_from_wfformat,
+    wfformat_workflow,
 )
 from .workflow import (
     Workflow,
@@ -72,6 +80,12 @@ __all__ = [
     "records_to_jobs",
     "jobs_to_records",
     "trace_statistics",
+    "downsample_records",
+    "rescale_records",
+    "WfFormatError",
+    "load_wfformat",
+    "wfformat_workflow",
+    "scenario_from_wfformat",
     "ProvenanceChain",
     "ProvenanceEntry",
     "record_workflow_run",

@@ -49,6 +49,11 @@ class Task:
         checkpoint_interval: Work between checkpoints, in task-runtime
             seconds; ``None`` disables checkpointing.
         checkpoint_overhead: Extra service time per checkpoint written.
+        input_files: Files the task reads, as ``{name: size_in_bytes}``.
+            Inputs not resident on the placement machine are staged in
+            over its link before execution (data-aware scheduling, C7).
+        output_files: Files the task writes, as ``{name: size_in_bytes}``;
+            published to the executing machine's data store on success.
     """
 
     runtime: float
@@ -62,6 +67,8 @@ class Task:
     checkpoint_interval: Optional[float] = None
     checkpoint_overhead: float = 0.0
     dependencies: list["Task"] = field(default_factory=list)
+    input_files: dict[str, float] = field(default_factory=dict)
+    output_files: dict[str, float] = field(default_factory=dict)
     task_id: int = field(default_factory=lambda: next(_task_ids))
 
     state: TaskState = TaskState.PENDING
@@ -90,8 +97,24 @@ class Task:
         if self.checkpoint_overhead < 0:
             raise ValueError(
                 f"checkpoint_overhead must be non-negative, got {self.checkpoint_overhead}")
+        if self.input_files or self.output_files:
+            for file_name, size in (*self.input_files.items(),
+                                    *self.output_files.items()):
+                if size < 0:
+                    raise ValueError(
+                        f"file {file_name!r} has negative size {size}")
         if not self.name:
             self.name = f"task-{self.task_id}"
+
+    @property
+    def input_bytes(self) -> float:
+        """Total bytes of declared input files."""
+        return sum(self.input_files.values())
+
+    @property
+    def output_bytes(self) -> float:
+        """Total bytes of declared output files."""
+        return sum(self.output_files.values())
 
     # ------------------------------------------------------------------
     # Dependency handling
@@ -199,7 +222,9 @@ class Task:
                      name=f"{self.name}~hedge", kind=self.kind,
                      deadline=self.deadline, priority=self.priority,
                      checkpoint_interval=self.checkpoint_interval,
-                     checkpoint_overhead=self.checkpoint_overhead)
+                     checkpoint_overhead=self.checkpoint_overhead,
+                     input_files=dict(self.input_files),
+                     output_files=dict(self.output_files))
         clone.checkpointed_work = self.checkpointed_work
         clone.speculative = True
         return clone

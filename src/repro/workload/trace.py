@@ -12,14 +12,15 @@ the summary statistics used to characterize traces ([107], [39]).
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Sequence, TextIO
 
 from .task import BagOfTasks, Job, Task
 
 __all__ = ["GWFRecord", "GWF_FIELDS", "read_gwf", "write_gwf",
-           "records_to_jobs", "jobs_to_records", "trace_statistics"]
+           "records_to_jobs", "jobs_to_records", "trace_statistics",
+           "downsample_records", "rescale_records"]
 
 #: Field order of the supported GWF subset (names follow the archive docs).
 GWF_FIELDS: tuple[str, ...] = (
@@ -191,3 +192,58 @@ def trace_statistics(records: Sequence[GWFRecord]) -> dict[str, float]:
             1 for r in records if r.job_structure == "BOT") / n,
         "dominant_user_share": dominant_share,
     }
+
+
+# ---------------------------------------------------------------------------
+# Trace shaping: downsampling and time scaling (C16 replay controls)
+# ---------------------------------------------------------------------------
+def downsample_records(records: Sequence[GWFRecord], fraction: float,
+                       rng) -> list[GWFRecord]:
+    """A seeded random sample of ``fraction`` of the trace, in order.
+
+    Sampling is without replacement via ``rng.sample`` over the record
+    indices, then sorted back to the original order — so the same
+    ``rng`` state and fraction always select the same jobs, and the
+    result is still a valid (submit-ordered, if the input was) trace.
+    At least one record is always kept.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(
+            f"fraction must be in (0, 1], got {fraction}")
+    if not records:
+        return []
+    k = max(1, round(len(records) * fraction))
+    chosen = sorted(rng.sample(range(len(records)), k))
+    return [records[i] for i in chosen]
+
+
+def rescale_records(records: Sequence[GWFRecord], *,
+                    time_scale: float = 1.0,
+                    runtime_scale: float = 1.0,
+                    align: bool = False) -> list[GWFRecord]:
+    """Records with the time axis rescaled (trace replay speed control).
+
+    ``time_scale`` multiplies submit times (and recorded wait times,
+    where present) — compressing a week-long trace into a short run;
+    ``runtime_scale`` independently multiplies runtimes.  ``align``
+    first shifts submit times so the earliest becomes zero.  Missing
+    markers (negative wait times) are preserved untouched.
+    """
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be positive, got {time_scale}")
+    if runtime_scale <= 0:
+        raise ValueError(
+            f"runtime_scale must be positive, got {runtime_scale}")
+    if not records:
+        return []
+    base = min(r.submit_time for r in records) if align else 0.0
+    rescaled = []
+    for record in records:
+        rescaled.append(replace(
+            record,
+            submit_time=(record.submit_time - base) * time_scale,
+            wait_time=(record.wait_time * time_scale
+                       if record.wait_time >= 0 else record.wait_time),
+            run_time=record.run_time * runtime_scale,
+        ))
+    return rescaled

@@ -184,3 +184,45 @@ def test_help_mentions_serve():
     code, out, _ = run_cli("--help")
     assert code == 0
     assert "serve" in out
+
+
+def test_run_malformed_wfformat_document_is_friendly(tmp_path):
+    # A spec whose embedded WfFormat document has a dependency cycle:
+    # the importer's typed error must surface as `error: ...` naming
+    # the offending task id, exit 2, no traceback.
+    spec = {
+        "schema": "scenario-spec/v1",
+        "name": "bad-wf",
+        "topology": {"clusters": [{"name": "c", "machines": 2}]},
+        "workload": {"kind": "wfformat", "params": {"document": {
+            "workflow": {"specification": {"tasks": [
+                {"id": "x", "parents": ["y"]},
+                {"id": "y", "parents": ["x"]},
+            ], "files": []}}}}},
+    }
+    bad = tmp_path / "bad_wf.json"
+    bad.write_text(json.dumps(spec), encoding="utf-8")
+    code, _, err = run_cli("run", str(bad))
+    assert code == 2
+    assert err.startswith("error:")
+    assert "'x'" in err and "cyclic" in err
+    assert "Traceback" not in err
+
+
+def test_run_wfformat_negative_file_size_is_friendly(tmp_path):
+    spec = {
+        "schema": "scenario-spec/v1",
+        "name": "bad-wf-size",
+        "topology": {"clusters": [{"name": "c", "machines": 2}]},
+        "workload": {"kind": "wfformat", "params": {"document": {
+            "workflow": {"specification": {
+                "tasks": [{"id": "t", "inputFiles": ["f"]}],
+                "files": [{"id": "f", "sizeInBytes": -5}],
+            }}}}},
+    }
+    bad = tmp_path / "bad_size.json"
+    bad.write_text(json.dumps(spec), encoding="utf-8")
+    code, _, err = run_cli("run", str(bad))
+    assert code == 2
+    assert "negative" in err and "'f'" in err
+    assert "Traceback" not in err

@@ -1,0 +1,108 @@
+"""GWF trace shaping: seeded downsampling, time scaling, determinism."""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import (
+    ClusterSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.workload import (
+    GWFRecord,
+    downsample_records,
+    read_gwf,
+    rescale_records,
+)
+
+TRACE = Path(__file__).resolve().parents[2] / "data" / "sample_grid_trace.gwf"
+
+
+def records(n=20):
+    return [GWFRecord(job_id=i, submit_time=10.0 + i, wait_time=float(i % 3),
+                      run_time=100.0 + i, n_procs=1 + i % 4)
+            for i in range(n)]
+
+
+class TestDownsample:
+    def test_same_seed_selects_the_same_jobs_in_order(self):
+        trace = records()
+        a = downsample_records(trace, 0.4, random.Random(7))
+        b = downsample_records(trace, 0.4, random.Random(7))
+        assert a == b
+        assert len(a) == 8
+        # Original order is preserved (still a valid submit-ordered trace).
+        assert [r.job_id for r in a] == sorted(r.job_id for r in a)
+
+    def test_different_seeds_differ_and_fraction_one_keeps_all(self):
+        trace = records()
+        a = downsample_records(trace, 0.4, random.Random(7))
+        b = downsample_records(trace, 0.4, random.Random(8))
+        assert a != b
+        assert downsample_records(trace, 1.0, random.Random(0)) == trace
+
+    def test_at_least_one_record_survives(self):
+        assert len(downsample_records(records(), 0.001,
+                                      random.Random(0))) == 1
+
+    def test_fraction_bounds(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                downsample_records(records(), bad, random.Random(0))
+
+
+class TestRescale:
+    def test_scales_submit_wait_and_runtime_independently(self):
+        trace = records(3)
+        scaled = rescale_records(trace, time_scale=0.5, runtime_scale=0.1)
+        assert scaled[1].submit_time == pytest.approx(5.5)
+        assert scaled[1].wait_time == pytest.approx(0.5)
+        assert scaled[1].run_time == pytest.approx(10.1)
+        # Non-time fields pass through untouched.
+        assert scaled[1].job_id == 1 and scaled[1].n_procs == 2
+
+    def test_align_shifts_the_earliest_submit_to_zero(self):
+        aligned = rescale_records(records(3), align=True)
+        assert aligned[0].submit_time == 0.0
+        assert aligned[2].submit_time == pytest.approx(2.0)
+
+    def test_missing_wait_markers_are_preserved(self):
+        trace = [GWFRecord(job_id=1, submit_time=5.0, wait_time=-1,
+                           run_time=10.0, n_procs=1)]
+        assert rescale_records(trace, time_scale=0.5)[0].wait_time == -1
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError, match="time_scale"):
+            rescale_records(records(), time_scale=0.0)
+        with pytest.raises(ValueError, match="runtime_scale"):
+            rescale_records(records(), runtime_scale=-1.0)
+
+
+class TestGwfTraceKind:
+    """The declarative `gwf-trace` workload over the bundled trace."""
+
+    def spec(self, seed=11):
+        return ScenarioSpec(
+            name="gwf-replay",
+            seed=seed,
+            topology=TopologySpec(clusters=(
+                ClusterSpec("site", 8, cores=4),)),
+            workload=WorkloadSpec("gwf-trace", {
+                "path": str(TRACE), "fraction": 0.2,
+                "time_scale": 0.01, "runtime_scale": 0.01,
+                "align": True, "limit": 40}))
+
+    def test_round_trip_digest_is_byte_identical(self):
+        first = self.spec().run()
+        again = ScenarioSpec.from_json(self.spec().to_json()).run()
+        assert first.digest() == again.digest()
+        assert first.tasks_finished > 0
+
+    def test_downsampling_draws_from_the_named_substream(self):
+        # A different root seed selects a different sample, so the
+        # digests must diverge — the sample is seed-pinned, not fixed.
+        assert self.spec(seed=11).run().digest() != \
+            self.spec(seed=12).run().digest()

@@ -1,0 +1,155 @@
+"""WfFormat importer: mapping fidelity, determinism, and typed errors."""
+
+import json
+
+import pytest
+
+from repro.workload import (
+    WfFormatError,
+    Workflow,
+    load_wfformat,
+    scenario_from_wfformat,
+    wfformat_workflow,
+)
+
+
+def doc(tasks, files=(), name="test-wf", execution=()):
+    """Assemble a minimal WfFormat v1.5 document."""
+    return {
+        "name": name,
+        "schemaVersion": "1.5",
+        "workflow": {
+            "specification": {
+                "tasks": list(tasks),
+                "files": [{"id": fid, "sizeInBytes": size}
+                          for fid, size in files],
+            },
+            "execution": {"tasks": list(execution)},
+        },
+    }
+
+
+def diamond():
+    """a -> (b, c) -> d with a shared file fanned out from a."""
+    return doc(
+        tasks=[
+            {"id": "a", "name": "gen", "parents": [],
+             "inputFiles": [], "outputFiles": ["shared"]},
+            {"id": "b", "name": "left", "parents": ["a"],
+             "inputFiles": ["shared"], "outputFiles": ["left.out"]},
+            {"id": "c", "name": "right", "parents": ["a"],
+             "inputFiles": ["shared"], "outputFiles": ["right.out"]},
+            {"id": "d", "name": "join", "parents": ["b", "c"],
+             "inputFiles": ["left.out", "right.out"], "outputFiles": []},
+        ],
+        files=[("shared", 1e9), ("left.out", 5e8), ("right.out", 0.0)],
+        execution=[
+            {"id": "a", "runtimeInSeconds": 10.0, "coreCount": 1,
+             "memoryInBytes": 2 ** 31},
+            {"id": "b", "runtimeInSeconds": 20.0, "coreCount": 2},
+            {"id": "c", "runtimeInSeconds": 20.0, "coreCount": 2},
+            {"id": "d", "runtimeInSeconds": 5.0, "coreCount": 1},
+        ])
+
+
+class TestCompilation:
+    def test_diamond_maps_tasks_files_and_dependencies(self):
+        workflow = wfformat_workflow(diamond())
+        assert isinstance(workflow, Workflow)
+        workflow.validate()
+        by_name = {t.name: t for t in workflow.tasks}
+        assert set(by_name) == {"a", "b", "c", "d"}
+        assert by_name["a"].kind == "gen"
+        assert by_name["a"].memory == pytest.approx(2.0)  # bytes -> GiB
+        assert by_name["b"].cores == 2
+        # Shared file fans out to both branches with its declared size.
+        assert by_name["b"].input_files == {"shared": 1e9}
+        assert by_name["c"].input_files == {"shared": 1e9}
+        # Zero-size files are legal and preserved.
+        assert by_name["d"].input_files == {"left.out": 5e8,
+                                            "right.out": 0.0}
+        assert {d.name for d in by_name["d"].dependencies} == {"b", "c"}
+
+    def test_compilation_order_is_deterministic(self):
+        names = [t.name for t in wfformat_workflow(diamond()).tasks]
+        assert names == ["a", "b", "c", "d"]
+        # Declaration order breaks ties even when parents come last.
+        reordered = diamond()
+        spec = reordered["workflow"]["specification"]
+        spec["tasks"] = list(reversed(spec["tasks"]))
+        assert [t.name for t in wfformat_workflow(reordered).tasks] == \
+            ["a", "c", "b", "d"]
+
+    def test_runtime_scale_and_defaults(self):
+        workflow = wfformat_workflow(diamond(), runtime_scale=0.1)
+        by_name = {t.name: t for t in workflow.tasks}
+        assert by_name["b"].runtime == pytest.approx(2.0)
+        # Tasks without execution data fall back to the defaults.
+        bare = doc(tasks=[{"id": "solo"}])
+        task = wfformat_workflow(bare, default_runtime=7.0,
+                                 default_cores=3).tasks[0]
+        assert task.runtime == 7.0 and task.cores == 3
+        assert task.kind == "wfformat"
+
+    def test_load_from_json_text_and_path(self, tmp_path):
+        document = diamond()
+        assert load_wfformat(document) is document
+        text = json.dumps(document)
+        assert load_wfformat(text)["name"] == "test-wf"
+        path = tmp_path / "wf.json"
+        path.write_text(text)
+        assert len(wfformat_workflow(path)) == 4
+
+    def test_scenario_wrapper_is_self_contained_and_runnable(self):
+        spec = scenario_from_wfformat(diamond(), machines=2, cores=2)
+        assert spec.scheduler.placement == "data-local"
+        rehydrated = spec.from_json(spec.to_json())
+        result = rehydrated.run()
+        assert result.tasks_finished == 4
+        assert result.digest() == spec.run().digest()
+
+
+class TestErrors:
+    def test_unknown_parent_names_the_task(self):
+        bad = doc(tasks=[{"id": "x", "parents": ["ghost"]}])
+        with pytest.raises(WfFormatError, match="'ghost'") as err:
+            wfformat_workflow(bad)
+        assert err.value.task_id == "x"
+
+    def test_cycle_names_an_involved_task(self):
+        bad = doc(tasks=[{"id": "x", "parents": ["y"]},
+                         {"id": "y", "parents": ["x"]}])
+        with pytest.raises(WfFormatError, match="cyclic") as err:
+            wfformat_workflow(bad)
+        assert err.value.task_id == "x"
+
+    def test_negative_file_size_is_rejected(self):
+        bad = doc(tasks=[{"id": "x", "inputFiles": ["f"]}],
+                  files=[("f", -1.0)])
+        with pytest.raises(WfFormatError, match="negative"):
+            wfformat_workflow(bad)
+
+    def test_undeclared_file_reference_names_the_task(self):
+        bad = doc(tasks=[{"id": "x", "inputFiles": ["mystery"]}])
+        with pytest.raises(WfFormatError, match="'mystery'") as err:
+            wfformat_workflow(bad)
+        assert err.value.task_id == "x"
+
+    def test_duplicate_task_id_is_rejected(self):
+        bad = doc(tasks=[{"id": "x"}, {"id": "x"}])
+        with pytest.raises(WfFormatError, match="duplicate"):
+            wfformat_workflow(bad)
+
+    def test_missing_workflow_section_and_bad_json(self, tmp_path):
+        with pytest.raises(WfFormatError, match="workflow"):
+            load_wfformat({"name": "nope"})
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(WfFormatError, match="invalid WfFormat JSON"):
+            load_wfformat(broken)
+        with pytest.raises(WfFormatError, match="cannot read"):
+            load_wfformat(tmp_path / "absent.json")
+
+    def test_empty_task_list_is_rejected(self):
+        with pytest.raises(WfFormatError, match="no tasks"):
+            wfformat_workflow(doc(tasks=[]))
