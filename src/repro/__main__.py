@@ -18,7 +18,11 @@ burst mid-run — with the full observability stack armed, then prints
 the operator's view: the metrics table, the SLO verdicts, the alert
 log, and the workflow's critical path.  With ``--spec <file>`` it
 instead arms the observability stack on *any* declarative scenario
-spec and prints the same operator's view for it.
+spec and prints the same operator's view for it.  With ``--federated``
+it runs a seed grid across worker processes with per-worker Observer
+capture, prints the merged fleet view, and verifies the merge is
+byte-identical to a serial re-run (see docs/OBSERVABILITY.md,
+"Federation").
 
 ``run`` executes one scenario spec (a JSON document, see
 ``docs/SCENARIOS.md``) and prints its deterministic result summary,
@@ -254,6 +258,53 @@ def _observe_spec(path: str) -> str:
     return "\n\n".join(sections)
 
 
+def _observe_federated(argv: list[str]) -> int:
+    """``observe --federated [--spec F] [--workers N] [--seeds ..]``.
+
+    Runs a seed grid of the spec with federated observation — every
+    worker ships its telemetry snapshot across the pool seam — then
+    prints the merged fleet view and pins its determinism by re-running
+    the grid serially and comparing fleet digests.
+    """
+    from .observability.federation import fleet_digest
+    from .reporting import render_fleet_report
+    from .scenario import SweepRunner
+    options = {"--spec": "examples/specs/chaos_baseline.json",
+               "--workers": "2", "--seeds": "1,2,3,4"}
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument in options:
+            if index + 1 >= len(argv):
+                print(f"missing value for {argument}", file=sys.stderr)
+                return 2
+            options[argument] = argv[index + 1]
+            index += 2
+        else:
+            print("usage: python -m repro observe --federated "
+                  "[--spec <file>] [--workers N] [--seeds 1,2,3,4]",
+                  file=sys.stderr)
+            return 2
+    spec = _load_spec(options["--spec"])
+    seeds = _parse_axis(options["--seeds"], int)
+    workers = int(options["--workers"])
+    report = SweepRunner(spec, workers=workers,
+                         observe=True).sweep(seeds=seeds)
+    assert report.telemetry is not None
+    print(render_fleet_report(
+        report.telemetry,
+        title=f"Fleet telemetry for {spec.name!r} "
+              f"({workers} worker(s))"))
+    print(f"\n  report digest: {report.digest()}")
+    serial = SweepRunner(spec, workers=1, observe=True).sweep(seeds=seeds)
+    assert serial.telemetry is not None
+    if fleet_digest(serial.telemetry) != fleet_digest(report.telemetry):
+        print("  FAIL: serial fleet digest differs", file=sys.stderr)
+        return 1
+    print("  serial re-run fleet digest matches (byte-identical merge)")
+    return 0
+
+
 def _run_spec(argv: list[str]) -> int:
     """``run <spec.json> [--out result.json]``: one scenario run."""
     out = None
@@ -349,6 +400,8 @@ def _serve(argv: list[str]) -> int:
     pool down cleanly.  ``--inline`` swaps the warm process pool for
     the in-process executor (useful on machines where spawning
     processes is expensive; it is what the CI smoke job uses).
+    ``--observe`` turns on federated per-run telemetry capture so
+    ``/v1/metrics?format=openmetrics`` carries the fleet plane.
     """
     import signal
     import threading
@@ -358,11 +411,15 @@ def _serve(argv: list[str]) -> int:
     options = {"--host": "127.0.0.1", "--port": "8765", "--workers": "2",
                "--max-queue": "64", "--tenant-quota": "16"}
     inline = False
+    observe = False
     index = 0
     while index < len(argv):
         argument = argv[index]
         if argument == "--inline":
             inline = True
+            index += 1
+        elif argument == "--observe":
+            observe = True
             index += 1
         elif argument in options:
             if index + 1 >= len(argv):
@@ -373,12 +430,13 @@ def _serve(argv: list[str]) -> int:
         else:
             print("usage: python -m repro serve [--host H] [--port P] "
                   "[--workers N] [--max-queue N] [--tenant-quota N] "
-                  "[--inline]", file=sys.stderr)
+                  "[--inline] [--observe]", file=sys.stderr)
             return 2
     try:
         config = ServiceConfig(max_queue=int(options["--max-queue"]),
                                tenant_quota=int(options["--tenant-quota"]),
-                               workers=int(options["--workers"]))
+                               workers=int(options["--workers"]),
+                               observe=observe)
         port = int(options["--port"])
     except ValueError as exc:
         print(f"invalid serve option: {exc}", file=sys.stderr)
@@ -393,7 +451,9 @@ def _serve(argv: list[str]) -> int:
     print(f"repro service listening on {server.address} "
           f"({'inline' if inline else str(config.workers) + ' warm'} "
           f"worker(s), queue {config.max_queue}, quota "
-          f"{config.tenant_quota}/tenant)", flush=True)
+          f"{config.tenant_quota}/tenant"
+          f"{', federated observation on' if observe else ''})",
+          flush=True)
     stop.wait()
     print("shutting down...", flush=True)
     server.stop()
@@ -424,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  all")
         print("  observe [--spec <file>]")
+        print("  observe --federated [--spec <file>] [--workers N] "
+              "[--seeds 1,2,3,4]")
         print("  run <spec.json> [--out <file>]")
         print("  sweep <spec.json> [--seeds ..] [--policies ..] "
               "[--scale ..] [--workers N] [--verify-serial] [--out <file>]")
@@ -432,6 +494,9 @@ def main(argv: list[str] | None = None) -> int:
     name = argv[0]
     try:
         if name in ("observe", "--observe"):
+            if "--federated" in argv[1:]:
+                rest = [arg for arg in argv[1:] if arg != "--federated"]
+                return _observe_federated(rest)
             if len(argv) >= 3 and argv[1] == "--spec":
                 print(_observe_spec(argv[2]))
             else:

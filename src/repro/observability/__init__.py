@@ -33,6 +33,14 @@ from .export import (
     write_chrome_trace,
     write_trace_json,
 )
+from .federation import (
+    TelemetryMerge,
+    TelemetryMergeError,
+    TelemetrySnapshot,
+    fleet_digest,
+    merge_histogram_entries,
+    merge_snapshots,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -42,6 +50,7 @@ from .metrics import (
     quantile_from_counts,
 )
 from .observer import Observer
+from .openmetrics import openmetrics_name, render_openmetrics
 from .profiling import DEFAULT_RULES, SubsystemProfiler
 from .slo import (
     DEFAULT_BURN_RULES,
@@ -100,4 +109,12 @@ __all__ = [
     "subsystem_breakdown",
     "span_census",
     "census_diff",
+    "TelemetrySnapshot",
+    "TelemetryMerge",
+    "TelemetryMergeError",
+    "merge_snapshots",
+    "merge_histogram_entries",
+    "fleet_digest",
+    "openmetrics_name",
+    "render_openmetrics",
 ]

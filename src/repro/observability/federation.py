@@ -1,0 +1,349 @@
+"""Federated telemetry: per-run snapshots and the deterministic fleet merge.
+
+The AtLarge reference architecture puts a monitoring component beside
+every stage, and the paper's understanding-before-engineering thread
+(C2, P6) demands that the view *scale with the system*: once scenarios
+fan out across worker processes, in-process observability stops at the
+process boundary.  This module is the seam that carries it across:
+
+- a :class:`TelemetrySnapshot` is everything one observed run saw —
+  the metrics registry snapshot, the per-subsystem profile, and the
+  span census — stamped with a **causal run id** and fully
+  JSON-round-trippable, so a worker can ship it back beside the
+  :class:`~repro.scenario.result.ScenarioResult`;
+- :func:`merge_snapshots` (and the incremental :class:`TelemetryMerge`)
+  folds any number of per-run snapshots into one fleet view under
+  documented, deterministic rules (below);
+- the merged view is **byte-identical regardless of worker count or
+  completion order**: snapshots are sorted by run id before folding,
+  so the fleet view is a pure function of the *set* of runs.
+
+Merge rules (also documented in docs/OBSERVABILITY.md):
+
+========== ==========================================================
+Instrument Rule
+========== ==========================================================
+counter    values sum across runs
+gauge      last-writer-wins **in run-id order** (the lexicographically
+           greatest run id that reports the gauge); a gauge is a
+           level, not a flow, so summing would be a lie
+histogram  bucket-wise sum over *identical* bucket boundaries;
+           mismatched edges are a hard :class:`TelemetryMergeError`,
+           never a silent re-bucketing; count/sum add, min/max
+           combine, and p50/p95/p99 are recomputed from the merged
+           buckets — exactly what a single histogram fed the
+           concatenated observations would report
+profile    per-subsystem event counts and simulated time sum
+spans      censuses concatenate under their causal run ids (and an
+           overall census sums per span kind)
+========== ==========================================================
+
+Run ids are chosen by the capturing layer so that lexicographic order
+is causal order: the sweep runner uses ``point-<index 5 digits>``, the
+service uses ``<tenant>/<job id>`` (job ids carry a zero-padded
+sequence number).  Two snapshots in one merge must not share a run id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from .export import dumps_deterministic
+from .metrics import quantile_from_counts
+from .traceanalysis import span_census
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .observer import Observer
+
+__all__ = [
+    "TelemetryMergeError",
+    "TelemetrySnapshot",
+    "TelemetryMerge",
+    "merge_snapshots",
+    "merge_histogram_entries",
+    "fleet_digest",
+]
+
+SNAPSHOT_SCHEMA = "telemetry-snapshot/v1"
+FLEET_SCHEMA = "telemetry-fleet/v1"
+
+
+class TelemetryMergeError(ValueError):
+    """Two snapshots cannot be merged (mismatched edges, duplicate ids)."""
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One observed run's deterministic telemetry, as plain data.
+
+    Attributes:
+        run_id: Causal identifier of the run inside its fleet (see the
+            module docstring for the id schemes the built-in layers
+            use).  Lexicographic order over run ids is the merge's
+            run order.
+        fingerprint: The originating spec's fingerprint (empty when
+            the run was composed without a spec).
+        seed: The run's root seed.
+        metrics: The
+            :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`
+            dict (counters / gauges / histograms sections).
+        profile: The
+            :meth:`~repro.observability.profiling.SubsystemProfiler.report`
+            dict, or ``None`` when profiling was off.
+        spans: ``{"total": n, "census": {kind: count}}`` from the
+            tracer — the trace's table of contents, cheap enough to
+            ship across the pool seam (raw spans stay in-process).
+    """
+
+    run_id: str
+    fingerprint: str
+    seed: int
+    metrics: dict[str, Any]
+    profile: dict[str, Any] | None
+    spans: dict[str, Any]
+
+    @classmethod
+    def capture(cls, observer: "Observer", run_id: str,
+                fingerprint: str = "", seed: int = 0) -> "TelemetrySnapshot":
+        """Freeze ``observer``'s deterministic state under ``run_id``.
+
+        Only deterministic columns are captured: the profiler's wall
+        times are deliberately left behind (they would break the
+        byte-identity contract), exactly as
+        :meth:`~repro.observability.observer.Observer.snapshot` does.
+        """
+        return cls(
+            run_id=run_id,
+            fingerprint=fingerprint,
+            seed=seed,
+            metrics=observer.metrics.snapshot(),
+            profile=(observer.profiler.report()
+                     if observer.profiler is not None else None),
+            spans={"total": len(observer.tracer),
+                   "census": span_census(observer.tracer)},
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The snapshot as JSON-ready plain data."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "profile": self.profile,
+            "spans": self.spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySnapshot":
+        """Rehydrate a snapshot from :meth:`to_dict` output."""
+        schema = data.get("schema", SNAPSHOT_SCHEMA)
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(f"unsupported telemetry schema {schema!r}")
+        return cls(run_id=data["run_id"],
+                   fingerprint=data.get("fingerprint", ""),
+                   seed=data.get("seed", 0),
+                   metrics=dict(data["metrics"]),
+                   profile=data.get("profile"),
+                   spans=dict(data.get("spans", {"total": 0, "census": {}})))
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, no whitespace)."""
+        return dumps_deterministic(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "TelemetrySnapshot":
+        """Rehydrate a snapshot from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def merge_histogram_entries(name: str,
+                            entries: Sequence[Mapping[str, Any]]) -> dict:
+    """Fold histogram snapshot entries bucket-wise; hard-error on edges.
+
+    Every entry must carry the *identical* ``boundaries`` tuple —
+    fixed-bucket histograms are the whole reason merging is exact, and
+    silently re-bucketing mismatched edges would fabricate data.  The
+    merged entry's p50/p95/p99 come from
+    :func:`~repro.observability.metrics.quantile_from_counts` over the
+    summed buckets, which is precisely what one histogram fed the
+    concatenation of every run's observations would report.
+    """
+    if not entries:
+        raise TelemetryMergeError(f"histogram {name!r}: nothing to merge")
+    boundaries = list(entries[0]["boundaries"])
+    counts = [0] * (len(boundaries) + 1)
+    total = 0
+    value_sum = 0.0
+    minimum = float("inf")
+    maximum = float("-inf")
+    for entry in entries:
+        if list(entry["boundaries"]) != boundaries:
+            raise TelemetryMergeError(
+                f"histogram {name!r}: mismatched bucket boundaries "
+                f"{list(entry['boundaries'])} vs {boundaries}; refusing "
+                f"to re-bucket")
+        if len(entry["counts"]) != len(counts):
+            raise TelemetryMergeError(
+                f"histogram {name!r}: bucket count mismatch "
+                f"({len(entry['counts'])} vs {len(counts)})")
+        for index, bucket in enumerate(entry["counts"]):
+            counts[index] += bucket
+        total += entry["count"]
+        value_sum += entry["sum"]
+        if entry["count"]:
+            minimum = min(minimum, entry["min"])
+            maximum = max(maximum, entry["max"])
+    merged: dict[str, Any] = {
+        "boundaries": boundaries,
+        "counts": counts,
+        "count": total,
+        "sum": value_sum,
+    }
+    if total:
+        merged["min"] = minimum
+        merged["max"] = maximum
+        for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            merged[key] = quantile_from_counts(boundaries, counts, total,
+                                               q, maximum)
+    return merged
+
+
+def _as_dict(snapshot: "TelemetrySnapshot | Mapping[str, Any]") -> dict:
+    if isinstance(snapshot, TelemetrySnapshot):
+        return snapshot.to_dict()
+    return dict(snapshot)
+
+
+def merge_snapshots(snapshots: Iterable["TelemetrySnapshot | Mapping"],
+                    ) -> dict[str, Any]:
+    """Fold per-run snapshots into the deterministic fleet view.
+
+    Accepts :class:`TelemetrySnapshot` objects or their dict forms, in
+    *any* order — they are sorted by run id before folding, which is
+    what makes the merged bytes independent of worker count and
+    completion order.  Duplicate run ids are an error: the same run
+    merged twice would double-count every counter.
+
+    Returns the ``telemetry-fleet/v1`` dict: sorted ``runs``, merged
+    ``metrics`` (per the module-docstring rules), the summed
+    ``profile``, and ``spans`` with both the overall census and the
+    per-run censuses concatenated under their causal run ids.
+    """
+    ordered = sorted((_as_dict(snapshot) for snapshot in snapshots),
+                     key=lambda data: data["run_id"])
+    if not ordered:
+        raise TelemetryMergeError("no snapshots to merge")
+    run_ids = [data["run_id"] for data in ordered]
+    if len(set(run_ids)) != len(run_ids):
+        duplicates = sorted({rid for rid in run_ids
+                             if run_ids.count(rid) > 1})
+        raise TelemetryMergeError(
+            f"duplicate run ids {duplicates}; each run merges once")
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histogram_parts: dict[str, list[Mapping[str, Any]]] = {}
+    profile: dict[str, dict[str, float]] = {}
+    census_total: dict[str, int] = {}
+    census_by_run: dict[str, dict[str, int]] = {}
+    span_total = 0
+    for data in ordered:
+        metrics = data.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in metrics.get("gauges", {}).items():
+            # Run-order last-writer-wins: `ordered` is sorted by run
+            # id, so the final assignment is the greatest run id.
+            gauges[name] = value
+        for name, entry in metrics.get("histograms", {}).items():
+            histogram_parts.setdefault(name, []).append(entry)
+        for subsystem, bucket in (data.get("profile") or {}).items():
+            merged = profile.setdefault(subsystem,
+                                        {"events": 0.0, "sim_time": 0.0})
+            merged["events"] += bucket["events"]
+            merged["sim_time"] += bucket["sim_time"]
+        spans = data.get("spans") or {}
+        span_total += spans.get("total", 0)
+        census = dict(spans.get("census", {}))
+        census_by_run[data["run_id"]] = census
+        for kind, count in census.items():
+            census_total[kind] = census_total.get(kind, 0) + count
+    histograms = {name: merge_histogram_entries(name, parts)
+                  for name, parts in histogram_parts.items()}
+    return {
+        "schema": FLEET_SCHEMA,
+        "runs": run_ids,
+        "metrics": {
+            "counters": {name: counters[name] for name in sorted(counters)},
+            "gauges": {name: gauges[name] for name in sorted(gauges)},
+            "histograms": {name: histograms[name]
+                           for name in sorted(histograms)},
+        },
+        "profile": {name: profile[name] for name in sorted(profile)},
+        "spans": {
+            "total": span_total,
+            "census": {kind: census_total[kind]
+                       for kind in sorted(census_total)},
+            "by_run": {run_id: census_by_run[run_id]
+                       for run_id in run_ids},
+        },
+    }
+
+
+def fleet_digest(fleet: Mapping[str, Any]) -> str:
+    """SHA-256 over a fleet view's canonical JSON bytes."""
+    return hashlib.sha256(
+        dumps_deterministic(fleet).encode("utf-8")).hexdigest()
+
+
+class TelemetryMerge:
+    """Incremental fleet merge: add snapshots in any order, read once.
+
+    The accumulator form of :func:`merge_snapshots` for long-lived
+    consumers (the service keeps one per scrape window): snapshots
+    arrive as workers finish, :meth:`fleet` folds whatever has been
+    added so far.  Determinism is inherited — :meth:`fleet` sorts by
+    run id before folding, so two merges over the same set of runs are
+    byte-identical no matter the arrival order.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, dict[str, Any]] = {}
+
+    def add(self, snapshot: "TelemetrySnapshot | Mapping[str, Any]",
+            ) -> None:
+        """Register one run's snapshot (duplicate run ids rejected)."""
+        data = _as_dict(snapshot)
+        run_id = data["run_id"]
+        if run_id in self._snapshots:
+            raise TelemetryMergeError(
+                f"run id {run_id!r} already merged; each run merges once")
+        self._snapshots[run_id] = data
+
+    def add_json(self, text: str) -> None:
+        """Register a snapshot from its canonical JSON form.
+
+        The pool-seam convenience: workers ship telemetry as JSON
+        strings, and the merge ingests them without the caller
+        round-tripping through :class:`TelemetrySnapshot`.
+        """
+        self.add(TelemetrySnapshot.from_json(text))
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def run_ids(self) -> list[str]:
+        """Run ids added so far, in run (sorted) order."""
+        return sorted(self._snapshots)
+
+    def fleet(self) -> dict[str, Any]:
+        """The merged fleet view over every snapshot added so far."""
+        return merge_snapshots(self._snapshots.values())

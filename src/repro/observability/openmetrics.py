@@ -1,0 +1,152 @@
+"""Prometheus/OpenMetrics text exposition of metrics snapshots.
+
+The operator surface speaks the lingua franca: a
+:meth:`~repro.observability.metrics.MetricsRegistry.snapshot` (or a
+federated fleet view's ``metrics`` section) renders to the OpenMetrics
+text format, so ``GET /v1/metrics?format=openmetrics`` scrapes
+directly into Prometheus and friends.
+
+Name mapping (documented in docs/OBSERVABILITY.md): the repository's
+``subsystem.noun_unit`` instrument names become
+``repro_<subsystem>_<noun_unit>`` — dots to underscores under a fixed
+``repro_`` prefix — with the OpenMetrics ``_total`` suffix appended to
+counter samples.  Histograms expose the usual cumulative
+``_bucket{le="..."}`` series (upper-bound inclusive, matching the
+registry's Prometheus-style bucket semantics) plus ``_sum`` and
+``_count``.  Every exposition ends with ``# EOF``.
+
+Multiple planes (the service's own registry, the federated fleet
+merge) render into one exposition with a distinguishing label;
+samples group under a single ``# TYPE`` declaration per metric name,
+and one name claiming two different instrument kinds across planes is
+an error rather than an invalid document.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping, Sequence
+
+__all__ = ["openmetrics_name", "render_openmetrics"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Fixed prefix namespacing every exposed series.
+PREFIX = "repro_"
+
+
+def openmetrics_name(name: str) -> str:
+    """Map an instrument name to its exposed OpenMetrics name.
+
+    ``scheduler.wait_time`` → ``repro_scheduler_wait_time``.  Raises
+    ``ValueError`` for names that would not survive the exposition
+    grammar even after the dot mapping.
+    """
+    exposed = PREFIX + name.replace(".", "_").replace("-", "_")
+    if not _NAME_OK.match(exposed):
+        raise ValueError(f"metric name {name!r} cannot be exposed as "
+                         f"OpenMetrics ({exposed!r} is not a valid name)")
+    return exposed
+
+
+def _format_value(value: float) -> str:
+    """Deterministic sample-value formatting (integers stay integral)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _labelset(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    for key in labels:
+        if not _LABEL_OK.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    body = ",".join(
+        f'{key}="{_escape(labels[key])}"' for key in sorted(labels))
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _merge_label(labels: Mapping[str, str], extra: Mapping[str, str],
+                 ) -> dict[str, str]:
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def render_openmetrics(planes: Sequence[tuple[Mapping[str, str],
+                                              Mapping[str, Any]]]) -> str:
+    """Render metrics snapshots as one OpenMetrics text exposition.
+
+    Args:
+        planes: ``(labels, snapshot)`` pairs; ``snapshot`` is a
+            registry-snapshot dict (``counters`` / ``gauges`` /
+            ``histograms`` sections) and ``labels`` distinguish the
+            plane every one of its samples belongs to (e.g.
+            ``{"plane": "service"}`` vs ``{"plane": "fleet"}``).
+
+    Output is deterministic: metric families sort by exposed name,
+    and within a family the planes appear in their argument order.
+    Raises ``ValueError`` when one exposed name claims two different
+    instrument kinds across planes.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    for labels, snapshot in planes:
+        sections = (("counter", snapshot.get("counters", {})),
+                    ("gauge", snapshot.get("gauges", {})),
+                    ("histogram", snapshot.get("histograms", {})))
+        for kind, entries in sections:
+            for name, payload in entries.items():
+                exposed = openmetrics_name(name)
+                family = families.setdefault(
+                    exposed, {"kind": kind, "source": name, "samples": []})
+                if family["kind"] != kind:
+                    raise ValueError(
+                        f"metric {exposed!r} is a {family['kind']} in one "
+                        f"plane and a {kind} in another; rename one "
+                        f"instrument")
+                family["samples"].append((dict(labels), payload))
+    lines: list[str] = []
+    for exposed in sorted(families):
+        family = families[exposed]
+        kind = family["kind"]
+        lines.append(f"# HELP {exposed} repro instrument "
+                     f"{family['source']}")
+        lines.append(f"# TYPE {exposed} {kind}")
+        for labels, payload in family["samples"]:
+            if kind == "counter":
+                lines.append(f"{exposed}_total{_labelset(labels)} "
+                             f"{_format_value(payload)}")
+            elif kind == "gauge":
+                lines.append(f"{exposed}{_labelset(labels)} "
+                             f"{_format_value(payload)}")
+            else:
+                lines.extend(_histogram_lines(exposed, labels, payload))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(exposed: str, labels: Mapping[str, str],
+                     entry: Mapping[str, Any]) -> list[str]:
+    """The cumulative bucket / sum / count series of one histogram."""
+    lines: list[str] = []
+    cumulative = 0
+    for boundary, count in zip(entry["boundaries"], entry["counts"]):
+        cumulative += count
+        bucket_labels = _merge_label(labels, {"le": _format_value(boundary)})
+        lines.append(f"{exposed}_bucket{_labelset(bucket_labels)} "
+                     f"{cumulative}")
+    overflow_labels = _merge_label(labels, {"le": "+Inf"})
+    lines.append(f"{exposed}_bucket{_labelset(overflow_labels)} "
+                 f"{entry['count']}")
+    lines.append(f"{exposed}_sum{_labelset(labels)} "
+                 f"{_format_value(entry['sum'])}")
+    lines.append(f"{exposed}_count{_labelset(labels)} {entry['count']}")
+    return lines

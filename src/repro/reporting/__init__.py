@@ -3,6 +3,7 @@
 from .observability import (
     render_alerts,
     render_critical_path,
+    render_fleet_report,
     render_metrics,
     render_profile,
     render_slo_report,
@@ -22,6 +23,7 @@ __all__ = [
     "render_profile",
     "render_alerts",
     "render_critical_path",
+    "render_fleet_report",
     "render_slo_report",
     "OperationalSnapshot",
     "TransparencyReporter",

@@ -14,7 +14,8 @@ from __future__ import annotations
 from .tables import render_table
 
 __all__ = ["render_metrics", "render_profile", "render_alerts",
-           "render_critical_path", "render_slo_report"]
+           "render_critical_path", "render_fleet_report",
+           "render_slo_report"]
 
 
 def render_metrics(snapshot: dict, title: str = "Metrics") -> str:
@@ -133,6 +134,44 @@ def render_profile(report: dict, wall: dict | None = None,
     if not rows:
         rows.append(tuple(["(no events profiled)"] + ["-"] * (len(headers) - 1)))
     return render_table(headers, rows, title=title)
+
+
+def render_fleet_report(fleet: dict,
+                        title: str = "Fleet telemetry") -> str:
+    """Render a merged fleet view as the operator's stacked tables.
+
+    ``fleet`` is the ``telemetry-fleet/v1`` dict produced by
+    :func:`~repro.observability.federation.merge_snapshots` (or found
+    at :attr:`~repro.scenario.sweep.SweepReport.telemetry`): the run
+    roster, the merged metrics, the summed per-subsystem profile, and
+    the span census per causal run id.
+    """
+    from ..observability.federation import fleet_digest
+    runs = fleet.get("runs", [])
+    sections = [
+        f"{title}: {len(runs)} run(s), digest {fleet_digest(fleet)}",
+        "Runs: " + (", ".join(runs) if runs else "(none)"),
+        render_metrics(fleet.get("metrics", {}),
+                       title="Merged metrics (fleet)"),
+    ]
+    profile = fleet.get("profile", {})
+    if profile:
+        sections.append(render_profile(profile,
+                                       title="Merged subsystem profile"))
+    spans = fleet.get("spans", {})
+    rows = [(run_id, str(sum(census.values())),
+             ", ".join(f"{kind}={count}"
+                       for kind, count in sorted(census.items())) or "-")
+            for run_id, census in spans.get("by_run", {}).items()]
+    if rows:
+        rows.append(("(fleet total)", str(spans.get("total", 0)),
+                     ", ".join(f"{kind}={count}" for kind, count
+                               in sorted(spans.get("census", {}).items()))
+                     or "-"))
+        sections.append(render_table(
+            ["Run", "Spans", "Census"], rows,
+            title="Span census by causal run id"))
+    return "\n\n".join(sections)
 
 
 def _bucket_quantile(entry: dict, q: float) -> float:

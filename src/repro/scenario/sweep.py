@@ -42,11 +42,12 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..observability.export import dumps_deterministic
+from ..observability.federation import TelemetryMerge
 from .result import ScenarioResult
 from .spec import ScenarioSpec
 
 __all__ = ["SweepPoint", "SweepReport", "SweepRunner", "WorkerCrash",
-           "sweep"]
+           "run_spec_observed", "sweep"]
 
 
 class WorkerCrash(RuntimeError):
@@ -70,18 +71,53 @@ def _run_spec_payload(payload: tuple[int, str]) -> tuple[int, str]:
     return index, result.to_json()
 
 
-def _run_spec_guarded(payload: tuple[int, str, int, dict[int, int] | None],
-                      ) -> tuple[int, bool, str]:
+def run_spec_observed(spec_json: str, run_id: str) -> tuple[str, str]:
+    """Run a spec with a worker-armed Observer; ship telemetry beside it.
+
+    Returns ``(result JSON, telemetry JSON)`` where the telemetry is
+    the run's deterministic
+    :class:`~repro.observability.federation.TelemetrySnapshot` under
+    the causal ``run_id``.  The capture is **invisible in the result**:
+    unless the spec itself declared ``observer``/``slos`` (in which
+    case the result carries its profile exactly as a plain
+    ``spec.run()`` would), the observer is dropped before the result
+    is compiled, so the result bytes are identical to an unobserved
+    run — observation federates telemetry, it never perturbs digests.
+    """
+    from ..observability.federation import TelemetrySnapshot
+    from ..observability.observer import Observer
+
+    spec = ScenarioSpec.from_json(spec_json)
+    declared = spec.observer or spec.slos is not None
+    observer = Observer()
+    runtime = spec.build(observer=observer)
+    runtime.drive()
+    runtime.finalize()
+    if not declared:
+        runtime.observer = None
+    result = runtime.result()
+    observer.detach()
+    snapshot = TelemetrySnapshot.capture(observer, run_id=run_id,
+                                         fingerprint=spec.fingerprint(),
+                                         seed=spec.seed)
+    return result.to_json(), snapshot.to_json()
+
+
+def _run_spec_guarded(
+        payload: tuple[int, str, int, dict[int, int] | None, str | None],
+        ) -> tuple[int, bool, str, str | None]:
     """Fault-tolerant worker entry point: never raises for a bad spec run.
 
-    Returns ``(index, ok, result-or-error)``.  The optional crash plan
-    (``{index: failures_remaining}``) deterministically fails the first
-    ``n`` attempts of a point — the chaos hook the injected-crash
-    determinism tests and the service drill both use.  A plan entry of
-    ``-1`` hard-exits the process (a *real* worker crash, exercising
-    the broken-pool recovery path).
+    Returns ``(index, ok, result-or-error, telemetry-or-None)``.  The
+    optional crash plan (``{index: failures_remaining}``)
+    deterministically fails the first ``n`` attempts of a point — the
+    chaos hook the injected-crash determinism tests and the service
+    drill both use.  A plan entry of ``-1`` hard-exits the process (a
+    *real* worker crash, exercising the broken-pool recovery path).
+    The final payload element is the causal run id when the point runs
+    under federated observation (``None`` runs unobserved).
     """
-    index, spec_json, attempt, crash_plan = payload
+    index, spec_json, attempt, crash_plan, run_id = payload
     try:
         if crash_plan is not None:
             budget = crash_plan.get(index, 0)
@@ -92,12 +128,16 @@ def _run_spec_guarded(payload: tuple[int, str, int, dict[int, int] | None],
                 raise WorkerCrash(
                     f"injected worker crash (point {index}, "
                     f"attempt {attempt})")
+        if run_id is not None:
+            result_json, telemetry_json = run_spec_observed(spec_json,
+                                                            run_id)
+            return index, True, result_json, telemetry_json
         _, result_json = _run_spec_payload((index, spec_json))
-        return index, True, result_json
+        return index, True, result_json, None
     except SystemExit:  # pragma: no cover - re-raise hard exits
         raise
     except BaseException as exc:  # noqa: BLE001 - the gap record needs it
-        return index, False, f"{type(exc).__name__}: {exc}"
+        return index, False, f"{type(exc).__name__}: {exc}", None
 
 
 @dataclass(frozen=True)
@@ -133,6 +173,7 @@ class SweepReport:
     points: list[dict[str, Any]]
     runs: list[ScenarioResult]
     failed: list[dict[str, Any]] = field(default_factory=list)
+    telemetry: dict[str, Any] | None = None
     workers: int = 1  # execution detail; excluded from the serialized form
     elapsed_s: float = 0.0  # wall time; excluded from the serialized form
 
@@ -160,6 +201,8 @@ class SweepReport:
         }
         if self.failed:
             data["failed"] = self.failed
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
         return data
 
     @classmethod
@@ -172,7 +215,8 @@ class SweepReport:
                    points=list(data["points"]),
                    runs=[ScenarioResult.from_dict(r)
                          for r in data["runs"]],
-                   failed=list(data.get("failed", ())))
+                   failed=list(data.get("failed", ())),
+                   telemetry=data.get("telemetry"))
 
     def to_json(self) -> str:
         """Canonical JSON form (sorted keys, no whitespace)."""
@@ -259,11 +303,21 @@ class SweepRunner:
             determinism tests — retried points digest identically to a
             clean run because spec runs are pure functions of their
             JSON.
+        observe: Federated observation: every worker arms an
+            :class:`~repro.observability.observer.Observer` around its
+            point, ships the deterministic telemetry snapshot back
+            beside the result, and the runner folds all snapshots into
+            one fleet view at :attr:`SweepReport.telemetry`.  Causal
+            run ids are ``point-<index:05d>`` — lexicographic order is
+            grid order — so the merged view is byte-identical for any
+            worker count or completion order.  Result bytes stay
+            identical to an unobserved sweep.
     """
 
     def __init__(self, base: ScenarioSpec, workers: int = 1,
                  retries: int = 1, point_timeout: float | None = None,
-                 crash_plan: Mapping[int, int] | None = None) -> None:
+                 crash_plan: Mapping[int, int] | None = None,
+                 observe: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
@@ -275,6 +329,7 @@ class SweepRunner:
         self.retries = retries
         self.point_timeout = point_timeout
         self.crash_plan = dict(crash_plan) if crash_plan else None
+        self.observe = observe
 
     # ------------------------------------------------------------------
     # Grid construction
@@ -337,10 +392,13 @@ class SweepRunner:
         attempts = {point.index: 0 for point in points}
         errors: dict[int, str] = {}
         outcomes: list[tuple[int, str]] = []
+        telemetry: dict[int, str] = {}
         pending = [point.index for point in points]
         while pending:
             wave = [(index, spec_json[index], attempts[index],
-                     self.crash_plan) for index in pending]
+                     self.crash_plan,
+                     f"point-{index:05d}" if self.observe else None)
+                    for index in pending]
             for index in pending:
                 attempts[index] += 1
             if self.workers == 1:
@@ -348,10 +406,12 @@ class SweepRunner:
             else:
                 settled = self._run_wave_parallel(wave)
             retry: list[int] = []
-            for index, ok, payload in settled:
+            for index, ok, payload, telemetry_json in settled:
                 if ok:
                     outcomes.append((index, payload))
                     errors.pop(index, None)
+                    if telemetry_json is not None:
+                        telemetry[index] = telemetry_json
                 else:
                     errors[index] = payload
                     if attempts[index] <= self.retries:
@@ -364,12 +424,18 @@ class SweepRunner:
                      "error": errors[point.index],
                      "attempts": attempts[point.index]}
                     for point in points if point.index in errors]
-        return SweepReport.assemble(self.base, points, outcomes,
-                                    workers=self.workers,
-                                    failures=failures)
+        report = SweepReport.assemble(self.base, points, outcomes,
+                                      workers=self.workers,
+                                      failures=failures)
+        if self.observe:
+            merge = TelemetryMerge()
+            for index in sorted(telemetry):
+                merge.add_json(telemetry[index])
+            report.telemetry = merge.fleet()
+        return report
 
     def _run_wave_parallel(self, wave: list[tuple]) -> \
-            list[tuple[int, bool, str]]:
+            list[tuple[int, bool, str, str | None]]:
         """One wave of points on a fresh process pool, crash-tolerant.
 
         A worker that raises returns its error through the guarded
@@ -378,7 +444,7 @@ class SweepRunner:
         failed and the pool is rebuilt by the next wave.  A hung worker
         is detected by ``point_timeout`` and treated the same way.
         """
-        settled: list[tuple[int, bool, str]] = []
+        settled: list[tuple[int, bool, str, str | None]] = []
         pool = ProcessPoolExecutor(max_workers=self.workers)
         try:
             futures = {pool.submit(_run_spec_guarded, payload): payload[0]
@@ -392,7 +458,7 @@ class SweepRunner:
                         future.cancel()
                         settled.append((futures[future], False,
                                         "TimeoutError: worker hung past "
-                                        "point_timeout"))
+                                        "point_timeout", None))
                     for process in pool._processes.values():
                         process.terminate()
                     remaining = set()
@@ -405,18 +471,19 @@ class SweepRunner:
                     except BrokenProcessPool:
                         settled.append((futures[future], False,
                                         "BrokenProcessPool: a worker "
-                                        "process died mid-point"))
+                                        "process died mid-point", None))
                         broken = True
                     except Exception as exc:  # noqa: BLE001
                         settled.append((futures[future], False,
-                                        f"{type(exc).__name__}: {exc}"))
+                                        f"{type(exc).__name__}: {exc}",
+                                        None))
                 if broken:
                     # The pool is unusable; fail the wave's leftovers so
                     # they retry on the next (fresh) pool.
                     for future in remaining:
                         settled.append((futures[future], False,
                                         "BrokenProcessPool: a worker "
-                                        "process died mid-point"))
+                                        "process died mid-point", None))
                     remaining = set()
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -434,13 +501,16 @@ class SweepRunner:
 def sweep(base: ScenarioSpec, seeds: Sequence[int] = (),
           policies: Sequence[str] = (), scale: Sequence[float] = (),
           workers: int = 1,
-          overrides: Sequence[Mapping[str, Any]] = ()) -> SweepReport:
+          overrides: Sequence[Mapping[str, Any]] = (),
+          observe: bool = False) -> SweepReport:
     """Run a spec grid: ``sweep(spec, seeds=..., policies=..., scale=...)``.
 
     Convenience wrapper over :class:`SweepRunner`; see its docs for
-    grid and determinism semantics.
+    grid and determinism semantics.  ``observe=True`` turns on
+    federated observation: every worker ships a telemetry snapshot and
+    the report carries the merged fleet view.
     """
-    return SweepRunner(base, workers=workers).sweep(
+    return SweepRunner(base, workers=workers, observe=observe).sweep(
         seeds=seeds, policies=policies, scale=scale, overrides=overrides)
 
 

@@ -38,10 +38,12 @@ from .cache import ResultCache
 from .chaos import DrillReport, ServiceChaosDrill
 from .clock import ServiceClock
 from .core import ScenarioService, ServiceConfig, SubmitOutcome
+from .events import ServiceEventLog
 from .executors import ExecutionFailure, InlineExecutor, PoolExecutor
 from .http import ServiceHTTPServer
 from .client import ServiceClient, ServiceError
 from .jobs import Job, JobState, JobTable
+from .telemetry import TelemetryStore
 
 __all__ = [
     "AdmissionDecision",
@@ -62,4 +64,6 @@ __all__ = [
     "Job",
     "JobState",
     "JobTable",
+    "ServiceEventLog",
+    "TelemetryStore",
 ]

@@ -158,6 +158,32 @@ class ServiceClient:
         _, text = self._call("GET", "/v1/metrics")
         return json.loads(text)
 
+    def metrics_openmetrics(self) -> str:
+        """The OpenMetrics text exposition (service + fleet planes)."""
+        _, text = self._call("GET", "/v1/metrics?format=openmetrics")
+        return text
+
+    def run_telemetry(self, job_id: str) -> tuple[str, str]:
+        """``(digest, telemetry_json)`` for one observed run.
+
+        Raises :class:`ServiceError` 404 when the service is not
+        observing (or the snapshot was evicted / served from cache),
+        409 while the job has not executed yet.
+        """
+        headers, text = self._call("GET",
+                                   f"/v1/runs/{job_id}/telemetry")
+        return headers.get("X-Telemetry-Digest", ""), text
+
+    def telemetry_by_digest(self, digest: str) -> str:
+        """The retained telemetry snapshot whose digest is ``digest``."""
+        _, text = self._call("GET", f"/v1/telemetry/{digest}")
+        return text
+
+    def service_events(self) -> list[dict[str, Any]]:
+        """The structured service event log, parsed from JSON Lines."""
+        _, text = self._call("GET", "/v1/events")
+        return [json.loads(line) for line in text.splitlines() if line]
+
     def slo(self) -> dict[str, Any]:
         """The service's SLO report and alert log."""
         _, text = self._call("GET", "/v1/slo")

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..observability.metrics import MetricsRegistry
+from ..observability.openmetrics import render_openmetrics
 from ..observability.slo import (
     AvailabilityObjective,
     BurnRateRule,
@@ -59,8 +60,10 @@ from ..scenario.sweep import SweepPoint, SweepReport, SweepRunner
 from .admission import ServiceAdmission
 from .cache import ResultCache
 from .clock import ServiceClock
+from .events import ServiceEventLog
 from .executors import ExecutionFailure, PoolExecutor
 from .jobs import Job, JobState, JobTable
+from .telemetry import TelemetryStore
 
 __all__ = ["ServiceConfig", "SubmitOutcome", "ScenarioService"]
 
@@ -96,6 +99,14 @@ class ServiceConfig:
         workers: Warm worker processes (pooled executor only).
         worker_timeout: Wall-clock hang deadline per attempt (pooled
             executor only; never enters any deterministic artifact).
+        observe: Federated observation: every executed job arms a
+            worker-side Observer, its telemetry snapshot lands in the
+            :class:`~repro.service.telemetry.TelemetryStore` under the
+            causal run id ``<tenant>/<job id>``, and the fleet merge
+            joins the OpenMetrics exposition.  Result bytes are
+            unchanged (cache hits skip execution and carry none).
+        telemetry_capacity: Retained telemetry snapshots (LRU).
+        event_log_capacity: Retained structured event records.
     """
 
     max_queue: int = 64
@@ -121,6 +132,9 @@ class ServiceConfig:
     default_tenant: str = "public"
     workers: int = 2
     worker_timeout: float | None = 120.0
+    observe: bool = False
+    telemetry_capacity: int = 256
+    event_log_capacity: int = 1024
 
 
 @dataclass
@@ -233,13 +247,16 @@ class ScenarioService:
             rules=cfg.burn_rules)
         self._queue: deque[str] = deque()
         self._sweeps: dict[str, _SweepRecord] = {}
+        self.telemetry = TelemetryStore(capacity=cfg.telemetry_capacity)
+        self.events = ServiceEventLog(capacity=cfg.event_log_capacity)
         # Eagerly register every instrument so snapshots show explicit
         # zeros from the first scrape on.
         for name in ("submissions", "admitted", "cache_hits",
                      "rejected_invalid", "rejected_breaker",
                      "shed_queue_full", "shed_tenant_quota",
                      "requests_ok", "requests_failed", "worker_failures",
-                     "retries", "retries_denied", "expired"):
+                     "retries", "retries_denied", "expired",
+                     "telemetry_captured"):
             self.metrics.counter(f"service.{name}")
         self.metrics.gauge("service.queue_depth")
         self.metrics.histogram("service.queue_wait")
@@ -301,17 +318,24 @@ class ScenarioService:
             spec = self._parse_spec(spec_json)
         except ValueError as exc:
             self._count("rejected_invalid")
+            self.events.emit("job-rejected", self.clock.now,
+                             tenant=tenant, reason="invalid-spec")
             return SubmitOutcome(status=400, error=str(exc))
         fingerprint = spec.fingerprint()
         cached = self.cache.get(fingerprint)
         if cached is not None:
             self._count("cache_hits")
             self._count("requests_ok")
+            self.events.emit("job-cached", self.clock.now,
+                             tenant=tenant, fingerprint=fingerprint)
             return SubmitOutcome(
                 status=200, fingerprint=fingerprint, cached=True,
                 result_json=cached, result_digest=_digest(cached))
         if self.breaker.state is BreakerState.OPEN:
             self._count("rejected_breaker")
+            self.events.emit("job-rejected", self.clock.now,
+                             tenant=tenant, fingerprint=fingerprint,
+                             reason="breaker-open")
             return SubmitOutcome(status=503, reason="breaker-open",
                                  retry_after=self._breaker_retry_after(),
                                  fingerprint=fingerprint)
@@ -320,6 +344,9 @@ class ScenarioService:
             self._count("shed_queue_full"
                         if decision.reason == "queue-full"
                         else "shed_tenant_quota")
+            self.events.emit("job-shed", self.clock.now, tenant=tenant,
+                             fingerprint=fingerprint,
+                             reason=decision.reason)
             return SubmitOutcome(status=429, reason=decision.reason,
                                  retry_after=decision.retry_after,
                                  fingerprint=fingerprint)
@@ -331,6 +358,8 @@ class ScenarioService:
         self._queue_gauge()
         self._tenant_budget(tenant).record_attempt()
         self._count("admitted")
+        self.events.emit("job-admitted", self.clock.now, tenant=tenant,
+                         job_id=job.job_id, fingerprint=fingerprint)
         return SubmitOutcome(status=202, job_id=job.job_id,
                              fingerprint=fingerprint)
 
@@ -396,6 +425,10 @@ class ScenarioService:
         self._count("admitted")
         self._sweeps[sweep_id] = _SweepRecord(sweep_id, tenant, spec,
                                               points, children)
+        self.events.emit("sweep-admitted", self.clock.now, tenant=tenant,
+                         sweep_id=sweep_id,
+                         fingerprint=spec.fingerprint(),
+                         points=len(points))
         return SubmitOutcome(status=202, sweep_id=sweep_id,
                              fingerprint=spec.fingerprint(),
                              extra={"points": len(points)})
@@ -419,6 +452,11 @@ class ScenarioService:
             max(job.attempts, 1))
         self.cache.put(job.fingerprint, result_json, job.result_digest)
         self.admission.release(job.tenant)
+        self.events.emit("job-done", self.clock.now, tenant=job.tenant,
+                         job_id=job.job_id, sweep_id=job.sweep_id,
+                         fingerprint=job.fingerprint,
+                         digest=job.result_digest,
+                         cached=cached_hit or None)
 
     def _finish_failed(self, job: Job, state: JobState,
                        error: str) -> None:
@@ -433,6 +471,11 @@ class ScenarioService:
             # for the caller.
             self._count("requests_failed")
         self.admission.release(job.tenant)
+        self.events.emit("job-expired" if state is JobState.EXPIRED
+                         else "job-failed", self.clock.now,
+                         tenant=job.tenant, job_id=job.job_id,
+                         sweep_id=job.sweep_id,
+                         fingerprint=job.fingerprint, error=error)
 
     def pump_once(self) -> bool:
         """Process one queued job attempt; returns whether work remains.
@@ -466,15 +509,29 @@ class ScenarioService:
         job.transition(JobState.RUNNING, now)
         attempt = job.attempts
         job.attempts += 1
+        run_id = (f"{job.tenant}/{job.job_id}" if self.config.observe
+                  else None)
         try:
-            result_json = self.executor.run(job.fingerprint,
-                                            job.spec_json, attempt)
+            if run_id is not None:
+                result_json, telemetry_json = self.executor.run(
+                    job.fingerprint, job.spec_json, attempt,
+                    observe_run_id=run_id)
+            else:
+                result_json = self.executor.run(job.fingerprint,
+                                                job.spec_json, attempt)
         except ExecutionFailure as exc:
             self._count("worker_failures")
             self.breaker.record_failure()
             self._handle_attempt_failure(job, exc)
         else:
             self.breaker.record_success()
+            if run_id is not None:
+                digest = self.telemetry.put(job.job_id, telemetry_json)
+                self._count("telemetry_captured")
+                self.events.emit("run-observed", self.clock.now,
+                                 tenant=job.tenant, job_id=job.job_id,
+                                 sweep_id=job.sweep_id, run_id=run_id,
+                                 telemetry_digest=digest)
             self._finish_ok(job, result_json)
         self._queue_gauge()
         self._advance()
@@ -629,6 +686,61 @@ class ScenarioService:
             },
         }
 
+    def run_telemetry(self, job_id: str) -> SubmitOutcome:
+        """One observed run's telemetry snapshot: 200 + JSON, 404/409.
+
+        404 for unknown jobs and for finished jobs with no retained
+        snapshot (service not observing, snapshot evicted, or the job
+        was served from cache and never executed); 409 while the job
+        has not run yet.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return SubmitOutcome(status=404, error=f"no job {job_id!r}")
+        entry = self.telemetry.get(job_id)
+        if entry is not None:
+            telemetry_json, digest = entry
+            return SubmitOutcome(status=200, job_id=job_id,
+                                 result_json=telemetry_json,
+                                 result_digest=digest)
+        if not job.state.terminal:
+            return SubmitOutcome(status=409, job_id=job_id,
+                                 reason=job.state.value,
+                                 retry_after=self.config.retry_after)
+        return SubmitOutcome(status=404, job_id=job_id,
+                             error=f"no telemetry for job {job_id!r} "
+                                   f"(unobserved, cached, or evicted)")
+
+    def telemetry_by_digest(self, digest: str) -> SubmitOutcome:
+        """Fetch a retained telemetry snapshot by its digest (200/404)."""
+        telemetry_json = self.telemetry.by_digest(digest)
+        if telemetry_json is None:
+            return SubmitOutcome(status=404,
+                                 error=f"no telemetry {digest!r}")
+        return SubmitOutcome(status=200, result_json=telemetry_json,
+                             result_digest=digest)
+
+    def metrics_openmetrics(self) -> str:
+        """Both metric planes as one OpenMetrics text exposition.
+
+        The service's own registry exposes under ``plane="service"``;
+        when federated observation has captured runs, their merged
+        fleet metrics join under ``plane="fleet"``.
+        """
+        planes = [({"plane": "service"}, self.metrics.snapshot())]
+        fleet = self.telemetry.fleet()
+        if fleet is not None:
+            planes.append(({"plane": "fleet"}, fleet["metrics"]))
+        return render_openmetrics(planes)
+
+    def fleet_telemetry(self) -> dict[str, Any] | None:
+        """The merged fleet view over retained run snapshots, or None."""
+        return self.telemetry.fleet()
+
+    def events_jsonl(self) -> str:
+        """The structured event log as JSON Lines."""
+        return self.events.to_jsonl()
+
     def health(self) -> dict[str, Any]:
         """Liveness document: clock, breaker, queue, and job tallies."""
         return {
@@ -641,6 +753,7 @@ class ScenarioService:
             "jobs": self.jobs.counts(),
             "admission": self.admission.statistics(),
             "cache": self.cache.statistics(),
+            "telemetry": self.telemetry.statistics(),
         }
 
     def slo_report(self) -> dict[str, Any]:

@@ -1,0 +1,69 @@
+"""The service's structured event log: causal ids, one JSONL stream.
+
+The federation design threads one causal chain through the service —
+tenant → job → run → span: a submission names a tenant, admission
+mints a job id, an observed execution stamps its telemetry with the
+run id ``<tenant>/<job id>``, and the snapshot's span census hangs off
+that run id in the fleet view.  This log is the chain made visible:
+every service-side decision appends one flat record carrying whichever
+ids exist at that point, and ``GET /v1/events`` streams them as JSON
+Lines for operators (and tests) to follow a request end to end.
+
+Records are deterministic under the
+:class:`~repro.service.clock.ServiceClock`: ``seq`` is a monotonic
+sequence number, ``time`` is logical service time, and the JSONL
+rendering uses the deterministic encoder — no wall clock anywhere.
+The log is bounded; old records fall off the front.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..observability.export import dumps_deterministic
+
+__all__ = ["ServiceEventLog"]
+
+
+class ServiceEventLog:
+    """A bounded, append-only log of structured service events.
+
+    Args:
+        capacity: Maximum retained records (oldest dropped beyond it).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def emit(self, kind: str, time: float, **ids: Any) -> dict[str, Any]:
+        """Append one event record; returns it.
+
+        ``ids`` carries the causal identifiers present at this point
+        (``tenant`` / ``job_id`` / ``sweep_id`` / ``run_id`` /
+        ``fingerprint`` / ``digest`` / ``error`` ...); ``None`` values
+        are dropped so every record is flat and minimal.
+        """
+        record: dict[str, Any] = {"seq": self._seq, "time": time,
+                                  "kind": kind}
+        record.update({key: value for key, value in ids.items()
+                       if value is not None})
+        self._records.append(record)
+        self._seq += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[dict[str, Any]]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    def to_jsonl(self) -> str:
+        """The retained records as JSON Lines (deterministic encoder)."""
+        return "".join(dumps_deterministic(record) + "\n"
+                       for record in self._records)

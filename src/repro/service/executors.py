@@ -25,7 +25,7 @@ from concurrent.futures.process import (
     BrokenProcessPool,
     ProcessPoolExecutor,
 )
-from typing import Mapping
+from typing import Any, Mapping
 
 __all__ = ["ExecutionFailure", "InlineExecutor", "PoolExecutor"]
 
@@ -54,6 +54,19 @@ def _pool_worker_run(spec_json: str) -> str:
     return ScenarioSpec.from_json(spec_json).run().to_json()
 
 
+def _pool_worker_run_observed(spec_json: str,
+                              run_id: str) -> tuple[str, str]:
+    """Observed worker entry point: ships telemetry beside the result.
+
+    The federated-capture seam: the worker arms an Observer around the
+    run and returns ``(result JSON, telemetry JSON)``.  Result bytes
+    stay identical to the unobserved path (see
+    :func:`~repro.scenario.sweep.run_spec_observed`).
+    """
+    from ..scenario.sweep import run_spec_observed
+    return run_spec_observed(spec_json, run_id)
+
+
 class InlineExecutor:
     """In-process, deterministic executor with fault injection.
 
@@ -71,8 +84,13 @@ class InlineExecutor:
         self.runs = 0
         self.injected_crashes = 0
 
-    def run(self, fingerprint: str, spec_json: str, attempt: int) -> str:
-        """Execute one attempt; returns result JSON or raises."""
+    def run(self, fingerprint: str, spec_json: str, attempt: int,
+            observe_run_id: str | None = None) -> Any:
+        """Execute one attempt; returns result JSON or raises.
+
+        With ``observe_run_id`` set, the run is federated-observed and
+        returns ``(result JSON, telemetry JSON)`` instead.
+        """
         if attempt < self.crash_plan.get(fingerprint, 0):
             self.injected_crashes += 1
             raise ExecutionFailure(
@@ -80,6 +98,8 @@ class InlineExecutor:
                          f"{fingerprint}, attempt {attempt})")
         self.runs += 1
         try:
+            if observe_run_id is not None:
+                return _pool_worker_run_observed(spec_json, observe_run_id)
             return _pool_worker_run(spec_json)
         except ExecutionFailure:
             raise
@@ -125,18 +145,25 @@ class PoolExecutor:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
-    def run(self, fingerprint: str, spec_json: str, attempt: int) -> str:
+    def run(self, fingerprint: str, spec_json: str, attempt: int,
+            observe_run_id: str | None = None) -> Any:
         """Execute one attempt on the warm pool; returns result JSON.
 
         Raises :class:`ExecutionFailure` kind ``"crash"`` when the
         worker process died (broken pool — rebuilt), ``"timeout"``
         when the attempt exceeded the deadline (pool rebuilt so the
         hung worker cannot absorb further work), or ``"error"`` when
-        the run itself raised (pool stays warm).
+        the run itself raised (pool stays warm).  With
+        ``observe_run_id`` set, the worker runs federated-observed and
+        the return value is ``(result JSON, telemetry JSON)``.
         """
         pool = self._ensure_pool()
         try:
-            future = pool.submit(_pool_worker_run, spec_json)
+            if observe_run_id is not None:
+                future = pool.submit(_pool_worker_run_observed,
+                                     spec_json, observe_run_id)
+            else:
+                future = pool.submit(_pool_worker_run, spec_json)
         except BrokenProcessPool as exc:
             self._rebuild()
             raise ExecutionFailure(

@@ -16,10 +16,16 @@ Endpoints (all JSON; full semantics in ``docs/SERVICE.md``):
 - ``GET /v1/runs/<id>`` — job status document
 - ``GET /v1/runs/<id>/events`` — state-transition history (progress)
 - ``GET /v1/runs/<id>/result`` — raw result JSON (+ ``X-Result-Digest``)
+- ``GET /v1/runs/<id>/telemetry`` — the run's federated telemetry
+  snapshot (+ ``X-Telemetry-Digest``)
 - ``GET /v1/sweeps/<id>`` / ``GET /v1/sweeps/<id>/result``
 - ``GET /v1/results/<digest>`` — cached result by digest
+- ``GET /v1/telemetry/<digest>`` — telemetry snapshot by digest
 - ``GET /v1/tenants/<tenant>`` — quota occupancy + retry budget
 - ``GET /v1/health`` / ``GET /v1/metrics`` / ``GET /v1/slo``
+- ``GET /v1/metrics?format=openmetrics`` — Prometheus text exposition
+  (service + federated fleet planes); unknown formats get 406
+- ``GET /v1/events`` — the structured service event log as JSON Lines
 
 Shed and rejected responses carry a ``Retry-After`` header mirroring
 the body's ``retry_after`` hint.
@@ -30,12 +36,17 @@ from __future__ import annotations
 import json
 import math
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from .core import ScenarioService, SubmitOutcome
 
 __all__ = ["ServiceHTTPServer"]
+
+#: Media type of the OpenMetrics text exposition.
+OPENMETRICS_TYPE = ("application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8")
 
 #: Cap one request body at 8 MiB — a spec is kilobytes; anything
 #: larger is a client bug or abuse, and bounding it keeps one request
@@ -67,7 +78,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _send(self, status: int, body: bytes,
               content_type: str = "application/json",
               retry_after: float = 0.0,
-              digest: str | None = None) -> None:
+              digest: str | None = None,
+              digest_header: str = "X-Result-Digest") -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -75,7 +87,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Retry-After",
                              str(int(math.ceil(retry_after))))
         if digest is not None:
-            self.send_header("X-Result-Digest", digest)
+            self.send_header(digest_header, digest)
         self.end_headers()
         self.wfile.write(body)
 
@@ -85,16 +97,18 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(status, body, retry_after=retry_after)
 
     def _send_outcome(self, outcome: SubmitOutcome,
-                      raw_result: bool = False) -> None:
+                      raw_result: bool = False,
+                      digest_header: str = "X-Result-Digest") -> None:
         """Render a core outcome; optionally as the raw result bytes.
 
         ``raw_result`` responses return the stored result JSON
-        verbatim (so its bytes hash to ``X-Result-Digest``); everything
+        verbatim (so its bytes hash to the digest header); everything
         else gets the outcome's JSON envelope.
         """
         if raw_result and outcome.status == 200 and outcome.result_json:
             self._send(200, outcome.result_json.encode("utf-8"),
-                       digest=outcome.result_digest)
+                       digest=outcome.result_digest,
+                       digest_header=digest_header)
             return
         self._send_json(outcome.status, outcome.to_dict(),
                         retry_after=outcome.retry_after)
@@ -134,16 +148,25 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         """Handle every read endpoint (status, results, introspection)."""
         bridge = self.server.bridge
-        parts = [part for part in self.path.split("/") if part]
+        split = urllib.parse.urlsplit(self.path)
+        query = urllib.parse.parse_qs(split.query)
+        parts = [part for part in split.path.split("/") if part]
         if parts == ["v1", "health"]:
             self._send_json(200, bridge.health())
         elif parts == ["v1", "metrics"]:
-            self._send_json(200, bridge.metrics_snapshot())
+            self._route_metrics(bridge, query)
         elif parts == ["v1", "slo"]:
             self._send_json(200, bridge.slo_report())
+        elif parts == ["v1", "events"]:
+            self._send(200, bridge.events_jsonl().encode("utf-8"),
+                       content_type="application/x-ndjson")
         elif len(parts) == 3 and parts[:2] == ["v1", "results"]:
             self._send_outcome(bridge.result_by_digest(parts[2]),
                                raw_result=True)
+        elif len(parts) == 3 and parts[:2] == ["v1", "telemetry"]:
+            self._send_outcome(bridge.telemetry_by_digest(parts[2]),
+                               raw_result=True,
+                               digest_header="X-Telemetry-Digest")
         elif len(parts) == 3 and parts[:2] == ["v1", "tenants"]:
             self._send_json(200, bridge.tenant_stats(parts[2]))
         elif len(parts) >= 3 and parts[:2] == ["v1", "runs"]:
@@ -152,6 +175,28 @@ class _Handler(BaseHTTPRequestHandler):
             self._route_sweep(bridge, parts[2], parts[3:])
         else:
             self._not_found(self.path)
+
+    def _route_metrics(self, bridge: "_Bridge",
+                       query: dict[str, list[str]]) -> None:
+        """``/v1/metrics`` content negotiation via ``format=``.
+
+        ``json`` (the default) serves the registry snapshot;
+        ``openmetrics`` serves the Prometheus text exposition of both
+        planes; anything else is 406 with a JSON error body naming the
+        supported formats — never a silent fallback.
+        """
+        requested = query.get("format", ["json"])[-1]
+        if requested == "json":
+            self._send_json(200, bridge.metrics_snapshot())
+        elif requested == "openmetrics":
+            self._send(200,
+                       bridge.metrics_openmetrics().encode("utf-8"),
+                       content_type=OPENMETRICS_TYPE)
+        else:
+            self._send_json(406, {
+                "status": 406,
+                "error": f"unknown metrics format {requested!r}",
+                "supported": ["json", "openmetrics"]})
 
     def _route_run(self, bridge: "_Bridge", job_id: str,
                    rest: list[str]) -> None:
@@ -164,6 +209,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, status)
         elif rest == ["result"]:
             self._send_outcome(bridge.job_result(job_id), raw_result=True)
+        elif rest == ["telemetry"]:
+            self._send_outcome(bridge.run_telemetry(job_id),
+                               raw_result=True,
+                               digest_header="X-Telemetry-Digest")
         elif rest == ["events"]:
             status = bridge.job_status(job_id)
             if status is None:

@@ -1,0 +1,102 @@
+"""The service's telemetry store: per-run snapshots plus the fleet view.
+
+The federation seam (:mod:`repro.observability.federation`) gives every
+observed run a deterministic :class:`TelemetrySnapshot`; this store is
+where the service keeps them.  It mirrors the
+:class:`~repro.service.cache.ResultCache` shape — an LRU keyed by job
+id, indexed by snapshot digest — and adds the operator's view on top:
+:meth:`fleet` folds every *retained* snapshot into one merged fleet
+dict (the same bytes :func:`~repro.observability.federation.merge_snapshots`
+would produce offline), which is what
+``GET /v1/metrics?format=openmetrics`` exposes under the
+``plane="fleet"`` label.
+
+Retention is the only approximation: beyond ``capacity`` the least
+recently fetched snapshot is evicted and leaves the fleet view.  The
+merge itself stays exact and order-independent over whatever is
+retained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any
+
+from ..observability.federation import merge_snapshots
+
+__all__ = ["TelemetryStore"]
+
+
+class TelemetryStore:
+    """LRU store of telemetry-snapshot JSON keyed by job id.
+
+    Args:
+        capacity: Maximum retained snapshots; the least recently used
+            entry is evicted beyond it (and leaves the fleet view).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[str, str]] = OrderedDict()
+        self._by_digest: dict[str, str] = {}
+        self.evictions = 0
+
+    def put(self, job_id: str, telemetry_json: str) -> str:
+        """Store one run's snapshot JSON; returns its SHA-256 digest."""
+        digest = hashlib.sha256(
+            telemetry_json.encode("utf-8")).hexdigest()
+        if job_id in self._entries:
+            self._entries.move_to_end(job_id)
+            return digest
+        self._entries[job_id] = (telemetry_json, digest)
+        self._by_digest[digest] = job_id
+        if len(self._entries) > self.capacity:
+            _, (_, old_digest) = self._entries.popitem(last=False)
+            self._by_digest.pop(old_digest, None)
+            self.evictions += 1
+        return digest
+
+    def get(self, job_id: str) -> tuple[str, str] | None:
+        """``(telemetry_json, digest)`` for ``job_id``, or ``None``."""
+        entry = self._entries.get(job_id)
+        if entry is None:
+            return None
+        self._entries.move_to_end(job_id)
+        return entry
+
+    def by_digest(self, digest: str) -> str | None:
+        """The stored snapshot JSON whose digest is ``digest``, or None."""
+        job_id = self._by_digest.get(digest)
+        if job_id is None:
+            return None
+        entry = self.get(job_id)
+        return None if entry is None else entry[0]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._entries
+
+    def fleet(self) -> dict[str, Any] | None:
+        """The merged fleet view over every retained snapshot.
+
+        ``None`` when nothing has been captured yet (an empty merge is
+        an error by contract, not an empty document).
+        """
+        if not self._entries:
+            return None
+        return merge_snapshots(
+            json.loads(text) for text, _ in self._entries.values())
+
+    def statistics(self) -> dict[str, float]:
+        """Retention counters for the health document."""
+        return {
+            "size": float(len(self._entries)),
+            "capacity": float(self.capacity),
+            "evictions": float(self.evictions),
+        }

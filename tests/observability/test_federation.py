@@ -1,0 +1,206 @@
+"""Federated telemetry: snapshot capture, merge rules, determinism."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.observability import (
+    MetricsRegistry,
+    Observer,
+    TelemetryMerge,
+    TelemetryMergeError,
+    TelemetrySnapshot,
+    fleet_digest,
+    merge_histogram_entries,
+    merge_snapshots,
+)
+from repro.sim import Simulator
+
+BOUNDARIES = (1.0, 5.0, 10.0, 50.0)
+
+
+def hist_entry(values, boundaries=BOUNDARIES) -> dict:
+    """One histogram snapshot entry fed ``values``."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram("t.latency_s", boundaries=boundaries)
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()["histograms"]["t.latency_s"]
+
+
+def snap(run_id, counters=None, gauges=None, hists=None, profile=None,
+         census=None) -> dict:
+    """A hand-built snapshot dict for merge-rule tests."""
+    census = dict(census or {})
+    return {
+        "schema": "telemetry-snapshot/v1",
+        "run_id": run_id,
+        "fingerprint": "f",
+        "seed": 0,
+        "metrics": {"counters": dict(counters or {}),
+                    "gauges": dict(gauges or {}),
+                    "histograms": dict(hists or {})},
+        "profile": profile,
+        "spans": {"total": sum(census.values()), "census": census},
+    }
+
+
+class TestMergeRules:
+    def test_counters_sum_across_runs(self):
+        fleet = merge_snapshots([
+            snap("a", counters={"s.jobs": 2.0}),
+            snap("b", counters={"s.jobs": 3.0, "s.errors": 1.0}),
+        ])
+        assert fleet["metrics"]["counters"] == {"s.errors": 1.0,
+                                                "s.jobs": 5.0}
+
+    def test_gauges_resolve_by_run_id_order_not_arrival(self):
+        """Last writer is the greatest run id, whatever order they arrive."""
+        first = snap("run-1", gauges={"s.depth": 7.0})
+        last = snap("run-2", gauges={"s.depth": 3.0})
+        for ordering in ([first, last], [last, first]):
+            fleet = merge_snapshots(ordering)
+            assert fleet["metrics"]["gauges"] == {"s.depth": 3.0}
+
+    def test_profile_sums_events_and_sim_time(self):
+        fleet = merge_snapshots([
+            snap("a", profile={"sched": {"events": 2, "sim_time": 1.5}}),
+            snap("b", profile={"sched": {"events": 3, "sim_time": 0.5},
+                               "dc": {"events": 1, "sim_time": 1.0}}),
+        ])
+        assert fleet["profile"] == {
+            "dc": {"events": 1, "sim_time": 1.0},
+            "sched": {"events": 5, "sim_time": 2.0}}
+
+    def test_span_censuses_concatenate_under_run_ids(self):
+        fleet = merge_snapshots([
+            snap("a", census={"task": 2}),
+            snap("b", census={"task": 1, "exec": 4}),
+        ])
+        assert fleet["spans"] == {
+            "total": 7,
+            "census": {"exec": 4, "task": 3},
+            "by_run": {"a": {"task": 2}, "b": {"exec": 4, "task": 1}}}
+
+    def test_duplicate_run_ids_rejected(self):
+        with pytest.raises(TelemetryMergeError, match="duplicate"):
+            merge_snapshots([snap("a"), snap("a")])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(TelemetryMergeError):
+            merge_snapshots([])
+
+    def test_merge_is_order_independent_byte_for_byte(self):
+        snapshots = [
+            snap(f"point-{i:05d}", counters={"s.jobs": float(i)},
+                 gauges={"s.depth": float(i)},
+                 hists={"t.latency_s": hist_entry([i + 0.5])},
+                 census={"task": i + 1})
+            for i in range(6)]
+        baseline = fleet_digest(merge_snapshots(snapshots))
+        rng = random.Random(13)
+        for _ in range(5):
+            shuffled = list(snapshots)
+            rng.shuffle(shuffled)
+            assert fleet_digest(merge_snapshots(shuffled)) == baseline
+
+
+class TestHistogramMerge:
+    def test_matches_single_histogram_over_concatenation(self):
+        groups = [[0.5, 2.0, 7.0], [30.0, 200.0], [4.0]]
+        merged = merge_histogram_entries(
+            "t.latency_s", [hist_entry(g) for g in groups])
+        combined = hist_entry([v for g in groups for v in g])
+        assert merged["counts"] == combined["counts"]
+        assert merged["count"] == combined["count"]
+        for key in ("min", "max", "p50", "p95", "p99"):
+            assert merged[key] == combined[key]
+        assert merged["sum"] == pytest.approx(combined["sum"])
+
+    def test_mismatched_edges_are_a_hard_error(self):
+        with pytest.raises(TelemetryMergeError, match="boundaries"):
+            merge_histogram_entries("t.latency_s", [
+                hist_entry([1.0], boundaries=(1.0, 2.0)),
+                hist_entry([1.0], boundaries=(1.0, 4.0))])
+
+    def test_empty_runs_do_not_poison_min_max(self):
+        merged = merge_histogram_entries("t.latency_s", [
+            hist_entry([]), hist_entry([3.0])])
+        assert merged["min"] == 3.0
+        assert merged["max"] == 3.0
+        assert merged["count"] == 1
+
+    def test_all_empty_merges_to_empty_entry(self):
+        merged = merge_histogram_entries("t.latency_s",
+                                         [hist_entry([]), hist_entry([])])
+        assert merged["count"] == 0
+        assert "min" not in merged and "p99" not in merged
+
+    @given(st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=100.0,
+                           allow_nan=False, width=32),
+                 min_size=0, max_size=25),
+        min_size=2, max_size=5).filter(
+            lambda groups: any(groups)))
+    def test_merged_quantiles_equal_concatenated_recomputation(self, groups):
+        """The satellite property: merged pXX == one histogram fed all."""
+        merged = merge_histogram_entries(
+            "t.latency_s", [hist_entry(g) for g in groups])
+        combined = hist_entry([v for g in groups for v in g])
+        assert merged["counts"] == combined["counts"]
+        assert merged["p50"] == combined["p50"]
+        assert merged["p95"] == combined["p95"]
+        assert merged["p99"] == combined["p99"]
+        assert merged["min"] == combined["min"]
+        assert merged["max"] == combined["max"]
+
+
+class TestSnapshot:
+    def observed_snapshot(self, run_id="r1") -> TelemetrySnapshot:
+        sim = Simulator()
+        observer = Observer()
+        observer.attach(sim)
+        observer.metrics.counter("demo.ticks").inc(3)
+        span = observer.tracer.begin("demo tick")
+        observer.tracer.end(span)
+        observer.detach()
+        return TelemetrySnapshot.capture(observer, run_id=run_id,
+                                         fingerprint="abc", seed=7)
+
+    def test_roundtrip_preserves_bytes(self):
+        snapshot = self.observed_snapshot()
+        clone = TelemetrySnapshot.from_json(snapshot.to_json())
+        assert clone == snapshot
+        assert clone.digest() == snapshot.digest()
+
+    def test_capture_carries_metrics_and_census(self):
+        snapshot = self.observed_snapshot()
+        assert snapshot.metrics["counters"]["demo.ticks"] == 3.0
+        assert snapshot.spans["census"] == {"demo": 1}
+        assert snapshot.run_id == "r1"
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            TelemetrySnapshot.from_dict({"schema": "nope/v9",
+                                         "run_id": "x", "metrics": {}})
+
+
+class TestTelemetryMergeAccumulator:
+    def test_incremental_equals_batch(self):
+        snapshots = [snap("b", counters={"s.jobs": 1.0}),
+                     snap("a", counters={"s.jobs": 2.0})]
+        merge = TelemetryMerge()
+        for snapshot in snapshots:
+            merge.add(snapshot)
+        assert merge.fleet() == merge_snapshots(snapshots)
+        assert merge.run_ids() == ["a", "b"]
+        assert len(merge) == 2
+
+    def test_add_json_and_duplicate_rejection(self):
+        merge = TelemetryMerge()
+        merge.add_json(json.dumps(snap("a")))
+        with pytest.raises(TelemetryMergeError, match="'a'"):
+            merge.add(snap("a"))

@@ -1,0 +1,110 @@
+"""OpenMetrics text exposition: name mapping, line grammar, planes."""
+
+import re
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    openmetrics_name,
+    render_openmetrics,
+)
+
+#: The strict per-line grammar tools/service_smoke.py also enforces:
+#: comments, or ``name{labels} value`` samples.
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? '
+    r'[0-9eE.+-]+(in)?f?$')
+
+
+def assert_valid_exposition(text: str) -> list[str]:
+    """Every line is a comment or a grammatical sample; ends # EOF."""
+    assert text.endswith("# EOF\n")
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    for line in lines[:-1]:
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
+    return lines
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.requests_ok").inc(5)
+    registry.gauge("service.queue_depth").set(2)
+    histogram = registry.histogram("service.queue_wait",
+                                   boundaries=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestNameMapping:
+    def test_dots_map_to_underscores_under_prefix(self):
+        assert openmetrics_name("scheduler.wait_time") == \
+            "repro_scheduler_wait_time"
+        assert openmetrics_name("a.b.c-d") == "repro_a_b_c_d"
+
+    def test_unmappable_name_rejected(self):
+        with pytest.raises(ValueError, match="cannot be exposed"):
+            openmetrics_name("bad name with spaces")
+
+
+class TestRendering:
+    def test_counter_gauge_histogram_lines(self):
+        text = render_openmetrics(
+            [({"plane": "service"}, populated_registry().snapshot())])
+        lines = assert_valid_exposition(text)
+        assert ('repro_service_requests_ok_total{plane="service"} 5'
+                in lines)
+        assert 'repro_service_queue_depth{plane="service"} 2' in lines
+        # Cumulative buckets: 1 at le=1, 2 at le=10, 3 total.
+        assert ('repro_service_queue_wait_bucket'
+                '{le="1",plane="service"} 1' in lines)
+        assert ('repro_service_queue_wait_bucket'
+                '{le="10",plane="service"} 2' in lines)
+        assert ('repro_service_queue_wait_bucket'
+                '{le="+Inf",plane="service"} 3' in lines)
+        assert ('repro_service_queue_wait_count{plane="service"} 3'
+                in lines)
+        assert any(line.startswith("repro_service_queue_wait_sum")
+                   for line in lines)
+
+    def test_type_declarations(self):
+        text = render_openmetrics([({}, populated_registry().snapshot())])
+        assert "# TYPE repro_service_requests_ok counter" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "# TYPE repro_service_queue_wait histogram" in text
+
+    def test_two_planes_group_under_one_type_line(self):
+        snapshot = populated_registry().snapshot()
+        text = render_openmetrics([({"plane": "service"}, snapshot),
+                                   ({"plane": "fleet"}, snapshot)])
+        lines = assert_valid_exposition(text)
+        type_lines = [line for line in lines if line.startswith(
+            "# TYPE repro_service_requests_ok ")]
+        assert len(type_lines) == 1
+        samples = [line for line in lines if line.startswith(
+            "repro_service_requests_ok_total")]
+        assert len(samples) == 2
+        assert any('plane="fleet"' in line for line in samples)
+
+    def test_kind_conflict_across_planes_is_an_error(self):
+        with pytest.raises(ValueError, match="rename"):
+            render_openmetrics([
+                ({"plane": "a"}, {"counters": {"s.depth": 1.0}}),
+                ({"plane": "b"}, {"gauges": {"s.depth": 2.0}})])
+
+    def test_deterministic_output(self):
+        planes = [({"plane": "service"}, populated_registry().snapshot())]
+        assert render_openmetrics(planes) == render_openmetrics(planes)
+
+    def test_label_values_escaped(self):
+        text = render_openmetrics(
+            [({"tenant": 'he said "hi"\n'},
+              {"counters": {"s.jobs": 1.0}})])
+        assert '\\"hi\\"' in text
+        assert "\\n" in text

@@ -97,6 +97,66 @@ class TestSweepLifecycle:
         assert "failed" not in report
 
 
+class TestMetricsNegotiation:
+    def test_default_format_is_json(self, client):
+        metrics = client.metrics()
+        assert "service.submissions" in metrics["counters"]
+
+    def test_openmetrics_format_and_content_type(self, client):
+        headers, text = client._call(
+            "GET", "/v1/metrics?format=openmetrics")
+        assert headers["Content-Type"].startswith(
+            "application/openmetrics-text")
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_service_submissions counter" in text
+
+    def test_unknown_format_is_406_with_json_body(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("GET", "/v1/metrics?format=xml")
+        assert excinfo.value.status == 406
+        assert excinfo.value.body["supported"] == ["json", "openmetrics"]
+        assert "xml" in excinfo.value.body["error"]
+
+
+class TestTelemetryRoutes:
+    @pytest.fixture(name="observed")
+    def observed_fixture(self):
+        service = ScenarioService(ServiceConfig(observe=True),
+                                  executor=InlineExecutor())
+        server = ServiceHTTPServer(service).start()
+        try:
+            yield ServiceClient(server.address, tenant="pytest")
+        finally:
+            server.stop()
+
+    def test_run_telemetry_round_trip(self, observed):
+        outcome = observed.submit(service_spec().to_json())
+        observed.wait(outcome["job_id"], timeout=60)
+        digest, telemetry_json = observed.run_telemetry(
+            outcome["job_id"])
+        snapshot = json.loads(telemetry_json)
+        assert snapshot["run_id"] == f"pytest/{outcome['job_id']}"
+        assert observed.telemetry_by_digest(digest) == telemetry_json
+        events = observed.service_events()
+        assert [e["kind"] for e in events] == [
+            "job-admitted", "run-observed", "job-done"]
+        assert events[1]["telemetry_digest"] == digest
+
+    def test_unobserved_server_has_no_telemetry(self, client):
+        outcome = client.submit(service_spec().to_json())
+        client.wait(outcome["job_id"], timeout=60)
+        with pytest.raises(ServiceError) as excinfo:
+            client.run_telemetry(outcome["job_id"])
+        assert excinfo.value.status == 404
+
+    def test_openmetrics_exposes_fleet_plane(self, observed):
+        outcome = observed.submit(service_spec().to_json())
+        observed.wait(outcome["job_id"], timeout=60)
+        text = observed.metrics_openmetrics()
+        assert 'plane="fleet"' in text
+        assert "repro_scheduler_tasks_completed_total" in text
+
+
 class TestDegradation:
     def test_429_carries_retry_after_header(self):
         """Deterministic shed: no dispatcher, so the queue stays full."""

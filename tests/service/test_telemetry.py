@@ -1,0 +1,164 @@
+"""The service's federated telemetry plane: store, events, core wiring."""
+
+import json
+
+import pytest
+
+from repro.observability.federation import TelemetrySnapshot
+from repro.service import ServiceEventLog, TelemetryStore
+
+from .conftest import inline_service, service_spec
+
+
+def snapshot_json(run_id: str) -> str:
+    return json.dumps({
+        "schema": "telemetry-snapshot/v1", "run_id": run_id,
+        "fingerprint": "f", "seed": 0,
+        "metrics": {"counters": {"s.jobs": 1.0}, "gauges": {},
+                    "histograms": {}},
+        "profile": None, "spans": {"total": 0, "census": {}}})
+
+
+class TestTelemetryStore:
+    def test_put_get_and_digest_index(self):
+        store = TelemetryStore(capacity=4)
+        digest = store.put("run-1", snapshot_json("t/run-1"))
+        assert store.get("run-1") == (snapshot_json("t/run-1"), digest)
+        assert store.by_digest(digest) == snapshot_json("t/run-1")
+        assert "run-1" in store and len(store) == 1
+
+    def test_lru_eviction_drops_digest_index(self):
+        store = TelemetryStore(capacity=2)
+        first = store.put("run-1", snapshot_json("t/run-1"))
+        store.put("run-2", snapshot_json("t/run-2"))
+        store.put("run-3", snapshot_json("t/run-3"))
+        assert store.get("run-1") is None
+        assert store.by_digest(first) is None
+        assert store.evictions == 1
+        assert store.statistics()["size"] == 2.0
+
+    def test_fleet_merges_retained_snapshots(self):
+        store = TelemetryStore()
+        assert store.fleet() is None
+        store.put("run-2", snapshot_json("t/run-2"))
+        store.put("run-1", snapshot_json("t/run-1"))
+        fleet = store.fleet()
+        assert fleet["runs"] == ["t/run-1", "t/run-2"]
+        assert fleet["metrics"]["counters"] == {"s.jobs": 2.0}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TelemetryStore(capacity=0)
+
+
+class TestServiceEventLog:
+    def test_emit_sequences_and_drops_none_ids(self):
+        log = ServiceEventLog()
+        log.emit("job-admitted", 1.0, tenant="a", job_id="run-1",
+                 sweep_id=None)
+        log.emit("job-done", 2.0, tenant="a", job_id="run-1")
+        records = log.records()
+        assert [record["seq"] for record in records] == [0, 1]
+        assert "sweep_id" not in records[0]
+
+    def test_bounded_retention_keeps_sequence(self):
+        log = ServiceEventLog(capacity=2)
+        for index in range(5):
+            log.emit("tick", float(index))
+        records = log.records()
+        assert len(records) == 2
+        assert [record["seq"] for record in records] == [3, 4]
+
+    def test_jsonl_rendering_is_deterministic(self):
+        log = ServiceEventLog()
+        log.emit("job-admitted", 0.0, tenant="a", job_id="run-1")
+        lines = log.to_jsonl().splitlines()
+        assert lines == ['{"job_id":"run-1","kind":"job-admitted",'
+                         '"seq":0,"tenant":"a","time":0.0}']
+
+
+class TestObservedService:
+    def run_one(self, service, spec):
+        outcome = service.submit(spec.to_json(), tenant="acme")
+        assert outcome.status == 202
+        service.pump()
+        return outcome.job_id
+
+    def test_telemetry_captured_under_causal_run_id(self):
+        service = inline_service(observe=True)
+        job_id = self.run_one(service, service_spec())
+        outcome = service.run_telemetry(job_id)
+        assert outcome.status == 200
+        snapshot = TelemetrySnapshot.from_json(outcome.result_json)
+        assert snapshot.run_id == f"acme/{job_id}"
+        assert service.telemetry_by_digest(
+            outcome.result_digest).status == 200
+        assert service.metrics_snapshot()["counters"][
+            "service.telemetry_captured"] == 1.0
+
+    def test_result_bytes_unchanged_by_observation(self):
+        spec = service_spec()
+        observed = inline_service(observe=True)
+        plain = inline_service()
+        first = self.run_one(observed, spec)
+        second = self.run_one(plain, spec)
+        assert (observed.job_result(first).result_digest
+                == plain.job_result(second).result_digest)
+
+    def test_unobserved_service_has_no_telemetry(self):
+        service = inline_service()
+        job_id = self.run_one(service, service_spec())
+        outcome = service.run_telemetry(job_id)
+        assert outcome.status == 404
+        assert service.fleet_telemetry() is None
+
+    def test_pending_job_telemetry_is_409(self):
+        service = inline_service(observe=True)
+        outcome = service.submit(service_spec().to_json())
+        assert service.run_telemetry(outcome.job_id).status == 409
+        assert service.run_telemetry("ghost").status == 404
+
+    def test_cache_hit_job_has_no_telemetry(self):
+        """A cache-served submission never executed: nothing to observe."""
+        service = inline_service(observe=True)
+        spec = service_spec()
+        self.run_one(service, spec)
+        again = service.submit(spec.to_json(), tenant="acme")
+        assert again.status == 200 and again.cached
+
+    def test_openmetrics_covers_both_planes(self):
+        service = inline_service(observe=True)
+        self.run_one(service, service_spec())
+        text = service.metrics_openmetrics()
+        assert text.endswith("# EOF\n")
+        assert 'plane="service"' in text
+        assert 'plane="fleet"' in text
+        assert "repro_service_telemetry_captured_total" in text
+        assert "repro_scheduler_tasks_completed_total" in text
+
+    def test_event_log_threads_causal_ids(self):
+        service = inline_service(observe=True)
+        job_id = self.run_one(service, service_spec())
+        records = [json.loads(line)
+                   for line in service.events_jsonl().splitlines()]
+        kinds = [record["kind"] for record in records]
+        assert kinds == ["job-admitted", "run-observed", "job-done"]
+        assert all(record["job_id"] == job_id for record in records)
+        assert all(record["tenant"] == "acme" for record in records)
+        assert records[1]["run_id"] == f"acme/{job_id}"
+        digest = service.run_telemetry(job_id).result_digest
+        assert records[1]["telemetry_digest"] == digest
+
+    def test_sweep_children_federate_into_fleet(self):
+        service = inline_service(observe=True)
+        outcome = service.submit_sweep(service_spec().to_json(),
+                                       {"seeds": [1, 2]}, tenant="acme")
+        assert outcome.status == 202
+        service.pump()
+        fleet = service.fleet_telemetry()
+        assert fleet is not None
+        assert len(fleet["runs"]) == 2
+        assert all(run_id.startswith("acme/run-")
+                   for run_id in fleet["runs"])
+        status = service.sweep_status(outcome.sweep_id)
+        assert status["done"]

@@ -1,0 +1,115 @@
+"""Lint metric names against the ``subsystem.noun_unit`` convention.
+
+Every instrument the codebase registers — ``.counter("...")``,
+``.gauge("...")``, ``.histogram("...")`` — must use a dotted
+lowercase name: at least two segments, each ``[a-z][a-z0-9_]*``,
+joined with ``.`` (docs/OBSERVABILITY.md).  The convention is what
+makes the OpenMetrics mapping (dots → underscores under the
+``repro_`` prefix) collision-free and the fleet merge keys stable.
+
+The check walks the AST rather than grepping, so names in docstrings
+and comments never trip it, and f-string names (``f"service.{name}"``)
+are validated on their static parts: the literal prefix must already
+satisfy the convention's charset and carry the ``subsystem.`` dot.
+
+Usage::
+
+    python tools/check_metric_names.py src/repro [more paths...]
+
+Exits 1 listing each offending ``file:line: name`` when any
+registered metric name violates the convention.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+INSTRUMENTS = {"counter", "gauge", "histogram"}
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+#: Charset of any literal fragment of an f-string metric name.
+FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+
+def literal_name(node: ast.expr) -> tuple[str | None, bool]:
+    """``(static_text, is_partial)`` for a metric-name argument.
+
+    A plain string constant comes back whole; an f-string comes back
+    as its literal fragments only (``is_partial=True``), with ``*``
+    standing in for each interpolated hole; anything else is
+    ``(None, False)`` — not statically checkable.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append("*")
+        return "".join(parts), True
+    return None, False
+
+
+def fstring_ok(text: str) -> bool:
+    """A partial (f-string) name passes when its static skeleton does.
+
+    The literal prefix before the first hole must already name the
+    subsystem (``service.`` …), and every literal fragment must stay
+    inside the convention's charset.
+    """
+    prefix = text.split("*", 1)[0]
+    if not re.match(r"^[a-z][a-z0-9_]*\.", prefix):
+        return False
+    return all(FRAGMENT_RE.match(fragment)
+               for fragment in text.split("*"))
+
+
+def check_file(path: Path) -> list[str]:
+    """Violations in one source file, as ``file:line: message`` rows."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: unparseable ({exc.msg})"]
+    violations = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in INSTRUMENTS
+                and node.args):
+            continue
+        text, partial = literal_name(node.args[0])
+        if text is None:
+            continue
+        ok = fstring_ok(text) if partial else bool(NAME_RE.match(text))
+        if not ok:
+            violations.append(
+                f"{path}:{node.lineno}: metric name {text!r} violates "
+                f"subsystem.noun_unit naming")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src/repro")]
+    files: list[Path] = []
+    for root in roots:
+        files.extend(sorted(root.rglob("*.py"))
+                     if root.is_dir() else [root])
+    violations = []
+    for path in files:
+        violations.extend(check_file(path))
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} metric naming violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"metric names OK across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,7 +5,10 @@ pool inside CI's container), submits the bundled
 ``examples/specs/chaos_baseline.json`` spec over HTTP, polls it to
 completion, re-submits it and requires a *cached* response carrying
 the identical result digest (the provable-cache contract from
-docs/SERVICE.md), checks the health and SLO endpoints, then shuts the
+docs/SERVICE.md), checks the health and SLO endpoints, scrapes
+``/v1/metrics?format=openmetrics`` and validates every line against
+the exposition grammar (requiring both the service and the federated
+fleet plane — the server runs with ``--observe``), then shuts the
 server down cleanly with SIGTERM and requires exit code 0.
 
 Usage::
@@ -15,6 +18,7 @@ Usage::
 
 from __future__ import annotations
 
+import re
 import signal
 import socket
 import subprocess
@@ -26,6 +30,29 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 SPEC_PATH = REPO_ROOT / "examples" / "specs" / "chaos_baseline.json"
 BOOT_DEADLINE = 30.0
 RUN_DEADLINE = 120.0
+
+#: The OpenMetrics sample grammar: ``name{labels} value`` (labels
+#: optional, values numeric).  Comment lines are checked separately.
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? '
+    r'[0-9eE.+-]+(in)?f?$')
+
+
+def check_openmetrics(text: str) -> int:
+    """Strict line-format check of one exposition; returns sample count."""
+    assert text.endswith("# EOF\n"), "exposition must end with '# EOF'"
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    samples = 0
+    for line in lines[:-1]:
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert SAMPLE_LINE.match(line), f"bad OpenMetrics line: {line!r}"
+        samples += 1
+    assert samples, "exposition carried no samples"
+    return samples
 
 
 def free_port() -> int:
@@ -56,7 +83,7 @@ def main() -> int:
     port = free_port()
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--inline",
-         "--port", str(port)],
+         "--observe", "--port", str(port)],
         cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True)
     try:
@@ -88,6 +115,16 @@ def main() -> int:
         slo = client.slo()
         assert slo["slo"]["service-availability"]["ok"] == 1.0, slo
         print("health ok, availability SLO green")
+
+        exposition = client.metrics_openmetrics()
+        samples = check_openmetrics(exposition)
+        assert 'plane="service"' in exposition, "service plane missing"
+        assert 'plane="fleet"' in exposition, (
+            "fleet plane missing — did the observed run federate?")
+        _, telemetry_json = client.run_telemetry(job_id)
+        assert telemetry_json, "observed run has no telemetry snapshot"
+        print(f"openmetrics scrape valid ({samples} samples, both "
+              f"planes present)")
     finally:
         process.send_signal(signal.SIGTERM)
         try:
