@@ -1,0 +1,66 @@
+"""Planet-scale sharding (C7, P4): three regions, one deterministic run.
+
+Loads the three-region composite from the spec gallery
+(``examples/specs/planet_scale.json``) — a gaming region (``eu``,
+bursty MMPP match/lobby jobs), a banking region (``us``, Poisson
+transaction/batch jobs), and a FaaS edge region (``ap``, short
+independent function invocations) — and runs it sharded: one event
+loop per region, coupled only through explicit cross-shard messages
+under a conservative epoch barrier whose lookahead is the minimum
+wide-area link latency (0.25 s).  The ``ap`` edge offloads overflow
+functions to ``us`` over its declared link, so real tasks cross the
+shard boundary mid-run.
+
+The demonstration is the determinism contract from
+``docs/ARCHITECTURE.md`` ("Sharding"): the merged result digest is
+byte-identical whether the three shards share one process or spread
+over 2 or 3 OS worker processes.  The same scenario runs from the
+command line via::
+
+    python -m repro run examples/specs/planet_scale.json --shard-workers 2
+
+Run with:  python examples/planet_scale.py
+"""
+
+from pathlib import Path
+
+from repro.reporting import render_table
+from repro.scenario import ScenarioSpec
+from repro.sim import run_sharded
+
+SPEC = Path(__file__).parent / "specs" / "planet_scale.json"
+
+
+def main() -> None:
+    """Run the three-region scenario at 1, 2, and 3 shard workers."""
+    spec = ScenarioSpec.from_json(SPEC.read_text(encoding="utf-8"))
+    baseline = run_sharded(spec, workers=1)
+    rows = []
+    for shard, entry in sorted(baseline.result.shards["by_shard"].items()):
+        shard_result = entry["result"]
+        rows.append((shard,
+                     f"{shard_result['tasks_finished']}"
+                     f"/{shard_result['tasks_total']}",
+                     f"{shard_result['makespan']:.1f}",
+                     f"{entry['offloads_sent']}",
+                     f"{entry['offloads_run']}"))
+    print(render_table(
+        ("region", "finished", "makespan", "offloaded", "ran remote"),
+        rows,
+        title=f"Planet-scale run of {spec.name!r} "
+              f"(seed {spec.seed}, 3 regions)"))
+    coupling = baseline.result.shards["coupling"]
+    print(f"\n  epoch barrier: {coupling['epochs']} epochs at lookahead "
+          f"{coupling['lookahead']}s, {coupling['offloaded']} task(s) "
+          f"crossed a shard boundary")
+    print(f"  merged digest: {baseline.result.digest()}")
+    for workers in (2, 3):
+        outcome = run_sharded(spec, workers=workers)
+        assert outcome.result.digest() == baseline.result.digest(), (
+            f"determinism violated at {workers} workers")
+        print(f"  {workers} worker processes: digest identical")
+    print("  one loop or many processes - byte-identical, as promised")
+
+
+if __name__ == "__main__":
+    main()

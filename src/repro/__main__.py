@@ -27,7 +27,10 @@ byte-identical to a serial re-run (see docs/OBSERVABILITY.md,
 ``run`` executes one scenario spec (a JSON document, see
 ``docs/SCENARIOS.md``) and prints its deterministic result summary,
 fingerprint, and digest; ``--out <file>`` also writes the full result
-JSON.  ``sweep`` fans a seed/policy/scale grid of the spec across
+JSON.  Specs with a ``shards`` section run as per-region event loops
+under conservative epoch coupling; ``--shard-workers N`` spreads the
+shards over ``N`` OS processes with a byte-identical result for every
+``N`` (see docs/ARCHITECTURE.md, "Sharding").  ``sweep`` fans a seed/policy/scale grid of the spec across
 worker processes (``--workers``) with a deterministic merge;
 ``--verify-serial`` re-runs the grid serially and asserts the merged
 report digest is byte-identical.
@@ -58,6 +61,7 @@ from .evolution import TechnologyTimeline
 from .faas import FaaSReferenceArchitecture
 from .gaming import GamingArchitecture
 from .reporting import render_table
+from .sim.sharding import ShardConfigError
 from .workload.wfformat import WfFormatError
 
 __all__ = ["main"]
@@ -232,11 +236,31 @@ def _load_spec(path: str):
 
 
 def _observe_spec(path: str) -> str:
-    """The operator's view of one declarative scenario run."""
+    """The operator's view of one declarative scenario run.
+
+    A spec with a ``shards`` section gets the federated view instead:
+    every per-region event loop captures its own telemetry plane and
+    the merged fleet report is printed under per-shard run IDs.
+    """
     from .observability import Observer
     from .reporting import (render_alerts, render_metrics,
                             render_slo_report)
     spec = _load_spec(path)
+    if spec.shards is not None:
+        from .reporting import render_fleet_report
+        from .sim.sharding import run_sharded
+        outcome = run_sharded(spec, observe=True)
+        assert outcome.telemetry is not None
+        sections = [
+            f"Scenario {spec.name!r} (seed {spec.seed}, fingerprint "
+            f"{spec.fingerprint()}) - as the sharded run saw itself:",
+            render_fleet_report(
+                outcome.telemetry,
+                title=f"Fleet telemetry "
+                      f"({len(spec.shards.shards)} shard(s))"),
+            f"Result digest: {outcome.result.digest()}",
+        ]
+        return "\n\n".join(sections)
     observer = Observer()
     runtime = spec.build(observer=observer)
     engine = runtime.engine
@@ -306,17 +330,43 @@ def _observe_federated(argv: list[str]) -> int:
 
 
 def _run_spec(argv: list[str]) -> int:
-    """``run <spec.json> [--out result.json]``: one scenario run."""
+    """``run <spec.json> [--out F] [--shard-workers N]``: one run.
+
+    For a spec with a ``shards`` section, ``--shard-workers N``
+    spreads the per-region event loops over ``N`` OS processes; the
+    result (and its digest) is byte-identical for every ``N`` — the
+    sharding determinism contract, demonstrated at the command line.
+    """
     out = None
+    shard_workers = 1
     if "--out" in argv:
         index = argv.index("--out")
         out = argv[index + 1]
         argv = argv[:index] + argv[index + 2:]
+    if "--shard-workers" in argv:
+        index = argv.index("--shard-workers")
+        try:
+            shard_workers = int(argv[index + 1])
+        except (IndexError, ValueError):
+            print("missing or invalid value for --shard-workers",
+                  file=sys.stderr)
+            return 2
+        argv = argv[:index] + argv[index + 2:]
     if len(argv) != 1:
-        print("usage: python -m repro run <spec.json> [--out result.json]",
-              file=sys.stderr)
+        print("usage: python -m repro run <spec.json> [--out result.json] "
+              "[--shard-workers N]", file=sys.stderr)
         return 2
-    result = _load_spec(argv[0]).run()
+    spec = _load_spec(argv[0])
+    if spec.shards is not None or shard_workers != 1:
+        from .sim.sharding import run_sharded
+        outcome = run_sharded(spec, workers=shard_workers)
+        result = outcome.result
+        coupling = result.shards["coupling"]
+        print(f"  shards: {len(result.shards['by_shard'])} over "
+              f"{outcome.workers} worker(s), {coupling['epochs']} epochs, "
+              f"{coupling['offloaded']} task(s) offloaded")
+    else:
+        result = spec.run()
     for key, value in sorted(result.summary().items()):
         print(f"  {key}: {value:g}")
     print(f"  fingerprint: {result.fingerprint}")
@@ -486,7 +536,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  observe [--spec <file>]")
         print("  observe --federated [--spec <file>] [--workers N] "
               "[--seeds 1,2,3,4]")
-        print("  run <spec.json> [--out <file>]")
+        print("  run <spec.json> [--out <file>] [--shard-workers N]")
         print("  sweep <spec.json> [--seeds ..] [--policies ..] "
               "[--scale ..] [--workers N] [--verify-serial] [--out <file>]")
         print("  serve [--host H] [--port P] [--workers N] [--inline]")
@@ -514,6 +564,11 @@ def main(argv: list[str] | None = None) -> int:
     except WfFormatError as exc:
         # Malformed WfFormat documents embedded in (or referenced by)
         # a spec surface exactly like other spec errors.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ShardConfigError as exc:
+        # Invalid shard plans (unknown datacenter, overlapping shards,
+        # zero-latency links) follow the same convention.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if name == "all":

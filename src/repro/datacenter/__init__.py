@@ -13,6 +13,7 @@ from .datastore import DataStore
 from .federation import (
     Federation,
     OffloadDecision,
+    OffloadGate,
     least_loaded_offload,
     never_offload,
 )
@@ -26,7 +27,14 @@ from .layers import (
 from .machine import Machine, MachineKind, MachineSpec
 from .scavenging import BorrowRecord, ScavengingCoordinator
 from .softwaredefined import ControlPlane, ControlResult, MetaMiddleware
-from .wide_area import QueryResult, SiteData, WideAreaAnalytics, secure_sum
+from .wide_area import (
+    QueryResult,
+    SiteData,
+    WideAreaAnalytics,
+    WideAreaLink,
+    min_lookahead,
+    secure_sum,
+)
 
 __all__ = [
     "Machine",
@@ -41,6 +49,7 @@ __all__ = [
     "CapacityIndex",
     "Federation",
     "OffloadDecision",
+    "OffloadGate",
     "never_offload",
     "least_loaded_offload",
     "Layer",
@@ -56,5 +65,7 @@ __all__ = [
     "SiteData",
     "QueryResult",
     "WideAreaAnalytics",
+    "WideAreaLink",
+    "min_lookahead",
     "secure_sum",
 ]

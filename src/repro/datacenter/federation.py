@@ -17,8 +17,8 @@ from ..workload.task import Task, TaskState
 from .datacenter import Datacenter
 from .machine import Machine
 
-__all__ = ["Federation", "OffloadDecision", "least_loaded_offload",
-           "never_offload"]
+__all__ = ["Federation", "OffloadDecision", "OffloadGate",
+           "least_loaded_offload", "never_offload"]
 
 #: Signature of an offload policy: (home, peers, task) -> chosen datacenter.
 OffloadDecision = Callable[[Datacenter, Sequence[Datacenter], Task],
@@ -49,6 +49,38 @@ def least_loaded_offload(threshold: float = 0.9) -> OffloadDecision:
         return min(candidates, key=lambda dc: dc.utilization())
 
     return decide
+
+
+class OffloadGate:
+    """Threshold gate for dynamic offload decisions at one site.
+
+    The submit-time half of :func:`least_loaded_offload`, factored out
+    so layers that only see the *local* datacenter — the sharded
+    simulation's per-region event loops, where the peer lives behind a
+    wide-area message channel — share the same semantics: a task is a
+    candidate for delegation exactly when the home site's instantaneous
+    utilization has reached ``threshold``.  The decision reads local
+    state only, which is what keeps it deterministic when regions run
+    on decoupled clocks.
+    """
+
+    def __init__(self, datacenter: Datacenter, threshold: float) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.datacenter = datacenter
+        self.threshold = threshold
+        #: Tasks the gate sent away.
+        self.offloaded = 0
+        #: Tasks the gate kept home.
+        self.kept = 0
+
+    def should_offload(self, task: Task | None = None) -> bool:
+        """Whether to delegate ``task`` given current local load."""
+        if self.datacenter.utilization() >= self.threshold:
+            self.offloaded += 1
+            return True
+        self.kept += 1
+        return False
 
 
 class Federation:

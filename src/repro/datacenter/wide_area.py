@@ -18,7 +18,57 @@ import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-__all__ = ["SiteData", "QueryResult", "WideAreaAnalytics", "secure_sum"]
+__all__ = ["SiteData", "QueryResult", "WideAreaAnalytics", "WideAreaLink",
+           "min_lookahead", "secure_sum"]
+
+
+@dataclass(frozen=True)
+class WideAreaLink:
+    """One wide-area link between two regions, with a one-way latency.
+
+    The typed cross-shard channel of the sharded simulation: every
+    message between two per-region event loops travels over a declared
+    link, and the link's latency is the physical guarantee behind
+    conservative coupling — a message sent at time *t* cannot take
+    effect before *t + latency*, so the minimum latency over all links
+    (:func:`min_lookahead`) bounds how far shards may run ahead of each
+    other without risking causality.
+    """
+
+    src: str
+    dst: str
+    latency: float
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise ValueError("a wide-area link needs two region names")
+        if self.src == self.dst:
+            raise ValueError(
+                f"link endpoints must differ, got {self.src!r} twice")
+        if self.latency <= 0:
+            raise ValueError(
+                f"link {self.src!r}->{self.dst!r} needs a positive "
+                f"latency, got {self.latency}; zero-latency links make "
+                f"conservative lookahead vanish")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """The endpoints as an order-independent (sorted) pair."""
+        return tuple(sorted((self.src, self.dst)))  # type: ignore[return-value]
+
+
+def min_lookahead(links: Sequence[WideAreaLink]) -> float:
+    """The conservative lookahead a set of links permits.
+
+    The smallest one-way latency over all links — the classic
+    conservative-synchronization bound: inside a window of this width
+    no shard can observe an effect another shard caused within the
+    same window.  An empty link set means the shards are fully
+    decoupled and returns ``inf``.
+    """
+    if not links:
+        return float("inf")
+    return min(link.latency for link in links)
 
 
 @dataclass(frozen=True)

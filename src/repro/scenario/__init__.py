@@ -44,6 +44,10 @@ from .spec import (
     RetrySpec,
     ScenarioSpec,
     SchedulerSpec,
+    ShardLinkSpec,
+    ShardOffloadSpec,
+    ShardPlanSpec,
+    ShardSpec,
     SheddingSpec,
     SLOSpec,
     TopologySpec,
@@ -68,6 +72,10 @@ __all__ = [
     "ObjectiveSpec",
     "BurnRuleSpec",
     "SLOSpec",
+    "ShardSpec",
+    "ShardLinkSpec",
+    "ShardOffloadSpec",
+    "ShardPlanSpec",
     "WORKLOAD_KINDS",
     "FAILURE_KINDS",
     "OBJECTIVE_KINDS",

@@ -48,6 +48,10 @@ class ScenarioResult:
         alerts: The burn-rate alert log (plain rows) when declared.
         profile: The observer's deterministic snapshot (metrics +
             per-subsystem profile) when an observer was armed.
+        shards: The sharded-run roll-up — coupling record (lookahead,
+            epoch count, cross-shard traffic) and every per-shard
+            result in full — present only for sharded runs, so every
+            single-loop result digest is untouched.
     """
 
     name: str
@@ -64,10 +68,11 @@ class ScenarioResult:
     slo_report: dict[str, dict[str, float]] | None = None
     alerts: list[dict] | None = None
     profile: dict[str, Any] | None = None
+    shards: dict[str, Any] | None = None
 
     def to_dict(self) -> dict:
         """The result as JSON-ready plain data."""
-        return {
+        data = {
             "schema": "scenario-result/v1",
             "name": self.name,
             "seed": self.seed,
@@ -84,6 +89,10 @@ class ScenarioResult:
             "alerts": self.alerts,
             "profile": self.profile,
         }
+        # Omit-if-None keeps every pre-existing result digest intact.
+        if self.shards is not None:
+            data["shards"] = self.shards
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
@@ -103,7 +112,8 @@ class ScenarioResult:
                    chaos=data.get("chaos"),
                    slo_report=data.get("slo_report"),
                    alerts=data.get("alerts"),
-                   profile=data.get("profile"))
+                   profile=data.get("profile"),
+                   shards=data.get("shards"))
 
     def to_json(self) -> str:
         """Canonical JSON form (sorted keys, no whitespace, no NaN)."""

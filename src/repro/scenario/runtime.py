@@ -205,7 +205,9 @@ def compose(*, seed: int,
             availability_slo: float = 0.0,
             duration: float | None = None,
             max_time: float = 10_000_000.0,
-            spec: ScenarioSpec | None = None) -> ScenarioRuntime:
+            spec: ScenarioSpec | None = None,
+            submit_router: Callable[[Any], bool] | None = None,
+            ) -> ScenarioRuntime:
     """Assemble one run from live ingredients (the composition root).
 
     Every entry point — spec runs, the chaos harness, the perf
@@ -245,6 +247,10 @@ def compose(*, seed: int,
         max_time: Safety cap on simulated time.
         spec: The originating spec, if any (carried on the runtime for
             fingerprinting; composition never reads it).
+        submit_router: Optional arrival-time hook, ``(item) -> bool``;
+            returning True claims the item (it is *not* submitted
+            locally).  The sharded runtime uses this to divert
+            offloaded tasks into the cross-shard channel.
 
     Returns:
         A ready-to-drive :class:`ScenarioRuntime`.
@@ -317,7 +323,8 @@ def compose(*, seed: int,
                                            streams=streams,
                                            jitter=injection_jitter)
     sim.process(_arrivals(sim, scheduler, items,
-                          engine=runtime.workflow_engine),
+                          engine=runtime.workflow_engine,
+                          router=submit_router),
                 name="arrivals")
     return runtime
 
@@ -389,17 +396,22 @@ def _flatten(items: Sequence) -> list[Task]:
 
 
 def _arrivals(sim: Simulator, scheduler: ClusterScheduler,
-              items: Sequence, engine: WorkflowEngine | None = None):
+              items: Sequence, engine: WorkflowEngine | None = None,
+              router: Callable[[Any], bool] | None = None):
     """The unified arrival process: submit in (submit_time, name) order.
 
     Workflows route through the :class:`WorkflowEngine` (dependency
     release + bounded retries) when one was armed; plain jobs and tasks
-    go straight to the scheduler, as always.
+    go straight to the scheduler, as always.  A ``router`` sees every
+    item first and may claim it (returning True) instead of local
+    submission — the cross-shard offload seam.
     """
     for item in sorted(items, key=lambda t: (t.submit_time, t.name)):
         delay = item.submit_time - sim.now
         if delay > 0:
             yield sim.timeout(delay)
+        if router is not None and router(item):
+            continue
         if engine is not None and isinstance(item, Workflow):
             engine.submit(item)
         elif isinstance(item, Job):

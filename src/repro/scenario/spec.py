@@ -41,13 +41,15 @@ from ..observability.slo import (
     QueueWaitObjective,
     ServiceObjective,
 )
+from ..datacenter.wide_area import WideAreaLink, min_lookahead
 from ..resilience.checkpoint import CheckpointPolicy
 from ..resilience.hedging import HedgePolicy
 from ..resilience.policies import ExponentialBackoff
 from ..resilience.shedding import LoadSheddingAdmission
 from ..scheduling.policies import PLACEMENT_POLICIES, QUEUE_POLICIES
 from ..sim.experiment import ExperimentRecipe
-from ..sim.rng import RandomStreams
+from ..sim.rng import RandomStreams, substream_seed
+from ..sim.sharding import ShardConfigError
 from ..workload.arrivals import MMPPArrivals, PoissonArrivals
 from ..workload.generators import TaskProfile, VicissitudeMix, WorkloadGenerator
 from ..workload.task import Task
@@ -73,6 +75,10 @@ __all__ = [
     "ObjectiveSpec",
     "BurnRuleSpec",
     "SLOSpec",
+    "ShardLinkSpec",
+    "ShardOffloadSpec",
+    "ShardSpec",
+    "ShardPlanSpec",
     "ScenarioSpec",
     "WORKLOAD_KINDS",
     "FAILURE_KINDS",
@@ -338,6 +344,26 @@ def _gwf_trace_workload(streams: RandomStreams, datacenter: Any,
     return records_to_jobs(records)
 
 
+def _composite_workload(streams: RandomStreams, datacenter: Any,
+                        params: Mapping[str, Any]) -> list:
+    """Several registered workloads concatenated into one item list.
+
+    ``params.parts`` is a list of workload-spec dicts (``kind`` +
+    ``params``), built in declaration order against the same streams
+    and datacenter.  Give each part its own ``stream`` /
+    ``arrival_stream`` name, otherwise the parts share (and therefore
+    correlate) their random draws.  This is how a multi-service region
+    — say gaming plus banking plus FaaS on shared infrastructure — is
+    declared as one spec, and how the sharded planet-scale scenario is
+    expressed as an equivalent single-loop monolith for benchmarking.
+    """
+    items: list = []
+    for part in params["parts"]:
+        sub = WorkloadSpec.from_dict(part)
+        items.extend(sub.build(streams, datacenter))
+    return items
+
+
 #: Workload kind -> ``(streams, datacenter, params) -> items`` builder.
 WORKLOAD_KINDS: dict[str, Callable] = {
     "open-arrivals": _open_arrivals_workload,
@@ -346,6 +372,7 @@ WORKLOAD_KINDS: dict[str, Callable] = {
     "poisson-jobs": _poisson_jobs_workload,
     "wfformat": _wfformat_workload,
     "gwf-trace": _gwf_trace_workload,
+    "composite": _composite_workload,
 }
 
 
@@ -782,6 +809,260 @@ class SLOSpec:
 
 
 # ---------------------------------------------------------------------------
+# Sharding (per-region event loops, conservatively coupled)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardLinkSpec:
+    """One declared wide-area link between two shards (symmetric).
+
+    The latency is the one-way message delay between the two regions,
+    and — through :func:`~repro.datacenter.wide_area.min_lookahead` —
+    the physical bound behind the conservative epoch barrier.
+    """
+
+    src: str
+    dst: str
+    latency: float
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise ShardConfigError("a shard link needs two shard names")
+        if self.src == self.dst:
+            raise ShardConfigError(
+                f"shard link endpoints must differ, got {self.src!r} twice")
+        if self.latency <= 0:
+            raise ShardConfigError(
+                f"link {self.src!r}->{self.dst!r} has non-positive latency "
+                f"{self.latency}; zero-latency cross-shard links make the "
+                f"conservative lookahead vanish")
+
+    def build(self) -> WideAreaLink:
+        """The link as a typed wide-area channel descriptor."""
+        return WideAreaLink(src=self.src, dst=self.dst, latency=self.latency)
+
+    def to_dict(self) -> dict:
+        """Plain-data form."""
+        return {"src": self.src, "dst": self.dst, "latency": self.latency}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardLinkSpec":
+        """Rehydrate from :meth:`to_dict` output."""
+        return cls(src=data["src"], dst=data["dst"],
+                   latency=data["latency"])
+
+
+@dataclass(frozen=True)
+class ShardOffloadSpec:
+    """Dynamic delegation from one shard to a linked peer.
+
+    When the shard's instantaneous utilization reaches ``threshold`` at
+    submit time, plain tasks are sent to ``target`` over the declared
+    link instead of the local scheduler (C7 offloading, across the
+    shard boundary).
+    """
+
+    target: str
+    threshold: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ShardConfigError("an offload section needs a target shard")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ShardConfigError(
+                f"offload threshold must be in [0, 1], got {self.threshold}")
+
+    def to_dict(self) -> dict:
+        """Plain-data form."""
+        return {"target": self.target, "threshold": self.threshold}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardOffloadSpec":
+        """Rehydrate from :meth:`to_dict` output."""
+        return cls(target=data["target"],
+                   threshold=data.get("threshold", 0.85))
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a named region owning a subset of the clusters.
+
+    Each shard runs its own simulator, scheduler, and datacenter (named
+    after the shard); ``workload`` overrides the scenario's workload for
+    this region (usually every region declares its own), and
+    ``offload`` optionally delegates overflow to a linked peer.
+    """
+
+    name: str
+    clusters: tuple[str, ...]
+    workload: WorkloadSpec | None = None
+    offload: ShardOffloadSpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShardConfigError("a shard needs a non-empty name")
+        if not self.clusters:
+            raise ShardConfigError(
+                f"shard {self.name!r} owns no clusters; every shard needs "
+                f"at least one")
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+
+    def to_dict(self) -> dict:
+        """Plain-data form (optional sections omitted when absent)."""
+        data: dict[str, Any] = {"name": self.name,
+                                "clusters": list(self.clusters)}
+        if self.workload is not None:
+            data["workload"] = self.workload.to_dict()
+        if self.offload is not None:
+            data["offload"] = self.offload.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardSpec":
+        """Rehydrate from :meth:`to_dict` output."""
+        workload = data.get("workload")
+        offload = data.get("offload")
+        return cls(name=data["name"], clusters=tuple(data["clusters"]),
+                   workload=(None if workload is None
+                             else WorkloadSpec.from_dict(workload)),
+                   offload=(None if offload is None
+                            else ShardOffloadSpec.from_dict(offload)))
+
+
+@dataclass(frozen=True)
+class ShardPlanSpec:
+    """The partition of a scenario into conservatively coupled shards.
+
+    ``shards`` must partition the topology's clusters exactly — every
+    cluster assigned to one shard, none to two.  ``links`` declare the
+    wide-area channels (symmetric, positive latency); the conservative
+    lookahead is their minimum latency unless a smaller explicit
+    ``epoch`` tightens it.  All structural errors raise the typed
+    :class:`~repro.sim.sharding.ShardConfigError` so the CLI can exit 2
+    with one friendly line.
+    """
+
+    shards: tuple[ShardSpec, ...]
+    links: tuple[ShardLinkSpec, ...] = ()
+    epoch: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ShardConfigError("a shard plan needs at least one shard")
+        object.__setattr__(self, "shards", tuple(self.shards))
+        object.__setattr__(self, "links", tuple(self.links))
+        names = [shard.name for shard in self.shards]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ShardConfigError(f"duplicate shard names {duplicates}")
+        owners: dict[str, str] = {}
+        for shard in self.shards:
+            for cluster in shard.clusters:
+                if cluster in owners:
+                    raise ShardConfigError(
+                        f"overlapping shards: cluster {cluster!r} is owned "
+                        f"by both {owners[cluster]!r} and {shard.name!r}")
+                owners[cluster] = shard.name
+        declared = set(names)
+        pairs: set[tuple[str, str]] = set()
+        for link in self.links:
+            for endpoint in (link.src, link.dst):
+                if endpoint not in declared:
+                    raise ShardConfigError(
+                        f"link {link.src!r}->{link.dst!r} references "
+                        f"unknown shard {endpoint!r}; declared: "
+                        f"{sorted(declared)}")
+            pair = tuple(sorted((link.src, link.dst)))
+            if pair in pairs:
+                raise ShardConfigError(
+                    f"duplicate link between {pair[0]!r} and {pair[1]!r}")
+            pairs.add(pair)
+        if self.epoch is not None:
+            if self.epoch <= 0:
+                raise ShardConfigError(
+                    f"epoch must be positive, got {self.epoch}")
+            limit = min_lookahead([link.build() for link in self.links])
+            if self.epoch > limit:
+                raise ShardConfigError(
+                    f"epoch {self.epoch} exceeds the minimum link latency "
+                    f"{limit}; a conservative window cannot outrun the "
+                    f"slowest guarantee")
+        for shard in self.shards:
+            if shard.offload is None:
+                continue
+            target = shard.offload.target
+            if target not in declared:
+                raise ShardConfigError(
+                    f"shard {shard.name!r} offloads to unknown shard "
+                    f"{target!r}")
+            if target == shard.name:
+                raise ShardConfigError(
+                    f"shard {shard.name!r} cannot offload to itself")
+            if tuple(sorted((shard.name, target))) not in pairs:
+                raise ShardConfigError(
+                    f"shard {shard.name!r} offloads to {target!r} but no "
+                    f"link between them is declared")
+
+    def validate(self, topology: "TopologySpec") -> None:
+        """Check the plan partitions ``topology`` exactly.
+
+        Raises :class:`~repro.sim.sharding.ShardConfigError` when a
+        shard references an unknown datacenter cluster or a topology
+        cluster is left unassigned.
+        """
+        known = {cluster.name for cluster in topology.clusters}
+        assigned: set[str] = set()
+        for shard in self.shards:
+            for cluster in shard.clusters:
+                if cluster not in known:
+                    raise ShardConfigError(
+                        f"shard {shard.name!r} references unknown "
+                        f"datacenter cluster {cluster!r}; topology "
+                        f"declares {sorted(known)}")
+                assigned.add(cluster)
+        missing = known - assigned
+        if missing:
+            raise ShardConfigError(
+                f"clusters {sorted(missing)} are assigned to no shard; "
+                f"the plan must partition the topology exactly")
+
+    def lookahead(self) -> float:
+        """The conservative window width this plan couples under.
+
+        The explicit ``epoch`` when declared, otherwise the minimum
+        link latency (``inf`` for fully decoupled shards).
+        """
+        if self.epoch is not None:
+            return self.epoch
+        return min_lookahead([link.build() for link in self.links])
+
+    def latency(self, a: str, b: str) -> float:
+        """One-way latency between two shards (symmetric lookup)."""
+        for link in self.links:
+            if {link.src, link.dst} == {a, b}:
+                return link.latency
+        raise ShardConfigError(f"no link declared between {a!r} and {b!r}")
+
+    def to_dict(self) -> dict:
+        """Plain-data form (``epoch`` omitted when defaulted)."""
+        data: dict[str, Any] = {
+            "shards": [shard.to_dict() for shard in self.shards],
+            "links": [link.to_dict() for link in self.links],
+        }
+        if self.epoch is not None:
+            data["epoch"] = self.epoch
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardPlanSpec":
+        """Rehydrate from :meth:`to_dict` output."""
+        return cls(
+            shards=tuple(ShardSpec.from_dict(s) for s in data["shards"]),
+            links=tuple(ShardLinkSpec.from_dict(l)
+                        for l in data.get("links", ())),
+            epoch=data.get("epoch"))
+
+
+# ---------------------------------------------------------------------------
 # The scenario spec
 # ---------------------------------------------------------------------------
 _OPTIONAL_SECTIONS: dict[str, type] = {
@@ -828,6 +1109,10 @@ class ScenarioSpec:
         availability_slo: Machine-availability target graded into the
             resilience report.
         injection_jitter: Perturbation bound on failure times.
+        shards: Optional partition into per-region event loops with
+            conservative epoch coupling (see
+            :mod:`repro.sim.sharding`); ``None`` runs the scenario on
+            one loop, exactly as before.
     """
 
     name: str
@@ -848,6 +1133,7 @@ class ScenarioSpec:
     max_time: float = 10_000_000.0
     availability_slo: float = 0.0
     injection_jitter: float = 0.0
+    shards: ShardPlanSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -860,6 +1146,8 @@ class ScenarioSpec:
             raise ValueError("injection_jitter must be non-negative")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration must be positive when given")
+        if self.shards is not None:
+            self.shards.validate(self.topology)
 
     # ------------------------------------------------------------------
     # Identity
@@ -900,6 +1188,10 @@ class ScenarioSpec:
         for key in _OPTIONAL_SECTIONS:
             section = getattr(self, key)
             data[key] = None if section is None else section.to_dict()
+        # Omit-if-None (unlike the always-emitted sections above) keeps
+        # every pre-existing spec fingerprint byte-identical.
+        if self.shards is not None:
+            data["shards"] = self.shards.to_dict()
         return data
 
     @classmethod
@@ -925,6 +1217,9 @@ class ScenarioSpec:
             section = data.get(key)
             kwargs[key] = (None if section is None
                            else section_cls.from_dict(section))
+        shards = data.get("shards")
+        kwargs["shards"] = (None if shards is None
+                            else ShardPlanSpec.from_dict(shards))
         return cls(**kwargs)
 
     def to_json(self, indent: int | None = None) -> str:
@@ -989,6 +1284,45 @@ class ScenarioSpec:
             return None
         return self.failures.build
 
+    def shard_subspec(self, shard: ShardSpec) -> "ScenarioSpec":
+        """The single-region spec one shard of this scenario runs.
+
+        The shard owns its declared clusters (in topology declaration
+        order) under a datacenter named after the shard, runs its own
+        workload (falling back to the scenario's), and derives its seed
+        as the ``shard:<name>`` substream of the scenario seed — so
+        regions draw decorrelated randomness yet the whole fleet is a
+        pure function of the one root seed.  Resilience, scheduling,
+        and observability sections pass through unchanged.
+        """
+        if self.shards is None:
+            raise ShardConfigError(
+                f"scenario {self.name!r} declares no shards")
+        owned = set(shard.clusters)
+        clusters = tuple(c for c in self.topology.clusters
+                         if c.name in owned)
+        topology = TopologySpec(clusters=clusters, datacenter=shard.name,
+                                operator=self.topology.operator)
+        return ScenarioSpec(
+            name=f"{self.name}/{shard.name}",
+            topology=topology,
+            workload=shard.workload or self.workload,
+            seed=substream_seed(self.seed, f"shard:{shard.name}"),
+            scheduler=self.scheduler,
+            autoscaler=self.autoscaler,
+            failures=self.failures,
+            retries=self.retries,
+            checkpoints=self.checkpoints,
+            hedging=self.hedging,
+            shedding=self.shedding,
+            slos=self.slos,
+            observer=self.observer,
+            duration=self.duration,
+            horizon=self.horizon,
+            max_time=self.max_time,
+            availability_slo=self.availability_slo,
+            injection_jitter=self.injection_jitter)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -998,7 +1332,17 @@ class ScenarioSpec:
         Keyword ``overrides`` replace resolved ingredients for
         programmatic studies (e.g. ``autoscaler=CustomPolicy()``); such
         runs are no longer reproducible from the JSON form alone.
+        A sharded spec composes a
+        :class:`~repro.sim.sharding.ShardedScenarioRuntime` instead —
+        per-shard composition is derived, so overrides are rejected.
         """
+        if self.shards is not None:
+            if overrides:
+                raise ShardConfigError(
+                    "sharded scenarios compose each shard from the spec; "
+                    "build() overrides are not supported")
+            from ..sim.sharding import ShardedScenarioRuntime
+            return ShardedScenarioRuntime(self)
         from .runtime import build_runtime
         return build_runtime(self, **overrides)
 

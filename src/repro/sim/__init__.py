@@ -19,6 +19,15 @@ from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
 from .monitor import Monitor, TimeWeightedMonitor, summarize
 from .resources import Container, Request, Resource, Store
 from .rng import RandomStreams, substream_seed
+from .sharding import (
+    CompletionAck,
+    RemoteSubmit,
+    ShardConfigError,
+    ShardedOutcome,
+    ShardedScenarioRuntime,
+    ShardHarness,
+    run_sharded,
+)
 
 __all__ = [
     "Simulator",
@@ -43,4 +52,11 @@ __all__ = [
     "ReproductionReport",
     "run_experiment",
     "check_reproduction",
+    "ShardConfigError",
+    "ShardHarness",
+    "ShardedScenarioRuntime",
+    "ShardedOutcome",
+    "RemoteSubmit",
+    "CompletionAck",
+    "run_sharded",
 ]

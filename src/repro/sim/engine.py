@@ -257,6 +257,69 @@ class Simulator:
         profiler.record(primary, sim_dt=sim_dt, events=1)
         return event
 
+    def advance_until(self, stop: float, bound: float | None = None,
+                      before_step: Any = None) -> int:
+        """Process events strictly before ``stop`` (the shard run loop).
+
+        The conservative-coupling window: every event with time in
+        ``[now, stop)`` — and, when ``bound`` is given, at most
+        ``bound`` — is processed via :meth:`step`, so observer and
+        profiler semantics match a plain drive loop exactly.  The
+        strict upper edge is what makes epoch windows composable:
+        a message delivered *at* ``stop`` belongs to the next window
+        on every shard, regardless of how the windows were cut.
+
+        Args:
+            stop: Exclusive upper edge of the window (``inf`` runs to
+                exhaustion).
+            bound: Optional inclusive cap (a scenario's ``duration`` /
+                ``max_time``); events past it stay queued.
+            before_step: Optional ``fn(event_time)`` called before each
+                step — the seam external telemetry drivers (streaming
+                SLO pipelines) use to advance with the clock.
+
+        Returns:
+            The number of events processed.
+        """
+        queue = self._queue
+        processed = 0
+        while queue:
+            when = queue[0][0]
+            if when >= stop or (bound is not None and when > bound):
+                break
+            if before_step is not None:
+                before_step(when)
+            self.step()
+            processed += 1
+        return processed
+
+    def inject(self, when: float, fn: Any) -> Timeout:
+        """Schedule ``fn(event)`` at absolute time ``when``.
+
+        The cross-shard injection seam: a coupling layer delivers a
+        message generated on another shard by scheduling a callback at
+        the message's deliver time.  Injection uses the ordinary event
+        queue (a :class:`Timeout` relative to ``now``), so injected
+        deliveries interleave with local events under the same FIFO
+        tie-breaking rule that makes runs reproducible.
+
+        Args:
+            when: Absolute simulated time of delivery; must not lie in
+                the past.
+            fn: Callback invoked with the delivery event.
+
+        Returns:
+            The scheduled delivery event.
+        """
+        delay = when - self._now
+        if delay < 0:
+            raise ValueError(
+                f"cannot inject at {when} (now={self._now}); conservative "
+                f"coupling must deliver messages in the future")
+        timeout = self.timeout(delay)
+        timeout.add_callback(fn)
+        return timeout
+
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, until a time, or until an event.
 

@@ -239,3 +239,66 @@ def test_main_exit_status(record: dict, tmp_path: Path,
     bad = _write(tmp_path, edited)
     assert checker.main([str(bad)]) == 1
     assert "FAIL" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# bench-shard/v1: the monolith-vs-sharded trajectory record
+# ---------------------------------------------------------------------------
+
+SHARD_BENCH_PATH = REPO_ROOT / "BENCH_shard.json"
+
+
+@pytest.fixture(scope="module")
+def shard_record() -> dict:
+    return json.loads(SHARD_BENCH_PATH.read_text())
+
+
+def test_committed_shard_record_passes(shard_record: dict) -> None:
+    assert checker.check_record(SHARD_BENCH_PATH) == []
+
+
+def test_committed_shard_record_shape(shard_record: dict) -> None:
+    assert shard_record["schema"] == "bench-shard/v1"
+    assert set(shard_record) >= {"generated_with", "monolith", "sharded",
+                                 "speedups"}
+    assert shard_record["sharded"]["shards"] >= 4
+    assert max(shard_record["speedups"].values()) >= 2.0
+
+
+def test_shard_checker_rejects_digest_divergence(
+        shard_record: dict, tmp_path: Path) -> None:
+    edited = copy.deepcopy(shard_record)
+    first = next(iter(edited["sharded"]["configs"]))
+    edited["sharded"]["configs"][first]["digest"] = "0" * 64
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("determinism contract" in p for p in problems)
+
+
+def test_shard_checker_rejects_inconsistent_speedup(
+        shard_record: dict, tmp_path: Path) -> None:
+    edited = copy.deepcopy(shard_record)
+    first = next(iter(edited["speedups"]))
+    edited["speedups"][first] *= 3.0
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("disagrees with captured timings" in p for p in problems)
+
+
+def test_shard_checker_rejects_sub_claim_speedup(
+        shard_record: dict, tmp_path: Path) -> None:
+    # A record whose best configuration no longer clears the committed
+    # 2x claim is a regressed trajectory, not a typo.
+    edited = copy.deepcopy(shard_record)
+    scale = max(edited["speedups"].values()) / 1.5
+    for workers in edited["speedups"]:
+        edited["speedups"][workers] /= scale
+        edited["sharded"]["configs"][workers]["elapsed_s"] *= scale
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("beats the monolith" in p for p in problems)
+
+
+def test_shard_checker_rejects_too_few_shards(
+        shard_record: dict, tmp_path: Path) -> None:
+    edited = copy.deepcopy(shard_record)
+    edited["sharded"]["shards"] = 2
+    problems = checker.check_record(_write(tmp_path, edited))
+    assert any("must demonstrate" in p for p in problems)

@@ -43,6 +43,14 @@ import sys
 from pathlib import Path
 
 SCHEMA = "bench-sim-core/v1"
+# Sharding records compare a monolithic spec against a sharded one —
+# two different fingerprints by construction — so they carry their own
+# schema with its own invariants (see _check_shard_record).
+SHARD_SCHEMA = "bench-shard/v1"
+# The sharding trajectory claim committed with the record: at least one
+# sharded configuration beats the monolith by this factor.
+SHARD_MIN_SPEEDUP = 2.0
+SHARD_MIN_SHARDS = 4
 # Speedups are recomputed from the captured elapsed times; allow for
 # rounding in the committed record.
 RATIO_SLACK = 0.05
@@ -146,12 +154,105 @@ def _digest_drift_diff(scenario: str, before_entry: dict,
     return problems + lines
 
 
+def _check_shard_record(record: dict) -> list[str]:
+    """Validate a ``bench-shard/v1`` record (monolith vs sharded).
+
+    The record's claim is different from a sim-core trajectory: the
+    monolith and the sharded runs are *different specs* (one declares
+    ``shards``), so their fingerprints and digests legitimately
+    differ.  What must hold instead:
+
+    * both sides carry well-formed fingerprints, positive timings, and
+      sha-256 digests;
+    * every sharded worker-count configuration produced the identical
+      digest (the conservative-coupling determinism contract);
+    * every committed speedup agrees with the captured timings;
+    * the sharded plan has at least ``SHARD_MIN_SHARDS`` shards and at
+      least one configuration reaches ``SHARD_MIN_SPEEDUP`` over the
+      monolith — the record exists to pin that trajectory claim.
+    """
+    problems = []
+    for key in ("generated_with", "monolith", "sharded", "speedups"):
+        if key not in record:
+            problems.append(f"missing top-level section '{key}'")
+    monolith = record.get("monolith", {})
+    sharded = record.get("sharded", {})
+    if not isinstance(monolith, dict) or not isinstance(sharded, dict):
+        return problems + ["'monolith'/'sharded' sections must be objects"]
+    for name, section in (("monolith", monolith), ("sharded", sharded)):
+        if not _valid_fingerprint(section.get("fingerprint")):
+            problems.append(f"'{name}' has a malformed spec fingerprint: "
+                            f"{section.get('fingerprint')!r}")
+    elapsed = monolith.get("elapsed_s")
+    if not isinstance(elapsed, (int, float)) or not elapsed > 0:
+        problems.append(f"monolith has bad elapsed_s: {elapsed!r}")
+    sha = monolith.get("digest")
+    if not isinstance(sha, str) or len(sha) != 64:
+        problems.append("monolith digest lacks a sha-256")
+    shards = sharded.get("shards")
+    if not isinstance(shards, int) or shards < SHARD_MIN_SHARDS:
+        problems.append(f"sharded plan has {shards!r} shards; the record "
+                        f"must demonstrate {SHARD_MIN_SHARDS}+")
+    configs = sharded.get("configs")
+    if not isinstance(configs, dict) or not configs:
+        return problems + ["sharded section has no worker configs"]
+    digests = set()
+    for workers, entry in configs.items():
+        if not isinstance(entry, dict):
+            problems.append(f"sharded config {workers} is not an object")
+            continue
+        config_elapsed = entry.get("elapsed_s")
+        if not isinstance(config_elapsed, (int, float)) \
+                or not config_elapsed > 0:
+            problems.append(f"sharded config {workers} has bad "
+                            f"elapsed_s: {config_elapsed!r}")
+        config_sha = entry.get("digest")
+        if not isinstance(config_sha, str) or len(config_sha) != 64:
+            problems.append(f"sharded config {workers} lacks a sha-256")
+        else:
+            digests.add(config_sha)
+    if len(digests) > 1:
+        problems.append(f"sharded digests differ across worker counts "
+                        f"({sorted(d[:12] for d in digests)}); the "
+                        f"determinism contract demands byte-identity")
+    speedups = record.get("speedups", {})
+    if not isinstance(speedups, dict) or not speedups:
+        return problems + ["speedups section is empty"]
+    best = 0.0
+    for workers, ratio in speedups.items():
+        if not isinstance(ratio, (int, float)) or not math.isfinite(ratio) \
+                or ratio <= 0:
+            problems.append(f"speedup {workers} is not a positive finite "
+                            f"ratio: {ratio!r}")
+            continue
+        best = max(best, ratio)
+        entry = configs.get(workers)
+        if not isinstance(entry, dict) or not isinstance(
+                entry.get("elapsed_s"), (int, float)):
+            problems.append(f"speedup {workers} has no matching sharded "
+                            f"timing")
+            continue
+        if not isinstance(elapsed, (int, float)) or not elapsed > 0:
+            continue
+        expected = elapsed / entry["elapsed_s"]
+        if abs(ratio - expected) > RATIO_SLACK * expected:
+            problems.append(f"speedup {workers} ({ratio:.2f}x) disagrees "
+                            f"with captured timings ({expected:.2f}x)")
+    if best and best < SHARD_MIN_SPEEDUP:
+        problems.append(f"best sharded speedup is {best:.2f}x; the record "
+                        f"claims the partitioned loop beats the monolith "
+                        f"by {SHARD_MIN_SPEEDUP:.0f}x+")
+    return problems
+
+
 def check_record(path: Path) -> list[str]:
     """Return human-readable messages for every problem in ``path``."""
     try:
         record = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as error:
         return [f"unreadable: {error}"]
+    if record.get("schema") == SHARD_SCHEMA:
+        return _check_shard_record(record)
     problems = []
     if record.get("schema") != SCHEMA:
         problems.append(f"top-level schema is {record.get('schema')!r}, "

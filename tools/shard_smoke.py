@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI smoke check for the sharding determinism contract.
+
+Runs the committed three-region gallery spec
+(``examples/specs/planet_scale.json``) twice — all shards in one
+process, then spread over two worker processes — with federated
+observation armed both times, and demands:
+
+* the merged ``ScenarioResult`` digests are byte-identical;
+* the merged fleet ``TelemetrySnapshot`` digests are byte-identical;
+* observation did not change the result bytes (a plain serial run
+  must produce the same digest as the observed one);
+* real cross-shard traffic flowed (the spec's ``ap`` region offloads
+  functions to ``us``), so the epoch barrier and message path were
+  actually exercised, not skipped.
+
+Exit status 0 on success, 1 on any violation — one readable line per
+check either way.  See docs/ARCHITECTURE.md ("Sharding") for the
+contract this pins.
+
+Usage:
+    PYTHONPATH=src python tools/shard_smoke.py [spec.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SPEC = REPO_ROOT / "examples" / "specs" / "planet_scale.json"
+
+
+def main(arguments: list[str]) -> int:
+    """Run the smoke check; return a process exit code."""
+    from repro.observability.federation import fleet_digest
+    from repro.scenario import ScenarioSpec
+    from repro.sim.sharding import run_sharded
+
+    spec_path = Path(arguments[0]) if arguments else DEFAULT_SPEC
+    spec = ScenarioSpec.from_json(spec_path.read_text(encoding="utf-8"))
+    print(f"spec {spec_path.name}: {spec.name!r}, "
+          f"{len(spec.shards.shards)} shards, "
+          f"fingerprint {spec.fingerprint()}")
+
+    plain = run_sharded(spec, workers=1)
+    serial = run_sharded(spec, workers=1, observe=True)
+    spread = run_sharded(spec, workers=2, observe=True)
+    failures = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}: {detail}")
+        if not ok:
+            failures.append(label)
+
+    check("result digest (1 vs 2 workers)",
+          serial.result.digest() == spread.result.digest(),
+          serial.result.digest()[:16])
+    check("fleet telemetry digest (1 vs 2 workers)",
+          fleet_digest(serial.telemetry) == fleet_digest(spread.telemetry),
+          fleet_digest(serial.telemetry)[:16])
+    check("observation leaves result bytes unchanged",
+          plain.result.to_json() == serial.result.to_json(),
+          plain.result.digest()[:16])
+    coupling = serial.result.shards["coupling"]
+    check("cross-shard traffic flowed",
+          coupling["offloaded"] > 0
+          and coupling["acked"] == coupling["offloaded"],
+          f"{coupling['offloaded']} offloaded over {coupling['epochs']} "
+          f"epochs at lookahead {coupling['lookahead']}s")
+    if failures:
+        print(f"shard smoke FAILED: {failures}")
+        return 1
+    print("shard smoke passed: one loop or two processes, "
+          "byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
